@@ -1,0 +1,42 @@
+//! # gdm-algo
+//!
+//! The essential graph queries of the paper's Section IV, implemented
+//! once, generically over [`gdm_core::GraphView`], so that every data
+//! model in `gdm-graphs` — and therefore every engine emulation —
+//! answers the same queries through the same code:
+//!
+//! 1. **Adjacency queries** ([`adjacency`]): node/edge adjacency tests
+//!    and k-neighborhood listing.
+//! 2. **Reachability queries** ([`paths`], [`regular`]): reachability,
+//!    fixed-length paths, regular (simple) paths over edge-label
+//!    regular expressions, shortest paths (unweighted and weighted).
+//! 3. **Pattern matching queries** ([`pattern`]): subgraph isomorphism
+//!    (VF2-style backtracking) with a brute-force oracle for testing.
+//! 4. **Summarization queries** ([`summary`]): aggregation functions
+//!    plus the structural functions the paper lists — order, degree,
+//!    minimum/maximum/average degree, path length, distance between
+//!    nodes, diameter.
+//!
+//! [`traverse`] provides the BFS/DFS machinery and a Neo4j-style
+//! fluent traversal description (the "framework for graph traversals"
+//! of the paper's Neo4j description); [`analysis`] adds the analysis
+//! functions Table V probes (connected components, triangle counting,
+//! clustering coefficients).
+
+pub mod adjacency;
+pub mod analysis;
+pub mod paths;
+pub mod pattern;
+pub mod regular;
+pub mod summary;
+pub mod traverse;
+
+pub use adjacency::{edges_adjacent, k_neighborhood, nodes_adjacent};
+pub use paths::{
+    bidirectional_shortest_path, dijkstra, distance, fixed_length_path_exists,
+    fixed_length_paths, is_reachable, shortest_path, Path,
+};
+pub use pattern::{match_pattern, Pattern, PatternEdge, PatternNode};
+pub use regular::{regular_path_exists, regular_simple_paths, LabelRegex};
+pub use summary::{aggregate, degree_stats, diameter, graph_order, graph_size, Aggregate};
+pub use traverse::{bfs_order, dfs_order, Traversal};

@@ -1,0 +1,502 @@
+//! Graph pattern matching queries (Section IV.3).
+//!
+//! "Graph pattern matching consists in to find all sub-graphs of a
+//! data graph that are isomorphic to a pattern graph." The matcher is
+//! a VF2-style backtracking search for subgraph *monomorphisms*
+//! (injective on nodes, non-induced on edges) with optional label and
+//! property constraints; [`match_pattern_brute`] is the brute-force
+//! oracle the property tests compare against.
+
+use gdm_core::{AttributedView, Direction, FxHashMap, GdmError, NodeId, Result, Value};
+
+/// A pattern node: a variable plus optional constraints.
+#[derive(Debug, Clone, Default)]
+pub struct PatternNode {
+    /// Variable name reported in matches.
+    pub var: String,
+    /// Required node label, if constrained.
+    pub label: Option<String>,
+    /// Required property values (loose equality).
+    pub props: Vec<(String, Value)>,
+}
+
+impl PatternNode {
+    /// An unconstrained variable.
+    pub fn var(name: impl Into<String>) -> Self {
+        Self {
+            var: name.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Adds a label constraint.
+    #[must_use]
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// Adds a property constraint.
+    #[must_use]
+    pub fn with_prop(mut self, key: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.props.push((key.into(), value.into()));
+        self
+    }
+}
+
+/// A pattern edge between pattern-node indices.
+#[derive(Debug, Clone)]
+pub struct PatternEdge {
+    /// Index of the source pattern node.
+    pub from: usize,
+    /// Index of the target pattern node.
+    pub to: usize,
+    /// Required edge label, if constrained.
+    pub label: Option<String>,
+    /// Direction semantics: `Outgoing` means `from → to` in the data
+    /// graph, `Both` accepts either orientation.
+    pub direction: Direction,
+}
+
+/// A pattern graph.
+#[derive(Debug, Clone, Default)]
+pub struct Pattern {
+    /// Pattern nodes (variables).
+    pub nodes: Vec<PatternNode>,
+    /// Pattern edges.
+    pub edges: Vec<PatternEdge>,
+}
+
+impl Pattern {
+    /// Starts an empty pattern.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node, returning its index.
+    pub fn node(&mut self, node: PatternNode) -> usize {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    /// Adds a directed edge constraint.
+    pub fn edge(&mut self, from: usize, to: usize, label: Option<&str>) -> Result<()> {
+        self.add_edge(from, to, label, Direction::Outgoing)
+    }
+
+    /// Adds an undirected (either-orientation) edge constraint.
+    pub fn edge_undirected(&mut self, from: usize, to: usize, label: Option<&str>) -> Result<()> {
+        self.add_edge(from, to, label, Direction::Both)
+    }
+
+    fn add_edge(
+        &mut self,
+        from: usize,
+        to: usize,
+        label: Option<&str>,
+        direction: Direction,
+    ) -> Result<()> {
+        if from >= self.nodes.len() || to >= self.nodes.len() {
+            return Err(GdmError::InvalidArgument(
+                "pattern edge references missing node".into(),
+            ));
+        }
+        self.edges.push(PatternEdge {
+            from,
+            to,
+            label: label.map(str::to_owned),
+            direction,
+        });
+        Ok(())
+    }
+}
+
+/// One match: pattern variable → data node.
+pub type Binding = FxHashMap<String, NodeId>;
+
+/// Finds all subgraph matches of `pattern` in `g` (VF2-style search).
+/// Matches are injective on nodes. Returns bindings in a stable order.
+pub fn match_pattern<G: AttributedView + ?Sized>(g: &G, pattern: &Pattern) -> Vec<Binding> {
+    if pattern.nodes.is_empty() {
+        return Vec::new();
+    }
+    // Order pattern nodes: most-constrained first, then by
+    // connectivity to already-placed nodes (classic VF2 ordering).
+    let order = matching_order(pattern);
+    let mut assignment: Vec<Option<NodeId>> = vec![None; pattern.nodes.len()];
+    let mut out = Vec::new();
+    extend(g, pattern, &order, 0, &mut assignment, &mut out);
+    out
+}
+
+fn matching_order(pattern: &Pattern) -> Vec<usize> {
+    let n = pattern.nodes.len();
+    let mut order = Vec::with_capacity(n);
+    let mut placed = vec![false; n];
+    let constraint_score = |i: usize| {
+        let pn = &pattern.nodes[i];
+        pn.props.len() * 2 + usize::from(pn.label.is_some())
+    };
+    for _ in 0..n {
+        let next = (0..n)
+            .filter(|&i| !placed[i])
+            .max_by_key(|&i| {
+                let connected = pattern
+                    .edges
+                    .iter()
+                    .filter(|e| {
+                        (placed[e.from] && e.to == i) || (placed[e.to] && e.from == i)
+                    })
+                    .count();
+                (connected, constraint_score(i))
+            })
+            .expect("unplaced node exists");
+        placed[next] = true;
+        order.push(next);
+    }
+    order
+}
+
+fn extend<G: AttributedView + ?Sized>(
+    g: &G,
+    pattern: &Pattern,
+    order: &[usize],
+    depth: usize,
+    assignment: &mut Vec<Option<NodeId>>,
+    out: &mut Vec<Binding>,
+) {
+    if depth == order.len() {
+        let binding = pattern
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, pn)| (pn.var.clone(), assignment[i].expect("complete")))
+            .collect();
+        out.push(binding);
+        return;
+    }
+    let pv = order[depth];
+    for candidate in candidates(g, pattern, pv, assignment) {
+        if assignment.iter().flatten().any(|&n| n == candidate) {
+            continue; // injectivity
+        }
+        if !node_compatible(g, &pattern.nodes[pv], candidate) {
+            continue;
+        }
+        assignment[pv] = Some(candidate);
+        if edges_consistent(g, pattern, pv, assignment) {
+            extend(g, pattern, order, depth + 1, assignment, out);
+        }
+        assignment[pv] = None;
+    }
+}
+
+/// Candidate data nodes for pattern node `pv`: neighbors of an
+/// already-bound pattern neighbor when possible, otherwise all nodes.
+fn candidates<G: AttributedView + ?Sized>(
+    g: &G,
+    pattern: &Pattern,
+    pv: usize,
+    assignment: &[Option<NodeId>],
+) -> Vec<NodeId> {
+    for e in &pattern.edges {
+        if e.to == pv {
+            if let Some(bound) = assignment[e.from] {
+                let mut c = Vec::new();
+                g.visit_edges_dir(bound, e.direction, &mut |er| {
+                    if !c.contains(&er.to) {
+                        c.push(er.to);
+                    }
+                });
+                return c;
+            }
+        }
+        if e.from == pv {
+            if let Some(bound) = assignment[e.to] {
+                let dir = match e.direction {
+                    Direction::Outgoing => Direction::Incoming,
+                    other => other,
+                };
+                let mut c = Vec::new();
+                g.visit_edges_dir(bound, dir, &mut |er| {
+                    if !c.contains(&er.to) {
+                        c.push(er.to);
+                    }
+                });
+                return c;
+            }
+        }
+    }
+    g.node_ids()
+}
+
+fn node_compatible<G: AttributedView + ?Sized>(g: &G, pn: &PatternNode, n: NodeId) -> bool {
+    if !g.contains_node(n) {
+        return false;
+    }
+    if let Some(want) = &pn.label {
+        let got = g
+            .node_label(n)
+            .and_then(|sym| g.label_text(sym))
+            .map(str::to_owned);
+        if got.as_deref() != Some(want.as_str()) {
+            return false;
+        }
+    }
+    pn.props.iter().all(|(key, want)| {
+        g.node_property(n, key)
+            .is_some_and(|got| got.loose_eq(want))
+    })
+}
+
+/// Checks every pattern edge whose endpoints are both bound.
+fn edges_consistent<G: AttributedView + ?Sized>(
+    g: &G,
+    pattern: &Pattern,
+    just_placed: usize,
+    assignment: &[Option<NodeId>],
+) -> bool {
+    for e in &pattern.edges {
+        if e.from != just_placed && e.to != just_placed {
+            continue;
+        }
+        let (Some(from), Some(to)) = (assignment[e.from], assignment[e.to]) else {
+            continue;
+        };
+        if !has_edge(g, from, to, e) {
+            return false;
+        }
+    }
+    true
+}
+
+fn has_edge<G: AttributedView + ?Sized>(
+    g: &G,
+    from: NodeId,
+    to: NodeId,
+    e: &PatternEdge,
+) -> bool {
+    let check = |a: NodeId, b: NodeId| {
+        let mut found = false;
+        g.visit_out_edges(a, &mut |er| {
+            if er.to == b {
+                let label_ok = match &e.label {
+                    None => true,
+                    Some(want) => er
+                        .label
+                        .and_then(|sym| g.label_text(sym))
+                        .is_some_and(|t| t == want),
+                };
+                if label_ok {
+                    found = true;
+                }
+            }
+        });
+        found
+    };
+    match e.direction {
+        Direction::Outgoing => check(from, to),
+        Direction::Incoming => check(to, from),
+        Direction::Both => check(from, to) || check(to, from),
+    }
+}
+
+/// Brute-force oracle: tries every injective assignment. Exponential —
+/// for tests only.
+pub fn match_pattern_brute<G: AttributedView + ?Sized>(g: &G, pattern: &Pattern) -> Vec<Binding> {
+    if pattern.nodes.is_empty() {
+        return Vec::new();
+    }
+    let nodes = g.node_ids();
+    let mut assignment: Vec<Option<NodeId>> = vec![None; pattern.nodes.len()];
+    let mut out = Vec::new();
+    brute(g, pattern, &nodes, 0, &mut assignment, &mut out);
+    out
+}
+
+fn brute<G: AttributedView + ?Sized>(
+    g: &G,
+    pattern: &Pattern,
+    nodes: &[NodeId],
+    depth: usize,
+    assignment: &mut Vec<Option<NodeId>>,
+    out: &mut Vec<Binding>,
+) {
+    if depth == pattern.nodes.len() {
+        let ok = pattern.edges.iter().all(|e| {
+            has_edge(
+                g,
+                assignment[e.from].expect("complete"),
+                assignment[e.to].expect("complete"),
+                e,
+            )
+        });
+        if ok {
+            out.push(
+                pattern
+                    .nodes
+                    .iter()
+                    .enumerate()
+                    .map(|(i, pn)| (pn.var.clone(), assignment[i].expect("complete")))
+                    .collect(),
+            );
+        }
+        return;
+    }
+    for &n in nodes {
+        if assignment.iter().flatten().any(|&m| m == n) {
+            continue;
+        }
+        if !node_compatible(g, &pattern.nodes[depth], n) {
+            continue;
+        }
+        assignment[depth] = Some(n);
+        brute(g, pattern, nodes, depth + 1, assignment, out);
+        assignment[depth] = None;
+    }
+}
+
+/// Canonical form of a result set for comparing matcher outputs.
+pub fn canonical(bindings: &[Binding]) -> Vec<Vec<(String, u64)>> {
+    let mut rows: Vec<Vec<(String, u64)>> = bindings
+        .iter()
+        .map(|b| {
+            let mut row: Vec<(String, u64)> =
+                b.iter().map(|(k, v)| (k.clone(), v.raw())).collect();
+            row.sort();
+            row
+        })
+        .collect();
+    rows.sort();
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdm_core::props;
+    use gdm_graphs::PropertyGraph;
+
+    fn triangle_with_tail() -> (PropertyGraph, Vec<NodeId>) {
+        let mut g = PropertyGraph::new();
+        let n: Vec<NodeId> = (0..4)
+            .map(|i| g.add_node(if i < 3 { "person" } else { "company" }, props! { "i" => i }))
+            .collect();
+        g.add_edge(n[0], n[1], "knows", props! {}).unwrap();
+        g.add_edge(n[1], n[2], "knows", props! {}).unwrap();
+        g.add_edge(n[2], n[0], "knows", props! {}).unwrap();
+        g.add_edge(n[0], n[3], "works_at", props! {}).unwrap();
+        (g, n)
+    }
+
+    #[test]
+    fn single_node_label_match() {
+        let (g, _) = triangle_with_tail();
+        let mut p = Pattern::new();
+        p.node(PatternNode::var("x").with_label("person"));
+        assert_eq!(match_pattern(&g, &p).len(), 3);
+        let mut q = Pattern::new();
+        q.node(PatternNode::var("x").with_label("company"));
+        assert_eq!(match_pattern(&g, &q).len(), 1);
+    }
+
+    #[test]
+    fn property_constraints() {
+        let (g, n) = triangle_with_tail();
+        let mut p = Pattern::new();
+        p.node(PatternNode::var("x").with_prop("i", 2));
+        let m = match_pattern(&g, &p);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0]["x"], n[2]);
+    }
+
+    #[test]
+    fn directed_edge_pattern() {
+        let (g, _) = triangle_with_tail();
+        let mut p = Pattern::new();
+        let a = p.node(PatternNode::var("a").with_label("person"));
+        let b = p.node(PatternNode::var("b").with_label("company"));
+        p.edge(a, b, Some("works_at")).unwrap();
+        let m = match_pattern(&g, &p);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn triangle_pattern_finds_rotations() {
+        let (g, _) = triangle_with_tail();
+        let mut p = Pattern::new();
+        let a = p.node(PatternNode::var("a"));
+        let b = p.node(PatternNode::var("b"));
+        let c = p.node(PatternNode::var("c"));
+        p.edge(a, b, Some("knows")).unwrap();
+        p.edge(b, c, Some("knows")).unwrap();
+        p.edge(c, a, Some("knows")).unwrap();
+        let m = match_pattern(&g, &p);
+        assert_eq!(m.len(), 3, "three rotations of the triangle");
+    }
+
+    #[test]
+    fn injectivity_prevents_node_reuse() {
+        let (g, _) = triangle_with_tail();
+        let mut p = Pattern::new();
+        let a = p.node(PatternNode::var("a"));
+        let b = p.node(PatternNode::var("b"));
+        // a knows b and b knows a simultaneously — triangle has no
+        // 2-cycles, so no match.
+        p.edge(a, b, Some("knows")).unwrap();
+        p.edge(b, a, Some("knows")).unwrap();
+        assert!(match_pattern(&g, &p).is_empty());
+    }
+
+    #[test]
+    fn undirected_pattern_edges() {
+        let (g, _) = triangle_with_tail();
+        let mut p = Pattern::new();
+        let a = p.node(PatternNode::var("a").with_label("company"));
+        let b = p.node(PatternNode::var("b").with_label("person"));
+        p.edge_undirected(a, b, Some("works_at")).unwrap();
+        assert_eq!(match_pattern(&g, &p).len(), 1);
+    }
+
+    #[test]
+    fn vf2_agrees_with_brute_force() {
+        let (g, _) = triangle_with_tail();
+        for edges in [
+            vec![(0usize, 1usize, Some("knows"))],
+            vec![(0, 1, Some("knows")), (1, 2, Some("knows"))],
+            vec![(0, 1, None), (1, 2, None), (2, 0, None)],
+        ] {
+            let mut p = Pattern::new();
+            let vars: Vec<usize> = (0..3).map(|i| p.node(PatternNode::var(format!("v{i}")))).collect();
+            for (f, t, l) in &edges {
+                p.edge(vars[*f], vars[*t], *l).unwrap();
+            }
+            let fast = canonical(&match_pattern(&g, &p));
+            let slow = canonical(&match_pattern_brute(&g, &p));
+            assert_eq!(fast, slow, "edges {edges:?}");
+        }
+    }
+
+    #[test]
+    fn empty_pattern_matches_nothing() {
+        let (g, _) = triangle_with_tail();
+        assert!(match_pattern(&g, &Pattern::new()).is_empty());
+    }
+
+    #[test]
+    fn pattern_edge_validation() {
+        let mut p = Pattern::new();
+        let a = p.node(PatternNode::var("a"));
+        assert!(p.edge(a, 7, None).is_err());
+    }
+
+    #[test]
+    fn disconnected_pattern_components() {
+        let (g, _) = triangle_with_tail();
+        let mut p = Pattern::new();
+        p.node(PatternNode::var("x").with_label("company"));
+        p.node(PatternNode::var("y").with_label("person"));
+        // No edges: all injective (company, person) pairs.
+        assert_eq!(match_pattern(&g, &p).len(), 3);
+    }
+}

@@ -1,0 +1,102 @@
+//! Essential graph queries across the nine engine emulations — the
+//! performance companion the paper's related work (Dominguez-Sal et
+//! al. [11]) ran against real 2012 systems. Engines that do not
+//! support a query are skipped, mirroring Table VII.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdm_bench::{load_into_engine, social_graph, SocialParams};
+use gdm_core::NodeId;
+use gdm_engines::{make_engine, EngineKind, GraphEngine, SummaryFunc};
+use std::hint::black_box;
+
+struct Fixture {
+    kind: EngineKind,
+    engine: Box<dyn GraphEngine>,
+    nodes: Vec<NodeId>,
+}
+
+fn fixtures(people: usize) -> Vec<Fixture> {
+    let graph = social_graph(SocialParams {
+        people,
+        communities: 8,
+        intra_edges: 6,
+        inter_edges: 2,
+        seed: 42,
+    });
+    let base = std::env::temp_dir().join(format!("gdm-bench-eq-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    EngineKind::all()
+        .into_iter()
+        .map(|kind| {
+            let dir = base.join(kind.label().to_lowercase().replace('-', "_"));
+            std::fs::create_dir_all(&dir).expect("temp dir");
+            let mut engine = make_engine(kind, &dir).expect("engine");
+            let nodes = load_into_engine(engine.as_mut(), &graph).expect("load");
+            Fixture { kind, engine, nodes }
+        })
+        .collect()
+}
+
+fn bench_essential(c: &mut Criterion) {
+    let fixtures = fixtures(600);
+
+    let mut group = c.benchmark_group("adjacency");
+    for f in &fixtures {
+        group.bench_function(BenchmarkId::from_parameter(f.kind.label()), |b| {
+            b.iter(|| {
+                for i in 0..32 {
+                    let a = f.nodes[i * 7 % f.nodes.len()];
+                    let bn = f.nodes[(i * 13 + 5) % f.nodes.len()];
+                    black_box(f.engine.adjacent(a, bn).expect("supported everywhere"));
+                }
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("k_neighborhood_k2");
+    for f in &fixtures {
+        if f.engine.k_neighborhood(f.nodes[0], 2).is_err() {
+            continue; // Table VII blank
+        }
+        group.bench_function(BenchmarkId::from_parameter(f.kind.label()), |b| {
+            b.iter(|| {
+                let n = f.nodes[17];
+                black_box(f.engine.k_neighborhood(n, 2).expect("supported"));
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("shortest_path");
+    for f in &fixtures {
+        if f.engine.shortest_path(f.nodes[0], f.nodes[1]).is_err() {
+            continue;
+        }
+        group.bench_function(BenchmarkId::from_parameter(f.kind.label()), |b| {
+            b.iter(|| {
+                black_box(
+                    f.engine
+                        .shortest_path(f.nodes[3], f.nodes[f.nodes.len() - 4])
+                        .expect("supported"),
+                );
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("summarization_order");
+    for f in &fixtures {
+        group.bench_function(BenchmarkId::from_parameter(f.kind.label()), |b| {
+            b.iter(|| black_box(f.engine.summarize(SummaryFunc::Order).expect("supported")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_essential
+}
+criterion_main!(benches);

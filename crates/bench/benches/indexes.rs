@@ -1,0 +1,64 @@
+//! Secondary index ablation: hash vs B-tree vs DEX-style bitmap point
+//! lookups, B-tree ranges, and bitmap intersection (the DEX idiom).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gdm_core::Value;
+use gdm_storage::{BTreeIndex, BitmapIndex, HashIndex, ValueIndex};
+use std::hint::black_box;
+
+const N: u64 = 50_000;
+
+fn fill(index: &mut dyn ValueIndex) {
+    for id in 0..N {
+        index.insert(&Value::Int((id % 1000) as i64), id);
+    }
+}
+
+fn bench_indexes(c: &mut Criterion) {
+    let mut hash = HashIndex::new();
+    let mut btree = BTreeIndex::new();
+    let mut bitmap = BitmapIndex::new();
+    fill(&mut hash);
+    fill(&mut btree);
+    fill(&mut bitmap);
+
+    let mut group = c.benchmark_group("point_lookup");
+    group.bench_function("hash", |b| {
+        b.iter(|| black_box(hash.lookup(&Value::Int(123)).len()))
+    });
+    group.bench_function("btree", |b| {
+        b.iter(|| black_box(btree.lookup(&Value::Int(123)).len()))
+    });
+    group.bench_function("bitmap", |b| {
+        b.iter(|| black_box(bitmap.lookup(&Value::Int(123)).len()))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("range_lookup");
+    group.bench_function("btree_100_values", |b| {
+        b.iter(|| {
+            black_box(
+                btree
+                    .range(Some(&Value::Int(100)), Some(&Value::Int(199)))
+                    .expect("btree ranges")
+                    .len(),
+            )
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("bitmap_intersection");
+    let a = bitmap.bitmap_for(&Value::Int(1)).expect("present").clone();
+    let b2 = bitmap.bitmap_for(&Value::Int(2)).expect("present").clone();
+    group.bench_function("and_50k_universe", |b| {
+        b.iter(|| black_box(a.intersection(&b2).len()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_indexes
+}
+criterion_main!(benches);

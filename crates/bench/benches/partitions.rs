@@ -1,0 +1,61 @@
+//! The InfiniteGraph distribution ablation: remote hops (the
+//! simulated network cost) during a full traversal, by partition count
+//! and placement strategy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdm_bench::{social_graph, SocialParams};
+use gdm_core::{Direction, GraphView};
+use gdm_graphs::partitioned::{PartitionedGraph, Strategy};
+use std::hint::black_box;
+
+fn traverse_all(pg: &PartitionedGraph) -> u64 {
+    pg.reset_hops();
+    let mut nodes = Vec::new();
+    pg.visit_nodes(&mut |n| nodes.push(n));
+    for n in nodes {
+        pg.visit_edges_dir(n, Direction::Outgoing, &mut |_| {});
+    }
+    pg.remote_hops()
+}
+
+fn bench_partitions(c: &mut Criterion) {
+    let graph = social_graph(SocialParams {
+        people: 2000,
+        communities: 16,
+        intra_edges: 6,
+        inter_edges: 1,
+        seed: 31,
+    });
+
+    // One-shot hop report across the sweep.
+    for parts in [2u32, 4, 8, 16] {
+        for (name, strategy) in [("hash", Strategy::Hash), ("bfs", Strategy::BfsCluster)] {
+            let pg = PartitionedGraph::new(graph.clone(), parts, strategy);
+            let hops = traverse_all(&pg);
+            eprintln!(
+                "partitions={parts} strategy={name}: remote_hops={hops} edge_cut={}",
+                pg.edge_cut()
+            );
+        }
+    }
+
+    let mut group = c.benchmark_group("partitioned_traversal");
+    for parts in [4u32, 16] {
+        let hash = PartitionedGraph::new(graph.clone(), parts, Strategy::Hash);
+        let bfs = PartitionedGraph::new(graph.clone(), parts, Strategy::BfsCluster);
+        group.bench_function(BenchmarkId::new("hash", parts), |b| {
+            b.iter(|| black_box(traverse_all(&hash)))
+        });
+        group.bench_function(BenchmarkId::new("bfs_cluster", parts), |b| {
+            b.iter(|| black_box(traverse_all(&bfs)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_partitions
+}
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Storage substrate benches: the on-disk B-tree vs the in-memory
+//! store, and the effect of buffer-pool sizing (external-memory
+//! behaviour is about fault counts; small pools make it visible).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdm_storage::{BufferPool, DiskBTree, KvStore, MemKv};
+use std::hint::black_box;
+
+const N: u32 = 5_000;
+
+fn keys() -> Vec<Vec<u8>> {
+    (0..N).map(|i| format!("key{:08}", i * 2654435761u32 % N).into_bytes()).collect()
+}
+
+fn bench_storage(c: &mut Criterion) {
+    let keys = keys();
+
+    let mut group = c.benchmark_group("kv_insert_5k");
+    group.bench_function("memkv", |b| {
+        b.iter(|| {
+            let mut kv = MemKv::new();
+            for k in &keys {
+                kv.put(k, b"value-payload").expect("put");
+            }
+            black_box(kv.len().expect("len"))
+        })
+    });
+    group.bench_function("disk_btree_mem_backend", |b| {
+        b.iter(|| {
+            let mut kv = DiskBTree::memory(256);
+            for k in &keys {
+                kv.put(k, b"value-payload").expect("put");
+            }
+            black_box(kv.len().expect("len"))
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("kv_point_lookup");
+    let mut mem = MemKv::new();
+    for k in &keys {
+        mem.put(k, b"value-payload").expect("put");
+    }
+    group.bench_function("memkv", |b| {
+        b.iter(|| {
+            for k in keys.iter().step_by(37) {
+                black_box(mem.get(k).expect("get"));
+            }
+        })
+    });
+    for pool in [16usize, 256] {
+        let mut tree = DiskBTree::new(BufferPool::memory(pool)).expect("tree");
+        for k in &keys {
+            tree.put(k, b"value-payload").expect("put");
+        }
+        group.bench_function(BenchmarkId::new("disk_btree_pool", pool), |b| {
+            b.iter(|| {
+                for k in keys.iter().step_by(37) {
+                    black_box(tree.get(k).expect("get"));
+                }
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("kv_range_scan");
+    let mut tree = DiskBTree::memory(256);
+    for k in &keys {
+        tree.put(k, b"value-payload").expect("put");
+    }
+    group.bench_function("disk_btree_full_scan", |b| {
+        b.iter(|| black_box(tree.scan_range(b"", None).expect("scan").len()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_storage
+}
+criterion_main!(benches);

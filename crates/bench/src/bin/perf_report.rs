@@ -1,0 +1,128 @@
+//! A compact cross-engine performance report in the style of the
+//! paper's related work (Dominguez-Sal et al. \[11\], who benchmarked
+//! DEX, Neo4j, HypergraphDB, and Jena on typical graph operations and
+//! found "DEX and Neo4j were the most efficient implementations").
+//!
+//! Loads one social-network workload into all nine emulations and
+//! reports microseconds per operation for each essential query the
+//! engine supports (`-` = unsupported, mirroring Table VII).
+//!
+//! ```sh
+//! cargo run --release -p gdm-bench --bin perf_report [-- --people 2000]
+//! ```
+
+use gdm_bench::{load_into_engine, social_graph, SocialParams};
+use gdm_core::NodeId;
+use gdm_engines::{make_engine, EngineKind, SummaryFunc};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn time_us(mut op: impl FnMut(), iters: u32) -> f64 {
+    // Warm up once, then measure.
+    op();
+    let start = Instant::now();
+    for _ in 0..iters {
+        op();
+    }
+    start.elapsed().as_secs_f64() * 1e6 / f64::from(iters)
+}
+
+fn main() {
+    let mut people = 1000usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--people" {
+            people = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(people);
+        }
+    }
+
+    let graph = social_graph(SocialParams {
+        people,
+        communities: 10,
+        intra_edges: 6,
+        inter_edges: 2,
+        seed: 2012,
+    });
+    println!(
+        "workload: {people} people, {} knows-edges (community-structured)\n",
+        gdm_core::GraphView::edge_count(&graph)
+    );
+
+    let base = std::env::temp_dir().join(format!("gdm-perf-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+
+    println!(
+        "{:<14} {:>10} {:>12} {:>14} {:>14} {:>14}",
+        "engine", "load ms", "adjacency us", "k-neigh(2) us", "shortest us", "order us"
+    );
+    for kind in EngineKind::all() {
+        let dir = base.join(kind.label().to_lowercase().replace('-', "_"));
+        std::fs::create_dir_all(&dir).expect("dir");
+        let mut engine = make_engine(kind, &dir).expect("engine");
+        let start = Instant::now();
+        let nodes = load_into_engine(engine.as_mut(), &graph).expect("load");
+        let load_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        let pair = |i: usize| -> (NodeId, NodeId) {
+            (nodes[i * 7 % nodes.len()], nodes[(i * 13 + 5) % nodes.len()])
+        };
+        let adjacency = {
+            let e = engine.as_ref();
+            let mut i = 0usize;
+            time_us(
+                move || {
+                    let (a, b) = pair(i);
+                    i = i.wrapping_add(1);
+                    black_box(e.adjacent(a, b).expect("universal"));
+                },
+                2000,
+            )
+        };
+        let fmt_opt = |v: Option<f64>| match v {
+            Some(x) if x >= 1000.0 => format!("{:.0}", x),
+            Some(x) => format!("{x:.1}"),
+            None => "-".to_owned(),
+        };
+        let k_neigh = engine.k_neighborhood(nodes[17], 2).ok().map(|_| {
+            let e = engine.as_ref();
+            time_us(|| {
+                black_box(e.k_neighborhood(nodes[17], 2).expect("supported"));
+            }, 200)
+        });
+        let shortest = engine
+            .shortest_path(nodes[0], nodes[nodes.len() - 1])
+            .ok()
+            .map(|_| {
+                let e = engine.as_ref();
+                time_us(|| {
+                    black_box(
+                        e.shortest_path(nodes[3], nodes[nodes.len() - 4])
+                            .expect("supported"),
+                    );
+                }, 50)
+            });
+        let order = {
+            let e = engine.as_ref();
+            time_us(|| {
+                black_box(e.summarize(SummaryFunc::Order).expect("universal"));
+            }, 500)
+        };
+        println!(
+            "{:<14} {:>10.1} {:>12.2} {:>14} {:>14} {:>14.1}",
+            kind.label(),
+            load_ms,
+            adjacency,
+            fmt_opt(k_neigh),
+            fmt_opt(shortest),
+            order
+        );
+    }
+    let _ = std::fs::remove_dir_all(&base);
+    println!(
+        "\n'-' = the 2012 system did not answer this essential query (Table VII);\n\
+         compare with [11]'s finding that DEX and Neo4j were the most efficient."
+    );
+}

@@ -1,0 +1,123 @@
+//! Regenerates the paper's Tables I–VIII.
+//!
+//! ```text
+//! tables                      # verify engines, print all eight tables
+//! tables --table 7            # one table
+//! tables --format md          # text (default), md, or csv
+//! tables --out results/       # additionally write one file per table
+//! tables --skip-verify        # render without the probe pass
+//! ```
+
+use gdm_compare::tables::{build_table_unverified, TableId};
+use gdm_compare::probes;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut table: Option<TableId> = None;
+    let mut format = "text".to_owned();
+    let mut out: Option<PathBuf> = None;
+    let mut skip_verify = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--table" | "-t" => {
+                let Some(v) = args.next().and_then(|v| TableId::parse(&v)) else {
+                    eprintln!("--table expects 1..8");
+                    return ExitCode::FAILURE;
+                };
+                table = Some(v);
+            }
+            "--format" | "-f" => {
+                format = args.next().unwrap_or_default();
+                if !["text", "md", "csv"].contains(&format.as_str()) {
+                    eprintln!("--format expects text, md, or csv");
+                    return ExitCode::FAILURE;
+                }
+            }
+            "--out" | "-o" => {
+                out = args.next().map(PathBuf::from);
+            }
+            "--skip-verify" => skip_verify = true,
+            "--help" | "-h" => {
+                println!(
+                    "tables [--table N] [--format text|md|csv] [--out DIR] [--skip-verify]\n\
+                     Regenerates the comparison tables of 'A Comparison of Current Graph\n\
+                     Database Models' by probing the nine engine emulations."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if !skip_verify {
+        let workdir = std::env::temp_dir().join(format!("gdm-tables-{}", std::process::id()));
+        if let Err(e) = std::fs::create_dir_all(&workdir) {
+            eprintln!("cannot create workdir: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("verifying the nine engine emulations against the paper's cells ...");
+        match probes::classify(&workdir) {
+            Ok((databases, stores)) => {
+                eprintln!(
+                    "graph databases (transaction engine probed): {}",
+                    databases.join(", ")
+                );
+                eprintln!("graph stores: {}\n", stores.join(", "));
+            }
+            Err(e) => {
+                eprintln!("classification failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        match probes::verify_all(&workdir) {
+            Ok(mismatches) if mismatches.is_empty() => {
+                eprintln!("all probes match the recorded cells.\n");
+            }
+            Ok(mismatches) => {
+                eprintln!("MISMATCHES:\n{}", mismatches.join("\n"));
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("verification failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        let _ = std::fs::remove_dir_all(&workdir);
+    }
+
+    let ids: Vec<TableId> = match table {
+        Some(t) => vec![t],
+        None => TableId::all().to_vec(),
+    };
+    for id in ids {
+        let matrix = build_table_unverified(id);
+        let rendered = match format.as_str() {
+            "md" => matrix.to_markdown(),
+            "csv" => matrix.to_csv(),
+            _ => matrix.render(),
+        };
+        println!("{rendered}");
+        if let Some(dir) = &out {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create {dir:?}: {e}");
+                return ExitCode::FAILURE;
+            }
+            let ext = match format.as_str() {
+                "md" => "md",
+                "csv" => "csv",
+                _ => "txt",
+            };
+            let path = dir.join(format!("table_{id:?}.{ext}").to_lowercase());
+            if let Err(e) = std::fs::write(&path, &rendered) {
+                eprintln!("cannot write {path:?}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

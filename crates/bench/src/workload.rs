@@ -1,0 +1,297 @@
+//! Synthetic workload generators.
+//!
+//! The paper motivates graph databases with social networks, biology,
+//! Web mining, and the Semantic Web; the generators here produce those
+//! shapes deterministically (seeded `StdRng`) so benches and examples
+//! are reproducible:
+//!
+//! * [`er_graph`] — Erdős–Rényi G(n, m): the uniform baseline,
+//! * [`ba_graph`] — Barabási–Albert preferential attachment: the
+//!   heavy-tailed degree shape real networks show,
+//! * [`social_graph`] — community-structured attributed people graph
+//!   (the SNA workload),
+//! * [`rdf_family_tree`] — generational triples for the reasoning and
+//!   SPARQL workloads.
+
+use gdm_core::{GraphView, NodeId, PropertyMap, Result, Value};
+use gdm_engines::GraphEngine;
+use gdm_graphs::rdf::{RdfGraph, Term};
+use gdm_graphs::{PropertyGraph, SimpleGraph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Erdős–Rényi G(n, m): `n` nodes, `m` uniformly random directed
+/// edges (duplicates allowed — multigraph semantics).
+pub fn er_graph(n: usize, m: usize, seed: u64) -> SimpleGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = SimpleGraph::directed();
+    let nodes: Vec<NodeId> = (0..n).map(|_| g.add_node()).collect();
+    for _ in 0..m {
+        let a = nodes[rng.gen_range(0..n)];
+        let b = nodes[rng.gen_range(0..n)];
+        g.add_labeled_edge(a, b, "e").expect("nodes exist");
+    }
+    g
+}
+
+/// Barabási–Albert preferential attachment: each new node attaches to
+/// `m_per_node` existing nodes with probability proportional to degree.
+pub fn ba_graph(n: usize, m_per_node: usize, seed: u64) -> SimpleGraph {
+    assert!(n > m_per_node && m_per_node >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = SimpleGraph::directed();
+    let nodes: Vec<NodeId> = (0..n).map(|_| g.add_node()).collect();
+    // Degree-weighted target pool: every edge endpoint appears once.
+    let mut pool: Vec<usize> = (0..=m_per_node).collect();
+    for i in 1..=m_per_node.min(n - 1) {
+        g.add_labeled_edge(nodes[i], nodes[i - 1], "e").expect("exists");
+    }
+    for i in (m_per_node + 1)..n {
+        for _ in 0..m_per_node {
+            let target = pool[rng.gen_range(0..pool.len())];
+            if target != i {
+                g.add_labeled_edge(nodes[i], nodes[target], "e").expect("exists");
+                pool.push(target);
+                pool.push(i);
+            }
+        }
+    }
+    g
+}
+
+/// Parameters for [`social_graph`].
+#[derive(Debug, Clone, Copy)]
+pub struct SocialParams {
+    /// Number of people.
+    pub people: usize,
+    /// Number of communities.
+    pub communities: usize,
+    /// Outgoing `knows` edges per person inside their community.
+    pub intra_edges: usize,
+    /// Outgoing `knows` edges per person to other communities.
+    pub inter_edges: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SocialParams {
+    fn default() -> Self {
+        Self {
+            people: 1000,
+            communities: 10,
+            intra_edges: 8,
+            inter_edges: 2,
+            seed: 42,
+        }
+    }
+}
+
+/// A community-structured attributed social network: `person` nodes
+/// with `name`, `age`, and `community` attributes; `knows` edges
+/// weighted by closeness.
+pub fn social_graph(params: SocialParams) -> PropertyGraph {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut g = PropertyGraph::new();
+    let per_community = params.people.div_ceil(params.communities.max(1));
+    let nodes: Vec<NodeId> = (0..params.people)
+        .map(|i| {
+            let community = i / per_community;
+            let mut props = PropertyMap::new();
+            props.set("name", format!("person{i}"));
+            props.set("age", rng.gen_range(18..80) as i64);
+            props.set("community", community as i64);
+            g.add_node("person", props)
+        })
+        .collect();
+    let community_of = |i: usize| i / per_community;
+    for (i, &node) in nodes.iter().enumerate() {
+        let c = community_of(i);
+        let lo = c * per_community;
+        let hi = ((c + 1) * per_community).min(params.people);
+        for _ in 0..params.intra_edges {
+            let j = rng.gen_range(lo..hi);
+            if j != i {
+                let mut props = PropertyMap::new();
+                props.set("weight", rng.gen_range(0.1..1.0));
+                g.add_edge(node, nodes[j], "knows", props).expect("exists");
+            }
+        }
+        for _ in 0..params.inter_edges {
+            let j = rng.gen_range(0..params.people);
+            if community_of(j) != c {
+                let mut props = PropertyMap::new();
+                props.set("weight", rng.gen_range(1.0..4.0));
+                g.add_edge(node, nodes[j], "knows", props).expect("exists");
+            }
+        }
+    }
+    g
+}
+
+/// Generational family triples: `gen{g}_p{i} parent gen{g+1}_p{j}`
+/// plus `age` literals — the reasoning / SPARQL workload.
+pub fn rdf_family_tree(generations: usize, per_generation: usize, seed: u64) -> RdfGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = RdfGraph::new();
+    let parent = Term::iri("parent");
+    let age = Term::iri("age");
+    for gen in 0..generations {
+        for i in 0..per_generation {
+            let person = Term::iri(format!("gen{gen}_p{i}"));
+            g.add(
+                &person,
+                &age,
+                &Term::lit((20 + (generations - gen) * 25 + i % 5).to_string()),
+            )
+            .expect("valid triple");
+            if gen + 1 < generations {
+                for _ in 0..2 {
+                    let child = Term::iri(format!("gen{}_p{}", gen + 1, rng.gen_range(0..per_generation)));
+                    g.add(&person, &parent, &child).expect("valid triple");
+                }
+            }
+        }
+    }
+    g
+}
+
+/// Loads a property graph into any engine through the facade,
+/// adapting to the engine's model (labels and attributes applied only
+/// where supported). Returns the engine node id for each source node,
+/// indexed positionally.
+pub fn load_into_engine(
+    engine: &mut dyn GraphEngine,
+    graph: &PropertyGraph,
+) -> Result<Vec<NodeId>> {
+    let mut source_nodes = Vec::new();
+    graph.visit_nodes(&mut |n| source_nodes.push(n));
+    let mut mapping = Vec::with_capacity(source_nodes.len());
+    for &n in &source_nodes {
+        let label = graph.node_label_text(n).expect("live node");
+        let props = graph.node_properties(n).expect("live node").clone();
+        let id = match engine.create_node(Some(label), props.clone()) {
+            Ok(id) => id,
+            Err(e) if e.is_unsupported() => {
+                // Try label without attributes, then fully plain.
+                match engine.create_node(Some(label), PropertyMap::new()) {
+                    Ok(id) => id,
+                    Err(e2) if e2.is_unsupported() => {
+                        engine.create_node(None, PropertyMap::new())?
+                    }
+                    Err(e2) => return Err(e2),
+                }
+            }
+            Err(e) => return Err(e),
+        };
+        mapping.push(id);
+    }
+    let index_of = |n: NodeId| {
+        source_nodes
+            .binary_search(&n)
+            .expect("edges reference live nodes")
+    };
+    for e in graph.edge_ids() {
+        let (from, to) = graph.edge_endpoints(e).expect("live edge");
+        let label = graph.edge_label_text(e).expect("live edge");
+        let props = graph.edge_properties(e).expect("live edge").clone();
+        let (f, t) = (mapping[index_of(from)], mapping[index_of(to)]);
+        match engine.create_edge(f, t, Some(label), props) {
+            Ok(_) => {}
+            Err(err) if err.is_unsupported() => {
+                match engine.create_edge(f, t, Some(label), PropertyMap::new()) {
+                    Ok(_) => {}
+                    Err(err2) if err2.is_unsupported() => {
+                        engine.create_edge(f, t, None, PropertyMap::new())?;
+                    }
+                    Err(err2) => return Err(err2),
+                }
+            }
+            Err(err) => return Err(err),
+        }
+    }
+    Ok(mapping)
+}
+
+/// Convenience: a `Value` view of an integer for assertions.
+pub fn int(v: i64) -> Value {
+    Value::Int(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdm_engines::{make_engine, EngineKind};
+
+    #[test]
+    fn er_graph_shape() {
+        let g = er_graph(100, 300, 7);
+        assert_eq!(g.node_count(), 100);
+        assert_eq!(g.edge_count(), 300);
+        // Determinism.
+        let g2 = er_graph(100, 300, 7);
+        assert_eq!(g2.out_degree(NodeId(0)), g.out_degree(NodeId(0)));
+    }
+
+    #[test]
+    fn ba_graph_has_heavy_tail() {
+        let g = ba_graph(500, 3, 11);
+        assert_eq!(g.node_count(), 500);
+        let mut degrees: Vec<usize> = (0..500).map(|i| g.degree(NodeId(i))).collect();
+        degrees.sort_unstable();
+        let max = *degrees.last().expect("non-empty");
+        let median = degrees[250];
+        assert!(
+            max > median * 4,
+            "preferential attachment should produce hubs: max {max}, median {median}"
+        );
+    }
+
+    #[test]
+    fn social_graph_attributes_and_communities() {
+        let g = social_graph(SocialParams {
+            people: 120,
+            communities: 4,
+            intra_edges: 5,
+            inter_edges: 1,
+            seed: 3,
+        });
+        assert_eq!(g.node_count(), 120);
+        assert!(g.edge_count() > 300);
+        let people = g.nodes_with_label("person");
+        assert_eq!(people.len(), 120);
+        let c0 = gdm_core::AttributedView::node_property(&g, people[0], "community").unwrap();
+        assert_eq!(c0, Value::Int(0));
+    }
+
+    #[test]
+    fn rdf_tree_generates_parents() {
+        let g = rdf_family_tree(3, 10, 5);
+        let parents = g.match_terms(None, Some(&Term::iri("parent")), None);
+        assert!(!parents.is_empty());
+        let ages = g.match_terms(None, Some(&Term::iri("age")), None);
+        assert_eq!(ages.len(), 30);
+    }
+
+    #[test]
+    fn loads_into_every_engine() {
+        let small = social_graph(SocialParams {
+            people: 30,
+            communities: 3,
+            intra_edges: 3,
+            inter_edges: 1,
+            seed: 9,
+        });
+        let base = std::env::temp_dir().join(format!("gdm-workload-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        for kind in EngineKind::all() {
+            let dir = base.join(kind.label().to_lowercase().replace('-', "_"));
+            std::fs::create_dir_all(&dir).unwrap();
+            let mut engine = make_engine(kind, &dir).unwrap();
+            let mapping = load_into_engine(engine.as_mut(), &small).unwrap();
+            assert_eq!(mapping.len(), 30, "{}", kind.label());
+            assert_eq!(engine.node_count(), 30, "{}", kind.label());
+            assert!(engine.edge_count() > 0, "{}", kind.label());
+        }
+        std::fs::remove_dir_all(&base).unwrap();
+    }
+}

@@ -1,0 +1,212 @@
+//! Support matrices and their renderers.
+
+use gdm_core::Support;
+
+/// A feature matrix in the paper's format: systems as rows, features
+/// as columns, `•`/`◦`/blank cells. Columns may be grouped (the paper
+/// groups Table VII's columns under "Adjacency" and "Reachability").
+
+#[derive(Debug, Clone)]
+pub struct SupportMatrix {
+    /// Table caption.
+    pub title: String,
+    /// Header of the row-label column (usually "Graph Database").
+    pub row_header: String,
+    /// Column captions, optionally `(group, name)`.
+    pub columns: Vec<(Option<String>, String)>,
+    /// Rows: label plus one support cell per column.
+    pub rows: Vec<(String, Vec<Support>)>,
+}
+
+impl SupportMatrix {
+    /// Starts an empty matrix.
+    pub fn new(title: impl Into<String>, row_header: impl Into<String>) -> Self {
+        Self {
+            title: title.into(),
+            row_header: row_header.into(),
+            columns: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds an ungrouped column.
+    pub fn column(&mut self, name: impl Into<String>) -> &mut Self {
+        self.columns.push((None, name.into()));
+        self
+    }
+
+    /// Adds a grouped column.
+    pub fn grouped_column(
+        &mut self,
+        group: impl Into<String>,
+        name: impl Into<String>,
+    ) -> &mut Self {
+        self.columns.push((Some(group.into()), name.into()));
+        self
+    }
+
+    /// Adds a row; the cell count must match the column count.
+    pub fn row(&mut self, label: impl Into<String>, cells: Vec<Support>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row width must match column count"
+        );
+        self.rows.push((label.into(), cells));
+        self
+    }
+
+    /// Looks a cell up by row and column name.
+    pub fn get(&self, row: &str, column: &str) -> Option<Support> {
+        let col = self.columns.iter().position(|(_, c)| c == column)?;
+        let (_, cells) = self.rows.iter().find(|(r, _)| r == row)?;
+        cells.get(col).copied()
+    }
+
+    /// Plain-text rendering in the paper's visual style.
+    pub fn render(&self) -> String {
+        let label_width = self
+            .rows
+            .iter()
+            .map(|(r, _)| r.len())
+            .chain([self.row_header.len()])
+            .max()
+            .unwrap_or(4);
+        let col_widths: Vec<usize> = self.columns.iter().map(|(_, c)| c.len().max(3)).collect();
+        let mut out = String::new();
+        out.push_str(&format!("{}\n", self.title));
+        out.push_str(&"=".repeat(self.title.len()));
+        out.push('\n');
+        // Group header line, when any column is grouped.
+        if self.columns.iter().any(|(g, _)| g.is_some()) {
+            out.push_str(&" ".repeat(label_width + 2));
+            let mut i = 0;
+            while i < self.columns.len() {
+                let group = self.columns[i].0.clone();
+                let mut span = col_widths[i] + 2;
+                let mut j = i + 1;
+                while j < self.columns.len() && self.columns[j].0 == group {
+                    span += col_widths[j] + 2;
+                    j += 1;
+                }
+                let name = group.unwrap_or_default();
+                out.push_str(&format!("{name:^span$}"));
+                i = j;
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!("{:<label_width$}  ", self.row_header));
+        for ((_, c), w) in self.columns.iter().zip(&col_widths) {
+            out.push_str(&format!("{c:^w$}  "));
+        }
+        out.push('\n');
+        out.push_str(&"-".repeat(label_width + 2 + col_widths.iter().map(|w| w + 2).sum::<usize>()));
+        out.push('\n');
+        for (label, cells) in &self.rows {
+            out.push_str(&format!("{label:<label_width$}  "));
+            for (cell, w) in cells.iter().zip(&col_widths) {
+                out.push_str(&format!("{:^w$}  ", cell.glyph()));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// GitHub-flavoured markdown rendering.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.title));
+        out.push_str(&format!("| {} |", self.row_header));
+        for (group, c) in &self.columns {
+            match group {
+                Some(g) => out.push_str(&format!(" {g}: {c} |")),
+                None => out.push_str(&format!(" {c} |")),
+            }
+        }
+        out.push('\n');
+        out.push_str("|---|");
+        for _ in &self.columns {
+            out.push_str(":---:|");
+        }
+        out.push('\n');
+        for (label, cells) in &self.rows {
+            out.push_str(&format!("| {label} |"));
+            for cell in cells {
+                out.push_str(&format!(" {} |", cell.glyph()));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// CSV rendering (ASCII glyphs).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.row_header.replace(',', ";"));
+        for (_, c) in &self.columns {
+            out.push(',');
+            out.push_str(&c.replace(',', ";"));
+        }
+        out.push('\n');
+        for (label, cells) in &self.rows {
+            out.push_str(&label.replace(',', ";"));
+            for cell in cells {
+                out.push(',');
+                out.push_str(cell.ascii());
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SupportMatrix {
+        let mut m = SupportMatrix::new("Table T. Sample", "Graph Database");
+        m.column("Feature A");
+        m.grouped_column("Group", "B1");
+        m.grouped_column("Group", "B2");
+        m.row("EngineX", vec![Support::Full, Support::Partial, Support::None]);
+        m.row("EngineY", vec![Support::None, Support::Full, Support::Full]);
+        m
+    }
+
+    #[test]
+    fn lookup() {
+        let m = sample();
+        assert_eq!(m.get("EngineX", "Feature A"), Some(Support::Full));
+        assert_eq!(m.get("EngineX", "B2"), Some(Support::None));
+        assert_eq!(m.get("Ghost", "B2"), None);
+        assert_eq!(m.get("EngineX", "Ghost"), None);
+    }
+
+    #[test]
+    fn render_contains_glyphs_and_groups() {
+        let text = sample().render();
+        assert!(text.contains("•"));
+        assert!(text.contains("◦"));
+        assert!(text.contains("Group"));
+        assert!(text.contains("EngineY"));
+    }
+
+    #[test]
+    fn markdown_and_csv() {
+        let m = sample();
+        let md = m.to_markdown();
+        assert!(md.starts_with("### Table T. Sample"));
+        assert!(md.contains("| EngineX |"));
+        let csv = m.to_csv();
+        assert!(csv.contains("EngineX,*,o,"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn width_mismatch_panics() {
+        let mut m = SupportMatrix::new("t", "r");
+        m.column("a");
+        m.row("x", vec![]);
+    }
+}

@@ -1,0 +1,170 @@
+//! Table VIII: essential-query support in *past* graph query
+//! languages.
+//!
+//! The paper's Table VIII summarizes "a previous study \[35\] about
+//! (past) graph query languages and their support for querying
+//! essential graph queries", concluding that those theoretical
+//! languages "provide a formal background for the definition of a
+//! standard query language". The table is bibliographic — the
+//! languages are 1987–2002 research proposals — so this module is a
+//! catalog, reconstructed from the survey literature on graph query
+//! languages (Angles & Gutiérrez's survey and Wood's companion
+//! overview); EXPERIMENTS.md records it as a reconstruction.
+
+use gdm_core::Support;
+use gdm_core::Support::{Full as F, None as N, Partial as P};
+
+/// One past language with its essential-query support row.
+#[derive(Debug, Clone)]
+pub struct PastLanguage {
+    /// Language name.
+    pub name: &'static str,
+    /// One-line provenance.
+    pub origin: &'static str,
+    /// Node/edge adjacency.
+    pub adjacency: Support,
+    /// Fixed-length paths.
+    pub fixed_length: Support,
+    /// Regular simple paths.
+    pub regular_simple_paths: Support,
+    /// Shortest path.
+    pub shortest_path: Support,
+    /// Distance between nodes.
+    pub distance: Support,
+    /// Pattern matching.
+    pub pattern_matching: Support,
+    /// Summarization.
+    pub summarization: Support,
+}
+
+/// The catalog, in rough chronological order.
+pub fn catalog() -> Vec<PastLanguage> {
+    vec![
+        PastLanguage {
+            name: "G",
+            origin: "Cruz, Mendelzon & Wood 1987 — graphical recursive queries",
+            adjacency: F,
+            fixed_length: F,
+            regular_simple_paths: F,
+            shortest_path: N,
+            distance: N,
+            pattern_matching: P,
+            summarization: N,
+        },
+        PastLanguage {
+            name: "G+",
+            origin: "Cruz, Mendelzon & Wood 1989 — G plus summarization operators",
+            adjacency: F,
+            fixed_length: F,
+            regular_simple_paths: F,
+            shortest_path: F,
+            distance: F,
+            pattern_matching: P,
+            summarization: P,
+        },
+        PastLanguage {
+            name: "GraphLog",
+            origin: "Consens & Mendelzon 1990 — Datalog-style graphical queries",
+            adjacency: F,
+            fixed_length: F,
+            regular_simple_paths: F,
+            shortest_path: F,
+            distance: F,
+            pattern_matching: F,
+            summarization: P,
+        },
+        PastLanguage {
+            name: "Gram",
+            origin: "Amann & Scholl 1992 — regular expressions over walks",
+            adjacency: F,
+            fixed_length: F,
+            regular_simple_paths: F,
+            shortest_path: N,
+            distance: N,
+            pattern_matching: P,
+            summarization: N,
+        },
+        PastLanguage {
+            name: "GraphDB",
+            origin: "Güting 1994 — object-oriented graph classes and path ops",
+            adjacency: F,
+            fixed_length: F,
+            regular_simple_paths: P,
+            shortest_path: F,
+            distance: F,
+            pattern_matching: P,
+            summarization: P,
+        },
+        PastLanguage {
+            name: "Lorel",
+            origin: "Abiteboul et al. 1997 — semistructured path queries",
+            adjacency: F,
+            fixed_length: F,
+            regular_simple_paths: F,
+            shortest_path: N,
+            distance: N,
+            pattern_matching: P,
+            summarization: F,
+        },
+        PastLanguage {
+            name: "F-G (Hypernode QL)",
+            origin: "Levene & Poulovassilis 1990/1995 — nested hypernode queries",
+            adjacency: F,
+            fixed_length: P,
+            regular_simple_paths: N,
+            shortest_path: N,
+            distance: N,
+            pattern_matching: F,
+            summarization: N,
+        },
+        PastLanguage {
+            name: "UnQL",
+            origin: "Buneman et al. 2000 — structural recursion over trees/graphs",
+            adjacency: F,
+            fixed_length: F,
+            regular_simple_paths: F,
+            shortest_path: N,
+            distance: N,
+            pattern_matching: F,
+            summarization: F,
+        },
+        PastLanguage {
+            name: "GOQL",
+            origin: "Sheng, Ozsoyoglu 1999 — OQL extension with paths",
+            adjacency: F,
+            fixed_length: F,
+            regular_simple_paths: P,
+            shortest_path: N,
+            distance: N,
+            pattern_matching: P,
+            summarization: F,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_non_trivial() {
+        let langs = catalog();
+        assert!(langs.len() >= 8);
+        // The paper's positive conclusion: every essential query is
+        // covered by at least one past language.
+        assert!(langs.iter().any(|l| l.adjacency == F));
+        assert!(langs.iter().any(|l| l.regular_simple_paths == F));
+        assert!(langs.iter().any(|l| l.shortest_path == F));
+        assert!(langs.iter().any(|l| l.pattern_matching == F));
+        assert!(langs.iter().any(|l| l.summarization == F));
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let langs = catalog();
+        let mut names: Vec<&str> = langs.iter().map(|l| l.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), langs.len());
+    }
+}

@@ -1,0 +1,151 @@
+//! The shared error type.
+//!
+//! The variant that matters most to the reproduction is
+//! [`GdmError::Unsupported`]: engine emulations return it for every
+//! operation the real 2012-era product did not provide, and the
+//! comparison harness in `gdm-compare` turns those refusals into the
+//! blank cells of the paper's tables. Features the paper marks `◦`
+//! (partial support) succeed but are flagged through
+//! [`Support::Partial`](crate::Support) in the engine descriptor.
+
+use std::fmt;
+use std::io;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, GdmError>;
+
+/// Errors produced anywhere in the library.
+#[derive(Debug)]
+pub enum GdmError {
+    /// The engine does not implement this feature — the probe signal for
+    /// the comparison tables.
+    Unsupported {
+        /// Name of the engine refusing the operation.
+        engine: &'static str,
+        /// Human-readable feature description, e.g. `"query language"`.
+        feature: String,
+    },
+    /// A query text failed to parse.
+    Parse {
+        /// Which dialect's parser rejected the text.
+        dialect: &'static str,
+        /// What went wrong.
+        message: String,
+        /// Byte offset in the source text where the error was detected.
+        position: usize,
+    },
+    /// A schema definition was malformed or inconsistent.
+    Schema(String),
+    /// An integrity constraint rejected an update (Table VI machinery).
+    Constraint(String),
+    /// A storage substrate failed (page corruption, full page, ...).
+    Storage(String),
+    /// An underlying I/O failure.
+    Io(io::Error),
+    /// A referenced entity does not exist.
+    NotFound(String),
+    /// A caller-supplied argument was invalid.
+    InvalidArgument(String),
+    /// A value had the wrong type for the requested operation.
+    Type {
+        /// What the operation required.
+        expected: &'static str,
+        /// What it was given.
+        got: String,
+    },
+    /// A bounded search (e.g. regular *simple* path enumeration, which
+    /// is NP-complete in general) exhausted its budget.
+    BudgetExhausted(String),
+}
+
+impl GdmError {
+    /// Convenience constructor for [`GdmError::Unsupported`].
+    pub fn unsupported(engine: &'static str, feature: impl Into<String>) -> Self {
+        GdmError::Unsupported {
+            engine,
+            feature: feature.into(),
+        }
+    }
+
+    /// True when the error means "this engine lacks the feature", which
+    /// the table-probing harness maps to an empty cell.
+    pub fn is_unsupported(&self) -> bool {
+        matches!(self, GdmError::Unsupported { .. })
+    }
+}
+
+impl fmt::Display for GdmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GdmError::Unsupported { engine, feature } => {
+                write!(f, "{engine} does not support {feature}")
+            }
+            GdmError::Parse {
+                dialect,
+                message,
+                position,
+            } => write!(f, "{dialect} parse error at byte {position}: {message}"),
+            GdmError::Schema(m) => write!(f, "schema error: {m}"),
+            GdmError::Constraint(m) => write!(f, "integrity constraint violated: {m}"),
+            GdmError::Storage(m) => write!(f, "storage error: {m}"),
+            GdmError::Io(e) => write!(f, "I/O error: {e}"),
+            GdmError::NotFound(m) => write!(f, "not found: {m}"),
+            GdmError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            GdmError::Type { expected, got } => {
+                write!(f, "type error: expected {expected}, got {got}")
+            }
+            GdmError::BudgetExhausted(m) => write!(f, "search budget exhausted: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GdmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GdmError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for GdmError {
+    fn from(e: io::Error) -> Self {
+        GdmError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsupported_is_detectable() {
+        let e = GdmError::unsupported("neo4j", "nested graphs");
+        assert!(e.is_unsupported());
+        assert_eq!(e.to_string(), "neo4j does not support nested graphs");
+    }
+
+    #[test]
+    fn other_errors_are_not_unsupported() {
+        assert!(!GdmError::Schema("x".into()).is_unsupported());
+        assert!(!GdmError::NotFound("n1".into()).is_unsupported());
+    }
+
+    #[test]
+    fn io_errors_convert_and_chain() {
+        let e: GdmError = io::Error::other("disk on fire").into();
+        assert!(e.to_string().contains("disk on fire"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn parse_error_reports_position() {
+        let e = GdmError::Parse {
+            dialect: "cypher",
+            message: "unexpected token".into(),
+            position: 12,
+        };
+        let s = e.to_string();
+        assert!(s.contains("cypher") && s.contains("12"));
+    }
+}

@@ -1,0 +1,133 @@
+//! String interning for labels, type names, and property keys.
+//!
+//! Every graph structure carries an [`Interner`]; labels travel through
+//! the system as 4-byte [`Symbol`]s and are resolved back to text only
+//! at the edges (query results, table rendering). This keeps `EdgeRef`
+//! small and label comparison O(1), which matters because the essential
+//! reachability queries compare edge labels in their inner loop.
+
+use crate::fxhash::FxHashMap;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An interned string. Only meaningful together with the [`Interner`]
+/// that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// Raw index form.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym#{}", self.0)
+    }
+}
+
+/// A bidirectional string ↔ [`Symbol`] table.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    strings: Vec<Box<str>>,
+    lookup: FxHashMap<Box<str>, u32>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `text`, returning its symbol. Repeated calls with equal
+    /// text return equal symbols.
+    pub fn intern(&mut self, text: &str) -> Symbol {
+        if let Some(&id) = self.lookup.get(text) {
+            return Symbol(id);
+        }
+        let id = u32::try_from(self.strings.len()).expect("interner overflow");
+        let boxed: Box<str> = text.into();
+        self.strings.push(boxed.clone());
+        self.lookup.insert(boxed, id);
+        Symbol(id)
+    }
+
+    /// Looks a string up without interning it.
+    pub fn get(&self, text: &str) -> Option<Symbol> {
+        self.lookup.get(text).copied().map(Symbol)
+    }
+
+    /// Resolves a symbol back to its text. Returns `None` for symbols
+    /// from a different interner (index out of range).
+    pub fn resolve(&self, sym: Symbol) -> Option<&str> {
+        self.strings.get(sym.0 as usize).map(AsRef::as_ref)
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True when nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterates `(Symbol, &str)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Symbol(i as u32), s.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("KNOWS");
+        let b = i.intern("KNOWS");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let mut i = Interner::new();
+        let a = i.intern("KNOWS");
+        let b = i.intern("LIKES");
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(a), Some("KNOWS"));
+        assert_eq!(i.resolve(b), Some("LIKES"));
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = Interner::new();
+        assert_eq!(i.get("X"), None);
+        let s = i.intern("X");
+        assert_eq!(i.get("X"), Some(s));
+    }
+
+    #[test]
+    fn resolve_out_of_range_is_none() {
+        let i = Interner::new();
+        assert_eq!(i.resolve(Symbol(99)), None);
+    }
+
+    #[test]
+    fn iter_preserves_order() {
+        let mut i = Interner::new();
+        i.intern("a");
+        i.intern("b");
+        let all: Vec<_> = i.iter().map(|(_, s)| s.to_owned()).collect();
+        assert_eq!(all, vec!["a", "b"]);
+    }
+}

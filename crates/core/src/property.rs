@@ -1,0 +1,158 @@
+//! Property maps: the `attributes` of the paper's attributed graphs.
+//!
+//! A [`PropertyMap`] is a small, deterministic (sorted-key) map from
+//! property name to [`Value`]. Determinism matters: table rendering and
+//! query result ordering must be stable across runs for the
+//! reproduction harness to be diffable.
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::btree_map::{self, BTreeMap};
+use std::fmt;
+
+/// A sorted map from property name to value.
+#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PropertyMap {
+    entries: BTreeMap<String, Value>,
+}
+
+impl PropertyMap {
+    /// Creates an empty property map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets `key` to `value`, returning the previous value if any.
+    pub fn set(&mut self, key: impl Into<String>, value: impl Into<Value>) -> Option<Value> {
+        self.entries.insert(key.into(), value.into())
+    }
+
+    /// Gets the value stored under `key`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.get(key)
+    }
+
+    /// Removes `key`, returning its value if present.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        self.entries.remove(key)
+    }
+
+    /// True when `key` is present.
+    pub fn contains(&self, key: &str) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Number of properties.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when there are no properties.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `(name, value)` pairs in sorted name order.
+    pub fn iter(&self) -> btree_map::Iter<'_, String, Value> {
+        self.entries.iter()
+    }
+
+    /// Iterates property names in sorted order.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(String::as_str)
+    }
+
+    /// Builder-style insertion, for literals in tests and examples.
+    #[must_use]
+    pub fn with(mut self, key: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.set(key, value);
+        self
+    }
+}
+
+impl fmt::Display for PropertyMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (k, v)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}: {v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<(String, Value)> for PropertyMap {
+    fn from_iter<T: IntoIterator<Item = (String, Value)>>(iter: T) -> Self {
+        Self {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a PropertyMap {
+    type Item = (&'a String, &'a Value);
+    type IntoIter = btree_map::Iter<'a, String, Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
+/// Builds a [`PropertyMap`] from `key => value` pairs.
+///
+/// ```
+/// use gdm_core::{props, Value};
+/// let p = props! { "name" => "alice", "age" => 30 };
+/// assert_eq!(p.get("age"), Some(&Value::Int(30)));
+/// ```
+#[macro_export]
+macro_rules! props {
+    () => { $crate::PropertyMap::new() };
+    ($($key:expr => $value:expr),+ $(,)?) => {{
+        let mut map = $crate::PropertyMap::new();
+        $(map.set($key, $value);)+
+        map
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_remove() {
+        let mut p = PropertyMap::new();
+        assert!(p.set("a", 1).is_none());
+        assert_eq!(p.set("a", 2), Some(Value::Int(1)));
+        assert_eq!(p.get("a"), Some(&Value::Int(2)));
+        assert_eq!(p.remove("a"), Some(Value::Int(2)));
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let p = props! { "z" => 1, "a" => 2, "m" => 3 };
+        let keys: Vec<_> = p.keys().collect();
+        assert_eq!(keys, vec!["a", "m", "z"]);
+    }
+
+    #[test]
+    fn display_format() {
+        let p = props! { "name" => "bob", "age" => 4 };
+        assert_eq!(p.to_string(), "{age: 4, name: bob}");
+    }
+
+    #[test]
+    fn builder_style() {
+        let p = PropertyMap::new().with("x", 1).with("y", "two");
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.get("y"), Some(&Value::Str("two".into())));
+    }
+
+    #[test]
+    fn empty_macro() {
+        let p = props! {};
+        assert!(p.is_empty());
+    }
+}

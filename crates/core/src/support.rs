@@ -1,0 +1,106 @@
+//! The cell values of the paper's comparison tables.
+//!
+//! The paper renders full support as `•`, partial support as `◦`, and
+//! no support as an empty cell (Table V caption: "• indicates support,
+//! and ◦ partial support").
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Support level of one feature in one system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Support {
+    /// Empty cell: the feature is absent.
+    None,
+    /// `◦`: the feature exists in a restricted or immature form.
+    Partial,
+    /// `•`: the feature is supported.
+    Full,
+}
+
+impl Support {
+    /// The paper's glyph for this support level.
+    pub fn glyph(self) -> &'static str {
+        match self {
+            Support::Full => "•",
+            Support::Partial => "◦",
+            Support::None => "",
+        }
+    }
+
+    /// An ASCII-safe glyph for environments without Unicode.
+    pub fn ascii(self) -> &'static str {
+        match self {
+            Support::Full => "*",
+            Support::Partial => "o",
+            Support::None => "",
+        }
+    }
+
+    /// True for [`Support::Full`] or [`Support::Partial`].
+    pub fn is_supported(self) -> bool {
+        self != Support::None
+    }
+
+    /// Collapses a probe outcome to a support level: `Ok` ⇒ full,
+    /// unsupported-error ⇒ none. Other errors are surfaced because a
+    /// crash is a bug in the harness, not a missing feature.
+    pub fn from_probe<T>(result: &crate::error::Result<T>) -> Self {
+        match result {
+            Ok(_) => Support::Full,
+            Err(e) if e.is_unsupported() => Support::None,
+            Err(e) => panic!("probe failed with a non-capability error: {e}"),
+        }
+    }
+}
+
+impl fmt::Display for Support {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.glyph())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::GdmError;
+
+    #[test]
+    fn glyphs_match_the_paper() {
+        assert_eq!(Support::Full.glyph(), "•");
+        assert_eq!(Support::Partial.glyph(), "◦");
+        assert_eq!(Support::None.glyph(), "");
+    }
+
+    #[test]
+    fn supported_predicate() {
+        assert!(Support::Full.is_supported());
+        assert!(Support::Partial.is_supported());
+        assert!(!Support::None.is_supported());
+    }
+
+    #[test]
+    fn probe_ok_is_full() {
+        let r: crate::error::Result<u32> = Ok(1);
+        assert_eq!(Support::from_probe(&r), Support::Full);
+    }
+
+    #[test]
+    fn probe_unsupported_is_none() {
+        let r: crate::error::Result<u32> = Err(GdmError::unsupported("x", "y"));
+        assert_eq!(Support::from_probe(&r), Support::None);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-capability error")]
+    fn probe_real_error_panics() {
+        let r: crate::error::Result<u32> = Err(GdmError::Storage("corrupt".into()));
+        let _ = Support::from_probe(&r);
+    }
+
+    #[test]
+    fn ordering_none_lt_partial_lt_full() {
+        assert!(Support::None < Support::Partial);
+        assert!(Support::Partial < Support::Full);
+    }
+}

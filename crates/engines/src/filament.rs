@@ -1,0 +1,237 @@
+//! Filament emulation.
+//!
+//! The paper: "Filament is a project for a graph storage library with
+//! default support for SQL through JDB", classed as a *graph store*.
+//! Table I credits it with main-memory and backend storage (no
+//! external-memory persistence surface of its own); Tables II and V
+//! record an API and retrieval only. The emulation is a [`KvGraph`]
+//! over the in-memory KV backend, with essential-query support
+//! reconstructed as adjacency, k-neighborhood, and summarization.
+
+use crate::facade::{AnalysisFunc, EngineDescriptor, GraphEngine, SummaryFunc};
+use crate::kvgraph::KvGraph;
+use crate::vertexdb::summarize_simple;
+use gdm_algo::adjacency::{k_neighborhood, nodes_adjacent};
+use gdm_algo::regular::{regular_path_exists, LabelRegex};
+use gdm_core::{
+    Direction, EdgeId, GdmError, GraphView, NodeId, PropertyMap, Result, Support, Value,
+};
+use gdm_query::eval::ResultSet;
+use gdm_storage::MemKv;
+use std::path::Path;
+
+const NAME: &str = "Filament";
+
+/// The Filament emulation.
+pub struct FilamentEngine {
+    graph: KvGraph,
+}
+
+impl FilamentEngine {
+    /// Creates the store. `dir` is accepted for interface uniformity;
+    /// Filament's profile has no external-memory persistence, so
+    /// nothing is written there.
+    pub fn open(_dir: &Path) -> Result<Self> {
+        Ok(Self {
+            graph: KvGraph::new(Box::new(MemKv::new()))?,
+        })
+    }
+
+    fn unsupported<T>(&self, feature: &str) -> Result<T> {
+        Err(GdmError::unsupported(NAME, feature.to_owned()))
+    }
+}
+
+impl GraphEngine for FilamentEngine {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn descriptor(&self) -> EngineDescriptor {
+        EngineDescriptor {
+            name: NAME,
+            gui: Support::None,
+            graphical_ql: Support::None,
+            query_language_grade: Support::None,
+            backend_storage: Support::Full,
+            blurb: "a graph storage library with default support for SQL through JDB",
+        }
+    }
+
+    fn create_node(&mut self, label: Option<&str>, props: PropertyMap) -> Result<NodeId> {
+        if label.is_some() {
+            return self.unsupported("node labels (simple graph model)");
+        }
+        if !props.is_empty() {
+            return self.unsupported("node attributes (simple graph model)");
+        }
+        self.graph.add_node(None, &props)
+    }
+
+    fn create_edge(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        label: Option<&str>,
+        props: PropertyMap,
+    ) -> Result<EdgeId> {
+        if !props.is_empty() {
+            return self.unsupported("edge attributes (simple graph model)");
+        }
+        self.graph.add_edge(from, to, label, &props)
+    }
+
+    fn create_hyperedge(
+        &mut self,
+        _label: &str,
+        _targets: &[NodeId],
+        _props: PropertyMap,
+    ) -> Result<EdgeId> {
+        self.unsupported("hyperedges")
+    }
+
+    fn create_edge_on_edge(&mut self, _from: EdgeId, _to: NodeId, _label: &str) -> Result<EdgeId> {
+        self.unsupported("edges between edges")
+    }
+
+    fn nest_subgraph(&mut self, _node: NodeId) -> Result<()> {
+        self.unsupported("nested graphs")
+    }
+
+    fn set_node_attribute(&mut self, _n: NodeId, _key: &str, _value: Value) -> Result<()> {
+        self.unsupported("node attributes")
+    }
+
+    fn set_edge_attribute(&mut self, _e: EdgeId, _key: &str, _value: Value) -> Result<()> {
+        self.unsupported("edge attributes")
+    }
+
+    fn node_attribute(&self, _n: NodeId, _key: &str) -> Result<Option<Value>> {
+        self.unsupported("node attributes")
+    }
+
+    fn delete_node(&mut self, n: NodeId) -> Result<()> {
+        self.graph.delete_node(n)
+    }
+
+    fn delete_edge(&mut self, e: EdgeId) -> Result<()> {
+        self.graph.delete_edge(e)
+    }
+
+    fn node_count(&self) -> usize {
+        GraphView::node_count(&self.graph)
+    }
+
+    fn edge_count(&self) -> usize {
+        GraphView::edge_count(&self.graph)
+    }
+
+    fn define_node_type(&mut self, _def: gdm_schema::NodeTypeDef) -> Result<()> {
+        self.unsupported("schema definitions")
+    }
+
+    fn define_edge_type(&mut self, _def: gdm_schema::EdgeTypeDef) -> Result<()> {
+        self.unsupported("schema definitions")
+    }
+
+    fn install_constraint(&mut self, _c: gdm_schema::Constraint) -> Result<()> {
+        self.unsupported("integrity constraints")
+    }
+
+    fn execute_ddl(&mut self, _statement: &str) -> Result<()> {
+        self.unsupported("a data definition language")
+    }
+
+    fn execute_dml(&mut self, _statement: &str) -> Result<()> {
+        self.unsupported("a data manipulation language")
+    }
+
+    fn execute_query(&mut self, _query: &str) -> Result<ResultSet> {
+        self.unsupported("a query language")
+    }
+
+    fn reason(&mut self, _rules: &str, _goal: &str) -> Result<Vec<Vec<String>>> {
+        self.unsupported("reasoning")
+    }
+
+    fn analyze(&self, _func: AnalysisFunc) -> Result<Value> {
+        self.unsupported("analysis functions")
+    }
+
+    fn adjacent(&self, a: NodeId, b: NodeId) -> Result<bool> {
+        Ok(nodes_adjacent(&self.graph, a, b))
+    }
+
+    fn k_neighborhood(&self, n: NodeId, k: usize) -> Result<Vec<NodeId>> {
+        Ok(k_neighborhood(&self.graph, n, k, Direction::Outgoing))
+    }
+
+    fn fixed_length_paths(&self, _a: NodeId, _b: NodeId, _len: usize) -> Result<usize> {
+        self.unsupported("fixed-length path queries")
+    }
+
+    fn regular_path(&self, a: NodeId, b: NodeId, expr: &str) -> Result<bool> {
+        let regex = LabelRegex::compile(expr)?;
+        Ok(regular_path_exists(&self.graph, a, b, &regex))
+    }
+
+    fn shortest_path(&self, _a: NodeId, _b: NodeId) -> Result<Option<Vec<NodeId>>> {
+        self.unsupported("shortest path queries")
+    }
+
+    fn pattern_match(&self, _pattern: &gdm_algo::pattern::Pattern) -> Result<usize> {
+        self.unsupported("pattern matching queries")
+    }
+
+    fn summarize(&self, func: SummaryFunc) -> Result<Value> {
+        summarize_simple(&self.graph, func, NAME)
+    }
+
+    fn persist(&mut self) -> Result<()> {
+        self.unsupported("external-memory persistence")
+    }
+
+    fn create_index(&mut self, _property: &str) -> Result<()> {
+        self.unsupported("secondary indexes")
+    }
+
+    fn lookup_by_property(&self, _key: &str, _value: &Value) -> Result<Vec<NodeId>> {
+        self.unsupported("property lookups (no attributes)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn supports_the_filament_profile() {
+        let dir = std::env::temp_dir();
+        let mut e = FilamentEngine::open(&dir).unwrap();
+        let a = e.create_node(None, PropertyMap::new()).unwrap();
+        let b = e.create_node(None, PropertyMap::new()).unwrap();
+        let c = e.create_node(None, PropertyMap::new()).unwrap();
+        e.create_edge(a, b, Some("r"), PropertyMap::new()).unwrap();
+        e.create_edge(b, c, Some("r"), PropertyMap::new()).unwrap();
+        assert!(e.adjacent(a, b).unwrap());
+        assert_eq!(e.k_neighborhood(a, 2).unwrap().len(), 2);
+        assert_eq!(e.summarize(SummaryFunc::Order).unwrap(), Value::Int(3));
+        // Profile refusals.
+        assert!(e.persist().unwrap_err().is_unsupported());
+        assert!(e.shortest_path(a, c).unwrap_err().is_unsupported());
+        assert!(e.fixed_length_paths(a, c, 2).unwrap_err().is_unsupported());
+        assert!(e.execute_ddl("CREATE").unwrap_err().is_unsupported());
+    }
+
+    #[test]
+    fn deletion() {
+        let mut e = FilamentEngine::open(&std::env::temp_dir()).unwrap();
+        let a = e.create_node(None, PropertyMap::new()).unwrap();
+        let b = e.create_node(None, PropertyMap::new()).unwrap();
+        let edge = e.create_edge(a, b, None, PropertyMap::new()).unwrap();
+        e.delete_edge(edge).unwrap();
+        assert_eq!(e.edge_count(), 0);
+        e.delete_node(a).unwrap();
+        assert_eq!(e.node_count(), 1);
+    }
+}

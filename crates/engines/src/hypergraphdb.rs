@@ -1,0 +1,524 @@
+//! HyperGraphDB emulation.
+//!
+//! The paper: "HyperGraphDB is a database that implements the
+//! hypergraph data model where the notion of edge is extended to
+//! connect more than two nodes ... particularly useful for modeling
+//! data of areas like knowledge representation, artificial
+//! intelligence and bio-informatics." Profile: hypergraph structure
+//! with links-on-links (Table III), main + external + backend storage
+//! with indexes (Table I), API only (Tables II and V), and type
+//! checking + node/edge identity constraints (Table VI).
+
+use crate::facade::{AnalysisFunc, EngineDescriptor, GraphEngine, SummaryFunc};
+use gdm_algo::summary;
+use gdm_core::{
+    Direction, EdgeId, FxHashMap, GdmError, GraphView, NodeId, PropertyMap, Result, Support,
+    Value,
+};
+use gdm_graphs::hyper::{AtomId, HyperGraph};
+use gdm_query::eval::ResultSet;
+use gdm_schema::{Constraint, NodeTypeDef, Schema};
+use gdm_storage::{HashIndex, ValueIndex};
+use std::path::{Path, PathBuf};
+
+const NAME: &str = "HyperGraphDB";
+
+/// The HyperGraphDB emulation.
+pub struct HyperGraphDbEngine {
+    atoms: HyperGraph,
+    schema: Schema,
+    /// Installed identity constraints: type → identifying property.
+    identities: Vec<(String, String)>,
+    /// Whether type checking is enforced.
+    type_checking: bool,
+    indexes: FxHashMap<String, HashIndex>,
+    snapshot_path: PathBuf,
+    tx_snapshot: Option<HyperGraph>,
+}
+
+impl HyperGraphDbEngine {
+    /// Opens (or creates) the store under `dir`.
+    pub fn open(dir: &Path) -> Result<Self> {
+        let snapshot_path = dir.join("hypergraphdb.atoms");
+        let atoms = if snapshot_path.exists() {
+            HyperGraph::from_snapshot(&std::fs::read(&snapshot_path)?)?
+        } else {
+            HyperGraph::new()
+        };
+        Ok(Self {
+            atoms,
+            schema: Schema::new(),
+            identities: Vec::new(),
+            type_checking: false,
+            indexes: FxHashMap::default(),
+            snapshot_path,
+            tx_snapshot: None,
+        })
+    }
+
+    /// The underlying atom space (for the bioinformatics example).
+    pub fn atoms(&self) -> &HyperGraph {
+        &self.atoms
+    }
+
+    fn unsupported<T>(&self, feature: &str) -> Result<T> {
+        Err(GdmError::unsupported(NAME, feature.to_owned()))
+    }
+
+    fn check_new_atom(&self, label: &str, props: &PropertyMap) -> Result<()> {
+        if self.type_checking && !self.schema.node_types().is_empty() {
+            let Some(def) = self.schema.node_type(label) else {
+                return Err(GdmError::Constraint(format!(
+                    "atom type {label:?} is not declared"
+                )));
+            };
+            for pt in &def.properties {
+                match props.get(&pt.name) {
+                    None if pt.required => {
+                        return Err(GdmError::Constraint(format!(
+                            "missing required property {:?} on {label}",
+                            pt.name
+                        )))
+                    }
+                    Some(v) if !pt.value_type.admits(v) => {
+                        return Err(GdmError::Constraint(format!(
+                            "property {:?} on {label} has type {}",
+                            pt.name,
+                            v.type_name()
+                        )))
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for (type_name, key) in &self.identities {
+            if type_name == label {
+                let Some(value) = props.get(key) else {
+                    return Err(GdmError::Constraint(format!(
+                        "atom of type {label} lacks identity property {key:?}"
+                    )));
+                };
+                // Uniqueness scan over existing atoms of this type.
+                for id in self.atoms.node_ids().into_iter().chain(self.atoms.link_ids()) {
+                    if self.atoms.label(id).ok() == Some(label)
+                        && self.atoms.property(id, key) == Some(value)
+                    {
+                        return Err(GdmError::Constraint(format!(
+                            "identity {key} = {value} already taken by {id}"
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn index_atom(&mut self, id: AtomId, props: &PropertyMap) {
+        for (key, index) in self.indexes.iter_mut() {
+            if let Some(v) = props.get(key) {
+                index.insert(v, id.raw());
+            }
+        }
+    }
+}
+
+impl GraphEngine for HyperGraphDbEngine {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn descriptor(&self) -> EngineDescriptor {
+        EngineDescriptor {
+            name: NAME,
+            gui: Support::None,
+            graphical_ql: Support::None,
+            query_language_grade: Support::None,
+            backend_storage: Support::Full,
+            blurb: "implements the hypergraph data model; links may connect any atoms",
+        }
+    }
+
+    fn create_node(&mut self, label: Option<&str>, props: PropertyMap) -> Result<NodeId> {
+        let label = label.unwrap_or("atom");
+        self.check_new_atom(label, &props)?;
+        let id = self.atoms.add_node(label, props.clone());
+        self.index_atom(id, &props);
+        Ok(NodeId(id.raw()))
+    }
+
+    fn create_edge(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        label: Option<&str>,
+        props: PropertyMap,
+    ) -> Result<EdgeId> {
+        let label = label.unwrap_or("link");
+        self.check_new_atom(label, &props)?;
+        let id = self
+            .atoms
+            .add_link(label, &[AtomId(from.raw()), AtomId(to.raw())], props.clone())?;
+        self.index_atom(id, &props);
+        Ok(EdgeId(id.raw()))
+    }
+
+    fn create_hyperedge(
+        &mut self,
+        label: &str,
+        targets: &[NodeId],
+        props: PropertyMap,
+    ) -> Result<EdgeId> {
+        self.check_new_atom(label, &props)?;
+        let atoms: Vec<AtomId> = targets.iter().map(|n| AtomId(n.raw())).collect();
+        let id = self.atoms.add_link(label, &atoms, props.clone())?;
+        self.index_atom(id, &props);
+        Ok(EdgeId(id.raw()))
+    }
+
+    fn create_edge_on_edge(&mut self, from: EdgeId, to: NodeId, label: &str) -> Result<EdgeId> {
+        let id = self.atoms.add_link(
+            label,
+            &[AtomId(from.raw()), AtomId(to.raw())],
+            PropertyMap::new(),
+        )?;
+        Ok(EdgeId(id.raw()))
+    }
+
+    fn nest_subgraph(&mut self, _node: NodeId) -> Result<()> {
+        self.unsupported("nested graphs")
+    }
+
+    fn set_node_attribute(&mut self, n: NodeId, key: &str, value: Value) -> Result<()> {
+        self.atoms.set_property(AtomId(n.raw()), key, value.clone())?;
+        if let Some(index) = self.indexes.get_mut(key) {
+            index.insert(&value, n.raw());
+        }
+        Ok(())
+    }
+
+    fn set_edge_attribute(&mut self, e: EdgeId, key: &str, value: Value) -> Result<()> {
+        self.atoms.set_property(AtomId(e.raw()), key, value)
+    }
+
+    fn node_attribute(&self, n: NodeId, key: &str) -> Result<Option<Value>> {
+        if !self.atoms.contains(AtomId(n.raw())) {
+            return Err(GdmError::NotFound(format!("atom {n}")));
+        }
+        Ok(self.atoms.property(AtomId(n.raw()), key).cloned())
+    }
+
+    fn delete_node(&mut self, n: NodeId) -> Result<()> {
+        self.atoms.remove_atom(AtomId(n.raw()), true)
+    }
+
+    fn delete_edge(&mut self, e: EdgeId) -> Result<()> {
+        self.atoms.remove_atom(AtomId(e.raw()), true)
+    }
+
+    fn node_count(&self) -> usize {
+        self.atoms.node_count()
+    }
+
+    fn edge_count(&self) -> usize {
+        self.atoms.link_count()
+    }
+
+    fn define_node_type(&mut self, def: NodeTypeDef) -> Result<()> {
+        self.schema.add_node_type(def)
+    }
+
+    fn define_edge_type(&mut self, def: gdm_schema::EdgeTypeDef) -> Result<()> {
+        // HyperGraphDB types atoms uniformly; reuse node-type storage.
+        self.schema.add_edge_type(def)
+    }
+
+    fn install_constraint(&mut self, constraint: Constraint) -> Result<()> {
+        match constraint {
+            Constraint::TypeChecking(schema) => {
+                self.schema = schema;
+                self.type_checking = true;
+                Ok(())
+            }
+            Constraint::Identity {
+                type_name,
+                property,
+            } => {
+                self.identities.push((type_name, property));
+                Ok(())
+            }
+            _ => self.unsupported("this constraint kind (types and identity only)"),
+        }
+    }
+
+    fn execute_ddl(&mut self, _statement: &str) -> Result<()> {
+        self.unsupported("a data definition language")
+    }
+
+    fn execute_dml(&mut self, _statement: &str) -> Result<()> {
+        self.unsupported("a data manipulation language")
+    }
+
+    fn execute_query(&mut self, _query: &str) -> Result<ResultSet> {
+        self.unsupported("a query language")
+    }
+
+    fn reason(&mut self, _rules: &str, _goal: &str) -> Result<Vec<Vec<String>>> {
+        self.unsupported("reasoning")
+    }
+
+    fn analyze(&self, _func: AnalysisFunc) -> Result<Value> {
+        self.unsupported("analysis functions")
+    }
+
+    fn adjacent(&self, a: NodeId, b: NodeId) -> Result<bool> {
+        Ok(self
+            .atoms
+            .neighbors(AtomId(a.raw()))?
+            .contains(&AtomId(b.raw())))
+    }
+
+    fn k_neighborhood(&self, _n: NodeId, _k: usize) -> Result<Vec<NodeId>> {
+        self.unsupported("k-neighborhood queries")
+    }
+
+    fn fixed_length_paths(&self, _a: NodeId, _b: NodeId, _len: usize) -> Result<usize> {
+        self.unsupported("fixed-length path queries")
+    }
+
+    fn regular_path(&self, _a: NodeId, _b: NodeId, _expr: &str) -> Result<bool> {
+        self.unsupported("regular path queries")
+    }
+
+    fn shortest_path(&self, _a: NodeId, _b: NodeId) -> Result<Option<Vec<NodeId>>> {
+        self.unsupported("shortest path queries")
+    }
+
+    fn pattern_match(&self, _pattern: &gdm_algo::pattern::Pattern) -> Result<usize> {
+        self.unsupported("pattern matching queries")
+    }
+
+    fn summarize(&self, func: SummaryFunc) -> Result<Value> {
+        let view = self.atoms.two_section();
+        Ok(match func {
+            SummaryFunc::Order => Value::Int(self.atoms.node_count() as i64),
+            SummaryFunc::Size => Value::Int(self.atoms.link_count() as i64),
+            SummaryFunc::Degree(n) => Value::Int(view.degree(n) as i64),
+            SummaryFunc::MinDegree => match summary::degree_stats(&view) {
+                Some((min, _, _)) => Value::Int(min as i64),
+                None => Value::Null,
+            },
+            SummaryFunc::MaxDegree => match summary::degree_stats(&view) {
+                Some((_, max, _)) => Value::Int(max as i64),
+                None => Value::Null,
+            },
+            SummaryFunc::AvgDegree => match summary::degree_stats(&view) {
+                Some((_, _, avg)) => Value::Float(avg),
+                None => Value::Null,
+            },
+            SummaryFunc::Distance(a, b) => match summary::distance_between(&view, a, b) {
+                Some(d) => Value::Int(d as i64),
+                None => Value::Null,
+            },
+            SummaryFunc::Diameter => match summary::diameter(&view, Direction::Outgoing) {
+                Some(d) => Value::Int(d as i64),
+                None => Value::Null,
+            },
+            SummaryFunc::PropertyAggregate(agg, key) => {
+                let values: Vec<Value> = self
+                    .atoms
+                    .node_ids()
+                    .into_iter()
+                    .filter_map(|a| self.atoms.property(a, key).cloned())
+                    .collect();
+                summary::aggregate(agg, &values)?
+            }
+        })
+    }
+
+    fn begin_transaction(&mut self) -> Result<()> {
+        if self.tx_snapshot.is_some() {
+            return Err(GdmError::InvalidArgument("transaction already open".into()));
+        }
+        self.tx_snapshot = Some(self.atoms.clone());
+        Ok(())
+    }
+
+    fn commit_transaction(&mut self) -> Result<()> {
+        self.tx_snapshot
+            .take()
+            .map(|_| ())
+            .ok_or_else(|| GdmError::InvalidArgument("no open transaction".into()))
+    }
+
+    fn rollback_transaction(&mut self) -> Result<()> {
+        let snapshot = self
+            .tx_snapshot
+            .take()
+            .ok_or_else(|| GdmError::InvalidArgument("no open transaction".into()))?;
+        self.atoms = snapshot;
+        Ok(())
+    }
+
+    fn persist(&mut self) -> Result<()> {
+        std::fs::write(&self.snapshot_path, self.atoms.to_snapshot())?;
+        Ok(())
+    }
+
+    fn create_index(&mut self, property: &str) -> Result<()> {
+        let mut index = HashIndex::new();
+        for id in self.atoms.node_ids().into_iter().chain(self.atoms.link_ids()) {
+            if let Some(v) = self.atoms.property(id, property) {
+                index.insert(v, id.raw());
+            }
+        }
+        self.indexes.insert(property.to_owned(), index);
+        Ok(())
+    }
+
+    fn lookup_by_property(&self, key: &str, value: &Value) -> Result<Vec<NodeId>> {
+        match self.indexes.get(key) {
+            Some(index) => Ok(index.lookup(value).into_iter().map(NodeId).collect()),
+            None => {
+                // Unindexed scan (the API allows it; just slower).
+                let mut out = Vec::new();
+                for id in self.atoms.node_ids() {
+                    if self.atoms.property(id, key) == Some(value) {
+                        out.push(NodeId(id.raw()));
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdm_core::props;
+    use gdm_schema::{PropertyType, ValueType};
+
+    fn temp_engine(tag: &str) -> HyperGraphDbEngine {
+        let dir = std::env::temp_dir().join(format!("gdm-hgdb-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        HyperGraphDbEngine::open(&dir).unwrap()
+    }
+
+    #[test]
+    fn hyperedges_and_links_on_links() {
+        let mut e = temp_engine("hyper");
+        let a = e.create_node(Some("gene"), props! {}).unwrap();
+        let b = e.create_node(Some("gene"), props! {}).unwrap();
+        let c = e.create_node(Some("protein"), props! {}).unwrap();
+        let h = e.create_hyperedge("regulates", &[a, b, c], props! {}).unwrap();
+        assert_eq!(GraphEngine::edge_count(&e), 1);
+        let annotation = e.create_edge_on_edge(h, a, "source").unwrap();
+        assert_ne!(annotation, h);
+        assert!(e.adjacent(a, b).unwrap());
+    }
+
+    #[test]
+    fn type_checking_constraint() {
+        let mut e = temp_engine("types");
+        let mut schema = Schema::new();
+        schema
+            .add_node_type(
+                NodeTypeDef::new("protein")
+                    .with(PropertyType::required("name", ValueType::Str)),
+            )
+            .unwrap();
+        e.install_constraint(Constraint::TypeChecking(schema)).unwrap();
+        assert!(e
+            .create_node(Some("alien"), props! {})
+            .unwrap_err()
+            .to_string()
+            .contains("not declared"));
+        assert!(e.create_node(Some("protein"), props! {}).is_err());
+        assert!(e
+            .create_node(Some("protein"), props! { "name" => "p53" })
+            .is_ok());
+    }
+
+    #[test]
+    fn identity_constraint() {
+        let mut e = temp_engine("identity");
+        e.install_constraint(Constraint::Identity {
+            type_name: "protein".into(),
+            property: "name".into(),
+        })
+        .unwrap();
+        e.create_node(Some("protein"), props! { "name" => "p53" }).unwrap();
+        let err = e
+            .create_node(Some("protein"), props! { "name" => "p53" })
+            .unwrap_err();
+        assert!(err.to_string().contains("already taken"));
+        assert!(e
+            .create_node(Some("protein"), props! {})
+            .unwrap_err()
+            .to_string()
+            .contains("lacks identity"));
+    }
+
+    #[test]
+    fn indexes_and_lookup() {
+        let mut e = temp_engine("index");
+        let a = e.create_node(Some("n"), props! { "name" => "x" }).unwrap();
+        e.create_index("name").unwrap();
+        let b = e.create_node(Some("n"), props! { "name" => "y" }).unwrap();
+        assert_eq!(e.lookup_by_property("name", &Value::from("x")).unwrap(), vec![a]);
+        assert_eq!(e.lookup_by_property("name", &Value::from("y")).unwrap(), vec![b]);
+    }
+
+    #[test]
+    fn profile_refusals() {
+        let mut e = temp_engine("refuse");
+        let a = e.create_node(None, props! {}).unwrap();
+        let b = e.create_node(None, props! {}).unwrap();
+        assert!(e.k_neighborhood(a, 2).unwrap_err().is_unsupported());
+        assert!(e.shortest_path(a, b).unwrap_err().is_unsupported());
+        assert!(e.execute_query("x").unwrap_err().is_unsupported());
+        assert!(e.reason("", "").unwrap_err().is_unsupported());
+    }
+
+    #[test]
+    fn persistence() {
+        let dir = std::env::temp_dir().join(format!("gdm-hgdb-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let (a, b);
+        {
+            let mut e = HyperGraphDbEngine::open(&dir).unwrap();
+            a = e.create_node(Some("x"), props! { "v" => 1 }).unwrap();
+            b = e.create_node(Some("x"), props! {}).unwrap();
+            let c = e.create_node(Some("x"), props! {}).unwrap();
+            e.create_hyperedge("rel", &[a, b, c], props! {}).unwrap();
+            e.persist().unwrap();
+        }
+        {
+            let e = HyperGraphDbEngine::open(&dir).unwrap();
+            assert_eq!(GraphEngine::node_count(&e), 3);
+            assert_eq!(GraphEngine::edge_count(&e), 1);
+            assert!(e.adjacent(a, b).unwrap());
+            assert_eq!(e.node_attribute(a, "v").unwrap(), Some(Value::from(1)));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn summarization() {
+        let mut e = temp_engine("summ");
+        let a = e.create_node(None, props! { "w" => 2 }).unwrap();
+        let b = e.create_node(None, props! { "w" => 4 }).unwrap();
+        e.create_edge(a, b, None, props! {}).unwrap();
+        assert_eq!(e.summarize(SummaryFunc::Order).unwrap(), Value::Int(2));
+        assert_eq!(
+            e.summarize(SummaryFunc::PropertyAggregate(
+                gdm_algo::summary::Aggregate::Sum,
+                "w"
+            ))
+            .unwrap(),
+            Value::Int(6)
+        );
+    }
+}

@@ -1,0 +1,469 @@
+//! InfiniteGraph emulation.
+//!
+//! The paper: "InfiniteGraph is a database oriented to support
+//! large-scale graphs in a distributed environment. It aims the
+//! efficient traversal of relations across massive and distributed
+//! data stores." Profile: attributed directed multigraph (Table III),
+//! external memory with indexes (Table I), API only (Table II), type
+//! checking + identity constraints (Table VI).
+//!
+//! The distribution substitution (DESIGN.md §2): nodes get an explicit
+//! partition assignment; [`InfiniteGraphEngine::edge_cut`] and
+//! [`InfiniteGraphEngine::partitioned_view`] expose the remote-hop
+//! cost model the partition ablation bench measures.
+
+use crate::facade::{AnalysisFunc, EngineDescriptor, GraphEngine, SummaryFunc};
+use gdm_algo::adjacency::{k_neighborhood, nodes_adjacent};
+use gdm_algo::paths::{fixed_length_paths, shortest_path};
+use gdm_algo::regular::{regular_path_exists, LabelRegex};
+use gdm_algo::summary;
+use gdm_core::{
+    AttributedView, Direction, EdgeId, FxHashMap, GdmError, GraphView, NodeId, PropertyMap,
+    Result, Support, Value,
+};
+use gdm_graphs::partitioned::{PartitionedGraph, Strategy};
+use gdm_graphs::PropertyGraph;
+use gdm_query::eval::ResultSet;
+use gdm_schema::{validate, Constraint};
+use gdm_storage::{BTreeIndex, ValueIndex};
+use std::path::{Path, PathBuf};
+
+const NAME: &str = "InfiniteGraph";
+const PATH_BUDGET: usize = 1_000_000;
+
+/// The InfiniteGraph emulation.
+pub struct InfiniteGraphEngine {
+    graph: PropertyGraph,
+    partitions: u32,
+    partition_of: FxHashMap<u64, u32>,
+    indexes: FxHashMap<String, BTreeIndex>,
+    constraints: Vec<Constraint>,
+    snapshot_path: PathBuf,
+    tx_snapshot: Option<(PropertyGraph, FxHashMap<u64, u32>)>,
+}
+
+impl InfiniteGraphEngine {
+    /// Opens (or creates) the store under `dir` with 4 simulated
+    /// partitions.
+    pub fn open(dir: &Path) -> Result<Self> {
+        Self::open_with_partitions(dir, 4)
+    }
+
+    /// Opens with an explicit partition count.
+    pub fn open_with_partitions(dir: &Path, partitions: u32) -> Result<Self> {
+        let snapshot_path = dir.join("infinitegraph.snapshot");
+        let graph = if snapshot_path.exists() {
+            PropertyGraph::from_snapshot(&std::fs::read(&snapshot_path)?)?
+        } else {
+            PropertyGraph::new()
+        };
+        let mut engine = Self {
+            graph,
+            partitions: partitions.max(1),
+            partition_of: FxHashMap::default(),
+            indexes: FxHashMap::default(),
+            constraints: Vec::new(),
+            snapshot_path,
+            tx_snapshot: None,
+        };
+        let mut nodes = Vec::new();
+        engine.graph.visit_nodes(&mut |n| nodes.push(n));
+        for n in nodes {
+            engine.assign_partition(n);
+        }
+        Ok(engine)
+    }
+
+    fn assign_partition(&mut self, n: NodeId) {
+        let h = n.raw().wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        self.partition_of
+            .insert(n.raw(), (h % u64::from(self.partitions)) as u32);
+    }
+
+    /// The partition a node lives on.
+    pub fn partition_of(&self, n: NodeId) -> Option<u32> {
+        self.partition_of.get(&n.raw()).copied()
+    }
+
+    /// Edges whose endpoints live on different partitions.
+    pub fn edge_cut(&self) -> usize {
+        let mut cut = 0;
+        for e in self.graph.edge_ids() {
+            let (from, to) = self.graph.edge_endpoints(e).expect("live");
+            if self.partition_of.get(&from.raw()) != self.partition_of.get(&to.raw()) {
+                cut += 1;
+            }
+        }
+        cut
+    }
+
+    /// A hop-accounting partitioned view of the current data, for the
+    /// distribution benches.
+    pub fn partitioned_view(&self, strategy: Strategy) -> PartitionedGraph {
+        PartitionedGraph::new(self.graph.clone(), self.partitions, strategy)
+    }
+
+    /// The wrapped property graph.
+    pub fn graph(&self) -> &PropertyGraph {
+        &self.graph
+    }
+
+    fn check_constraints(&self) -> Result<()> {
+        match validate(&self.graph, &self.constraints).into_iter().next() {
+            Some(v) => Err(GdmError::Constraint(v.to_string())),
+            None => Ok(()),
+        }
+    }
+
+    fn unsupported<T>(&self, feature: &str) -> Result<T> {
+        Err(GdmError::unsupported(NAME, feature.to_owned()))
+    }
+}
+
+impl GraphEngine for InfiniteGraphEngine {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn descriptor(&self) -> EngineDescriptor {
+        EngineDescriptor {
+            name: NAME,
+            gui: Support::None,
+            graphical_ql: Support::None,
+            query_language_grade: Support::None,
+            backend_storage: Support::None,
+            blurb: "large-scale graphs in a distributed environment; traversal across stores",
+        }
+    }
+
+    fn create_node(&mut self, label: Option<&str>, props: PropertyMap) -> Result<NodeId> {
+        let label = label.ok_or_else(|| {
+            GdmError::InvalidArgument("InfiniteGraph vertices require a type".into())
+        })?;
+        let n = self.graph.add_node(label, props.clone());
+        if let Err(e) = self.check_constraints() {
+            self.graph.remove_node(n)?;
+            return Err(e);
+        }
+        self.assign_partition(n);
+        for (key, index) in self.indexes.iter_mut() {
+            if let Some(v) = props.get(key) {
+                index.insert(v, n.raw());
+            }
+        }
+        Ok(n)
+    }
+
+    fn create_edge(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        label: Option<&str>,
+        props: PropertyMap,
+    ) -> Result<EdgeId> {
+        let label = label.ok_or_else(|| {
+            GdmError::InvalidArgument("InfiniteGraph edges require a type".into())
+        })?;
+        let e = self.graph.add_edge(from, to, label, props)?;
+        if let Err(err) = self.check_constraints() {
+            self.graph.remove_edge(e)?;
+            return Err(err);
+        }
+        Ok(e)
+    }
+
+    fn create_hyperedge(
+        &mut self,
+        _label: &str,
+        _targets: &[NodeId],
+        _props: PropertyMap,
+    ) -> Result<EdgeId> {
+        self.unsupported("hyperedges")
+    }
+
+    fn create_edge_on_edge(&mut self, _from: EdgeId, _to: NodeId, _label: &str) -> Result<EdgeId> {
+        self.unsupported("edges between edges")
+    }
+
+    fn nest_subgraph(&mut self, _node: NodeId) -> Result<()> {
+        self.unsupported("nested graphs")
+    }
+
+    fn set_node_attribute(&mut self, n: NodeId, key: &str, value: Value) -> Result<()> {
+        let old = self.graph.set_node_property(n, key, value.clone())?;
+        if let Err(e) = self.check_constraints() {
+            if let Some(v) = old {
+                self.graph.set_node_property(n, key, v)?;
+            }
+            return Err(e);
+        }
+        if let Some(index) = self.indexes.get_mut(key) {
+            if let Some(v) = old {
+                index.remove(&v, n.raw());
+            }
+            index.insert(&value, n.raw());
+        }
+        Ok(())
+    }
+
+    fn set_edge_attribute(&mut self, e: EdgeId, key: &str, value: Value) -> Result<()> {
+        self.graph.set_edge_property(e, key, value)?;
+        Ok(())
+    }
+
+    fn node_attribute(&self, n: NodeId, key: &str) -> Result<Option<Value>> {
+        self.graph.node_properties(n)?;
+        Ok(self.graph.node_property(n, key))
+    }
+
+    fn delete_node(&mut self, n: NodeId) -> Result<()> {
+        self.graph.remove_node(n)?;
+        self.partition_of.remove(&n.raw());
+        Ok(())
+    }
+
+    fn delete_edge(&mut self, e: EdgeId) -> Result<()> {
+        self.graph.remove_edge(e)
+    }
+
+    fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    fn define_node_type(&mut self, _def: gdm_schema::NodeTypeDef) -> Result<()> {
+        // Types exist implicitly; schema lives in the type-checking
+        // constraint when installed.
+        Ok(())
+    }
+
+    fn define_edge_type(&mut self, _def: gdm_schema::EdgeTypeDef) -> Result<()> {
+        Ok(())
+    }
+
+    fn install_constraint(&mut self, constraint: Constraint) -> Result<()> {
+        match &constraint {
+            Constraint::TypeChecking(_) | Constraint::Identity { .. } => {
+                let mut probe = self.constraints.clone();
+                probe.push(constraint.clone());
+                if let Some(v) = validate(&self.graph, &probe).into_iter().next() {
+                    return Err(GdmError::Constraint(v.to_string()));
+                }
+                self.constraints.push(constraint);
+                Ok(())
+            }
+            _ => self.unsupported("this constraint kind (types and identity only)"),
+        }
+    }
+
+    fn execute_ddl(&mut self, _statement: &str) -> Result<()> {
+        self.unsupported("a data definition language")
+    }
+
+    fn execute_dml(&mut self, _statement: &str) -> Result<()> {
+        self.unsupported("a data manipulation language")
+    }
+
+    fn execute_query(&mut self, _query: &str) -> Result<ResultSet> {
+        self.unsupported("a query language")
+    }
+
+    fn reason(&mut self, _rules: &str, _goal: &str) -> Result<Vec<Vec<String>>> {
+        self.unsupported("reasoning")
+    }
+
+    fn analyze(&self, _func: AnalysisFunc) -> Result<Value> {
+        self.unsupported("analysis functions")
+    }
+
+    fn adjacent(&self, a: NodeId, b: NodeId) -> Result<bool> {
+        Ok(nodes_adjacent(&self.graph, a, b))
+    }
+
+    fn k_neighborhood(&self, n: NodeId, k: usize) -> Result<Vec<NodeId>> {
+        Ok(k_neighborhood(&self.graph, n, k, Direction::Outgoing))
+    }
+
+    fn fixed_length_paths(&self, a: NodeId, b: NodeId, len: usize) -> Result<usize> {
+        Ok(fixed_length_paths(&self.graph, a, b, len, PATH_BUDGET)?.len())
+    }
+
+    fn regular_path(&self, a: NodeId, b: NodeId, expr: &str) -> Result<bool> {
+        let regex = LabelRegex::compile(expr)?;
+        Ok(regular_path_exists(&self.graph, a, b, &regex))
+    }
+
+    fn shortest_path(&self, a: NodeId, b: NodeId) -> Result<Option<Vec<NodeId>>> {
+        Ok(shortest_path(&self.graph, a, b).map(|p| p.nodes))
+    }
+
+    fn pattern_match(&self, _pattern: &gdm_algo::pattern::Pattern) -> Result<usize> {
+        self.unsupported("pattern matching queries")
+    }
+
+    fn summarize(&self, func: SummaryFunc) -> Result<Value> {
+        Ok(match func {
+            SummaryFunc::PropertyAggregate(agg, key) => {
+                let mut values = Vec::new();
+                self.graph.visit_nodes(&mut |n| {
+                    if let Some(v) = self.graph.node_property(n, key) {
+                        values.push(v);
+                    }
+                });
+                summary::aggregate(agg, &values)?
+            }
+            other => crate::vertexdb::summarize_simple(&self.graph, other, NAME)?,
+        })
+    }
+
+    fn begin_transaction(&mut self) -> Result<()> {
+        if self.tx_snapshot.is_some() {
+            return Err(GdmError::InvalidArgument("transaction already open".into()));
+        }
+        self.tx_snapshot = Some((self.graph.clone(), self.partition_of.clone()));
+        Ok(())
+    }
+
+    fn commit_transaction(&mut self) -> Result<()> {
+        self.tx_snapshot
+            .take()
+            .map(|_| ())
+            .ok_or_else(|| GdmError::InvalidArgument("no open transaction".into()))
+    }
+
+    fn rollback_transaction(&mut self) -> Result<()> {
+        let (graph, partitions) = self
+            .tx_snapshot
+            .take()
+            .ok_or_else(|| GdmError::InvalidArgument("no open transaction".into()))?;
+        self.graph = graph;
+        self.partition_of = partitions;
+        Ok(())
+    }
+
+    fn persist(&mut self) -> Result<()> {
+        std::fs::write(&self.snapshot_path, self.graph.to_snapshot())?;
+        Ok(())
+    }
+
+    fn create_index(&mut self, property: &str) -> Result<()> {
+        let mut index = BTreeIndex::new();
+        let mut nodes = Vec::new();
+        self.graph.visit_nodes(&mut |n| nodes.push(n));
+        for n in nodes {
+            if let Some(v) = self.graph.node_property(n, property) {
+                index.insert(&v, n.raw());
+            }
+        }
+        self.indexes.insert(property.to_owned(), index);
+        Ok(())
+    }
+
+    fn lookup_by_property(&self, key: &str, value: &Value) -> Result<Vec<NodeId>> {
+        if let Some(index) = self.indexes.get(key) {
+            return Ok(index.lookup(value).into_iter().map(NodeId).collect());
+        }
+        let mut out = Vec::new();
+        self.graph.visit_nodes(&mut |n| {
+            if self.graph.node_property(n, key).as_ref() == Some(value) {
+                out.push(n);
+            }
+        });
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdm_core::props;
+
+    fn temp_engine(tag: &str) -> InfiniteGraphEngine {
+        let dir = std::env::temp_dir().join(format!("gdm-ig-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        InfiniteGraphEngine::open(&dir).unwrap()
+    }
+
+    #[test]
+    fn partitions_assigned() {
+        let mut e = temp_engine("parts");
+        let nodes: Vec<NodeId> = (0..32)
+            .map(|i| e.create_node(Some("v"), props! { "i" => i }).unwrap())
+            .collect();
+        for n in &nodes {
+            assert!(e.partition_of(*n).is_some());
+        }
+        for w in nodes.windows(2) {
+            e.create_edge(w[0], w[1], Some("r"), props! {}).unwrap();
+        }
+        assert!(e.edge_cut() > 0, "hash placement cuts a ring");
+    }
+
+    #[test]
+    fn essential_queries() {
+        let mut e = temp_engine("essential");
+        let a = e.create_node(Some("v"), props! {}).unwrap();
+        let b = e.create_node(Some("v"), props! {}).unwrap();
+        let c = e.create_node(Some("v"), props! {}).unwrap();
+        e.create_edge(a, b, Some("r"), props! {}).unwrap();
+        e.create_edge(b, c, Some("r"), props! {}).unwrap();
+        assert!(e.adjacent(a, b).unwrap());
+        assert_eq!(e.k_neighborhood(a, 2).unwrap(), vec![b, c]);
+        assert_eq!(e.shortest_path(a, c).unwrap().unwrap().len(), 3);
+        assert_eq!(e.fixed_length_paths(a, c, 2).unwrap(), 1);
+        assert!(e
+            .pattern_match(&gdm_algo::pattern::Pattern::new())
+            .unwrap_err()
+            .is_unsupported());
+        assert!(e.execute_query("x").unwrap_err().is_unsupported());
+    }
+
+    #[test]
+    fn btree_index_range_capable() {
+        let mut e = temp_engine("index");
+        for age in [25, 30, 35] {
+            e.create_node(Some("p"), props! { "age" => age }).unwrap();
+        }
+        e.create_index("age").unwrap();
+        assert_eq!(
+            e.lookup_by_property("age", &Value::from(30)).unwrap().len(),
+            1
+        );
+    }
+
+    #[test]
+    fn constraints() {
+        let mut e = temp_engine("constraints");
+        e.install_constraint(Constraint::Identity {
+            type_name: "v".into(),
+            property: "key".into(),
+        })
+        .unwrap();
+        e.create_node(Some("v"), props! { "key" => 1 }).unwrap();
+        assert!(e.create_node(Some("v"), props! { "key" => 1 }).is_err());
+        assert_eq!(GraphEngine::node_count(&e), 1);
+    }
+
+    #[test]
+    fn persistence() {
+        let dir = std::env::temp_dir().join(format!("gdm-ig-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let a;
+        {
+            let mut e = InfiniteGraphEngine::open(&dir).unwrap();
+            a = e.create_node(Some("v"), props! { "x" => 9 }).unwrap();
+            e.persist().unwrap();
+        }
+        {
+            let e = InfiniteGraphEngine::open(&dir).unwrap();
+            assert_eq!(e.node_attribute(a, "x").unwrap(), Some(Value::from(9)));
+            assert!(e.partition_of(a).is_some());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

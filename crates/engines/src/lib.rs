@@ -1,0 +1,50 @@
+//! # gdm-engines
+//!
+//! Working emulations of the nine graph databases the paper surveys,
+//! all behind one [`GraphEngine`] facade.
+//!
+//! The paper restricts itself to the **logical level** ("we restrict
+//! our study to the logical level and avoid physical and
+//! implementation considerations"), so each emulation reproduces the
+//! surveyed system's *data model feature profile* — its structures,
+//! languages, constraints, storage schema, and essential-query support
+//! — on top of the substrates in `gdm-storage`, `gdm-graphs`,
+//! `gdm-algo`, `gdm-schema`, and `gdm-query`:
+//!
+//! | Engine | Model | Storage | Languages |
+//! |---|---|---|---|
+//! | [`allegro::AllegroEngine`] | RDF triples | memory + snapshot file, indexes | SPARQL-like, Datalog reasoning |
+//! | [`dex::DexEngine`] | attributed multigraph | bitmaps + snapshot file | API only |
+//! | [`filament::FilamentEngine`] | simple directed | KV backend (disk B-tree) | API only |
+//! | [`gstore::GStoreEngine`] | node-labeled simple | paged heap file (external only) | GSQL path dialect |
+//! | [`hypergraphdb::HyperGraphDbEngine`] | hypergraph (atoms) | memory + KV backend | API only |
+//! | [`infinitegraph::InfiniteGraphEngine`] | attributed, partitioned | snapshot file, indexes | API only |
+//! | [`neo4j::Neo4jEngine`] | attributed multigraph | record store + snapshot | Cypher-like (partial) |
+//! | [`sones::SonesEngine`] | hypergraph + attributed | memory, indexes | GQL SQL dialect |
+//! | [`vertexdb::VertexDbEngine`] | simple directed | KV backend (disk B-tree) | API only |
+//!
+//! An engine answers [`GdmError::Unsupported`] for every capability the
+//! 2012-era product lacked; the comparison harness in `gdm-compare`
+//! turns those refusals into the blank cells of Tables I–VII.
+
+pub mod allegro;
+pub mod dex;
+pub mod facade;
+pub mod filament;
+pub mod gstore;
+pub mod hypergraphdb;
+pub mod infinitegraph;
+pub mod kvgraph;
+pub mod neo4j;
+pub mod sones;
+
+pub mod vertexdb;
+
+pub use facade::{
+    all_engines, make_engine, AnalysisFunc, EngineDescriptor, EngineKind, GraphEngine,
+    SummaryFunc,
+};
+
+// Re-exported so downstream code can name the error type without a
+// gdm-core dependency.
+pub use gdm_core::GdmError;

@@ -1,0 +1,575 @@
+//! Neo4j emulation.
+//!
+//! The paper: "Neo4j is based on a network oriented model where
+//! relations are first class objects. It implements an object-oriented
+//! API, a native disk-based storage manager for graphs, and a
+//! framework for graph traversals ... Neo4j is developing Cypher, a
+//! query language for property graphs" (marked `◦` in Table V).
+//!
+//! The emulation sits on `gdm_storage::RecordStore` — the fixed-size
+//! node/relationship records with per-node relationship chains that
+//! are Neo4j's storage signature — plus a token table, property-key
+//! B-tree indexes, the traversal framework from `gdm-algo`, and the
+//! partial Cypher front-end from `gdm-query`.
+
+use crate::facade::{AnalysisFunc, EngineDescriptor, GraphEngine, SummaryFunc};
+use gdm_algo::adjacency::{k_neighborhood, nodes_adjacent};
+use gdm_algo::paths::{fixed_length_paths, shortest_path};
+use gdm_algo::regular::{regular_path_exists, LabelRegex};
+use gdm_algo::summary;
+use gdm_core::{
+    AttributedView, Direction, EdgeId, EdgeRef, FxHashMap, GdmError, GraphView, Interner, NodeId,
+    PropertyMap, Result, Support, Symbol, Value,
+};
+use gdm_query::cypher::{self, CypherStatement};
+use gdm_query::eval::{evaluate_select, ResultSet};
+use gdm_storage::{BTreeIndex, RecordStore, ValueIndex};
+use std::path::{Path, PathBuf};
+
+const NAME: &str = "Neo4j";
+const PATH_BUDGET: usize = 1_000_000;
+
+/// The Neo4j emulation.
+pub struct Neo4jEngine {
+    store: RecordStore,
+    tokens: Interner,
+    indexes: FxHashMap<String, BTreeIndex>,
+    store_path: PathBuf,
+    tokens_path: PathBuf,
+    tx_snapshot: Option<RecordStore>,
+}
+
+/// Read view over the record store, used by the generic algorithms and
+/// the Cypher evaluator.
+pub struct RecordView<'a> {
+    store: &'a RecordStore,
+    tokens: &'a Interner,
+}
+
+impl GraphView for RecordView<'_> {
+    fn is_directed(&self) -> bool {
+        true
+    }
+
+    fn node_count(&self) -> usize {
+        self.store.node_count()
+    }
+
+    fn edge_count(&self) -> usize {
+        self.store.rel_count()
+    }
+
+    fn contains_node(&self, n: NodeId) -> bool {
+        n.raw() <= u64::from(u32::MAX) && self.store.node_in_use(n.raw() as u32)
+    }
+
+    fn visit_nodes(&self, f: &mut dyn FnMut(NodeId)) {
+        for id in 0..self.store.node_high_id() {
+            if self.store.node_in_use(id) {
+                f(NodeId(u64::from(id)));
+            }
+        }
+    }
+
+    fn visit_out_edges(&self, n: NodeId, f: &mut dyn FnMut(EdgeRef)) {
+        self.store.visit_rels(n.raw() as u32, &mut |rel| {
+            if u64::from(rel.from) == n.raw() {
+                f(EdgeRef {
+                    id: EdgeId(u64::from(rel.id)),
+                    from: n,
+                    to: NodeId(u64::from(rel.to)),
+                    label: Some(Symbol(rel.rel_type)),
+                });
+            }
+        });
+    }
+
+    fn visit_in_edges(&self, n: NodeId, f: &mut dyn FnMut(EdgeRef)) {
+        self.store.visit_rels(n.raw() as u32, &mut |rel| {
+            if u64::from(rel.to) == n.raw() && rel.from != rel.to {
+                f(EdgeRef {
+                    id: EdgeId(u64::from(rel.id)),
+                    from: n,
+                    to: NodeId(u64::from(rel.from)),
+                    label: Some(Symbol(rel.rel_type)),
+                });
+            }
+        });
+    }
+
+    fn label_text(&self, sym: Symbol) -> Option<&str> {
+        self.tokens.resolve(sym)
+    }
+}
+
+impl AttributedView for RecordView<'_> {
+    fn node_label(&self, n: NodeId) -> Option<Symbol> {
+        self.store.node_label(n.raw() as u32).ok().map(Symbol)
+    }
+
+    fn node_property(&self, n: NodeId, key: &str) -> Option<Value> {
+        let token = self.tokens.get(key)?;
+        self.store.node_prop(n.raw() as u32, token.raw()).cloned()
+    }
+
+    fn edge_property(&self, e: EdgeId, key: &str) -> Option<Value> {
+        let token = self.tokens.get(key)?;
+        self.store.rel_prop(e.raw() as u32, token.raw()).cloned()
+    }
+}
+
+impl Neo4jEngine {
+    /// Opens (or creates) the store under `dir`.
+    pub fn open(dir: &Path) -> Result<Self> {
+        let store_path = dir.join("neo4j.store");
+        let tokens_path = dir.join("neo4j.tokens");
+        let store = if store_path.exists() {
+            RecordStore::load(&store_path)?
+        } else {
+            RecordStore::new()
+        };
+        let mut tokens = Interner::new();
+        if tokens_path.exists() {
+            for line in std::fs::read_to_string(&tokens_path)?.lines() {
+                tokens.intern(line);
+            }
+        }
+        Ok(Self {
+            store,
+            tokens,
+            indexes: FxHashMap::default(),
+            store_path,
+            tokens_path,
+            tx_snapshot: None,
+        })
+    }
+
+    /// The read view used with `gdm_algo::Traversal` — the paper's
+    /// "framework for graph traversals".
+    pub fn view(&self) -> RecordView<'_> {
+        RecordView {
+            store: &self.store,
+            tokens: &self.tokens,
+        }
+    }
+
+    fn unsupported<T>(&self, feature: &str) -> Result<T> {
+        Err(GdmError::unsupported(NAME, feature.to_owned()))
+    }
+
+    fn node_u32(&self, n: NodeId) -> Result<u32> {
+        let id = u32::try_from(n.raw())
+            .map_err(|_| GdmError::NotFound(format!("node {n}")))?;
+        if !self.store.node_in_use(id) {
+            return Err(GdmError::NotFound(format!("node {n}")));
+        }
+        Ok(id)
+    }
+}
+
+impl GraphEngine for Neo4jEngine {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn descriptor(&self) -> EngineDescriptor {
+        EngineDescriptor {
+            name: NAME,
+            gui: Support::None,
+            graphical_ql: Support::None,
+            query_language_grade: Support::Partial,
+            backend_storage: Support::None,
+            blurb: "network-oriented model; native disk storage; traversal framework; Cypher in development",
+        }
+    }
+
+    fn create_node(&mut self, label: Option<&str>, props: PropertyMap) -> Result<NodeId> {
+        let token = self.tokens.intern(label.unwrap_or("Node")).raw();
+        let id = self.store.create_node(token);
+        for (k, v) in &props {
+            let key = self.tokens.intern(k).raw();
+            self.store.set_node_prop(id, key, v.clone())?;
+            if let Some(index) = self.indexes.get_mut(k) {
+                index.insert(v, u64::from(id));
+            }
+        }
+        Ok(NodeId(u64::from(id)))
+    }
+
+    fn create_edge(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        label: Option<&str>,
+        props: PropertyMap,
+    ) -> Result<EdgeId> {
+        let label = label.ok_or_else(|| {
+            GdmError::InvalidArgument("Neo4j relationships require a type".into())
+        })?;
+        let f = self.node_u32(from)?;
+        let t = self.node_u32(to)?;
+        let token = self.tokens.intern(label).raw();
+        let rel = self.store.create_rel(f, t, token)?;
+        for (k, v) in &props {
+            let key = self.tokens.intern(k).raw();
+            self.store.set_rel_prop(rel, key, v.clone())?;
+        }
+        Ok(EdgeId(u64::from(rel)))
+    }
+
+    fn create_hyperedge(
+        &mut self,
+        _label: &str,
+        _targets: &[NodeId],
+        _props: PropertyMap,
+    ) -> Result<EdgeId> {
+        self.unsupported("hyperedges")
+    }
+
+    fn create_edge_on_edge(&mut self, _from: EdgeId, _to: NodeId, _label: &str) -> Result<EdgeId> {
+        self.unsupported("edges between edges")
+    }
+
+    fn nest_subgraph(&mut self, _node: NodeId) -> Result<()> {
+        self.unsupported("nested graphs")
+    }
+
+    fn set_node_attribute(&mut self, n: NodeId, key: &str, value: Value) -> Result<()> {
+        let id = self.node_u32(n)?;
+        let old = {
+            let token = self.tokens.get(key);
+            token.and_then(|t| self.store.node_prop(id, t.raw()).cloned())
+        };
+        let token = self.tokens.intern(key).raw();
+        self.store.set_node_prop(id, token, value.clone())?;
+        if let Some(index) = self.indexes.get_mut(key) {
+            if let Some(v) = old {
+                index.remove(&v, n.raw());
+            }
+            index.insert(&value, n.raw());
+        }
+        Ok(())
+    }
+
+    fn set_edge_attribute(&mut self, e: EdgeId, key: &str, value: Value) -> Result<()> {
+        let token = self.tokens.intern(key).raw();
+        self.store.set_rel_prop(e.raw() as u32, token, value)
+    }
+
+    fn node_attribute(&self, n: NodeId, key: &str) -> Result<Option<Value>> {
+        let id = self.node_u32(n)?;
+        Ok(self
+            .tokens
+            .get(key)
+            .and_then(|t| self.store.node_prop(id, t.raw()).cloned()))
+    }
+
+    fn delete_node(&mut self, n: NodeId) -> Result<()> {
+        let id = self.node_u32(n)?;
+        self.store.delete_node(id)
+    }
+
+    fn delete_edge(&mut self, e: EdgeId) -> Result<()> {
+        self.store.delete_rel(e.raw() as u32)
+    }
+
+    fn node_count(&self) -> usize {
+        self.store.node_count()
+    }
+
+    fn edge_count(&self) -> usize {
+        self.store.rel_count()
+    }
+
+    fn define_node_type(&mut self, _def: gdm_schema::NodeTypeDef) -> Result<()> {
+        self.unsupported("schema definitions (schema-free model)")
+    }
+
+    fn define_edge_type(&mut self, _def: gdm_schema::EdgeTypeDef) -> Result<()> {
+        self.unsupported("schema definitions (schema-free model)")
+    }
+
+    fn install_constraint(&mut self, _c: gdm_schema::Constraint) -> Result<()> {
+        self.unsupported("integrity constraints")
+    }
+
+    fn execute_ddl(&mut self, _statement: &str) -> Result<()> {
+        self.unsupported("a data definition language")
+    }
+
+    fn execute_dml(&mut self, _statement: &str) -> Result<()> {
+        self.unsupported("a separate data manipulation language (use Cypher CREATE)")
+    }
+
+    fn execute_query(&mut self, query: &str) -> Result<ResultSet> {
+        match cypher::parse(query)? {
+            CypherStatement::Select(q) => {
+                let view = self.view();
+                evaluate_select(&view, &q)
+            }
+            CypherStatement::Create(items) => {
+                let mut created_nodes = 0i64;
+                let mut created_rels = 0i64;
+                for item in items {
+                    let mut ids = Vec::new();
+                    for (_, label, props) in &item.nodes {
+                        ids.push(self.create_node(Some(label), props.clone())?);
+                        created_nodes += 1;
+                    }
+                    for (i, (rel, props)) in item.edges.iter().enumerate() {
+                        self.create_edge(ids[i], ids[i + 1], Some(rel), props.clone())?;
+                        created_rels += 1;
+                    }
+                }
+                Ok(ResultSet {
+                    columns: vec!["nodes_created".into(), "relationships_created".into()],
+                    rows: vec![vec![Value::Int(created_nodes), Value::Int(created_rels)]],
+                })
+            }
+        }
+    }
+
+    fn reason(&mut self, _rules: &str, _goal: &str) -> Result<Vec<Vec<String>>> {
+        self.unsupported("reasoning")
+    }
+
+    fn analyze(&self, _func: AnalysisFunc) -> Result<Value> {
+        self.unsupported("built-in analysis functions")
+    }
+
+    fn adjacent(&self, a: NodeId, b: NodeId) -> Result<bool> {
+        Ok(nodes_adjacent(&self.view(), a, b))
+    }
+
+    fn k_neighborhood(&self, n: NodeId, k: usize) -> Result<Vec<NodeId>> {
+        Ok(k_neighborhood(&self.view(), n, k, Direction::Outgoing))
+    }
+
+    fn fixed_length_paths(&self, a: NodeId, b: NodeId, len: usize) -> Result<usize> {
+        Ok(fixed_length_paths(&self.view(), a, b, len, PATH_BUDGET)?.len())
+    }
+
+    fn regular_path(&self, a: NodeId, b: NodeId, expr: &str) -> Result<bool> {
+        let regex = LabelRegex::compile(expr)?;
+        Ok(regular_path_exists(&self.view(), a, b, &regex))
+    }
+
+    fn shortest_path(&self, a: NodeId, b: NodeId) -> Result<Option<Vec<NodeId>>> {
+        Ok(shortest_path(&self.view(), a, b).map(|p| p.nodes))
+    }
+
+    fn pattern_match(&self, _pattern: &gdm_algo::pattern::Pattern) -> Result<usize> {
+        // Table VII (reconstructed) does not credit 2012 Neo4j with
+        // pattern matching through its API; the in-development Cypher
+        // covers single patterns via execute_query instead.
+        self.unsupported("pattern matching through the API")
+    }
+
+    fn summarize(&self, func: SummaryFunc) -> Result<Value> {
+        let view = self.view();
+        Ok(match func {
+            SummaryFunc::PropertyAggregate(agg, key) => {
+                let mut values = Vec::new();
+                view.visit_nodes(&mut |n| {
+                    if let Some(v) = view.node_property(n, key) {
+                        values.push(v);
+                    }
+                });
+                summary::aggregate(agg, &values)?
+            }
+            other => crate::vertexdb::summarize_simple(&view, other, NAME)?,
+        })
+    }
+
+    fn begin_transaction(&mut self) -> Result<()> {
+        if self.tx_snapshot.is_some() {
+            return Err(GdmError::InvalidArgument("transaction already open".into()));
+        }
+        self.tx_snapshot = Some(self.store.clone());
+        Ok(())
+    }
+
+    fn commit_transaction(&mut self) -> Result<()> {
+        self.tx_snapshot
+            .take()
+            .map(|_| ())
+            .ok_or_else(|| GdmError::InvalidArgument("no open transaction".into()))
+    }
+
+    fn rollback_transaction(&mut self) -> Result<()> {
+        let snapshot = self
+            .tx_snapshot
+            .take()
+            .ok_or_else(|| GdmError::InvalidArgument("no open transaction".into()))?;
+        self.store = snapshot;
+        // Token additions are harmless to keep; rebuild indexes so they
+        // reflect the restored records.
+        let keys: Vec<String> = self.indexes.keys().cloned().collect();
+        for key in keys {
+            self.create_index(&key)?;
+        }
+        Ok(())
+    }
+
+    fn persist(&mut self) -> Result<()> {
+        self.store.save(&self.store_path)?;
+        let lines: Vec<&str> = self.tokens.iter().map(|(_, s)| s).collect();
+        std::fs::write(&self.tokens_path, lines.join("\n"))?;
+        Ok(())
+    }
+
+    fn create_index(&mut self, property: &str) -> Result<()> {
+        let mut index = BTreeIndex::new();
+        let view = self.view();
+        let mut pairs = Vec::new();
+        view.visit_nodes(&mut |n| {
+            if let Some(v) = view.node_property(n, property) {
+                pairs.push((v, n.raw()));
+            }
+        });
+        for (v, id) in pairs {
+            index.insert(&v, id);
+        }
+        self.indexes.insert(property.to_owned(), index);
+        Ok(())
+    }
+
+    fn lookup_by_property(&self, key: &str, value: &Value) -> Result<Vec<NodeId>> {
+        if let Some(index) = self.indexes.get(key) {
+            return Ok(index.lookup(value).into_iter().map(NodeId).collect());
+        }
+        let view = self.view();
+        let mut out = Vec::new();
+        view.visit_nodes(&mut |n| {
+            if view.node_property(n, key).as_ref() == Some(value) {
+                out.push(n);
+            }
+        });
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdm_algo::traverse::Traversal;
+    use gdm_core::props;
+
+    fn temp_engine(tag: &str) -> Neo4jEngine {
+        let dir = std::env::temp_dir().join(format!("gdm-neo-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        Neo4jEngine::open(&dir).unwrap()
+    }
+
+    fn seed(e: &mut Neo4jEngine) -> Vec<NodeId> {
+        let ada = e
+            .create_node(Some("Person"), props! { "name" => "ada", "age" => 36 })
+            .unwrap();
+        let bob = e
+            .create_node(Some("Person"), props! { "name" => "bob", "age" => 25 })
+            .unwrap();
+        let acme = e.create_node(Some("Company"), props! { "name" => "acme" }).unwrap();
+        e.create_edge(ada, bob, Some("KNOWS"), props! { "since" => 2001 })
+            .unwrap();
+        e.create_edge(ada, acme, Some("WORKS_AT"), props! {}).unwrap();
+        vec![ada, bob, acme]
+    }
+
+    #[test]
+    fn cypher_queries_run() {
+        let mut e = temp_engine("cypher");
+        seed(&mut e);
+        let rs = e
+            .execute_query("MATCH (p:Person) WHERE p.age > 30 RETURN p.name")
+            .unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows[0][0], Value::from("ada"));
+        let rs = e
+            .execute_query("MATCH (a:Person {name: 'ada'})-[:KNOWS]->(b) RETURN b.name")
+            .unwrap();
+        assert_eq!(rs.rows[0][0], Value::from("bob"));
+        // Partial language: advanced clauses refuse.
+        assert!(e.execute_query("MATCH (a) WITH a RETURN a").is_err());
+    }
+
+    #[test]
+    fn cypher_create() {
+        let mut e = temp_engine("create");
+        let rs = e
+            .execute_query("CREATE (a:Person {name: 'eve'})-[:KNOWS]->(b:Person {name: 'dan'})")
+            .unwrap();
+        assert_eq!(rs.get(0, "nodes_created"), Some(&Value::Int(2)));
+        assert_eq!(GraphEngine::node_count(&e), 2);
+        assert_eq!(GraphEngine::edge_count(&e), 1);
+    }
+
+    #[test]
+    fn traversal_framework() {
+        let mut e = temp_engine("traverse");
+        let n = seed(&mut e);
+        let order = Traversal::new(n[0])
+            .relationships(&["KNOWS"])
+            .run(&e.view());
+        assert_eq!(order, vec![n[0], n[1]]);
+    }
+
+    #[test]
+    fn essential_queries() {
+        let mut e = temp_engine("essential");
+        let n = seed(&mut e);
+        assert!(e.adjacent(n[0], n[1]).unwrap());
+        assert_eq!(e.k_neighborhood(n[0], 1).unwrap().len(), 2);
+        assert_eq!(e.shortest_path(n[0], n[2]).unwrap().unwrap().len(), 2);
+        assert_eq!(e.fixed_length_paths(n[0], n[2], 1).unwrap(), 1);
+        assert_eq!(
+            e.summarize(SummaryFunc::PropertyAggregate(
+                gdm_algo::summary::Aggregate::Max,
+                "age"
+            ))
+            .unwrap(),
+            Value::Int(36)
+        );
+    }
+
+    #[test]
+    fn indexes() {
+        let mut e = temp_engine("index");
+        let n = seed(&mut e);
+        e.create_index("name").unwrap();
+        assert_eq!(
+            e.lookup_by_property("name", &Value::from("bob")).unwrap(),
+            vec![n[1]]
+        );
+    }
+
+    #[test]
+    fn persistence() {
+        let dir = std::env::temp_dir().join(format!("gdm-neo-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        {
+            let mut e = Neo4jEngine::open(&dir).unwrap();
+            seed(&mut e);
+            e.persist().unwrap();
+        }
+        {
+            let mut e = Neo4jEngine::open(&dir).unwrap();
+            assert_eq!(GraphEngine::node_count(&e), 3);
+            let rs = e
+                .execute_query("MATCH (p:Person) RETURN count(*) AS n")
+                .unwrap();
+            assert_eq!(rs.get(0, "n"), Some(&Value::Int(2)));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn profile_refusals() {
+        let mut e = temp_engine("refuse");
+        assert!(e.install_constraint(gdm_schema::Constraint::ReferentialIntegrity).unwrap_err().is_unsupported());
+        assert!(e.execute_ddl("x").unwrap_err().is_unsupported());
+        assert!(e.reason("", "").unwrap_err().is_unsupported());
+        assert!(e.analyze(AnalysisFunc::Triangles).unwrap_err().is_unsupported());
+    }
+}

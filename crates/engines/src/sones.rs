@@ -1,0 +1,631 @@
+//! Sones emulation.
+//!
+//! The paper: "Sones is a graph database which provides an inherent
+//! support for high-level data abstraction concepts for graphs (e.g.,
+//! walks). It defines its own graph query language." Profile: the
+//! richest structural row of Table III (hypergraphs *and* attributed
+//! graphs), all three database languages plus API and GUI (Table II),
+//! a graphical query language (Table V), identity and cardinality
+//! constraints (Table VI), main-memory storage with indexes and no
+//! external persistence (Table I).
+//!
+//! The model is an attributed atom space (`gdm_graphs::HyperGraph`):
+//! binary links are ordinary edges, n-ary links are Sones' hyperedges,
+//! and the GQL front-end (`gdm_query::gql`) runs over the binary
+//! projection.
+
+use crate::facade::{AnalysisFunc, EngineDescriptor, GraphEngine, SummaryFunc};
+use gdm_algo::adjacency::nodes_adjacent;
+use gdm_algo::analysis;
+use gdm_algo::summary;
+use gdm_core::{
+    Direction, EdgeId, FxHashMap, GdmError, GraphView, NodeId, PropertyMap, Result, Support,
+    Value,
+};
+use gdm_graphs::hyper::{AtomId, HyperGraph};
+use gdm_query::eval::{evaluate_select, ResultSet};
+use gdm_query::gql::{self, GqlStatement};
+use gdm_schema::{Cardinality, Constraint, EdgeTypeDef, NodeTypeDef, PropertyType, Schema, ValueType};
+use gdm_storage::{HashIndex, ValueIndex};
+
+const NAME: &str = "Sones";
+
+/// The Sones emulation.
+pub struct SonesEngine {
+    atoms: HyperGraph,
+    schema: Schema,
+    identities: Vec<(String, String)>,
+    cardinalities: Vec<(String, Cardinality)>,
+    indexes: FxHashMap<String, HashIndex>,
+    tx_snapshot: Option<HyperGraph>,
+}
+
+impl Default for SonesEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SonesEngine {
+    /// Creates an empty (main-memory) database.
+    pub fn new() -> Self {
+        Self {
+            atoms: HyperGraph::new(),
+            schema: Schema::new(),
+            identities: Vec::new(),
+            cardinalities: Vec::new(),
+            indexes: FxHashMap::default(),
+            tx_snapshot: None,
+        }
+    }
+
+    fn unsupported<T>(&self, feature: &str) -> Result<T> {
+        Err(GdmError::unsupported(NAME, feature.to_owned()))
+    }
+
+    fn check_identity(&self, label: &str, props: &PropertyMap) -> Result<()> {
+        for (type_name, key) in &self.identities {
+            if type_name == label {
+                let Some(value) = props.get(key) else {
+                    return Err(GdmError::Constraint(format!(
+                        "vertex of type {label} lacks identity property {key:?}"
+                    )));
+                };
+                for id in self.atoms.node_ids() {
+                    if self.atoms.label(id).ok() == Some(label)
+                        && self.atoms.property(id, key) == Some(value)
+                    {
+                        return Err(GdmError::Constraint(format!(
+                            "identity {key} = {value} already taken by {id}"
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_cardinality(&self, label: &str, from: AtomId) -> Result<()> {
+        for (type_name, card) in &self.cardinalities {
+            if type_name != label {
+                continue;
+            }
+            let limit_out = matches!(card, Cardinality::OneFromSource | Cardinality::OneToOne);
+            if !limit_out {
+                continue;
+            }
+            for link in self.atoms.incidence(from)?.iter() {
+                if self.atoms.label(*link).ok() == Some(label)
+                    && self.atoms.targets(*link)?.first() == Some(&from)
+                {
+                    return Err(GdmError::Constraint(format!(
+                        "cardinality {card:?}: {from} already has an outgoing {label} edge"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn find_by(&self, type_name: &str, key: &str, value: &Value) -> Result<AtomId> {
+        for id in self.atoms.node_ids() {
+            if self.atoms.label(id).ok() == Some(type_name) && self.atoms.property(id, key) == Some(value)
+            {
+                return Ok(id);
+            }
+        }
+        Err(GdmError::NotFound(format!(
+            "{type_name} with {key} = {value}"
+        )))
+    }
+
+    /// Sones' signature "walk" abstraction (the paper: "inherent
+    /// support for high-level data abstraction concepts for graphs
+    /// (e.g., walks)"): follow a fixed sequence of edge types from
+    /// `start`, returning every vertex sequence that spells it.
+    pub fn walks(&self, start: NodeId, edge_types: &[&str]) -> Result<Vec<Vec<NodeId>>> {
+        let view = self.atoms.two_section();
+        let mut complete = Vec::new();
+        let mut partial: Vec<Vec<NodeId>> = vec![vec![start]];
+        for want in edge_types {
+            let mut next = Vec::new();
+            for walk in &partial {
+                let last = *walk.last().expect("walks are non-empty");
+                gdm_core::GraphView::visit_out_edges(&view, last, &mut |e| {
+                    let matches = e
+                        .label
+                        .and_then(|s| gdm_core::GraphView::label_text(&view, s))
+                        .is_some_and(|t| t == *want);
+                    if matches {
+                        let mut w = walk.clone();
+                        w.push(e.to);
+                        next.push(w);
+                    }
+                });
+            }
+            partial = next;
+            if partial.is_empty() {
+                break;
+            }
+        }
+        complete.extend(partial);
+        Ok(complete)
+    }
+
+    fn index_atom(&mut self, id: AtomId, props: &PropertyMap) {
+        for (key, index) in self.indexes.iter_mut() {
+            if let Some(v) = props.get(key) {
+                index.insert(v, id.raw());
+            }
+        }
+    }
+}
+
+impl GraphEngine for SonesEngine {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn descriptor(&self) -> EngineDescriptor {
+        EngineDescriptor {
+            name: NAME,
+            gui: Support::Full,
+            graphical_ql: Support::Full,
+            query_language_grade: Support::Full,
+            backend_storage: Support::None,
+            blurb: "inherent support for high-level graph abstractions; defines its own query language",
+        }
+    }
+
+    fn create_node(&mut self, label: Option<&str>, props: PropertyMap) -> Result<NodeId> {
+        let label = label.unwrap_or("Vertex");
+        self.check_identity(label, &props)?;
+        let id = self.atoms.add_node(label, props.clone());
+        self.index_atom(id, &props);
+        Ok(NodeId(id.raw()))
+    }
+
+    fn create_edge(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        label: Option<&str>,
+        props: PropertyMap,
+    ) -> Result<EdgeId> {
+        let label = label.unwrap_or("Edge");
+        self.check_cardinality(label, AtomId(from.raw()))?;
+        let id = self
+            .atoms
+            .add_link(label, &[AtomId(from.raw()), AtomId(to.raw())], props)?;
+        Ok(EdgeId(id.raw()))
+    }
+
+    fn create_hyperedge(
+        &mut self,
+        label: &str,
+        targets: &[NodeId],
+        props: PropertyMap,
+    ) -> Result<EdgeId> {
+        let atoms: Vec<AtomId> = targets.iter().map(|n| AtomId(n.raw())).collect();
+        let id = self.atoms.add_link(label, &atoms, props)?;
+        Ok(EdgeId(id.raw()))
+    }
+
+    fn create_edge_on_edge(&mut self, from: EdgeId, to: NodeId, label: &str) -> Result<EdgeId> {
+        let id = self.atoms.add_link(
+            label,
+            &[AtomId(from.raw()), AtomId(to.raw())],
+            PropertyMap::new(),
+        )?;
+        Ok(EdgeId(id.raw()))
+    }
+
+    fn nest_subgraph(&mut self, _node: NodeId) -> Result<()> {
+        self.unsupported("nested graphs")
+    }
+
+    fn set_node_attribute(&mut self, n: NodeId, key: &str, value: Value) -> Result<()> {
+        self.atoms.set_property(AtomId(n.raw()), key, value.clone())?;
+        if let Some(index) = self.indexes.get_mut(key) {
+            index.insert(&value, n.raw());
+        }
+        Ok(())
+    }
+
+    fn set_edge_attribute(&mut self, e: EdgeId, key: &str, value: Value) -> Result<()> {
+        self.atoms.set_property(AtomId(e.raw()), key, value)
+    }
+
+    fn node_attribute(&self, n: NodeId, key: &str) -> Result<Option<Value>> {
+        if !self.atoms.contains(AtomId(n.raw())) {
+            return Err(GdmError::NotFound(format!("vertex {n}")));
+        }
+        Ok(self.atoms.property(AtomId(n.raw()), key).cloned())
+    }
+
+    fn delete_node(&mut self, n: NodeId) -> Result<()> {
+        self.atoms.remove_atom(AtomId(n.raw()), true)
+    }
+
+    fn delete_edge(&mut self, e: EdgeId) -> Result<()> {
+        self.atoms.remove_atom(AtomId(e.raw()), true)
+    }
+
+    fn node_count(&self) -> usize {
+        self.atoms.node_count()
+    }
+
+    fn edge_count(&self) -> usize {
+        self.atoms.link_count()
+    }
+
+    fn define_node_type(&mut self, def: NodeTypeDef) -> Result<()> {
+        // Unique attributes install identity constraints automatically.
+        for pt in &def.properties {
+            if pt.unique {
+                self.identities.push((def.name.clone(), pt.name.clone()));
+            }
+        }
+        self.schema.add_node_type(def)
+    }
+
+    fn define_edge_type(&mut self, def: EdgeTypeDef) -> Result<()> {
+        if def.cardinality != Cardinality::ManyToMany {
+            self.cardinalities.push((def.name.clone(), def.cardinality));
+        }
+        self.schema.add_edge_type(def)
+    }
+
+    fn install_constraint(&mut self, constraint: Constraint) -> Result<()> {
+        match constraint {
+            Constraint::Identity {
+                type_name,
+                property,
+            } => {
+                self.identities.push((type_name, property));
+                Ok(())
+            }
+            Constraint::Cardinality(schema) => {
+                for def in schema.edge_types() {
+                    if def.cardinality != Cardinality::ManyToMany {
+                        self.cardinalities.push((def.name.clone(), def.cardinality));
+                    }
+                }
+                Ok(())
+            }
+            _ => self.unsupported("this constraint kind (identity and cardinality only)"),
+        }
+    }
+
+    fn execute_ddl(&mut self, statement: &str) -> Result<()> {
+        match gql::parse(statement)? {
+            GqlStatement::CreateVertexType { name, attributes } => {
+                let mut def = NodeTypeDef::new(name);
+                for a in attributes {
+                    let vt = ValueType::parse(&a.type_name).ok_or_else(|| {
+                        GdmError::Schema(format!("unknown attribute type {:?}", a.type_name))
+                    })?;
+                    let mut pt = if a.mandatory {
+                        PropertyType::required(&a.name, vt)
+                    } else {
+                        PropertyType::optional(&a.name, vt)
+                    };
+                    if a.unique {
+                        pt = pt.unique();
+                    }
+                    def = def.with(pt);
+                }
+                self.define_node_type(def)
+            }
+            GqlStatement::CreateEdgeType { name, from, to } => {
+                self.define_edge_type(EdgeTypeDef::new(name).between(from, to))
+            }
+            _ => Err(GdmError::InvalidArgument(
+                "not a DDL statement (use CREATE VERTEX TYPE / CREATE EDGE TYPE)".into(),
+            )),
+        }
+    }
+
+    fn execute_dml(&mut self, statement: &str) -> Result<()> {
+        match gql::parse(statement)? {
+            GqlStatement::InsertVertex { type_name, props } => {
+                self.create_node(Some(&type_name), props)?;
+                Ok(())
+            }
+            GqlStatement::InsertEdge {
+                type_name,
+                from,
+                to,
+                props,
+            } => {
+                let f = self.find_by(&from.0, &from.1, &from.2)?;
+                let t = self.find_by(&to.0, &to.1, &to.2)?;
+                self.create_edge(
+                    NodeId(f.raw()),
+                    NodeId(t.raw()),
+                    Some(&type_name),
+                    props,
+                )?;
+                Ok(())
+            }
+            _ => Err(GdmError::InvalidArgument(
+                "not a DML statement (use INSERT INTO / INSERT EDGE)".into(),
+            )),
+        }
+    }
+
+    fn execute_query(&mut self, query: &str) -> Result<ResultSet> {
+        match gql::parse(query)? {
+            GqlStatement::Select(q) => {
+                let view = self.atoms.two_section();
+                evaluate_select(&view, &q)
+            }
+            _ => Err(GdmError::InvalidArgument(
+                "not a query (use FROM … SELECT …)".into(),
+            )),
+        }
+    }
+
+    fn reason(&mut self, _rules: &str, _goal: &str) -> Result<Vec<Vec<String>>> {
+        self.unsupported("reasoning")
+    }
+
+    fn analyze(&self, func: AnalysisFunc) -> Result<Value> {
+        let view = self.atoms.two_section();
+        Ok(match func {
+            AnalysisFunc::ConnectedComponents => {
+                Value::Int(analysis::connected_components(&view).len() as i64)
+            }
+            AnalysisFunc::Triangles => Value::Int(analysis::triangle_count(&view) as i64),
+            AnalysisFunc::AverageClustering => analysis::average_clustering(&view)
+                .map(Value::Float)
+                .unwrap_or(Value::Null),
+            AnalysisFunc::TopDegreeNode => analysis::degree_centrality(&view, 1)
+                .first()
+                .map(|(n, _)| Value::Int(n.raw() as i64))
+                .unwrap_or(Value::Null),
+        })
+    }
+
+    fn adjacent(&self, a: NodeId, b: NodeId) -> Result<bool> {
+        let view = self.atoms.two_section();
+        Ok(nodes_adjacent(&view, a, b))
+    }
+
+    fn k_neighborhood(&self, _n: NodeId, _k: usize) -> Result<Vec<NodeId>> {
+        self.unsupported("k-neighborhood queries")
+    }
+
+    fn fixed_length_paths(&self, _a: NodeId, _b: NodeId, _len: usize) -> Result<usize> {
+        self.unsupported("fixed-length path queries")
+    }
+
+    fn regular_path(&self, _a: NodeId, _b: NodeId, _expr: &str) -> Result<bool> {
+        self.unsupported("regular path queries")
+    }
+
+    fn shortest_path(&self, _a: NodeId, _b: NodeId) -> Result<Option<Vec<NodeId>>> {
+        self.unsupported("shortest path queries")
+    }
+
+    fn pattern_match(&self, _pattern: &gdm_algo::pattern::Pattern) -> Result<usize> {
+        self.unsupported("pattern matching queries")
+    }
+
+    fn summarize(&self, func: SummaryFunc) -> Result<Value> {
+        let view = self.atoms.two_section();
+        Ok(match func {
+            SummaryFunc::Order => Value::Int(self.atoms.node_count() as i64),
+            SummaryFunc::Size => Value::Int(self.atoms.link_count() as i64),
+            SummaryFunc::Degree(n) => Value::Int(view.degree(n) as i64),
+            SummaryFunc::MinDegree => match summary::degree_stats(&view) {
+                Some((min, _, _)) => Value::Int(min as i64),
+                None => Value::Null,
+            },
+            SummaryFunc::MaxDegree => match summary::degree_stats(&view) {
+                Some((_, max, _)) => Value::Int(max as i64),
+                None => Value::Null,
+            },
+            SummaryFunc::AvgDegree => match summary::degree_stats(&view) {
+                Some((_, _, avg)) => Value::Float(avg),
+                None => Value::Null,
+            },
+            SummaryFunc::Distance(a, b) => match summary::distance_between(&view, a, b) {
+                Some(d) => Value::Int(d as i64),
+                None => Value::Null,
+            },
+            SummaryFunc::Diameter => match summary::diameter(&view, Direction::Outgoing) {
+                Some(d) => Value::Int(d as i64),
+                None => Value::Null,
+            },
+            SummaryFunc::PropertyAggregate(agg, key) => {
+                let values: Vec<Value> = self
+                    .atoms
+                    .node_ids()
+                    .into_iter()
+                    .filter_map(|a| self.atoms.property(a, key).cloned())
+                    .collect();
+                summary::aggregate(agg, &values)?
+            }
+        })
+    }
+
+    fn begin_transaction(&mut self) -> Result<()> {
+        if self.tx_snapshot.is_some() {
+            return Err(GdmError::InvalidArgument("transaction already open".into()));
+        }
+        self.tx_snapshot = Some(self.atoms.clone());
+        Ok(())
+    }
+
+    fn commit_transaction(&mut self) -> Result<()> {
+        self.tx_snapshot
+            .take()
+            .map(|_| ())
+            .ok_or_else(|| GdmError::InvalidArgument("no open transaction".into()))
+    }
+
+    fn rollback_transaction(&mut self) -> Result<()> {
+        let snapshot = self
+            .tx_snapshot
+            .take()
+            .ok_or_else(|| GdmError::InvalidArgument("no open transaction".into()))?;
+        self.atoms = snapshot;
+        Ok(())
+    }
+
+    fn persist(&mut self) -> Result<()> {
+        self.unsupported("external-memory persistence (main-memory system)")
+    }
+
+    fn create_index(&mut self, property: &str) -> Result<()> {
+        let mut index = HashIndex::new();
+        for id in self.atoms.node_ids() {
+            if let Some(v) = self.atoms.property(id, property) {
+                index.insert(v, id.raw());
+            }
+        }
+        self.indexes.insert(property.to_owned(), index);
+        Ok(())
+    }
+
+    fn lookup_by_property(&self, key: &str, value: &Value) -> Result<Vec<NodeId>> {
+        match self.indexes.get(key) {
+            Some(index) => Ok(index.lookup(value).into_iter().map(NodeId).collect()),
+            None => {
+                let mut out = Vec::new();
+                for id in self.atoms.node_ids() {
+                    if self.atoms.property(id, key) == Some(value) {
+                        out.push(NodeId(id.raw()));
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdm_core::props;
+
+    #[test]
+    fn gql_end_to_end() {
+        let mut e = SonesEngine::new();
+        e.execute_ddl("CREATE VERTEX TYPE Person ATTRIBUTES (String name UNIQUE, Int age)")
+            .unwrap();
+        e.execute_ddl("CREATE EDGE TYPE knows FROM Person TO Person")
+            .unwrap();
+        e.execute_dml("INSERT INTO Person VALUES (name = 'ana', age = 30)")
+            .unwrap();
+        e.execute_dml("INSERT INTO Person VALUES (name = 'bob', age = 45)")
+            .unwrap();
+        e.execute_dml(
+            "INSERT EDGE knows FROM Person (name = 'ana') TO Person (name = 'bob')",
+        )
+        .unwrap();
+        let rs = e
+            .execute_query("FROM Person p SELECT p.name WHERE p.age > 40")
+            .unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows[0][0], Value::from("bob"));
+        // UNIQUE attribute acts as identity constraint.
+        assert!(e
+            .execute_dml("INSERT INTO Person VALUES (name = 'ana', age = 99)")
+            .is_err());
+    }
+
+    #[test]
+    fn hyperedges_supported() {
+        let mut e = SonesEngine::new();
+        let a = e.create_node(Some("T"), props! {}).unwrap();
+        let b = e.create_node(Some("T"), props! {}).unwrap();
+        let c = e.create_node(Some("T"), props! {}).unwrap();
+        e.create_hyperedge("walk", &[a, b, c], props! {}).unwrap();
+        assert!(e.adjacent(a, c).unwrap());
+    }
+
+    #[test]
+    fn cardinality_constraint() {
+        let mut e = SonesEngine::new();
+        e.define_node_type(NodeTypeDef::new("Person")).unwrap();
+        e.define_node_type(NodeTypeDef::new("Company")).unwrap();
+        e.define_edge_type(
+            EdgeTypeDef::new("works_at")
+                .between("Person", "Company")
+                .cardinality(Cardinality::OneFromSource),
+        )
+        .unwrap();
+        let p = e.create_node(Some("Person"), props! {}).unwrap();
+        let c1 = e.create_node(Some("Company"), props! {}).unwrap();
+        let c2 = e.create_node(Some("Company"), props! {}).unwrap();
+        e.create_edge(p, c1, Some("works_at"), props! {}).unwrap();
+        let err = e.create_edge(p, c2, Some("works_at"), props! {}).unwrap_err();
+        assert!(err.to_string().contains("cardinality"));
+    }
+
+    #[test]
+    fn analysis_functions() {
+        let mut e = SonesEngine::new();
+        let a = e.create_node(Some("T"), props! {}).unwrap();
+        let b = e.create_node(Some("T"), props! {}).unwrap();
+        let c = e.create_node(Some("T"), props! {}).unwrap();
+        e.create_edge(a, b, Some("r"), props! {}).unwrap();
+        e.create_edge(b, c, Some("r"), props! {}).unwrap();
+        e.create_edge(c, a, Some("r"), props! {}).unwrap();
+        assert_eq!(
+            e.analyze(AnalysisFunc::Triangles).unwrap(),
+            Value::Int(1)
+        );
+        assert_eq!(
+            e.analyze(AnalysisFunc::ConnectedComponents).unwrap(),
+            Value::Int(1)
+        );
+    }
+
+    #[test]
+    fn main_memory_profile() {
+        let mut e = SonesEngine::new();
+        assert!(e.persist().unwrap_err().is_unsupported());
+        let a = e.create_node(Some("T"), props! {}).unwrap();
+        let b = e.create_node(Some("T"), props! {}).unwrap();
+        assert!(e.shortest_path(a, b).unwrap_err().is_unsupported());
+        assert!(e.k_neighborhood(a, 2).unwrap_err().is_unsupported());
+    }
+
+    #[test]
+    fn walks_follow_edge_type_sequences() {
+        let mut e = SonesEngine::new();
+        let a = e.create_node(Some("City"), props! { "name" => "a" }).unwrap();
+        let b = e.create_node(Some("City"), props! { "name" => "b" }).unwrap();
+        let c = e.create_node(Some("City"), props! { "name" => "c" }).unwrap();
+        let d = e.create_node(Some("City"), props! { "name" => "d" }).unwrap();
+        e.create_edge(a, b, Some("road"), props! {}).unwrap();
+        e.create_edge(b, c, Some("rail"), props! {}).unwrap();
+        e.create_edge(a, d, Some("road"), props! {}).unwrap();
+        e.create_edge(d, c, Some("rail"), props! {}).unwrap();
+        let walks = e.walks(a, &["road", "rail"]).unwrap();
+        assert_eq!(walks.len(), 2, "two road-then-rail walks from a");
+        assert!(walks.iter().all(|w| w[0] == a && w[2] == c));
+        // A type sequence nothing spells.
+        assert!(e.walks(a, &["rail", "road"]).unwrap().is_empty());
+        // The empty sequence is the trivial walk.
+        assert_eq!(e.walks(a, &[]).unwrap(), vec![vec![a]]);
+    }
+
+    #[test]
+    fn summarize_with_aggregates() {
+        let mut e = SonesEngine::new();
+        e.create_node(Some("T"), props! { "x" => 1 }).unwrap();
+        e.create_node(Some("T"), props! { "x" => 3 }).unwrap();
+        assert_eq!(
+            e.summarize(SummaryFunc::PropertyAggregate(
+                gdm_algo::summary::Aggregate::Avg,
+                "x"
+            ))
+            .unwrap(),
+            Value::Float(2.0)
+        );
+    }
+}

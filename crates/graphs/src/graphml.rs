@@ -1,0 +1,520 @@
+//! GraphML import/export for property graphs.
+//!
+//! The paper: "An important feature ... is the support to import and
+//! export data in different data formats. Although there exists some
+//! data formats for encoding graphs (e.g., GraphML and TGV) none of
+//! them has been selected as the standard one. This issue is
+//! particularly relevant for data exchange and sharing." This module
+//! supplies the exchange path the 2012 systems lacked: a GraphML
+//! subset (`<key>`, `<node>`, `<edge>`, `<data>`) sufficient to round-
+//! trip every [`PropertyGraph`], written and parsed in-tree (the
+//! dependency policy of DESIGN.md §6 — no XML crate).
+//!
+//! Supported subset: one `<graph>` per document, `directed`
+//! edgedefault, attribute keys declared with `attr.name` and
+//! `attr.type ∈ {string, int, long, double, float, boolean}`, node
+//! labels carried in the reserved key `labelV`, edge labels in
+//! `labelE` (the convention several GraphML producers use).
+
+use crate::property::PropertyGraph;
+use gdm_core::{GdmError, GraphView, NodeId, PropertyMap, Result, Value};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+const LABEL_V: &str = "labelV";
+const LABEL_E: &str = "labelE";
+
+// ---------------------------------------------------------------------
+// Export
+// ---------------------------------------------------------------------
+
+fn xml_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn type_name(v: &Value) -> Option<&'static str> {
+    match v {
+        Value::Bool(_) => Some("boolean"),
+        Value::Int(_) => Some("long"),
+        Value::Float(_) => Some("double"),
+        Value::Str(_) => Some("string"),
+        // Lists and nulls are outside the GraphML attribute model.
+        Value::Null | Value::List(_) => None,
+    }
+}
+
+/// Serializes `g` as a GraphML document. Properties holding lists or
+/// nulls are rejected (outside the GraphML attribute model).
+pub fn export(g: &PropertyGraph) -> Result<String> {
+    // Collect attribute keys and their types from the data.
+    let mut node_keys: HashMap<String, &'static str> = HashMap::new();
+    let mut edge_keys: HashMap<String, &'static str> = HashMap::new();
+    let mut nodes = Vec::new();
+    g.visit_nodes(&mut |n| nodes.push(n));
+    let register = |keys: &mut HashMap<String, &'static str>,
+                    props: &PropertyMap|
+     -> Result<()> {
+        for (k, v) in props {
+            let t = type_name(v).ok_or_else(|| {
+                GdmError::InvalidArgument(format!(
+                    "property {k:?} has type {}, not representable in GraphML",
+                    v.type_name()
+                ))
+            })?;
+            match keys.get(k.as_str()) {
+                Some(existing) if *existing != t => {
+                    // Widen mixed int/double to double; otherwise string.
+                    let widened = if (*existing == "long" && t == "double")
+                        || (*existing == "double" && t == "long")
+                    {
+                        "double"
+                    } else {
+                        "string"
+                    };
+                    keys.insert(k.clone(), widened);
+                }
+                Some(_) => {}
+                None => {
+                    keys.insert(k.clone(), t);
+                }
+            }
+        }
+        Ok(())
+    };
+    for &n in &nodes {
+        register(&mut node_keys, g.node_properties(n)?)?;
+    }
+    for e in g.edge_ids() {
+        register(&mut edge_keys, g.edge_properties(e)?)?;
+    }
+
+    let mut out = String::new();
+    out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+    out.push_str("<graphml xmlns=\"http://graphml.graphdrawing.org/xmlns\">\n");
+    let _ = writeln!(
+        out,
+        "  <key id=\"{LABEL_V}\" for=\"node\" attr.name=\"{LABEL_V}\" attr.type=\"string\"/>"
+    );
+    let _ = writeln!(
+        out,
+        "  <key id=\"{LABEL_E}\" for=\"edge\" attr.name=\"{LABEL_E}\" attr.type=\"string\"/>"
+    );
+    let mut sorted_node_keys: Vec<_> = node_keys.iter().collect();
+    sorted_node_keys.sort();
+    for (k, t) in &sorted_node_keys {
+        let _ = writeln!(
+            out,
+            "  <key id=\"n_{k}\" for=\"node\" attr.name=\"{}\" attr.type=\"{t}\"/>",
+            xml_escape(k)
+        );
+    }
+    let mut sorted_edge_keys: Vec<_> = edge_keys.iter().collect();
+    sorted_edge_keys.sort();
+    for (k, t) in &sorted_edge_keys {
+        let _ = writeln!(
+            out,
+            "  <key id=\"e_{k}\" for=\"edge\" attr.name=\"{}\" attr.type=\"{t}\"/>",
+            xml_escape(k)
+        );
+    }
+    out.push_str("  <graph id=\"G\" edgedefault=\"directed\">\n");
+    for &n in &nodes {
+        let _ = writeln!(out, "    <node id=\"n{}\">", n.raw());
+        let _ = writeln!(
+            out,
+            "      <data key=\"{LABEL_V}\">{}</data>",
+            xml_escape(g.node_label_text(n)?)
+        );
+        for (k, v) in g.node_properties(n)? {
+            let _ = writeln!(
+                out,
+                "      <data key=\"n_{}\">{}</data>",
+                xml_escape(k),
+                xml_escape(&v.to_string())
+            );
+        }
+        out.push_str("    </node>\n");
+    }
+    for e in g.edge_ids() {
+        let (from, to) = g.edge_endpoints(e)?;
+        let _ = writeln!(
+            out,
+            "    <edge id=\"e{}\" source=\"n{}\" target=\"n{}\">",
+            e.raw(),
+            from.raw(),
+            to.raw()
+        );
+        let _ = writeln!(
+            out,
+            "      <data key=\"{LABEL_E}\">{}</data>",
+            xml_escape(g.edge_label_text(e)?)
+        );
+        for (k, v) in g.edge_properties(e)? {
+            let _ = writeln!(
+                out,
+                "      <data key=\"e_{}\">{}</data>",
+                xml_escape(k),
+                xml_escape(&v.to_string())
+            );
+        }
+        out.push_str("    </edge>\n");
+    }
+    out.push_str("  </graph>\n</graphml>\n");
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Import (a small event parser for the subset we emit / accept)
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Event {
+    Open(String, HashMap<String, String>),
+    Close(String),
+    /// Self-closing tag.
+    Empty(String, HashMap<String, String>),
+    Text(String),
+}
+
+fn xml_unescape(s: &str) -> String {
+    s.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&apos;", "'")
+        .replace("&amp;", "&")
+}
+
+fn parse_events(src: &str) -> Result<Vec<Event>> {
+    let mut events = Vec::new();
+    let mut rest = src;
+    while let Some(lt) = rest.find('<') {
+        let text = rest[..lt].trim();
+        if !text.is_empty() {
+            events.push(Event::Text(xml_unescape(text)));
+        }
+        let Some(gt) = rest[lt..].find('>') else {
+            return Err(GdmError::Parse {
+                dialect: "graphml",
+                message: "unterminated tag".into(),
+                position: lt,
+            });
+        };
+        let tag = &rest[lt + 1..lt + gt];
+        rest = &rest[lt + gt + 1..];
+        if tag.starts_with('?') || tag.starts_with('!') {
+            continue; // declaration / comment
+        }
+        if let Some(name) = tag.strip_prefix('/') {
+            events.push(Event::Close(name.trim().to_owned()));
+            continue;
+        }
+        let self_closing = tag.ends_with('/');
+        let tag = tag.trim_end_matches('/');
+        let mut parts = tag.splitn(2, char::is_whitespace);
+        let name = parts.next().unwrap_or_default().to_owned();
+        let mut attrs = HashMap::new();
+        if let Some(attr_text) = parts.next() {
+            let mut remaining = attr_text.trim();
+            while !remaining.is_empty() {
+                let Some(eq) = remaining.find('=') else { break };
+                let key = remaining[..eq].trim().to_owned();
+                let after = remaining[eq + 1..].trim_start();
+                let Some(quote) = after.chars().next() else { break };
+                if quote != '"' && quote != '\'' {
+                    return Err(GdmError::Parse {
+                        dialect: "graphml",
+                        message: format!("unquoted attribute value for {key}"),
+                        position: 0,
+                    });
+                }
+                let Some(end) = after[1..].find(quote) else {
+                    return Err(GdmError::Parse {
+                        dialect: "graphml",
+                        message: format!("unterminated attribute value for {key}"),
+                        position: 0,
+                    });
+                };
+                attrs.insert(key, xml_unescape(&after[1..1 + end]));
+                remaining = after[end + 2..].trim_start();
+            }
+        }
+        if self_closing {
+            events.push(Event::Empty(name, attrs));
+        } else {
+            events.push(Event::Open(name, attrs));
+        }
+    }
+    Ok(events)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum KeyType {
+    Str,
+    Int,
+    Float,
+    Bool,
+}
+
+fn parse_value(t: KeyType, text: &str) -> Result<Value> {
+    Ok(match t {
+        KeyType::Str => Value::Str(text.to_owned()),
+        KeyType::Int => Value::Int(text.trim().parse().map_err(|_| GdmError::Parse {
+            dialect: "graphml",
+            message: format!("bad integer {text:?}"),
+            position: 0,
+        })?),
+        KeyType::Float => Value::Float(text.trim().parse().map_err(|_| GdmError::Parse {
+            dialect: "graphml",
+            message: format!("bad float {text:?}"),
+            position: 0,
+        })?),
+        KeyType::Bool => match text.trim() {
+            "true" | "1" => Value::Bool(true),
+            "false" | "0" => Value::Bool(false),
+            other => {
+                return Err(GdmError::Parse {
+                    dialect: "graphml",
+                    message: format!("bad boolean {other:?}"),
+                    position: 0,
+                })
+            }
+        },
+    })
+}
+
+/// Parses a GraphML document (the subset documented on this module)
+/// into a [`PropertyGraph`].
+pub fn import(src: &str) -> Result<PropertyGraph> {
+    let events = parse_events(src)?;
+    // key id → (attr.name, type)
+    let mut keys: HashMap<String, (String, KeyType)> = HashMap::new();
+    let mut g = PropertyGraph::new();
+    let mut node_ids: HashMap<String, NodeId> = HashMap::new();
+
+    #[derive(Default)]
+    struct Pending {
+        xml_id: String,
+        source: String,
+        target: String,
+        is_edge: bool,
+        label: Option<String>,
+        props: PropertyMap,
+    }
+    let mut current: Option<Pending> = None;
+    let mut current_data_key: Option<String> = None;
+    let mut current_text = String::new();
+
+    let finish = |g: &mut PropertyGraph,
+                      node_ids: &mut HashMap<String, NodeId>,
+                      p: Pending|
+     -> Result<()> {
+        if p.is_edge {
+            let from = *node_ids.get(&p.source).ok_or_else(|| {
+                GdmError::Parse {
+                    dialect: "graphml",
+                    message: format!("edge references unknown node {:?}", p.source),
+                    position: 0,
+                }
+            })?;
+            let to = *node_ids.get(&p.target).ok_or_else(|| GdmError::Parse {
+                dialect: "graphml",
+                message: format!("edge references unknown node {:?}", p.target),
+                position: 0,
+            })?;
+            g.add_edge(from, to, p.label.as_deref().unwrap_or("edge"), p.props)?;
+        } else {
+            let id = g.add_node(p.label.as_deref().unwrap_or("node"), p.props);
+            node_ids.insert(p.xml_id, id);
+        }
+        Ok(())
+    };
+
+    for event in events {
+        match event {
+            Event::Empty(name, attrs) | Event::Open(name, attrs)
+                if name == "key" =>
+            {
+                let id = attrs.get("id").cloned().unwrap_or_default();
+                let attr_name = attrs.get("attr.name").cloned().unwrap_or_else(|| id.clone());
+                let t = match attrs.get("attr.type").map(String::as_str) {
+                    Some("int") | Some("long") => KeyType::Int,
+                    Some("double") | Some("float") => KeyType::Float,
+                    Some("boolean") => KeyType::Bool,
+                    _ => KeyType::Str,
+                };
+                keys.insert(id, (attr_name, t));
+            }
+            Event::Open(name, attrs) if name == "node" || name == "edge" => {
+                current = Some(Pending {
+                    xml_id: attrs.get("id").cloned().unwrap_or_default(),
+                    source: attrs.get("source").cloned().unwrap_or_default(),
+                    target: attrs.get("target").cloned().unwrap_or_default(),
+                    is_edge: name == "edge",
+                    label: None,
+                    props: PropertyMap::new(),
+                });
+            }
+            Event::Empty(name, attrs) if name == "node" || name == "edge" => {
+                let p = Pending {
+                    xml_id: attrs.get("id").cloned().unwrap_or_default(),
+                    source: attrs.get("source").cloned().unwrap_or_default(),
+                    target: attrs.get("target").cloned().unwrap_or_default(),
+                    is_edge: name == "edge",
+                    label: None,
+                    props: PropertyMap::new(),
+                };
+                finish(&mut g, &mut node_ids, p)?;
+            }
+            Event::Close(name) if name == "node" || name == "edge" => {
+                if let Some(p) = current.take() {
+                    finish(&mut g, &mut node_ids, p)?;
+                }
+            }
+            Event::Open(name, attrs) if name == "data" => {
+                current_data_key = attrs.get("key").cloned();
+                current_text.clear();
+            }
+            Event::Text(text) => {
+                current_text.push_str(&text);
+            }
+            Event::Close(name) if name == "data" => {
+                let Some(key_id) = current_data_key.take() else {
+                    continue;
+                };
+                let Some(p) = current.as_mut() else { continue };
+                if key_id == LABEL_V || key_id == LABEL_E {
+                    p.label = Some(current_text.clone());
+                    continue;
+                }
+                let (attr_name, t) = keys
+                    .get(&key_id)
+                    .cloned()
+                    .unwrap_or((key_id.clone(), KeyType::Str));
+                p.props.set(attr_name, parse_value(t, &current_text)?);
+            }
+            _ => {}
+        }
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdm_core::{props, AttributedView};
+
+    fn sample() -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        let a = g.add_node("person", props! { "name" => "ada <3", "age" => 36 });
+        let b = g.add_node("person", props! { "name" => "bob & co", "score" => 0.5 });
+        let c = g.add_node("company", props! { "active" => true });
+        g.add_edge(a, b, "knows", props! { "since" => 2001 }).unwrap();
+        g.add_edge(a, c, "works_at", props! {}).unwrap();
+        g
+    }
+
+    #[test]
+    fn export_emits_wellformed_subset() {
+        let xml = export(&sample()).unwrap();
+        assert!(xml.starts_with("<?xml"));
+        assert!(xml.contains("edgedefault=\"directed\""));
+        assert!(xml.contains("ada &lt;3"), "escaping applied");
+        assert!(xml.contains("bob &amp; co"));
+        assert!(xml.contains("attr.type=\"long\""));
+        assert!(xml.contains("attr.type=\"boolean\""));
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let g = sample();
+        let back = import(&export(&g).unwrap()).unwrap();
+        assert_eq!(back.node_count(), g.node_count());
+        assert_eq!(back.edge_count(), g.edge_count());
+        let people = back.nodes_with_label("person");
+        assert_eq!(people.len(), 2);
+        let names: Vec<Option<Value>> = people
+            .iter()
+            .map(|&n| back.node_property(n, "name"))
+            .collect();
+        assert!(names.contains(&Some(Value::from("ada <3"))));
+        assert!(names.contains(&Some(Value::from("bob & co"))));
+        let e = back.edge_ids();
+        let since: Vec<Option<Value>> = e.iter().map(|&e| back.edge_property(e, "since")).collect();
+        assert!(since.contains(&Some(Value::from(2001))));
+        // Types survive: int stays int, float float, bool bool.
+        let company = back.nodes_with_label("company")[0];
+        assert_eq!(back.node_property(company, "active"), Some(Value::from(true)));
+    }
+
+    #[test]
+    fn imports_foreign_graphml() {
+        // A document with formatting quirks: self-closing nodes,
+        // unknown keys without declarations, single-quoted attributes.
+        let xml = r#"<?xml version='1.0'?>
+<graphml>
+  <key id="w" for="edge" attr.name="weight" attr.type="double"/>
+  <graph id="G" edgedefault="directed">
+    <node id="alpha"/>
+    <node id="beta">
+      <data key="labelV">City</data>
+      <data key="undeclared">hello</data>
+    </node>
+    <edge id="x" source="alpha" target="beta">
+      <data key="w">2.5</data>
+    </edge>
+  </graph>
+</graphml>"#;
+        let g = import(xml).unwrap();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.nodes_with_label("City").len(), 1);
+        assert_eq!(g.nodes_with_label("node").len(), 1, "default label");
+        let e = g.edge_ids()[0];
+        assert_eq!(g.edge_property(e, "weight"), Some(Value::from(2.5)));
+        let city = g.nodes_with_label("City")[0];
+        assert_eq!(
+            g.node_property(city, "undeclared"),
+            Some(Value::from("hello"))
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(import("<graphml><graph><node id='a'").is_err());
+        assert!(import(
+            "<graphml><graph><edge source='ghost' target='ghost2'></edge></graph></graphml>"
+        )
+        .is_err());
+        let mut g = PropertyGraph::new();
+        g.add_node("n", props! { "bad" => Value::List(vec![]) });
+        assert!(export(&g).is_err(), "lists are outside the GraphML model");
+    }
+
+    #[test]
+    fn mixed_numeric_key_types_widen() {
+        let mut g = PropertyGraph::new();
+        g.add_node("n", props! { "x" => 1 });
+        g.add_node("n", props! { "x" => 1.5 });
+        let xml = export(&g).unwrap();
+        assert!(xml.contains("attr.name=\"x\" attr.type=\"double\""));
+        let back = import(&xml).unwrap();
+        let nodes = back.nodes_with_label("n");
+        let mut values: Vec<f64> = nodes
+            .iter()
+            .filter_map(|&n| back.node_property(n, "x").and_then(|v| v.as_f64()))
+            .collect();
+        values.sort_by(f64::total_cmp);
+        assert_eq!(values, vec![1.0, 1.5]);
+    }
+}

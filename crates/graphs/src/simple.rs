@@ -1,0 +1,367 @@
+//! Simple flat graphs.
+//!
+//! The paper's baseline structure: "a set of nodes (or vertices)
+//! connected by edges (i.e., a binary relation over the set of nodes)".
+//! Nodes and edges may optionally carry a label; edges are directed or
+//! undirected per graph; parallel edges and self-loops are allowed
+//! (several surveyed stores are multigraphs at this level).
+
+use gdm_core::{EdgeId, EdgeRef, GdmError, GraphView, Interner, NodeId, Result, Symbol};
+
+#[derive(Debug, Clone)]
+struct NodeData {
+    label: Option<Symbol>,
+    /// Incident edges: `(edge, other endpoint, this node is the source)`.
+    out: Vec<(EdgeId, NodeId)>,
+    inc: Vec<(EdgeId, NodeId)>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct EdgeData {
+    from: NodeId,
+    to: NodeId,
+    label: Option<Symbol>,
+}
+
+/// A flat (simple or multi) graph with optional node/edge labels.
+#[derive(Debug, Clone)]
+pub struct SimpleGraph {
+    directed: bool,
+    nodes: Vec<Option<NodeData>>,
+    edges: Vec<Option<EdgeData>>,
+    node_count: usize,
+    edge_count: usize,
+    interner: Interner,
+}
+
+impl SimpleGraph {
+    /// Creates an empty directed graph.
+    pub fn directed() -> Self {
+        Self::new(true)
+    }
+
+    /// Creates an empty undirected graph.
+    pub fn undirected() -> Self {
+        Self::new(false)
+    }
+
+    fn new(directed: bool) -> Self {
+        Self {
+            directed,
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            node_count: 0,
+            edge_count: 0,
+            interner: Interner::new(),
+        }
+    }
+
+    /// Adds an unlabeled node.
+    pub fn add_node(&mut self) -> NodeId {
+        self.push_node(None)
+    }
+
+    /// Adds a node labeled `label`.
+    pub fn add_labeled_node(&mut self, label: &str) -> NodeId {
+        let sym = self.interner.intern(label);
+        self.push_node(Some(sym))
+    }
+
+    fn push_node(&mut self, label: Option<Symbol>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u64);
+        self.nodes.push(Some(NodeData {
+            label,
+            out: Vec::new(),
+            inc: Vec::new(),
+        }));
+        self.node_count += 1;
+        id
+    }
+
+    /// Adds an unlabeled edge.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId) -> Result<EdgeId> {
+        self.push_edge(from, to, None)
+    }
+
+    /// Adds an edge labeled `label`.
+    pub fn add_labeled_edge(&mut self, from: NodeId, to: NodeId, label: &str) -> Result<EdgeId> {
+        let sym = self.interner.intern(label);
+        self.push_edge(from, to, Some(sym))
+    }
+
+    fn push_edge(&mut self, from: NodeId, to: NodeId, label: Option<Symbol>) -> Result<EdgeId> {
+        self.node_data(from)?;
+        self.node_data(to)?;
+        let id = EdgeId(self.edges.len() as u64);
+        self.edges.push(Some(EdgeData { from, to, label }));
+        self.node_mut(from).out.push((id, to));
+        if self.directed {
+            self.node_mut(to).inc.push((id, from));
+        } else if from != to {
+            // Undirected: both endpoints see the edge as outgoing.
+            self.node_mut(to).out.push((id, from));
+        }
+        self.edge_count += 1;
+        Ok(id)
+    }
+
+    /// Removes edge `e`.
+    pub fn remove_edge(&mut self, e: EdgeId) -> Result<()> {
+        let data = self
+            .edges
+            .get(e.index())
+            .and_then(|d| *d)
+            .ok_or_else(|| GdmError::NotFound(format!("edge {e}")))?;
+        self.edges[e.index()] = None;
+        self.node_mut(data.from).out.retain(|(id, _)| *id != e);
+        if self.directed {
+            self.node_mut(data.to).inc.retain(|(id, _)| *id != e);
+        } else if data.from != data.to {
+            self.node_mut(data.to).out.retain(|(id, _)| *id != e);
+        }
+        self.edge_count -= 1;
+        Ok(())
+    }
+
+    /// Removes node `n` and every incident edge.
+    pub fn remove_node(&mut self, n: NodeId) -> Result<()> {
+        self.node_data(n)?;
+        let incident: Vec<EdgeId> = {
+            let data = self.nodes[n.index()].as_ref().expect("checked");
+            data.out
+                .iter()
+                .chain(data.inc.iter())
+                .map(|(e, _)| *e)
+                .collect()
+        };
+        for e in incident {
+            // Parallel edges appear once per endpoint list; the first
+            // removal already detached both sides.
+            if self.edges.get(e.index()).is_some_and(Option::is_some) {
+                self.remove_edge(e)?;
+            }
+        }
+        self.nodes[n.index()] = None;
+        self.node_count -= 1;
+        Ok(())
+    }
+
+    /// Node label text, if labeled.
+    pub fn node_label(&self, n: NodeId) -> Option<&str> {
+        let sym = self.nodes.get(n.index())?.as_ref()?.label?;
+        self.interner.resolve(sym)
+    }
+
+    /// Edge label text, if labeled.
+    pub fn edge_label(&self, e: EdgeId) -> Option<&str> {
+        let sym = self.edges.get(e.index())?.as_ref()?.label?;
+        self.interner.resolve(sym)
+    }
+
+    /// Edge endpoints `(from, to)`.
+    pub fn edge_endpoints(&self, e: EdgeId) -> Result<(NodeId, NodeId)> {
+        self.edges
+            .get(e.index())
+            .and_then(|d| *d)
+            .map(|d| (d.from, d.to))
+            .ok_or_else(|| GdmError::NotFound(format!("edge {e}")))
+    }
+
+    /// Interns `label` (for building queries against this graph).
+    pub fn intern(&mut self, label: &str) -> Symbol {
+        self.interner.intern(label)
+    }
+
+    /// Looks up the symbol of an existing label.
+    pub fn label_symbol(&self, label: &str) -> Option<Symbol> {
+        self.interner.get(label)
+    }
+
+    fn node_data(&self, n: NodeId) -> Result<&NodeData> {
+        self.nodes
+            .get(n.index())
+            .and_then(Option::as_ref)
+            .ok_or_else(|| GdmError::NotFound(format!("node {n}")))
+    }
+
+    fn node_mut(&mut self, n: NodeId) -> &mut NodeData {
+        self.nodes[n.index()].as_mut().expect("validated node id")
+    }
+}
+
+impl GraphView for SimpleGraph {
+    fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    fn contains_node(&self, n: NodeId) -> bool {
+        self.nodes.get(n.index()).is_some_and(Option::is_some)
+    }
+
+    fn visit_nodes(&self, f: &mut dyn FnMut(NodeId)) {
+        for (i, slot) in self.nodes.iter().enumerate() {
+            if slot.is_some() {
+                f(NodeId(i as u64));
+            }
+        }
+    }
+
+    fn visit_out_edges(&self, n: NodeId, f: &mut dyn FnMut(EdgeRef)) {
+        let Some(Some(data)) = self.nodes.get(n.index()) else {
+            return;
+        };
+        for &(e, other) in &data.out {
+            let label = self.edges[e.index()].as_ref().and_then(|d| d.label);
+            f(EdgeRef {
+                id: e,
+                from: n,
+                to: other,
+                label,
+            });
+        }
+    }
+
+    fn visit_in_edges(&self, n: NodeId, f: &mut dyn FnMut(EdgeRef)) {
+        let Some(Some(data)) = self.nodes.get(n.index()) else {
+            return;
+        };
+        let list = if self.directed { &data.inc } else { &data.out };
+        for &(e, other) in list {
+            let label = self.edges[e.index()].as_ref().and_then(|d| d.label);
+            f(EdgeRef {
+                id: e,
+                from: n,
+                to: other,
+                label,
+            });
+        }
+    }
+
+    fn label_text(&self, sym: Symbol) -> Option<&str> {
+        self.interner.resolve(sym)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directed_adjacency() {
+        let mut g = SimpleGraph::directed();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        g.add_edge(a, b).unwrap();
+        g.add_edge(a, c).unwrap();
+        g.add_edge(b, c).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.out_neighbors(a), vec![b, c]);
+        assert_eq!(g.out_neighbors(c), vec![]);
+        assert_eq!(g.in_degree(c), 2);
+    }
+
+    #[test]
+    fn undirected_edges_are_symmetric() {
+        let mut g = SimpleGraph::undirected();
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(a, b).unwrap();
+        assert_eq!(g.out_neighbors(a), vec![b]);
+        assert_eq!(g.out_neighbors(b), vec![a]);
+        assert_eq!(g.degree(a), 1);
+        // in_edges mirrors out for undirected graphs.
+        assert_eq!(g.in_edges(a).len(), 1);
+    }
+
+    #[test]
+    fn labels_resolve() {
+        let mut g = SimpleGraph::directed();
+        let a = g.add_labeled_node("paper");
+        let b = g.add_labeled_node("author");
+        let e = g.add_labeled_edge(b, a, "wrote").unwrap();
+        assert_eq!(g.node_label(a), Some("paper"));
+        assert_eq!(g.edge_label(e), Some("wrote"));
+        assert_eq!(g.node_label(NodeId(99)), None);
+        let out = g.out_edges(b);
+        assert_eq!(g.label_text(out[0].label.unwrap()), Some("wrote"));
+    }
+
+    #[test]
+    fn parallel_edges_and_self_loops() {
+        let mut g = SimpleGraph::directed();
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(a, b).unwrap();
+        g.add_edge(a, b).unwrap();
+        g.add_edge(a, a).unwrap();
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.out_degree(a), 3);
+        assert_eq!(g.out_neighbors(a), vec![b, a]); // deduped
+    }
+
+    #[test]
+    fn remove_edge_updates_both_sides() {
+        let mut g = SimpleGraph::directed();
+        let a = g.add_node();
+        let b = g.add_node();
+        let e = g.add_edge(a, b).unwrap();
+        g.remove_edge(e).unwrap();
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.out_degree(a), 0);
+        assert_eq!(g.in_degree(b), 0);
+        assert!(g.remove_edge(e).is_err());
+    }
+
+    #[test]
+    fn remove_node_cascades() {
+        let mut g = SimpleGraph::directed();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        g.add_edge(a, b).unwrap();
+        g.add_edge(b, c).unwrap();
+        g.add_edge(c, a).unwrap();
+        g.remove_node(b).unwrap();
+        assert!(!g.contains_node(b));
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1); // only c -> a survives
+        assert_eq!(g.out_neighbors(c), vec![a]);
+    }
+
+    #[test]
+    fn undirected_self_loop_counts_once() {
+        let mut g = SimpleGraph::undirected();
+        let a = g.add_node();
+        g.add_edge(a, a).unwrap();
+        assert_eq!(g.out_degree(a), 1);
+        g.remove_node(a).unwrap();
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn edges_into_missing_nodes_fail() {
+        let mut g = SimpleGraph::directed();
+        let a = g.add_node();
+        assert!(g.add_edge(a, NodeId(9)).is_err());
+        assert!(g.add_edge(NodeId(9), a).is_err());
+    }
+
+    #[test]
+    fn removed_node_ids_are_not_reused() {
+        let mut g = SimpleGraph::directed();
+        let a = g.add_node();
+        g.remove_node(a).unwrap();
+        let b = g.add_node();
+        assert_ne!(a, b);
+    }
+}

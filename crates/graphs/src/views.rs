@@ -1,0 +1,139 @@
+//! Supplementary view-trait implementations.
+//!
+//! The essential-query algorithms in `gdm-algo` are generic over
+//! [`AttributedView`] (pattern matching) and [`WeightedView`]
+//! (weighted shortest paths). `PropertyGraph` implements both in its
+//! own module; the remaining structures pick up their implementations
+//! here so every model of Table III can run every essential query.
+
+use crate::hyper::{AtomId, TwoSection};
+use crate::nested::NestedGraph;
+use crate::partitioned::PartitionedGraph;
+use crate::rdf::RdfGraph;
+use crate::simple::SimpleGraph;
+use gdm_core::{AttributedView, EdgeId, NodeId, Symbol, Value, WeightedView};
+
+impl AttributedView for SimpleGraph {
+    fn node_label(&self, n: NodeId) -> Option<Symbol> {
+        // SimpleGraph stores labels as interned symbols internally;
+        // surface them through the label text lookup.
+        self.node_label(n).and_then(|text| self.label_symbol(text))
+    }
+
+    fn node_property(&self, _n: NodeId, _key: &str) -> Option<Value> {
+        None // simple graphs carry no attributes (Table III)
+    }
+
+    fn edge_property(&self, _e: EdgeId, _key: &str) -> Option<Value> {
+        None
+    }
+}
+
+impl WeightedView for SimpleGraph {}
+
+impl AttributedView for NestedGraph {
+    fn node_label(&self, n: NodeId) -> Option<Symbol> {
+        let text = self.node_label_text(n).ok()?;
+        self.label_symbol(text)
+    }
+
+    fn node_property(&self, n: NodeId, key: &str) -> Option<Value> {
+        self.node_properties(n).ok()?.get(key).cloned()
+    }
+
+    fn edge_property(&self, _e: EdgeId, _key: &str) -> Option<Value> {
+        None
+    }
+}
+
+impl WeightedView for NestedGraph {}
+
+impl AttributedView for TwoSection<'_> {
+    fn node_label(&self, n: NodeId) -> Option<Symbol> {
+        let h = self.hypergraph();
+        let text = h.label(AtomId(n.raw())).ok()?;
+        h.label_symbol(text)
+    }
+
+    fn node_property(&self, n: NodeId, key: &str) -> Option<Value> {
+        self.hypergraph().property(AtomId(n.raw()), key).cloned()
+    }
+
+    fn edge_property(&self, e: EdgeId, key: &str) -> Option<Value> {
+        // Edge ids in the 2-section are link atom ids.
+        self.hypergraph().property(AtomId(e.raw()), key).cloned()
+    }
+}
+
+impl WeightedView for TwoSection<'_> {}
+
+impl AttributedView for RdfGraph {
+    fn node_label(&self, _n: NodeId) -> Option<Symbol> {
+        None // RDF terms are identities, not typed labels
+    }
+
+    fn node_property(&self, _n: NodeId, _key: &str) -> Option<Value> {
+        None // attribute access happens at the triple level (SPARQL)
+    }
+
+    fn edge_property(&self, _e: EdgeId, _key: &str) -> Option<Value> {
+        None
+    }
+}
+
+impl WeightedView for RdfGraph {}
+
+impl WeightedView for PartitionedGraph {
+    fn edge_weight(&self, e: &gdm_core::EdgeRef) -> f64 {
+        self.inner().edge_weight(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdm_core::props;
+    use gdm_core::GraphView;
+
+    #[test]
+    fn simple_graph_attributed_view() {
+        let mut g = SimpleGraph::directed();
+        let a = g.add_labeled_node("city");
+        let view: &dyn AttributedView = &g;
+        let sym = view.node_label(a).unwrap();
+        assert_eq!(g.label_text(sym), Some("city"));
+        assert_eq!(view.node_property(a, "x"), None);
+    }
+
+    #[test]
+    fn nested_graph_attributed_view() {
+        let mut g = NestedGraph::new();
+        let a = g.add_node("box", props! { "x" => 7 });
+        let view: &dyn AttributedView = &g;
+        let sym = view.node_label(a).unwrap();
+        assert_eq!(g.label_text(sym), Some("box"));
+        assert_eq!(view.node_property(a, "x"), Some(Value::from(7)));
+    }
+
+    #[test]
+    fn two_section_attributed_view() {
+        let mut h = crate::hyper::HyperGraph::new();
+        let a = h.add_node("gene", props! { "name" => "tp53" });
+        let b = h.add_node("gene", props! {});
+        h.add_link("binds", &[a, b], props! { "score" => 0.8 })
+            .unwrap();
+        let view = h.two_section();
+        let n = NodeId(a.raw());
+        let sym = AttributedView::node_label(&view, n).unwrap();
+        assert_eq!(GraphView::label_text(&view, sym), Some("gene"));
+        assert_eq!(
+            AttributedView::node_property(&view, n, "name"),
+            Some(Value::from("tp53"))
+        );
+        let e = view.out_edges(n)[0];
+        assert_eq!(
+            AttributedView::edge_property(&view, e.id, "score"),
+            Some(Value::from(0.8))
+        );
+    }
+}

@@ -1,0 +1,471 @@
+//! The Sones-style SQL graph dialect ("GraphQL", 2010 vintage).
+//!
+//! The paper: "Sones ... defines its own graph query language", and
+//! Table II credits Sones with all three database languages — DDL,
+//! DML, and a query language. This dialect reproduces that surface:
+//!
+//! ```text
+//! ddl    := CREATE VERTEX TYPE name [ATTRIBUTES '(' (type name [UNIQUE] [MANDATORY]),* ')']
+//!         | CREATE EDGE TYPE name FROM name TO name
+//! dml    := INSERT INTO name VALUES '(' (attr '=' literal),* ')'
+//!         | INSERT EDGE name FROM name '(' attr '=' literal ')'
+//!                            TO   name '(' attr '=' literal ')'
+//!                            [VALUES '(' ... ')']
+//! query  := FROM name alias SELECT proj (',' proj)*
+//!           [WHERE expr] [ORDER BY expr [DESC]] [LIMIT n] [OFFSET n]
+//! ```
+
+use crate::ast::{Expr, Projection, SelectQuery};
+use crate::cypher; // expression grammar is shared at the token level
+use crate::lex::{Cursor, TokenKind};
+use gdm_algo::pattern::PatternNode;
+use gdm_algo::summary::parse_aggregate;
+use gdm_core::{PropertyMap, Result, Value};
+
+const DIALECT: &str = "gql";
+
+/// An attribute declaration in `CREATE VERTEX TYPE`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GqlAttribute {
+    /// Attribute name.
+    pub name: String,
+    /// Declared type name (resolved by the engine against
+    /// `gdm_schema::ValueType`).
+    pub type_name: String,
+    /// UNIQUE marker.
+    pub unique: bool,
+    /// MANDATORY marker.
+    pub mandatory: bool,
+}
+
+/// A parsed GQL statement.
+#[derive(Debug, Clone)]
+pub enum GqlStatement {
+    /// `CREATE VERTEX TYPE …`
+    CreateVertexType {
+        /// Type name.
+        name: String,
+        /// Declared attributes.
+        attributes: Vec<GqlAttribute>,
+    },
+    /// `CREATE EDGE TYPE … FROM … TO …`
+    CreateEdgeType {
+        /// Type name.
+        name: String,
+        /// Source vertex type.
+        from: String,
+        /// Target vertex type.
+        to: String,
+    },
+    /// `INSERT INTO type VALUES (…)`
+    InsertVertex {
+        /// Vertex type.
+        type_name: String,
+        /// Attribute values.
+        props: PropertyMap,
+    },
+    /// `INSERT EDGE type FROM … TO …`
+    InsertEdge {
+        /// Edge type.
+        type_name: String,
+        /// Source selector: `(vertex type, attr, value)`.
+        from: (String, String, Value),
+        /// Target selector.
+        to: (String, String, Value),
+        /// Edge attribute values.
+        props: PropertyMap,
+    },
+    /// `FROM type alias SELECT …` lowered to the shared algebra.
+    Select(SelectQuery),
+}
+
+/// Parses one GQL statement.
+pub fn parse(src: &str) -> Result<GqlStatement> {
+    let mut c = Cursor::lex(DIALECT, src, false)?;
+    if c.eat_keyword("create") {
+        if c.eat_keyword("vertex") {
+            c.expect_keyword("type")?;
+            let name = c.expect_ident()?;
+            let mut attributes = Vec::new();
+            if c.eat_keyword("attributes") {
+                c.expect_punct("(")?;
+                loop {
+                    let type_name = c.expect_ident()?;
+                    let attr = c.expect_ident()?;
+                    let mut a = GqlAttribute {
+                        name: attr,
+                        type_name,
+                        unique: false,
+                        mandatory: false,
+                    };
+                    loop {
+                        if c.eat_keyword("unique") {
+                            a.unique = true;
+                        } else if c.eat_keyword("mandatory") {
+                            a.mandatory = true;
+                        } else {
+                            break;
+                        }
+                    }
+                    attributes.push(a);
+                    if !c.eat_punct(",") {
+                        break;
+                    }
+                }
+                c.expect_punct(")")?;
+            }
+            expect_eof(&c)?;
+            return Ok(GqlStatement::CreateVertexType { name, attributes });
+        }
+        if c.eat_keyword("edge") {
+            c.expect_keyword("type")?;
+            let name = c.expect_ident()?;
+            c.expect_keyword("from")?;
+            let from = c.expect_ident()?;
+            c.expect_keyword("to")?;
+            let to = c.expect_ident()?;
+            expect_eof(&c)?;
+            return Ok(GqlStatement::CreateEdgeType { name, from, to });
+        }
+        return Err(c.error("expected VERTEX or EDGE after CREATE"));
+    }
+    if c.eat_keyword("insert") {
+        if c.eat_keyword("into") {
+            let type_name = c.expect_ident()?;
+            c.expect_keyword("values")?;
+            let props = parse_assignments(&mut c)?;
+            expect_eof(&c)?;
+            return Ok(GqlStatement::InsertVertex { type_name, props });
+        }
+        if c.eat_keyword("edge") {
+            let type_name = c.expect_ident()?;
+            c.expect_keyword("from")?;
+            let from = parse_selector(&mut c)?;
+            c.expect_keyword("to")?;
+            let to = parse_selector(&mut c)?;
+            let props = if c.eat_keyword("values") {
+                parse_assignments(&mut c)?
+            } else {
+                PropertyMap::new()
+            };
+            expect_eof(&c)?;
+            return Ok(GqlStatement::InsertEdge {
+                type_name,
+                from,
+                to,
+                props,
+            });
+        }
+        return Err(c.error("expected INTO or EDGE after INSERT"));
+    }
+    // Query form: FROM type alias SELECT ...
+    c.expect_keyword("from")?;
+    let type_name = c.expect_ident()?;
+    let alias = c.expect_ident()?;
+    let mut query = SelectQuery::default();
+    query
+        .pattern
+        .node(PatternNode::var(alias.clone()).with_label(type_name));
+    c.expect_keyword("select")?;
+    if c.eat_keyword("distinct") {
+        query.distinct = true;
+    }
+    loop {
+        query.projections.push(parse_projection(&mut c)?);
+        if !c.eat_punct(",") {
+            break;
+        }
+    }
+    if c.eat_keyword("where") {
+        query.filter = Some(cypher_expr(&mut c)?);
+    }
+    if c.eat_keyword("group") {
+        c.expect_keyword("by")?;
+        loop {
+            query.group_by.push(cypher_expr(&mut c)?);
+            if !c.eat_punct(",") {
+                break;
+            }
+        }
+    }
+    if c.eat_keyword("order") {
+        c.expect_keyword("by")?;
+        let key = cypher_expr(&mut c)?;
+        let asc = if c.eat_keyword("desc") {
+            false
+        } else {
+            c.eat_keyword("asc");
+            true
+        };
+        query.order_by = Some((key, asc));
+    }
+    if c.eat_keyword("limit") {
+        query.limit = Some(parse_count(&mut c)?);
+    }
+    if c.eat_keyword("offset") {
+        query.skip = parse_count(&mut c)?;
+    }
+    expect_eof(&c)?;
+    query.validate()?;
+    Ok(GqlStatement::Select(query))
+}
+
+fn expect_eof(c: &Cursor) -> Result<()> {
+    if c.at_eof() {
+        Ok(())
+    } else {
+        Err(c.error(format!("unexpected trailing input: {:?}", c.peek())))
+    }
+}
+
+fn parse_count(c: &mut Cursor) -> Result<usize> {
+    match c.bump() {
+        TokenKind::Int(i) if i >= 0 => Ok(i as usize),
+        other => Err(c.error(format!("expected non-negative integer, found {other:?}"))),
+    }
+}
+
+fn parse_assignments(c: &mut Cursor) -> Result<PropertyMap> {
+    c.expect_punct("(")?;
+    let mut props = PropertyMap::new();
+    if !c.eat_punct(")") {
+        loop {
+            let key = c.expect_ident()?;
+            c.expect_punct("=")?;
+            let value = parse_literal(c)?;
+            props.set(key, value);
+            if !c.eat_punct(",") {
+                break;
+            }
+        }
+        c.expect_punct(")")?;
+    }
+    Ok(props)
+}
+
+fn parse_selector(c: &mut Cursor) -> Result<(String, String, Value)> {
+    let type_name = c.expect_ident()?;
+    c.expect_punct("(")?;
+    let attr = c.expect_ident()?;
+    c.expect_punct("=")?;
+    let value = parse_literal(c)?;
+    c.expect_punct(")")?;
+    Ok((type_name, attr, value))
+}
+
+fn parse_literal(c: &mut Cursor) -> Result<Value> {
+    match c.bump() {
+        TokenKind::Str(s) => Ok(Value::Str(s)),
+        TokenKind::Int(i) => Ok(Value::Int(i)),
+        TokenKind::Float(f) => Ok(Value::Float(f)),
+        TokenKind::Punct("-") => match c.bump() {
+            TokenKind::Int(i) => Ok(Value::Int(-i)),
+            TokenKind::Float(f) => Ok(Value::Float(-f)),
+            other => Err(c.error(format!("expected number after '-', found {other:?}"))),
+        },
+        TokenKind::Ident(s) if s.eq_ignore_ascii_case("true") => Ok(Value::Bool(true)),
+        TokenKind::Ident(s) if s.eq_ignore_ascii_case("false") => Ok(Value::Bool(false)),
+        other => Err(c.error(format!("expected literal, found {other:?}"))),
+    }
+}
+
+/// GQL shares Cypher's expression grammar; re-parse through it.
+fn cypher_expr(c: &mut Cursor) -> Result<Expr> {
+    cypher::parse_expr_for_dialect(c)
+}
+
+fn parse_projection(c: &mut Cursor) -> Result<Projection> {
+    if let TokenKind::Ident(name) = c.peek().clone() {
+        if let Some(agg) = parse_aggregate(&name) {
+            c.bump();
+            if c.eat_punct("(") {
+                let expr = if c.eat_punct("*") {
+                    None
+                } else {
+                    Some(cypher_expr(c)?)
+                };
+                c.expect_punct(")")?;
+                let col = if c.eat_keyword("as") {
+                    c.expect_ident()?
+                } else {
+                    name.to_lowercase()
+                };
+                return Ok(Projection::Aggregate {
+                    name: col,
+                    agg,
+                    expr,
+                });
+            }
+            // Plain identifier that happened to be an aggregate name.
+            let expr = if c.eat_punct(".") {
+                Expr::Prop(name.clone(), c.expect_ident()?)
+            } else {
+                Expr::Var(name.clone())
+            };
+            let col = if c.eat_keyword("as") {
+                c.expect_ident()?
+            } else {
+                name
+            };
+            return Ok(Projection::Expr { name: col, expr });
+        }
+    }
+    let expr = cypher_expr(c)?;
+    let col = if c.eat_keyword("as") {
+        c.expect_ident()?
+    } else {
+        match &expr {
+            Expr::Var(v) => v.clone(),
+            Expr::Prop(v, k) => format!("{v}.{k}"),
+            _ => "expr".to_owned(),
+        }
+    };
+    Ok(Projection::Expr { name: col, expr })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate_select;
+    use gdm_core::props;
+    use gdm_graphs::PropertyGraph;
+
+    #[test]
+    fn ddl_vertex_type() {
+        let stmt = parse(
+            "CREATE VERTEX TYPE Person ATTRIBUTES (String name UNIQUE MANDATORY, Int age)",
+        )
+        .unwrap();
+        match stmt {
+            GqlStatement::CreateVertexType { name, attributes } => {
+                assert_eq!(name, "Person");
+                assert_eq!(attributes.len(), 2);
+                assert!(attributes[0].unique && attributes[0].mandatory);
+                assert_eq!(attributes[1].type_name, "Int");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ddl_edge_type() {
+        let stmt = parse("CREATE EDGE TYPE knows FROM Person TO Person").unwrap();
+        match stmt {
+            GqlStatement::CreateEdgeType { name, from, to } => {
+                assert_eq!((name.as_str(), from.as_str(), to.as_str()), ("knows", "Person", "Person"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dml_insert_vertex() {
+        let stmt = parse("INSERT INTO Person VALUES (name = 'ana', age = 30)").unwrap();
+        match stmt {
+            GqlStatement::InsertVertex { type_name, props } => {
+                assert_eq!(type_name, "Person");
+                assert_eq!(props.get("age"), Some(&Value::from(30)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dml_insert_edge() {
+        let stmt = parse(
+            "INSERT EDGE knows FROM Person (name = 'ana') TO Person (name = 'bob') VALUES (since = 2001)",
+        )
+        .unwrap();
+        match stmt {
+            GqlStatement::InsertEdge {
+                type_name,
+                from,
+                to,
+                props,
+            } => {
+                assert_eq!(type_name, "knows");
+                assert_eq!(from.2, Value::from("ana"));
+                assert_eq!(to.1, "name");
+                assert_eq!(props.get("since"), Some(&Value::from(2001)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    fn people() -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        g.add_node("Person", props! { "name" => "ana", "age" => 30 });
+        g.add_node("Person", props! { "name" => "bob", "age" => 45 });
+        g.add_node("Person", props! { "name" => "cleo", "age" => 27 });
+        g
+    }
+
+    #[test]
+    fn select_with_filter_and_order() {
+        let g = people();
+        let stmt = parse(
+            "FROM Person p SELECT p.name WHERE p.age >= 30 ORDER BY p.age DESC",
+        )
+        .unwrap();
+        let GqlStatement::Select(q) = stmt else {
+            panic!("expected select");
+        };
+        let rs = evaluate_select(&g, &q).unwrap();
+        let names: Vec<&str> = rs.rows.iter().map(|r| r[0].as_str().unwrap()).collect();
+        assert_eq!(names, vec!["bob", "ana"]);
+    }
+
+    #[test]
+    fn select_aggregates() {
+        let g = people();
+        let GqlStatement::Select(q) =
+            parse("FROM Person p SELECT COUNT(*) AS n, MAX(p.age) AS oldest").unwrap()
+        else {
+            panic!()
+        };
+        let rs = evaluate_select(&g, &q).unwrap();
+        assert_eq!(rs.get(0, "n"), Some(&Value::from(3)));
+        assert_eq!(rs.get(0, "oldest"), Some(&Value::from(45)));
+    }
+
+    #[test]
+    fn select_limit_offset() {
+        let g = people();
+        let GqlStatement::Select(q) =
+            parse("FROM Person p SELECT p.name ORDER BY p.name LIMIT 1 OFFSET 1").unwrap()
+        else {
+            panic!()
+        };
+        let rs = evaluate_select(&g, &q).unwrap();
+        assert_eq!(rs.rows[0][0], Value::from("bob"));
+    }
+
+    #[test]
+    fn explicit_group_by() {
+        let mut g = PropertyGraph::new();
+        for (city, age) in [("scl", 30), ("scl", 40), ("muc", 20)] {
+            g.add_node("Person", props! { "city" => city, "age" => age });
+        }
+        let GqlStatement::Select(q) = parse(
+            "FROM Person p SELECT p.city, AVG(p.age) AS avg_age GROUP BY p.city ORDER BY p.city",
+        )
+        .unwrap() else {
+            panic!()
+        };
+        let rs = evaluate_select(&g, &q).unwrap();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs.get(0, "p.city"), Some(&Value::from("muc")));
+        assert_eq!(rs.get(0, "avg_age"), Some(&Value::from(20.0)));
+        assert_eq!(rs.get(1, "avg_age"), Some(&Value::from(35.0)));
+        // Projecting a non-key, non-aggregate column is rejected.
+        assert!(parse("FROM Person p SELECT p.age, COUNT(*) GROUP BY p.city").is_err());
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse("CREATE TABLE x").is_err());
+        assert!(parse("INSERT Person VALUES (a = 1)").is_err());
+        assert!(parse("FROM Person SELECT name").is_err(), "alias required");
+        assert!(parse("FROM Person p").is_err());
+    }
+}

@@ -1,0 +1,224 @@
+//! The G-Store-style SQL path dialect.
+//!
+//! The paper: "G-Store and Sones include SQL-based query languages
+//! with special instructions for querying graphs", and Table II
+//! credits G-Store with a DDL and a query language (no DML of its own
+//! beyond graph loading). The dialect here is the *special
+//! instructions* part — statements over a vertex-labeled graph whose
+//! results are nodes and paths:
+//!
+//! ```text
+//! stmt := CREATE NODE 'label'
+//!       | CREATE EDGE <id> <id>
+//!       | SELECT NODES [WITH LABEL 'label']
+//!       | SELECT COUNT (NODES | EDGES)
+//!       | SELECT SHORTEST PATH FROM <id> TO <id>
+//!       | SELECT PATHS FROM <id> TO <id> LENGTH <k>
+//!       | SELECT REACHABLE FROM <id>
+//! ```
+
+use crate::lex::{Cursor, TokenKind};
+use gdm_core::{NodeId, Result};
+
+const DIALECT: &str = "gsql";
+
+/// A parsed G-Store statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GsqlStatement {
+    /// `CREATE NODE 'label'` — DDL/load.
+    CreateNode {
+        /// Node label.
+        label: String,
+    },
+    /// `CREATE EDGE a b`.
+    CreateEdge {
+        /// Source node id.
+        from: NodeId,
+        /// Target node id.
+        to: NodeId,
+    },
+    /// `SELECT NODES [WITH LABEL 'x']`.
+    SelectNodes {
+        /// Label filter.
+        label: Option<String>,
+    },
+    /// `SELECT COUNT NODES`.
+    CountNodes,
+    /// `SELECT COUNT EDGES`.
+    CountEdges,
+    /// `SELECT SHORTEST PATH FROM a TO b`.
+    ShortestPath {
+        /// Source.
+        from: NodeId,
+        /// Target.
+        to: NodeId,
+    },
+    /// `SELECT PATHS FROM a TO b LENGTH k`.
+    FixedPaths {
+        /// Source.
+        from: NodeId,
+        /// Target.
+        to: NodeId,
+        /// Exact path length.
+        length: usize,
+    },
+    /// `SELECT REACHABLE FROM a`.
+    Reachable {
+        /// Source.
+        from: NodeId,
+    },
+}
+
+/// Parses one statement.
+pub fn parse(src: &str) -> Result<GsqlStatement> {
+    let mut c = Cursor::lex(DIALECT, src, false)?;
+    let stmt = if c.eat_keyword("create") {
+        if c.eat_keyword("node") {
+            let label = parse_label(&mut c)?;
+            GsqlStatement::CreateNode { label }
+        } else if c.eat_keyword("edge") {
+            let from = parse_node_id(&mut c)?;
+            let to = parse_node_id(&mut c)?;
+            GsqlStatement::CreateEdge { from, to }
+        } else {
+            return Err(c.error("expected NODE or EDGE after CREATE"));
+        }
+    } else {
+        c.expect_keyword("select")?;
+        if c.eat_keyword("nodes") {
+            let label = if c.eat_keyword("with") {
+                c.expect_keyword("label")?;
+                Some(parse_label(&mut c)?)
+            } else {
+                None
+            };
+            GsqlStatement::SelectNodes { label }
+        } else if c.eat_keyword("count") {
+            if c.eat_keyword("nodes") {
+                GsqlStatement::CountNodes
+            } else if c.eat_keyword("edges") {
+                GsqlStatement::CountEdges
+            } else {
+                return Err(c.error("expected NODES or EDGES after COUNT"));
+            }
+        } else if c.eat_keyword("shortest") {
+            c.expect_keyword("path")?;
+            c.expect_keyword("from")?;
+            let from = parse_node_id(&mut c)?;
+            c.expect_keyword("to")?;
+            let to = parse_node_id(&mut c)?;
+            GsqlStatement::ShortestPath { from, to }
+        } else if c.eat_keyword("paths") {
+            c.expect_keyword("from")?;
+            let from = parse_node_id(&mut c)?;
+            c.expect_keyword("to")?;
+            let to = parse_node_id(&mut c)?;
+            c.expect_keyword("length")?;
+            let length = match c.bump() {
+                TokenKind::Int(i) if i >= 0 => i as usize,
+                other => return Err(c.error(format!("expected length, found {other:?}"))),
+            };
+            GsqlStatement::FixedPaths { from, to, length }
+        } else if c.eat_keyword("reachable") {
+            c.expect_keyword("from")?;
+            let from = parse_node_id(&mut c)?;
+            GsqlStatement::Reachable { from }
+        } else {
+            return Err(c.error(
+                "expected NODES, COUNT, SHORTEST, PATHS, or REACHABLE after SELECT",
+            ));
+        }
+    };
+    if !c.at_eof() {
+        return Err(c.error(format!("unexpected trailing input: {:?}", c.peek())));
+    }
+    Ok(stmt)
+}
+
+fn parse_label(c: &mut Cursor) -> Result<String> {
+    match c.bump() {
+        TokenKind::Str(s) => Ok(s),
+        TokenKind::Ident(s) => Ok(s),
+        other => Err(c.error(format!("expected label, found {other:?}"))),
+    }
+}
+
+fn parse_node_id(c: &mut Cursor) -> Result<NodeId> {
+    match c.bump() {
+        TokenKind::Int(i) if i >= 0 => Ok(NodeId(i as u64)),
+        other => Err(c.error(format!("expected node id, found {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_statements() {
+        assert_eq!(
+            parse("CREATE NODE 'protein'").unwrap(),
+            GsqlStatement::CreateNode {
+                label: "protein".into()
+            }
+        );
+        assert_eq!(
+            parse("CREATE EDGE 3 7").unwrap(),
+            GsqlStatement::CreateEdge {
+                from: NodeId(3),
+                to: NodeId(7)
+            }
+        );
+    }
+
+    #[test]
+    fn select_nodes() {
+        assert_eq!(
+            parse("SELECT NODES").unwrap(),
+            GsqlStatement::SelectNodes { label: None }
+        );
+        assert_eq!(
+            parse("SELECT NODES WITH LABEL gene").unwrap(),
+            GsqlStatement::SelectNodes {
+                label: Some("gene".into())
+            }
+        );
+    }
+
+    #[test]
+    fn counts() {
+        assert_eq!(parse("SELECT COUNT NODES").unwrap(), GsqlStatement::CountNodes);
+        assert_eq!(parse("SELECT COUNT EDGES").unwrap(), GsqlStatement::CountEdges);
+    }
+
+    #[test]
+    fn path_queries() {
+        assert_eq!(
+            parse("SELECT SHORTEST PATH FROM 0 TO 9").unwrap(),
+            GsqlStatement::ShortestPath {
+                from: NodeId(0),
+                to: NodeId(9)
+            }
+        );
+        assert_eq!(
+            parse("SELECT PATHS FROM 1 TO 2 LENGTH 4").unwrap(),
+            GsqlStatement::FixedPaths {
+                from: NodeId(1),
+                to: NodeId(2),
+                length: 4
+            }
+        );
+        assert_eq!(
+            parse("SELECT REACHABLE FROM 5").unwrap(),
+            GsqlStatement::Reachable { from: NodeId(5) }
+        );
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse("SELECT").is_err());
+        assert!(parse("SELECT SHORTEST FROM 0 TO 1").is_err());
+        assert!(parse("CREATE EDGE a b").is_err());
+        assert!(parse("SELECT NODES extra").is_err());
+    }
+}

@@ -1,0 +1,445 @@
+//! The shared tokenizer all dialect parsers consume.
+//!
+//! One lexer keeps token-level behaviour (string escapes, number
+//! forms, error positions) identical across dialects, so differences
+//! between the languages stay where the paper locates them: in the
+//! grammar, not the lexing.
+
+use gdm_core::{GdmError, Result};
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset in the source.
+    pub pos: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (dialects decide which).
+    Ident(String),
+    /// `?name` — SPARQL-style variable.
+    QVar(String),
+    /// `<text>` — angle-quoted IRI / label.
+    AngleQuoted(String),
+    /// String literal (single or double quoted).
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Punctuation / operator.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Identifier text, if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Multi-character operators, longest first.
+const OPERATORS: &[&str] = &[
+    "<=", ">=", "!=", "<>", "<-", "->", "--", ":-", "..", "(", ")", "[", "]", "{", "}", ",", ";",
+    ":", ".", "=", "<", ">", "+", "-", "*", "/", "|", "?",
+];
+
+/// Tokenizes `src` for `dialect` (named only for error messages).
+/// When `angle_quotes` is set, `<...>` lexes as one token (SPARQL
+/// IRIs); otherwise `<` and `>` are comparison operators.
+pub fn tokenize(dialect: &'static str, src: &str, angle_quotes: bool) -> Result<Vec<Token>> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let c = bytes[pos] as char;
+        if c.is_whitespace() {
+            pos += 1;
+            continue;
+        }
+        // Comments: `//` and `#` to end of line.
+        if c == '#' || (c == '/' && bytes.get(pos + 1) == Some(&b'/')) {
+            while pos < bytes.len() && bytes[pos] != b'\n' {
+                pos += 1;
+            }
+            continue;
+        }
+        let start = pos;
+        // SPARQL variable.
+        if c == '?' && bytes.get(pos + 1).is_some_and(|b| ident_start(*b as char)) {
+            pos += 1;
+            let begin = pos;
+            while pos < bytes.len() && ident_continue(bytes[pos] as char) {
+                pos += 1;
+            }
+            tokens.push(Token {
+                kind: TokenKind::QVar(src[begin..pos].to_owned()),
+                pos: start,
+            });
+            continue;
+        }
+        // Angle-quoted IRI / label. `<` followed by '=', space, or a
+        // digit is a comparison operator even in angle-quote mode, so
+        // `FILTER(?a <= 3)` and `?a < 3` lex as intended.
+        if angle_quotes
+            && c == '<'
+            && !bytes
+                .get(pos + 1)
+                .is_none_or(|b| matches!(*b as char, '=' | ' ' | '\t' | '\n' | '0'..='9'))
+        {
+            pos += 1;
+            let begin = pos;
+            while pos < bytes.len() && bytes[pos] != b'>' {
+                pos += 1;
+            }
+            if pos >= bytes.len() {
+                return Err(err(dialect, "unterminated '<...>'", start));
+            }
+            tokens.push(Token {
+                kind: TokenKind::AngleQuoted(src[begin..pos].to_owned()),
+                pos: start,
+            });
+            pos += 1;
+            continue;
+        }
+        // String literal.
+        if c == '\'' || c == '"' {
+            let quote = c;
+            pos += 1;
+            let mut text = String::new();
+            loop {
+                let Some(&b) = bytes.get(pos) else {
+                    return Err(err(dialect, "unterminated string literal", start));
+                };
+                let ch = b as char;
+                pos += 1;
+                if ch == quote {
+                    break;
+                }
+                if ch == '\\' {
+                    let Some(&esc) = bytes.get(pos) else {
+                        return Err(err(dialect, "dangling escape", pos));
+                    };
+                    pos += 1;
+                    match esc as char {
+                        'n' => text.push('\n'),
+                        't' => text.push('\t'),
+                        '\\' => text.push('\\'),
+                        c2 if c2 == quote => text.push(quote),
+                        other => {
+                            return Err(err(
+                                dialect,
+                                format!("unknown escape \\{other}"),
+                                pos - 1,
+                            ))
+                        }
+                    }
+                } else {
+                    text.push(ch);
+                }
+            }
+            tokens.push(Token {
+                kind: TokenKind::Str(text),
+                pos: start,
+            });
+            continue;
+        }
+        // Number.
+        if c.is_ascii_digit() {
+            while pos < bytes.len() && (bytes[pos] as char).is_ascii_digit() {
+                pos += 1;
+            }
+            let is_float = bytes.get(pos) == Some(&b'.')
+                && bytes
+                    .get(pos + 1)
+                    .is_some_and(|b| (*b as char).is_ascii_digit());
+            if is_float {
+                pos += 1;
+                while pos < bytes.len() && (bytes[pos] as char).is_ascii_digit() {
+                    pos += 1;
+                }
+                let text = &src[start..pos];
+                let value: f64 = text
+                    .parse()
+                    .map_err(|_| err(dialect, format!("bad float {text}"), start))?;
+                tokens.push(Token {
+                    kind: TokenKind::Float(value),
+                    pos: start,
+                });
+            } else {
+                let text = &src[start..pos];
+                let value: i64 = text
+                    .parse()
+                    .map_err(|_| err(dialect, format!("bad integer {text}"), start))?;
+                tokens.push(Token {
+                    kind: TokenKind::Int(value),
+                    pos: start,
+                });
+            }
+            continue;
+        }
+        // Identifier.
+        if ident_start(c) {
+            while pos < bytes.len() && ident_continue(bytes[pos] as char) {
+                pos += 1;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Ident(src[start..pos].to_owned()),
+                pos: start,
+            });
+            continue;
+        }
+        // Operator / punctuation.
+        let mut matched = false;
+        for op in OPERATORS {
+            if src[pos..].starts_with(op) {
+                tokens.push(Token {
+                    kind: TokenKind::Punct(op),
+                    pos: start,
+                });
+                pos += op.len();
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            return Err(err(dialect, format!("unexpected character {c:?}"), pos));
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        pos: src.len(),
+    });
+    Ok(tokens)
+}
+
+fn ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+fn err(dialect: &'static str, message: impl Into<String>, position: usize) -> GdmError {
+    GdmError::Parse {
+        dialect,
+        message: message.into(),
+        position,
+    }
+}
+
+/// A cursor over tokens with the helpers every dialect parser needs.
+pub struct Cursor {
+    dialect: &'static str,
+    tokens: Vec<Token>,
+    index: usize,
+}
+
+impl Cursor {
+    /// Wraps a token stream.
+    pub fn new(dialect: &'static str, tokens: Vec<Token>) -> Self {
+        Self {
+            dialect,
+            tokens,
+            index: 0,
+        }
+    }
+
+    /// Lexes and wraps in one step.
+    pub fn lex(dialect: &'static str, src: &str, angle_quotes: bool) -> Result<Self> {
+        Ok(Self::new(dialect, tokenize(dialect, src, angle_quotes)?))
+    }
+
+    /// Current token.
+    pub fn peek(&self) -> &TokenKind {
+        &self.tokens[self.index].kind
+    }
+
+    /// Current position (for errors).
+    pub fn pos(&self) -> usize {
+        self.tokens[self.index].pos
+    }
+
+    /// Advances and returns the consumed token kind.
+    pub fn bump(&mut self) -> TokenKind {
+        let kind = self.tokens[self.index].kind.clone();
+        if self.index + 1 < self.tokens.len() {
+            self.index += 1;
+        }
+        kind
+    }
+
+    /// True at end of input.
+    pub fn at_eof(&self) -> bool {
+        matches!(self.peek(), TokenKind::Eof)
+    }
+
+    /// Builds a parse error at the current position.
+    pub fn error(&self, message: impl Into<String>) -> GdmError {
+        GdmError::Parse {
+            dialect: self.dialect,
+            message: message.into(),
+            position: self.pos(),
+        }
+    }
+
+    /// Consumes a specific punctuation token or errors.
+    pub fn expect_punct(&mut self, p: &'static str) -> Result<()> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {p:?}, found {:?}", self.peek())))
+        }
+    }
+
+    /// Consumes punctuation if present.
+    pub fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), TokenKind::Punct(q) if *q == p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes an identifier (any case) equal to `kw` if present.
+    pub fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw)) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes the keyword or errors.
+    pub fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {kw:?}, found {:?}", self.peek())))
+        }
+    }
+
+    /// True when the current token is the given keyword (not consumed).
+    pub fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    /// Consumes any identifier, returning its text.
+    pub fn expect_ident(&mut self) -> Result<String> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.error(format!("expected identifier, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize("test", src, false)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn identifiers_and_numbers() {
+        let ts = kinds("match n42 3 2.5");
+        assert_eq!(
+            ts,
+            vec![
+                TokenKind::Ident("match".into()),
+                TokenKind::Ident("n42".into()),
+                TokenKind::Int(3),
+                TokenKind::Float(2.5),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        let ts = kinds(r#"'it\'s' "two\nlines""#);
+        assert_eq!(ts[0], TokenKind::Str("it's".into()));
+        assert_eq!(ts[1], TokenKind::Str("two\nlines".into()));
+    }
+
+    #[test]
+    fn operators_longest_first() {
+        let ts = kinds("a <= b -> c .. d");
+        assert!(ts.contains(&TokenKind::Punct("<=")));
+        assert!(ts.contains(&TokenKind::Punct("->")));
+        assert!(ts.contains(&TokenKind::Punct("..")));
+    }
+
+    #[test]
+    fn sparql_variables_and_iris() {
+        let ts = tokenize("sparql", "SELECT ?x WHERE { ?x <knows> ?y }", true).unwrap();
+        let kinds: Vec<_> = ts.into_iter().map(|t| t.kind).collect();
+        assert!(kinds.contains(&TokenKind::QVar("x".into())));
+        assert!(kinds.contains(&TokenKind::AngleQuoted("knows".into())));
+    }
+
+    #[test]
+    fn angle_mode_off_gives_comparisons() {
+        let ts = kinds("a < b > c");
+        assert!(ts.contains(&TokenKind::Punct("<")));
+        assert!(ts.contains(&TokenKind::Punct(">")));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ts = kinds("a // comment\nb # another\nc");
+        assert_eq!(
+            ts,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Ident("c".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = tokenize("test", "abc @", false).unwrap_err();
+        match err {
+            GdmError::Parse { position, .. } => assert_eq!(position, 4),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unterminated_string() {
+        assert!(tokenize("test", "'abc", false).is_err());
+    }
+
+    #[test]
+    fn cursor_helpers() {
+        let mut c = Cursor::lex("test", "FROM person SELECT", false).unwrap();
+        assert!(c.eat_keyword("from"));
+        assert_eq!(c.expect_ident().unwrap(), "person");
+        assert!(c.at_keyword("select"));
+        assert!(c.expect_keyword("SELECT").is_ok());
+        assert!(c.at_eof());
+    }
+}

@@ -1,0 +1,36 @@
+//! # gdm-query
+//!
+//! The query facilities of the paper's Tables II and V.
+//!
+//! The paper observes that current graph databases favour APIs over
+//! query languages, and that the few languages that exist are
+//! incomparable surface syntaxes: SPARQL on AllegroGraph, Cypher (then
+//! in development, marked *partial*) on Neo4j, and SQL-flavoured
+//! dialects on Sones and G-Store. To compare them honestly, every
+//! dialect here parses to **one logical algebra** ([`ast`]) evaluated
+//! by **one engine** ([`eval`]) — so the comparison measures surface
+//! differences, exactly the paper's framing:
+//!
+//! * [`cypher`] — `MATCH (a:L {k: v})-[:T*1..3]->(b) WHERE … RETURN …`
+//!   (partial, mirroring the paper's `◦` for Neo4j),
+//! * [`sparql`] — `SELECT ?x WHERE { ?x <p> ?y . FILTER(…) }` over RDF
+//!   triple stores (its own evaluator: triple-pattern joins),
+//! * [`gql`] — the Sones-style SQL dialect with DDL (`CREATE VERTEX
+//!   TYPE`), DML (`INSERT VERTEX`), and queries (`FROM Person p SELECT …`),
+//! * [`gsql`] — the G-Store-style path-query dialect (`SELECT SHORTEST
+//!   PATH FROM … TO …`),
+//! * [`datalog`] — positive Datalog with semi-naive evaluation, the
+//!   stand-in for AllegroGraph's Prolog reasoning (Table V's
+//!   "Reasoning" column).
+
+pub mod ast;
+pub mod cypher;
+pub mod datalog;
+pub mod eval;
+pub mod gql;
+pub mod gsql;
+pub mod lex;
+pub mod sparql;
+
+pub use ast::{BinOp, Expr, Projection, SelectQuery, VarLengthEdge};
+pub use eval::{evaluate_select, ResultSet};

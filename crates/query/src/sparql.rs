@@ -1,0 +1,497 @@
+//! A SPARQL-like query language over RDF graphs (AllegroGraph).
+//!
+//! "AllegroGraph supports SPARQL, the standard query language for
+//! RDF. SPARQL is based on graph pattern matching but is not oriented
+//! to querying the graph structure of RDF data" — which is why Table V
+//! marks its query language `◦`. This front-end implements the
+//! pattern-matching core: basic graph patterns (triple-pattern joins),
+//! `FILTER`, `DISTINCT`, `ORDER BY`, `LIMIT`, and `COUNT`.
+//!
+//! ```text
+//! query  := SELECT [DISTINCT] (?var+ | '*' | '(' COUNT '(' '*' ')' AS ?var ')')
+//!           WHERE '{' tp ('.' tp)* (FILTER '(' cond ')')* '}'
+//!           [ORDER BY ?var] [LIMIT n]
+//! tp     := term term term
+//! term   := <iri> | ident (bare IRI) | 'literal' | ?var
+//! cond   := operand (=|!=|<=|>=|>) operand [AND / OR conds]
+//! ```
+
+use crate::eval::ResultSet;
+use crate::lex::{Cursor, TokenKind};
+use gdm_core::{FxHashMap, GdmError, Result, Value};
+use gdm_graphs::rdf::{RdfGraph, Term};
+
+const DIALECT: &str = "sparql";
+
+/// A position in a triple pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TermPat {
+    /// A bound term.
+    Const(Term),
+    /// A variable.
+    Var(String),
+}
+
+/// A triple pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriplePattern {
+    /// Subject position.
+    pub s: TermPat,
+    /// Predicate position.
+    pub p: TermPat,
+    /// Object position.
+    pub o: TermPat,
+}
+
+/// Filter conditions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cond {
+    /// Comparison between two operands.
+    Cmp(&'static str, TermPat, TermPat),
+    /// Conjunction.
+    And(Box<Cond>, Box<Cond>),
+    /// Disjunction.
+    Or(Box<Cond>, Box<Cond>),
+}
+
+/// A parsed SPARQL query.
+#[derive(Debug, Clone)]
+pub struct SparqlQuery {
+    /// Projected variables; empty = `*` (all, sorted).
+    pub vars: Vec<String>,
+    /// `COUNT(*)` projection with the output variable name.
+    pub count: Option<String>,
+    /// Basic graph pattern.
+    pub patterns: Vec<TriplePattern>,
+    /// Filters.
+    pub filters: Vec<Cond>,
+    /// Remove duplicate rows.
+    pub distinct: bool,
+    /// Sort variable.
+    pub order_by: Option<String>,
+    /// Row cap.
+    pub limit: Option<usize>,
+}
+
+/// Parses a SPARQL query.
+pub fn parse(src: &str) -> Result<SparqlQuery> {
+    let mut c = Cursor::lex(DIALECT, src, true)?;
+    c.expect_keyword("select")?;
+    let mut q = SparqlQuery {
+        vars: Vec::new(),
+        count: None,
+        patterns: Vec::new(),
+        filters: Vec::new(),
+        distinct: false,
+        order_by: None,
+        limit: None,
+    };
+    if c.eat_keyword("distinct") {
+        q.distinct = true;
+    }
+    let mut star = false;
+    loop {
+        match c.peek().clone() {
+            TokenKind::QVar(v) => {
+                c.bump();
+                q.vars.push(v);
+            }
+            TokenKind::Punct("*") => {
+                c.bump();
+                star = true;
+                break;
+            }
+            TokenKind::Punct("(") => {
+                c.bump();
+                c.expect_keyword("count")?;
+                c.expect_punct("(")?;
+                c.expect_punct("*")?;
+                c.expect_punct(")")?;
+                c.expect_keyword("as")?;
+                let TokenKind::QVar(v) = c.bump() else {
+                    return Err(c.error("expected ?var after AS"));
+                };
+                c.expect_punct(")")?;
+                q.count = Some(v);
+            }
+            _ => break,
+        }
+    }
+    if q.vars.is_empty() && q.count.is_none() && !star {
+        return Err(c.error("SELECT needs ?vars, *, or (COUNT(*) AS ?v)"));
+    }
+    c.expect_keyword("where")?;
+    c.expect_punct("{")?;
+    loop {
+        if c.eat_punct("}") {
+            break;
+        }
+        if c.at_eof() {
+            return Err(c.error("unterminated graph pattern"));
+        }
+        if c.eat_keyword("filter") {
+            c.expect_punct("(")?;
+            let cond = parse_cond(&mut c)?;
+            c.expect_punct(")")?;
+            q.filters.push(cond);
+            c.eat_punct(".");
+            continue;
+        }
+        let s = parse_term(&mut c)?;
+        let p = parse_term(&mut c)?;
+        let o = parse_term(&mut c)?;
+        q.patterns.push(TriplePattern { s, p, o });
+        c.eat_punct(".");
+    }
+    if c.eat_keyword("order") {
+        c.expect_keyword("by")?;
+        let TokenKind::QVar(v) = c.bump() else {
+            return Err(c.error("expected ?var after ORDER BY"));
+        };
+        q.order_by = Some(v);
+    }
+    if c.eat_keyword("limit") {
+        match c.bump() {
+            TokenKind::Int(i) if i >= 0 => q.limit = Some(i as usize),
+            other => return Err(c.error(format!("expected limit count, found {other:?}"))),
+        }
+    }
+    if !c.at_eof() {
+        return Err(c.error(format!("unexpected trailing input: {:?}", c.peek())));
+    }
+    if q.patterns.is_empty() {
+        return Err(c.error("empty graph pattern"));
+    }
+    Ok(q)
+}
+
+fn parse_term(c: &mut Cursor) -> Result<TermPat> {
+    match c.bump() {
+        TokenKind::QVar(v) => Ok(TermPat::Var(v)),
+        TokenKind::AngleQuoted(iri) => Ok(TermPat::Const(Term::Iri(iri))),
+        TokenKind::Ident(name) => Ok(TermPat::Const(Term::Iri(name))),
+        TokenKind::Str(s) => Ok(TermPat::Const(Term::Literal(s))),
+        TokenKind::Int(i) => Ok(TermPat::Const(Term::Literal(i.to_string()))),
+        TokenKind::Float(f) => Ok(TermPat::Const(Term::Literal(f.to_string()))),
+        other => Err(c.error(format!("expected term, found {other:?}"))),
+    }
+}
+
+fn parse_cond(c: &mut Cursor) -> Result<Cond> {
+    let mut lhs = parse_cmp(c)?;
+    loop {
+        if c.eat_keyword("and") {
+            lhs = Cond::And(Box::new(lhs), Box::new(parse_cmp(c)?));
+        } else if c.eat_keyword("or") {
+            lhs = Cond::Or(Box::new(lhs), Box::new(parse_cmp(c)?));
+        } else {
+            return Ok(lhs);
+        }
+    }
+}
+
+fn parse_cmp(c: &mut Cursor) -> Result<Cond> {
+    let lhs = parse_term(c)?;
+    let op: &'static str = if c.eat_punct("=") {
+        "="
+    } else if c.eat_punct("!=") {
+        "!="
+    } else if c.eat_punct("<=") {
+        "<="
+    } else if c.eat_punct(">=") {
+        ">="
+    } else if c.eat_punct(">") {
+        ">"
+    } else if c.eat_punct("<") {
+        "<"
+    } else {
+        return Err(c.error("expected comparison operator (=, !=, <, <=, >=, >)"));
+    };
+    let rhs = parse_term(c)?;
+    Ok(Cond::Cmp(op, lhs, rhs))
+}
+
+// ---------------------------------------------------------------------
+// Evaluation
+// ---------------------------------------------------------------------
+
+type Binding = FxHashMap<String, Term>;
+
+/// Executes `query` against `g`.
+pub fn evaluate(g: &RdfGraph, query: &SparqlQuery) -> Result<ResultSet> {
+    let mut bindings: Vec<Binding> = vec![Binding::default()];
+    for tp in &query.patterns {
+        let mut next = Vec::new();
+        for b in &bindings {
+            extend_binding(g, b, tp, &mut next);
+        }
+        bindings = next;
+        if bindings.is_empty() {
+            break;
+        }
+    }
+    for f in &query.filters {
+        bindings.retain(|b| eval_cond(b, f));
+    }
+    if let Some(cv) = &query.count {
+        return Ok(ResultSet {
+            columns: vec![cv.clone()],
+            rows: vec![vec![Value::Int(bindings.len() as i64)]],
+        });
+    }
+    let columns: Vec<String> = if query.vars.is_empty() {
+        bindings
+            .iter()
+            .flat_map(|b| b.keys().cloned())
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect()
+    } else {
+        query.vars.clone()
+    };
+    let mut rows: Vec<Vec<Value>> = bindings
+        .iter()
+        .map(|b| {
+            columns
+                .iter()
+                .map(|c| match b.get(c) {
+                    Some(t) => term_value(t),
+                    None => Value::Null,
+                })
+                .collect()
+        })
+        .collect();
+    // Deterministic base order.
+    rows.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+    if query.distinct {
+        let mut seen = std::collections::BTreeSet::new();
+        rows.retain(|r| seen.insert(format!("{r:?}")));
+    }
+    if let Some(ov) = &query.order_by {
+        let idx = columns.iter().position(|c| c == ov).ok_or_else(|| {
+            GdmError::InvalidArgument(format!("ORDER BY variable ?{ov} is not projected"))
+        })?;
+        rows.sort_by(|a, b| a[idx].total_cmp(&b[idx]));
+    }
+    if let Some(limit) = query.limit {
+        rows.truncate(limit);
+    }
+    Ok(ResultSet { columns, rows })
+}
+
+fn extend_binding(g: &RdfGraph, b: &Binding, tp: &TriplePattern, out: &mut Vec<Binding>) {
+    let resolve = |pat: &TermPat| -> Option<Term> {
+        match pat {
+            TermPat::Const(t) => Some(t.clone()),
+            TermPat::Var(v) => b.get(v).cloned(),
+        }
+    };
+    let s = resolve(&tp.s);
+    let p = resolve(&tp.p);
+    let o = resolve(&tp.o);
+    for (si, pi, oi) in g.match_pattern(s.as_ref(), p.as_ref(), o.as_ref()) {
+        let mut nb = b.clone();
+        let mut ok = true;
+        for (pat, id) in [(&tp.s, si), (&tp.p, pi), (&tp.o, oi)] {
+            if let TermPat::Var(v) = pat {
+                let term = g.term(id).expect("matched term exists").clone();
+                match nb.get(v) {
+                    Some(existing) if *existing != term => {
+                        ok = false;
+                        break;
+                    }
+                    _ => {
+                        nb.insert(v.clone(), term);
+                    }
+                }
+            }
+        }
+        if ok {
+            out.push(nb);
+        }
+    }
+}
+
+fn eval_cond(b: &Binding, cond: &Cond) -> bool {
+    match cond {
+        Cond::And(l, r) => eval_cond(b, l) && eval_cond(b, r),
+        Cond::Or(l, r) => eval_cond(b, l) || eval_cond(b, r),
+        Cond::Cmp(op, lhs, rhs) => {
+            let (Some(l), Some(r)) = (operand(b, lhs), operand(b, rhs)) else {
+                return false;
+            };
+            let lv = term_value(&l);
+            let rv = term_value(&r);
+            match *op {
+                "=" => lv.loose_eq(&rv),
+                "!=" => !lv.loose_eq(&rv),
+                _ => match lv.compare(&rv) {
+                    Some(ord) => match *op {
+                        "<" => ord.is_lt(),
+                        "<=" => ord.is_le(),
+                        ">" => ord.is_gt(),
+                        ">=" => ord.is_ge(),
+                        _ => false,
+                    },
+                    None => false,
+                },
+            }
+        }
+    }
+}
+
+fn operand(b: &Binding, pat: &TermPat) -> Option<Term> {
+    match pat {
+        TermPat::Const(t) => Some(t.clone()),
+        TermPat::Var(v) => b.get(v).cloned(),
+    }
+}
+
+/// Renders a term as a comparable [`Value`]: numeric literals become
+/// numbers, everything else a string.
+fn term_value(t: &Term) -> Value {
+    match t {
+        Term::Literal(s) => {
+            if let Ok(i) = s.parse::<i64>() {
+                Value::Int(i)
+            } else if let Ok(f) = s.parse::<f64>() {
+                Value::Float(f)
+            } else {
+                Value::Str(s.clone())
+            }
+        }
+        other => Value::Str(other.text()),
+    }
+}
+
+/// Parses and evaluates in one step.
+pub fn query(g: &RdfGraph, src: &str) -> Result<ResultSet> {
+    evaluate(g, &parse(src)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn family() -> RdfGraph {
+        let mut g = RdfGraph::new();
+        let parent = Term::iri("parent");
+        let age = Term::iri("age");
+        for (a, b) in [("ana", "ben"), ("ana", "bea"), ("ben", "cleo")] {
+            g.add(&Term::iri(a), &parent, &Term::iri(b)).unwrap();
+        }
+        g.add(&Term::iri("ana"), &age, &Term::lit("62")).unwrap();
+        g.add(&Term::iri("ben"), &age, &Term::lit("35")).unwrap();
+        g
+    }
+
+    #[test]
+    fn single_pattern() {
+        let g = family();
+        let rs = query(&g, "SELECT ?c WHERE { <ana> <parent> ?c }").unwrap();
+        assert_eq!(rs.len(), 2);
+        let kids: Vec<&str> = rs.rows.iter().filter_map(|r| r[0].as_str()).collect();
+        assert_eq!(kids, vec!["bea", "ben"]);
+    }
+
+    #[test]
+    fn join_two_patterns() {
+        let g = family();
+        let rs = query(
+            &g,
+            "SELECT ?g ?gc WHERE { ?g <parent> ?c . ?c <parent> ?gc }",
+        )
+        .unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.get(0, "g").unwrap().as_str(), Some("ana"));
+        assert_eq!(rs.get(0, "gc").unwrap().as_str(), Some("cleo"));
+    }
+
+    #[test]
+    fn filters_numeric() {
+        let g = family();
+        let rs = query(&g, "SELECT ?p WHERE { ?p <age> ?a . FILTER(?a > 40) }").unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows[0][0].as_str(), Some("ana"));
+    }
+
+    #[test]
+    fn filter_inequality_on_terms() {
+        let g = family();
+        let rs = query(
+            &g,
+            "SELECT ?a ?b WHERE { ?x <parent> ?a . ?x <parent> ?b . FILTER(?a != ?b) }",
+        )
+        .unwrap();
+        assert_eq!(rs.len(), 2, "(ben,bea) and (bea,ben)");
+    }
+
+    #[test]
+    fn count_star() {
+        let g = family();
+        let rs = query(&g, "SELECT (COUNT(*) AS ?n) WHERE { ?x <parent> ?y }").unwrap();
+        assert_eq!(rs.get(0, "n"), Some(&Value::Int(3)));
+    }
+
+    #[test]
+    fn select_star_orders_columns() {
+        let g = family();
+        let rs = query(&g, "SELECT * WHERE { ?x <parent> ?y }").unwrap();
+        assert_eq!(rs.columns, vec!["x", "y"]);
+        assert_eq!(rs.len(), 3);
+    }
+
+    #[test]
+    fn distinct_and_limit() {
+        let g = family();
+        let rs = query(
+            &g,
+            "SELECT DISTINCT ?x WHERE { ?x <parent> ?y } ORDER BY ?x LIMIT 1",
+        )
+        .unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows[0][0].as_str(), Some("ana"));
+    }
+
+    #[test]
+    fn literal_constants_match() {
+        let g = family();
+        let rs = query(&g, "SELECT ?p WHERE { ?p <age> '35' }").unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows[0][0].as_str(), Some("ben"));
+    }
+
+    #[test]
+    fn bare_idents_are_iris() {
+        let g = family();
+        let rs = query(&g, "SELECT ?c WHERE { ana parent ?c }").unwrap();
+        assert_eq!(rs.len(), 2);
+    }
+
+    #[test]
+    fn filter_conjunction() {
+        let g = family();
+        let rs = query(
+            &g,
+            "SELECT ?p WHERE { ?p <age> ?a . FILTER(?a > 30 AND ?a <= 35) }",
+        )
+        .unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows[0][0].as_str(), Some("ben"));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse("SELECT WHERE { ?x <p> ?y }").is_err());
+        assert!(parse("SELECT ?x { ?x <p> ?y }").is_err());
+        assert!(parse("SELECT ?x WHERE { }").is_err());
+        assert!(parse("SELECT ?x WHERE { ?x <p> }").is_err());
+        assert!(parse("SELECT ?x WHERE { ?x <p> ?y").is_err());
+    }
+
+    #[test]
+    fn unbound_order_by_is_an_error() {
+        let g = family();
+        assert!(query(&g, "SELECT ?x WHERE { ?x <parent> ?y } ORDER BY ?z").is_err());
+    }
+}

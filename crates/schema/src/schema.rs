@@ -1,0 +1,359 @@
+//! Schema definitions: node types, edge types, property types.
+//!
+//! Table IV's schema-level columns — *node types*, *property types*,
+//! *relation types* — are exactly the three definition forms here.
+
+use gdm_core::{GdmError, Result, Value};
+
+/// The type of a property value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueType {
+    /// Boolean values.
+    Bool,
+    /// Integer values.
+    Int,
+    /// Float values (integers are accepted and widened).
+    Float,
+    /// String values.
+    Str,
+    /// List values.
+    List,
+    /// Any non-null value.
+    Any,
+}
+
+impl ValueType {
+    /// Does `value` inhabit this type?
+    pub fn admits(self, value: &Value) -> bool {
+        match (self, value) {
+            (_, Value::Null) => false,
+            (ValueType::Any, _) => true,
+            (ValueType::Bool, Value::Bool(_)) => true,
+            (ValueType::Int, Value::Int(_)) => true,
+            (ValueType::Float, Value::Float(_) | Value::Int(_)) => true,
+            (ValueType::Str, Value::Str(_)) => true,
+            (ValueType::List, Value::List(_)) => true,
+            _ => false,
+        }
+    }
+
+    /// Parses a type name (case-insensitive), as the DDL front-ends
+    /// accept it.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "bool" | "boolean" => Some(ValueType::Bool),
+            "int" | "integer" | "long" => Some(ValueType::Int),
+            "float" | "double" | "number" => Some(ValueType::Float),
+            "str" | "string" | "text" => Some(ValueType::Str),
+            "list" | "array" => Some(ValueType::List),
+            "any" => Some(ValueType::Any),
+            _ => None,
+        }
+    }
+}
+
+/// Declaration of one property on a node or edge type.
+#[derive(Debug, Clone)]
+pub struct PropertyType {
+    /// Property name.
+    pub name: String,
+    /// Value type.
+    pub value_type: ValueType,
+    /// Must every instance carry it? (`false` = the paper's evolving-
+    /// schema-friendly *optional* declaration.)
+    pub required: bool,
+    /// Must values be unique within the owning type? (Feeds the
+    /// identity and cardinality constraints.)
+    pub unique: bool,
+}
+
+impl PropertyType {
+    /// A required property.
+    pub fn required(name: impl Into<String>, value_type: ValueType) -> Self {
+        Self {
+            name: name.into(),
+            value_type,
+            required: true,
+            unique: false,
+        }
+    }
+
+    /// An optional property.
+    pub fn optional(name: impl Into<String>, value_type: ValueType) -> Self {
+        Self {
+            name: name.into(),
+            value_type,
+            required: false,
+            unique: false,
+        }
+    }
+
+    /// Marks the property unique within its type.
+    #[must_use]
+    pub fn unique(mut self) -> Self {
+        self.unique = true;
+        self
+    }
+}
+
+/// Relation-type cardinality, the paper's "uniqueness of properties or
+/// relations".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Cardinality {
+    /// No restriction.
+    #[default]
+    ManyToMany,
+    /// Each source node has at most one outgoing edge of this type.
+    OneFromSource,
+    /// Each target node has at most one incoming edge of this type.
+    OneToTarget,
+    /// Both restrictions at once.
+    OneToOne,
+}
+
+/// Declaration of a node type.
+#[derive(Debug, Clone)]
+pub struct NodeTypeDef {
+    /// Type (label) name.
+    pub name: String,
+    /// Declared properties.
+    pub properties: Vec<PropertyType>,
+}
+
+impl NodeTypeDef {
+    /// A node type with no properties.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            properties: Vec::new(),
+        }
+    }
+
+    /// Adds a property declaration.
+    #[must_use]
+    pub fn with(mut self, prop: PropertyType) -> Self {
+        self.properties.push(prop);
+        self
+    }
+}
+
+/// Declaration of an edge (relation) type.
+#[derive(Debug, Clone)]
+pub struct EdgeTypeDef {
+    /// Type (label) name.
+    pub name: String,
+    /// Required source node type, if restricted.
+    pub from: Option<String>,
+    /// Required target node type, if restricted.
+    pub to: Option<String>,
+    /// Declared properties.
+    pub properties: Vec<PropertyType>,
+    /// Cardinality restriction.
+    pub cardinality: Cardinality,
+    /// Whether instances may omit this relation entirely (the paper's
+    /// evolving-schema example). Only meaningful with a `from` type:
+    /// `optional = false` means every node of the `from` type must
+    /// have at least one edge of this type.
+    pub optional: bool,
+}
+
+impl EdgeTypeDef {
+    /// A relation type with unrestricted endpoints.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            from: None,
+            to: None,
+            properties: Vec::new(),
+            cardinality: Cardinality::default(),
+            optional: true,
+        }
+    }
+
+    /// Restricts endpoint node types.
+    #[must_use]
+    pub fn between(mut self, from: impl Into<String>, to: impl Into<String>) -> Self {
+        self.from = Some(from.into());
+        self.to = Some(to.into());
+        self
+    }
+
+    /// Sets the cardinality restriction.
+    #[must_use]
+    pub fn cardinality(mut self, c: Cardinality) -> Self {
+        self.cardinality = c;
+        self
+    }
+
+    /// Declares the relation mandatory for every source-type node.
+    #[must_use]
+    pub fn mandatory(mut self) -> Self {
+        self.optional = false;
+        self
+    }
+
+    /// Adds a property declaration.
+    #[must_use]
+    pub fn with(mut self, prop: PropertyType) -> Self {
+        self.properties.push(prop);
+        self
+    }
+}
+
+/// A graph schema: named node and edge types.
+#[derive(Debug, Clone, Default)]
+pub struct Schema {
+    node_types: Vec<NodeTypeDef>,
+    edge_types: Vec<EdgeTypeDef>,
+}
+
+impl Schema {
+    /// An empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node type; duplicate names are rejected.
+    pub fn add_node_type(&mut self, def: NodeTypeDef) -> Result<()> {
+        if self.node_type(&def.name).is_some() {
+            return Err(GdmError::Schema(format!(
+                "node type {:?} already defined",
+                def.name
+            )));
+        }
+        self.node_types.push(def);
+        Ok(())
+    }
+
+    /// Adds an edge type; duplicate names and dangling endpoint types
+    /// are rejected.
+    pub fn add_edge_type(&mut self, def: EdgeTypeDef) -> Result<()> {
+        if self.edge_type(&def.name).is_some() {
+            return Err(GdmError::Schema(format!(
+                "edge type {:?} already defined",
+                def.name
+            )));
+        }
+        for endpoint in [&def.from, &def.to].into_iter().flatten() {
+            if self.node_type(endpoint).is_none() {
+                return Err(GdmError::Schema(format!(
+                    "edge type {:?} references undefined node type {endpoint:?}",
+                    def.name
+                )));
+            }
+        }
+        self.edge_types.push(def);
+        Ok(())
+    }
+
+    /// Removes a node type (schema evolution). Fails if an edge type
+    /// still references it.
+    pub fn drop_node_type(&mut self, name: &str) -> Result<()> {
+        if self
+            .edge_types
+            .iter()
+            .any(|e| e.from.as_deref() == Some(name) || e.to.as_deref() == Some(name))
+        {
+            return Err(GdmError::Schema(format!(
+                "node type {name:?} is referenced by an edge type"
+            )));
+        }
+        let before = self.node_types.len();
+        self.node_types.retain(|t| t.name != name);
+        if self.node_types.len() == before {
+            return Err(GdmError::Schema(format!("node type {name:?} not defined")));
+        }
+        Ok(())
+    }
+
+    /// Looks up a node type.
+    pub fn node_type(&self, name: &str) -> Option<&NodeTypeDef> {
+        self.node_types.iter().find(|t| t.name == name)
+    }
+
+    /// Looks up an edge type.
+    pub fn edge_type(&self, name: &str) -> Option<&EdgeTypeDef> {
+        self.edge_types.iter().find(|t| t.name == name)
+    }
+
+    /// All node types.
+    pub fn node_types(&self) -> &[NodeTypeDef] {
+        &self.node_types
+    }
+
+    /// All edge types.
+    pub fn edge_types(&self) -> &[EdgeTypeDef] {
+        &self.edge_types
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_types_admit_correctly() {
+        assert!(ValueType::Int.admits(&Value::from(3)));
+        assert!(!ValueType::Int.admits(&Value::from(3.0)));
+        assert!(ValueType::Float.admits(&Value::from(3)), "ints widen");
+        assert!(ValueType::Str.admits(&Value::from("x")));
+        assert!(ValueType::Any.admits(&Value::from(true)));
+        assert!(!ValueType::Any.admits(&Value::Null));
+    }
+
+    #[test]
+    fn value_type_names() {
+        assert_eq!(ValueType::parse("STRING"), Some(ValueType::Str));
+        assert_eq!(ValueType::parse("double"), Some(ValueType::Float));
+        assert_eq!(ValueType::parse("blob"), None);
+    }
+
+    #[test]
+    fn schema_construction() {
+        let mut s = Schema::new();
+        s.add_node_type(
+            NodeTypeDef::new("person")
+                .with(PropertyType::required("name", ValueType::Str).unique()),
+        )
+        .unwrap();
+        s.add_node_type(NodeTypeDef::new("company")).unwrap();
+        s.add_edge_type(
+            EdgeTypeDef::new("works_at")
+                .between("person", "company")
+                .cardinality(Cardinality::OneFromSource),
+        )
+        .unwrap();
+        assert!(s.node_type("person").is_some());
+        assert!(s.edge_type("works_at").is_some());
+        assert_eq!(s.node_types().len(), 2);
+    }
+
+    #[test]
+    fn duplicate_types_rejected() {
+        let mut s = Schema::new();
+        s.add_node_type(NodeTypeDef::new("a")).unwrap();
+        assert!(s.add_node_type(NodeTypeDef::new("a")).is_err());
+        s.add_edge_type(EdgeTypeDef::new("r")).unwrap();
+        assert!(s.add_edge_type(EdgeTypeDef::new("r")).is_err());
+    }
+
+    #[test]
+    fn dangling_endpoint_types_rejected() {
+        let mut s = Schema::new();
+        assert!(s
+            .add_edge_type(EdgeTypeDef::new("r").between("ghost", "ghost"))
+            .is_err());
+    }
+
+    #[test]
+    fn drop_node_type_checks_references() {
+        let mut s = Schema::new();
+        s.add_node_type(NodeTypeDef::new("a")).unwrap();
+        s.add_node_type(NodeTypeDef::new("b")).unwrap();
+        s.add_edge_type(EdgeTypeDef::new("r").between("a", "b"))
+            .unwrap();
+        assert!(s.drop_node_type("a").is_err());
+        assert!(s.drop_node_type("ghost").is_err());
+        s.drop_node_type("b").err(); // b referenced too
+    }
+}

@@ -1,0 +1,917 @@
+//! An on-disk B-tree key/value store over the buffer pool.
+//!
+//! This is the stand-in for the disk B-tree backends the paper's
+//! systems used (TokyoCabinet under VertexDB, BerkeleyDB-style stores
+//! under HyperGraphDB and Filament): ordered byte keys, range scans via
+//! a linked leaf chain, page-granular I/O through [`BufferPool`].
+//!
+//! Structure invariants (checked by [`DiskBTree::check_invariants`]):
+//!
+//! 1. every node's keys are strictly sorted,
+//! 2. every key in child `i` of an internal node is `< keys[i]` and
+//!    every key in child `i+1` is `≥ keys[i]`,
+//! 3. leaves linked by `next` cover all entries in ascending order,
+//! 4. every node's serialization fits a page.
+//!
+//! Deletion rebalances (borrow from a sibling, else merge) but tolerates
+//! transient under-occupancy when both siblings would overflow — the
+//! occupancy target is best-effort, the ordering invariants are not.
+
+use crate::codec::{get_bytes, get_u32, get_u64, put_bytes, put_u32, put_u64};
+use crate::memkv::{prefix_end, KvStore};
+use crate::pager::{BufferPool, PageId, PAGE_SIZE};
+use gdm_core::{GdmError, Result};
+
+/// Maximum key length accepted by [`DiskBTree::put`].
+pub const MAX_KEY_LEN: usize = 512;
+/// Maximum value length accepted by [`DiskBTree::put`].
+pub const MAX_VALUE_LEN: usize = 2048;
+
+const LEAF_TAG: u8 = 1;
+const INTERNAL_TAG: u8 = 2;
+const META_MAGIC: &[u8; 2] = b"BT";
+/// Nodes smaller than this try to rebalance after a delete.
+const MIN_FILL: usize = PAGE_SIZE / 4;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        entries: Vec<(Vec<u8>, Vec<u8>)>,
+        next: Option<PageId>,
+    },
+    Internal {
+        keys: Vec<Vec<u8>>,
+        children: Vec<PageId>,
+    },
+}
+
+impl Node {
+    fn serialized_size(&self) -> usize {
+        match self {
+            Node::Leaf { entries, .. } => {
+                // tag + count(u32) + next(u32) + entries
+                9 + entries
+                    .iter()
+                    .map(|(k, v)| 10 + k.len() + 10 + v.len())
+                    .sum::<usize>()
+            }
+            Node::Internal { keys, children } => {
+                9 + children.len() * 4 + keys.iter().map(|k| 10 + k.len()).sum::<usize>()
+            }
+        }
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(PAGE_SIZE);
+        match self {
+            Node::Leaf { entries, next } => {
+                buf.push(LEAF_TAG);
+                put_u32(&mut buf, entries.len() as u32);
+                put_u32(&mut buf, next.map_or(0, PageId::raw));
+                for (k, v) in entries {
+                    put_bytes(&mut buf, k);
+                    put_bytes(&mut buf, v);
+                }
+            }
+            Node::Internal { keys, children } => {
+                buf.push(INTERNAL_TAG);
+                put_u32(&mut buf, keys.len() as u32);
+                put_u32(&mut buf, children[0].raw());
+                for (key, child) in keys.iter().zip(children.iter().skip(1)) {
+                    put_bytes(&mut buf, key);
+                    put_u32(&mut buf, child.raw());
+                }
+            }
+        }
+        debug_assert!(buf.len() <= PAGE_SIZE, "node overflow: {} bytes", buf.len());
+        buf
+    }
+
+    fn decode(buf: &[u8]) -> Result<Node> {
+        let mut pos = 0;
+        let tag = buf[0];
+        pos += 1;
+        let count = get_u32(buf, &mut pos)? as usize;
+        match tag {
+            LEAF_TAG => {
+                let next_raw = get_u32(buf, &mut pos)?;
+                let mut entries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let k = get_bytes(buf, &mut pos)?.to_vec();
+                    let v = get_bytes(buf, &mut pos)?.to_vec();
+                    entries.push((k, v));
+                }
+                Ok(Node::Leaf {
+                    entries,
+                    next: (next_raw != 0).then_some(PageId(next_raw)),
+                })
+            }
+            INTERNAL_TAG => {
+                let first = get_u32(buf, &mut pos)?;
+                let mut keys = Vec::with_capacity(count);
+                let mut children = Vec::with_capacity(count + 1);
+                children.push(PageId(first));
+                for _ in 0..count {
+                    keys.push(get_bytes(buf, &mut pos)?.to_vec());
+                    children.push(PageId(get_u32(buf, &mut pos)?));
+                }
+                Ok(Node::Internal { keys, children })
+            }
+            other => Err(GdmError::Storage(format!("bad node tag {other}"))),
+        }
+    }
+}
+
+/// Outcome of a recursive insert: an optional split to propagate plus
+/// the replaced value.
+struct InsertOutcome {
+    split: Option<(Vec<u8>, PageId)>,
+    old: Option<Vec<u8>>,
+}
+
+/// A persistent ordered key/value store.
+pub struct DiskBTree {
+    pool: BufferPool,
+    root: PageId,
+    count: u64,
+}
+
+impl DiskBTree {
+    /// Creates a fresh tree in `pool` (which must be empty) or reopens
+    /// the tree recorded in the pool's metadata.
+    pub fn new(mut pool: BufferPool) -> Result<Self> {
+        let meta = pool.user_meta().to_vec();
+        if meta.len() >= 14 && &meta[0..2] == META_MAGIC {
+            let mut pos = 2;
+            let root = PageId(get_u32(&meta, &mut pos)?);
+            let count = get_u64(&meta, &mut pos)?;
+            return Ok(Self { pool, root, count });
+        }
+        let root = pool.allocate_page()?;
+        let node = Node::Leaf {
+            entries: Vec::new(),
+            next: None,
+        };
+        write_node(&mut pool, root, &node)?;
+        let mut tree = Self {
+            pool,
+            root,
+            count: 0,
+        };
+        tree.write_meta()?;
+        Ok(tree)
+    }
+
+    /// Opens or creates a file-backed tree at `path` with a buffer pool
+    /// of `pool_pages` frames.
+    pub fn file(path: &std::path::Path, pool_pages: usize) -> Result<Self> {
+        Self::new(BufferPool::file(path, pool_pages)?)
+    }
+
+    /// A memory-backed tree (for tests and simulated backends).
+    pub fn memory(pool_pages: usize) -> Self {
+        Self::new(BufferPool::memory(pool_pages)).expect("memory tree cannot fail")
+    }
+
+    /// Buffer-pool statistics (page faults drive the storage benches).
+    pub fn pool_stats(&self) -> crate::pager::PoolStats {
+        self.pool.stats()
+    }
+
+    /// Resets buffer-pool statistics.
+    pub fn reset_pool_stats(&mut self) {
+        self.pool.reset_stats();
+    }
+
+    fn write_meta(&mut self) -> Result<()> {
+        let mut meta = Vec::with_capacity(14);
+        meta.extend_from_slice(META_MAGIC);
+        put_u32(&mut meta, self.root.raw());
+        put_u64(&mut meta, self.count);
+        self.pool.set_user_meta(&meta)
+    }
+
+    fn validate_entry(key: &[u8], value: &[u8]) -> Result<()> {
+        if key.is_empty() {
+            return Err(GdmError::InvalidArgument("empty key".into()));
+        }
+        if key.len() > MAX_KEY_LEN {
+            return Err(GdmError::InvalidArgument(format!(
+                "key longer than {MAX_KEY_LEN} bytes"
+            )));
+        }
+        if value.len() > MAX_VALUE_LEN {
+            return Err(GdmError::InvalidArgument(format!(
+                "value longer than {MAX_VALUE_LEN} bytes"
+            )));
+        }
+        Ok(())
+    }
+
+    fn insert_rec(&mut self, pid: PageId, key: &[u8], value: &[u8]) -> Result<InsertOutcome> {
+        let mut node = read_node(&mut self.pool, pid)?;
+        match &mut node {
+            Node::Leaf { entries, next: _ } => {
+                let old = match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                    Ok(i) => Some(std::mem::replace(&mut entries[i].1, value.to_vec())),
+                    Err(i) => {
+                        entries.insert(i, (key.to_vec(), value.to_vec()));
+                        None
+                    }
+                };
+                if node.serialized_size() <= PAGE_SIZE {
+                    write_node(&mut self.pool, pid, &node)?;
+                    return Ok(InsertOutcome { split: None, old });
+                }
+                // Split the leaf by accumulated byte size.
+                let (entries, next) = match node {
+                    Node::Leaf { entries, next } => (entries, next),
+                    _ => unreachable!(),
+                };
+                let split_at = split_point(
+                    entries.len(),
+                    entries.iter().map(|(k, v)| 20 + k.len() + v.len()),
+                );
+                let right_entries = entries[split_at..].to_vec();
+                let left_entries = entries[..split_at].to_vec();
+                let sep = right_entries[0].0.clone();
+                let right_pid = self.pool.allocate_page()?;
+                write_node(
+                    &mut self.pool,
+                    right_pid,
+                    &Node::Leaf {
+                        entries: right_entries,
+                        next,
+                    },
+                )?;
+                write_node(
+                    &mut self.pool,
+                    pid,
+                    &Node::Leaf {
+                        entries: left_entries,
+                        next: Some(right_pid),
+                    },
+                )?;
+                Ok(InsertOutcome {
+                    split: Some((sep, right_pid)),
+                    old,
+                })
+            }
+            Node::Internal { keys, children } => {
+                let idx = child_index(keys, key);
+                let child = children[idx];
+                let outcome = self.insert_rec(child, key, value)?;
+                let Some((sep, new_child)) = outcome.split else {
+                    return Ok(outcome);
+                };
+                keys.insert(idx, sep);
+                children.insert(idx + 1, new_child);
+                if node.serialized_size() <= PAGE_SIZE {
+                    write_node(&mut self.pool, pid, &node)?;
+                    return Ok(InsertOutcome {
+                        split: None,
+                        old: outcome.old,
+                    });
+                }
+                // Split the internal node: middle key moves up.
+                let (mut keys, mut children) = match node {
+                    Node::Internal { keys, children } => (keys, children),
+                    _ => unreachable!(),
+                };
+                let mid = keys.len() / 2;
+                let up_key = keys[mid].clone();
+                let right_keys = keys.split_off(mid + 1);
+                keys.pop(); // remove up_key from the left
+                let right_children = children.split_off(mid + 1);
+                let right_pid = self.pool.allocate_page()?;
+                write_node(
+                    &mut self.pool,
+                    right_pid,
+                    &Node::Internal {
+                        keys: right_keys,
+                        children: right_children,
+                    },
+                )?;
+                write_node(&mut self.pool, pid, &Node::Internal { keys, children })?;
+                Ok(InsertOutcome {
+                    split: Some((up_key, right_pid)),
+                    old: outcome.old,
+                })
+            }
+        }
+    }
+
+    fn delete_rec(&mut self, pid: PageId, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let mut node = read_node(&mut self.pool, pid)?;
+        match &mut node {
+            Node::Leaf { entries, .. } => {
+                match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                    Ok(i) => {
+                        let (_, v) = entries.remove(i);
+                        write_node(&mut self.pool, pid, &node)?;
+                        Ok(Some(v))
+                    }
+                    Err(_) => Ok(None),
+                }
+            }
+            Node::Internal { keys, children } => {
+                let idx = child_index(keys, key);
+                let child = children[idx];
+                let removed = self.delete_rec(child, key)?;
+                if removed.is_some() {
+                    self.rebalance_child(pid, idx)?;
+                }
+                Ok(removed)
+            }
+        }
+    }
+
+    /// After a delete in `children[idx]` of internal node `pid`, restore
+    /// occupancy by borrowing from or merging with a sibling.
+    fn rebalance_child(&mut self, pid: PageId, idx: usize) -> Result<()> {
+        let parent = read_node(&mut self.pool, pid)?;
+        let (keys, children) = match &parent {
+            Node::Internal { keys, children } => (keys.clone(), children.clone()),
+            _ => unreachable!("rebalance_child called on a leaf"),
+        };
+        let child_pid = children[idx];
+        let child = read_node(&mut self.pool, child_pid)?;
+        let child_empty = match &child {
+            Node::Leaf { entries, .. } => entries.is_empty(),
+            Node::Internal { children, .. } => children.len() <= 1,
+        };
+        if child.serialized_size() >= MIN_FILL && !child_empty {
+            return Ok(());
+        }
+        // Prefer merging with the right sibling, then the left; fall
+        // back to borrowing; tolerate under-occupancy if nothing fits.
+        let sib_idx = if idx + 1 < children.len() { idx + 1 } else { idx - 1 };
+        let (left_idx, right_idx) = if sib_idx > idx {
+            (idx, sib_idx)
+        } else {
+            (sib_idx, idx)
+        };
+        let left_pid = children[left_idx];
+        let right_pid = children[right_idx];
+        let left = read_node(&mut self.pool, left_pid)?;
+        let right = read_node(&mut self.pool, right_pid)?;
+        let sep = keys[left_idx].clone();
+
+        // --- try merge --------------------------------------------------
+        let merged: Option<Node> = match (&left, &right) {
+            (
+                Node::Leaf {
+                    entries: le,
+                    next: _,
+                },
+                Node::Leaf {
+                    entries: re,
+                    next: rnext,
+                },
+            ) => {
+                let mut entries = le.clone();
+                entries.extend(re.iter().cloned());
+                let node = Node::Leaf {
+                    entries,
+                    next: *rnext,
+                };
+                (node.serialized_size() <= PAGE_SIZE).then_some(node)
+            }
+            (
+                Node::Internal {
+                    keys: lk,
+                    children: lc,
+                },
+                Node::Internal {
+                    keys: rk,
+                    children: rc,
+                },
+            ) => {
+                let mut nk = lk.clone();
+                nk.push(sep.clone());
+                nk.extend(rk.iter().cloned());
+                let mut nc = lc.clone();
+                nc.extend(rc.iter().cloned());
+                let node = Node::Internal {
+                    keys: nk,
+                    children: nc,
+                };
+                (node.serialized_size() <= PAGE_SIZE).then_some(node)
+            }
+            _ => None,
+        };
+        if let Some(node) = merged {
+            write_node(&mut self.pool, left_pid, &node)?;
+            self.pool.free_page(right_pid);
+            let mut keys = keys;
+            let mut children = children;
+            keys.remove(left_idx);
+            children.remove(right_idx);
+            write_node(&mut self.pool, pid, &Node::Internal { keys, children })?;
+            return Ok(());
+        }
+
+        // --- try borrow -------------------------------------------------
+        let (new_left, new_right, new_sep): (Node, Node, Vec<u8>) = match (left, right) {
+            (
+                Node::Leaf {
+                    entries: mut le,
+                    next: lnext,
+                },
+                Node::Leaf {
+                    entries: mut re,
+                    next: rnext,
+                },
+            ) => {
+                let left_small = left_idx == idx;
+                if left_small {
+                    if re.len() < 2 {
+                        return Ok(());
+                    }
+                    le.push(re.remove(0));
+                } else {
+                    if le.len() < 2 {
+                        return Ok(());
+                    }
+                    re.insert(0, le.pop().expect("len >= 2"));
+                }
+                let sep = re[0].0.clone();
+                (
+                    Node::Leaf {
+                        entries: le,
+                        next: lnext,
+                    },
+                    Node::Leaf {
+                        entries: re,
+                        next: rnext,
+                    },
+                    sep,
+                )
+            }
+            (
+                Node::Internal {
+                    keys: mut lk,
+                    children: mut lc,
+                },
+                Node::Internal {
+                    keys: mut rk,
+                    children: mut rc,
+                },
+            ) => {
+                let left_small = left_idx == idx;
+                let new_sep = if left_small {
+                    if rc.len() < 3 {
+                        return Ok(());
+                    }
+                    lk.push(sep);
+                    lc.push(rc.remove(0));
+                    rk.remove(0)
+                } else {
+                    if lc.len() < 3 {
+                        return Ok(());
+                    }
+                    rk.insert(0, sep);
+                    rc.insert(0, lc.pop().expect("len >= 3"));
+                    lk.pop().expect("len >= 2")
+                };
+                (
+                    Node::Internal {
+                        keys: lk,
+                        children: lc,
+                    },
+                    Node::Internal {
+                        keys: rk,
+                        children: rc,
+                    },
+                    new_sep,
+                )
+            }
+            _ => return Ok(()),
+        };
+        if new_left.serialized_size() > PAGE_SIZE || new_right.serialized_size() > PAGE_SIZE {
+            return Ok(()); // tolerate under-occupancy
+        }
+        write_node(&mut self.pool, left_pid, &new_left)?;
+        write_node(&mut self.pool, right_pid, &new_right)?;
+        let mut keys = keys;
+        keys[left_idx] = new_sep;
+        write_node(&mut self.pool, pid, &Node::Internal { keys, children })?;
+        Ok(())
+    }
+
+    /// Walks the whole tree verifying the structure invariants listed in
+    /// the module docs. Used by tests and the proptest harness.
+    pub fn check_invariants(&mut self) -> Result<()> {
+        let root = self.root;
+        let mut leaf_count = 0usize;
+        self.check_node(root, None, None, &mut leaf_count)?;
+        if leaf_count as u64 != self.count {
+            return Err(GdmError::Storage(format!(
+                "entry count mismatch: walked {leaf_count}, recorded {}",
+                self.count
+            )));
+        }
+        // Leaf chain must be globally sorted and cover all entries.
+        let mut pid = self.leftmost_leaf(root)?;
+        let mut prev: Option<Vec<u8>> = None;
+        let mut chained = 0usize;
+        loop {
+            let node = read_node(&mut self.pool, pid)?;
+            let Node::Leaf { entries, next } = node else {
+                return Err(GdmError::Storage("leaf chain reached internal node".into()));
+            };
+            for (k, _) in &entries {
+                if let Some(p) = &prev {
+                    if p >= k {
+                        return Err(GdmError::Storage("leaf chain out of order".into()));
+                    }
+                }
+                prev = Some(k.clone());
+                chained += 1;
+            }
+            match next {
+                Some(n) => pid = n,
+                None => break,
+            }
+        }
+        if chained != leaf_count {
+            return Err(GdmError::Storage(format!(
+                "leaf chain covers {chained} entries, tree has {leaf_count}"
+            )));
+        }
+        Ok(())
+    }
+
+    fn check_node(
+        &mut self,
+        pid: PageId,
+        lower: Option<&[u8]>,
+        upper: Option<&[u8]>,
+        leaf_count: &mut usize,
+    ) -> Result<()> {
+        let node = read_node(&mut self.pool, pid)?;
+        if node.serialized_size() > PAGE_SIZE {
+            return Err(GdmError::Storage("node exceeds page size".into()));
+        }
+        match node {
+            Node::Leaf { entries, .. } => {
+                for window in entries.windows(2) {
+                    if window[0].0 >= window[1].0 {
+                        return Err(GdmError::Storage("leaf keys not sorted".into()));
+                    }
+                }
+                for (k, _) in &entries {
+                    if lower.is_some_and(|lo| k.as_slice() < lo) {
+                        return Err(GdmError::Storage("leaf key below lower bound".into()));
+                    }
+                    if upper.is_some_and(|hi| k.as_slice() >= hi) {
+                        return Err(GdmError::Storage("leaf key above upper bound".into()));
+                    }
+                }
+                *leaf_count += entries.len();
+            }
+            Node::Internal { keys, children } => {
+                if children.len() != keys.len() + 1 {
+                    return Err(GdmError::Storage("internal arity mismatch".into()));
+                }
+                for window in keys.windows(2) {
+                    if window[0] >= window[1] {
+                        return Err(GdmError::Storage("internal keys not sorted".into()));
+                    }
+                }
+                for (i, &child) in children.iter().enumerate() {
+                    let lo = if i == 0 { lower } else { Some(keys[i - 1].as_slice()) };
+                    let hi = if i == keys.len() {
+                        upper
+                    } else {
+                        Some(keys[i].as_slice())
+                    };
+                    self.check_node(child, lo, hi, leaf_count)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn leftmost_leaf(&mut self, mut pid: PageId) -> Result<PageId> {
+        loop {
+            match read_node(&mut self.pool, pid)? {
+                Node::Leaf { .. } => return Ok(pid),
+                Node::Internal { children, .. } => pid = children[0],
+            }
+        }
+    }
+
+    /// Descends to the leaf that would contain `key`.
+    fn find_leaf(&mut self, key: &[u8]) -> Result<PageId> {
+        let mut pid = self.root;
+        loop {
+            match read_node(&mut self.pool, pid)? {
+                Node::Leaf { .. } => return Ok(pid),
+                Node::Internal { keys, children } => {
+                    pid = children[child_index(&keys, key)];
+                }
+            }
+        }
+    }
+
+    /// All pairs whose key starts with `prefix` (delegates to the range
+    /// scanner).
+    pub fn prefix(&mut self, pfx: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        match prefix_end(pfx) {
+            Some(end) => self.scan_range(pfx, Some(&end)),
+            None => self.scan_range(pfx, None),
+        }
+    }
+}
+
+impl KvStore for DiskBTree {
+    fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let leaf = self.find_leaf(key)?;
+        match read_node(&mut self.pool, leaf)? {
+            Node::Leaf { entries, .. } => {
+                Ok(entries
+                    .binary_search_by(|(k, _)| k.as_slice().cmp(key))
+                    .ok()
+                    .map(|i| entries[i].1.clone()))
+            }
+            _ => unreachable!("find_leaf returns a leaf"),
+        }
+    }
+
+    fn put(&mut self, key: &[u8], value: &[u8]) -> Result<Option<Vec<u8>>> {
+        Self::validate_entry(key, value)?;
+        let outcome = self.insert_rec(self.root, key, value)?;
+        if let Some((sep, right)) = outcome.split {
+            let new_root = self.pool.allocate_page()?;
+            let node = Node::Internal {
+                keys: vec![sep],
+                children: vec![self.root, right],
+            };
+            write_node(&mut self.pool, new_root, &node)?;
+            self.root = new_root;
+        }
+        if outcome.old.is_none() {
+            self.count += 1;
+        }
+        self.write_meta()?;
+        Ok(outcome.old)
+    }
+
+    fn delete(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let removed = self.delete_rec(self.root, key)?;
+        if removed.is_some() {
+            self.count -= 1;
+            // Collapse a root with a single child.
+            loop {
+                match read_node(&mut self.pool, self.root)? {
+                    Node::Internal { children, .. } if children.len() == 1 => {
+                        let old_root = self.root;
+                        self.root = children[0];
+                        self.pool.free_page(old_root);
+                    }
+                    _ => break,
+                }
+            }
+            self.write_meta()?;
+        }
+        Ok(removed)
+    }
+
+    fn scan_range(&mut self, start: &[u8], end: Option<&[u8]>) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let mut out = Vec::new();
+        let mut pid = self.find_leaf(start)?;
+        loop {
+            let node = read_node(&mut self.pool, pid)?;
+            let Node::Leaf { entries, next } = node else {
+                unreachable!("leaf chain")
+            };
+            for (k, v) in entries {
+                if k.as_slice() < start {
+                    continue;
+                }
+                if let Some(e) = end {
+                    if k.as_slice() >= e {
+                        return Ok(out);
+                    }
+                }
+                out.push((k, v));
+            }
+            match next {
+                Some(n) => pid = n,
+                None => return Ok(out),
+            }
+        }
+    }
+
+    fn len(&mut self) -> Result<usize> {
+        Ok(self.count as usize)
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.pool.flush()
+    }
+}
+
+fn read_node(pool: &mut BufferPool, pid: PageId) -> Result<Node> {
+    pool.with_page(pid, Node::decode)?
+}
+
+fn write_node(pool: &mut BufferPool, pid: PageId, node: &Node) -> Result<()> {
+    let bytes = node.encode();
+    if bytes.len() > PAGE_SIZE {
+        return Err(GdmError::Storage(format!(
+            "node of {} bytes exceeds page size",
+            bytes.len()
+        )));
+    }
+    pool.update_page(pid, |page| {
+        page[..bytes.len()].copy_from_slice(&bytes);
+    })
+}
+
+/// Index of the child to descend for `key`: first child whose separator
+/// is greater than `key`.
+fn child_index(keys: &[Vec<u8>], key: &[u8]) -> usize {
+    match keys.binary_search_by(|k| k.as_slice().cmp(key)) {
+        Ok(i) => i + 1, // equal keys live in the right child
+        Err(i) => i,
+    }
+}
+
+/// Chooses a split index so both halves are non-empty and roughly equal
+/// in bytes.
+fn split_point(len: usize, sizes: impl Iterator<Item = usize>) -> usize {
+    debug_assert!(len >= 2);
+    let sizes: Vec<usize> = sizes.collect();
+    let total: usize = sizes.iter().sum();
+    let mut acc = 0;
+    for (i, s) in sizes.iter().enumerate() {
+        acc += s;
+        if acc * 2 >= total {
+            return (i + 1).min(len - 1).max(1);
+        }
+    }
+    len / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree() -> DiskBTree {
+        DiskBTree::memory(64)
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut t = tree();
+        assert_eq!(t.put(b"k1", b"v1").unwrap(), None);
+        assert_eq!(t.put(b"k1", b"v2").unwrap(), Some(b"v1".to_vec()));
+        assert_eq!(t.get(b"k1").unwrap(), Some(b"v2".to_vec()));
+        assert_eq!(t.get(b"nope").unwrap(), None);
+        assert_eq!(t.len().unwrap(), 1);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn many_inserts_force_splits() {
+        let mut t = tree();
+        let n = 2000u32;
+        for i in 0..n {
+            let key = format!("key{i:06}");
+            let val = format!("value-{i}-{}", "x".repeat(i as usize % 40));
+            t.put(key.as_bytes(), val.as_bytes()).unwrap();
+        }
+        assert_eq!(t.len().unwrap(), n as usize);
+        t.check_invariants().unwrap();
+        for i in (0..n).step_by(97) {
+            let key = format!("key{i:06}");
+            assert!(t.get(key.as_bytes()).unwrap().is_some(), "{key}");
+        }
+    }
+
+    #[test]
+    fn scan_matches_insertion_order() {
+        let mut t = tree();
+        let mut keys: Vec<String> = (0..500).map(|i| format!("{:04}", (i * 7919) % 10000)).collect();
+        for k in &keys {
+            t.put(k.as_bytes(), b"v").unwrap();
+        }
+        keys.sort();
+        keys.dedup();
+        let scanned: Vec<String> = t
+            .scan_range(b"", None)
+            .unwrap()
+            .into_iter()
+            .map(|(k, _)| String::from_utf8(k).unwrap())
+            .collect();
+        assert_eq!(scanned, keys);
+    }
+
+    #[test]
+    fn range_scan_bounds() {
+        let mut t = tree();
+        for i in 0..100u8 {
+            t.put(&[b'k', i], &[i]).unwrap();
+        }
+        let got = t.scan_range(&[b'k', 10], Some(&[b'k', 20])).unwrap();
+        assert_eq!(got.len(), 10);
+        assert_eq!(got[0].0, vec![b'k', 10]);
+        assert_eq!(got[9].0, vec![b'k', 19]);
+    }
+
+    #[test]
+    fn deletes_shrink_and_rebalance() {
+        let mut t = tree();
+        let n = 1200u32;
+        for i in 0..n {
+            t.put(format!("key{i:05}").as_bytes(), b"some-value-payload")
+                .unwrap();
+        }
+        for i in 0..n {
+            if i % 2 == 0 {
+                assert!(t.delete(format!("key{i:05}").as_bytes()).unwrap().is_some());
+            }
+        }
+        assert_eq!(t.len().unwrap(), (n / 2) as usize);
+        t.check_invariants().unwrap();
+        for i in 0..n {
+            let got = t.get(format!("key{i:05}").as_bytes()).unwrap();
+            assert_eq!(got.is_some(), i % 2 == 1, "i={i}");
+        }
+        // Delete everything.
+        for i in 0..n {
+            t.delete(format!("key{i:05}").as_bytes()).unwrap();
+        }
+        assert_eq!(t.len().unwrap(), 0);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn large_values_near_the_limit() {
+        let mut t = tree();
+        let big = vec![7u8; MAX_VALUE_LEN];
+        for i in 0..50u8 {
+            t.put(&[b'b', i], &big).unwrap();
+        }
+        t.check_invariants().unwrap();
+        assert_eq!(t.get(&[b'b', 25]).unwrap(), Some(big));
+    }
+
+    #[test]
+    fn oversized_entries_are_rejected() {
+        let mut t = tree();
+        assert!(t.put(&vec![1u8; MAX_KEY_LEN + 1], b"v").is_err());
+        assert!(t.put(b"k", &vec![1u8; MAX_VALUE_LEN + 1]).is_err());
+        assert!(t.put(b"", b"v").is_err());
+    }
+
+    #[test]
+    fn persistence_across_reopen() {
+        let dir = std::env::temp_dir().join(format!("gdm-btree-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tree.db");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut t = DiskBTree::file(&path, 16).unwrap();
+            for i in 0..300u32 {
+                t.put(format!("p{i:04}").as_bytes(), format!("{i}").as_bytes())
+                    .unwrap();
+            }
+            t.flush().unwrap();
+        }
+        {
+            let mut t = DiskBTree::file(&path, 16).unwrap();
+            assert_eq!(t.len().unwrap(), 300);
+            assert_eq!(t.get(b"p0123").unwrap(), Some(b"123".to_vec()));
+            t.check_invariants().unwrap();
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn tiny_buffer_pool_still_correct() {
+        // With only 3 frames, every operation churns the pool.
+        let mut t = DiskBTree::memory(3);
+        for i in 0..500u32 {
+            t.put(format!("k{i:04}").as_bytes(), b"value").unwrap();
+        }
+        t.check_invariants().unwrap();
+        assert!(t.pool_stats().evictions > 0);
+        for i in (0..500).step_by(41) {
+            assert!(t.get(format!("k{i:04}").as_bytes()).unwrap().is_some());
+        }
+    }
+
+    #[test]
+    fn prefix_scan() {
+        let mut t = tree();
+        t.put(b"user/1", b"a").unwrap();
+        t.put(b"user/2", b"b").unwrap();
+        t.put(b"group/1", b"c").unwrap();
+        assert_eq!(t.prefix(b"user/").unwrap().len(), 2);
+        assert_eq!(t.prefix(b"group/").unwrap().len(), 1);
+        assert_eq!(t.prefix(b"nope/").unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,422 @@
+//! Byte encodings used by the storage substrates.
+//!
+//! Two families:
+//!
+//! * **Order-preserving value encoding** — encodes a [`Value`] so that
+//!   `encode(a) < encode(b)` (bytewise) iff `a.total_cmp(b) == Less`.
+//!   B-tree indexes rely on this for range scans over attribute values.
+//!   Encoded values self-terminate, so they compose into multi-part
+//!   keys (e.g. `property-symbol ++ value ++ node-id`).
+//! * **Varint / fixed-int record encoding** — LEB128 varints and
+//!   big-endian fixed integers for record serialization.
+
+use gdm_core::{GdmError, Result, Value};
+
+// ---------------------------------------------------------------------
+// Varints and fixed-width helpers
+// ---------------------------------------------------------------------
+
+/// Appends `v` as a LEB128 varint.
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a LEB128 varint from `buf` starting at `*pos`, advancing it.
+pub fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf
+            .get(*pos)
+            .ok_or_else(|| GdmError::Storage("varint truncated".into()))?;
+        *pos += 1;
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return Err(GdmError::Storage("varint overflow".into()));
+        }
+    }
+}
+
+/// Appends a length-prefixed byte slice.
+pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_varint(out, bytes.len() as u64);
+    out.extend_from_slice(bytes);
+}
+
+/// Reads a length-prefixed byte slice.
+pub fn get_bytes<'a>(buf: &'a [u8], pos: &mut usize) -> Result<&'a [u8]> {
+    let len = get_varint(buf, pos)? as usize;
+    let end = pos
+        .checked_add(len)
+        .ok_or_else(|| GdmError::Storage("length overflow".into()))?;
+    if end > buf.len() {
+        return Err(GdmError::Storage("byte slice truncated".into()));
+    }
+    let slice = &buf[*pos..end];
+    *pos = end;
+    Ok(slice)
+}
+
+/// Appends a big-endian u32.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+/// Reads a big-endian u32.
+pub fn get_u32(buf: &[u8], pos: &mut usize) -> Result<u32> {
+    let end = *pos + 4;
+    if end > buf.len() {
+        return Err(GdmError::Storage("u32 truncated".into()));
+    }
+    let v = u32::from_be_bytes(buf[*pos..end].try_into().expect("4 bytes"));
+    *pos = end;
+    Ok(v)
+}
+
+/// Appends a big-endian u64.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+/// Reads a big-endian u64.
+pub fn get_u64(buf: &[u8], pos: &mut usize) -> Result<u64> {
+    let end = *pos + 8;
+    if end > buf.len() {
+        return Err(GdmError::Storage("u64 truncated".into()));
+    }
+    let v = u64::from_be_bytes(buf[*pos..end].try_into().expect("8 bytes"));
+    *pos = end;
+    Ok(v)
+}
+
+// ---------------------------------------------------------------------
+// Order-preserving value encoding
+// ---------------------------------------------------------------------
+
+const TAG_NULL: u8 = 0x01;
+const TAG_FALSE: u8 = 0x02;
+const TAG_TRUE: u8 = 0x03;
+const TAG_NUMBER: u8 = 0x04;
+const TAG_STRING: u8 = 0x05;
+const TAG_LIST: u8 = 0x06;
+const LIST_END: u8 = 0x00;
+
+/// Encodes `v` into `out` preserving [`Value::total_cmp`] order.
+///
+/// Numbers (int and float) share one tag and are encoded as IEEE-754
+/// doubles mapped to a monotonically ordered 64-bit pattern. Integers
+/// beyond 2^53 lose precision in ordering against floats exactly as
+/// `total_cmp`'s float path does; the encoding additionally appends the
+/// exact i64 for ints so equal doubles still order deterministically.
+pub fn encode_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => out.push(TAG_NULL),
+        Value::Bool(false) => out.push(TAG_FALSE),
+        Value::Bool(true) => out.push(TAG_TRUE),
+        Value::Int(i) => {
+            out.push(TAG_NUMBER);
+            put_u64(out, order_f64(*i as f64));
+            // Tie tag 1 = int, followed by the exact value
+            // (sign-flipped so equal-double ints still order).
+            out.push(1);
+            put_u64(out, (*i as u64) ^ (1 << 63));
+        }
+        Value::Float(f) => {
+            out.push(TAG_NUMBER);
+            put_u64(out, order_f64(*f));
+            // Tie tag 0 = float (sorts before an equal-double int —
+            // the pair is Equal under total_cmp, so any deterministic
+            // order is acceptable).
+            out.push(0);
+        }
+        Value::Str(s) => {
+            out.push(TAG_STRING);
+            escape_bytes(out, s.as_bytes());
+        }
+        Value::List(items) => {
+            out.push(TAG_LIST);
+            for item in items {
+                out.push(0x01); // element-present marker > LIST_END
+                encode_value(out, item);
+            }
+            out.push(LIST_END);
+        }
+    }
+}
+
+/// Encodes a value into a fresh buffer.
+pub fn encoded_value(v: &Value) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    encode_value(&mut out, v);
+    out
+}
+
+/// Decodes a value previously written by [`encode_value`], advancing
+/// `pos`.
+pub fn decode_value(buf: &[u8], pos: &mut usize) -> Result<Value> {
+    let tag = *buf
+        .get(*pos)
+        .ok_or_else(|| GdmError::Storage("value tag truncated".into()))?;
+    *pos += 1;
+    match tag {
+        TAG_NULL => Ok(Value::Null),
+        TAG_FALSE => Ok(Value::Bool(false)),
+        TAG_TRUE => Ok(Value::Bool(true)),
+        TAG_NUMBER => {
+            let ordered = get_u64(buf, pos)?;
+            let tie_tag = *buf
+                .get(*pos)
+                .ok_or_else(|| GdmError::Storage("number tie tag truncated".into()))?;
+            *pos += 1;
+            if tie_tag == 0 {
+                Ok(Value::Float(unorder_f64(ordered)))
+            } else {
+                let exact = get_u64(buf, pos)?;
+                Ok(Value::Int((exact ^ (1 << 63)) as i64))
+            }
+        }
+        TAG_STRING => {
+            let bytes = unescape_bytes(buf, pos)?;
+            String::from_utf8(bytes)
+                .map(Value::Str)
+                .map_err(|_| GdmError::Storage("invalid utf-8 in encoded string".into()))
+        }
+        TAG_LIST => {
+            let mut items = Vec::new();
+            loop {
+                let marker = *buf
+                    .get(*pos)
+                    .ok_or_else(|| GdmError::Storage("list truncated".into()))?;
+                *pos += 1;
+                if marker == LIST_END {
+                    return Ok(Value::List(items));
+                }
+                items.push(decode_value(buf, pos)?);
+            }
+        }
+        other => Err(GdmError::Storage(format!("unknown value tag {other:#x}"))),
+    }
+}
+
+/// Maps a f64 onto a u64 whose unsigned order equals IEEE total order.
+fn order_f64(f: f64) -> u64 {
+    let bits = f.to_bits();
+    if bits & (1 << 63) == 0 {
+        bits | (1 << 63) // positive: set sign bit
+    } else {
+        !bits // negative: flip everything
+    }
+}
+
+fn unorder_f64(u: u64) -> f64 {
+    let bits = if u & (1 << 63) != 0 {
+        u & !(1 << 63)
+    } else {
+        !u
+    };
+    f64::from_bits(bits)
+}
+
+/// Escapes a byte string so that the encoding is order-preserving and
+/// self-terminating: 0x00 → 0x00 0xFF, terminator 0x00 0x00.
+fn escape_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    for &b in bytes {
+        if b == 0x00 {
+            out.push(0x00);
+            out.push(0xff);
+        } else {
+            out.push(b);
+        }
+    }
+    out.push(0x00);
+    out.push(0x00);
+}
+
+fn unescape_bytes(buf: &[u8], pos: &mut usize) -> Result<Vec<u8>> {
+    let mut out = Vec::new();
+    loop {
+        let b = *buf
+            .get(*pos)
+            .ok_or_else(|| GdmError::Storage("escaped string truncated".into()))?;
+        *pos += 1;
+        if b != 0x00 {
+            out.push(b);
+            continue;
+        }
+        let next = *buf
+            .get(*pos)
+            .ok_or_else(|| GdmError::Storage("escape truncated".into()))?;
+        *pos += 1;
+        match next {
+            0x00 => return Ok(out),
+            0xff => out.push(0x00),
+            other => {
+                return Err(GdmError::Storage(format!(
+                    "invalid escape byte {other:#x}"
+                )))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    fn roundtrip(v: &Value) -> Value {
+        let enc = encoded_value(v);
+        let mut pos = 0;
+        let out = decode_value(&enc, &mut pos).unwrap();
+        assert_eq!(pos, enc.len(), "decoder must consume everything");
+        out
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        for v in [
+            Value::Null,
+            Value::Bool(false),
+            Value::Bool(true),
+            Value::Int(0),
+            Value::Int(-12345),
+            Value::Int(i64::MAX),
+            Value::Int(i64::MIN),
+            Value::Float(0.0),
+            Value::Float(-1.5),
+            Value::Float(f64::INFINITY),
+            Value::Str("".into()),
+            Value::Str("hello\0world".into()),
+            Value::List(vec![Value::Int(1), Value::Str("x".into())]),
+            Value::List(vec![]),
+        ] {
+            assert_eq!(roundtrip(&v), v, "round-trip of {v:?}");
+        }
+    }
+
+    #[test]
+    fn encoding_preserves_total_order() {
+        let values = vec![
+            Value::Null,
+            Value::Bool(false),
+            Value::Bool(true),
+            Value::Int(-10),
+            Value::Int(0),
+            Value::Int(3),
+            Value::Float(-2.5),
+            Value::Float(3.5),
+            Value::Str("a".into()),
+            Value::Str("ab".into()),
+            Value::Str("b".into()),
+            Value::List(vec![Value::Int(1)]),
+        ];
+        for a in &values {
+            for b in &values {
+                let ea = encoded_value(a);
+                let eb = encoded_value(b);
+                let byte_ord = ea.cmp(&eb);
+                let val_ord = a.total_cmp(b);
+                // Byte order must refine value order: strictly ordered
+                // values keep their order; equal values may differ only
+                // via deterministic tie-breaks (none among these).
+                if val_ord != Ordering::Equal {
+                    assert_eq!(byte_ord, val_ord, "{a:?} vs {b:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn int_float_equal_values_sort_adjacently() {
+        // 2 (int) and 2.0 (float) are equal under total_cmp; their
+        // encodings share the ordered-double prefix so both fall
+        // between 1.9 and 2.1.
+        let lo = encoded_value(&Value::Float(1.9));
+        let a = encoded_value(&Value::Int(2));
+        let b = encoded_value(&Value::Float(2.0));
+        let hi = encoded_value(&Value::Float(2.1));
+        assert!(lo < a && lo < b);
+        assert!(a < hi && b < hi);
+    }
+
+    #[test]
+    fn string_with_nul_orders_correctly() {
+        // "a\0" < "a\0\0" < "a\x01"
+        let a = encoded_value(&Value::Str("a\0".into()));
+        let b = encoded_value(&Value::Str("a\0\0".into()));
+        let c = encoded_value(&Value::Str("a\u{1}".into()));
+        assert!(a < b, "nul-terminated prefix must sort first");
+        assert!(b < c);
+    }
+
+    #[test]
+    fn varint_round_trip() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_varint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_truncation_is_detected() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 1u64 << 40);
+        buf.pop();
+        let mut pos = 0;
+        assert!(get_varint(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let mut buf = Vec::new();
+        put_bytes(&mut buf, b"hello");
+        put_bytes(&mut buf, b"");
+        put_bytes(&mut buf, b"world");
+        let mut pos = 0;
+        assert_eq!(get_bytes(&buf, &mut pos).unwrap(), b"hello");
+        assert_eq!(get_bytes(&buf, &mut pos).unwrap(), b"");
+        assert_eq!(get_bytes(&buf, &mut pos).unwrap(), b"world");
+    }
+
+    #[test]
+    fn fixed_ints_round_trip() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 7);
+        put_u64(&mut buf, u64::MAX - 3);
+        let mut pos = 0;
+        assert_eq!(get_u32(&buf, &mut pos).unwrap(), 7);
+        assert_eq!(get_u64(&buf, &mut pos).unwrap(), u64::MAX - 3);
+    }
+
+    #[test]
+    fn composite_keys_compose() {
+        // property-symbol ++ value ++ id must be decodable in sequence.
+        let mut key = Vec::new();
+        put_u32(&mut key, 42);
+        encode_value(&mut key, &Value::Str("alice".into()));
+        put_u64(&mut key, 7);
+        let mut pos = 0;
+        assert_eq!(get_u32(&key, &mut pos).unwrap(), 42);
+        assert_eq!(
+            decode_value(&key, &mut pos).unwrap(),
+            Value::Str("alice".into())
+        );
+        assert_eq!(get_u64(&key, &mut pos).unwrap(), 7);
+        assert_eq!(pos, key.len());
+    }
+}

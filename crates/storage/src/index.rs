@@ -1,0 +1,420 @@
+//! Secondary indexes over attribute values.
+//!
+//! Table I's "Indexes" column is probed through these: engines declare
+//! indexes on property keys, and lookups route through a [`ValueIndex`]
+//! implementation matching the surveyed system's design — hash
+//! directories, B-trees (AllegroGraph/Neo4j-style), or DEX's
+//! value-to-bitmap maps.
+
+use crate::bitmap::Bitmap;
+use crate::codec;
+use gdm_core::{FxHashMap, FxHashSet, GdmError, Result, Value};
+use std::collections::BTreeMap;
+
+/// The index families the surveyed systems used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IndexKind {
+    /// Hash directory: O(1) point lookups, no ranges.
+    Hash,
+    /// Ordered index: point and range lookups.
+    BTree,
+    /// DEX-style value→bitmap: point lookups returning id sets that
+    /// compose with bitwise operations.
+    Bitmap,
+}
+
+/// A secondary index mapping attribute values to entity ids.
+pub trait ValueIndex {
+    /// Which family this index belongs to.
+    fn kind(&self) -> IndexKind;
+
+    /// Adds `(value, id)`.
+    fn insert(&mut self, value: &Value, id: u64);
+
+    /// Removes `(value, id)`; returns whether it was present.
+    fn remove(&mut self, value: &Value, id: u64) -> bool;
+
+    /// All ids stored under exactly `value`, ascending.
+    fn lookup(&self, value: &Value) -> Vec<u64>;
+
+    /// All ids with `low ≤ value ≤ high` (either bound optional),
+    /// ascending and deduplicated. Hash and bitmap indexes cannot
+    /// answer ranges and return [`GdmError::Unsupported`].
+    fn range(&self, low: Option<&Value>, high: Option<&Value>) -> Result<Vec<u64>>;
+
+    /// Number of `(value, id)` pairs.
+    fn len(&self) -> usize;
+
+    /// True when the index is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Number-family keys share an order prefix; this returns the loose
+/// prefix used for range bounds (so an int bound also bounds floats).
+fn range_prefix(v: &Value) -> Vec<u8> {
+    match v {
+        Value::Int(i) => {
+            let mut out = Vec::with_capacity(9);
+            out.push(0x04);
+            // Same ordered-double mapping as codec::encode_value.
+            let f = *i as f64;
+            let bits = f.to_bits();
+            let ordered = if bits & (1 << 63) == 0 {
+                bits | (1 << 63)
+            } else {
+                !bits
+            };
+            out.extend_from_slice(&ordered.to_be_bytes());
+            out
+        }
+        Value::Float(f) => {
+            let mut out = Vec::with_capacity(9);
+            out.push(0x04);
+            let bits = f.to_bits();
+            let ordered = if bits & (1 << 63) == 0 {
+                bits | (1 << 63)
+            } else {
+                !bits
+            };
+            out.extend_from_slice(&ordered.to_be_bytes());
+            out
+        }
+        other => codec::encoded_value(other),
+    }
+}
+
+/// Smallest byte string greater than every string with prefix `p`.
+fn prefix_successor(mut p: Vec<u8>) -> Option<Vec<u8>> {
+    while let Some(last) = p.last_mut() {
+        if *last < 0xff {
+            *last += 1;
+            return Some(p);
+        }
+        p.pop();
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// Hash index
+// ---------------------------------------------------------------------
+
+/// Hash directory from encoded value to id set.
+#[derive(Debug, Default, Clone)]
+pub struct HashIndex {
+    map: FxHashMap<Vec<u8>, FxHashSet<u64>>,
+    pairs: usize,
+}
+
+impl HashIndex {
+    /// Creates an empty hash index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ValueIndex for HashIndex {
+    fn kind(&self) -> IndexKind {
+        IndexKind::Hash
+    }
+
+    fn insert(&mut self, value: &Value, id: u64) {
+        if self
+            .map
+            .entry(codec::encoded_value(value))
+            .or_default()
+            .insert(id)
+        {
+            self.pairs += 1;
+        }
+    }
+
+    fn remove(&mut self, value: &Value, id: u64) -> bool {
+        let key = codec::encoded_value(value);
+        if let Some(set) = self.map.get_mut(&key) {
+            if set.remove(&id) {
+                self.pairs -= 1;
+                if set.is_empty() {
+                    self.map.remove(&key);
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    fn lookup(&self, value: &Value) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .map
+            .get(&codec::encoded_value(value))
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        ids.sort_unstable();
+        ids
+    }
+
+    fn range(&self, _low: Option<&Value>, _high: Option<&Value>) -> Result<Vec<u64>> {
+        Err(GdmError::unsupported("hash index", "range lookup"))
+    }
+
+    fn len(&self) -> usize {
+        self.pairs
+    }
+}
+
+// ---------------------------------------------------------------------
+// B-tree index
+// ---------------------------------------------------------------------
+
+/// Ordered index from encoded value to id set, with range queries.
+#[derive(Debug, Default, Clone)]
+pub struct BTreeIndex {
+    map: BTreeMap<Vec<u8>, FxHashSet<u64>>,
+    pairs: usize,
+}
+
+impl BTreeIndex {
+    /// Creates an empty ordered index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ValueIndex for BTreeIndex {
+    fn kind(&self) -> IndexKind {
+        IndexKind::BTree
+    }
+
+    fn insert(&mut self, value: &Value, id: u64) {
+        if self
+            .map
+            .entry(codec::encoded_value(value))
+            .or_default()
+            .insert(id)
+        {
+            self.pairs += 1;
+        }
+    }
+
+    fn remove(&mut self, value: &Value, id: u64) -> bool {
+        let key = codec::encoded_value(value);
+        if let Some(set) = self.map.get_mut(&key) {
+            if set.remove(&id) {
+                self.pairs -= 1;
+                if set.is_empty() {
+                    self.map.remove(&key);
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    fn lookup(&self, value: &Value) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .map
+            .get(&codec::encoded_value(value))
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        ids.sort_unstable();
+        ids
+    }
+
+    fn range(&self, low: Option<&Value>, high: Option<&Value>) -> Result<Vec<u64>> {
+        use std::ops::Bound;
+        let lower = match low {
+            Some(v) => Bound::Included(range_prefix(v)),
+            None => Bound::Unbounded,
+        };
+        let upper = match high {
+            Some(v) => match prefix_successor(range_prefix(v)) {
+                Some(s) => Bound::Excluded(s),
+                None => Bound::Unbounded,
+            },
+            None => Bound::Unbounded,
+        };
+        let mut ids: Vec<u64> = self
+            .map
+            .range((lower, upper))
+            .flat_map(|(_, set)| set.iter().copied())
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        Ok(ids)
+    }
+
+    fn len(&self) -> usize {
+        self.pairs
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bitmap index
+// ---------------------------------------------------------------------
+
+/// DEX-style value→bitmap index.
+#[derive(Debug, Default, Clone)]
+pub struct BitmapIndex {
+    map: FxHashMap<Vec<u8>, Bitmap>,
+    pairs: usize,
+}
+
+impl BitmapIndex {
+    /// Creates an empty bitmap index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The raw bitmap for `value`, for DEX-style bitwise composition.
+    pub fn bitmap_for(&self, value: &Value) -> Option<&Bitmap> {
+        self.map.get(&codec::encoded_value(value))
+    }
+}
+
+impl ValueIndex for BitmapIndex {
+    fn kind(&self) -> IndexKind {
+        IndexKind::Bitmap
+    }
+
+    fn insert(&mut self, value: &Value, id: u64) {
+        if self
+            .map
+            .entry(codec::encoded_value(value))
+            .or_default()
+            .insert(id)
+        {
+            self.pairs += 1;
+        }
+    }
+
+    fn remove(&mut self, value: &Value, id: u64) -> bool {
+        let key = codec::encoded_value(value);
+        if let Some(bm) = self.map.get_mut(&key) {
+            if bm.remove(id) {
+                self.pairs -= 1;
+                if bm.is_empty() {
+                    self.map.remove(&key);
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    fn lookup(&self, value: &Value) -> Vec<u64> {
+        self.map
+            .get(&codec::encoded_value(value))
+            .map(|bm| bm.iter().collect())
+            .unwrap_or_default()
+    }
+
+    fn range(&self, _low: Option<&Value>, _high: Option<&Value>) -> Result<Vec<u64>> {
+        Err(GdmError::unsupported("bitmap index", "range lookup"))
+    }
+
+    fn len(&self) -> usize {
+        self.pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise_point_ops(idx: &mut dyn ValueIndex) {
+        idx.insert(&Value::from("alice"), 1);
+        idx.insert(&Value::from("alice"), 2);
+        idx.insert(&Value::from("bob"), 3);
+        idx.insert(&Value::from("alice"), 1); // duplicate, ignored
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.lookup(&Value::from("alice")), vec![1, 2]);
+        assert_eq!(idx.lookup(&Value::from("bob")), vec![3]);
+        assert_eq!(idx.lookup(&Value::from("carol")), Vec::<u64>::new());
+        assert!(idx.remove(&Value::from("alice"), 1));
+        assert!(!idx.remove(&Value::from("alice"), 1));
+        assert_eq!(idx.lookup(&Value::from("alice")), vec![2]);
+        assert_eq!(idx.len(), 2);
+    }
+
+    #[test]
+    fn hash_index_point_ops() {
+        exercise_point_ops(&mut HashIndex::new());
+    }
+
+    #[test]
+    fn btree_index_point_ops() {
+        exercise_point_ops(&mut BTreeIndex::new());
+    }
+
+    #[test]
+    fn bitmap_index_point_ops() {
+        exercise_point_ops(&mut BitmapIndex::new());
+    }
+
+    #[test]
+    fn btree_range_queries() {
+        let mut idx = BTreeIndex::new();
+        for (i, age) in [25i64, 30, 35, 40, 45].iter().enumerate() {
+            idx.insert(&Value::from(*age), i as u64);
+        }
+        assert_eq!(
+            idx.range(Some(&Value::from(30)), Some(&Value::from(40)))
+                .unwrap(),
+            vec![1, 2, 3]
+        );
+        assert_eq!(idx.range(None, Some(&Value::from(29))).unwrap(), vec![0]);
+        assert_eq!(idx.range(Some(&Value::from(41)), None).unwrap(), vec![4]);
+        assert_eq!(idx.range(None, None).unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn btree_range_mixes_ints_and_floats() {
+        let mut idx = BTreeIndex::new();
+        idx.insert(&Value::from(1), 10);
+        idx.insert(&Value::from(2.5), 20);
+        idx.insert(&Value::from(3), 30);
+        let got = idx
+            .range(Some(&Value::from(2)), Some(&Value::from(3)))
+            .unwrap();
+        assert_eq!(got, vec![20, 30]);
+    }
+
+    #[test]
+    fn btree_string_ranges() {
+        let mut idx = BTreeIndex::new();
+        for (i, name) in ["ann", "bob", "carol", "dave"].iter().enumerate() {
+            idx.insert(&Value::from(*name), i as u64);
+        }
+        let got = idx
+            .range(Some(&Value::from("b")), Some(&Value::from("carol")))
+            .unwrap();
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn hash_and_bitmap_reject_ranges() {
+        assert!(HashIndex::new().range(None, None).unwrap_err().is_unsupported());
+        assert!(BitmapIndex::new()
+            .range(None, None)
+            .unwrap_err()
+            .is_unsupported());
+    }
+
+    #[test]
+    fn bitmap_composition() {
+        let mut by_label = BitmapIndex::new();
+        by_label.insert(&Value::from("person"), 1);
+        by_label.insert(&Value::from("person"), 2);
+        by_label.insert(&Value::from("person"), 3);
+        let mut by_city = BitmapIndex::new();
+        by_city.insert(&Value::from("santiago"), 2);
+        by_city.insert(&Value::from("santiago"), 3);
+        by_city.insert(&Value::from("talca"), 1);
+        let persons = by_label.bitmap_for(&Value::from("person")).unwrap();
+        let santiago = by_city.bitmap_for(&Value::from("santiago")).unwrap();
+        let both = persons.intersection(santiago);
+        assert_eq!(both.iter().collect::<Vec<_>>(), vec![2, 3]);
+    }
+}

@@ -1,0 +1,632 @@
+//! A Neo4j-style record store.
+//!
+//! Neo4j's signature storage design — the reason the paper calls it "a
+//! native disk-based storage manager for graphs" — is fixed-size
+//! records: a node record points at the head of a *relationship chain*,
+//! and each relationship record participates in two chains (one per
+//! endpoint) via `from_next` / `to_next` pointers. Traversing a node's
+//! relationships is pointer-chasing, not index lookup. Properties hang
+//! off nodes and relationships as singly linked property records.
+//!
+//! This module reproduces that layout at the logical level over
+//! in-memory arrays with binary save/load, preserving the structural
+//! behaviour (chain traversal, O(1) insertion, chain-unlink deletion)
+//! that distinguishes the design.
+
+use crate::codec::{self, get_u32, get_u64, put_u32, put_u64};
+use gdm_core::{GdmError, Result, Value};
+use std::path::Path;
+
+/// Null pointer in record chains.
+pub const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct NodeRecord {
+    in_use: bool,
+    label: u32,
+    first_rel: u32,
+    first_prop: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct RelRecord {
+    in_use: bool,
+    from: u32,
+    to: u32,
+    rel_type: u32,
+    from_next: u32,
+    to_next: u32,
+    first_prop: u32,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct PropRecord {
+    in_use: bool,
+    key: u32,
+    value: Value,
+    next: u32,
+}
+
+/// A relationship as seen by traversals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RelEntry {
+    /// Relationship record id.
+    pub id: u32,
+    /// Source node record id.
+    pub from: u32,
+    /// Target node record id.
+    pub to: u32,
+    /// Relationship type token.
+    pub rel_type: u32,
+}
+
+/// Fixed-size-record graph storage with relationship chains.
+#[derive(Debug, Default, Clone)]
+pub struct RecordStore {
+    nodes: Vec<NodeRecord>,
+    rels: Vec<RelRecord>,
+    props: Vec<PropRecord>,
+    live_nodes: usize,
+    live_rels: usize,
+}
+
+impl RecordStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live node records.
+    pub fn node_count(&self) -> usize {
+        self.live_nodes
+    }
+
+    /// Number of live relationship records.
+    pub fn rel_count(&self) -> usize {
+        self.live_rels
+    }
+
+    /// Highest node record id ever allocated (bound for scans).
+    pub fn node_high_id(&self) -> u32 {
+        self.nodes.len() as u32
+    }
+
+    /// Creates a node with label token `label`; returns its record id.
+    pub fn create_node(&mut self, label: u32) -> u32 {
+        let id = self.nodes.len() as u32;
+        self.nodes.push(NodeRecord {
+            in_use: true,
+            label,
+            first_rel: NIL,
+            first_prop: NIL,
+        });
+        self.live_nodes += 1;
+        id
+    }
+
+    /// True when node `id` exists.
+    pub fn node_in_use(&self, id: u32) -> bool {
+        self.nodes.get(id as usize).is_some_and(|n| n.in_use)
+    }
+
+    /// Label token of node `id`.
+    pub fn node_label(&self, id: u32) -> Result<u32> {
+        Ok(self.node(id)?.label)
+    }
+
+    /// Creates a relationship `from -[rel_type]-> to`, prepending it to
+    /// both endpoints' chains (once, for self-loops).
+    pub fn create_rel(&mut self, from: u32, to: u32, rel_type: u32) -> Result<u32> {
+        self.node(from)?;
+        self.node(to)?;
+        let id = self.rels.len() as u32;
+        let from_head = self.nodes[from as usize].first_rel;
+        let to_head = self.nodes[to as usize].first_rel;
+        self.rels.push(RelRecord {
+            in_use: true,
+            from,
+            to,
+            rel_type,
+            from_next: from_head,
+            to_next: if from == to { NIL } else { to_head },
+            first_prop: NIL,
+        });
+        self.nodes[from as usize].first_rel = id;
+        if from != to {
+            self.nodes[to as usize].first_rel = id;
+        }
+        self.live_rels += 1;
+        Ok(id)
+    }
+
+    /// Looks a relationship up.
+    pub fn rel(&self, id: u32) -> Result<RelEntry> {
+        let r = self
+            .rels
+            .get(id as usize)
+            .filter(|r| r.in_use)
+            .ok_or_else(|| GdmError::NotFound(format!("relationship {id}")))?;
+        Ok(RelEntry {
+            id,
+            from: r.from,
+            to: r.to,
+            rel_type: r.rel_type,
+        })
+    }
+
+    /// Visits every relationship in node `id`'s chain (both directions).
+    pub fn visit_rels(&self, node: u32, f: &mut dyn FnMut(RelEntry)) {
+        let Some(n) = self.nodes.get(node as usize).filter(|n| n.in_use) else {
+            return;
+        };
+        let mut cur = n.first_rel;
+        while cur != NIL {
+            let r = &self.rels[cur as usize];
+            debug_assert!(r.in_use, "chain points at dead relationship");
+            f(RelEntry {
+                id: cur,
+                from: r.from,
+                to: r.to,
+                rel_type: r.rel_type,
+            });
+            cur = if r.from == node {
+                r.from_next
+            } else {
+                r.to_next
+            };
+        }
+    }
+
+    /// Deletes relationship `id`, unlinking it from both chains.
+    pub fn delete_rel(&mut self, id: u32) -> Result<()> {
+        let r = *self
+            .rels
+            .get(id as usize)
+            .filter(|r| r.in_use)
+            .ok_or_else(|| GdmError::NotFound(format!("relationship {id}")))?;
+        self.unlink_from_chain(r.from, id);
+        if r.from != r.to {
+            self.unlink_from_chain(r.to, id);
+        }
+        self.rels[id as usize].in_use = false;
+        self.live_rels -= 1;
+        Ok(())
+    }
+
+    /// Deletes node `id` and all its relationships (Neo4j requires
+    /// explicit detach; we fold detach-delete into one call).
+    pub fn delete_node(&mut self, id: u32) -> Result<()> {
+        self.node(id)?;
+        loop {
+            let head = self.nodes[id as usize].first_rel;
+            if head == NIL {
+                break;
+            }
+            self.delete_rel(head)?;
+        }
+        self.nodes[id as usize].in_use = false;
+        self.live_nodes -= 1;
+        Ok(())
+    }
+
+    fn unlink_from_chain(&mut self, node: u32, rel_id: u32) {
+        let mut cur = self.nodes[node as usize].first_rel;
+        let mut prev: Option<u32> = None;
+        while cur != NIL {
+            let r = self.rels[cur as usize];
+            let next = if r.from == node { r.from_next } else { r.to_next };
+            if cur == rel_id {
+                match prev {
+                    None => self.nodes[node as usize].first_rel = next,
+                    Some(p) => {
+                        let pr = &mut self.rels[p as usize];
+                        if pr.from == node {
+                            pr.from_next = next;
+                        } else {
+                            pr.to_next = next;
+                        }
+                    }
+                }
+                return;
+            }
+            prev = Some(cur);
+            cur = next;
+        }
+    }
+
+    // ---- properties --------------------------------------------------
+
+    /// Sets a property on node `id`.
+    pub fn set_node_prop(&mut self, id: u32, key: u32, value: Value) -> Result<()> {
+        self.node(id)?;
+        let head = self.nodes[id as usize].first_prop;
+        let new_head = self.set_prop_in_chain(head, key, value);
+        self.nodes[id as usize].first_prop = new_head;
+        Ok(())
+    }
+
+    /// Sets a property on relationship `id`.
+    pub fn set_rel_prop(&mut self, id: u32, key: u32, value: Value) -> Result<()> {
+        self.rel(id)?;
+        let head = self.rels[id as usize].first_prop;
+        let new_head = self.set_prop_in_chain(head, key, value);
+        self.rels[id as usize].first_prop = new_head;
+        Ok(())
+    }
+
+    /// Reads a property from node `id`.
+    pub fn node_prop(&self, id: u32, key: u32) -> Option<&Value> {
+        let n = self.nodes.get(id as usize).filter(|n| n.in_use)?;
+        self.find_prop(n.first_prop, key)
+    }
+
+    /// Reads a property from relationship `id`.
+    pub fn rel_prop(&self, id: u32, key: u32) -> Option<&Value> {
+        let r = self.rels.get(id as usize).filter(|r| r.in_use)?;
+        self.find_prop(r.first_prop, key)
+    }
+
+    /// Visits `(key, value)` for every property of node `id`.
+    pub fn visit_node_props(&self, id: u32, f: &mut dyn FnMut(u32, &Value)) {
+        if let Some(n) = self.nodes.get(id as usize).filter(|n| n.in_use) {
+            self.visit_props(n.first_prop, f);
+        }
+    }
+
+    fn set_prop_in_chain(&mut self, head: u32, key: u32, value: Value) -> u32 {
+        let mut cur = head;
+        while cur != NIL {
+            if self.props[cur as usize].key == key {
+                self.props[cur as usize].value = value;
+                return head;
+            }
+            cur = self.props[cur as usize].next;
+        }
+        let id = self.props.len() as u32;
+        self.props.push(PropRecord {
+            in_use: true,
+            key,
+            value,
+            next: head,
+        });
+        id
+    }
+
+    fn find_prop(&self, head: u32, key: u32) -> Option<&Value> {
+        let mut cur = head;
+        while cur != NIL {
+            let p = &self.props[cur as usize];
+            if p.key == key {
+                return Some(&p.value);
+            }
+            cur = p.next;
+        }
+        None
+    }
+
+    fn visit_props(&self, head: u32, f: &mut dyn FnMut(u32, &Value)) {
+        let mut cur = head;
+        while cur != NIL {
+            let p = &self.props[cur as usize];
+            f(p.key, &p.value);
+            cur = p.next;
+        }
+    }
+
+    fn node(&self, id: u32) -> Result<&NodeRecord> {
+        self.nodes
+            .get(id as usize)
+            .filter(|n| n.in_use)
+            .ok_or_else(|| GdmError::NotFound(format!("node {id}")))
+    }
+
+    // ---- consistency and persistence ----------------------------------
+
+    /// Verifies chain integrity: every live relationship appears exactly
+    /// once in each endpoint's chain and chains contain only live
+    /// relationships.
+    pub fn check_chains(&self) -> Result<()> {
+        for node in 0..self.nodes.len() as u32 {
+            if !self.nodes[node as usize].in_use {
+                continue;
+            }
+            let mut seen = Vec::new();
+            let mut cur = self.nodes[node as usize].first_rel;
+            let mut hops = 0usize;
+            while cur != NIL {
+                let r = self
+                    .rels
+                    .get(cur as usize)
+                    .ok_or_else(|| GdmError::Storage("chain points out of range".into()))?;
+                if !r.in_use {
+                    return Err(GdmError::Storage(format!(
+                        "node {node} chain reaches dead relationship {cur}"
+                    )));
+                }
+                if r.from != node && r.to != node {
+                    return Err(GdmError::Storage(format!(
+                        "node {node} chain contains foreign relationship {cur}"
+                    )));
+                }
+                if seen.contains(&cur) {
+                    return Err(GdmError::Storage(format!(
+                        "node {node} chain repeats relationship {cur}"
+                    )));
+                }
+                seen.push(cur);
+                cur = if r.from == node { r.from_next } else { r.to_next };
+                hops += 1;
+                if hops > self.rels.len() + 1 {
+                    return Err(GdmError::Storage(format!("node {node} chain cycles")));
+                }
+            }
+        }
+        // Every live relationship must be reachable from both endpoints.
+        for (id, r) in self.rels.iter().enumerate() {
+            if !r.in_use {
+                continue;
+            }
+            for endpoint in [r.from, r.to] {
+                let mut found = false;
+                self.visit_rels(endpoint, &mut |e| found |= e.id == id as u32);
+                if !found {
+                    return Err(GdmError::Storage(format!(
+                        "relationship {id} missing from node {endpoint}'s chain"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes the store to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_u64(&mut out, self.nodes.len() as u64);
+        for n in &self.nodes {
+            out.push(n.in_use as u8);
+            put_u32(&mut out, n.label);
+            put_u32(&mut out, n.first_rel);
+            put_u32(&mut out, n.first_prop);
+        }
+        put_u64(&mut out, self.rels.len() as u64);
+        for r in &self.rels {
+            out.push(r.in_use as u8);
+            put_u32(&mut out, r.from);
+            put_u32(&mut out, r.to);
+            put_u32(&mut out, r.rel_type);
+            put_u32(&mut out, r.from_next);
+            put_u32(&mut out, r.to_next);
+            put_u32(&mut out, r.first_prop);
+        }
+        put_u64(&mut out, self.props.len() as u64);
+        for p in &self.props {
+            out.push(p.in_use as u8);
+            put_u32(&mut out, p.key);
+            codec::encode_value(&mut out, &p.value);
+            put_u32(&mut out, p.next);
+        }
+        out
+    }
+
+    /// Deserializes a store produced by [`RecordStore::to_bytes`].
+    pub fn from_bytes(buf: &[u8]) -> Result<Self> {
+        let mut pos = 0;
+        let take_flag = |buf: &[u8], pos: &mut usize| -> Result<bool> {
+            let b = *buf
+                .get(*pos)
+                .ok_or_else(|| GdmError::Storage("record store truncated".into()))?;
+            *pos += 1;
+            Ok(b != 0)
+        };
+        let n_nodes = get_u64(buf, &mut pos)? as usize;
+        let mut nodes = Vec::with_capacity(n_nodes);
+        let mut live_nodes = 0;
+        for _ in 0..n_nodes {
+            let in_use = take_flag(buf, &mut pos)?;
+            let label = get_u32(buf, &mut pos)?;
+            let first_rel = get_u32(buf, &mut pos)?;
+            let first_prop = get_u32(buf, &mut pos)?;
+            live_nodes += in_use as usize;
+            nodes.push(NodeRecord {
+                in_use,
+                label,
+                first_rel,
+                first_prop,
+            });
+        }
+        let n_rels = get_u64(buf, &mut pos)? as usize;
+        let mut rels = Vec::with_capacity(n_rels);
+        let mut live_rels = 0;
+        for _ in 0..n_rels {
+            let in_use = take_flag(buf, &mut pos)?;
+            let from = get_u32(buf, &mut pos)?;
+            let to = get_u32(buf, &mut pos)?;
+            let rel_type = get_u32(buf, &mut pos)?;
+            let from_next = get_u32(buf, &mut pos)?;
+            let to_next = get_u32(buf, &mut pos)?;
+            let first_prop = get_u32(buf, &mut pos)?;
+            live_rels += in_use as usize;
+            rels.push(RelRecord {
+                in_use,
+                from,
+                to,
+                rel_type,
+                from_next,
+                to_next,
+                first_prop,
+            });
+        }
+        let n_props = get_u64(buf, &mut pos)? as usize;
+        let mut props = Vec::with_capacity(n_props);
+        for _ in 0..n_props {
+            let in_use = take_flag(buf, &mut pos)?;
+            let key = get_u32(buf, &mut pos)?;
+            let value = codec::decode_value(buf, &mut pos)?;
+            let next = get_u32(buf, &mut pos)?;
+            props.push(PropRecord {
+                in_use,
+                key,
+                value,
+                next,
+            });
+        }
+        Ok(Self {
+            nodes,
+            rels,
+            props,
+            live_nodes,
+            live_rels,
+        })
+    }
+
+    /// Writes the store to `path`.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        std::fs::write(path, self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Reads a store from `path`.
+    pub fn load(path: &Path) -> Result<Self> {
+        Self::from_bytes(&std::fs::read(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_and_rel_creation() {
+        let mut s = RecordStore::new();
+        let a = s.create_node(0);
+        let b = s.create_node(1);
+        let r = s.create_rel(a, b, 7).unwrap();
+        assert_eq!(s.node_count(), 2);
+        assert_eq!(s.rel_count(), 1);
+        let e = s.rel(r).unwrap();
+        assert_eq!((e.from, e.to, e.rel_type), (a, b, 7));
+        s.check_chains().unwrap();
+    }
+
+    #[test]
+    fn chains_visit_both_directions() {
+        let mut s = RecordStore::new();
+        let a = s.create_node(0);
+        let b = s.create_node(0);
+        let c = s.create_node(0);
+        s.create_rel(a, b, 1).unwrap();
+        s.create_rel(c, a, 2).unwrap();
+        let mut seen = Vec::new();
+        s.visit_rels(a, &mut |e| seen.push((e.from, e.to)));
+        assert_eq!(seen.len(), 2, "a participates in both relationships");
+        s.check_chains().unwrap();
+    }
+
+    #[test]
+    fn self_loop_appears_once() {
+        let mut s = RecordStore::new();
+        let a = s.create_node(0);
+        s.create_rel(a, a, 1).unwrap();
+        let mut count = 0;
+        s.visit_rels(a, &mut |_| count += 1);
+        assert_eq!(count, 1);
+        s.check_chains().unwrap();
+    }
+
+    #[test]
+    fn delete_rel_unlinks_both_chains() {
+        let mut s = RecordStore::new();
+        let a = s.create_node(0);
+        let b = s.create_node(0);
+        let r1 = s.create_rel(a, b, 1).unwrap();
+        let r2 = s.create_rel(a, b, 2).unwrap();
+        let r3 = s.create_rel(b, a, 3).unwrap();
+        s.delete_rel(r2).unwrap();
+        s.check_chains().unwrap();
+        let mut ids = Vec::new();
+        s.visit_rels(a, &mut |e| ids.push(e.id));
+        ids.sort();
+        assert_eq!(ids, vec![r1, r3]);
+        assert!(s.rel(r2).is_err());
+    }
+
+    #[test]
+    fn delete_node_detaches() {
+        let mut s = RecordStore::new();
+        let a = s.create_node(0);
+        let b = s.create_node(0);
+        s.create_rel(a, b, 1).unwrap();
+        s.create_rel(b, a, 1).unwrap();
+        s.delete_node(a).unwrap();
+        assert!(!s.node_in_use(a));
+        assert_eq!(s.rel_count(), 0);
+        let mut count = 0;
+        s.visit_rels(b, &mut |_| count += 1);
+        assert_eq!(count, 0);
+        s.check_chains().unwrap();
+    }
+
+    #[test]
+    fn properties_on_nodes_and_rels() {
+        let mut s = RecordStore::new();
+        let a = s.create_node(0);
+        let b = s.create_node(0);
+        let r = s.create_rel(a, b, 1).unwrap();
+        s.set_node_prop(a, 10, Value::from("alice")).unwrap();
+        s.set_node_prop(a, 11, Value::from(30)).unwrap();
+        s.set_node_prop(a, 10, Value::from("alicia")).unwrap(); // overwrite
+        s.set_rel_prop(r, 12, Value::from(0.9)).unwrap();
+        assert_eq!(s.node_prop(a, 10), Some(&Value::from("alicia")));
+        assert_eq!(s.node_prop(a, 11), Some(&Value::from(30)));
+        assert_eq!(s.node_prop(a, 99), None);
+        assert_eq!(s.rel_prop(r, 12), Some(&Value::from(0.9)));
+        let mut keys = Vec::new();
+        s.visit_node_props(a, &mut |k, _| keys.push(k));
+        keys.sort();
+        assert_eq!(keys, vec![10, 11]);
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let mut s = RecordStore::new();
+        let a = s.create_node(3);
+        let b = s.create_node(4);
+        let r = s.create_rel(a, b, 9).unwrap();
+        s.set_node_prop(a, 1, Value::from("x")).unwrap();
+        s.set_rel_prop(r, 2, Value::from(5)).unwrap();
+        s.delete_node(b).unwrap();
+        let bytes = s.to_bytes();
+        let restored = RecordStore::from_bytes(&bytes).unwrap();
+        assert_eq!(restored.node_count(), s.node_count());
+        assert_eq!(restored.rel_count(), s.rel_count());
+        assert_eq!(restored.node_prop(a, 1), Some(&Value::from("x")));
+        restored.check_chains().unwrap();
+    }
+
+    #[test]
+    fn heavy_random_mutation_keeps_chains_consistent() {
+        let mut s = RecordStore::new();
+        let nodes: Vec<u32> = (0..20).map(|i| s.create_node(i)).collect();
+        let mut rels = Vec::new();
+        // Deterministic pseudo-random mutation pattern.
+        let mut state = 12345u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as usize
+        };
+        for step in 0..500 {
+            if step % 3 != 2 || rels.is_empty() {
+                let f = nodes[next() % nodes.len()];
+                let t = nodes[next() % nodes.len()];
+                rels.push(s.create_rel(f, t, 0).unwrap());
+            } else {
+                let idx = next() % rels.len();
+                let id = rels.swap_remove(idx);
+                s.delete_rel(id).unwrap();
+            }
+        }
+        s.check_chains().unwrap();
+        assert_eq!(s.rel_count(), rels.len());
+    }
+}

@@ -1,0 +1,190 @@
+//! Undo-log transactions over any [`KvStore`].
+//!
+//! The paper's definition of a full graph *database* (as opposed to a
+//! graph *store*) includes a transaction engine. [`UndoKv`] provides
+//! the minimal honest version: begin/commit/rollback with an undo log
+//! replayed in reverse on rollback. Engines flagged as transactional in
+//! their descriptor wrap their backend in this.
+
+use crate::memkv::KvStore;
+use gdm_core::{GdmError, Result};
+
+/// Operation recorded for rollback: the key and its value before the
+/// mutation (None = absent).
+type UndoRecord = (Vec<u8>, Option<Vec<u8>>);
+
+/// A [`KvStore`] wrapper adding single-writer transactions.
+pub struct UndoKv<S: KvStore> {
+    inner: S,
+    log: Option<Vec<UndoRecord>>,
+}
+
+impl<S: KvStore> UndoKv<S> {
+    /// Wraps `inner` with transaction support.
+    pub fn new(inner: S) -> Self {
+        Self { inner, log: None }
+    }
+
+    /// Unwraps the inner store (any open transaction is committed).
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// True while a transaction is open.
+    pub fn in_transaction(&self) -> bool {
+        self.log.is_some()
+    }
+
+    /// Starts a transaction. Nested transactions are rejected.
+    pub fn begin(&mut self) -> Result<()> {
+        if self.log.is_some() {
+            return Err(GdmError::InvalidArgument(
+                "transaction already in progress".into(),
+            ));
+        }
+        self.log = Some(Vec::new());
+        Ok(())
+    }
+
+    /// Makes the transaction's effects permanent.
+    pub fn commit(&mut self) -> Result<()> {
+        if self.log.take().is_none() {
+            return Err(GdmError::InvalidArgument("no open transaction".into()));
+        }
+        self.inner.flush()
+    }
+
+    /// Reverts every mutation made since [`UndoKv::begin`].
+    pub fn rollback(&mut self) -> Result<()> {
+        let Some(log) = self.log.take() else {
+            return Err(GdmError::InvalidArgument("no open transaction".into()));
+        };
+        for (key, old) in log.into_iter().rev() {
+            match old {
+                Some(v) => {
+                    self.inner.put(&key, &v)?;
+                }
+                None => {
+                    self.inner.delete(&key)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<S: KvStore> KvStore for UndoKv<S> {
+    fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.inner.get(key)
+    }
+
+    fn put(&mut self, key: &[u8], value: &[u8]) -> Result<Option<Vec<u8>>> {
+        let old = self.inner.put(key, value)?;
+        if let Some(log) = &mut self.log {
+            log.push((key.to_vec(), old.clone()));
+        }
+        Ok(old)
+    }
+
+    fn delete(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let old = self.inner.delete(key)?;
+        if let Some(log) = &mut self.log {
+            if old.is_some() {
+                log.push((key.to_vec(), old.clone()));
+            }
+        }
+        Ok(old)
+    }
+
+    fn scan_range(&mut self, start: &[u8], end: Option<&[u8]>) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        self.inner.scan_range(start, end)
+    }
+
+    fn len(&mut self) -> Result<usize> {
+        self.inner.len()
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memkv::MemKv;
+
+    #[test]
+    fn commit_keeps_changes() {
+        let mut kv = UndoKv::new(MemKv::new());
+        kv.put(b"a", b"0").unwrap();
+        kv.begin().unwrap();
+        kv.put(b"a", b"1").unwrap();
+        kv.put(b"b", b"2").unwrap();
+        kv.commit().unwrap();
+        assert_eq!(kv.get(b"a").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(kv.get(b"b").unwrap(), Some(b"2".to_vec()));
+    }
+
+    #[test]
+    fn rollback_restores_previous_state() {
+        let mut kv = UndoKv::new(MemKv::new());
+        kv.put(b"a", b"0").unwrap();
+        kv.put(b"gone", b"x").unwrap();
+        kv.begin().unwrap();
+        kv.put(b"a", b"1").unwrap(); // overwrite
+        kv.put(b"new", b"2").unwrap(); // insert
+        kv.delete(b"gone").unwrap(); // delete
+        kv.rollback().unwrap();
+        assert_eq!(kv.get(b"a").unwrap(), Some(b"0".to_vec()));
+        assert_eq!(kv.get(b"new").unwrap(), None);
+        assert_eq!(kv.get(b"gone").unwrap(), Some(b"x".to_vec()));
+    }
+
+    #[test]
+    fn rollback_handles_repeated_writes_to_one_key() {
+        let mut kv = UndoKv::new(MemKv::new());
+        kv.begin().unwrap();
+        kv.put(b"k", b"1").unwrap();
+        kv.put(b"k", b"2").unwrap();
+        kv.delete(b"k").unwrap();
+        kv.put(b"k", b"3").unwrap();
+        kv.rollback().unwrap();
+        assert_eq!(kv.get(b"k").unwrap(), None);
+    }
+
+    #[test]
+    fn nested_begin_is_rejected() {
+        let mut kv = UndoKv::new(MemKv::new());
+        kv.begin().unwrap();
+        assert!(kv.begin().is_err());
+        kv.commit().unwrap();
+        assert!(kv.commit().is_err());
+        assert!(kv.rollback().is_err());
+    }
+
+    #[test]
+    fn mutations_outside_transactions_are_unlogged() {
+        let mut kv = UndoKv::new(MemKv::new());
+        kv.put(b"a", b"1").unwrap();
+        assert!(!kv.in_transaction());
+        kv.begin().unwrap();
+        kv.rollback().unwrap();
+        assert_eq!(kv.get(b"a").unwrap(), Some(b"1".to_vec()));
+    }
+
+    #[test]
+    fn works_over_the_disk_btree() {
+        let mut kv = UndoKv::new(crate::btree::DiskBTree::memory(16));
+        for i in 0..100u32 {
+            kv.put(format!("k{i}").as_bytes(), b"base").unwrap();
+        }
+        kv.begin().unwrap();
+        for i in 0..100u32 {
+            kv.put(format!("k{i}").as_bytes(), b"changed").unwrap();
+        }
+        kv.rollback().unwrap();
+        assert_eq!(kv.get(b"k50").unwrap(), Some(b"base".to_vec()));
+        kv.into_inner().check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,59 @@
+//! Quickstart: build a property graph in the Neo4j emulation, run the
+//! essential queries, and query it in the partial Cypher dialect.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use graph_db_models::core::{props, Result};
+use graph_db_models::engines::{make_engine, EngineKind, SummaryFunc};
+
+fn main() -> Result<()> {
+    let dir = std::env::temp_dir().join(format!("gdm-quickstart-{}", std::process::id()));
+    std::fs::create_dir_all(&dir)?;
+
+    // 1. Open an engine. Every surveyed database sits behind the same
+    //    facade; swap `Neo4j` for `Dex`, `Allegro`, ... to compare.
+    let mut db = make_engine(EngineKind::Neo4j, &dir)?;
+
+    // 2. Build a small collaboration graph.
+    let ada = db.create_node(Some("Person"), props! { "name" => "ada", "age" => 36 })?;
+    let bob = db.create_node(Some("Person"), props! { "name" => "bob", "age" => 25 })?;
+    let cleo = db.create_node(Some("Person"), props! { "name" => "cleo", "age" => 41 })?;
+    let paper = db.create_node(Some("Paper"), props! { "title" => "graph models" })?;
+    db.create_edge(ada, bob, Some("KNOWS"), props! { "since" => 2001 })?;
+    db.create_edge(bob, cleo, Some("KNOWS"), props! {})?;
+    db.create_edge(ada, paper, Some("WROTE"), props! {})?;
+    db.create_edge(cleo, paper, Some("WROTE"), props! {})?;
+
+    // 3. The essential queries of the paper's Section IV.
+    println!("adjacent(ada, bob)        = {}", db.adjacent(ada, bob)?);
+    println!("k_neighborhood(ada, 2)    = {:?}", db.k_neighborhood(ada, 2)?);
+    println!(
+        "shortest_path(ada, cleo)  = {:?}",
+        db.shortest_path(ada, cleo)?
+    );
+    println!(
+        "order / size              = {} / {}",
+        db.summarize(SummaryFunc::Order)?,
+        db.summarize(SummaryFunc::Size)?
+    );
+
+    // 4. The in-development Cypher dialect (the paper's Table V `◦`).
+    let rs = db.execute_query(
+        "MATCH (a:Person)-[:WROTE]->(p:Paper) RETURN a.name ORDER BY a.name",
+    )?;
+    println!("\nauthors of the paper:\n{}", rs.to_text());
+
+    let rs = db.execute_query(
+        "MATCH (a:Person {name: 'ada'})-[:KNOWS*1..2]->(b:Person) RETURN b.name",
+    )?;
+    println!("ada's extended circle:\n{}", rs.to_text());
+
+    // 5. Durability: persist and reopen.
+    db.persist()?;
+    let db2 = make_engine(EngineKind::Neo4j, &dir)?;
+    assert_eq!(db2.node_count(), 4);
+    println!("persisted and reopened: {} nodes", db2.node_count());
+    Ok(())
+}

@@ -1,0 +1,192 @@
+//! Integration tests for Table VI behaviour: engines that advertise a
+//! constraint must actually *enforce* it on mutation, with clean
+//! rollback, and refuse constraint kinds outside their profile.
+
+use graph_db_models::algo::pattern::{Pattern, PatternNode};
+use graph_db_models::core::{props, Value};
+use graph_db_models::engines::{make_engine, EngineKind};
+use graph_db_models::schema::{
+    validate, Cardinality, Constraint, EdgeTypeDef, NodeTypeDef, PatternKind, PropertyType,
+    Schema, ValueType,
+};
+
+fn dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("gdm-constraints-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn person_schema() -> Schema {
+    let mut s = Schema::new();
+    s.add_node_type(
+        NodeTypeDef::new("person").with(PropertyType::required("name", ValueType::Str)),
+    )
+    .unwrap();
+    s.add_node_type(NodeTypeDef::new("company")).unwrap();
+    s.add_edge_type(
+        EdgeTypeDef::new("works_at")
+            .between("person", "company")
+            .cardinality(Cardinality::OneFromSource),
+    )
+    .unwrap();
+    s
+}
+
+#[test]
+fn dex_type_checking_rejects_and_rolls_back() {
+    let mut dex = make_engine(EngineKind::Dex, &dir("dex")).unwrap();
+    dex.install_constraint(Constraint::TypeChecking(person_schema()))
+        .unwrap();
+    let p = dex
+        .create_node(Some("person"), props! { "name" => "ada" })
+        .unwrap();
+    let c = dex.create_node(Some("company"), props! {}).unwrap();
+    dex.create_edge(p, c, Some("works_at"), props! {}).unwrap();
+    let before = dex.node_count();
+    // Undeclared label.
+    assert!(dex.create_node(Some("ghost_type"), props! {}).is_err());
+    // Missing required property.
+    assert!(dex.create_node(Some("person"), props! {}).is_err());
+    // Wrong property type.
+    assert!(dex
+        .create_node(Some("person"), props! { "name" => 42 })
+        .is_err());
+    // Wrong endpoint direction.
+    assert!(dex.create_edge(c, p, Some("works_at"), props! {}).is_err());
+    assert_eq!(dex.node_count(), before, "rejections rolled back");
+    assert_eq!(dex.edge_count(), 1);
+}
+
+#[test]
+fn installing_a_constraint_on_dirty_data_fails_upfront() {
+    let mut dex = make_engine(EngineKind::Dex, &dir("dex-dirty")).unwrap();
+    dex.create_node(Some("alien"), props! {}).unwrap();
+    let err = dex
+        .install_constraint(Constraint::TypeChecking(person_schema()))
+        .unwrap_err();
+    assert!(err.to_string().contains("alien"), "{err}");
+}
+
+#[test]
+fn infinitegraph_identity_is_enforced_through_attribute_updates() {
+    let mut ig = make_engine(EngineKind::InfiniteGraph, &dir("ig")).unwrap();
+    ig.install_constraint(Constraint::Identity {
+        type_name: "device".into(),
+        property: "serial".into(),
+    })
+    .unwrap();
+    let a = ig
+        .create_node(Some("device"), props! { "serial" => 100 })
+        .unwrap();
+    let _b = ig
+        .create_node(Some("device"), props! { "serial" => 200 })
+        .unwrap();
+    // Updating a's serial to collide with b's must fail and roll back.
+    let err = ig.set_node_attribute(a, "serial", Value::from(200)).unwrap_err();
+    assert!(err.to_string().contains("identity") || err.to_string().contains("share"));
+    assert_eq!(ig.node_attribute(a, "serial").unwrap(), Some(Value::from(100)));
+}
+
+#[test]
+fn sones_cardinality_via_gql_ddl() {
+    let mut sones = make_engine(EngineKind::Sones, &dir("sones")).unwrap();
+    sones
+        .execute_ddl("CREATE VERTEX TYPE Person ATTRIBUTES (String name UNIQUE)")
+        .unwrap();
+    sones
+        .execute_dml("INSERT INTO Person VALUES (name = 'ada')")
+        .unwrap();
+    // UNIQUE attribute = identity constraint through the DDL path.
+    let err = sones
+        .execute_dml("INSERT INTO Person VALUES (name = 'ada')")
+        .unwrap_err();
+    assert!(err.to_string().contains("identity") || err.to_string().contains("taken"));
+}
+
+#[test]
+fn unsupported_constraints_refuse_uniformly() {
+    // FD and pattern constraints: nobody in Table VI supports them.
+    let pattern_constraint = || {
+        let mut p = Pattern::new();
+        p.node(PatternNode::var("x"));
+        Constraint::GraphPattern {
+            name: "probe".into(),
+            pattern: p,
+            kind: PatternKind::Required,
+        }
+    };
+    for kind in EngineKind::all() {
+        let mut e = make_engine(kind, &dir(&format!("fd-{}", kind.label()))).unwrap();
+        assert!(
+            e.install_constraint(Constraint::FunctionalDependency {
+                type_name: "t".into(),
+                determinant: "a".into(),
+                dependent: "b".into(),
+            })
+            .unwrap_err()
+            .is_unsupported(),
+            "{}",
+            kind.label()
+        );
+        assert!(
+            e.install_constraint(pattern_constraint())
+                .unwrap_err()
+                .is_unsupported(),
+            "{}",
+            kind.label()
+        );
+    }
+}
+
+#[test]
+fn validator_covers_all_six_kinds_on_one_graph() {
+    // The standalone validator (usable outside any engine) detects one
+    // violation of each Table VI kind on a deliberately broken graph.
+    let mut g = graph_db_models::graphs::PropertyGraph::new();
+    let p1 = g.add_node("person", props! { "name" => "ada", "zip" => 1, "city" => "x" });
+    let p2 = g.add_node("person", props! { "name" => "ada", "zip" => 1, "city" => "y" });
+    let alien = g.add_node("alien", props! {});
+    let c = g.add_node("company", props! {});
+    g.add_edge(p1, c, "works_at", props! {}).unwrap();
+    g.add_edge(p1, c, "works_at", props! {}).unwrap(); // cardinality
+    g.add_edge(alien, p2, "works_at", props! {}).unwrap(); // wrong endpoint type
+
+    let mut forbidden = Pattern::new();
+    let x = forbidden.node(PatternNode::var("x").with_label("alien"));
+    let y = forbidden.node(PatternNode::var("y"));
+    forbidden.edge(x, y, None).unwrap();
+
+    let violations = validate(
+        &g,
+        &[
+            Constraint::TypeChecking(person_schema()),
+            Constraint::Identity {
+                type_name: "person".into(),
+                property: "name".into(),
+            },
+            Constraint::ReferentialIntegrity,
+            Constraint::Cardinality(person_schema()),
+            Constraint::FunctionalDependency {
+                type_name: "person".into(),
+                determinant: "zip".into(),
+                dependent: "city".into(),
+            },
+            Constraint::GraphPattern {
+                name: "no-alien-edges".into(),
+                pattern: forbidden,
+                kind: PatternKind::Forbidden,
+            },
+        ],
+    );
+    let text = violations
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(text.contains("undeclared type"), "{text}");
+    assert!(text.contains("share identity"), "{text}");
+    assert!(text.contains("outgoing"), "{text}");
+    assert!(text.contains("FD"), "{text}");
+    assert!(text.contains("no-alien-edges"), "{text}");
+}

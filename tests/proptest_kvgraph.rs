@@ -1,0 +1,145 @@
+//! Differential property test: the KV-backed graph layout (the
+//! Filament/VertexDB substrate) must behave exactly like the in-memory
+//! simple graph under random mutation sequences — including over the
+//! *disk* B-tree backend with a tiny buffer pool, where every read
+//! churns pages.
+
+use graph_db_models::core::{EdgeId, GraphView, NodeId, PropertyMap};
+use graph_db_models::engines::kvgraph::KvGraph;
+use graph_db_models::graphs::SimpleGraph;
+use graph_db_models::storage::{BufferPool, DiskBTree, MemKv};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    AddNode(Option<u8>),
+    AddEdge(usize, usize, Option<u8>),
+    DeleteEdge(usize),
+    DeleteNode(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => prop::option::of(0u8..3).prop_map(Op::AddNode),
+        5 => (0usize..64, 0usize..64, prop::option::of(0u8..3))
+            .prop_map(|(a, b, l)| Op::AddEdge(a, b, l)),
+        1 => (0usize..64).prop_map(Op::DeleteEdge),
+        1 => (0usize..64).prop_map(Op::DeleteNode),
+    ]
+}
+
+fn label_of(l: Option<u8>) -> Option<&'static str> {
+    l.map(|i| ["alpha", "beta", "gamma"][i as usize])
+}
+
+/// Applies the op sequence to both structures, tracking live ids, and
+/// compares full adjacency after every few steps.
+fn run_differential(ops: Vec<Op>, mut kv: KvGraph) {
+    let mut oracle = SimpleGraph::directed();
+    // Parallel id lists (same insertion order => same positional ids).
+    let mut nodes_kv: Vec<NodeId> = Vec::new();
+    let mut nodes_or: Vec<NodeId> = Vec::new();
+    let mut edges_kv: Vec<EdgeId> = Vec::new();
+    let mut edges_or: Vec<EdgeId> = Vec::new();
+
+    for op in ops {
+        match op {
+            Op::AddNode(l) => {
+                let label = label_of(l);
+                nodes_kv.push(kv.add_node(label, &PropertyMap::new()).expect("add"));
+                nodes_or.push(match label {
+                    Some(t) => oracle.add_labeled_node(t),
+                    None => oracle.add_node(),
+                });
+            }
+            Op::AddEdge(a, b, l) => {
+                if nodes_kv.is_empty() {
+                    continue;
+                }
+                let (a, b) = (a % nodes_kv.len(), b % nodes_kv.len());
+                let label = label_of(l);
+                let in_kv = kv.add_edge(nodes_kv[a], nodes_kv[b], label, &PropertyMap::new());
+                let in_or = match label {
+                    Some(t) => oracle.add_labeled_edge(nodes_or[a], nodes_or[b], t),
+                    None => oracle.add_edge(nodes_or[a], nodes_or[b]),
+                };
+                match (in_kv, in_or) {
+                    (Ok(e1), Ok(e2)) => {
+                        edges_kv.push(e1);
+                        edges_or.push(e2);
+                    }
+                    (Err(_), Err(_)) => {} // both deleted endpoints
+                    (a, b) => panic!("divergence on AddEdge: {a:?} vs {b:?}"),
+                }
+            }
+            Op::DeleteEdge(i) => {
+                if edges_kv.is_empty() {
+                    continue;
+                }
+                let i = i % edges_kv.len();
+                let r1 = kv.delete_edge(edges_kv[i]);
+                let r2 = oracle.remove_edge(edges_or[i]);
+                assert_eq!(r1.is_ok(), r2.is_ok(), "divergence on DeleteEdge");
+                edges_kv.swap_remove(i);
+                edges_or.swap_remove(i);
+            }
+            Op::DeleteNode(i) => {
+                if nodes_kv.is_empty() {
+                    continue;
+                }
+                let i = i % nodes_kv.len();
+                let r1 = kv.delete_node(nodes_kv[i]);
+                let r2 = oracle.remove_node(nodes_or[i]);
+                assert_eq!(r1.is_ok(), r2.is_ok(), "divergence on DeleteNode");
+                nodes_kv.swap_remove(i);
+                nodes_or.swap_remove(i);
+            }
+        }
+    }
+
+    // Full comparison.
+    assert_eq!(kv.node_count(), oracle.node_count());
+    assert_eq!(kv.edge_count(), oracle.edge_count());
+    for (nk, no) in nodes_kv.iter().zip(nodes_or.iter()) {
+        // Out-adjacency (targets + labels) must match as multisets.
+        let mut out_kv: Vec<(u64, Option<String>)> = Vec::new();
+        kv.visit_out_edges(*nk, &mut |e| {
+            let pos = nodes_kv.iter().position(|x| *x == e.to).expect("live target");
+            out_kv.push((
+                pos as u64,
+                e.label.and_then(|s| kv.label_text(s)).map(str::to_owned),
+            ));
+        });
+        let mut out_or: Vec<(u64, Option<String>)> = Vec::new();
+        oracle.visit_out_edges(*no, &mut |e| {
+            let pos = nodes_or.iter().position(|x| *x == e.to).expect("live target");
+            out_or.push((
+                pos as u64,
+                e.label.and_then(|s| oracle.label_text(s)).map(str::to_owned),
+            ));
+        });
+        out_kv.sort();
+        out_or.sort();
+        assert_eq!(out_kv, out_or, "out-adjacency mismatch at {nk}");
+        assert_eq!(kv.in_degree(*nk), oracle.in_degree(*no));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn kvgraph_over_memkv_matches_simple_graph(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let kv = KvGraph::new(Box::new(MemKv::new())).expect("graph");
+        run_differential(ops, kv);
+    }
+
+    #[test]
+    fn kvgraph_over_tiny_pool_btree_matches_simple_graph(ops in prop::collection::vec(op_strategy(), 1..80)) {
+        // 3-frame buffer pool: every operation evicts pages, so this
+        // exercises writeback correctness, not just the happy path.
+        let tree = DiskBTree::new(BufferPool::memory(3)).expect("tree");
+        let kv = KvGraph::new(Box::new(tree)).expect("graph");
+        run_differential(ops, kv);
+    }
+}

@@ -1,0 +1,122 @@
+//! Differential property test for the Neo4j-style record store: its
+//! relationship chains must agree with a plain adjacency oracle under
+//! random create/delete sequences, and chain integrity must hold at
+//! every step.
+
+use graph_db_models::storage::RecordStore;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+#[derive(Debug, Clone)]
+enum Op {
+    CreateNode,
+    CreateRel(usize, usize, u32),
+    DeleteRel(usize),
+    DeleteNode(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        2 => Just(Op::CreateNode),
+        5 => (0usize..32, 0usize..32, 0u32..4).prop_map(|(a, b, t)| Op::CreateRel(a, b, t)),
+        2 => (0usize..32).prop_map(Op::DeleteRel),
+        1 => (0usize..32).prop_map(Op::DeleteNode),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn record_chains_match_adjacency_oracle(ops in prop::collection::vec(op_strategy(), 1..150)) {
+        let mut store = RecordStore::new();
+        // Oracle: set of (rel id, from, to, type).
+        let mut oracle: HashSet<(u32, u32, u32, u32)> = HashSet::new();
+        let mut nodes: Vec<u32> = Vec::new();
+        let mut rels: Vec<u32> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::CreateNode => nodes.push(store.create_node(0)),
+                Op::CreateRel(a, b, t) => {
+                    if nodes.is_empty() { continue; }
+                    let (f, to) = (nodes[a % nodes.len()], nodes[b % nodes.len()]);
+                    let id = store.create_rel(f, to, t).expect("endpoints live");
+                    oracle.insert((id, f, to, t));
+                    rels.push(id);
+                }
+                Op::DeleteRel(i) => {
+                    if rels.is_empty() { continue; }
+                    let id = rels.swap_remove(i % rels.len());
+                    store.delete_rel(id).expect("live rel");
+                    oracle.retain(|(r, ..)| *r != id);
+                }
+                Op::DeleteNode(i) => {
+                    if nodes.is_empty() { continue; }
+                    let n = nodes.swap_remove(i % nodes.len());
+                    store.delete_node(n).expect("live node");
+                    oracle.retain(|(_, f, t, _)| *f != n && *t != n);
+                    rels.retain(|r| oracle.iter().any(|(or, ..)| or == r));
+                }
+            }
+            store.check_chains().expect("chains stay consistent");
+        }
+
+        prop_assert_eq!(store.rel_count(), oracle.len());
+        prop_assert_eq!(store.node_count(), nodes.len());
+        // Every oracle rel visible from both endpoints; nothing extra.
+        for &n in &nodes {
+            let mut seen: Vec<(u32, u32, u32, u32)> = Vec::new();
+            store.visit_rels(n, &mut |e| seen.push((e.id, e.from, e.to, e.rel_type)));
+            let expected: HashSet<(u32, u32, u32, u32)> = oracle
+                .iter()
+                .copied()
+                .filter(|(_, f, t, _)| *f == n || *t == n)
+                .collect();
+            let got: HashSet<(u32, u32, u32, u32)> = seen.into_iter().collect();
+            prop_assert_eq!(got, expected, "node {}", n);
+        }
+    }
+
+    #[test]
+    fn serialization_round_trips_arbitrary_histories(ops in prop::collection::vec(op_strategy(), 1..80)) {
+        let mut store = RecordStore::new();
+        let mut nodes: Vec<u32> = Vec::new();
+        let mut rels: Vec<u32> = Vec::new();
+        for op in ops {
+            match op {
+                Op::CreateNode => nodes.push(store.create_node(1)),
+                Op::CreateRel(a, b, t) => {
+                    if nodes.is_empty() { continue; }
+                    rels.push(
+                        store
+                            .create_rel(nodes[a % nodes.len()], nodes[b % nodes.len()], t)
+                            .expect("live"),
+                    );
+                }
+                Op::DeleteRel(i) => {
+                    if rels.is_empty() { continue; }
+                    store.delete_rel(rels.swap_remove(i % rels.len())).expect("live");
+                }
+                Op::DeleteNode(i) => {
+                    if nodes.is_empty() { continue; }
+                    let n = nodes.swap_remove(i % nodes.len());
+                    store.delete_node(n).expect("live");
+                    // Drop rels that died with the node.
+                    rels.retain(|&r| store.rel(r).is_ok());
+                }
+            }
+        }
+        let restored = RecordStore::from_bytes(&store.to_bytes()).expect("decodes");
+        prop_assert_eq!(restored.node_count(), store.node_count());
+        prop_assert_eq!(restored.rel_count(), store.rel_count());
+        restored.check_chains().expect("restored chains consistent");
+        for &n in &nodes {
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            store.visit_rels(n, &mut |e| a.push(e.id));
+            restored.visit_rels(n, &mut |e| b.push(e.id));
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Property test for the SPARQL evaluator: its index-driven
+//! triple-pattern joins must agree with a naive nested-loop oracle on
+//! random triple stores and random basic graph patterns.
+
+use graph_db_models::graphs::rdf::{RdfGraph, Term};
+use graph_db_models::query::sparql;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+const RESOURCES: [&str; 5] = ["a", "b", "c", "d", "e"];
+const PREDICATES: [&str; 3] = ["p", "q", "r"];
+
+fn store_strategy() -> impl Strategy<Value = RdfGraph> {
+    prop::collection::vec((0usize..5, 0usize..3, 0usize..5), 0..25).prop_map(|triples| {
+        let mut g = RdfGraph::new();
+        for (s, p, o) in triples {
+            g.add(
+                &Term::iri(RESOURCES[s]),
+                &Term::iri(PREDICATES[p]),
+                &Term::iri(RESOURCES[o]),
+            )
+            .expect("valid triple");
+        }
+        g
+    })
+}
+
+/// A pattern position: 0..5 = constant resource, 5.. = variable index.
+type Pos = usize;
+
+fn pattern_strategy() -> impl Strategy<Value = Vec<(Pos, usize, Pos)>> {
+    prop::collection::vec((0usize..8, 0usize..3, 0usize..8), 1..4)
+}
+
+fn pos_text(p: Pos) -> String {
+    if p < 5 {
+        format!("<{}>", RESOURCES[p])
+    } else {
+        format!("?v{}", p - 5)
+    }
+}
+
+/// Naive oracle: try every assignment of resources to the variables
+/// appearing in the pattern and keep those satisfied by the store.
+fn oracle(g: &RdfGraph, patterns: &[(Pos, usize, Pos)]) -> BTreeSet<Vec<String>> {
+    // Variables used, sorted by index (matches SELECT ?v0 ?v1 ?v2).
+    let mut vars: Vec<usize> = patterns
+        .iter()
+        .flat_map(|&(s, _, o)| [s, o])
+        .filter(|&p| p >= 5)
+        .map(|p| p - 5)
+        .collect();
+    vars.sort_unstable();
+    vars.dedup();
+    let mut out = BTreeSet::new();
+    let mut assignment = vec![0usize; vars.len()];
+    loop {
+        // Check every pattern under this assignment.
+        let resolve = |p: Pos| -> &str {
+            if p < 5 {
+                RESOURCES[p]
+            } else {
+                let vi = vars.iter().position(|&v| v == p - 5).expect("known var");
+                RESOURCES[assignment[vi]]
+            }
+        };
+        let ok = patterns.iter().all(|&(s, p, o)| {
+            g.contains(
+                &Term::iri(resolve(s)),
+                &Term::iri(PREDICATES[p]),
+                &Term::iri(resolve(o)),
+            )
+        });
+        if ok {
+            out.insert(
+                assignment
+                    .iter()
+                    .map(|&i| RESOURCES[i].to_owned())
+                    .collect(),
+            );
+        }
+        // Next assignment (odometer).
+        let mut idx = 0;
+        loop {
+            if idx == assignment.len() {
+                return out;
+            }
+            assignment[idx] += 1;
+            if assignment[idx] < RESOURCES.len() {
+                break;
+            }
+            assignment[idx] = 0;
+            idx += 1;
+        }
+        if assignment.is_empty() {
+            return out;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sparql_joins_match_nested_loop_oracle(
+        g in store_strategy(),
+        patterns in pattern_strategy(),
+    ) {
+        // Build the query text: SELECT all used vars in index order.
+        let mut vars: Vec<usize> = patterns
+            .iter()
+            .flat_map(|&(s, _, o)| [s, o])
+            .filter(|&p| p >= 5)
+            .map(|p| p - 5)
+            .collect();
+        vars.sort_unstable();
+        vars.dedup();
+        let body: Vec<String> = patterns
+            .iter()
+            .map(|&(s, p, o)| {
+                format!("{} <{}> {}", pos_text(s), PREDICATES[p], pos_text(o))
+            })
+            .collect();
+        let select = if vars.is_empty() {
+            // All-constant pattern: count matches instead.
+            let q = format!("SELECT (COUNT(*) AS ?n) WHERE {{ {} }}", body.join(" . "));
+            let rs = sparql::query(&g, &q).expect("query runs");
+            let expected = if oracle(&g, &patterns).is_empty() { 0 } else { 1 };
+            prop_assert_eq!(
+                rs.rows[0][0].as_int().expect("count"),
+                expected,
+                "{}", q
+            );
+            return Ok(());
+        } else {
+            vars.iter().map(|v| format!("?v{v}")).collect::<Vec<_>>().join(" ")
+        };
+        let q = format!(
+            "SELECT DISTINCT {select} WHERE {{ {} }}",
+            body.join(" . ")
+        );
+        let rs = sparql::query(&g, &q).expect("query runs");
+        let got: BTreeSet<Vec<String>> = rs
+            .rows
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|v| v.as_str().expect("resource").to_owned())
+                    .collect()
+            })
+            .collect();
+        prop_assert_eq!(got, oracle(&g, &patterns), "{}", q);
+    }
+}

@@ -1,0 +1,196 @@
+//! Property tests for the paper's modeling claim (Section III.A):
+//! random hypergraphs and attributed graphs survive the round trip
+//! through their nested-graph embeddings, and snapshots preserve ids.
+
+use graph_db_models::core::{AttributedView, GraphView, NodeId, PropertyMap, Value};
+use graph_db_models::graphs::nested::translate;
+use graph_db_models::graphs::{HyperGraph, PropertyGraph};
+use proptest::prelude::*;
+
+fn props_strategy() -> impl Strategy<Value = PropertyMap> {
+    prop::collection::vec(("[a-z]{1,5}", prop::num::i64::ANY), 0..4).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .map(|(k, v)| (k, Value::Int(v)))
+            .collect()
+    })
+}
+
+fn hyper_strategy() -> impl Strategy<Value = HyperGraph> {
+    (
+        2usize..8,
+        prop::collection::vec(prop::collection::vec(0usize..8, 1..5), 0..8),
+    )
+        .prop_map(|(n, links)| {
+            let mut h = HyperGraph::new();
+            let nodes: Vec<_> = (0..n)
+                .map(|i| h.add_node(&format!("t{}", i % 3), PropertyMap::new()))
+                .collect();
+            let mut link_ids = Vec::new();
+            for (li, targets) in links.into_iter().enumerate() {
+                let atoms: Vec<_> = targets
+                    .iter()
+                    .map(|&t| {
+                        // Links may target earlier links (edges on edges).
+                        if t % 4 == 3 && !link_ids.is_empty() {
+                            link_ids[t % link_ids.len()]
+                        } else {
+                            nodes[t % n]
+                        }
+                    })
+                    .collect();
+                let id = h
+                    .add_link(&format!("l{}", li % 2), &atoms, PropertyMap::new())
+                    .expect("targets exist");
+                link_ids.push(id);
+            }
+            h
+        })
+}
+
+fn property_graph_strategy() -> impl Strategy<Value = PropertyGraph> {
+    (
+        1usize..8,
+        prop::collection::vec((0usize..8, 0usize..8, props_strategy()), 0..12),
+        prop::collection::vec(props_strategy(), 1..8),
+    )
+        .prop_map(|(n, edges, node_props)| {
+            let mut g = PropertyGraph::new();
+            let nodes: Vec<NodeId> = (0..n)
+                .map(|i| {
+                    let props = node_props[i % node_props.len()].clone();
+                    g.add_node(&format!("t{}", i % 3), props)
+                })
+                .collect();
+            for (a, b, props) in edges {
+                g.add_edge(nodes[a % n], nodes[b % n], "rel", props)
+                    .expect("nodes exist");
+            }
+            g
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hypergraph_round_trip(h in hyper_strategy()) {
+        let nested = translate::hyper_to_nested(&h);
+        let back = translate::nested_to_hyper(&nested).expect("well-formed embedding");
+        prop_assert_eq!(back.node_count(), h.node_count());
+        prop_assert_eq!(back.link_count(), h.link_count());
+        // Arity multiset is preserved.
+        let mut arities: Vec<usize> =
+            h.link_ids().iter().map(|&l| h.arity(l).expect("live")).collect();
+        let mut back_arities: Vec<usize> =
+            back.link_ids().iter().map(|&l| back.arity(l).expect("live")).collect();
+        arities.sort_unstable();
+        back_arities.sort_unstable();
+        prop_assert_eq!(arities, back_arities);
+        // Label multiset is preserved.
+        let mut labels: Vec<String> = h
+            .node_ids().iter().chain(h.link_ids().iter())
+            .map(|&a| h.label(a).expect("live").to_owned()).collect();
+        let mut back_labels: Vec<String> = back
+            .node_ids().iter().chain(back.link_ids().iter())
+            .map(|&a| back.label(a).expect("live").to_owned()).collect();
+        labels.sort();
+        back_labels.sort();
+        prop_assert_eq!(labels, back_labels);
+    }
+
+    #[test]
+    fn property_graph_round_trip(g in property_graph_strategy()) {
+        let nested = translate::property_to_nested(&g);
+        let back = translate::nested_to_property(&nested).expect("well-formed embedding");
+        prop_assert_eq!(back.node_count(), g.node_count());
+        prop_assert_eq!(back.edge_count(), g.edge_count());
+        // Node label + attribute multisets survive.
+        let fingerprint = |pg: &PropertyGraph| {
+            let mut rows: Vec<String> = Vec::new();
+            pg.visit_nodes(&mut |n| {
+                rows.push(format!(
+                    "{}:{}",
+                    pg.node_label_text(n).expect("live"),
+                    pg.node_properties(n).expect("live")
+                ));
+            });
+            rows.sort();
+            rows
+        };
+        prop_assert_eq!(fingerprint(&g), fingerprint(&back));
+        // Edge attribute multisets survive.
+        let edge_fp = |pg: &PropertyGraph| {
+            let mut rows: Vec<String> = pg
+                .edge_ids()
+                .into_iter()
+                .map(|e| format!(
+                    "{}:{}",
+                    pg.edge_label_text(e).expect("live"),
+                    pg.edge_properties(e).expect("live")
+                ))
+                .collect();
+            rows.sort();
+            rows
+        };
+        prop_assert_eq!(edge_fp(&g), edge_fp(&back));
+    }
+
+    #[test]
+    fn property_snapshot_preserves_ids(g in property_graph_strategy()) {
+        let snapshot = g.to_snapshot();
+        let back = PropertyGraph::from_snapshot(&snapshot).expect("snapshot decodes");
+        prop_assert_eq!(back.node_count(), g.node_count());
+        prop_assert_eq!(back.edge_count(), g.edge_count());
+        let mut nodes = Vec::new();
+        g.visit_nodes(&mut |n| nodes.push(n));
+        for n in nodes {
+            prop_assert_eq!(
+                back.node_label_text(n).expect("same id space"),
+                g.node_label_text(n).expect("live")
+            );
+            prop_assert_eq!(
+                back.node_property(n, "zzz"),
+                g.node_property(n, "zzz")
+            );
+        }
+    }
+
+    #[test]
+    fn graphml_round_trips_random_property_graphs(g in property_graph_strategy()) {
+        use graph_db_models::graphs::graphml;
+        let xml = graphml::export(&g).expect("exportable (int props only)");
+        let back = graphml::import(&xml).expect("imports");
+        prop_assert_eq!(back.node_count(), g.node_count());
+        prop_assert_eq!(back.edge_count(), g.edge_count());
+        let fingerprint = |pg: &PropertyGraph| {
+            let mut rows: Vec<String> = Vec::new();
+            pg.visit_nodes(&mut |n| {
+                rows.push(format!(
+                    "{}:{}",
+                    pg.node_label_text(n).expect("live"),
+                    pg.node_properties(n).expect("live")
+                ));
+            });
+            rows.sort();
+            rows
+        };
+        prop_assert_eq!(fingerprint(&g), fingerprint(&back));
+    }
+
+    #[test]
+    fn hyper_snapshot_preserves_structure(h in hyper_strategy()) {
+        let back = HyperGraph::from_snapshot(&h.to_snapshot()).expect("snapshot decodes");
+        prop_assert_eq!(back.node_count(), h.node_count());
+        prop_assert_eq!(back.link_count(), h.link_count());
+        for l in h.link_ids() {
+            prop_assert_eq!(back.targets(l).expect("live"), h.targets(l).expect("live"));
+        }
+        for n in h.node_ids() {
+            prop_assert_eq!(
+                back.incidence(n).expect("live"),
+                h.incidence(n).expect("live")
+            );
+        }
+    }
+}
