@@ -38,12 +38,7 @@ pub fn edges_adjacent(
 /// The k-neighborhood of `n`: every node reachable within `k` hops
 /// (excluding `n` itself), in BFS order. `direction` selects which
 /// edges count as neighborhood edges.
-pub fn k_neighborhood(
-    g: &dyn GraphView,
-    n: NodeId,
-    k: usize,
-    direction: Direction,
-) -> Vec<NodeId> {
+pub fn k_neighborhood(g: &dyn GraphView, n: NodeId, k: usize, direction: Direction) -> Vec<NodeId> {
     if k == 0 {
         return Vec::new();
     }
@@ -106,10 +101,7 @@ mod tests {
     #[test]
     fn k_neighborhood_grows_with_k() {
         let (g, n) = path_graph(5);
-        assert_eq!(
-            k_neighborhood(&g, n[0], 1, Direction::Outgoing),
-            vec![n[1]]
-        );
+        assert_eq!(k_neighborhood(&g, n[0], 1, Direction::Outgoing), vec![n[1]]);
         assert_eq!(
             k_neighborhood(&g, n[0], 3, Direction::Outgoing),
             vec![n[1], n[2], n[3]]

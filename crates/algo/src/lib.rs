@@ -33,8 +33,8 @@ pub mod traverse;
 
 pub use adjacency::{edges_adjacent, k_neighborhood, nodes_adjacent};
 pub use paths::{
-    bidirectional_shortest_path, dijkstra, distance, fixed_length_path_exists,
-    fixed_length_paths, is_reachable, shortest_path, Path,
+    bidirectional_shortest_path, dijkstra, distance, fixed_length_path_exists, fixed_length_paths,
+    is_reachable, shortest_path, Path,
 };
 pub use pattern::{match_pattern, Pattern, PatternEdge, PatternNode};
 pub use regular::{regular_path_exists, regular_simple_paths, LabelRegex};

@@ -323,7 +323,11 @@ pub fn bidirectional_shortest_path(g: &dyn GraphView, a: NodeId, b: NodeId) -> O
 
 /// Weighted shortest path (Dijkstra) using [`WeightedView`] weights.
 /// Negative weights are rejected.
-pub fn dijkstra<G: WeightedView + ?Sized>(g: &G, a: NodeId, b: NodeId) -> Result<Option<(Path, f64)>> {
+pub fn dijkstra<G: WeightedView + ?Sized>(
+    g: &G,
+    a: NodeId,
+    b: NodeId,
+) -> Result<Option<(Path, f64)>> {
     use std::cmp::Ordering;
     use std::collections::BinaryHeap;
 
@@ -377,10 +381,7 @@ pub fn dijkstra<G: WeightedView + ?Sized>(g: &G, a: NodeId, b: NodeId) -> Result
                 )));
             }
             let next_cost = cost + w;
-            if dist
-                .get(&e.to.raw())
-                .is_none_or(|&d| next_cost < d)
-            {
+            if dist.get(&e.to.raw()).is_none_or(|&d| next_cost < d) {
                 dist.insert(e.to.raw(), next_cost);
                 parent.insert(e.to.raw(), e);
                 heap.push(Entry {

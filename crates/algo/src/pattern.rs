@@ -144,9 +144,7 @@ fn matching_order(pattern: &Pattern) -> Vec<usize> {
                 let connected = pattern
                     .edges
                     .iter()
-                    .filter(|e| {
-                        (placed[e.from] && e.to == i) || (placed[e.to] && e.from == i)
-                    })
+                    .filter(|e| (placed[e.from] && e.to == i) || (placed[e.to] && e.from == i))
                     .count();
                 (connected, constraint_score(i))
             })
@@ -270,12 +268,7 @@ fn edges_consistent<G: AttributedView + ?Sized>(
     true
 }
 
-fn has_edge<G: AttributedView + ?Sized>(
-    g: &G,
-    from: NodeId,
-    to: NodeId,
-    e: &PatternEdge,
-) -> bool {
+fn has_edge<G: AttributedView + ?Sized>(g: &G, from: NodeId, to: NodeId, e: &PatternEdge) -> bool {
     let check = |a: NodeId, b: NodeId| {
         let mut found = false;
         g.visit_out_edges(a, &mut |er| {
@@ -361,8 +354,7 @@ pub fn canonical(bindings: &[Binding]) -> Vec<Vec<(String, u64)>> {
     let mut rows: Vec<Vec<(String, u64)>> = bindings
         .iter()
         .map(|b| {
-            let mut row: Vec<(String, u64)> =
-                b.iter().map(|(k, v)| (k.clone(), v.raw())).collect();
+            let mut row: Vec<(String, u64)> = b.iter().map(|(k, v)| (k.clone(), v.raw())).collect();
             row.sort();
             row
         })
@@ -380,7 +372,12 @@ mod tests {
     fn triangle_with_tail() -> (PropertyGraph, Vec<NodeId>) {
         let mut g = PropertyGraph::new();
         let n: Vec<NodeId> = (0..4)
-            .map(|i| g.add_node(if i < 3 { "person" } else { "company" }, props! { "i" => i }))
+            .map(|i| {
+                g.add_node(
+                    if i < 3 { "person" } else { "company" },
+                    props! { "i" => i },
+                )
+            })
             .collect();
         g.add_edge(n[0], n[1], "knows", props! {}).unwrap();
         g.add_edge(n[1], n[2], "knows", props! {}).unwrap();
@@ -467,7 +464,9 @@ mod tests {
             vec![(0, 1, None), (1, 2, None), (2, 0, None)],
         ] {
             let mut p = Pattern::new();
-            let vars: Vec<usize> = (0..3).map(|i| p.node(PatternNode::var(format!("v{i}")))).collect();
+            let vars: Vec<usize> = (0..3)
+                .map(|i| p.node(PatternNode::var(format!("v{i}"))))
+                .collect();
             for (f, t, l) in &edges {
                 p.edge(vars[*f], vars[*t], *l).unwrap();
             }

@@ -100,9 +100,7 @@ impl<'a> Parser<'a> {
             }
         }
         let mut iter = parts.into_iter();
-        let first = iter
-            .next()
-            .ok_or_else(|| self.error("empty expression"))?;
+        let first = iter.next().ok_or_else(|| self.error("empty expression"))?;
         Ok(iter.fold(first, |acc, next| {
             Ast::Concat(Box::new(acc), Box::new(next))
         }))
@@ -159,10 +157,7 @@ impl<'a> Parser<'a> {
             }
             Some(c) if c.is_alphanumeric() || c == '_' => {
                 let start = self.pos;
-                while self
-                    .peek()
-                    .is_some_and(|c| c.is_alphanumeric() || c == '_')
-                {
+                while self.peek().is_some_and(|c| c.is_alphanumeric() || c == '_') {
                     self.bump();
                 }
                 Ok(Ast::Label(self.src[start..self.pos].to_owned()))
@@ -347,12 +342,7 @@ impl LabelRegex {
 
 /// Walk semantics: is there any walk from `a` to `b` whose label word
 /// matches `regex`? Polynomial product-automaton BFS.
-pub fn regular_path_exists(
-    g: &dyn GraphView,
-    a: NodeId,
-    b: NodeId,
-    regex: &LabelRegex,
-) -> bool {
+pub fn regular_path_exists(g: &dyn GraphView, a: NodeId, b: NodeId, regex: &LabelRegex) -> bool {
     if !g.contains_node(a) || !g.contains_node(b) {
         return false;
     }

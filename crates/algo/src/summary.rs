@@ -122,7 +122,9 @@ pub fn eccentricity(g: &dyn GraphView, n: NodeId, direction: Direction) -> Optio
     if !g.contains_node(n) {
         return None;
     }
-    let visits = crate::traverse::Traversal::new(n).direction(direction).visits(g);
+    let visits = crate::traverse::Traversal::new(n)
+        .direction(direction)
+        .visits(g);
     visits.iter().map(|v| v.depth).max()
 }
 
@@ -188,10 +190,7 @@ mod tests {
         let vals = vec![Value::from("a")];
         assert!(aggregate(Aggregate::Sum, &vals).is_err());
         // But min/max over strings is fine.
-        assert_eq!(
-            aggregate(Aggregate::Max, &vals).unwrap(),
-            Value::from("a")
-        );
+        assert_eq!(aggregate(Aggregate::Max, &vals).unwrap(), Value::from("a"));
     }
 
     #[test]

@@ -32,7 +32,11 @@ fn fixtures(people: usize) -> Vec<Fixture> {
             std::fs::create_dir_all(&dir).expect("temp dir");
             let mut engine = make_engine(kind, &dir).expect("engine");
             let nodes = load_into_engine(engine.as_mut(), &graph).expect("load");
-            Fixture { kind, engine, nodes }
+            Fixture {
+                kind,
+                engine,
+                nodes,
+            }
         })
         .collect()
 }

@@ -29,12 +29,15 @@ fn build(tag: &str, recluster: bool) -> (GStoreEngine, Vec<NodeId>) {
     let mut shuffled = edges.clone();
     let mut state = 0x12345678u64;
     for i in (1..shuffled.len()).rev() {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let j = (state >> 33) as usize % (i + 1);
         shuffled.swap(i, j);
     }
     for (a, b) in shuffled {
-        pg.add_edge(ids[a], ids[b], "e", PropertyMap::new()).expect("edge");
+        pg.add_edge(ids[a], ids[b], "e", PropertyMap::new())
+            .expect("edge");
     }
     let nodes = load_into_engine(&mut engine, &pg).expect("load");
     if recluster {

@@ -1,0 +1,106 @@
+//! Recovery-throughput benches for the durability subsystem.
+//!
+//! Two questions the numbers answer: how fast does [`DurableKv`] replay
+//! a raw log tail (records applied per second), and how much of that
+//! work does a checkpoint save (snapshot load + short tail vs full
+//! replay of the same history)? Both run against the in-memory
+//! fault-injection backend so the bench measures the recovery code
+//! path, not disk latency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdm_storage::{KvStore, MemKv};
+use gdm_wal::{DurableKv, FaultFs, SyncPolicy, WalFs, WalOptions};
+use std::hint::black_box;
+
+fn opts() -> WalOptions {
+    WalOptions {
+        segment_bytes: 256 * 1024,
+        sync: SyncPolicy::Always,
+    }
+}
+
+/// Runs `n` autocommitted puts (plus a committed multi-op transaction
+/// every 64 writes, so replay exercises the txn-buffering path) and
+/// returns the resulting log directory image as (name, bytes) pairs.
+fn build_log_image(n: usize, checkpoint_at: Option<usize>) -> Vec<(String, Vec<u8>)> {
+    let fs = FaultFs::new();
+    let mut kv = DurableKv::create(fs.clone(), opts(), MemKv::new()).unwrap();
+    for i in 0..n {
+        let key = format!("key{i:08}");
+        if i % 64 == 0 {
+            kv.begin().unwrap();
+            kv.put(key.as_bytes(), b"txn-payload").unwrap();
+            kv.put(format!("{key}/extra").as_bytes(), b"x").unwrap();
+            kv.commit().unwrap();
+        } else {
+            kv.put(key.as_bytes(), b"autocommit-payload").unwrap();
+        }
+        if checkpoint_at == Some(i) {
+            kv.checkpoint().unwrap();
+        }
+    }
+    kv.flush().unwrap();
+    drop(kv);
+    let mut files: Vec<(String, Vec<u8>)> = fs
+        .list()
+        .unwrap()
+        .into_iter()
+        .map(|name| {
+            let bytes = fs.snapshot(&name).unwrap();
+            (name, bytes)
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+fn restore(files: &[(String, Vec<u8>)]) -> FaultFs {
+    let fs = FaultFs::new();
+    for (name, bytes) in files {
+        fs.install(name, bytes);
+    }
+    fs
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal_recovery_replay");
+    for &n in &[1_000usize, 5_000] {
+        let image = build_log_image(n, None);
+        group.bench_function(BenchmarkId::new("full_replay", n), |b| {
+            b.iter(|| {
+                let fs = restore(&image);
+                let (kv, report) = DurableKv::recover(fs, opts(), MemKv::new()).unwrap();
+                assert_eq!(report.discarded_txns, 0);
+                black_box((kv.end_lsn(), report.records_applied))
+            })
+        });
+    }
+    group.finish();
+
+    // Same 5k-record history, with and without a checkpoint taken at
+    // 90% of the way through: recovery should only replay the tail.
+    let n = 5_000usize;
+    let full = build_log_image(n, None);
+    let ckpt = build_log_image(n, Some(n * 9 / 10));
+    let mut group = c.benchmark_group("wal_recovery_checkpoint");
+    group.bench_function("no_checkpoint", |b| {
+        b.iter(|| {
+            let fs = restore(&full);
+            let (kv, report) = DurableKv::recover(fs, opts(), MemKv::new()).unwrap();
+            assert!(!report.used_checkpoint);
+            black_box((kv.end_lsn(), report.records_applied))
+        })
+    });
+    group.bench_function("checkpoint_at_90pct", |b| {
+        b.iter(|| {
+            let fs = restore(&ckpt);
+            let (kv, report) = DurableKv::recover(fs, opts(), MemKv::new()).unwrap();
+            assert!(report.used_checkpoint);
+            black_box((kv.end_lsn(), report.records_applied))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_recovery);
+criterion_main!(benches);

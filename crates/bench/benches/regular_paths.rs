@@ -34,9 +34,7 @@ fn bench_regular(c: &mut Criterion) {
             b.iter(|| {
                 // Budget exhaustion is an expected outcome at small
                 // budgets; both outcomes are the measured work.
-                black_box(
-                    regular_simple_paths(&g, NodeId(0), NodeId(59), &regex, budget).ok(),
-                )
+                black_box(regular_simple_paths(&g, NodeId(0), NodeId(59), &regex, budget).ok())
             })
         });
     }

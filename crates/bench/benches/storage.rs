@@ -9,7 +9,9 @@ use std::hint::black_box;
 const N: u32 = 5_000;
 
 fn keys() -> Vec<Vec<u8>> {
-    (0..N).map(|i| format!("key{:08}", i * 2654435761u32 % N).into_bytes()).collect()
+    (0..N)
+        .map(|i| format!("key{:08}", i * 2654435761u32 % N).into_bytes())
+        .collect()
 }
 
 fn bench_storage(c: &mut Criterion) {

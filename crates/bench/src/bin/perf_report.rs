@@ -32,10 +32,7 @@ fn main() {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--people" {
-            people = args
-                .next()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(people);
+            people = args.next().and_then(|v| v.parse().ok()).unwrap_or(people);
         }
     }
 
@@ -67,7 +64,10 @@ fn main() {
         let load_ms = start.elapsed().as_secs_f64() * 1e3;
 
         let pair = |i: usize| -> (NodeId, NodeId) {
-            (nodes[i * 7 % nodes.len()], nodes[(i * 13 + 5) % nodes.len()])
+            (
+                nodes[i * 7 % nodes.len()],
+                nodes[(i * 13 + 5) % nodes.len()],
+            )
         };
         let adjacency = {
             let e = engine.as_ref();
@@ -88,27 +88,36 @@ fn main() {
         };
         let k_neigh = engine.k_neighborhood(nodes[17], 2).ok().map(|_| {
             let e = engine.as_ref();
-            time_us(|| {
-                black_box(e.k_neighborhood(nodes[17], 2).expect("supported"));
-            }, 200)
+            time_us(
+                || {
+                    black_box(e.k_neighborhood(nodes[17], 2).expect("supported"));
+                },
+                200,
+            )
         });
         let shortest = engine
             .shortest_path(nodes[0], nodes[nodes.len() - 1])
             .ok()
             .map(|_| {
                 let e = engine.as_ref();
-                time_us(|| {
-                    black_box(
-                        e.shortest_path(nodes[3], nodes[nodes.len() - 4])
-                            .expect("supported"),
-                    );
-                }, 50)
+                time_us(
+                    || {
+                        black_box(
+                            e.shortest_path(nodes[3], nodes[nodes.len() - 4])
+                                .expect("supported"),
+                        );
+                    },
+                    50,
+                )
             });
         let order = {
             let e = engine.as_ref();
-            time_us(|| {
-                black_box(e.summarize(SummaryFunc::Order).expect("universal"));
-            }, 500)
+            time_us(
+                || {
+                    black_box(e.summarize(SummaryFunc::Order).expect("universal"));
+                },
+                500,
+            )
         };
         println!(
             "{:<14} {:>10.1} {:>12.2} {:>14} {:>14} {:>14.1}",

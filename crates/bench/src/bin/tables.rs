@@ -8,8 +8,8 @@
 //! tables --skip-verify        # render without the probe pass
 //! ```
 
-use gdm_compare::tables::{build_table_unverified, TableId};
 use gdm_compare::probes;
+use gdm_compare::tables::{build_table_unverified, TableId};
 use std::path::PathBuf;
 use std::process::ExitCode;
 

@@ -44,13 +44,15 @@ pub fn ba_graph(n: usize, m_per_node: usize, seed: u64) -> SimpleGraph {
     // Degree-weighted target pool: every edge endpoint appears once.
     let mut pool: Vec<usize> = (0..=m_per_node).collect();
     for i in 1..=m_per_node.min(n - 1) {
-        g.add_labeled_edge(nodes[i], nodes[i - 1], "e").expect("exists");
+        g.add_labeled_edge(nodes[i], nodes[i - 1], "e")
+            .expect("exists");
     }
     for i in (m_per_node + 1)..n {
         for _ in 0..m_per_node {
             let target = pool[rng.gen_range(0..pool.len())];
             if target != i {
-                g.add_labeled_edge(nodes[i], nodes[target], "e").expect("exists");
+                g.add_labeled_edge(nodes[i], nodes[target], "e")
+                    .expect("exists");
                 pool.push(target);
                 pool.push(i);
             }
@@ -146,7 +148,11 @@ pub fn rdf_family_tree(generations: usize, per_generation: usize, seed: u64) -> 
             .expect("valid triple");
             if gen + 1 < generations {
                 for _ in 0..2 {
-                    let child = Term::iri(format!("gen{}_p{}", gen + 1, rng.gen_range(0..per_generation)));
+                    let child = Term::iri(format!(
+                        "gen{}_p{}",
+                        gen + 1,
+                        rng.gen_range(0..per_generation)
+                    ));
                     g.add(&person, &parent, &child).expect("valid triple");
                 }
             }

@@ -119,130 +119,427 @@ pub struct PaperCells {
 pub fn paper_cells(kind: EngineKind) -> PaperCells {
     match kind {
         EngineKind::Allegro => PaperCells {
-            main_memory: F, external_memory: F, backend_storage: N, indexes: F,
-            ddl: F, dml: F, query_language: F, api: F, gui: F,
-            simple_graphs: F, hypergraphs: N, nested_graphs: N, attributed_graphs: N,
-            node_labeled: N, node_attributed: N, directed: F, edge_labeled: F, edge_attributed: N,
-            node_types: N, property_types: N, relation_types: N,
-            object_nodes: N, value_nodes: F, complex_nodes: N,
-            object_relations: N, simple_relations: F, complex_relations: N,
-            ql_grade: P, api_facility: F, graphical_ql: F, retrieval: F, reasoning: F, analysis: F,
-            types_checking: N, identity: N, referential_integrity: N,
-            cardinality: N, functional_dependency: N, pattern_constraints: N,
-            q_adjacency: F, q_k_neighborhood: N, q_fixed_length: N,
-            q_shortest_path: N, q_pattern: F, q_summarization: F,
+            main_memory: F,
+            external_memory: F,
+            backend_storage: N,
+            indexes: F,
+            ddl: F,
+            dml: F,
+            query_language: F,
+            api: F,
+            gui: F,
+            simple_graphs: F,
+            hypergraphs: N,
+            nested_graphs: N,
+            attributed_graphs: N,
+            node_labeled: N,
+            node_attributed: N,
+            directed: F,
+            edge_labeled: F,
+            edge_attributed: N,
+            node_types: N,
+            property_types: N,
+            relation_types: N,
+            object_nodes: N,
+            value_nodes: F,
+            complex_nodes: N,
+            object_relations: N,
+            simple_relations: F,
+            complex_relations: N,
+            ql_grade: P,
+            api_facility: F,
+            graphical_ql: F,
+            retrieval: F,
+            reasoning: F,
+            analysis: F,
+            types_checking: N,
+            identity: N,
+            referential_integrity: N,
+            cardinality: N,
+            functional_dependency: N,
+            pattern_constraints: N,
+            q_adjacency: F,
+            q_k_neighborhood: N,
+            q_fixed_length: N,
+            q_shortest_path: N,
+            q_pattern: F,
+            q_summarization: F,
         },
         EngineKind::Dex => PaperCells {
-            main_memory: F, external_memory: F, backend_storage: N, indexes: F,
-            ddl: N, dml: N, query_language: N, api: F, gui: N,
-            simple_graphs: N, hypergraphs: N, nested_graphs: N, attributed_graphs: F,
-            node_labeled: F, node_attributed: F, directed: F, edge_labeled: F, edge_attributed: F,
-            node_types: F, property_types: F, relation_types: N,
-            object_nodes: F, value_nodes: F, complex_nodes: N,
-            object_relations: F, simple_relations: F, complex_relations: N,
-            ql_grade: N, api_facility: F, graphical_ql: N, retrieval: F, reasoning: N, analysis: F,
-            types_checking: F, identity: F, referential_integrity: F,
-            cardinality: N, functional_dependency: N, pattern_constraints: N,
-            q_adjacency: F, q_k_neighborhood: F, q_fixed_length: F,
-            q_shortest_path: F, q_pattern: N, q_summarization: F,
+            main_memory: F,
+            external_memory: F,
+            backend_storage: N,
+            indexes: F,
+            ddl: N,
+            dml: N,
+            query_language: N,
+            api: F,
+            gui: N,
+            simple_graphs: N,
+            hypergraphs: N,
+            nested_graphs: N,
+            attributed_graphs: F,
+            node_labeled: F,
+            node_attributed: F,
+            directed: F,
+            edge_labeled: F,
+            edge_attributed: F,
+            node_types: F,
+            property_types: F,
+            relation_types: N,
+            object_nodes: F,
+            value_nodes: F,
+            complex_nodes: N,
+            object_relations: F,
+            simple_relations: F,
+            complex_relations: N,
+            ql_grade: N,
+            api_facility: F,
+            graphical_ql: N,
+            retrieval: F,
+            reasoning: N,
+            analysis: F,
+            types_checking: F,
+            identity: F,
+            referential_integrity: F,
+            cardinality: N,
+            functional_dependency: N,
+            pattern_constraints: N,
+            q_adjacency: F,
+            q_k_neighborhood: F,
+            q_fixed_length: F,
+            q_shortest_path: F,
+            q_pattern: N,
+            q_summarization: F,
         },
         EngineKind::Filament => PaperCells {
-            main_memory: F, external_memory: N, backend_storage: F, indexes: N,
-            ddl: N, dml: N, query_language: N, api: F, gui: N,
-            simple_graphs: F, hypergraphs: N, nested_graphs: N, attributed_graphs: N,
-            node_labeled: N, node_attributed: N, directed: F, edge_labeled: F, edge_attributed: N,
-            node_types: N, property_types: N, relation_types: N,
-            object_nodes: N, value_nodes: F, complex_nodes: N,
-            object_relations: N, simple_relations: F, complex_relations: N,
-            ql_grade: N, api_facility: F, graphical_ql: N, retrieval: F, reasoning: N, analysis: N,
-            types_checking: N, identity: N, referential_integrity: N,
-            cardinality: N, functional_dependency: N, pattern_constraints: N,
-            q_adjacency: F, q_k_neighborhood: F, q_fixed_length: N,
-            q_shortest_path: N, q_pattern: N, q_summarization: F,
+            main_memory: F,
+            external_memory: N,
+            backend_storage: F,
+            indexes: N,
+            ddl: N,
+            dml: N,
+            query_language: N,
+            api: F,
+            gui: N,
+            simple_graphs: F,
+            hypergraphs: N,
+            nested_graphs: N,
+            attributed_graphs: N,
+            node_labeled: N,
+            node_attributed: N,
+            directed: F,
+            edge_labeled: F,
+            edge_attributed: N,
+            node_types: N,
+            property_types: N,
+            relation_types: N,
+            object_nodes: N,
+            value_nodes: F,
+            complex_nodes: N,
+            object_relations: N,
+            simple_relations: F,
+            complex_relations: N,
+            ql_grade: N,
+            api_facility: F,
+            graphical_ql: N,
+            retrieval: F,
+            reasoning: N,
+            analysis: N,
+            types_checking: N,
+            identity: N,
+            referential_integrity: N,
+            cardinality: N,
+            functional_dependency: N,
+            pattern_constraints: N,
+            q_adjacency: F,
+            q_k_neighborhood: F,
+            q_fixed_length: N,
+            q_shortest_path: N,
+            q_pattern: N,
+            q_summarization: F,
         },
         EngineKind::GStore => PaperCells {
-            main_memory: N, external_memory: F, backend_storage: N, indexes: N,
-            ddl: F, dml: N, query_language: F, api: F, gui: N,
-            simple_graphs: F, hypergraphs: N, nested_graphs: N, attributed_graphs: N,
-            node_labeled: F, node_attributed: N, directed: F, edge_labeled: N, edge_attributed: N,
-            node_types: N, property_types: N, relation_types: N,
-            object_nodes: N, value_nodes: F, complex_nodes: N,
-            object_relations: N, simple_relations: F, complex_relations: N,
-            ql_grade: F, api_facility: F, graphical_ql: N, retrieval: F, reasoning: N, analysis: N,
-            types_checking: N, identity: N, referential_integrity: N,
-            cardinality: N, functional_dependency: N, pattern_constraints: N,
-            q_adjacency: F, q_k_neighborhood: F, q_fixed_length: F,
-            q_shortest_path: F, q_pattern: N, q_summarization: F,
+            main_memory: N,
+            external_memory: F,
+            backend_storage: N,
+            indexes: N,
+            ddl: F,
+            dml: N,
+            query_language: F,
+            api: F,
+            gui: N,
+            simple_graphs: F,
+            hypergraphs: N,
+            nested_graphs: N,
+            attributed_graphs: N,
+            node_labeled: F,
+            node_attributed: N,
+            directed: F,
+            edge_labeled: N,
+            edge_attributed: N,
+            node_types: N,
+            property_types: N,
+            relation_types: N,
+            object_nodes: N,
+            value_nodes: F,
+            complex_nodes: N,
+            object_relations: N,
+            simple_relations: F,
+            complex_relations: N,
+            ql_grade: F,
+            api_facility: F,
+            graphical_ql: N,
+            retrieval: F,
+            reasoning: N,
+            analysis: N,
+            types_checking: N,
+            identity: N,
+            referential_integrity: N,
+            cardinality: N,
+            functional_dependency: N,
+            pattern_constraints: N,
+            q_adjacency: F,
+            q_k_neighborhood: F,
+            q_fixed_length: F,
+            q_shortest_path: F,
+            q_pattern: N,
+            q_summarization: F,
         },
         EngineKind::HyperGraphDb => PaperCells {
-            main_memory: F, external_memory: F, backend_storage: F, indexes: F,
-            ddl: N, dml: N, query_language: N, api: F, gui: N,
-            simple_graphs: N, hypergraphs: F, nested_graphs: N, attributed_graphs: N,
-            node_labeled: F, node_attributed: F, directed: F, edge_labeled: F, edge_attributed: F,
-            node_types: F, property_types: F, relation_types: N,
-            object_nodes: N, value_nodes: F, complex_nodes: N,
-            object_relations: N, simple_relations: F, complex_relations: F,
-            ql_grade: N, api_facility: F, graphical_ql: N, retrieval: F, reasoning: N, analysis: N,
-            types_checking: F, identity: F, referential_integrity: N,
-            cardinality: N, functional_dependency: N, pattern_constraints: N,
-            q_adjacency: F, q_k_neighborhood: N, q_fixed_length: N,
-            q_shortest_path: N, q_pattern: N, q_summarization: F,
+            main_memory: F,
+            external_memory: F,
+            backend_storage: F,
+            indexes: F,
+            ddl: N,
+            dml: N,
+            query_language: N,
+            api: F,
+            gui: N,
+            simple_graphs: N,
+            hypergraphs: F,
+            nested_graphs: N,
+            attributed_graphs: N,
+            node_labeled: F,
+            node_attributed: F,
+            directed: F,
+            edge_labeled: F,
+            edge_attributed: F,
+            node_types: F,
+            property_types: F,
+            relation_types: N,
+            object_nodes: N,
+            value_nodes: F,
+            complex_nodes: N,
+            object_relations: N,
+            simple_relations: F,
+            complex_relations: F,
+            ql_grade: N,
+            api_facility: F,
+            graphical_ql: N,
+            retrieval: F,
+            reasoning: N,
+            analysis: N,
+            types_checking: F,
+            identity: F,
+            referential_integrity: N,
+            cardinality: N,
+            functional_dependency: N,
+            pattern_constraints: N,
+            q_adjacency: F,
+            q_k_neighborhood: N,
+            q_fixed_length: N,
+            q_shortest_path: N,
+            q_pattern: N,
+            q_summarization: F,
         },
         EngineKind::InfiniteGraph => PaperCells {
-            main_memory: N, external_memory: F, backend_storage: N, indexes: F,
-            ddl: N, dml: N, query_language: N, api: F, gui: N,
-            simple_graphs: N, hypergraphs: N, nested_graphs: N, attributed_graphs: F,
-            node_labeled: F, node_attributed: F, directed: F, edge_labeled: F, edge_attributed: F,
-            node_types: F, property_types: F, relation_types: N,
-            object_nodes: F, value_nodes: F, complex_nodes: N,
-            object_relations: F, simple_relations: F, complex_relations: N,
-            ql_grade: N, api_facility: F, graphical_ql: N, retrieval: F, reasoning: N, analysis: N,
-            types_checking: F, identity: F, referential_integrity: N,
-            cardinality: N, functional_dependency: N, pattern_constraints: N,
-            q_adjacency: F, q_k_neighborhood: F, q_fixed_length: F,
-            q_shortest_path: F, q_pattern: N, q_summarization: F,
+            main_memory: N,
+            external_memory: F,
+            backend_storage: N,
+            indexes: F,
+            ddl: N,
+            dml: N,
+            query_language: N,
+            api: F,
+            gui: N,
+            simple_graphs: N,
+            hypergraphs: N,
+            nested_graphs: N,
+            attributed_graphs: F,
+            node_labeled: F,
+            node_attributed: F,
+            directed: F,
+            edge_labeled: F,
+            edge_attributed: F,
+            node_types: F,
+            property_types: F,
+            relation_types: N,
+            object_nodes: F,
+            value_nodes: F,
+            complex_nodes: N,
+            object_relations: F,
+            simple_relations: F,
+            complex_relations: N,
+            ql_grade: N,
+            api_facility: F,
+            graphical_ql: N,
+            retrieval: F,
+            reasoning: N,
+            analysis: N,
+            types_checking: F,
+            identity: F,
+            referential_integrity: N,
+            cardinality: N,
+            functional_dependency: N,
+            pattern_constraints: N,
+            q_adjacency: F,
+            q_k_neighborhood: F,
+            q_fixed_length: F,
+            q_shortest_path: F,
+            q_pattern: N,
+            q_summarization: F,
         },
         EngineKind::Neo4j => PaperCells {
-            main_memory: F, external_memory: F, backend_storage: N, indexes: F,
-            ddl: N, dml: N, query_language: N, api: F, gui: N,
-            simple_graphs: N, hypergraphs: N, nested_graphs: N, attributed_graphs: F,
-            node_labeled: F, node_attributed: F, directed: F, edge_labeled: F, edge_attributed: F,
-            node_types: N, property_types: N, relation_types: N,
-            object_nodes: F, value_nodes: F, complex_nodes: N,
-            object_relations: F, simple_relations: F, complex_relations: N,
-            ql_grade: P, api_facility: F, graphical_ql: N, retrieval: F, reasoning: N, analysis: N,
-            types_checking: N, identity: N, referential_integrity: N,
-            cardinality: N, functional_dependency: N, pattern_constraints: N,
-            q_adjacency: F, q_k_neighborhood: F, q_fixed_length: F,
-            q_shortest_path: F, q_pattern: N, q_summarization: F,
+            main_memory: F,
+            external_memory: F,
+            backend_storage: N,
+            indexes: F,
+            ddl: N,
+            dml: N,
+            query_language: N,
+            api: F,
+            gui: N,
+            simple_graphs: N,
+            hypergraphs: N,
+            nested_graphs: N,
+            attributed_graphs: F,
+            node_labeled: F,
+            node_attributed: F,
+            directed: F,
+            edge_labeled: F,
+            edge_attributed: F,
+            node_types: N,
+            property_types: N,
+            relation_types: N,
+            object_nodes: F,
+            value_nodes: F,
+            complex_nodes: N,
+            object_relations: F,
+            simple_relations: F,
+            complex_relations: N,
+            ql_grade: P,
+            api_facility: F,
+            graphical_ql: N,
+            retrieval: F,
+            reasoning: N,
+            analysis: N,
+            types_checking: N,
+            identity: N,
+            referential_integrity: N,
+            cardinality: N,
+            functional_dependency: N,
+            pattern_constraints: N,
+            q_adjacency: F,
+            q_k_neighborhood: F,
+            q_fixed_length: F,
+            q_shortest_path: F,
+            q_pattern: N,
+            q_summarization: F,
         },
         EngineKind::Sones => PaperCells {
-            main_memory: F, external_memory: N, backend_storage: N, indexes: F,
-            ddl: F, dml: F, query_language: F, api: F, gui: F,
-            simple_graphs: N, hypergraphs: F, nested_graphs: N, attributed_graphs: F,
-            node_labeled: F, node_attributed: F, directed: F, edge_labeled: F, edge_attributed: F,
-            node_types: N, property_types: N, relation_types: N,
-            object_nodes: N, value_nodes: F, complex_nodes: N,
-            object_relations: N, simple_relations: F, complex_relations: F,
-            ql_grade: F, api_facility: F, graphical_ql: F, retrieval: F, reasoning: N, analysis: F,
-            types_checking: N, identity: F, referential_integrity: N,
-            cardinality: F, functional_dependency: N, pattern_constraints: N,
-            q_adjacency: F, q_k_neighborhood: N, q_fixed_length: N,
-            q_shortest_path: N, q_pattern: N, q_summarization: F,
+            main_memory: F,
+            external_memory: N,
+            backend_storage: N,
+            indexes: F,
+            ddl: F,
+            dml: F,
+            query_language: F,
+            api: F,
+            gui: F,
+            simple_graphs: N,
+            hypergraphs: F,
+            nested_graphs: N,
+            attributed_graphs: F,
+            node_labeled: F,
+            node_attributed: F,
+            directed: F,
+            edge_labeled: F,
+            edge_attributed: F,
+            node_types: N,
+            property_types: N,
+            relation_types: N,
+            object_nodes: N,
+            value_nodes: F,
+            complex_nodes: N,
+            object_relations: N,
+            simple_relations: F,
+            complex_relations: F,
+            ql_grade: F,
+            api_facility: F,
+            graphical_ql: F,
+            retrieval: F,
+            reasoning: N,
+            analysis: F,
+            types_checking: N,
+            identity: F,
+            referential_integrity: N,
+            cardinality: F,
+            functional_dependency: N,
+            pattern_constraints: N,
+            q_adjacency: F,
+            q_k_neighborhood: N,
+            q_fixed_length: N,
+            q_shortest_path: N,
+            q_pattern: N,
+            q_summarization: F,
         },
         EngineKind::VertexDb => PaperCells {
-            main_memory: N, external_memory: F, backend_storage: F, indexes: N,
-            ddl: N, dml: N, query_language: N, api: F, gui: N,
-            simple_graphs: F, hypergraphs: N, nested_graphs: N, attributed_graphs: N,
-            node_labeled: N, node_attributed: N, directed: F, edge_labeled: F, edge_attributed: N,
-            node_types: N, property_types: N, relation_types: N,
-            object_nodes: N, value_nodes: F, complex_nodes: N,
-            object_relations: N, simple_relations: F, complex_relations: N,
-            ql_grade: N, api_facility: F, graphical_ql: N, retrieval: F, reasoning: N, analysis: N,
-            types_checking: N, identity: N, referential_integrity: N,
-            cardinality: N, functional_dependency: N, pattern_constraints: N,
-            q_adjacency: F, q_k_neighborhood: F, q_fixed_length: F,
-            q_shortest_path: N, q_pattern: N, q_summarization: F,
+            main_memory: N,
+            external_memory: F,
+            backend_storage: F,
+            indexes: N,
+            ddl: N,
+            dml: N,
+            query_language: N,
+            api: F,
+            gui: N,
+            simple_graphs: F,
+            hypergraphs: N,
+            nested_graphs: N,
+            attributed_graphs: N,
+            node_labeled: N,
+            node_attributed: N,
+            directed: F,
+            edge_labeled: F,
+            edge_attributed: N,
+            node_types: N,
+            property_types: N,
+            relation_types: N,
+            object_nodes: N,
+            value_nodes: F,
+            complex_nodes: N,
+            object_relations: N,
+            simple_relations: F,
+            complex_relations: N,
+            ql_grade: N,
+            api_facility: F,
+            graphical_ql: N,
+            retrieval: F,
+            reasoning: N,
+            analysis: N,
+            types_checking: N,
+            identity: N,
+            referential_integrity: N,
+            cardinality: N,
+            functional_dependency: N,
+            pattern_constraints: N,
+            q_adjacency: F,
+            q_k_neighborhood: F,
+            q_fixed_length: F,
+            q_shortest_path: N,
+            q_pattern: N,
+            q_summarization: F,
         },
     }
 }
@@ -266,7 +563,9 @@ mod tests {
         assert!(all.iter().all(|c| c.api == F && c.api_facility == F));
         // Adjacency and summarization are answerable everywhere
         // (Table VII reconstruction).
-        assert!(all.iter().all(|c| c.q_adjacency == F && c.q_summarization == F));
+        assert!(all
+            .iter()
+            .all(|c| c.q_adjacency == F && c.q_summarization == F));
     }
 
     #[test]

@@ -100,7 +100,9 @@ impl SupportMatrix {
             out.push_str(&format!("{c:^w$}  "));
         }
         out.push('\n');
-        out.push_str(&"-".repeat(label_width + 2 + col_widths.iter().map(|w| w + 2).sum::<usize>()));
+        out.push_str(
+            &"-".repeat(label_width + 2 + col_widths.iter().map(|w| w + 2).sum::<usize>()),
+        );
         out.push('\n');
         for (label, cells) in &self.rows {
             out.push_str(&format!("{label:<label_width$}  "));
@@ -169,7 +171,10 @@ mod tests {
         m.column("Feature A");
         m.grouped_column("Group", "B1");
         m.grouped_column("Group", "B2");
-        m.row("EngineX", vec![Support::Full, Support::Partial, Support::None]);
+        m.row(
+            "EngineX",
+            vec![Support::Full, Support::Partial, Support::None],
+        );
         m.row("EngineY", vec![Support::None, Support::Full, Support::Full]);
         m
     }

@@ -128,7 +128,10 @@ pub fn verify_engine(kind: EngineKind, workdir: &Path) -> Result<Vec<String>> {
     }
 
     let fresh = |tag: &str| -> Result<Box<dyn GraphEngine>> {
-        let dir = workdir.join(format!("{}-{tag}", kind.label().to_lowercase().replace('-', "_")));
+        let dir = workdir.join(format!(
+            "{}-{tag}",
+            kind.label().to_lowercase().replace('-', "_")
+        ));
         std::fs::create_dir_all(&dir)?;
         make_engine(kind, &dir)
     };
@@ -147,7 +150,12 @@ pub fn verify_engine(kind: EngineKind, workdir: &Path) -> Result<Vec<String>> {
             cells.node_attributed,
             support_of(&e.set_node_attribute(nodes[0], "probe_x", Value::from(1))),
         );
-        let labeled_edge = e.create_edge(nodes[0], nodes[3], Some("probe_labeled"), PropertyMap::new());
+        let labeled_edge = e.create_edge(
+            nodes[0],
+            nodes[3],
+            Some("probe_labeled"),
+            PropertyMap::new(),
+        );
         check!("edge labels", cells.edge_labeled, support_of(&labeled_edge));
         if let Ok(edge) = labeled_edge {
             check!(
@@ -181,8 +189,16 @@ pub fn verify_engine(kind: EngineKind, workdir: &Path) -> Result<Vec<String>> {
     {
         let mut e = fresh("storage")?;
         build_probe_graph(e.as_mut())?;
-        check!("external memory", cells.external_memory, support_of(&e.persist()));
-        check!("indexes", cells.indexes, support_of(&e.create_index("probe_x")));
+        check!(
+            "external memory",
+            cells.external_memory,
+            support_of(&e.persist())
+        );
+        check!(
+            "indexes",
+            cells.indexes,
+            support_of(&e.create_index("probe_x"))
+        );
         let desc = e.descriptor();
         if desc.backend_storage != cells.backend_storage {
             mismatches.push(format!(
@@ -288,7 +304,11 @@ pub fn verify_engine(kind: EngineKind, workdir: &Path) -> Result<Vec<String>> {
         ];
         for (name, expected, constraint) in probes {
             let mut e = fresh("constraints")?;
-            check!(name, expected, support_of(&e.install_constraint(constraint)));
+            check!(
+                name,
+                expected,
+                support_of(&e.install_constraint(constraint))
+            );
         }
     }
 
@@ -296,7 +316,11 @@ pub fn verify_engine(kind: EngineKind, workdir: &Path) -> Result<Vec<String>> {
     {
         let mut e = fresh("essential")?;
         let n = build_probe_graph(e.as_mut())?;
-        check!("adjacency", cells.q_adjacency, support_of(&e.adjacent(n[0], n[1])));
+        check!(
+            "adjacency",
+            cells.q_adjacency,
+            support_of(&e.adjacent(n[0], n[1]))
+        );
         check!(
             "k-neighborhood",
             cells.q_k_neighborhood,
@@ -316,7 +340,11 @@ pub fn verify_engine(kind: EngineKind, workdir: &Path) -> Result<Vec<String>> {
         let x = pattern.node(PatternNode::var("x"));
         let y = pattern.node(PatternNode::var("y"));
         pattern.edge(x, y, Some("probe_r"))?;
-        check!("pattern matching", cells.q_pattern, support_of(&e.pattern_match(&pattern)));
+        check!(
+            "pattern matching",
+            cells.q_pattern,
+            support_of(&e.pattern_match(&pattern))
+        );
         check!(
             "summarization",
             cells.q_summarization,
@@ -404,7 +432,14 @@ mod tests {
         // InfiniteGraph, Neo4J and Sones" — the rest are graph stores.
         assert_eq!(
             databases,
-            vec!["AllegroGraph", "DEX", "HyperGraphDB", "InfiniteGraph", "Neo4j", "Sones"]
+            vec![
+                "AllegroGraph",
+                "DEX",
+                "HyperGraphDB",
+                "InfiniteGraph",
+                "Neo4j",
+                "Sones"
+            ]
         );
         assert_eq!(stores, vec!["Filament", "G-Store", "VertexDB"]);
         std::fs::remove_dir_all(&dir).unwrap();

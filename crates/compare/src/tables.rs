@@ -75,10 +75,7 @@ fn engines() -> [EngineKind; 9] {
 pub fn build_table_unverified(id: TableId) -> SupportMatrix {
     match id {
         TableId::I => {
-            let mut m = SupportMatrix::new(
-                "Table I. Data storing features",
-                "Graph Database",
-            );
+            let mut m = SupportMatrix::new("Table I. Data storing features", "Graph Database");
             m.column("Main memory")
                 .column("External memory")
                 .column("Backend storage")
@@ -87,7 +84,12 @@ pub fn build_table_unverified(id: TableId) -> SupportMatrix {
                 let c = paper_cells(kind);
                 m.row(
                     kind.label(),
-                    vec![c.main_memory, c.external_memory, c.backend_storage, c.indexes],
+                    vec![
+                        c.main_memory,
+                        c.external_memory,
+                        c.backend_storage,
+                        c.indexes,
+                    ],
                 );
             }
             m
@@ -112,10 +114,7 @@ pub fn build_table_unverified(id: TableId) -> SupportMatrix {
             m
         }
         TableId::III => {
-            let mut m = SupportMatrix::new(
-                "Table III. Graph data structures",
-                "Graph Database",
-            );
+            let mut m = SupportMatrix::new("Table III. Graph data structures", "Graph Database");
             m.grouped_column("Graphs", "Simple graphs")
                 .grouped_column("Graphs", "Hypergraphs")
                 .grouped_column("Graphs", "Nested graphs")
@@ -304,7 +303,10 @@ pub fn build_table(id: TableId, workdir: &Path) -> Result<SupportMatrix> {
 /// Builds all eight tables with one verification pass.
 pub fn all_tables(workdir: &Path) -> Result<Vec<SupportMatrix>> {
     assert_verified(workdir)?;
-    Ok(TableId::all().into_iter().map(build_table_unverified).collect())
+    Ok(TableId::all()
+        .into_iter()
+        .map(build_table_unverified)
+        .collect())
 }
 
 #[cfg(test)]
@@ -321,7 +323,10 @@ mod tests {
         assert_eq!(t1.get("G-Store", "Main memory"), Some(Support::None));
 
         let t5 = build_table_unverified(TableId::V);
-        assert_eq!(t5.get("AllegroGraph", "Query Lang."), Some(Support::Partial));
+        assert_eq!(
+            t5.get("AllegroGraph", "Query Lang."),
+            Some(Support::Partial)
+        );
         assert_eq!(t5.get("Neo4j", "Query Lang."), Some(Support::Partial));
         assert_eq!(t5.get("Sones", "Query Lang."), Some(Support::Full));
 

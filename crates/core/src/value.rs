@@ -340,10 +340,7 @@ mod tests {
 
     #[test]
     fn arithmetic() {
-        assert_eq!(
-            Value::from(2).add(&Value::from(3)).unwrap(),
-            Value::from(5)
-        );
+        assert_eq!(Value::from(2).add(&Value::from(3)).unwrap(), Value::from(5));
         assert_eq!(
             Value::from("a").add(&Value::from("b")).unwrap(),
             Value::from("ab")
@@ -352,14 +349,8 @@ mod tests {
             Value::from(2).mul(&Value::from(2.5)).unwrap(),
             Value::from(5.0)
         );
-        assert_eq!(
-            Value::from(7).sub(&Value::from(2)).unwrap(),
-            Value::from(5)
-        );
-        assert_eq!(
-            Value::from(7).div(&Value::from(2)).unwrap(),
-            Value::from(3)
-        );
+        assert_eq!(Value::from(7).sub(&Value::from(2)).unwrap(), Value::from(5));
+        assert_eq!(Value::from(7).div(&Value::from(2)).unwrap(), Value::from(3));
     }
 
     #[test]

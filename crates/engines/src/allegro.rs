@@ -46,8 +46,7 @@ impl AllegroEngine {
                     continue;
                 }
                 let mut parts = line.splitn(3, '\t');
-                let (Some(s), Some(p), Some(o)) = (parts.next(), parts.next(), parts.next())
-                else {
+                let (Some(s), Some(p), Some(o)) = (parts.next(), parts.next(), parts.next()) else {
                     return Err(GdmError::Storage("bad triple line".into()));
                 };
                 rdf.add(&decode_term(s)?, &decode_term(p)?, &decode_term(o)?)?;
@@ -266,9 +265,7 @@ impl GraphEngine for AllegroEngine {
         } else if c.eat_keyword("delete") {
             false
         } else {
-            return Err(GdmError::InvalidArgument(
-                "expected ADD or DELETE".into(),
-            ));
+            return Err(GdmError::InvalidArgument("expected ADD or DELETE".into()));
         };
         let term = |c: &mut Cursor| -> Result<Term> {
             Ok(match c.bump() {
@@ -448,11 +445,15 @@ mod tests {
         let mut e = temp_engine("mint");
         let a = e.create_node(None, PropertyMap::new()).unwrap();
         let b = e.create_node(None, PropertyMap::new()).unwrap();
-        e.create_edge(a, b, Some("knows"), PropertyMap::new()).unwrap();
+        e.create_edge(a, b, Some("knows"), PropertyMap::new())
+            .unwrap();
         assert!(e.adjacent(a, b).unwrap());
         assert_eq!(GraphEngine::edge_count(&e), 1);
         // RDF model refusals.
-        assert!(e.create_node(Some("Person"), PropertyMap::new()).unwrap_err().is_unsupported());
+        assert!(e
+            .create_node(Some("Person"), PropertyMap::new())
+            .unwrap_err()
+            .is_unsupported());
         assert!(e.create_edge(a, b, None, PropertyMap::new()).is_err());
     }
 
@@ -556,7 +557,13 @@ mod tests {
         let b = e.create_node(None, PropertyMap::new()).unwrap();
         assert!(e.k_neighborhood(a, 2).unwrap_err().is_unsupported());
         assert!(e.shortest_path(a, b).unwrap_err().is_unsupported());
-        assert!(e.set_node_attribute(a, "k", Value::from(1)).unwrap_err().is_unsupported());
-        assert!(e.install_constraint(gdm_schema::Constraint::ReferentialIntegrity).unwrap_err().is_unsupported());
+        assert!(e
+            .set_node_attribute(a, "k", Value::from(1))
+            .unwrap_err()
+            .is_unsupported());
+        assert!(e
+            .install_constraint(gdm_schema::Constraint::ReferentialIntegrity)
+            .unwrap_err()
+            .is_unsupported());
     }
 }

@@ -17,8 +17,8 @@ use gdm_algo::paths::{fixed_length_paths, shortest_path};
 use gdm_algo::regular::{regular_path_exists, LabelRegex};
 use gdm_algo::summary;
 use gdm_core::{
-    AttributedView, Direction, EdgeId, FxHashMap, GdmError, GraphView, NodeId, PropertyMap,
-    Result, Support, Value,
+    AttributedView, Direction, EdgeId, FxHashMap, GdmError, GraphView, NodeId, PropertyMap, Result,
+    Support, Value,
 };
 use gdm_graphs::PropertyGraph;
 use gdm_query::eval::ResultSet;
@@ -145,9 +145,8 @@ impl GraphEngine for DexEngine {
     }
 
     fn create_node(&mut self, label: Option<&str>, props: PropertyMap) -> Result<NodeId> {
-        let label = label.ok_or_else(|| {
-            GdmError::InvalidArgument("DEX nodes require a type label".into())
-        })?;
+        let label = label
+            .ok_or_else(|| GdmError::InvalidArgument("DEX nodes require a type label".into()))?;
         let n = self.graph.add_node(label, props.clone());
         if let Err(e) = self.check_constraints() {
             self.graph.remove_node(n)?;
@@ -172,9 +171,8 @@ impl GraphEngine for DexEngine {
         label: Option<&str>,
         props: PropertyMap,
     ) -> Result<EdgeId> {
-        let label = label.ok_or_else(|| {
-            GdmError::InvalidArgument("DEX edges require a type label".into())
-        })?;
+        let label = label
+            .ok_or_else(|| GdmError::InvalidArgument("DEX edges require a type label".into()))?;
         let e = self.graph.add_edge(from, to, label, props)?;
         if let Err(err) = self.check_constraints() {
             self.graph.remove_edge(e)?;
@@ -296,9 +294,7 @@ impl GraphEngine for DexEngine {
                 self.constraints.push(constraint);
                 Ok(())
             }
-            _ => self.unsupported(
-                "this constraint kind (types, identity, referential only)",
-            ),
+            _ => self.unsupported("this constraint kind (types, identity, referential only)"),
         }
     }
 
@@ -448,8 +444,12 @@ mod tests {
         let edge = e
             .create_edge(a, b, Some("knows"), props! { "since" => 2001 })
             .unwrap();
-        e.set_edge_attribute(edge, "weight", Value::from(0.5)).unwrap();
-        assert_eq!(e.node_attribute(a, "name").unwrap(), Some(Value::from("ana")));
+        e.set_edge_attribute(edge, "weight", Value::from(0.5))
+            .unwrap();
+        assert_eq!(
+            e.node_attribute(a, "name").unwrap(),
+            Some(Value::from("ana"))
+        );
         assert_eq!(e.nodes_of_type("person"), vec![a, b]);
         // Unlabeled nodes are out of model.
         assert!(e.create_node(None, props! {}).is_err());
@@ -458,9 +458,15 @@ mod tests {
     #[test]
     fn bitmap_indexes() {
         let mut e = temp_engine("bitmaps");
-        let a = e.create_node(Some("n"), props! { "city" => "scl" }).unwrap();
-        let _b = e.create_node(Some("n"), props! { "city" => "muc" }).unwrap();
-        let c = e.create_node(Some("n"), props! { "city" => "scl" }).unwrap();
+        let a = e
+            .create_node(Some("n"), props! { "city" => "scl" })
+            .unwrap();
+        let _b = e
+            .create_node(Some("n"), props! { "city" => "muc" })
+            .unwrap();
+        let c = e
+            .create_node(Some("n"), props! { "city" => "scl" })
+            .unwrap();
         e.create_index("city").unwrap();
         assert_eq!(
             e.lookup_by_property("city", &Value::from("scl")).unwrap(),
@@ -505,13 +511,15 @@ mod tests {
                 NodeTypeDef::new("person").with(PropertyType::required("name", ValueType::Str)),
             )
             .unwrap();
-        e.install_constraint(Constraint::TypeChecking(schema)).unwrap();
+        e.install_constraint(Constraint::TypeChecking(schema))
+            .unwrap();
         e.install_constraint(Constraint::Identity {
             type_name: "person".into(),
             property: "name".into(),
         })
         .unwrap();
-        e.create_node(Some("person"), props! { "name" => "ana" }).unwrap();
+        e.create_node(Some("person"), props! { "name" => "ana" })
+            .unwrap();
         // Bad type: rejected and rolled back.
         assert!(e.create_node(Some("alien"), props! {}).is_err());
         assert_eq!(GraphEngine::node_count(&e), 1);
@@ -539,7 +547,9 @@ mod tests {
         let a;
         {
             let mut e = DexEngine::open(&dir).unwrap();
-            a = e.create_node(Some("person"), props! { "name" => "ana" }).unwrap();
+            a = e
+                .create_node(Some("person"), props! { "name" => "ana" })
+                .unwrap();
             let b = e.create_node(Some("city"), props! {}).unwrap();
             e.create_edge(a, b, Some("lives_in"), props! {}).unwrap();
             e.persist().unwrap();
@@ -548,7 +558,10 @@ mod tests {
             let e = DexEngine::open(&dir).unwrap();
             assert_eq!(GraphEngine::node_count(&e), 2);
             assert_eq!(e.nodes_of_type("person"), vec![a]);
-            assert_eq!(e.node_attribute(a, "name").unwrap(), Some(Value::from("ana")));
+            assert_eq!(
+                e.node_attribute(a, "name").unwrap(),
+                Some(Value::from("ana"))
+            );
         }
         std::fs::remove_dir_all(&dir).unwrap();
     }

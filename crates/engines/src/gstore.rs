@@ -176,11 +176,10 @@ impl GStoreEngine {
     }
 
     fn run_statement(&mut self, stmt: GsqlStatement) -> Result<ResultSet> {
-        let single =
-            |name: &str, v: Value| ResultSet {
-                columns: vec![name.to_owned()],
-                rows: vec![vec![v]],
-            };
+        let single = |name: &str, v: Value| ResultSet {
+            columns: vec![name.to_owned()],
+            rows: vec![vec![v]],
+        };
         Ok(match stmt {
             GsqlStatement::CreateNode { label } => {
                 let n = self.create_node(Some(&label), PropertyMap::new())?;
@@ -205,7 +204,10 @@ impl GStoreEngine {
                 ids.sort_unstable();
                 ResultSet {
                     columns: vec!["node".into()],
-                    rows: ids.into_iter().map(|i| vec![Value::Int(i as i64)]).collect(),
+                    rows: ids
+                        .into_iter()
+                        .map(|i| vec![Value::Int(i as i64)])
+                        .collect(),
                 }
             }
             GsqlStatement::CountNodes => single("count", Value::Int(self.nodes.len() as i64)),
@@ -213,12 +215,9 @@ impl GStoreEngine {
             GsqlStatement::ShortestPath { from, to } => {
                 let path = shortest_path(self, from, to);
                 let row = match path {
-                    Some(p) => Value::List(
-                        p.nodes
-                            .iter()
-                            .map(|n| Value::Int(n.raw() as i64))
-                            .collect(),
-                    ),
+                    Some(p) => {
+                        Value::List(p.nodes.iter().map(|n| Value::Int(n.raw() as i64)).collect())
+                    }
                     None => Value::Null,
                 };
                 single("path", row)
@@ -228,17 +227,17 @@ impl GStoreEngine {
                 single("paths", Value::Int(count as i64))
             }
             GsqlStatement::Reachable { from } => {
-                let mut ids: Vec<u64> = gdm_algo::paths::reachable_set(
-                    self,
-                    from,
-                    Direction::Outgoing,
-                )
-                .into_iter()
-                .collect();
+                let mut ids: Vec<u64> =
+                    gdm_algo::paths::reachable_set(self, from, Direction::Outgoing)
+                        .into_iter()
+                        .collect();
                 ids.sort_unstable();
                 ResultSet {
                     columns: vec!["node".into()],
-                    rows: ids.into_iter().map(|i| vec![Value::Int(i as i64)]).collect(),
+                    rows: ids
+                        .into_iter()
+                        .map(|i| vec![Value::Int(i as i64)])
+                        .collect(),
                 }
             }
         })
@@ -614,7 +613,9 @@ mod tests {
             rs.rows[0][0],
             Value::List(vec![Value::Int(0), Value::Int(1), Value::Int(2)])
         );
-        let rs = e.execute_query("SELECT PATHS FROM 0 TO 2 LENGTH 2").unwrap();
+        let rs = e
+            .execute_query("SELECT PATHS FROM 0 TO 2 LENGTH 2")
+            .unwrap();
         assert_eq!(rs.rows[0][0], Value::Int(1));
         let rs = e.execute_query("SELECT COUNT EDGES").unwrap();
         assert_eq!(rs.rows[0][0], Value::Int(2));

@@ -12,8 +12,7 @@
 use crate::facade::{AnalysisFunc, EngineDescriptor, GraphEngine, SummaryFunc};
 use gdm_algo::summary;
 use gdm_core::{
-    Direction, EdgeId, FxHashMap, GdmError, GraphView, NodeId, PropertyMap, Result, Support,
-    Value,
+    Direction, EdgeId, FxHashMap, GdmError, GraphView, NodeId, PropertyMap, Result, Support, Value,
 };
 use gdm_graphs::hyper::{AtomId, HyperGraph};
 use gdm_query::eval::ResultSet;
@@ -99,7 +98,12 @@ impl HyperGraphDbEngine {
                     )));
                 };
                 // Uniqueness scan over existing atoms of this type.
-                for id in self.atoms.node_ids().into_iter().chain(self.atoms.link_ids()) {
+                for id in self
+                    .atoms
+                    .node_ids()
+                    .into_iter()
+                    .chain(self.atoms.link_ids())
+                {
                     if self.atoms.label(id).ok() == Some(label)
                         && self.atoms.property(id, key) == Some(value)
                     {
@@ -155,9 +159,11 @@ impl GraphEngine for HyperGraphDbEngine {
     ) -> Result<EdgeId> {
         let label = label.unwrap_or("link");
         self.check_new_atom(label, &props)?;
-        let id = self
-            .atoms
-            .add_link(label, &[AtomId(from.raw()), AtomId(to.raw())], props.clone())?;
+        let id = self.atoms.add_link(
+            label,
+            &[AtomId(from.raw()), AtomId(to.raw())],
+            props.clone(),
+        )?;
         self.index_atom(id, &props);
         Ok(EdgeId(id.raw()))
     }
@@ -189,7 +195,8 @@ impl GraphEngine for HyperGraphDbEngine {
     }
 
     fn set_node_attribute(&mut self, n: NodeId, key: &str, value: Value) -> Result<()> {
-        self.atoms.set_property(AtomId(n.raw()), key, value.clone())?;
+        self.atoms
+            .set_property(AtomId(n.raw()), key, value.clone())?;
         if let Some(index) = self.indexes.get_mut(key) {
             index.insert(&value, n.raw());
         }
@@ -366,7 +373,12 @@ impl GraphEngine for HyperGraphDbEngine {
 
     fn create_index(&mut self, property: &str) -> Result<()> {
         let mut index = HashIndex::new();
-        for id in self.atoms.node_ids().into_iter().chain(self.atoms.link_ids()) {
+        for id in self
+            .atoms
+            .node_ids()
+            .into_iter()
+            .chain(self.atoms.link_ids())
+        {
             if let Some(v) = self.atoms.property(id, property) {
                 index.insert(v, id.raw());
             }
@@ -411,7 +423,9 @@ mod tests {
         let a = e.create_node(Some("gene"), props! {}).unwrap();
         let b = e.create_node(Some("gene"), props! {}).unwrap();
         let c = e.create_node(Some("protein"), props! {}).unwrap();
-        let h = e.create_hyperedge("regulates", &[a, b, c], props! {}).unwrap();
+        let h = e
+            .create_hyperedge("regulates", &[a, b, c], props! {})
+            .unwrap();
         assert_eq!(GraphEngine::edge_count(&e), 1);
         let annotation = e.create_edge_on_edge(h, a, "source").unwrap();
         assert_ne!(annotation, h);
@@ -424,11 +438,11 @@ mod tests {
         let mut schema = Schema::new();
         schema
             .add_node_type(
-                NodeTypeDef::new("protein")
-                    .with(PropertyType::required("name", ValueType::Str)),
+                NodeTypeDef::new("protein").with(PropertyType::required("name", ValueType::Str)),
             )
             .unwrap();
-        e.install_constraint(Constraint::TypeChecking(schema)).unwrap();
+        e.install_constraint(Constraint::TypeChecking(schema))
+            .unwrap();
         assert!(e
             .create_node(Some("alien"), props! {})
             .unwrap_err()
@@ -448,7 +462,8 @@ mod tests {
             property: "name".into(),
         })
         .unwrap();
-        e.create_node(Some("protein"), props! { "name" => "p53" }).unwrap();
+        e.create_node(Some("protein"), props! { "name" => "p53" })
+            .unwrap();
         let err = e
             .create_node(Some("protein"), props! { "name" => "p53" })
             .unwrap_err();
@@ -466,8 +481,14 @@ mod tests {
         let a = e.create_node(Some("n"), props! { "name" => "x" }).unwrap();
         e.create_index("name").unwrap();
         let b = e.create_node(Some("n"), props! { "name" => "y" }).unwrap();
-        assert_eq!(e.lookup_by_property("name", &Value::from("x")).unwrap(), vec![a]);
-        assert_eq!(e.lookup_by_property("name", &Value::from("y")).unwrap(), vec![b]);
+        assert_eq!(
+            e.lookup_by_property("name", &Value::from("x")).unwrap(),
+            vec![a]
+        );
+        assert_eq!(
+            e.lookup_by_property("name", &Value::from("y")).unwrap(),
+            vec![b]
+        );
     }
 
     #[test]

@@ -18,8 +18,8 @@ use gdm_algo::paths::{fixed_length_paths, shortest_path};
 use gdm_algo::regular::{regular_path_exists, LabelRegex};
 use gdm_algo::summary;
 use gdm_core::{
-    AttributedView, Direction, EdgeId, FxHashMap, GdmError, GraphView, NodeId, PropertyMap,
-    Result, Support, Value,
+    AttributedView, Direction, EdgeId, FxHashMap, GdmError, GraphView, NodeId, PropertyMap, Result,
+    Support, Value,
 };
 use gdm_graphs::partitioned::{PartitionedGraph, Strategy};
 use gdm_graphs::PropertyGraph;

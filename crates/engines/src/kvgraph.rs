@@ -249,10 +249,16 @@ impl KvGraph {
             .expect("kv scan cannot fail on read");
         for (key, value) in entries {
             let mut pos = prefix.len();
-            let Ok(edge) = get_u64(&key, &mut pos) else { continue };
+            let Ok(edge) = get_u64(&key, &mut pos) else {
+                continue;
+            };
             let mut vpos = 0;
-            let Ok(other) = get_u64(&value, &mut vpos) else { continue };
-            let Ok(sym) = get_u32(&value, &mut vpos) else { continue };
+            let Ok(other) = get_u64(&value, &mut vpos) else {
+                continue;
+            };
+            let Ok(sym) = get_u32(&value, &mut vpos) else {
+                continue;
+            };
             f(EdgeRef {
                 id: EdgeId(edge),
                 from: n,
@@ -365,9 +371,13 @@ mod tests {
     #[test]
     fn nodes_and_edges_round_trip() {
         let mut g = mem_graph();
-        let a = g.add_node(Some("doc"), &props! { "title" => "intro" }).unwrap();
+        let a = g
+            .add_node(Some("doc"), &props! { "title" => "intro" })
+            .unwrap();
         let b = g.add_node(None, &props! {}).unwrap();
-        let e = g.add_edge(a, b, Some("links"), &props! { "rank" => 3 }).unwrap();
+        let e = g
+            .add_edge(a, b, Some("links"), &props! { "rank" => 3 })
+            .unwrap();
         assert_eq!(g.node_count(), 2);
         assert_eq!(g.edge_count(), 1);
         assert_eq!(g.node_label(a).unwrap().as_deref(), Some("doc"));

@@ -29,6 +29,7 @@
 
 pub mod allegro;
 pub mod dex;
+pub mod durable;
 pub mod facade;
 pub mod filament;
 pub mod gstore;
@@ -40,9 +41,9 @@ pub mod sones;
 
 pub mod vertexdb;
 
+pub use durable::{make_engine_durable, DurableEngine, LogicalOp};
 pub use facade::{
-    all_engines, make_engine, AnalysisFunc, EngineDescriptor, EngineKind, GraphEngine,
-    SummaryFunc,
+    all_engines, make_engine, AnalysisFunc, EngineDescriptor, EngineKind, GraphEngine, SummaryFunc,
 };
 
 // Re-exported so downstream code can name the error type without a

@@ -158,8 +158,7 @@ impl Neo4jEngine {
     }
 
     fn node_u32(&self, n: NodeId) -> Result<u32> {
-        let id = u32::try_from(n.raw())
-            .map_err(|_| GdmError::NotFound(format!("node {n}")))?;
+        let id = u32::try_from(n.raw()).map_err(|_| GdmError::NotFound(format!("node {n}")))?;
         if !self.store.node_in_use(id) {
             return Err(GdmError::NotFound(format!("node {n}")));
         }
@@ -469,10 +468,13 @@ mod tests {
         let bob = e
             .create_node(Some("Person"), props! { "name" => "bob", "age" => 25 })
             .unwrap();
-        let acme = e.create_node(Some("Company"), props! { "name" => "acme" }).unwrap();
+        let acme = e
+            .create_node(Some("Company"), props! { "name" => "acme" })
+            .unwrap();
         e.create_edge(ada, bob, Some("KNOWS"), props! { "since" => 2001 })
             .unwrap();
-        e.create_edge(ada, acme, Some("WORKS_AT"), props! {}).unwrap();
+        e.create_edge(ada, acme, Some("WORKS_AT"), props! {})
+            .unwrap();
         vec![ada, bob, acme]
     }
 
@@ -567,9 +569,15 @@ mod tests {
     #[test]
     fn profile_refusals() {
         let mut e = temp_engine("refuse");
-        assert!(e.install_constraint(gdm_schema::Constraint::ReferentialIntegrity).unwrap_err().is_unsupported());
+        assert!(e
+            .install_constraint(gdm_schema::Constraint::ReferentialIntegrity)
+            .unwrap_err()
+            .is_unsupported());
         assert!(e.execute_ddl("x").unwrap_err().is_unsupported());
         assert!(e.reason("", "").unwrap_err().is_unsupported());
-        assert!(e.analyze(AnalysisFunc::Triangles).unwrap_err().is_unsupported());
+        assert!(e
+            .analyze(AnalysisFunc::Triangles)
+            .unwrap_err()
+            .is_unsupported());
     }
 }

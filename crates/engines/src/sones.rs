@@ -19,13 +19,14 @@ use gdm_algo::adjacency::nodes_adjacent;
 use gdm_algo::analysis;
 use gdm_algo::summary;
 use gdm_core::{
-    Direction, EdgeId, FxHashMap, GdmError, GraphView, NodeId, PropertyMap, Result, Support,
-    Value,
+    Direction, EdgeId, FxHashMap, GdmError, GraphView, NodeId, PropertyMap, Result, Support, Value,
 };
 use gdm_graphs::hyper::{AtomId, HyperGraph};
 use gdm_query::eval::{evaluate_select, ResultSet};
 use gdm_query::gql::{self, GqlStatement};
-use gdm_schema::{Cardinality, Constraint, EdgeTypeDef, NodeTypeDef, PropertyType, Schema, ValueType};
+use gdm_schema::{
+    Cardinality, Constraint, EdgeTypeDef, NodeTypeDef, PropertyType, Schema, ValueType,
+};
 use gdm_storage::{HashIndex, ValueIndex};
 
 const NAME: &str = "Sones";
@@ -109,7 +110,8 @@ impl SonesEngine {
 
     fn find_by(&self, type_name: &str, key: &str, value: &Value) -> Result<AtomId> {
         for id in self.atoms.node_ids() {
-            if self.atoms.label(id).ok() == Some(type_name) && self.atoms.property(id, key) == Some(value)
+            if self.atoms.label(id).ok() == Some(type_name)
+                && self.atoms.property(id, key) == Some(value)
             {
                 return Ok(id);
             }
@@ -173,7 +175,8 @@ impl GraphEngine for SonesEngine {
             graphical_ql: Support::Full,
             query_language_grade: Support::Full,
             backend_storage: Support::None,
-            blurb: "inherent support for high-level graph abstractions; defines its own query language",
+            blurb:
+                "inherent support for high-level graph abstractions; defines its own query language",
         }
     }
 
@@ -225,7 +228,8 @@ impl GraphEngine for SonesEngine {
     }
 
     fn set_node_attribute(&mut self, n: NodeId, key: &str, value: Value) -> Result<()> {
-        self.atoms.set_property(AtomId(n.raw()), key, value.clone())?;
+        self.atoms
+            .set_property(AtomId(n.raw()), key, value.clone())?;
         if let Some(index) = self.indexes.get_mut(key) {
             index.insert(&value, n.raw());
         }
@@ -340,12 +344,7 @@ impl GraphEngine for SonesEngine {
             } => {
                 let f = self.find_by(&from.0, &from.1, &from.2)?;
                 let t = self.find_by(&to.0, &to.1, &to.2)?;
-                self.create_edge(
-                    NodeId(f.raw()),
-                    NodeId(t.raw()),
-                    Some(&type_name),
-                    props,
-                )?;
+                self.create_edge(NodeId(f.raw()), NodeId(t.raw()), Some(&type_name), props)?;
                 Ok(())
             }
             _ => Err(GdmError::InvalidArgument(
@@ -521,10 +520,8 @@ mod tests {
             .unwrap();
         e.execute_dml("INSERT INTO Person VALUES (name = 'bob', age = 45)")
             .unwrap();
-        e.execute_dml(
-            "INSERT EDGE knows FROM Person (name = 'ana') TO Person (name = 'bob')",
-        )
-        .unwrap();
+        e.execute_dml("INSERT EDGE knows FROM Person (name = 'ana') TO Person (name = 'bob')")
+            .unwrap();
         let rs = e
             .execute_query("FROM Person p SELECT p.name WHERE p.age > 40")
             .unwrap();
@@ -561,7 +558,9 @@ mod tests {
         let c1 = e.create_node(Some("Company"), props! {}).unwrap();
         let c2 = e.create_node(Some("Company"), props! {}).unwrap();
         e.create_edge(p, c1, Some("works_at"), props! {}).unwrap();
-        let err = e.create_edge(p, c2, Some("works_at"), props! {}).unwrap_err();
+        let err = e
+            .create_edge(p, c2, Some("works_at"), props! {})
+            .unwrap_err();
         assert!(err.to_string().contains("cardinality"));
     }
 
@@ -574,10 +573,7 @@ mod tests {
         e.create_edge(a, b, Some("r"), props! {}).unwrap();
         e.create_edge(b, c, Some("r"), props! {}).unwrap();
         e.create_edge(c, a, Some("r"), props! {}).unwrap();
-        assert_eq!(
-            e.analyze(AnalysisFunc::Triangles).unwrap(),
-            Value::Int(1)
-        );
+        assert_eq!(e.analyze(AnalysisFunc::Triangles).unwrap(), Value::Int(1));
         assert_eq!(
             e.analyze(AnalysisFunc::ConnectedComponents).unwrap(),
             Value::Int(1)
@@ -597,10 +593,18 @@ mod tests {
     #[test]
     fn walks_follow_edge_type_sequences() {
         let mut e = SonesEngine::new();
-        let a = e.create_node(Some("City"), props! { "name" => "a" }).unwrap();
-        let b = e.create_node(Some("City"), props! { "name" => "b" }).unwrap();
-        let c = e.create_node(Some("City"), props! { "name" => "c" }).unwrap();
-        let d = e.create_node(Some("City"), props! { "name" => "d" }).unwrap();
+        let a = e
+            .create_node(Some("City"), props! { "name" => "a" })
+            .unwrap();
+        let b = e
+            .create_node(Some("City"), props! { "name" => "b" })
+            .unwrap();
+        let c = e
+            .create_node(Some("City"), props! { "name" => "c" })
+            .unwrap();
+        let d = e
+            .create_node(Some("City"), props! { "name" => "d" })
+            .unwrap();
         e.create_edge(a, b, Some("road"), props! {}).unwrap();
         e.create_edge(b, c, Some("rail"), props! {}).unwrap();
         e.create_edge(a, d, Some("road"), props! {}).unwrap();

@@ -260,8 +260,10 @@ mod tests {
         let a = e.create_node(None, PropertyMap::new()).unwrap();
         let b = e.create_node(None, PropertyMap::new()).unwrap();
         let c = e.create_node(None, PropertyMap::new()).unwrap();
-        e.create_edge(a, b, Some("links"), PropertyMap::new()).unwrap();
-        e.create_edge(b, c, Some("links"), PropertyMap::new()).unwrap();
+        e.create_edge(a, b, Some("links"), PropertyMap::new())
+            .unwrap();
+        e.create_edge(b, c, Some("links"), PropertyMap::new())
+            .unwrap();
         assert_eq!(e.node_count(), 3);
         assert!(e.adjacent(a, b).unwrap());
         assert!(!e.adjacent(a, c).unwrap());
@@ -273,7 +275,10 @@ mod tests {
     #[test]
     fn unsupported_features_refuse() {
         let mut e = temp_engine("unsup");
-        assert!(e.create_node(Some("label"), PropertyMap::new()).unwrap_err().is_unsupported());
+        assert!(e
+            .create_node(Some("label"), PropertyMap::new())
+            .unwrap_err()
+            .is_unsupported());
         assert!(e.execute_query("whatever").unwrap_err().is_unsupported());
         let a = e.create_node(None, PropertyMap::new()).unwrap();
         let b = e.create_node(None, PropertyMap::new()).unwrap();
@@ -283,7 +288,10 @@ mod tests {
             .unwrap_err()
             .is_unsupported());
         assert!(e.create_index("x").unwrap_err().is_unsupported());
-        assert!(e.set_node_attribute(a, "k", Value::from(1)).unwrap_err().is_unsupported());
+        assert!(e
+            .set_node_attribute(a, "k", Value::from(1))
+            .unwrap_err()
+            .is_unsupported());
     }
 
     #[test]

@@ -62,9 +62,7 @@ pub fn export(g: &PropertyGraph) -> Result<String> {
     let mut edge_keys: HashMap<String, &'static str> = HashMap::new();
     let mut nodes = Vec::new();
     g.visit_nodes(&mut |n| nodes.push(n));
-    let register = |keys: &mut HashMap<String, &'static str>,
-                    props: &PropertyMap|
-     -> Result<()> {
+    let register = |keys: &mut HashMap<String, &'static str>, props: &PropertyMap| -> Result<()> {
         for (k, v) in props {
             let t = type_name(v).ok_or_else(|| {
                 GdmError::InvalidArgument(format!(
@@ -230,7 +228,9 @@ fn parse_events(src: &str) -> Result<Vec<Event>> {
                 let Some(eq) = remaining.find('=') else { break };
                 let key = remaining[..eq].trim().to_owned();
                 let after = remaining[eq + 1..].trim_start();
-                let Some(quote) = after.chars().next() else { break };
+                let Some(quote) = after.chars().next() else {
+                    break;
+                };
                 if quote != '"' && quote != '\'' {
                     return Err(GdmError::Parse {
                         dialect: "graphml",
@@ -315,38 +315,35 @@ pub fn import(src: &str) -> Result<PropertyGraph> {
     let mut current_data_key: Option<String> = None;
     let mut current_text = String::new();
 
-    let finish = |g: &mut PropertyGraph,
-                      node_ids: &mut HashMap<String, NodeId>,
-                      p: Pending|
-     -> Result<()> {
-        if p.is_edge {
-            let from = *node_ids.get(&p.source).ok_or_else(|| {
-                GdmError::Parse {
+    let finish =
+        |g: &mut PropertyGraph, node_ids: &mut HashMap<String, NodeId>, p: Pending| -> Result<()> {
+            if p.is_edge {
+                let from = *node_ids.get(&p.source).ok_or_else(|| GdmError::Parse {
                     dialect: "graphml",
                     message: format!("edge references unknown node {:?}", p.source),
                     position: 0,
-                }
-            })?;
-            let to = *node_ids.get(&p.target).ok_or_else(|| GdmError::Parse {
-                dialect: "graphml",
-                message: format!("edge references unknown node {:?}", p.target),
-                position: 0,
-            })?;
-            g.add_edge(from, to, p.label.as_deref().unwrap_or("edge"), p.props)?;
-        } else {
-            let id = g.add_node(p.label.as_deref().unwrap_or("node"), p.props);
-            node_ids.insert(p.xml_id, id);
-        }
-        Ok(())
-    };
+                })?;
+                let to = *node_ids.get(&p.target).ok_or_else(|| GdmError::Parse {
+                    dialect: "graphml",
+                    message: format!("edge references unknown node {:?}", p.target),
+                    position: 0,
+                })?;
+                g.add_edge(from, to, p.label.as_deref().unwrap_or("edge"), p.props)?;
+            } else {
+                let id = g.add_node(p.label.as_deref().unwrap_or("node"), p.props);
+                node_ids.insert(p.xml_id, id);
+            }
+            Ok(())
+        };
 
     for event in events {
         match event {
-            Event::Empty(name, attrs) | Event::Open(name, attrs)
-                if name == "key" =>
-            {
+            Event::Empty(name, attrs) | Event::Open(name, attrs) if name == "key" => {
                 let id = attrs.get("id").cloned().unwrap_or_default();
-                let attr_name = attrs.get("attr.name").cloned().unwrap_or_else(|| id.clone());
+                let attr_name = attrs
+                    .get("attr.name")
+                    .cloned()
+                    .unwrap_or_else(|| id.clone());
                 let t = match attrs.get("attr.type").map(String::as_str) {
                     Some("int") | Some("long") => KeyType::Int,
                     Some("double") | Some("float") => KeyType::Float,
@@ -419,7 +416,8 @@ mod tests {
         let a = g.add_node("person", props! { "name" => "ada <3", "age" => 36 });
         let b = g.add_node("person", props! { "name" => "bob & co", "score" => 0.5 });
         let c = g.add_node("company", props! { "active" => true });
-        g.add_edge(a, b, "knows", props! { "since" => 2001 }).unwrap();
+        g.add_edge(a, b, "knows", props! { "since" => 2001 })
+            .unwrap();
         g.add_edge(a, c, "works_at", props! {}).unwrap();
         g
     }
@@ -454,7 +452,10 @@ mod tests {
         assert!(since.contains(&Some(Value::from(2001))));
         // Types survive: int stays int, float float, bool bool.
         let company = back.nodes_with_label("company")[0];
-        assert_eq!(back.node_property(company, "active"), Some(Value::from(true)));
+        assert_eq!(
+            back.node_property(company, "active"),
+            Some(Value::from(true))
+        );
     }
 
     #[test]

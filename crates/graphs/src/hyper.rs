@@ -88,7 +88,12 @@ impl HyperGraph {
 
     /// Adds a link atom targeting `targets` (nodes or links; at least
     /// one target).
-    pub fn add_link(&mut self, label: &str, targets: &[AtomId], props: PropertyMap) -> Result<AtomId> {
+    pub fn add_link(
+        &mut self,
+        label: &str,
+        targets: &[AtomId],
+        props: PropertyMap,
+    ) -> Result<AtomId> {
         if targets.is_empty() {
             return Err(GdmError::InvalidArgument("link with no targets".into()));
         }
@@ -291,7 +296,7 @@ impl HyperGraph {
     /// Restores an atom space from [`HyperGraph::to_snapshot`] bytes.
     pub fn from_snapshot(bytes: &[u8]) -> Result<Self> {
         let dto: SnapshotDto = serde_json::from_slice(bytes)
-                .map_err(|e| GdmError::Storage(format!("bad hypergraph snapshot: {e}")))?;
+            .map_err(|e| GdmError::Storage(format!("bad hypergraph snapshot: {e}")))?;
         let mut g = HyperGraph::new();
         // Two passes: nodes (and slot reservation) first, then links —
         // a link may target an atom with a higher id.

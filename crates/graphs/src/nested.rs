@@ -100,11 +100,7 @@ impl NestedGraph {
 
     /// The subgraph inside hypernode `n`, if any.
     pub fn subgraph(&self, n: NodeId) -> Option<&NestedGraph> {
-        self.nodes
-            .get(n.index())?
-            .as_ref()?
-            .subgraph
-            .as_deref()
+        self.nodes.get(n.index())?.as_ref()?.subgraph.as_deref()
     }
 
     /// Mutable access to the subgraph inside hypernode `n`.
@@ -417,8 +413,10 @@ pub mod translate {
             let enode = g.add_node(&label, PropertyMap::new());
             let sub = attrs_subgraph(p.edge_properties(e).expect("live"));
             g.nest(enode, sub).expect("fresh");
-            g.add_edge(lookup_node(&map, from), enode, "from").expect("live");
-            g.add_edge(enode, lookup_node(&map, to), "to").expect("live");
+            g.add_edge(lookup_node(&map, from), enode, "from")
+                .expect("live");
+            g.add_edge(enode, lookup_node(&map, to), "to")
+                .expect("live");
         }
         g
     }
@@ -470,7 +468,12 @@ pub mod translate {
                 .subgraph(enode)
                 .ok_or_else(|| GdmError::InvalidArgument("edge without attrs".into()))?;
             let props = subgraph_attrs(sub)?;
-            p.add_edge(lookup_node(&map, from), lookup_node(&map, to), &label, props)?;
+            p.add_edge(
+                lookup_node(&map, from),
+                lookup_node(&map, to),
+                &label,
+                props,
+            )?;
         }
         Ok(p)
     }
@@ -589,7 +592,8 @@ mod tests {
         let mut p = PropertyGraph::new();
         let a = p.add_node("person", props! { "name" => "ada", "age" => 36 });
         let b = p.add_node("person", props! { "name" => "bob" });
-        p.add_edge(a, b, "knows", props! { "since" => 1840 }).unwrap();
+        p.add_edge(a, b, "knows", props! { "since" => 1840 })
+            .unwrap();
         let nested = translate::property_to_nested(&p);
         assert_eq!(nested.depth(), 2);
         let back = translate::nested_to_property(&nested).unwrap();

@@ -407,21 +407,11 @@ impl AttributedView for PropertyGraph {
     }
 
     fn node_property(&self, n: NodeId, key: &str) -> Option<Value> {
-        self.nodes
-            .get(n.index())?
-            .as_ref()?
-            .props
-            .get(key)
-            .cloned()
+        self.nodes.get(n.index())?.as_ref()?.props.get(key).cloned()
     }
 
     fn edge_property(&self, e: EdgeId, key: &str) -> Option<Value> {
-        self.edges
-            .get(e.index())?
-            .as_ref()?
-            .props
-            .get(key)
-            .cloned()
+        self.edges.get(e.index())?.as_ref()?.props.get(key).cloned()
     }
 }
 
@@ -454,10 +444,7 @@ mod tests {
         let (g, alice, _, acme) = social();
         assert_eq!(g.node_label_text(alice).unwrap(), "person");
         assert_eq!(g.node_label_text(acme).unwrap(), "company");
-        assert_eq!(
-            g.node_property(alice, "name"),
-            Some(Value::from("alice"))
-        );
+        assert_eq!(g.node_property(alice, "name"), Some(Value::from("alice")));
         assert_eq!(g.node_property(alice, "nope"), None);
     }
 

@@ -121,9 +121,7 @@ impl RdfGraph {
             ));
         }
         if !matches!(p, Term::Iri(_)) {
-            return Err(GdmError::InvalidArgument(
-                "predicate must be an IRI".into(),
-            ));
+            return Err(GdmError::InvalidArgument("predicate must be an IRI".into()));
         }
         let si = self.intern(s);
         let pi = self.intern(p);
@@ -147,8 +145,7 @@ impl RdfGraph {
 
     /// Removes the triple `(s, p, o)` if present.
     pub fn remove(&mut self, s: &Term, p: &Term, o: &Term) -> bool {
-        let (Some(si), Some(pi), Some(oi)) =
-            (self.term_id(s), self.term_id(p), self.term_id(o))
+        let (Some(si), Some(pi), Some(oi)) = (self.term_id(s), self.term_id(p), self.term_id(o))
         else {
             return false;
         };
@@ -224,12 +221,18 @@ impl RdfGraph {
                 }
             }
             (Some(si), Some(pi), None) => {
-                for &(a, b, c, _) in self.spo.range((si, pi, 0, 0)..=(si, pi, u32::MAX, u32::MAX)) {
+                for &(a, b, c, _) in self
+                    .spo
+                    .range((si, pi, 0, 0)..=(si, pi, u32::MAX, u32::MAX))
+                {
                     out.push((a, b, c));
                 }
             }
             (Some(si), None, Some(oi)) => {
-                for &(a, b, c, _) in self.osp.range((oi, si, 0, 0)..=(oi, si, u32::MAX, u32::MAX)) {
+                for &(a, b, c, _) in self
+                    .osp
+                    .range((oi, si, 0, 0)..=(oi, si, u32::MAX, u32::MAX))
+                {
                     out.push((b, c, a));
                 }
             }
@@ -242,7 +245,10 @@ impl RdfGraph {
                 }
             }
             (None, Some(pi), Some(oi)) => {
-                for &(a, b, c, _) in self.pos.range((pi, oi, 0, 0)..=(pi, oi, u32::MAX, u32::MAX)) {
+                for &(a, b, c, _) in self
+                    .pos
+                    .range((pi, oi, 0, 0)..=(pi, oi, u32::MAX, u32::MAX))
+                {
                     out.push((c, a, b));
                 }
             }
@@ -388,8 +394,10 @@ mod tests {
     fn family() -> RdfGraph {
         let mut g = RdfGraph::new();
         let parent = Term::iri("parent");
-        g.add(&Term::iri("ana"), &parent, &Term::iri("ben")).unwrap();
-        g.add(&Term::iri("ben"), &parent, &Term::iri("cleo")).unwrap();
+        g.add(&Term::iri("ana"), &parent, &Term::iri("ben"))
+            .unwrap();
+        g.add(&Term::iri("ben"), &parent, &Term::iri("cleo"))
+            .unwrap();
         g.add(&Term::iri("ana"), &Term::iri("name"), &Term::lit("Ana"))
             .unwrap();
         g
@@ -429,10 +437,7 @@ mod tests {
         // (s, ?, ?)
         assert_eq!(g.match_terms(Some(&Term::iri("ana")), None, None).len(), 2);
         // (?, ?, o)
-        assert_eq!(
-            g.match_terms(None, None, Some(&Term::iri("cleo"))).len(),
-            1
-        );
+        assert_eq!(g.match_terms(None, None, Some(&Term::iri("cleo"))).len(), 1);
         // (s, p, ?)
         assert_eq!(
             g.match_terms(Some(&Term::iri("ben")), Some(&parent), None)
@@ -454,10 +459,7 @@ mod tests {
         // full scan
         assert_eq!(g.match_terms(None, None, None).len(), 3);
         // unknown bound term
-        assert_eq!(
-            g.match_terms(Some(&Term::iri("zoe")), None, None).len(),
-            0
-        );
+        assert_eq!(g.match_terms(Some(&Term::iri("zoe")), None, None).len(), 0);
     }
 
     #[test]

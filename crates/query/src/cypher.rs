@@ -178,7 +178,11 @@ fn parse_path_pattern(c: &mut Cursor, query: &mut SelectQuery) -> Result<()> {
                     TokenKind::Int(_) => parse_usize(c)?,
                     _ => 1,
                 };
-                let max = if c.eat_punct("..") { parse_usize(c)? } else { min.max(1) };
+                let max = if c.eat_punct("..") {
+                    parse_usize(c)?
+                } else {
+                    min.max(1)
+                };
                 var_len = Some((min.max(1), max));
             }
             c.expect_punct("]")?;
@@ -645,10 +649,7 @@ mod tests {
             "MATCH (a) OPTIONAL MATCH (a)-[:x]->(b) RETURN a",
         ] {
             let err = parse(q).unwrap_err();
-            assert!(
-                err.to_string().contains("not supported"),
-                "{q}: {err}"
-            );
+            assert!(err.to_string().contains("not supported"), "{q}: {err}");
         }
     }
 
@@ -662,19 +663,17 @@ mod tests {
 
     #[test]
     fn create_statement_shape() {
-        let stmt =
-            parse("CREATE (a:person {name: 'dan'})-[:knows {since: 2020}]->(b:person {name: 'eve'})")
-                .unwrap();
+        let stmt = parse(
+            "CREATE (a:person {name: 'dan'})-[:knows {since: 2020}]->(b:person {name: 'eve'})",
+        )
+        .unwrap();
         match stmt {
             CypherStatement::Create(items) => {
                 assert_eq!(items.len(), 1);
                 assert_eq!(items[0].nodes.len(), 2);
                 assert_eq!(items[0].edges.len(), 1);
                 assert_eq!(items[0].edges[0].0, "knows");
-                assert_eq!(
-                    items[0].nodes[0].2.get("name"),
-                    Some(&Value::from("dan"))
-                );
+                assert_eq!(items[0].nodes[0].2.get("name"), Some(&Value::from("dan")));
             }
             CypherStatement::Select(_) => panic!("expected create"),
         }

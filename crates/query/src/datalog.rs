@@ -79,10 +79,8 @@ impl Program {
 
     /// Adds a ground fact directly.
     pub fn add_fact(&mut self, pred: impl Into<String>, args: &[&str]) {
-        self.facts.insert((
-            pred.into(),
-            args.iter().map(|s| (*s).to_owned()).collect(),
-        ));
+        self.facts
+            .insert((pred.into(), args.iter().map(|s| (*s).to_owned()).collect()));
     }
 
     /// Imports every triple of `g` as `predicate(subject, object)`.
@@ -107,13 +105,7 @@ impl Program {
                 // Semi-naive: at least one body atom must match a
                 // delta fact; try each position as the delta slot.
                 for delta_slot in 0..rule.body.len() {
-                    derive(
-                        rule,
-                        delta_slot,
-                        &self.facts,
-                        &delta,
-                        &mut fresh,
-                    );
+                    derive(rule, delta_slot, &self.facts, &delta, &mut fresh);
                 }
             }
             fresh.retain(|f| !self.facts.contains(f));
@@ -400,10 +392,8 @@ mod tests {
         g.add(&Term::iri("ben"), &p, &Term::iri("cleo")).unwrap();
         let mut prog = Program::new();
         prog.load_rdf(&g);
-        prog.add_rules(
-            "grandparent(X, Z) :- parent(X, Y), parent(Y, Z).",
-        )
-        .unwrap();
+        prog.add_rules("grandparent(X, Z) :- parent(X, Y), parent(Y, Z).")
+            .unwrap();
         prog.evaluate();
         let rows = prog.query_str("grandparent(X, Y)").unwrap();
         assert_eq!(rows, vec![vec!["ana".to_string(), "cleo".to_string()]]);

@@ -69,7 +69,10 @@ impl ResultSet {
 }
 
 /// Executes `query` against `g`.
-pub fn evaluate_select<G: AttributedView + ?Sized>(g: &G, query: &SelectQuery) -> Result<ResultSet> {
+pub fn evaluate_select<G: AttributedView + ?Sized>(
+    g: &G,
+    query: &SelectQuery,
+) -> Result<ResultSet> {
     query.validate()?;
     // 1. Fixed pattern.
     let mut bindings = match_pattern(g, &query.pattern);
@@ -212,29 +215,29 @@ pub fn evaluate_select<G: AttributedView + ?Sized>(g: &G, query: &SelectQuery) -
                 rows.reverse();
             }
         } else {
-        let keys: Option<Vec<Value>> = if !is_aggregate {
-            // Pair rows with their source binding to evaluate the key.
-            Some(
-                bindings
-                    .iter()
-                    .map(|b| eval_expr(g, b, key_expr))
-                    .collect::<Result<_>>()?,
-            )
-        } else if !query.group_by.is_empty() {
-            // Grouped: keys were computed per group representative
-            // (valid for grouping-key expressions).
-            Some(group_order_keys)
-        } else {
-            None // single aggregate row: nothing to order
-        };
-        if let Some(keys) = keys {
-            let mut paired: Vec<(Value, Vec<Value>)> = keys.into_iter().zip(rows).collect();
-            paired.sort_by(|a, b| a.0.total_cmp(&b.0));
-            if !asc {
-                paired.reverse();
+            let keys: Option<Vec<Value>> = if !is_aggregate {
+                // Pair rows with their source binding to evaluate the key.
+                Some(
+                    bindings
+                        .iter()
+                        .map(|b| eval_expr(g, b, key_expr))
+                        .collect::<Result<_>>()?,
+                )
+            } else if !query.group_by.is_empty() {
+                // Grouped: keys were computed per group representative
+                // (valid for grouping-key expressions).
+                Some(group_order_keys)
+            } else {
+                None // single aggregate row: nothing to order
+            };
+            if let Some(keys) = keys {
+                let mut paired: Vec<(Value, Vec<Value>)> = keys.into_iter().zip(rows).collect();
+                paired.sort_by(|a, b| a.0.total_cmp(&b.0));
+                if !asc {
+                    paired.reverse();
+                }
+                rows = paired.into_iter().map(|(_, r)| r).collect();
             }
-            rows = paired.into_iter().map(|(_, r)| r).collect();
-        }
         }
     }
 
@@ -507,7 +510,8 @@ mod tests {
     fn variable_length_paths() {
         let g = social();
         let mut q = SelectQuery::default();
-        q.pattern.node(PatternNode::var("a").with_prop("name", "ada"));
+        q.pattern
+            .node(PatternNode::var("a").with_prop("name", "ada"));
         q.pattern.node(PatternNode::var("b").with_label("person"));
         q.var_paths.push(crate::ast::VarLengthEdge {
             from: "a".into(),

@@ -332,10 +332,9 @@ mod tests {
 
     #[test]
     fn ddl_vertex_type() {
-        let stmt = parse(
-            "CREATE VERTEX TYPE Person ATTRIBUTES (String name UNIQUE MANDATORY, Int age)",
-        )
-        .unwrap();
+        let stmt =
+            parse("CREATE VERTEX TYPE Person ATTRIBUTES (String name UNIQUE MANDATORY, Int age)")
+                .unwrap();
         match stmt {
             GqlStatement::CreateVertexType { name, attributes } => {
                 assert_eq!(name, "Person");
@@ -352,7 +351,10 @@ mod tests {
         let stmt = parse("CREATE EDGE TYPE knows FROM Person TO Person").unwrap();
         match stmt {
             GqlStatement::CreateEdgeType { name, from, to } => {
-                assert_eq!((name.as_str(), from.as_str(), to.as_str()), ("knows", "Person", "Person"));
+                assert_eq!(
+                    (name.as_str(), from.as_str(), to.as_str()),
+                    ("knows", "Person", "Person")
+                );
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -403,10 +405,8 @@ mod tests {
     #[test]
     fn select_with_filter_and_order() {
         let g = people();
-        let stmt = parse(
-            "FROM Person p SELECT p.name WHERE p.age >= 30 ORDER BY p.age DESC",
-        )
-        .unwrap();
+        let stmt =
+            parse("FROM Person p SELECT p.name WHERE p.age >= 30 ORDER BY p.age DESC").unwrap();
         let GqlStatement::Select(q) = stmt else {
             panic!("expected select");
         };

@@ -124,9 +124,9 @@ pub fn parse(src: &str) -> Result<GsqlStatement> {
             let from = parse_node_id(&mut c)?;
             GsqlStatement::Reachable { from }
         } else {
-            return Err(c.error(
-                "expected NODES, COUNT, SHORTEST, PATHS, or REACHABLE after SELECT",
-            ));
+            return Err(
+                c.error("expected NODES, COUNT, SHORTEST, PATHS, or REACHABLE after SELECT")
+            );
         }
     };
     if !c.at_eof() {
@@ -187,8 +187,14 @@ mod tests {
 
     #[test]
     fn counts() {
-        assert_eq!(parse("SELECT COUNT NODES").unwrap(), GsqlStatement::CountNodes);
-        assert_eq!(parse("SELECT COUNT EDGES").unwrap(), GsqlStatement::CountEdges);
+        assert_eq!(
+            parse("SELECT COUNT NODES").unwrap(),
+            GsqlStatement::CountNodes
+        );
+        assert_eq!(
+            parse("SELECT COUNT EDGES").unwrap(),
+            GsqlStatement::CountEdges
+        );
     }
 
     #[test]

@@ -136,11 +136,7 @@ pub fn tokenize(dialect: &'static str, src: &str, angle_quotes: bool) -> Result<
                         '\\' => text.push('\\'),
                         c2 if c2 == quote => text.push(quote),
                         other => {
-                            return Err(err(
-                                dialect,
-                                format!("unknown escape \\{other}"),
-                                pos - 1,
-                            ))
+                            return Err(err(dialect, format!("unknown escape \\{other}"), pos - 1))
                         }
                     }
                 } else {

@@ -281,9 +281,7 @@ fn check_identity(
         if let Some(&prev) = seen.get(&key) {
             out.push(violation(
                 c,
-                format!(
-                    "nodes {prev} and {n} ({type_name}) share identity {property} = {key}"
-                ),
+                format!("nodes {prev} and {n} ({type_name}) share identity {property} = {key}"),
                 vec![prev, n],
             ));
         } else {

@@ -345,7 +345,11 @@ impl DiskBTree {
         }
         // Prefer merging with the right sibling, then the left; fall
         // back to borrowing; tolerate under-occupancy if nothing fits.
-        let sib_idx = if idx + 1 < children.len() { idx + 1 } else { idx - 1 };
+        let sib_idx = if idx + 1 < children.len() {
+            idx + 1
+        } else {
+            idx - 1
+        };
         let (left_idx, right_idx) = if sib_idx > idx {
             (idx, sib_idx)
         } else {
@@ -580,7 +584,11 @@ impl DiskBTree {
                     }
                 }
                 for (i, &child) in children.iter().enumerate() {
-                    let lo = if i == 0 { lower } else { Some(keys[i - 1].as_slice()) };
+                    let lo = if i == 0 {
+                        lower
+                    } else {
+                        Some(keys[i - 1].as_slice())
+                    };
                     let hi = if i == keys.len() {
                         upper
                     } else {
@@ -629,12 +637,10 @@ impl KvStore for DiskBTree {
     fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
         let leaf = self.find_leaf(key)?;
         match read_node(&mut self.pool, leaf)? {
-            Node::Leaf { entries, .. } => {
-                Ok(entries
-                    .binary_search_by(|(k, _)| k.as_slice().cmp(key))
-                    .ok()
-                    .map(|i| entries[i].1.clone()))
-            }
+            Node::Leaf { entries, .. } => Ok(entries
+                .binary_search_by(|(k, _)| k.as_slice().cmp(key))
+                .ok()
+                .map(|i| entries[i].1.clone())),
             _ => unreachable!("find_leaf returns a leaf"),
         }
     }
@@ -794,7 +800,9 @@ mod tests {
     #[test]
     fn scan_matches_insertion_order() {
         let mut t = tree();
-        let mut keys: Vec<String> = (0..500).map(|i| format!("{:04}", (i * 7919) % 10000)).collect();
+        let mut keys: Vec<String> = (0..500)
+            .map(|i| format!("{:04}", (i * 7919) % 10000))
+            .collect();
         for k in &keys {
             t.put(k.as_bytes(), b"v").unwrap();
         }

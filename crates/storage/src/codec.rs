@@ -262,11 +262,7 @@ fn unescape_bytes(buf: &[u8], pos: &mut usize) -> Result<Vec<u8>> {
         match next {
             0x00 => return Ok(out),
             0xff => out.push(0x00),
-            other => {
-                return Err(GdmError::Storage(format!(
-                    "invalid escape byte {other:#x}"
-                )))
-            }
+            other => return Err(GdmError::Storage(format!("invalid escape byte {other:#x}"))),
         }
     }
 }

@@ -85,12 +85,13 @@ impl HeapFile {
                 self.pool.update_page(p, |page| {
                     init_page(page);
                 })?;
-                self.free_space
-                    .insert(p.raw(), PAGE_SIZE - HEADER);
+                self.free_space.insert(p.raw(), PAGE_SIZE - HEADER);
                 p
             }
         };
-        let slot = self.pool.update_page(pid, |page| insert_record(page, record))?;
+        let slot = self
+            .pool
+            .update_page(pid, |page| insert_record(page, record))?;
         let free = self.pool.with_page(pid, page_free_bytes)?;
         self.free_space.insert(pid.raw(), free);
         Ok(Rid { page: pid, slot })

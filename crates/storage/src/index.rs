@@ -395,7 +395,10 @@ mod tests {
 
     #[test]
     fn hash_and_bitmap_reject_ranges() {
-        assert!(HashIndex::new().range(None, None).unwrap_err().is_unsupported());
+        assert!(HashIndex::new()
+            .range(None, None)
+            .unwrap_err()
+            .is_unsupported());
         assert!(BitmapIndex::new()
             .range(None, None)
             .unwrap_err()

@@ -214,7 +214,11 @@ impl RecordStore {
         let mut prev: Option<u32> = None;
         while cur != NIL {
             let r = self.rels[cur as usize];
-            let next = if r.from == node { r.from_next } else { r.to_next };
+            let next = if r.from == node {
+                r.from_next
+            } else {
+                r.to_next
+            };
             if cur == rel_id {
                 match prev {
                     None => self.nodes[node as usize].first_rel = next,
@@ -354,7 +358,11 @@ impl RecordStore {
                     )));
                 }
                 seen.push(cur);
-                cur = if r.from == node { r.from_next } else { r.to_next };
+                cur = if r.from == node {
+                    r.from_next
+                } else {
+                    r.to_next
+                };
                 hops += 1;
                 if hops > self.rels.len() + 1 {
                     return Err(GdmError::Storage(format!("node {node} chain cycles")));

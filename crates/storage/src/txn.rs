@@ -25,8 +25,19 @@ impl<S: KvStore> UndoKv<S> {
         Self { inner, log: None }
     }
 
-    /// Unwraps the inner store (any open transaction is committed).
+    /// Unwraps the inner store.
+    ///
+    /// Calling this with a transaction still open is a bug: the undo
+    /// log is discarded, so the uncommitted mutations become permanent
+    /// — a *silent commit* the caller never asked for. Debug builds
+    /// assert against it; resolve the transaction with
+    /// [`UndoKv::commit`] or [`UndoKv::rollback`] first.
     pub fn into_inner(self) -> S {
+        debug_assert!(
+            self.log.is_none(),
+            "UndoKv::into_inner called with an open transaction; \
+             commit() or rollback() first"
+        );
         self.inner
     }
 
@@ -171,6 +182,16 @@ mod tests {
         kv.begin().unwrap();
         kv.rollback().unwrap();
         assert_eq!(kv.get(b"a").unwrap(), Some(b"1".to_vec()));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "open transaction")]
+    fn into_inner_rejects_open_transaction() {
+        let mut kv = UndoKv::new(MemKv::new());
+        kv.begin().unwrap();
+        kv.put(b"a", b"1").unwrap();
+        let _ = kv.into_inner(); // would silently commit the put
     }
 
     #[test]

@@ -1,0 +1,41 @@
+//! # gdm-wal
+//!
+//! The durability subsystem: a segmented write-ahead log with group
+//! commit, snapshot checkpoints, crash recovery, and a deterministic
+//! fault-injection backend for testing all of it.
+//!
+//! The paper's graph-database-vs-graph-store split (Section II) turns
+//! on whether a system ships real database machinery — transactions
+//! *and* the recovery that makes them mean something after a crash.
+//! The seed repo had the first half ([`gdm_storage::UndoKv`]); this
+//! crate adds the second:
+//!
+//! * [`record`] — length-prefixed, CRC-checksummed log records,
+//! * [`log`] — segmented append-only log writer with LSNs, rotation,
+//!   and [`SyncPolicy`]-driven group commit,
+//! * [`durable`] — [`DurableKv`], wrapping any [`gdm_storage::KvStore`]
+//!   with log-first journaling, checkpointing, and [`DurableKv::recover`],
+//! * [`fs`] — the narrow filesystem seam ([`WalFs`]/[`WalFile`]) with
+//!   the real-disk implementation [`DiskFs`],
+//! * [`fault`] — [`FaultFs`], an in-memory backend that models power
+//!   loss, lying fsyncs, torn writes, and bit rot, so crash safety is
+//!   tested deterministically at every byte offset.
+//!
+//! The crash-safety contract: after recovery, the store state equals
+//! the result of applying a *prefix* of the committed transaction
+//! history — never a partial transaction, never a reordering, and
+//! under [`SyncPolicy::Always`] the prefix includes every acknowledged
+//! commit. See `DESIGN.md` ("Durability & recovery") for the format
+//! diagrams and invariants.
+
+pub mod durable;
+pub mod fault;
+pub mod fs;
+pub mod log;
+pub mod record;
+
+pub use durable::{DurableKv, RecoveryReport};
+pub use fault::{FaultFile, FaultFs};
+pub use fs::{DiskFile, DiskFs, WalFile, WalFs};
+pub use log::{Lsn, SyncPolicy, Wal, WalOptions};
+pub use record::{crc32, Record};

@@ -1,0 +1,308 @@
+//! The segmented log writer: LSNs, rotation, and group commit.
+//!
+//! The log is a sequence of segment files `wal-<n>.seg` holding framed
+//! records (see [`crate::record`]). Appends accumulate in a memory
+//! buffer; [`Wal::commit`] writes the buffer through and fsyncs
+//! according to the [`SyncPolicy`] — `Batch(n)` is group commit,
+//! amortizing one fsync over `n` transaction commits at the cost of
+//! losing at most the last `n − 1` *acknowledged* commits on power
+//! loss. Rotation happens at commit boundaries only, so a transaction's
+//! records never straddle a segment edge and checkpoint truncation can
+//! drop whole files.
+
+use crate::fs::{WalFile, WalFs};
+use crate::record::Record;
+use gdm_core::Result;
+
+/// Position of a record in the log: segment number plus byte offset of
+/// its frame within the segment. Ordered lexicographically, so LSNs are
+/// totally ordered across the whole log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct Lsn {
+    /// Segment number the record lives in.
+    pub segment: u64,
+    /// Byte offset of the frame within the segment.
+    pub offset: u64,
+}
+
+/// When the log forces appended records to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// Fsync on every commit — the strict durability contract.
+    Always,
+    /// Group commit: fsync once per `n` commits (and on rotation and
+    /// explicit flush). Bounded loss window, much higher throughput.
+    Batch(u32),
+    /// Never fsync automatically; only [`Wal::flush`] syncs. For
+    /// benchmarks isolating fsync cost.
+    Manual,
+}
+
+/// Tuning knobs for the log writer.
+#[derive(Debug, Clone, Copy)]
+pub struct WalOptions {
+    /// Rotate to a new segment once the current one reaches this size.
+    pub segment_bytes: u64,
+    /// Fsync cadence.
+    pub sync: SyncPolicy,
+}
+
+impl Default for WalOptions {
+    fn default() -> Self {
+        WalOptions {
+            segment_bytes: 1 << 20,
+            sync: SyncPolicy::Always,
+        }
+    }
+}
+
+/// File name of segment `n` (zero-padded so lexicographic order is
+/// numeric order).
+pub fn segment_name(n: u64) -> String {
+    format!("wal-{n:010}.seg")
+}
+
+/// Parses a segment file name back to its number.
+pub fn parse_segment_name(name: &str) -> Option<u64> {
+    name.strip_prefix("wal-")?
+        .strip_suffix(".seg")?
+        .parse()
+        .ok()
+}
+
+/// File name of checkpoint `seq`.
+pub fn checkpoint_name(seq: u64) -> String {
+    format!("checkpoint-{seq:010}.ckpt")
+}
+
+/// Parses a checkpoint file name back to its sequence number.
+pub fn parse_checkpoint_name(name: &str) -> Option<u64> {
+    name.strip_prefix("checkpoint-")?
+        .strip_suffix(".ckpt")?
+        .parse()
+        .ok()
+}
+
+/// The append side of the write-ahead log.
+pub struct Wal<F: WalFs> {
+    fs: F,
+    opts: WalOptions,
+    segment: u64,
+    file: F::File,
+    /// Frames encoded but not yet written to the file.
+    buf: Vec<u8>,
+    /// Commits since the last fsync (group-commit counter).
+    unsynced_commits: u32,
+    next_txn: u64,
+}
+
+impl<F: WalFs> Wal<F> {
+    /// Starts a fresh log in `fs` with segment 0.
+    pub fn create(fs: F, opts: WalOptions) -> Result<Self> {
+        let file = fs.create(&segment_name(0))?;
+        Ok(Wal {
+            fs,
+            opts,
+            segment: 0,
+            file,
+            buf: Vec::new(),
+            unsynced_commits: 0,
+            next_txn: 1,
+        })
+    }
+
+    /// Reconstructs the writer at a known tail position — used by
+    /// recovery after it has validated (and possibly truncated) the
+    /// last segment.
+    pub(crate) fn resume(
+        fs: F,
+        opts: WalOptions,
+        segment: u64,
+        file: F::File,
+        next_txn: u64,
+    ) -> Self {
+        Wal {
+            fs,
+            opts,
+            segment,
+            file,
+            buf: Vec::new(),
+            unsynced_commits: 0,
+            next_txn,
+        }
+    }
+
+    /// Allocates a fresh transaction id (> 0; 0 is the autocommit
+    /// stream).
+    pub fn allocate_txn(&mut self) -> u64 {
+        let id = self.next_txn;
+        self.next_txn += 1;
+        id
+    }
+
+    /// Appends a record to the in-memory buffer and returns the LSN it
+    /// will occupy. Nothing reaches the file until [`Wal::commit`] or
+    /// [`Wal::flush`].
+    pub fn append(&mut self, record: &Record) -> Lsn {
+        let lsn = Lsn {
+            segment: self.segment,
+            offset: self.file.len() + self.buf.len() as u64,
+        };
+        record.encode_frame(&mut self.buf);
+        lsn
+    }
+
+    /// Marks a commit boundary: writes buffered frames to the segment
+    /// and fsyncs per the [`SyncPolicy`], then rotates if the segment
+    /// is full.
+    pub fn commit(&mut self) -> Result<()> {
+        self.write_through()?;
+        self.unsynced_commits += 1;
+        let should_sync = match self.opts.sync {
+            SyncPolicy::Always => true,
+            SyncPolicy::Batch(n) => self.unsynced_commits >= n.max(1),
+            SyncPolicy::Manual => false,
+        };
+        if should_sync {
+            self.file.sync()?;
+            self.unsynced_commits = 0;
+        }
+        if self.file.len() >= self.opts.segment_bytes {
+            self.rotate()?;
+        }
+        Ok(())
+    }
+
+    /// Writes and fsyncs everything buffered, unconditionally.
+    pub fn flush(&mut self) -> Result<()> {
+        self.write_through()?;
+        self.file.sync()?;
+        self.unsynced_commits = 0;
+        Ok(())
+    }
+
+    /// Seals the current segment (fsync) and starts the next one.
+    pub fn rotate(&mut self) -> Result<u64> {
+        self.flush()?;
+        self.segment += 1;
+        self.file = self.fs.create(&segment_name(self.segment))?;
+        Ok(self.segment)
+    }
+
+    /// The LSN one past the last appended record.
+    pub fn end_lsn(&self) -> Lsn {
+        Lsn {
+            segment: self.segment,
+            offset: self.file.len() + self.buf.len() as u64,
+        }
+    }
+
+    /// Current segment number.
+    pub fn current_segment(&self) -> u64 {
+        self.segment
+    }
+
+    /// The backing filesystem handle.
+    pub fn fs(&self) -> &F {
+        &self.fs
+    }
+
+    fn write_through(&mut self) -> Result<()> {
+        if !self.buf.is_empty() {
+            self.file.append(&self.buf)?;
+            self.buf.clear();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultFs;
+
+    #[test]
+    fn segment_names_roundtrip_and_sort() {
+        assert_eq!(segment_name(7), "wal-0000000007.seg");
+        assert_eq!(parse_segment_name("wal-0000000007.seg"), Some(7));
+        assert_eq!(parse_segment_name("checkpoint-0000000001.ckpt"), None);
+        assert_eq!(parse_checkpoint_name("checkpoint-0000000001.ckpt"), Some(1));
+        assert!(segment_name(9) < segment_name(10));
+    }
+
+    #[test]
+    fn group_commit_batches_fsyncs() {
+        let fs = FaultFs::new();
+        let mut wal = Wal::create(
+            fs.clone(),
+            WalOptions {
+                segment_bytes: 1 << 20,
+                sync: SyncPolicy::Batch(4),
+            },
+        )
+        .unwrap();
+        for i in 0..8u64 {
+            wal.append(&Record::Put {
+                txn: 0,
+                key: vec![i as u8],
+                value: b"v".to_vec(),
+            });
+            wal.commit().unwrap();
+        }
+        // 8 commits, batch of 4 → exactly 2 fsyncs.
+        assert_eq!(fs.sync_count(), 2);
+    }
+
+    #[test]
+    fn always_policy_syncs_every_commit() {
+        let fs = FaultFs::new();
+        let mut wal = Wal::create(fs.clone(), WalOptions::default()).unwrap();
+        for _ in 0..3 {
+            wal.append(&Record::Commit { txn: 1 });
+            wal.commit().unwrap();
+        }
+        assert_eq!(fs.sync_count(), 3);
+    }
+
+    #[test]
+    fn rotation_starts_new_segment_at_commit_boundary() {
+        let fs = FaultFs::new();
+        let mut wal = Wal::create(
+            fs.clone(),
+            WalOptions {
+                segment_bytes: 32,
+                sync: SyncPolicy::Always,
+            },
+        )
+        .unwrap();
+        for i in 0..4u64 {
+            wal.append(&Record::Put {
+                txn: 0,
+                key: vec![i as u8; 8],
+                value: vec![0; 8],
+            });
+            wal.commit().unwrap();
+        }
+        assert!(wal.current_segment() >= 1);
+        let names = fs.list().unwrap();
+        assert!(names.contains(&segment_name(0)));
+        assert!(names.contains(&segment_name(1)));
+    }
+
+    #[test]
+    fn lsn_tracks_buffer_position() {
+        let fs = FaultFs::new();
+        let mut wal = Wal::create(fs, WalOptions::default()).unwrap();
+        let a = wal.append(&Record::Begin { txn: 1 });
+        let b = wal.append(&Record::Commit { txn: 1 });
+        assert_eq!(
+            a,
+            Lsn {
+                segment: 0,
+                offset: 0
+            }
+        );
+        assert!(b > a);
+        assert_eq!(wal.end_lsn().offset, wal.file.len() + wal.buf.len() as u64);
+    }
+}

@@ -25,12 +25,21 @@ fn main() -> Result<()> {
 
     // Molecules and enzymes as typed atoms.
     let glucose = db.create_node(Some("metabolite"), props! { "name" => "glucose" })?;
-    let g6p = db.create_node(Some("metabolite"), props! { "name" => "glucose-6-phosphate" })?;
-    let f6p = db.create_node(Some("metabolite"), props! { "name" => "fructose-6-phosphate" })?;
+    let g6p = db.create_node(
+        Some("metabolite"),
+        props! { "name" => "glucose-6-phosphate" },
+    )?;
+    let f6p = db.create_node(
+        Some("metabolite"),
+        props! { "name" => "fructose-6-phosphate" },
+    )?;
     let atp = db.create_node(Some("cofactor"), props! { "name" => "ATP" })?;
     let adp = db.create_node(Some("cofactor"), props! { "name" => "ADP" })?;
     let hexokinase = db.create_node(Some("enzyme"), props! { "name" => "hexokinase" })?;
-    let pgi = db.create_node(Some("enzyme"), props! { "name" => "phosphoglucose isomerase" })?;
+    let pgi = db.create_node(
+        Some("enzyme"),
+        props! { "name" => "phosphoglucose isomerase" },
+    )?;
 
     // Reactions as hyperedges: enzyme + substrates + products in one
     // higher-order relation.
@@ -86,10 +95,7 @@ fn main() -> Result<()> {
         property: "name".into(),
     })?;
     let dup = db.create_node(Some("metabolite"), props! { "name" => "glucose" });
-    println!(
-        "\nduplicate metabolite rejected: {}",
-        dup.unwrap_err()
-    );
+    println!("\nduplicate metabolite rejected: {}", dup.unwrap_err());
 
     // Property lookup through a hash index.
     db.create_index("name")?;

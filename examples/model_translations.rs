@@ -35,7 +35,11 @@ fn main() -> Result<()> {
     let back = translate::nested_to_hyper(&nested)?;
     assert_eq!(back.node_count(), h.node_count());
     assert_eq!(back.link_count(), h.link_count());
-    println!("round-trip restored {} nodes and {} links ✓\n", back.node_count(), back.link_count());
+    println!(
+        "round-trip restored {} nodes and {} links ✓\n",
+        back.node_count(),
+        back.link_count()
+    );
 
     // ---- attributed graph → nested graph → attributed graph ---------
     let mut p = PropertyGraph::new();

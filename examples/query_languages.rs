@@ -16,7 +16,12 @@ use graph_db_models::core::{props, Result};
 use graph_db_models::engines::{make_engine, EngineKind};
 
 const PEOPLE: [(&str, i64); 4] = [("ana", 30), ("bob", 45), ("cleo", 27), ("dan", 19)];
-const KNOWS: [(&str, &str); 4] = [("ana", "bob"), ("bob", "cleo"), ("ana", "dan"), ("dan", "cleo")];
+const KNOWS: [(&str, &str); 4] = [
+    ("ana", "bob"),
+    ("bob", "cleo"),
+    ("ana", "dan"),
+    ("dan", "cleo"),
+];
 
 fn main() -> Result<()> {
     let base = std::env::temp_dir().join(format!("gdm-langs-{}", std::process::id()));
@@ -43,7 +48,10 @@ fn main() -> Result<()> {
     }
     let cypher = "MATCH (a:Person {name: 'ana'})-[:knows*1..2]->(b:Person) \
                   WHERE b.age > 25 RETURN b.name ORDER BY b.name";
-    println!("— Cypher —\n{cypher}\n{}", neo.execute_query(cypher)?.to_text());
+    println!(
+        "— Cypher —\n{cypher}\n{}",
+        neo.execute_query(cypher)?.to_text()
+    );
 
     // ---- GQL (Sones' SQL dialect) ------------------------------------
     std::fs::create_dir_all(base.join("sones"))?;
@@ -64,8 +72,10 @@ fn main() -> Result<()> {
     // answers the filter; multi-hop needs the API (the paper's point
     // about expressiveness differences between the dialects).
     let gql = "FROM Person p SELECT p.name WHERE p.age > 25 ORDER BY p.name";
-    println!("— GQL (filter only; paths need the API) —\n{gql}\n{}",
-        sones.execute_query(gql)?.to_text());
+    println!(
+        "— GQL (filter only; paths need the API) —\n{gql}\n{}",
+        sones.execute_query(gql)?.to_text()
+    );
 
     // ---- SPARQL + Datalog (AllegroGraph) ------------------------------
     std::fs::create_dir_all(base.join("allegro"))?;
@@ -77,8 +87,10 @@ fn main() -> Result<()> {
         ag.execute_dml(&format!("ADD <{a}> <knows> <{b}>"))?;
     }
     let sparql = "SELECT DISTINCT ?b WHERE { <ana> <knows> ?m . ?m <knows> ?b . ?b <age> ?a . FILTER(?a > 25) }";
-    println!("— SPARQL (exactly two hops; 1..2 needs a union) —\n{sparql}\n{}",
-        ag.execute_query(sparql)?.to_text());
+    println!(
+        "— SPARQL (exactly two hops; 1..2 needs a union) —\n{sparql}\n{}",
+        ag.execute_query(sparql)?.to_text()
+    );
 
     let rules = "
         reach(X, Y) :- knows(X, Y).

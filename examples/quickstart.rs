@@ -28,7 +28,10 @@ fn main() -> Result<()> {
 
     // 3. The essential queries of the paper's Section IV.
     println!("adjacent(ada, bob)        = {}", db.adjacent(ada, bob)?);
-    println!("k_neighborhood(ada, 2)    = {:?}", db.k_neighborhood(ada, 2)?);
+    println!(
+        "k_neighborhood(ada, 2)    = {:?}",
+        db.k_neighborhood(ada, 2)?
+    );
     println!(
         "shortest_path(ada, cleo)  = {:?}",
         db.shortest_path(ada, cleo)?
@@ -40,14 +43,12 @@ fn main() -> Result<()> {
     );
 
     // 4. The in-development Cypher dialect (the paper's Table V `◦`).
-    let rs = db.execute_query(
-        "MATCH (a:Person)-[:WROTE]->(p:Paper) RETURN a.name ORDER BY a.name",
-    )?;
+    let rs =
+        db.execute_query("MATCH (a:Person)-[:WROTE]->(p:Paper) RETURN a.name ORDER BY a.name")?;
     println!("\nauthors of the paper:\n{}", rs.to_text());
 
-    let rs = db.execute_query(
-        "MATCH (a:Person {name: 'ada'})-[:KNOWS*1..2]->(b:Person) RETURN b.name",
-    )?;
+    let rs =
+        db.execute_query("MATCH (a:Person {name: 'ada'})-[:KNOWS*1..2]->(b:Person) RETURN b.name")?;
     println!("ada's extended circle:\n{}", rs.to_text());
 
     // 5. Durability: persist and reopen.

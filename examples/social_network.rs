@@ -43,21 +43,16 @@ fn main() -> Result<()> {
         "average age: {}",
         dex.summarize(SummaryFunc::PropertyAggregate(Aggregate::Avg, "age"))?
     );
-    println!(
-        "max degree: {}",
-        dex.summarize(SummaryFunc::MaxDegree)?
-    );
-    println!(
-        "triangles: {}",
-        dex.analyze(AnalysisFunc::Triangles)?
-    );
+    println!("max degree: {}", dex.summarize(SummaryFunc::MaxDegree)?);
+    println!("triangles: {}", dex.analyze(AnalysisFunc::Triangles)?);
     println!(
         "connected components: {}",
         dex.analyze(AnalysisFunc::ConnectedComponents)?
     );
     println!(
         "shortest path p0 -> p399: {:?}",
-        dex.shortest_path(nodes[0], nodes[399])?.map(|p| p.len() - 1)
+        dex.shortest_path(nodes[0], nodes[399])?
+            .map(|p| p.len() - 1)
     );
 
     // ---- VertexDB: the same society, simple-graph model ------------

@@ -24,6 +24,7 @@
 //! | [`query`] (`gdm-query`) | Cypher-like, SPARQL-like, GQL and GSQL dialects, Datalog reasoning |
 //! | [`engines`] (`gdm-engines`) | the nine engine emulations behind one [`engines::GraphEngine`] facade |
 //! | [`compare`] (`gdm-compare`) | recorded cells + execution probes + Table I–VIII renderers |
+//! | [`wal`] (`gdm-wal`) | segmented write-ahead log, checkpoints, crash recovery, fault injection |
 //!
 //! ## Quickstart
 //!
@@ -50,6 +51,7 @@ pub use gdm_graphs as graphs;
 pub use gdm_query as query;
 pub use gdm_schema as schema;
 pub use gdm_storage as storage;
+pub use gdm_wal as wal;
 
 /// Paper metadata, for reports.
 pub const PAPER_TITLE: &str = "A Comparison of Current Graph Database Models";

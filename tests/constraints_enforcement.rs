@@ -6,8 +6,8 @@ use graph_db_models::algo::pattern::{Pattern, PatternNode};
 use graph_db_models::core::{props, Value};
 use graph_db_models::engines::{make_engine, EngineKind};
 use graph_db_models::schema::{
-    validate, Cardinality, Constraint, EdgeTypeDef, NodeTypeDef, PatternKind, PropertyType,
-    Schema, ValueType,
+    validate, Cardinality, Constraint, EdgeTypeDef, NodeTypeDef, PatternKind, PropertyType, Schema,
+    ValueType,
 };
 
 fn dir(tag: &str) -> std::path::PathBuf {
@@ -83,9 +83,14 @@ fn infinitegraph_identity_is_enforced_through_attribute_updates() {
         .create_node(Some("device"), props! { "serial" => 200 })
         .unwrap();
     // Updating a's serial to collide with b's must fail and roll back.
-    let err = ig.set_node_attribute(a, "serial", Value::from(200)).unwrap_err();
+    let err = ig
+        .set_node_attribute(a, "serial", Value::from(200))
+        .unwrap_err();
     assert!(err.to_string().contains("identity") || err.to_string().contains("share"));
-    assert_eq!(ig.node_attribute(a, "serial").unwrap(), Some(Value::from(100)));
+    assert_eq!(
+        ig.node_attribute(a, "serial").unwrap(),
+        Some(Value::from(100))
+    );
 }
 
 #[test]
@@ -144,8 +149,14 @@ fn validator_covers_all_six_kinds_on_one_graph() {
     // The standalone validator (usable outside any engine) detects one
     // violation of each Table VI kind on a deliberately broken graph.
     let mut g = graph_db_models::graphs::PropertyGraph::new();
-    let p1 = g.add_node("person", props! { "name" => "ada", "zip" => 1, "city" => "x" });
-    let p2 = g.add_node("person", props! { "name" => "ada", "zip" => 1, "city" => "y" });
+    let p1 = g.add_node(
+        "person",
+        props! { "name" => "ada", "zip" => 1, "city" => "x" },
+    );
+    let p2 = g.add_node(
+        "person",
+        props! { "name" => "ada", "zip" => 1, "city" => "y" },
+    );
     let alien = g.add_node("alien", props! {});
     let c = g.add_node("company", props! {});
     g.add_edge(p1, c, "works_at", props! {}).unwrap();

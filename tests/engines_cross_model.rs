@@ -29,7 +29,11 @@ fn load_all(tag: &str, people: usize) -> Vec<Loaded> {
             std::fs::create_dir_all(&dir).unwrap();
             let mut engine = make_engine(kind, &dir).unwrap();
             let nodes = load_into_engine(engine.as_mut(), &graph).unwrap();
-            Loaded { kind, engine, nodes }
+            Loaded {
+                kind,
+                engine,
+                nodes,
+            }
         })
         .collect()
 }

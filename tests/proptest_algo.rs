@@ -5,10 +5,12 @@
 //! graphs, and the codec's order preservation is checked against the
 //! value ordering.
 
+use graph_db_models::algo::paths::{
+    bidirectional_shortest_path, distance, is_reachable, shortest_path,
+};
 use graph_db_models::algo::pattern::{
     canonical, match_pattern, match_pattern_brute, Pattern, PatternNode,
 };
-use graph_db_models::algo::paths::{bidirectional_shortest_path, distance, is_reachable, shortest_path};
 use graph_db_models::algo::regular::{regular_path_exists, LabelRegex};
 use graph_db_models::core::{GraphView, NodeId, Value};
 use graph_db_models::graphs::SimpleGraph;
@@ -17,8 +19,11 @@ use proptest::prelude::*;
 
 /// A random small directed graph with labels from a 3-letter alphabet.
 fn graph_strategy() -> impl Strategy<Value = (SimpleGraph, usize)> {
-    (2usize..10, prop::collection::vec((0usize..10, 0usize..10, 0u8..3), 0..25)).prop_map(
-        |(n, edges)| {
+    (
+        2usize..10,
+        prop::collection::vec((0usize..10, 0usize..10, 0u8..3), 0..25),
+    )
+        .prop_map(|(n, edges)| {
             let mut g = SimpleGraph::directed();
             let nodes: Vec<NodeId> = (0..n).map(|_| g.add_node()).collect();
             for (a, b, l) in edges {
@@ -27,8 +32,7 @@ fn graph_strategy() -> impl Strategy<Value = (SimpleGraph, usize)> {
                     .expect("nodes exist");
             }
             (g, n)
-        },
-    )
+        })
 }
 
 /// Floyd–Warshall oracle for reachability and distance.

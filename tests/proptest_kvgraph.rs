@@ -104,7 +104,10 @@ fn run_differential(ops: Vec<Op>, mut kv: KvGraph) {
         // Out-adjacency (targets + labels) must match as multisets.
         let mut out_kv: Vec<(u64, Option<String>)> = Vec::new();
         kv.visit_out_edges(*nk, &mut |e| {
-            let pos = nodes_kv.iter().position(|x| *x == e.to).expect("live target");
+            let pos = nodes_kv
+                .iter()
+                .position(|x| *x == e.to)
+                .expect("live target");
             out_kv.push((
                 pos as u64,
                 e.label.and_then(|s| kv.label_text(s)).map(str::to_owned),
@@ -112,10 +115,15 @@ fn run_differential(ops: Vec<Op>, mut kv: KvGraph) {
         });
         let mut out_or: Vec<(u64, Option<String>)> = Vec::new();
         oracle.visit_out_edges(*no, &mut |e| {
-            let pos = nodes_or.iter().position(|x| *x == e.to).expect("live target");
+            let pos = nodes_or
+                .iter()
+                .position(|x| *x == e.to)
+                .expect("live target");
             out_or.push((
                 pos as u64,
-                e.label.and_then(|s| oracle.label_text(s)).map(str::to_owned),
+                e.label
+                    .and_then(|s| oracle.label_text(s))
+                    .map(str::to_owned),
             ));
         });
         out_kv.sort();

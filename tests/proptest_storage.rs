@@ -22,7 +22,10 @@ fn key_strategy() -> impl Strategy<Value = Vec<u8>> {
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (key_strategy(), prop::collection::vec(prop::num::u8::ANY, 0..64))
+        (
+            key_strategy(),
+            prop::collection::vec(prop::num::u8::ANY, 0..64)
+        )
             .prop_map(|(k, v)| Op::Put(k, v)),
         key_strategy().prop_map(Op::Delete),
         key_strategy().prop_map(Op::Get),

@@ -8,12 +8,8 @@ use graph_db_models::graphs::{HyperGraph, PropertyGraph};
 use proptest::prelude::*;
 
 fn props_strategy() -> impl Strategy<Value = PropertyMap> {
-    prop::collection::vec(("[a-z]{1,5}", prop::num::i64::ANY), 0..4).prop_map(|pairs| {
-        pairs
-            .into_iter()
-            .map(|(k, v)| (k, Value::Int(v)))
-            .collect()
-    })
+    prop::collection::vec(("[a-z]{1,5}", prop::num::i64::ANY), 0..4)
+        .prop_map(|pairs| pairs.into_iter().map(|(k, v)| (k, Value::Int(v))).collect())
 }
 
 fn hyper_strategy() -> impl Strategy<Value = HyperGraph> {

@@ -21,10 +21,8 @@ fn cypher_and_gql_agree_on_filters_and_aggregates() {
     // Neo4j via Cypher CREATE.
     let mut neo = make_engine(EngineKind::Neo4j, &dir("neo")).unwrap();
     for (name, age) in PEOPLE {
-        neo.execute_query(&format!(
-            "CREATE (p:Person {{name: '{name}', age: {age}}})"
-        ))
-        .unwrap();
+        neo.execute_query(&format!("CREATE (p:Person {{name: '{name}', age: {age}}})"))
+            .unwrap();
     }
     // Sones via GQL DDL + DML.
     let mut sones = make_engine(EngineKind::Sones, &dir("sones")).unwrap();
@@ -107,7 +105,8 @@ fn datalog_reachability_matches_gsql_reachable() {
     }
     for (a, b) in [(0, 1), (1, 2), (2, 3), (0, 2)] {
         gstore.execute_ddl(&format!("CREATE EDGE {a} {b}")).unwrap();
-        ag.execute_dml(&format!("ADD <n{a}> <next> <n{b}>")).unwrap();
+        ag.execute_dml(&format!("ADD <n{a}> <next> <n{b}>"))
+            .unwrap();
     }
     let rs = gstore.execute_query("SELECT REACHABLE FROM 0").unwrap();
     let gsql_reachable: Vec<i64> = rs
@@ -175,10 +174,8 @@ fn implicit_and_explicit_grouping_agree() {
         .execute_ddl("CREATE VERTEX TYPE Person ATTRIBUTES (String city, Int age)")
         .unwrap();
     for (city, age) in [("scl", 30), ("scl", 40), ("muc", 20), ("muc", 24)] {
-        neo.execute_query(&format!(
-            "CREATE (p:Person {{city: '{city}', age: {age}}})"
-        ))
-        .unwrap();
+        neo.execute_query(&format!("CREATE (p:Person {{city: '{city}', age: {age}}})"))
+            .unwrap();
         sones
             .execute_dml(&format!(
                 "INSERT INTO Person VALUES (city = '{city}', age = {age})"
@@ -218,9 +215,6 @@ fn partial_cypher_refusals_are_loud_and_specific() {
     ] {
         let err = neo.execute_query(q).unwrap_err();
         let msg = err.to_string();
-        assert!(
-            msg.contains("not supported"),
-            "{q}: unexpected error {msg}"
-        );
+        assert!(msg.contains("not supported"), "{q}: unexpected error {msg}");
     }
 }

@@ -50,9 +50,13 @@ fn table_ii_findings() {
         .iter()
         .map(|(r, _)| r.as_str())
         .filter(|r| {
-            ["Data Definition Language", "Data Manipulation Language", "Query Language"]
-                .iter()
-                .all(|c| t.get(r, c) == Some(Support::Full))
+            [
+                "Data Definition Language",
+                "Data Manipulation Language",
+                "Query Language",
+            ]
+            .iter()
+            .all(|c| t.get(r, c) == Some(Support::Full))
         })
         .collect();
     assert_eq!(full_stack, vec!["AllegroGraph", "Sones"]);
@@ -121,8 +125,16 @@ fn table_vi_findings() {
         .count();
     assert_eq!(constrained, 4);
     for (row, _) in &t.rows {
-        assert_eq!(t.get(row, "Functional dependency"), Some(Support::None), "{row}");
-        assert_eq!(t.get(row, "Graph pattern constraints"), Some(Support::None), "{row}");
+        assert_eq!(
+            t.get(row, "Functional dependency"),
+            Some(Support::None),
+            "{row}"
+        );
+        assert_eq!(
+            t.get(row, "Graph pattern constraints"),
+            Some(Support::None),
+            "{row}"
+        );
     }
 }
 
@@ -131,7 +143,11 @@ fn table_vii_findings() {
     let t = build_table_unverified(TableId::VII);
     for (row, _) in &t.rows {
         // Adjacency and summarization answerable everywhere.
-        assert_eq!(t.get(row, "Node/edge adjacency"), Some(Support::Full), "{row}");
+        assert_eq!(
+            t.get(row, "Node/edge adjacency"),
+            Some(Support::Full),
+            "{row}"
+        );
         assert_eq!(t.get(row, "Summarization"), Some(Support::Full), "{row}");
     }
     // Pattern matching through 2012 APIs: only the SPARQL store.

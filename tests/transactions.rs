@@ -27,11 +27,14 @@ const DATABASES: [EngineKind; 6] = [
     EngineKind::Sones,
 ];
 
-const STORES: [EngineKind; 3] = [EngineKind::Filament, EngineKind::GStore, EngineKind::VertexDb];
+const STORES: [EngineKind; 3] = [
+    EngineKind::Filament,
+    EngineKind::GStore,
+    EngineKind::VertexDb,
+];
 
 /// Adaptive node/edge creation (labels where the model has them).
-fn seed(e: &mut dyn GraphEngine) -> (graph_db_models::core::NodeId, graph_db_models::core::NodeId)
-{
+fn seed(e: &mut dyn GraphEngine) -> (graph_db_models::core::NodeId, graph_db_models::core::NodeId) {
     let node = |e: &mut dyn GraphEngine| match e.create_node(Some("t"), props! {}) {
         Ok(n) => n,
         Err(err) if err.is_unsupported() => e.create_node(None, props! {}).unwrap(),
@@ -132,7 +135,8 @@ fn rollback_restores_attributes_and_indexes() {
         .unwrap();
     dex.create_index("city").unwrap();
     dex.begin_transaction().unwrap();
-    dex.set_node_attribute(n, "city", Value::from("muc")).unwrap();
+    dex.set_node_attribute(n, "city", Value::from("muc"))
+        .unwrap();
     dex.rollback_transaction().unwrap();
     assert_eq!(
         dex.node_attribute(n, "city").unwrap(),

@@ -1,0 +1,317 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API surface this workspace's benches use —
+//! [`Criterion`], `benchmark_group`, `bench_function`, `sample_size`,
+//! [`BenchmarkId`], `criterion_group!`, `criterion_main!`, `b.iter` —
+//! with honest wall-clock measurement but none of the real crate's
+//! statistics (no outlier analysis, no HTML reports, no comparison to
+//! saved baselines).
+//!
+//! Mode selection matches how cargo drives bench binaries:
+//! `cargo bench` passes `--bench`, which runs full sampling and prints
+//! a median time per iteration; any other invocation (notably
+//! `cargo test`, which runs `harness = false` benches as tests) runs
+//! each benchmark once as a smoke test so suites stay fast.
+
+use std::time::{Duration, Instant};
+
+/// Measurement mode, decided from the command line.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Mode {
+    /// Full sampling (`--bench` present).
+    Measure,
+    /// One iteration per benchmark (anything else, e.g. `cargo test`).
+    Smoke,
+}
+
+fn detect_mode() -> Mode {
+    if std::env::args().any(|a| a == "--bench") {
+        Mode::Measure
+    } else {
+        Mode::Smoke
+    }
+}
+
+/// An optional substring filter from the CLI (criterion convention:
+/// first free argument filters benchmark names).
+fn detect_filter() -> Option<String> {
+    std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with('-') && a != "--bench" && a != "--test")
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            mode: detect_mode(),
+            filter: detect_filter(),
+            sample_size: 30,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let sample_size = self.sample_size;
+        self.run_one(&id.0, sample_size, &mut f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&self, name: &str, sample_size: usize, f: &mut F) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            mode: self.mode,
+            sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(name);
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Sets the measurement time. Accepted for compatibility; the
+    /// stand-in sizes runs by sample count only.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Declares throughput. Accepted for compatibility; ignored.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.0);
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(&full, sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (prints nothing; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier, optionally parameterized.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Identifier carrying only a parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_owned())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Throughput declaration (accepted, ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Passed to the closure of `bench_function`; `iter` does the timing.
+pub struct Bencher {
+    mode: Mode,
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`. In smoke mode it runs once; in measure mode it
+    /// auto-sizes batches to ~1 ms and records `sample_size` samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::Smoke => {
+                let start = Instant::now();
+                std::hint::black_box(routine());
+                self.samples.push(start.elapsed());
+            }
+            Mode::Measure => {
+                // Warm up and size the batch so one sample ≥ ~1 ms.
+                let mut batch = 1u64;
+                loop {
+                    let start = Instant::now();
+                    for _ in 0..batch {
+                        std::hint::black_box(routine());
+                    }
+                    let elapsed = start.elapsed();
+                    if elapsed >= Duration::from_millis(1) || batch >= 1 << 20 {
+                        break;
+                    }
+                    batch *= 2;
+                }
+                self.samples.clear();
+                for _ in 0..self.sample_size {
+                    let start = Instant::now();
+                    for _ in 0..batch {
+                        std::hint::black_box(routine());
+                    }
+                    self.samples.push(start.elapsed() / batch as u32);
+                }
+            }
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<50} (no measurement — closure never called iter)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        match self.mode {
+            Mode::Smoke => println!("{name:<50} ok (smoke, {median:?})"),
+            Mode::Measure => {
+                let lo = sorted[0];
+                let hi = sorted[sorted.len() - 1];
+                println!(
+                    "{name:<50} median {median:?}  (min {lo:?}, max {hi:?}, n={})",
+                    sorted.len()
+                );
+            }
+        }
+    }
+}
+
+/// Re-export for benches that import it from criterion rather than
+/// `std::hint`.
+pub use std::hint::black_box;
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_each_bench_once() {
+        let mut c = Criterion {
+            mode: Mode::Smoke,
+            filter: None,
+            sample_size: 30,
+        };
+        let mut calls = 0;
+        {
+            let mut group = c.benchmark_group("g");
+            group.bench_function("one", |b| b.iter(|| calls += 1));
+            group.finish();
+        }
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            mode: Mode::Smoke,
+            filter: Some("wanted".into()),
+            sample_size: 30,
+        };
+        let mut ran = false;
+        c.bench_function("other", |b| b.iter(|| ran = true));
+        assert!(!ran);
+        c.bench_function("the_wanted_one", |b| b.iter(|| ran = true));
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("pool", 16).0, "pool/16");
+        assert_eq!(BenchmarkId::from_parameter(7).0, "7");
+    }
+}

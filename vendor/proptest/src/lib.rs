@@ -1,0 +1,814 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build container has no crates.io access, so the workspace
+//! vendors the proptest surface its tests use: the [`Strategy`] trait
+//! with `prop_map` / `prop_recursive` / `boxed`, range and collection
+//! and tuple strategies, regex-subset string strategies, the
+//! `proptest!`, `prop_oneof!`, `prop_assert!`, `prop_assert_eq!`
+//! macros, and [`ProptestConfig`]. Differences from the real crate:
+//!
+//! * **No shrinking** — a failing case reports its generated inputs
+//!   (Debug-formatted) and the case number, but is not minimized.
+//! * **Deterministic seeding** — the RNG seed derives from the test
+//!   name, so failures reproduce exactly on re-run; regression files
+//!   (`.proptest-regressions`) are ignored.
+//! * Integer strategies bias toward boundary values (0, ±1, MIN, MAX)
+//!   more aggressively than the real crate's binary search does.
+
+use std::fmt;
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------
+
+/// SplitMix64 — deterministic per seed; good enough to drive
+/// generation (statistical quality is not load-bearing for tests).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a raw seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: seed ^ 0x9e3779b97f4a7c15,
+        }
+    }
+
+    /// Seeds deterministically from a test name (FNV-1a).
+    pub fn from_name(name: &str) -> Self {
+        let mut h = 0xcbf29ce484222325u64;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        Self::new(h)
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (`n > 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Strategy core
+// ---------------------------------------------------------------------
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value: fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a recursive strategy: `f` receives the strategy for the
+    /// previous depth and returns the next level. Levels 0..=depth are
+    /// sampled uniformly (the real crate sizes probabilistically; the
+    /// two extra parameters are accepted for signature compatibility).
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let mut levels: Vec<(u32, BoxedStrategy<Self::Value>)> = vec![(1, self.boxed())];
+        for _ in 0..depth {
+            let prev = levels.last().expect("nonempty").1.clone();
+            levels.push((1, f(prev).boxed()));
+        }
+        OneOf { choices: levels }.boxed()
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Object-safe view used by [`BoxedStrategy`].
+trait DynStrategy {
+    type Value;
+    fn generate_dyn(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A reference-counted, type-erased strategy.
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T: fmt::Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: fmt::Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted union of strategies — built by `prop_oneof!`.
+pub struct OneOf<T> {
+    choices: Vec<(u32, BoxedStrategy<T>)>,
+}
+
+impl<T> OneOf<T> {
+    /// Builds from `(weight, strategy)` pairs.
+    pub fn new(choices: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!choices.is_empty(), "prop_oneof! needs at least one arm");
+        Self { choices }
+    }
+}
+
+impl<T: fmt::Debug> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let total: u64 = self.choices.iter().map(|(w, _)| u64::from(*w)).sum();
+        let mut pick = rng.below(total.max(1));
+        for (w, s) in &self.choices {
+            let w = u64::from(*w);
+            if pick < w {
+                return s.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weighted pick within total")
+    }
+}
+
+// ---------------------------------------------------------------------
+// Primitive strategies
+// ---------------------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident : $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+/// `&str` as a regex-subset string strategy. Supported syntax: literal
+/// characters, `[a-z0-9_]`-style classes (ranges and single chars),
+/// and quantifiers `{m}`, `{m,n}`, `?`, `*`, `+` — the shapes this
+/// workspace's tests use. Unsupported syntax panics with the pattern.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // One atom: a class or a literal char.
+        let alphabet: Vec<char> = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed `[` in pattern {pattern:?}"))
+                    + i;
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j], chars[j + 2]);
+                        for c in lo..=hi {
+                            set.push(c);
+                        }
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                set
+            }
+            '.' => {
+                i += 1;
+                ('a'..='z').chain('A'..='Z').chain('0'..='9').collect()
+            }
+            '\\' => {
+                let esc = *chars
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("dangling `\\` in pattern {pattern:?}"));
+                i += 2;
+                match esc {
+                    'd' => ('0'..='9').collect(),
+                    'w' => ('a'..='z').chain('0'..='9').chain(['_']).collect(),
+                    c => vec![c],
+                }
+            }
+            '(' | ')' | '|' => panic!(
+                "proptest stand-in: unsupported regex syntax `{}` in {pattern:?}",
+                chars[i]
+            ),
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        // Optional quantifier.
+        let (lo, hi) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unclosed `{{` in pattern {pattern:?}"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse::<usize>().expect("quantifier min"),
+                        n.trim().parse::<usize>().expect("quantifier max"),
+                    ),
+                    None => {
+                        let m = body.trim().parse::<usize>().expect("quantifier");
+                        (m, m)
+                    }
+                }
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        let count = lo + rng.below((hi - lo + 1) as u64) as usize;
+        for _ in 0..count {
+            out.push(alphabet[rng.below(alphabet.len() as u64) as usize]);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// The `prop::` module tree
+// ---------------------------------------------------------------------
+
+/// Mirrors `proptest::prop`: the module tree of canned strategies.
+pub mod prop {
+    /// Boolean strategies.
+    pub mod bool {
+        use crate::{Strategy, TestRng};
+
+        /// Strategy yielding uniform booleans.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// Uniform booleans.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+            fn generate(&self, rng: &mut TestRng) -> bool {
+                rng.next_u64() & 1 == 1
+            }
+        }
+    }
+
+    /// Numeric strategies: `prop::num::<type>::ANY`.
+    pub mod num {
+        macro_rules! num_mod {
+            ($($m:ident : $t:ty),*) => {$(
+                /// Strategies for one primitive type.
+                pub mod $m {
+                    use crate::{Strategy, TestRng};
+
+                    /// Full-range strategy, biased toward boundaries.
+                    #[derive(Debug, Clone, Copy)]
+                    pub struct Any;
+
+                    /// Full range of the type.
+                    pub const ANY: Any = Any;
+
+                    impl Strategy for Any {
+                        type Value = $t;
+                        fn generate(&self, rng: &mut TestRng) -> $t {
+                            // 1 in 8 draws yields a boundary value.
+                            if rng.below(8) == 0 {
+                                let edges = [
+                                    <$t>::MIN,
+                                    <$t>::MAX,
+                                    0 as $t,
+                                    1 as $t,
+                                ];
+                                edges[rng.below(edges.len() as u64) as usize]
+                            } else {
+                                rng.next_u64() as $t
+                            }
+                        }
+                    }
+                }
+            )*};
+        }
+
+        num_mod!(
+            u8: u8, u16: u16, u32: u32, u64: u64, usize: usize,
+            i8: i8, i16: i16, i32: i32, i64: i64, isize: isize
+        );
+
+        /// Strategies for `f64`.
+        pub mod f64 {
+            use crate::{Strategy, TestRng};
+
+            /// Finite `f64`s across magnitudes.
+            #[derive(Debug, Clone, Copy)]
+            pub struct Any;
+
+            /// Finite values only (unlike the real crate, which can
+            /// also yield NaN/inf unless filtered).
+            pub const ANY: Any = Any;
+
+            impl Strategy for Any {
+                type Value = f64;
+                fn generate(&self, rng: &mut TestRng) -> f64 {
+                    let mag = rng.below(40) as i32 - 20;
+                    let unit = rng.unit_f64() * 2.0 - 1.0;
+                    unit * 10f64.powi(mag)
+                }
+            }
+        }
+    }
+
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{SizeRange, Strategy, TestRng};
+        use std::collections::BTreeSet;
+        use std::fmt;
+
+        /// Strategy for `Vec<T>` with a random length.
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        /// `vec(element, len_range)` — random-length vectors.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = self.size.pick(rng);
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// Strategy for `BTreeSet<T>`.
+        pub struct BTreeSetStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        /// `btree_set(element, len_range)` — sets of *up to* the given
+        /// size (duplicates collapse, as in the real crate).
+        pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Ord + fmt::Debug,
+        {
+            BTreeSetStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        impl<S> Strategy for BTreeSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Ord + fmt::Debug,
+        {
+            type Value = BTreeSet<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+                let len = self.size.pick(rng);
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Option strategies.
+    pub mod option {
+        use crate::{Strategy, TestRng};
+
+        /// Strategy yielding `None` a quarter of the time.
+        pub struct OptionStrategy<S>(S);
+
+        /// `of(element)` — `Some(element)` 3/4 of the time.
+        pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+            OptionStrategy(element)
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+                if rng.below(4) == 0 {
+                    None
+                } else {
+                    Some(self.0.generate(rng))
+                }
+            }
+        }
+    }
+}
+
+/// A collection length specification.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    /// Exclusive.
+    hi: usize,
+}
+
+impl SizeRange {
+    fn pick(self, rng: &mut TestRng) -> usize {
+        if self.hi <= self.lo + 1 {
+            self.lo
+        } else {
+            self.lo + rng.below((self.hi - self.lo) as u64) as usize
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end() + 1,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Config and macros
+// ---------------------------------------------------------------------
+
+/// Per-block test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate defaults to 256; 64 keeps offline CI quick
+        // while the explicit `with_cases` blocks are honored exactly.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Failure value for `Result`-style test bodies (`return Ok(())`,
+/// `Err(TestCaseError::fail(..))`). The stand-in reports it by
+/// panicking with the message.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A test-case failure with a reason.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Everything a test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy,
+        Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Defines property tests. Each function runs `config.cases` times
+/// with fresh inputs drawn from the given strategies; a panic reports
+/// the Debug form of the failing inputs (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg(<$crate::ProptestConfig as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__config.cases {
+                    let __vals = ($($crate::Strategy::generate(&$strat, &mut __rng),)+);
+                    let __repr = ::std::format!("{:#?}", __vals);
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(move || {
+                            let ($($pat,)+) = __vals;
+                            // Like the real crate, the body runs inside a
+                            // Result-returning closure so tests may
+                            // `return Ok(())` early or use `?`.
+                            #[allow(unreachable_code, clippy::redundant_closure_call)]
+                            let __ret: ::core::result::Result<(), $crate::TestCaseError> =
+                                (move || {
+                                    $body
+                                    ::core::result::Result::Ok(())
+                                })();
+                            if let ::core::result::Result::Err(__err) = __ret {
+                                ::std::panic!("test case failed: {}", __err);
+                            }
+                        }),
+                    );
+                    if let ::core::result::Result::Err(__panic) = __outcome {
+                        ::std::eprintln!(
+                            "proptest stand-in: case {}/{} of `{}` failed with inputs:\n{}",
+                            __case + 1,
+                            __config.cases,
+                            stringify!($name),
+                            __repr
+                        );
+                        ::std::panic::resume_unwind(__panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Weighted or unweighted union of strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(::std::vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(::std::vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { ::std::assert!($($tt)*) };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { ::std::assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { ::std::assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_collections_generate_in_bounds() {
+        let mut rng = crate::TestRng::new(11);
+        for _ in 0..500 {
+            let v = (3u32..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let vec = prop::collection::vec(0u8..4, 2..5).generate(&mut rng);
+            assert!((2..5).contains(&vec.len()));
+            assert!(vec.iter().all(|&b| b < 4));
+        }
+    }
+
+    #[test]
+    fn string_patterns_match_shape() {
+        let mut rng = crate::TestRng::new(5);
+        for _ in 0..200 {
+            let s = "[a-z]{1,5}".generate(&mut rng);
+            assert!((1..=5).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+            let t = "x\\d{2}".generate(&mut rng);
+            assert_eq!(t.len(), 3);
+            assert!(t.starts_with('x'));
+        }
+    }
+
+    #[test]
+    fn oneof_respects_weights_roughly() {
+        let strat = prop_oneof![9 => Just(true), 1 => Just(false)];
+        let mut rng = crate::TestRng::new(1);
+        let trues = (0..1000).filter(|_| strat.generate(&mut rng)).count();
+        assert!(trues > 700, "expected ~900 trues, got {trues}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn the_macro_runs_with_tuples((a, b) in (0u8..10, 0u8..10), v in prop::collection::vec(0i64..5, 0..4)) {
+            prop_assert!(a < 10 && b < 10);
+            prop_assert!(v.len() < 4);
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        #[allow(dead_code)]
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(ts) => 1 + ts.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let leaf = (0u8..255).prop_map(Tree::Leaf);
+        let strat = leaf.prop_recursive(3, 8, 4, |inner| {
+            prop::collection::vec(inner, 0..3).prop_map(Tree::Node)
+        });
+        let mut rng = crate::TestRng::new(3);
+        for _ in 0..200 {
+            let t = strat.generate(&mut rng);
+            assert!(depth(&t) <= 3);
+        }
+    }
+}

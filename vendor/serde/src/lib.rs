@@ -1,0 +1,396 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container has no crates.io access, so the workspace
+//! vendors the slice of serde it uses: `#[derive(Serialize,
+//! Deserialize)]` on plain structs and enums, consumed by the vendored
+//! `serde_json`. Instead of serde's visitor architecture, values
+//! convert to and from one self-describing [`Content`] tree; the
+//! derive macros (in `serde_derive`) generate those conversions with
+//! serde's standard shapes (externally tagged enums, transparent
+//! newtypes), so swapping the real crates back in would keep the same
+//! JSON on disk.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing value tree — the meeting point between
+/// serializable types and data formats.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`, unit, or `None`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer too large for `i64`.
+    U64(u64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A sequence.
+    Seq(Vec<Content>),
+    /// A map (insertion-ordered; JSON objects).
+    Map(Vec<(Content, Content)>),
+}
+
+impl Content {
+    /// The map entries, when this is a map.
+    pub fn as_map(&self) -> Option<&[(Content, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The sequence elements, when this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) | Content::U64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialization failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// "expected X while deserializing Y" constructor.
+    pub fn expected(what: &str, context: &str) -> Self {
+        DeError(format!("expected {what} while deserializing {context}"))
+    }
+
+    /// Unknown enum variant tag.
+    pub fn unknown_variant(tag: &str, ty: &str) -> Self {
+        DeError(format!("unknown variant `{tag}` for {ty}"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves as a [`Content`] tree.
+pub trait Serialize {
+    /// Converts `self` to content.
+    fn serialize_content(&self) -> Content;
+}
+
+/// Types that can rebuild themselves from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Converts content back to `Self`.
+    fn deserialize_content(c: &Content) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------
+// Helpers the derive macros call
+// ---------------------------------------------------------------------
+
+/// Looks up a struct field by name in a map.
+pub fn field<'a>(map: &'a [(Content, Content)], name: &str) -> Result<&'a Content, DeError> {
+    map.iter()
+        .find(|(k, _)| matches!(k, Content::Str(s) if s == name))
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError(format!("missing field `{name}`")))
+}
+
+/// Splits an externally tagged enum value into `(tag, payload)`.
+pub fn enum_tag(c: &Content) -> Result<(&str, Option<&Content>), DeError> {
+    match c {
+        Content::Str(s) => Ok((s, None)),
+        Content::Map(m) if m.len() == 1 => match &m[0] {
+            (Content::Str(tag), payload) => Ok((tag, Some(payload))),
+            _ => Err(DeError("enum tag must be a string".into())),
+        },
+        other => Err(DeError::expected(
+            "string or single-entry map",
+            other.kind(),
+        )),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Primitive and container impls
+// ---------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn serialize_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other.kind())),
+        }
+    }
+}
+
+macro_rules! signed_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+                let wide: i64 = match c {
+                    Content::I64(i) => *i,
+                    Content::U64(u) => i64::try_from(*u)
+                        .map_err(|_| DeError("integer out of range".into()))?,
+                    other => return Err(DeError::expected("integer", other.kind())),
+                };
+                <$t>::try_from(wide).map_err(|_| DeError("integer out of range".into()))
+            }
+        }
+    )*};
+}
+
+signed_impl!(i8, i16, i32, i64, isize);
+
+macro_rules! unsigned_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                let wide = *self as u64;
+                match i64::try_from(wide) {
+                    Ok(i) => Content::I64(i),
+                    Err(_) => Content::U64(wide),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+                let wide: u64 = match c {
+                    Content::I64(i) => u64::try_from(*i)
+                        .map_err(|_| DeError("negative integer for unsigned".into()))?,
+                    Content::U64(u) => *u,
+                    other => return Err(DeError::expected("integer", other.kind())),
+                };
+                <$t>::try_from(wide).map_err(|_| DeError("integer out of range".into()))
+            }
+        }
+    )*};
+}
+
+unsigned_impl!(u8, u16, u32, u64, usize);
+
+macro_rules! float_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                Content::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+                match c {
+                    Content::F64(f) => Ok(*f as $t),
+                    Content::I64(i) => Ok(*i as $t),
+                    Content::U64(u) => Ok(*u as $t),
+                    other => Err(DeError::expected("number", other.kind())),
+                }
+            }
+        }
+    )*};
+}
+
+float_impl!(f32, f64);
+
+impl Serialize for String {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other.kind())),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::expected("single-char string", other.kind())),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        T::deserialize_content(c).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        c.as_seq()
+            .ok_or_else(|| DeError::expected("sequence", c.kind()))?
+            .iter()
+            .map(T::deserialize_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_content(&self) -> Content {
+        match self {
+            Some(v) => v.serialize_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::deserialize_content(other).map(Some),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (Content::Str(k.clone()), v.serialize_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+        c.as_map()
+            .ok_or_else(|| DeError::expected("map", c.kind()))?
+            .iter()
+            .map(|(k, v)| match k {
+                Content::Str(s) => Ok((s.clone(), V::deserialize_content(v)?)),
+                other => Err(DeError::expected("string key", other.kind())),
+            })
+            .collect()
+    }
+}
+
+macro_rules! tuple_impl {
+    ($(($($t:ident : $idx:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.serialize_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_content(c: &Content) -> Result<Self, DeError> {
+                let seq = c
+                    .as_seq()
+                    .ok_or_else(|| DeError::expected("tuple sequence", c.kind()))?;
+                let expect = [$($idx),+].len();
+                if seq.len() != expect {
+                    return Err(DeError(format!(
+                        "tuple length mismatch: expected {expect}, got {}",
+                        seq.len()
+                    )));
+                }
+                Ok(($($t::deserialize_content(&seq[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_impl! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn containers_round_trip() {
+        let v: Vec<Option<(String, u32)>> = vec![None, Some(("hi".into(), 7))];
+        let c = v.serialize_content();
+        let back = Vec::<Option<(String, u32)>>::deserialize_content(&c).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn map_round_trip() {
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1i64);
+        m.insert("b".to_string(), -2);
+        let back = BTreeMap::<String, i64>::deserialize_content(&m.serialize_content()).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn errors_name_the_mismatch() {
+        let err = String::deserialize_content(&Content::I64(3)).unwrap_err();
+        assert!(err.0.contains("string"));
+    }
+}

@@ -1,0 +1,444 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the vendored serde's `Serialize`/`Deserialize`
+//! traits. `syn`/`quote` are unavailable offline, so the input item is
+//! parsed directly from the `proc_macro` token stream. Supported
+//! shapes — the ones this workspace derives on — are non-generic
+//! structs (named, tuple, unit) and enums with unit/newtype/tuple
+//! variants, in serde's standard representation (externally tagged
+//! enums, transparent newtype structs). Unsupported shapes produce a
+//! `compile_error!` naming the limitation instead of silently wrong
+//! code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What kind of item we are deriving on.
+enum Item {
+    /// `struct S { a: A, b: B }`
+    NamedStruct { name: String, fields: Vec<String> },
+    /// `struct S(A, B);` — arity recorded, names are positional.
+    TupleStruct { name: String, arity: usize },
+    /// `struct S;`
+    UnitStruct { name: String },
+    /// `enum E { Unit, Newtype(A), Tuple(A, B) }`
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    /// Number of unnamed payload fields (0 = unit variant). Named-field
+    /// variants are rejected at parse time.
+    arity: usize,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item).parse().expect("generated code parses"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("error parses"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match ident_at(&tokens, i) {
+        Some(k) if k == "struct" || k == "enum" => k,
+        _ => return Err("serde stand-in: expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    let name = ident_at(&tokens, i).ok_or("serde stand-in: missing item name")?;
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde stand-in: generic type `{name}` is not supported"
+        ));
+    }
+    if kind == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::NamedStruct {
+                    name,
+                    fields: parse_named_fields(g.stream())?,
+                })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+            None => Ok(Item::UnitStruct { name }),
+            _ => Err("serde stand-in: unrecognized struct body".into()),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            }),
+            _ => Err("serde stand-in: enum without a body".into()),
+        }
+    }
+}
+
+/// Skips leading `#[...]` attributes and a `pub` / `pub(...)`
+/// visibility qualifier.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' + [..] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn ident_at(tokens: &[TokenTree], i: usize) -> Option<String> {
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Field names of `{ a: A, b: B }`, skipping types (angle-bracket
+/// aware so `Vec<Option<(A, B)>>` commas don't split fields).
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            _ => return Err("serde stand-in: expected field name".into()),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("serde stand-in: field `{name}` missing `:`")),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(name);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Advances past one type, stopping at a top-level `,`.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle = 0i32;
+    while let Some(tt) = tokens.get(*i) {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+/// Number of fields in a tuple-struct/variant payload `(A, B, C)`.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    for tt in &tokens {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => count += 1,
+            _ => {}
+        }
+    }
+    // A trailing comma `(A,)` counts one too many; detect it.
+    if matches!(tokens.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            _ => return Err("serde stand-in: expected variant name".into()),
+        };
+        i += 1;
+        let arity = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                count_tuple_fields(g.stream())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                return Err(format!(
+                    "serde stand-in: struct-like variant `{name}` is not supported"
+                ));
+            }
+            _ => 0,
+        };
+        // Skip an explicit discriminant `= expr`.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            while i < tokens.len()
+                && !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',')
+            {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, arity });
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::serde::Content::Str({f:?}.to_string()), \
+                         ::serde::Serialize::serialize_content(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                     fn serialize_content(&self) -> ::serde::Content {{\
+                         ::serde::Content::Map(vec![{entries}])\
+                     }}\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\
+                 fn serialize_content(&self) -> ::serde::Content {{\
+                     ::serde::Serialize::serialize_content(&self.0)\
+                 }}\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let elems: String = (0..*arity)
+                .map(|i| format!("::serde::Serialize::serialize_content(&self.{i}),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                     fn serialize_content(&self) -> ::serde::Content {{\
+                         ::serde::Content::Seq(vec![{elems}])\
+                     }}\
+                 }}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\
+                 fn serialize_content(&self) -> ::serde::Content {{\
+                     ::serde::Content::Null\
+                 }}\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match v.arity {
+                        0 => format!(
+                            "{name}::{vname} => ::serde::Content::Str({vname:?}.to_string()),"
+                        ),
+                        1 => format!(
+                            "{name}::{vname}(__f0) => ::serde::Content::Map(vec![\
+                                 (::serde::Content::Str({vname:?}.to_string()),\
+                                  ::serde::Serialize::serialize_content(__f0))]),"
+                        ),
+                        n => {
+                            let binds: Vec<String> = (0..n).map(|i| format!("__f{i}")).collect();
+                            let elems: String = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize_content({b}),"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Content::Map(vec![\
+                                     (::serde::Content::Str({vname:?}.to_string()),\
+                                      ::serde::Content::Seq(vec![{elems}]))]),",
+                                binds.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                     fn serialize_content(&self) -> ::serde::Content {{\
+                         match self {{ {arms} }}\
+                     }}\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize_content(\
+                             ::serde::field(__map, {f:?})?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\
+                     fn deserialize_content(__c: &::serde::Content) \
+                         -> ::core::result::Result<Self, ::serde::DeError> {{\
+                         let __map = __c.as_map().ok_or_else(|| \
+                             ::serde::DeError::expected(\"map\", {name:?}))?;\
+                         ::core::result::Result::Ok({name} {{ {inits} }})\
+                     }}\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\
+                 fn deserialize_content(__c: &::serde::Content) \
+                     -> ::core::result::Result<Self, ::serde::DeError> {{\
+                     ::core::result::Result::Ok({name}(\
+                         ::serde::Deserialize::deserialize_content(__c)?))\
+                 }}\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let elems: String = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::deserialize_content(&__seq[{i}])?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\
+                     fn deserialize_content(__c: &::serde::Content) \
+                         -> ::core::result::Result<Self, ::serde::DeError> {{\
+                         let __seq = __c.as_seq().ok_or_else(|| \
+                             ::serde::DeError::expected(\"sequence\", {name:?}))?;\
+                         if __seq.len() != {arity} {{\
+                             return ::core::result::Result::Err(::serde::DeError::expected(\
+                                 \"{arity}-element sequence\", {name:?}));\
+                         }}\
+                         ::core::result::Result::Ok({name}({elems}))\
+                     }}\
+                 }}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\
+                 fn deserialize_content(_c: &::serde::Content) \
+                     -> ::core::result::Result<Self, ::serde::DeError> {{\
+                     ::core::result::Result::Ok({name})\
+                 }}\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match v.arity {
+                        0 => format!(
+                            "({vname:?}, ::core::option::Option::None) => \
+                                 ::core::result::Result::Ok({name}::{vname}),"
+                        ),
+                        1 => format!(
+                            "({vname:?}, ::core::option::Option::Some(__inner)) => \
+                                 ::core::result::Result::Ok({name}::{vname}(\
+                                     ::serde::Deserialize::deserialize_content(__inner)?)),"
+                        ),
+                        n => {
+                            let elems: String = (0..n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::deserialize_content(&__seq[{i}])?,"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "({vname:?}, ::core::option::Option::Some(__inner)) => {{\
+                                     let __seq = __inner.as_seq().ok_or_else(|| \
+                                         ::serde::DeError::expected(\"sequence\", {name:?}))?;\
+                                     if __seq.len() != {n} {{\
+                                         return ::core::result::Result::Err(\
+                                             ::serde::DeError::expected(\
+                                                 \"{n}-element sequence\", {name:?}));\
+                                     }}\
+                                     ::core::result::Result::Ok({name}::{vname}({elems}))\
+                                 }}"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\
+                     fn deserialize_content(__c: &::serde::Content) \
+                         -> ::core::result::Result<Self, ::serde::DeError> {{\
+                         match ::serde::enum_tag(__c)? {{\
+                             {arms}\
+                             (__tag, _) => ::core::result::Result::Err(\
+                                 ::serde::DeError::unknown_variant(__tag, {name:?})),\
+                         }}\
+                     }}\
+                 }}"
+            )
+        }
+    }
+}
