@@ -1,0 +1,649 @@
+//! A compressed-sparse-row (CSR) snapshot of any [`GraphView`].
+//!
+//! Every essential query in this crate walks the live stores through
+//! dynamic visitor callbacks, paying a hash lookup and a virtual call
+//! per edge hop. [`FrozenGraph`] freezes a point-in-time copy of a
+//! view into four contiguous arrays per direction — offsets, targets,
+//! edge ids, labels — so traversal becomes pointer arithmetic over
+//! dense `u32` indices (DESIGN.md §9).
+//!
+//! The snapshot is built by *recording*: the forward CSR stores, per
+//! node, exactly the sequence [`GraphView::visit_out_edges`] produced,
+//! and the reverse CSR the [`GraphView::visit_in_edges`] sequence.
+//! Replaying a recording is trivially behaviour-equivalent to the
+//! live view — whatever convention a structure uses for self-loops,
+//! parallel edges, or undirected incidence is preserved verbatim, and
+//! every algorithm in this crate returns identical answers on the
+//! frozen graph (`tests/frozen_equiv.rs` proves this by property
+//! testing). Semantics are point-in-time, not transactional: later
+//! mutations of the source are invisible to the snapshot.
+//!
+//! Beyond the plain CSR the snapshot carries three acceleration
+//! structures:
+//!
+//! * **cached degrees** — run lengths read off the offset array in
+//!   O(1), overriding the counting defaults;
+//! * **label-partitioned edge runs** (`run_order`) — a per-node
+//!   permutation of the forward run, stably sorted by label, letting
+//!   [`frozen_regular_path_exists`] step its NFA once per distinct
+//!   label instead of once per edge;
+//! * **a node-label index** (`nodes_with_label`) — the candidate
+//!   prefilter the parallel pattern matcher starts from.
+//!
+//! `FrozenGraph` owns all its data (its own [`Interner`], no borrows),
+//! so it is `Send + Sync` and shareable across the scoped threads of
+//! [`crate::parallel`].
+
+use crate::regular::LabelRegex;
+use gdm_core::{
+    AttributedView, EdgeId, EdgeRef, FxHashMap, FxHashSet, GraphView, Interner, NodeId, Symbol,
+    Value, WeightedView,
+};
+use std::collections::VecDeque;
+
+/// One adjacency direction in compressed-sparse-row form. Node `i`'s
+/// run is positions `offsets[i] .. offsets[i + 1]` of the three
+/// parallel arrays.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Csr {
+    pub(crate) offsets: Vec<u32>,
+    pub(crate) targets: Vec<u32>,
+    pub(crate) edge_ids: Vec<EdgeId>,
+    pub(crate) labels: Vec<Option<Symbol>>,
+}
+
+impl Csr {
+    fn with_nodes(n: usize) -> Self {
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        Self {
+            offsets,
+            targets: Vec::new(),
+            edge_ids: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn range(&self, dense: u32) -> std::ops::Range<usize> {
+        self.offsets[dense as usize] as usize..self.offsets[dense as usize + 1] as usize
+    }
+
+    #[inline]
+    pub(crate) fn degree(&self, dense: u32) -> usize {
+        (self.offsets[dense as usize + 1] - self.offsets[dense as usize]) as usize
+    }
+}
+
+/// An immutable point-in-time CSR snapshot of a graph view. See the
+/// module docs for layout and equivalence guarantees.
+#[derive(Debug, Clone)]
+pub struct FrozenGraph {
+    directed: bool,
+    edge_count: usize,
+    /// Dense position → original node id, in source visit order.
+    nodes: Vec<NodeId>,
+    /// Original node id → dense position.
+    index: FxHashMap<u64, u32>,
+    pub(crate) fwd: Csr,
+    pub(crate) rev: Csr,
+    /// Global permutation of forward-run positions: node `i`'s slice
+    /// `run_order[fwd.range(i)]` lists its forward positions stably
+    /// sorted by label, forming one contiguous run per distinct label.
+    run_order: Vec<u32>,
+    interner: Interner,
+    node_labels: Vec<Option<Symbol>>,
+    node_props: Vec<Vec<(String, Value)>>,
+    edge_props: FxHashMap<u64, Vec<(String, Value)>>,
+    /// Node label → dense positions carrying it, ascending.
+    label_index: FxHashMap<Symbol, Vec<u32>>,
+}
+
+impl FrozenGraph {
+    /// Freezes the structure (nodes, edges, edge labels) of `g`. Node
+    /// labels and properties are not captured — use
+    /// [`FrozenGraph::freeze_attributed`] when the source has them.
+    pub fn freeze<G: GraphView + ?Sized>(g: &G) -> Self {
+        Self::build(g)
+    }
+
+    /// Freezes structure plus node labels and node/edge properties.
+    /// Property capture relies on the source implementing the
+    /// [`AttributedView::visit_node_properties`] /
+    /// [`AttributedView::visit_edge_properties`] enumeration hooks;
+    /// sources keeping the default (non-enumerable) hooks freeze with
+    /// labels but without property values.
+    pub fn freeze_attributed<G: AttributedView + ?Sized>(g: &G) -> Self {
+        let mut fz = Self::build(g);
+        let mut cache: FxHashMap<u32, Option<Symbol>> = FxHashMap::default();
+        for (dense, &n) in fz.nodes.iter().enumerate() {
+            let label = g.node_label(n).and_then(|sym| {
+                *cache
+                    .entry(sym.raw())
+                    .or_insert_with(|| g.label_text(sym).map(|t| fz.interner.intern(t)))
+            });
+            fz.node_labels[dense] = label;
+            if let Some(sym) = label {
+                fz.label_index.entry(sym).or_default().push(dense as u32);
+            }
+            let props = &mut fz.node_props[dense];
+            g.visit_node_properties(n, &mut |k, v| props.push((k.to_owned(), v.clone())));
+        }
+        for &id in fz.fwd.edge_ids.iter().chain(fz.rev.edge_ids.iter()) {
+            fz.edge_props.entry(id.raw()).or_insert_with(|| {
+                let mut props = Vec::new();
+                g.visit_edge_properties(id, &mut |k, v| props.push((k.to_owned(), v.clone())));
+                props
+            });
+        }
+        fz.edge_props.retain(|_, v| !v.is_empty());
+        fz
+    }
+
+    fn build<G: GraphView + ?Sized>(g: &G) -> Self {
+        let mut nodes = Vec::with_capacity(g.node_count());
+        g.visit_nodes(&mut |n| nodes.push(n));
+        let mut index = FxHashMap::default();
+        index.reserve(nodes.len());
+        for (i, n) in nodes.iter().enumerate() {
+            let dense = u32::try_from(i).expect("frozen graph limited to u32 nodes");
+            index.insert(n.raw(), dense);
+        }
+
+        let mut interner = Interner::new();
+        // Source symbol → re-interned symbol, so each label resolves once.
+        let mut relabel: FxHashMap<u32, Option<Symbol>> = FxHashMap::default();
+        let mut fwd = Csr::with_nodes(nodes.len());
+        let mut rev = Csr::with_nodes(nodes.len());
+        for &n in &nodes {
+            for (csr, incoming) in [(&mut fwd, false), (&mut rev, true)] {
+                let mut record = |e: EdgeRef| {
+                    let dense = *index
+                        .get(&e.to.raw())
+                        .expect("edge endpoint not yielded by visit_nodes");
+                    csr.targets.push(dense);
+                    csr.edge_ids.push(e.id);
+                    let label = e.label.and_then(|sym| {
+                        *relabel
+                            .entry(sym.raw())
+                            .or_insert_with(|| g.label_text(sym).map(|t| interner.intern(t)))
+                    });
+                    csr.labels.push(label);
+                };
+                if incoming {
+                    g.visit_in_edges(n, &mut record);
+                } else {
+                    g.visit_out_edges(n, &mut record);
+                }
+                let len = u32::try_from(csr.targets.len()).expect("frozen graph u32 edge limit");
+                csr.offsets.push(len);
+            }
+        }
+
+        // Label-partitioned forward runs: per node, positions stably
+        // sorted by label so equal labels are contiguous.
+        let mut run_order: Vec<u32> = (0..fwd.targets.len() as u32).collect();
+        for i in 0..nodes.len() {
+            let range = fwd.range(i as u32);
+            run_order[range].sort_by_key(|&pos| fwd.labels[pos as usize].map(Symbol::raw));
+        }
+
+        let n = nodes.len();
+        Self {
+            directed: g.is_directed(),
+            edge_count: g.edge_count(),
+            nodes,
+            index,
+            fwd,
+            rev,
+            run_order,
+            interner,
+            node_labels: vec![None; n],
+            node_props: vec![Vec::new(); n],
+            edge_props: FxHashMap::default(),
+            label_index: FxHashMap::default(),
+        }
+    }
+
+    // ---- dense accessors (the parallel executor's fast path) --------
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the snapshot has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Original id of the node at dense position `dense`.
+    #[inline]
+    pub fn node_at(&self, dense: u32) -> NodeId {
+        self.nodes[dense as usize]
+    }
+
+    /// Dense position of original node `n`, if it was frozen.
+    #[inline]
+    pub fn dense_of(&self, n: NodeId) -> Option<u32> {
+        self.index.get(&n.raw()).copied()
+    }
+
+    /// Forward-neighbor dense positions of `dense` (with duplicates
+    /// from parallel edges, exactly as the source visited them).
+    #[inline]
+    pub fn out_targets(&self, dense: u32) -> &[u32] {
+        &self.fwd.targets[self.fwd.range(dense)]
+    }
+
+    /// Reverse-neighbor dense positions of `dense`.
+    #[inline]
+    pub fn in_targets(&self, dense: u32) -> &[u32] {
+        &self.rev.targets[self.rev.range(dense)]
+    }
+
+    /// Cached out-degree (forward run length).
+    #[inline]
+    pub fn out_degree_dense(&self, dense: u32) -> usize {
+        self.fwd.degree(dense)
+    }
+
+    /// Cached in-degree (reverse run length).
+    #[inline]
+    pub fn in_degree_dense(&self, dense: u32) -> usize {
+        self.rev.degree(dense)
+    }
+
+    /// Cached total degree, with the same convention as
+    /// [`GraphView::degree`]: in + out when directed, incident count
+    /// when undirected.
+    #[inline]
+    pub fn degree_dense(&self, dense: u32) -> usize {
+        if self.directed {
+            self.fwd.degree(dense) + self.rev.degree(dense)
+        } else {
+            self.fwd.degree(dense)
+        }
+    }
+
+    /// Unweighted BFS distance over the dense forward arrays — the
+    /// sequential CSR fast path for [`crate::distance`], with which it
+    /// agrees exactly (BFS follows out-edges, which for an undirected
+    /// snapshot already hold both incidences).
+    pub fn frozen_distance(&self, a: NodeId, b: NodeId) -> Option<usize> {
+        let (src, dst) = (self.dense_of(a)?, self.dense_of(b)?);
+        if src == dst {
+            return Some(0);
+        }
+        let mut dist = vec![u32::MAX; self.len()];
+        let mut queue = std::collections::VecDeque::new();
+        dist[src as usize] = 0;
+        queue.push_back(src);
+        while let Some(u) = queue.pop_front() {
+            let next = dist[u as usize] + 1;
+            for &v in self.out_targets(u) {
+                if dist[v as usize] == u32::MAX {
+                    if v == dst {
+                        return Some(next as usize);
+                    }
+                    dist[v as usize] = next;
+                    queue.push_back(v);
+                }
+            }
+        }
+        None
+    }
+
+    /// The snapshot's symbol for label text, if any frozen edge or
+    /// node carries it.
+    pub fn label_symbol(&self, text: &str) -> Option<Symbol> {
+        self.interner.get(text)
+    }
+
+    /// Dense positions of the nodes labelled `sym`, ascending. Empty
+    /// for labels no node carries.
+    pub fn nodes_with_label(&self, sym: Symbol) -> &[u32] {
+        self.label_index.get(&sym).map_or(&[], Vec::as_slice)
+    }
+
+    /// Calls `f` once per label-partitioned forward run of `dense`:
+    /// the run's label and the forward-array positions carrying it.
+    pub(crate) fn for_each_label_run(&self, dense: u32, mut f: impl FnMut(Option<Symbol>, &[u32])) {
+        let slice = &self.run_order[self.fwd.range(dense)];
+        let mut start = 0;
+        while start < slice.len() {
+            let label = self.fwd.labels[slice[start] as usize];
+            let mut end = start + 1;
+            while end < slice.len() && self.fwd.labels[slice[end] as usize] == label {
+                end += 1;
+            }
+            f(label, &slice[start..end]);
+            start = end;
+        }
+    }
+
+    #[inline]
+    pub(crate) fn target_of_pos(&self, pos: u32) -> u32 {
+        self.fwd.targets[pos as usize]
+    }
+}
+
+impl GraphView for FrozenGraph {
+    fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    fn contains_node(&self, n: NodeId) -> bool {
+        self.index.contains_key(&n.raw())
+    }
+
+    fn visit_nodes(&self, f: &mut dyn FnMut(NodeId)) {
+        for &n in &self.nodes {
+            f(n);
+        }
+    }
+
+    fn visit_out_edges(&self, n: NodeId, f: &mut dyn FnMut(EdgeRef)) {
+        let Some(dense) = self.dense_of(n) else {
+            return;
+        };
+        for i in self.fwd.range(dense) {
+            f(EdgeRef {
+                id: self.fwd.edge_ids[i],
+                from: n,
+                to: self.nodes[self.fwd.targets[i] as usize],
+                label: self.fwd.labels[i],
+            });
+        }
+    }
+
+    fn visit_in_edges(&self, n: NodeId, f: &mut dyn FnMut(EdgeRef)) {
+        let Some(dense) = self.dense_of(n) else {
+            return;
+        };
+        for i in self.rev.range(dense) {
+            f(EdgeRef {
+                id: self.rev.edge_ids[i],
+                from: n,
+                to: self.nodes[self.rev.targets[i] as usize],
+                label: self.rev.labels[i],
+            });
+        }
+    }
+
+    fn label_text(&self, sym: Symbol) -> Option<&str> {
+        self.interner.resolve(sym)
+    }
+
+    // O(1) degree overrides reading the cached offset arrays.
+
+    fn out_degree(&self, n: NodeId) -> usize {
+        self.dense_of(n).map_or(0, |d| self.fwd.degree(d))
+    }
+
+    fn in_degree(&self, n: NodeId) -> usize {
+        self.dense_of(n).map_or(0, |d| self.rev.degree(d))
+    }
+
+    fn degree(&self, n: NodeId) -> usize {
+        self.dense_of(n).map_or(0, |d| self.degree_dense(d))
+    }
+}
+
+impl AttributedView for FrozenGraph {
+    fn node_label(&self, n: NodeId) -> Option<Symbol> {
+        self.node_labels[self.dense_of(n)? as usize]
+    }
+
+    fn node_property(&self, n: NodeId, key: &str) -> Option<Value> {
+        let dense = self.dense_of(n)?;
+        self.node_props[dense as usize]
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+    }
+
+    fn edge_property(&self, e: EdgeId, key: &str) -> Option<Value> {
+        self.edge_props
+            .get(&e.raw())?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+    }
+
+    fn visit_node_properties(&self, n: NodeId, f: &mut dyn FnMut(&str, &Value)) {
+        if let Some(dense) = self.dense_of(n) {
+            for (k, v) in &self.node_props[dense as usize] {
+                f(k, v);
+            }
+        }
+    }
+
+    fn visit_edge_properties(&self, e: EdgeId, f: &mut dyn FnMut(&str, &Value)) {
+        if let Some(props) = self.edge_props.get(&e.raw()) {
+            for (k, v) in props {
+                f(k, v);
+            }
+        }
+    }
+}
+
+impl WeightedView for FrozenGraph {
+    /// Same convention as `PropertyGraph`: the `"weight"` property
+    /// when numeric, else 1.0.
+    fn edge_weight(&self, e: &EdgeRef) -> f64 {
+        self.edge_property(e.id, "weight")
+            .and_then(|v| v.as_f64())
+            .unwrap_or(1.0)
+    }
+}
+
+/// Walk-semantics regular path query over the frozen label runs:
+/// result-equivalent to [`crate::regular_path_exists`], but steps the
+/// NFA once per *distinct label* of a node (memoized per state) rather
+/// than once per edge.
+pub fn frozen_regular_path_exists(
+    fz: &FrozenGraph,
+    a: NodeId,
+    b: NodeId,
+    regex: &LabelRegex,
+) -> bool {
+    let (Some(da), Some(db)) = (fz.dense_of(a), fz.dense_of(b)) else {
+        return false;
+    };
+    let start = regex.start_set();
+    if da == db && regex.accepts_set(&start) {
+        return true;
+    }
+    let mut seen: FxHashSet<(u32, usize)> = FxHashSet::default();
+    let mut queue: VecDeque<(u32, usize)> = VecDeque::new();
+    for &s in &start {
+        if seen.insert((da, s)) {
+            queue.push_back((da, s));
+        }
+    }
+    // (state, label) → closed successor set; shared across every node
+    // because stepping depends only on the pair.
+    let mut memo: FxHashMap<(usize, Option<Symbol>), FxHashSet<usize>> = FxHashMap::default();
+    while let Some((node, state)) = queue.pop_front() {
+        fz.for_each_label_run(node, |label, positions| {
+            let next = memo.entry((state, label)).or_insert_with(|| {
+                let mut from = FxHashSet::default();
+                from.insert(state);
+                regex.eps_closure(&mut from);
+                regex.step(&from, label.and_then(|sym| fz.label_text(sym)))
+            });
+            if next.is_empty() {
+                return;
+            }
+            let accepts = regex.accepts_set(next);
+            for &pos in positions {
+                let to = fz.target_of_pos(pos);
+                if to == db && accepts {
+                    // Can't early-return out of the closure; flag via
+                    // sentinel pair that short-circuits below.
+                    seen.insert((u32::MAX, usize::MAX));
+                    return;
+                }
+                for &ns in next.iter() {
+                    if seen.insert((to, ns)) {
+                        queue.push_back((to, ns));
+                    }
+                }
+            }
+        });
+        if seen.contains(&(u32::MAX, usize::MAX)) {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regular_path_exists;
+    use gdm_core::props;
+    use gdm_graphs::{PropertyGraph, SimpleGraph};
+
+    fn labeled_chain() -> (SimpleGraph, Vec<NodeId>) {
+        // 0 -a-> 1 -a-> 2 -b-> 3, shortcut 0 -b-> 3, cycle 1 -a-> 0.
+        let mut g = SimpleGraph::directed();
+        let n: Vec<NodeId> = (0..4).map(|_| g.add_node()).collect();
+        g.add_labeled_edge(n[0], n[1], "a").unwrap();
+        g.add_labeled_edge(n[1], n[2], "a").unwrap();
+        g.add_labeled_edge(n[2], n[3], "b").unwrap();
+        g.add_labeled_edge(n[0], n[3], "b").unwrap();
+        g.add_labeled_edge(n[1], n[0], "a").unwrap();
+        (g, n)
+    }
+
+    #[test]
+    fn freeze_preserves_counts_and_degrees() {
+        let (g, n) = labeled_chain();
+        let fz = FrozenGraph::freeze(&g);
+        assert_eq!(fz.node_count(), g.node_count());
+        assert_eq!(fz.edge_count(), g.edge_count());
+        for &node in &n {
+            assert_eq!(fz.out_degree(node), g.out_degree(node));
+            assert_eq!(fz.in_degree(node), g.in_degree(node));
+            assert_eq!(fz.degree(node), g.degree(node));
+        }
+    }
+
+    #[test]
+    fn freeze_replays_visit_order_and_labels() {
+        let (g, n) = labeled_chain();
+        let fz = FrozenGraph::freeze(&g);
+        for &node in &n {
+            let live: Vec<(u64, u64, Option<String>)> = g
+                .out_edges(node)
+                .into_iter()
+                .map(|e| {
+                    (
+                        e.id.raw(),
+                        e.to.raw(),
+                        e.label.and_then(|s| g.label_text(s)).map(str::to_owned),
+                    )
+                })
+                .collect();
+            let frozen: Vec<(u64, u64, Option<String>)> = fz
+                .out_edges(node)
+                .into_iter()
+                .map(|e| {
+                    (
+                        e.id.raw(),
+                        e.to.raw(),
+                        e.label.and_then(|s| fz.label_text(s)).map(str::to_owned),
+                    )
+                })
+                .collect();
+            assert_eq!(live, frozen);
+        }
+    }
+
+    #[test]
+    fn label_runs_partition_the_forward_run() {
+        let (g, n) = labeled_chain();
+        let fz = FrozenGraph::freeze(&g);
+        let d0 = fz.dense_of(n[0]).unwrap();
+        let mut runs = Vec::new();
+        fz.for_each_label_run(d0, |label, positions| {
+            let text = label.and_then(|s| fz.label_text(s)).map(str::to_owned);
+            runs.push((text, positions.len()));
+        });
+        // Node 0 has one "a" edge and one "b" edge: two runs of one.
+        assert_eq!(runs.len(), 2);
+        assert_eq!(fz.out_degree_dense(d0), 2);
+    }
+
+    #[test]
+    fn frozen_regular_paths_agree_with_live() {
+        let (g, n) = labeled_chain();
+        let fz = FrozenGraph::freeze(&g);
+        for expr in ["a a b", "a b", "a* b", "a a a a b", "b", "(a|b)+", "a*"] {
+            let r = LabelRegex::compile(expr).unwrap();
+            for &from in &n {
+                for &to in &n {
+                    assert_eq!(
+                        regular_path_exists(&g, from, to, &r),
+                        frozen_regular_path_exists(&fz, from, to, &r),
+                        "expr {expr:?} {from} -> {to}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn freeze_attributed_captures_labels_and_props() {
+        let mut g = PropertyGraph::new();
+        let a = g.add_node("person", props! { "age" => 30 });
+        let b = g.add_node("person", props! { "age" => 40 });
+        let e = g
+            .add_edge(a, b, "knows", props! { "since" => 1999 })
+            .unwrap();
+        let fz = FrozenGraph::freeze_attributed(&g);
+        assert_eq!(
+            fz.node_label(a).and_then(|s| fz.label_text(s)),
+            Some("person")
+        );
+        assert_eq!(fz.node_property(b, "age"), Some(Value::from(40)));
+        assert_eq!(fz.edge_property(e, "since"), Some(Value::from(1999)));
+        let sym = fz.label_symbol("person").unwrap();
+        assert_eq!(fz.nodes_with_label(sym).len(), 2);
+    }
+
+    #[test]
+    fn unknown_nodes_are_absent() {
+        let (g, _) = labeled_chain();
+        let fz = FrozenGraph::freeze(&g);
+        let ghost = NodeId(99);
+        assert!(!fz.contains_node(ghost));
+        assert_eq!(fz.degree(ghost), 0);
+        assert!(fz.out_edges(ghost).is_empty());
+    }
+
+    #[test]
+    fn undirected_snapshot_keeps_incidence() {
+        let mut g = SimpleGraph::undirected();
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(a, b).unwrap();
+        g.add_edge(a, a).unwrap(); // self-loop, stored once
+        let fz = FrozenGraph::freeze(&g);
+        assert!(!fz.is_directed());
+        assert_eq!(fz.degree(a), g.degree(a));
+        assert_eq!(fz.degree(b), g.degree(b));
+    }
+}

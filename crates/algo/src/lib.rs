@@ -22,9 +22,17 @@
 //! of the paper's Neo4j description); [`analysis`] adds the analysis
 //! functions Table V probes (connected components, triangle counting,
 //! clustering coefficients).
+//!
+//! For read-heavy workloads, [`frozen`] compiles any view into a
+//! point-in-time CSR snapshot ([`FrozenGraph`]) that answers the same
+//! queries identically but at array speed, and [`parallel`] fans the
+//! expensive ones (diameter, components, triangles, clustering,
+//! pattern matching) out across scoped threads.
 
 pub mod adjacency;
 pub mod analysis;
+pub mod frozen;
+pub mod parallel;
 pub mod paths;
 pub mod pattern;
 pub mod regular;
@@ -32,6 +40,11 @@ pub mod summary;
 pub mod traverse;
 
 pub use adjacency::{edges_adjacent, k_neighborhood, nodes_adjacent};
+pub use frozen::{frozen_regular_path_exists, FrozenGraph};
+pub use parallel::{
+    default_threads, par_average_clustering, par_connected_components, par_degree_stats,
+    par_diameter, par_eccentricities, par_match_pattern, par_triangle_count,
+};
 pub use paths::{
     bidirectional_shortest_path, dijkstra, distance, fixed_length_path_exists, fixed_length_paths,
     is_reachable, shortest_path, Path,

@@ -129,7 +129,7 @@ pub fn match_pattern<G: AttributedView + ?Sized>(g: &G, pattern: &Pattern) -> Ve
     out
 }
 
-fn matching_order(pattern: &Pattern) -> Vec<usize> {
+pub(crate) fn matching_order(pattern: &Pattern) -> Vec<usize> {
     let n = pattern.nodes.len();
     let mut order = Vec::with_capacity(n);
     let mut placed = vec![false; n];
@@ -153,6 +153,30 @@ fn matching_order(pattern: &Pattern) -> Vec<usize> {
         order.push(next);
     }
     order
+}
+
+/// Runs the search with the first pattern node of `order` pinned to
+/// `root`. Replicates exactly the depth-0 iteration body of [`extend`]
+/// (injectivity is vacuous on an empty assignment), so concatenating
+/// the outputs for every root in `node_ids()` order reproduces
+/// [`match_pattern`]'s result list verbatim — which is what the
+/// parallel executor does after partitioning the root candidates.
+pub(crate) fn match_from_root<G: AttributedView + ?Sized>(
+    g: &G,
+    pattern: &Pattern,
+    order: &[usize],
+    root: NodeId,
+    out: &mut Vec<Binding>,
+) {
+    let pv = order[0];
+    if !node_compatible(g, &pattern.nodes[pv], root) {
+        return;
+    }
+    let mut assignment: Vec<Option<NodeId>> = vec![None; pattern.nodes.len()];
+    assignment[pv] = Some(root);
+    if edges_consistent(g, pattern, pv, &assignment) {
+        extend(g, pattern, order, 1, &mut assignment, out);
+    }
 }
 
 fn extend<G: AttributedView + ?Sized>(

@@ -284,7 +284,7 @@ impl LabelRegex {
         }
     }
 
-    fn eps_closure(&self, set: &mut FxHashSet<usize>) {
+    pub(crate) fn eps_closure(&self, set: &mut FxHashSet<usize>) {
         let mut stack: Vec<usize> = set.iter().copied().collect();
         while let Some(s) = stack.pop() {
             for &next in &self.states[s].eps {
@@ -295,7 +295,7 @@ impl LabelRegex {
         }
     }
 
-    fn step(&self, set: &FxHashSet<usize>, label: Option<&str>) -> FxHashSet<usize> {
+    pub(crate) fn step(&self, set: &FxHashSet<usize>, label: Option<&str>) -> FxHashSet<usize> {
         let mut out = FxHashSet::default();
         for &s in set {
             for (trans, next) in &self.states[s].steps {
@@ -312,14 +312,14 @@ impl LabelRegex {
         out
     }
 
-    fn start_set(&self) -> FxHashSet<usize> {
+    pub(crate) fn start_set(&self) -> FxHashSet<usize> {
         let mut set = FxHashSet::default();
         set.insert(self.start);
         self.eps_closure(&mut set);
         set
     }
 
-    fn accepts_set(&self, set: &FxHashSet<usize>) -> bool {
+    pub(crate) fn accepts_set(&self, set: &FxHashSet<usize>) -> bool {
         set.contains(&self.accept)
     }
 

@@ -10,7 +10,7 @@ const N: u32 = 5_000;
 
 fn keys() -> Vec<Vec<u8>> {
     (0..N)
-        .map(|i| format!("key{:08}", i * 2654435761u32 % N).into_bytes())
+        .map(|i| format!("key{:08}", i.wrapping_mul(2654435761) % N).into_bytes())
         .collect()
 }
 

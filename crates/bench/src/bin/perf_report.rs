@@ -10,10 +10,17 @@
 //! ```sh
 //! cargo run --release -p gdm-bench --bin perf_report [-- --people 2000]
 //! ```
+//!
+//! After the per-engine table it measures the CSR snapshot fast path
+//! (live vs frozen vs frozen+parallel) and writes the numbers to a
+//! machine-readable `BENCH_essential.json` (path configurable with
+//! `--json PATH`). `--smoke` shrinks the workload and iteration
+//! counts for a quick CI sanity run.
 
+use gdm_algo::pattern::{Pattern, PatternNode};
 use gdm_bench::{load_into_engine, social_graph, SocialParams};
-use gdm_core::NodeId;
-use gdm_engines::{make_engine, EngineKind, SummaryFunc};
+use gdm_core::{Direction, NodeId};
+use gdm_engines::{make_engine, AnalysisFunc, EngineKind, SummaryFunc};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -27,12 +34,43 @@ fn time_us(mut op: impl FnMut(), iters: u32) -> f64 {
     start.elapsed().as_secs_f64() * 1e6 / f64::from(iters)
 }
 
+/// One live/frozen/parallel comparison row, in ops/s (`None` = the
+/// live engine does not execute this query).
+struct Row {
+    name: &'static str,
+    live_ops_s: Option<f64>,
+    frozen_ops_s: f64,
+    parallel_ops_s: Option<f64>,
+}
+
+fn ops_s(us: f64) -> f64 {
+    1e6 / us
+}
+
+fn json_num(v: Option<f64>) -> String {
+    v.map_or("null".to_owned(), |x| format!("{x:.1}"))
+}
+
 fn main() {
     let mut people = 1000usize;
+    let mut smoke = false;
+    let mut json_path = "BENCH_essential.json".to_owned();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        if arg == "--people" {
-            people = args.next().and_then(|v| v.parse().ok()).unwrap_or(people);
+        match arg.as_str() {
+            "--people" => {
+                people = args.next().and_then(|v| v.parse().ok()).unwrap_or(people);
+            }
+            "--smoke" => {
+                smoke = true;
+                people = 200;
+            }
+            "--json" => {
+                if let Some(p) = args.next() {
+                    json_path = p;
+                }
+            }
+            _ => {}
         }
     }
 
@@ -129,9 +167,214 @@ fn main() {
             order
         );
     }
-    let _ = std::fs::remove_dir_all(&base);
     println!(
         "\n'-' = the 2012 system did not answer this essential query (Table VII);\n\
          compare with [11]'s finding that DEX and Neo4j were the most efficient."
     );
+
+    // ---- CSR snapshot fast path: live vs frozen vs frozen+parallel ----
+    let threads = gdm_algo::default_threads();
+    let (diam_iters, comp_iters) = if smoke { (2u32, 5u32) } else { (3, 20) };
+
+    // Neo4j is the representative live engine for the structural
+    // queries; AllegroGraph is the one engine that executes pattern
+    // matching live. Each is compared against its own snapshot.
+    let dir = base.join("fastpath_neo4j");
+    std::fs::create_dir_all(&dir).expect("dir");
+    let mut engine = make_engine(EngineKind::Neo4j, &dir).expect("engine");
+    let nodes = load_into_engine(engine.as_mut(), &graph).expect("load");
+    let fz = engine.snapshot().expect("snapshot");
+    let e = engine.as_ref();
+
+    let mut rows: Vec<Row> = Vec::new();
+
+    let pair = |i: usize| -> (NodeId, NodeId) {
+        (
+            nodes[i * 7 % nodes.len()],
+            nodes[(i * 13 + 5) % nodes.len()],
+        )
+    };
+    let mut i = 0usize;
+    let live_adj = time_us(
+        || {
+            let (a, b) = pair(i);
+            i = i.wrapping_add(1);
+            black_box(e.adjacent(a, b).expect("universal"));
+        },
+        2000,
+    );
+    let mut i = 0usize;
+    let frozen_adj = time_us(
+        || {
+            let (a, b) = pair(i);
+            i = i.wrapping_add(1);
+            black_box(gdm_algo::nodes_adjacent(&fz, a, b));
+        },
+        2000,
+    );
+    rows.push(Row {
+        name: "adjacency",
+        live_ops_s: Some(ops_s(live_adj)),
+        frozen_ops_s: ops_s(frozen_adj),
+        parallel_ops_s: None,
+    });
+
+    let (sa, sb) = (nodes[3], nodes[nodes.len() - 4]);
+    let live_bfs = time_us(
+        || {
+            black_box(e.shortest_path(sa, sb).expect("supported"));
+        },
+        200,
+    );
+    let frozen_bfs = time_us(
+        || {
+            black_box(fz.frozen_distance(sa, sb));
+        },
+        200,
+    );
+    rows.push(Row {
+        name: "bfs_distance",
+        live_ops_s: Some(ops_s(live_bfs)),
+        frozen_ops_s: ops_s(frozen_bfs),
+        parallel_ops_s: None,
+    });
+
+    let live_diam = time_us(
+        || {
+            black_box(e.summarize(SummaryFunc::Diameter).expect("supported"));
+        },
+        diam_iters,
+    );
+    let frozen_diam = time_us(
+        || {
+            black_box(gdm_algo::par_diameter(&fz, Direction::Both, 1));
+        },
+        diam_iters,
+    );
+    let par_diam = time_us(
+        || {
+            black_box(gdm_algo::par_diameter(&fz, Direction::Both, threads));
+        },
+        diam_iters,
+    );
+    rows.push(Row {
+        name: "diameter",
+        live_ops_s: Some(ops_s(live_diam)),
+        frozen_ops_s: ops_s(frozen_diam),
+        parallel_ops_s: Some(ops_s(par_diam)),
+    });
+
+    let mut pattern = Pattern::new();
+    let x = pattern.node(PatternNode::var("x"));
+    let y = pattern.node(PatternNode::var("y"));
+    let z = pattern.node(PatternNode::var("z"));
+    pattern.edge(x, y, Some("knows")).expect("vars exist");
+    pattern.edge(y, z, Some("knows")).expect("vars exist");
+    {
+        let dir = base.join("fastpath_allegro");
+        std::fs::create_dir_all(&dir).expect("dir");
+        let mut pe = make_engine(EngineKind::Allegro, &dir).expect("engine");
+        load_into_engine(pe.as_mut(), &graph).expect("load");
+        let pfz = pe.snapshot().expect("snapshot");
+        let pe = pe.as_ref();
+        let live_comp = time_us(
+            || {
+                black_box(
+                    pe.analyze(AnalysisFunc::ConnectedComponents)
+                        .expect("supported"),
+                );
+            },
+            comp_iters,
+        );
+        let frozen_comp = time_us(
+            || {
+                black_box(gdm_algo::par_connected_components(&pfz, 1).len());
+            },
+            comp_iters,
+        );
+        let par_comp = time_us(
+            || {
+                black_box(gdm_algo::par_connected_components(&pfz, threads).len());
+            },
+            comp_iters,
+        );
+        rows.push(Row {
+            name: "components",
+            live_ops_s: Some(ops_s(live_comp)),
+            frozen_ops_s: ops_s(frozen_comp),
+            parallel_ops_s: Some(ops_s(par_comp)),
+        });
+        let live_pat = time_us(
+            || {
+                black_box(pe.pattern_match(&pattern).expect("supported"));
+            },
+            comp_iters,
+        );
+        let frozen_pat = time_us(
+            || {
+                black_box(gdm_algo::pattern::match_pattern(&pfz, &pattern).len());
+            },
+            comp_iters,
+        );
+        let par_pat = time_us(
+            || {
+                black_box(gdm_algo::par_match_pattern(&pfz, &pattern, threads).len());
+            },
+            comp_iters,
+        );
+        rows.push(Row {
+            name: "pattern",
+            live_ops_s: Some(ops_s(live_pat)),
+            frozen_ops_s: ops_s(frozen_pat),
+            parallel_ops_s: Some(ops_s(par_pat)),
+        });
+    }
+    println!("\nCSR snapshot fast path ({} threads available):", threads);
+    println!(
+        "{:<14} {:>14} {:>14} {:>14}",
+        "query", "live ops/s", "frozen ops/s", "parallel ops/s"
+    );
+    for r in &rows {
+        println!(
+            "{:<14} {:>14} {:>14} {:>14}",
+            r.name,
+            json_num(r.live_ops_s),
+            json_num(Some(r.frozen_ops_s)),
+            json_num(r.parallel_ops_s),
+        );
+    }
+
+    // ---- machine-readable report --------------------------------------
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"workload\": {{ \"people\": {people}, \"edges\": {}, \"seed\": 2012 }},\n",
+        gdm_core::GraphView::edge_count(&graph)
+    ));
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!(
+        "  \"available_parallelism\": {},\n",
+        gdm_algo::default_threads()
+    ));
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(
+        "  \"note\": \"ops/s, higher is better; parallel rows use all available threads, so \
+         speedup over frozen is bounded by the machine's core count\",\n",
+    );
+    json.push_str("  \"queries\": {\n");
+    for (idx, r) in rows.iter().enumerate() {
+        let comma = if idx + 1 < rows.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    \"{}\": {{ \"live_ops_s\": {}, \"frozen_ops_s\": {}, \"parallel_ops_s\": {} }}{comma}\n",
+            r.name,
+            json_num(r.live_ops_s),
+            json_num(Some(r.frozen_ops_s)),
+            json_num(r.parallel_ops_s),
+        ));
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write(&json_path, json).expect("write json report");
+    println!("\nwrote {json_path}");
+
+    let _ = std::fs::remove_dir_all(&base);
 }

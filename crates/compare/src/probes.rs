@@ -256,6 +256,60 @@ pub fn verify_engine(kind: EngineKind, workdir: &Path) -> Result<Vec<String>> {
         );
     }
 
+    // ---- CSR snapshot fast path (Table V analysis cross-check) --------
+    // Freeze the probe graph and require that the snapshot — serially
+    // and through the parallel executor — reproduces the live engine's
+    // analysis answers exactly. This is how `perf_report` accelerates
+    // Table V's analysis probes, so the agreement is checked here, not
+    // just in gdm-algo's own tests.
+    {
+        let mut e = fresh("snapshot")?;
+        let nodes = build_probe_graph(e.as_mut())?;
+        match e.snapshot() {
+            Ok(fz) => {
+                let push = |m: &mut Vec<String>, what: &str| {
+                    m.push(format!(
+                        "{}: snapshot: frozen {what} disagrees with live answer",
+                        kind.label()
+                    ));
+                };
+                let comps = gdm_algo::analysis::connected_components(&fz).len();
+                if gdm_algo::par_connected_components(&fz, 4).len() != comps {
+                    push(&mut mismatches, "parallel components");
+                }
+                if let Ok(Value::Int(live)) = e.analyze(AnalysisFunc::ConnectedComponents) {
+                    if live != comps as i64 {
+                        push(&mut mismatches, "connected components");
+                    }
+                }
+                let tris = gdm_algo::analysis::triangle_count(&fz);
+                if gdm_algo::par_triangle_count(&fz, 4) != tris {
+                    push(&mut mismatches, "parallel triangles");
+                }
+                if let Ok(Value::Int(live)) = e.analyze(AnalysisFunc::Triangles) {
+                    if live != tris as i64 {
+                        push(&mut mismatches, "triangle count");
+                    }
+                }
+                if let Ok(live) = e.adjacent(nodes[0], nodes[2]) {
+                    if gdm_algo::nodes_adjacent(&fz, nodes[0], nodes[2]) != live {
+                        push(&mut mismatches, "adjacency");
+                    }
+                }
+                if let Ok(live) = e.shortest_path(nodes[0], nodes[3]) {
+                    let frozen = gdm_algo::shortest_path(&fz, nodes[0], nodes[3]);
+                    if frozen.map(|p| p.len()) != live.map(|p| p.len() - 1) {
+                        push(&mut mismatches, "shortest path length");
+                    }
+                }
+            }
+            Err(err) if err.is_unsupported() => {}
+            Err(err) => {
+                mismatches.push(format!("{}: snapshot: probe crashed: {err}", kind.label()))
+            }
+        }
+    }
+
     // ---- Table VI constraint probes ------------------------------------
     {
         let schema = probe_schema();

@@ -184,6 +184,22 @@ pub trait AttributedView: GraphView {
 
     /// Value of an edge property.
     fn edge_property(&self, e: EdgeId, key: &str) -> Option<Value>;
+
+    // ---- optional enumeration -------------------------------------
+
+    /// Visits every property of node `n`. Structures that can enumerate
+    /// their property maps override this so snapshot builders can copy
+    /// attributes without knowing key names; the default visits nothing
+    /// (point lookups via [`AttributedView::node_property`] still work).
+    fn visit_node_properties(&self, n: NodeId, f: &mut dyn FnMut(&str, &Value)) {
+        let _ = (n, f);
+    }
+
+    /// Visits every property of edge `e` (see
+    /// [`AttributedView::visit_node_properties`]).
+    fn visit_edge_properties(&self, e: EdgeId, f: &mut dyn FnMut(&str, &Value)) {
+        let _ = (e, f);
+    }
 }
 
 /// Structures whose edges carry numeric weights, used by the weighted

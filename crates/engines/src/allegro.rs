@@ -345,6 +345,10 @@ impl GraphEngine for AllegroEngine {
         Ok(match_pattern(&self.rdf, pattern).len())
     }
 
+    fn snapshot(&self) -> Result<gdm_algo::FrozenGraph> {
+        Ok(gdm_algo::FrozenGraph::freeze_attributed(&self.rdf))
+    }
+
     fn summarize(&self, func: SummaryFunc) -> Result<Value> {
         Ok(match func {
             SummaryFunc::PropertyAggregate(agg, key) => {

@@ -355,6 +355,10 @@ impl GraphEngine for DexEngine {
         self.unsupported("pattern matching queries")
     }
 
+    fn snapshot(&self) -> Result<gdm_algo::FrozenGraph> {
+        Ok(gdm_algo::FrozenGraph::freeze_attributed(&self.graph))
+    }
+
     fn summarize(&self, func: SummaryFunc) -> Result<Value> {
         Ok(match func {
             SummaryFunc::PropertyAggregate(agg, key) => {

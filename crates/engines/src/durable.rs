@@ -369,12 +369,34 @@ impl LogicalOp {
     }
 }
 
+/// When the durable wrapper writes snapshot checkpoints on its own.
+/// Without automatic checkpoints the journal grows with history and
+/// reopen cost grows with it; the policy keeps replay bounded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointPolicy {
+    /// Checkpoint only when [`DurableEngine::checkpoint`] is called.
+    Manual,
+    /// Checkpoint after every `n` journaled operations, and on clean
+    /// shutdown ([`DurableEngine::close`]). Never fires inside an open
+    /// transaction — the trigger is deferred to the next op after
+    /// commit.
+    EveryOps(u64),
+}
+
+impl Default for CheckpointPolicy {
+    fn default() -> Self {
+        CheckpointPolicy::EveryOps(1024)
+    }
+}
+
 /// A [`GraphEngine`] whose committed mutations survive crashes.
 pub struct DurableEngine<F: WalFs> {
     inner: Box<dyn GraphEngine>,
     kind: EngineKind,
     journal: DurableKv<MemKv, F>,
     next_op: u64,
+    policy: CheckpointPolicy,
+    ops_since_ckpt: u64,
 }
 
 impl<F: WalFs> DurableEngine<F> {
@@ -407,6 +429,8 @@ impl<F: WalFs> DurableEngine<F> {
                 kind,
                 journal,
                 next_op,
+                policy: CheckpointPolicy::default(),
+                ops_since_ckpt: 0,
             },
             report,
         ))
@@ -417,9 +441,46 @@ impl<F: WalFs> DurableEngine<F> {
         self.kind
     }
 
+    /// Replaces the automatic checkpoint policy (builder style).
+    #[must_use]
+    pub fn with_checkpoint_policy(mut self, policy: CheckpointPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
     /// Snapshot-checkpoints the journal and prunes old segments.
     pub fn checkpoint(&mut self) -> Result<()> {
-        self.journal.checkpoint()
+        self.journal.checkpoint()?;
+        self.ops_since_ckpt = 0;
+        Ok(())
+    }
+
+    /// Clean shutdown: flushes the journal and, under an automatic
+    /// policy, writes a final checkpoint so the next open seeds from
+    /// the snapshot instead of replaying history. Dropping the engine
+    /// without calling this models a kill — recovery then replays the
+    /// tail since the last automatic checkpoint.
+    pub fn close(mut self) -> Result<()> {
+        self.journal.flush()?;
+        if matches!(self.policy, CheckpointPolicy::EveryOps(_))
+            && self.ops_since_ckpt > 0
+            && !self.journal.in_transaction()
+        {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Checkpoints if the policy's op budget is spent and no
+    /// transaction is open (a mid-transaction snapshot would capture
+    /// uncommitted state — the journal refuses it).
+    fn maybe_checkpoint(&mut self) -> Result<()> {
+        if let CheckpointPolicy::EveryOps(n) = self.policy {
+            if self.ops_since_ckpt >= n.max(1) && !self.journal.in_transaction() {
+                self.checkpoint()?;
+            }
+        }
+        Ok(())
     }
 
     /// Appends a committed-or-in-transaction logical op to the journal.
@@ -428,7 +489,8 @@ impl<F: WalFs> DurableEngine<F> {
         codec::put_u64(&mut key, self.next_op);
         self.next_op += 1;
         self.journal.put(&key, &op.encode())?;
-        Ok(())
+        self.ops_since_ckpt += 1;
+        self.maybe_checkpoint()
     }
 
     fn unsupported_schema_ddl(&self, feature: &str) -> GdmError {
@@ -609,6 +671,10 @@ impl<F: WalFs> GraphEngine for DurableEngine<F> {
         self.inner.pattern_match(pattern)
     }
 
+    fn snapshot(&self) -> Result<gdm_algo::FrozenGraph> {
+        self.inner.snapshot()
+    }
+
     fn summarize(&self, func: SummaryFunc) -> Result<Value> {
         self.inner.summarize(func)
     }
@@ -623,7 +689,9 @@ impl<F: WalFs> GraphEngine for DurableEngine<F> {
     fn commit_transaction(&mut self) -> Result<()> {
         self.inner.commit_transaction()?;
         // The true durability point: the journal's commit record syncs.
-        self.journal.commit()
+        self.journal.commit()?;
+        // Ops deferred by the open transaction may trip the policy now.
+        self.maybe_checkpoint()
     }
 
     fn rollback_transaction(&mut self) -> Result<()> {
@@ -827,6 +895,83 @@ mod tests {
             .install_constraint(Constraint::ReferentialIntegrity)
             .unwrap_err();
         assert!(err.is_unsupported());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_policy_bounds_replay_to_the_tail() {
+        let fs = FaultFs::new();
+        let dir = scratch("policy");
+        let (eng, _) = DurableEngine::open(EngineKind::Neo4j, &dir, fs.clone(), opts()).unwrap();
+        let mut eng = eng.with_checkpoint_policy(CheckpointPolicy::EveryOps(8));
+        // 19 autocommit ops: checkpoints fire at ops 8 and 16, leaving
+        // a 3-op tail in the journal.
+        for _ in 0..19 {
+            eng.create_node(Some("n"), PropertyMap::new()).unwrap();
+        }
+        drop(eng); // kill without shutdown
+        fs.crash();
+        let (eng2, report) = DurableEngine::open(EngineKind::Neo4j, &dir, fs, opts()).unwrap();
+        assert!(report.used_checkpoint);
+        assert_eq!(report.records_applied, 3);
+        assert_eq!(eng2.node_count(), 19);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_never_fires_inside_a_transaction() {
+        let fs = FaultFs::new();
+        let dir = scratch("policy-txn");
+        let (eng, _) = DurableEngine::open(EngineKind::Neo4j, &dir, fs.clone(), opts()).unwrap();
+        let mut eng = eng.with_checkpoint_policy(CheckpointPolicy::EveryOps(2));
+        eng.begin_transaction().unwrap();
+        for _ in 0..6 {
+            eng.create_node(None, PropertyMap::new()).unwrap();
+        }
+        // The budget is long spent, but the snapshot is deferred until
+        // commit so it can never capture uncommitted state.
+        eng.commit_transaction().unwrap();
+        drop(eng);
+        fs.crash();
+        let (eng2, report) = DurableEngine::open(EngineKind::Neo4j, &dir, fs, opts()).unwrap();
+        assert!(report.used_checkpoint);
+        assert_eq!(report.records_applied, 0);
+        assert_eq!(eng2.node_count(), 6);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clean_shutdown_checkpoints_so_reopen_replays_nothing() {
+        let fs = FaultFs::new();
+        let dir = scratch("shutdown");
+        let (eng, _) = DurableEngine::open(EngineKind::Dex, &dir, fs.clone(), opts()).unwrap();
+        let mut eng = eng.with_checkpoint_policy(CheckpointPolicy::EveryOps(1000));
+        for _ in 0..5 {
+            eng.create_node(Some("t"), PropertyMap::new()).unwrap();
+        }
+        eng.close().unwrap();
+        fs.crash();
+        let (eng2, report) = DurableEngine::open(EngineKind::Dex, &dir, fs, opts()).unwrap();
+        assert!(report.used_checkpoint);
+        assert_eq!(report.records_applied, 0);
+        assert_eq!(eng2.node_count(), 5);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manual_policy_leaves_the_journal_alone() {
+        let fs = FaultFs::new();
+        let dir = scratch("manual");
+        let (eng, _) = DurableEngine::open(EngineKind::Neo4j, &dir, fs.clone(), opts()).unwrap();
+        let mut eng = eng.with_checkpoint_policy(CheckpointPolicy::Manual);
+        for _ in 0..12 {
+            eng.create_node(None, PropertyMap::new()).unwrap();
+        }
+        drop(eng);
+        fs.crash();
+        let (_, report) = DurableEngine::open(EngineKind::Neo4j, &dir, fs, opts()).unwrap();
+        assert!(!report.used_checkpoint);
+        assert_eq!(report.records_applied, 12);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

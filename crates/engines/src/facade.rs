@@ -185,6 +185,18 @@ pub trait GraphEngine {
     /// A structural summarization function.
     fn summarize(&self, func: SummaryFunc) -> Result<Value>;
 
+    /// Freezes the engine's current graph into a point-in-time CSR
+    /// snapshot ([`gdm_algo::FrozenGraph`]) that answers every
+    /// essential query identically but at array speed, and that the
+    /// parallel executor ([`gdm_algo::parallel`]) can fan out over.
+    /// Later mutations of the engine are invisible to the snapshot.
+    fn snapshot(&self) -> Result<gdm_algo::FrozenGraph> {
+        Err(gdm_core::GdmError::unsupported(
+            self.name(),
+            "snapshot".to_owned(),
+        ))
+    }
+
     // ---- transactions (the paper's database-vs-store split) ----------
     //
     // Section II: "We assume that a graph database must provide most of

@@ -556,6 +556,10 @@ impl GraphEngine for GStoreEngine {
         self.unsupported("pattern matching queries")
     }
 
+    fn snapshot(&self) -> Result<gdm_algo::FrozenGraph> {
+        Ok(gdm_algo::FrozenGraph::freeze(self))
+    }
+
     fn summarize(&self, func: SummaryFunc) -> Result<Value> {
         summarize_simple(self, func, NAME)
     }

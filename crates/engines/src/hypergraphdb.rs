@@ -304,6 +304,12 @@ impl GraphEngine for HyperGraphDbEngine {
         self.unsupported("pattern matching queries")
     }
 
+    fn snapshot(&self) -> Result<gdm_algo::FrozenGraph> {
+        Ok(gdm_algo::FrozenGraph::freeze_attributed(
+            &self.atoms.two_section(),
+        ))
+    }
+
     fn summarize(&self, func: SummaryFunc) -> Result<Value> {
         let view = self.atoms.two_section();
         Ok(match func {

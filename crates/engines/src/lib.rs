@@ -41,7 +41,7 @@ pub mod sones;
 
 pub mod vertexdb;
 
-pub use durable::{make_engine_durable, DurableEngine, LogicalOp};
+pub use durable::{make_engine_durable, CheckpointPolicy, DurableEngine, LogicalOp};
 pub use facade::{
     all_engines, make_engine, AnalysisFunc, EngineDescriptor, EngineKind, GraphEngine, SummaryFunc,
 };

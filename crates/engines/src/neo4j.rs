@@ -85,8 +85,12 @@ impl GraphView for RecordView<'_> {
     }
 
     fn visit_in_edges(&self, n: NodeId, f: &mut dyn FnMut(EdgeRef)) {
+        // Self-loops are both an out- and an in-edge of their node (the
+        // chain holds them once, so they are visited exactly once per
+        // direction); excluding them here would make `degree` undercount
+        // and backward traversals disagree with every other view.
         self.store.visit_rels(n.raw() as u32, &mut |rel| {
-            if u64::from(rel.to) == n.raw() && rel.from != rel.to {
+            if u64::from(rel.to) == n.raw() {
                 f(EdgeRef {
                     id: EdgeId(u64::from(rel.id)),
                     from: n,
@@ -362,6 +366,10 @@ impl GraphEngine for Neo4jEngine {
         // pattern matching through its API; the in-development Cypher
         // covers single patterns via execute_query instead.
         self.unsupported("pattern matching through the API")
+    }
+
+    fn snapshot(&self) -> Result<gdm_algo::FrozenGraph> {
+        Ok(gdm_algo::FrozenGraph::freeze_attributed(&self.view()))
     }
 
     fn summarize(&self, func: SummaryFunc) -> Result<Value> {

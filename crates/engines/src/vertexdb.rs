@@ -186,6 +186,10 @@ impl GraphEngine for VertexDbEngine {
         self.unsupported("pattern matching queries")
     }
 
+    fn snapshot(&self) -> Result<gdm_algo::FrozenGraph> {
+        Ok(gdm_algo::FrozenGraph::freeze(&self.graph))
+    }
+
     fn summarize(&self, func: SummaryFunc) -> Result<Value> {
         summarize_simple(&self.graph, func, NAME)
     }

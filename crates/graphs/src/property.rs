@@ -413,6 +413,22 @@ impl AttributedView for PropertyGraph {
     fn edge_property(&self, e: EdgeId, key: &str) -> Option<Value> {
         self.edges.get(e.index())?.as_ref()?.props.get(key).cloned()
     }
+
+    fn visit_node_properties(&self, n: NodeId, f: &mut dyn FnMut(&str, &Value)) {
+        if let Some(Some(data)) = self.nodes.get(n.index()) {
+            for (k, v) in &data.props {
+                f(k, v);
+            }
+        }
+    }
+
+    fn visit_edge_properties(&self, e: EdgeId, f: &mut dyn FnMut(&str, &Value)) {
+        if let Some(Some(data)) = self.edges.get(e.index()) {
+            for (k, v) in &data.props {
+                f(k, v);
+            }
+        }
+    }
 }
 
 impl WeightedView for PropertyGraph {

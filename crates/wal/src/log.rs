@@ -3,10 +3,12 @@
 //! The log is a sequence of segment files `wal-<n>.seg` holding framed
 //! records (see [`crate::record`]). Appends accumulate in a memory
 //! buffer; [`Wal::commit`] writes the buffer through and fsyncs
-//! according to the [`SyncPolicy`] — `Batch(n)` is group commit,
-//! amortizing one fsync over `n` transaction commits at the cost of
-//! losing at most the last `n − 1` *acknowledged* commits on power
-//! loss. Rotation happens at commit boundaries only, so a transaction's
+//! according to the [`SyncPolicy`] — `Batch` is group commit,
+//! amortizing one fsync over `commits` transaction commits at the cost
+//! of losing at most the last `commits − 1` *acknowledged* commits on
+//! power loss, with a `window_ms` deadline bounding how long a light
+//! trickle of commits can sit unsynced.
+//! Rotation happens at commit boundaries only, so a transaction's
 //! records never straddle a segment edge and checkpoint truncation can
 //! drop whole files.
 
@@ -30,12 +32,36 @@ pub struct Lsn {
 pub enum SyncPolicy {
     /// Fsync on every commit — the strict durability contract.
     Always,
-    /// Group commit: fsync once per `n` commits (and on rotation and
-    /// explicit flush). Bounded loss window, much higher throughput.
-    Batch(u32),
+    /// Group commit: fsync once per `commits` commits **or** once the
+    /// oldest unsynced commit is `window_ms` old, whichever comes
+    /// first (plus on rotation and explicit flush). The count
+    /// amortizes fsyncs under heavy load; the window bounds commit
+    /// latency under light load, where a trickle of commits would
+    /// otherwise sit unsynced until the batch fills. The deadline is
+    /// checked at commit boundaries (there is no background timer), so
+    /// the bound holds while commits keep arriving; a truly idle log
+    /// syncs on the next commit or [`Wal::flush`].
+    Batch {
+        /// Fsync after this many unsynced commits.
+        commits: u32,
+        /// ... or once the first unsynced commit is this many
+        /// milliseconds old. `0` degenerates to `Always`; `u64::MAX`
+        /// is count-only group commit (see [`SyncPolicy::batch`]).
+        window_ms: u64,
+    },
     /// Never fsync automatically; only [`Wal::flush`] syncs. For
     /// benchmarks isolating fsync cost.
     Manual,
+}
+
+impl SyncPolicy {
+    /// Count-only group commit: fsync every `n` commits, no time bound.
+    pub fn batch(n: u32) -> Self {
+        SyncPolicy::Batch {
+            commits: n,
+            window_ms: u64::MAX,
+        }
+    }
 }
 
 /// Tuning knobs for the log writer.
@@ -93,6 +119,9 @@ pub struct Wal<F: WalFs> {
     buf: Vec<u8>,
     /// Commits since the last fsync (group-commit counter).
     unsynced_commits: u32,
+    /// When the oldest unsynced commit happened — drives the
+    /// time-window half of [`SyncPolicy::Batch`].
+    first_unsynced: Option<std::time::Instant>,
     next_txn: u64,
 }
 
@@ -107,6 +136,7 @@ impl<F: WalFs> Wal<F> {
             file,
             buf: Vec::new(),
             unsynced_commits: 0,
+            first_unsynced: None,
             next_txn: 1,
         })
     }
@@ -128,6 +158,7 @@ impl<F: WalFs> Wal<F> {
             file,
             buf: Vec::new(),
             unsynced_commits: 0,
+            first_unsynced: None,
             next_txn,
         }
     }
@@ -158,14 +189,21 @@ impl<F: WalFs> Wal<F> {
     pub fn commit(&mut self) -> Result<()> {
         self.write_through()?;
         self.unsynced_commits += 1;
+        let first = *self
+            .first_unsynced
+            .get_or_insert_with(std::time::Instant::now);
         let should_sync = match self.opts.sync {
             SyncPolicy::Always => true,
-            SyncPolicy::Batch(n) => self.unsynced_commits >= n.max(1),
+            SyncPolicy::Batch { commits, window_ms } => {
+                self.unsynced_commits >= commits.max(1)
+                    || first.elapsed().as_millis() >= u128::from(window_ms)
+            }
             SyncPolicy::Manual => false,
         };
         if should_sync {
             self.file.sync()?;
             self.unsynced_commits = 0;
+            self.first_unsynced = None;
         }
         if self.file.len() >= self.opts.segment_bytes {
             self.rotate()?;
@@ -178,6 +216,7 @@ impl<F: WalFs> Wal<F> {
         self.write_through()?;
         self.file.sync()?;
         self.unsynced_commits = 0;
+        self.first_unsynced = None;
         Ok(())
     }
 
@@ -237,7 +276,7 @@ mod tests {
             fs.clone(),
             WalOptions {
                 segment_bytes: 1 << 20,
-                sync: SyncPolicy::Batch(4),
+                sync: SyncPolicy::batch(4),
             },
         )
         .unwrap();
@@ -251,6 +290,67 @@ mod tests {
         }
         // 8 commits, batch of 4 → exactly 2 fsyncs.
         assert_eq!(fs.sync_count(), 2);
+    }
+
+    #[test]
+    fn zero_window_degenerates_to_always() {
+        let fs = FaultFs::new();
+        let mut wal = Wal::create(
+            fs.clone(),
+            WalOptions {
+                segment_bytes: 1 << 20,
+                sync: SyncPolicy::Batch {
+                    commits: 1000,
+                    window_ms: 0,
+                },
+            },
+        )
+        .unwrap();
+        for i in 0..5u64 {
+            wal.append(&Record::Put {
+                txn: 0,
+                key: vec![i as u8],
+                value: b"v".to_vec(),
+            });
+            wal.commit().unwrap();
+        }
+        // The batch size never fills, but an expired (zero) window
+        // forces a sync on every commit.
+        assert_eq!(fs.sync_count(), 5);
+    }
+
+    #[test]
+    fn batch_window_syncs_stale_group_under_light_load() {
+        let fs = FaultFs::new();
+        let mut wal = Wal::create(
+            fs.clone(),
+            WalOptions {
+                segment_bytes: 1 << 20,
+                sync: SyncPolicy::Batch {
+                    commits: 1000,
+                    window_ms: 5,
+                },
+            },
+        )
+        .unwrap();
+        wal.append(&Record::Put {
+            txn: 0,
+            key: b"a".to_vec(),
+            value: b"v".to_vec(),
+        });
+        wal.commit().unwrap();
+        // One commit, batch far from full, window not yet expired.
+        assert_eq!(fs.sync_count(), 0);
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        wal.append(&Record::Put {
+            txn: 0,
+            key: b"b".to_vec(),
+            value: b"v".to_vec(),
+        });
+        wal.commit().unwrap();
+        // The second commit finds the group older than the window and
+        // syncs both.
+        assert_eq!(fs.sync_count(), 1);
     }
 
     #[test]

@@ -281,7 +281,7 @@ fn group_commit_crash_loses_only_a_suffix() {
     let fs = FaultFs::new();
     let batched = WalOptions {
         segment_bytes: 1 << 20,
-        sync: SyncPolicy::Batch(8),
+        sync: SyncPolicy::batch(8),
     };
     let mut kv = DurableKv::create(fs.clone(), batched, MemKv::new()).unwrap();
     for i in 0..20u8 {
