@@ -436,6 +436,42 @@ impl AttributedView for FrozenGraph {
             }
         }
     }
+
+    /// Seeds from the frozen label index when a label constraint is
+    /// present (property constraints post-filtered over that run);
+    /// label-less requests scan, same as the default.
+    fn candidates(&self, label: Option<&str>, props: &[(String, Value)]) -> Vec<NodeId> {
+        let pool: Vec<NodeId> = match label {
+            Some(want) => match self.label_symbol(want) {
+                None => return Vec::new(),
+                Some(sym) => self
+                    .nodes_with_label(sym)
+                    .iter()
+                    .map(|&d| self.nodes[d as usize])
+                    .collect(),
+            },
+            None => self.nodes.clone(),
+        };
+        pool.into_iter()
+            .filter(|&n| {
+                props.iter().all(|(key, want)| {
+                    self.node_property(n, key)
+                        .is_some_and(|got| got.loose_eq(want))
+                })
+            })
+            .collect()
+    }
+
+    /// The label run length bounds the candidate count; the snapshot
+    /// carries no property value index, so label-less constraints
+    /// still require a scan.
+    fn candidate_estimate(&self, label: Option<&str>, props: &[(String, Value)]) -> Option<usize> {
+        let _ = props;
+        label.map(|want| {
+            self.label_symbol(want)
+                .map_or(0, |sym| self.nodes_with_label(sym).len())
+        })
+    }
 }
 
 impl WeightedView for FrozenGraph {

@@ -35,6 +35,7 @@ pub mod frozen;
 pub mod parallel;
 pub mod paths;
 pub mod pattern;
+pub mod planned;
 pub mod regular;
 pub mod summary;
 pub mod traverse;
@@ -50,6 +51,10 @@ pub use paths::{
     is_reachable, shortest_path, Path,
 };
 pub use pattern::{match_pattern, Pattern, PatternEdge, PatternNode};
+pub use planned::{
+    auto_domains, domain_estimates, match_pattern_auto, match_pattern_planned, planned_order,
+    Domains, MatchTable,
+};
 pub use regular::{regular_path_exists, regular_simple_paths, LabelRegex};
 pub use summary::{aggregate, degree_stats, diameter, graph_order, graph_size, Aggregate};
 pub use traverse::{bfs_order, dfs_order, Traversal};

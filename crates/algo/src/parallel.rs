@@ -382,12 +382,21 @@ pub fn par_degree_stats(fz: &FrozenGraph, threads: usize) -> Option<(usize, usiz
 // Pattern matching
 // ---------------------------------------------------------------------
 
+/// Minimum number of root candidates before fanning a pattern search
+/// out across threads. Below this, spawn + join costs more than the
+/// rooted searches themselves, so the executor runs them inline.
+const PAR_PATTERN_MIN_ROOTS: usize = 64;
+
 /// Subgraph matching with candidate-set prefiltering: the first
 /// pattern node's candidates are narrowed by the node-label index and
 /// a degree lower bound before the rooted searches are fanned out
 /// across threads. Both filters only remove roots that cannot produce
 /// a binding, and chunks are concatenated in node order, so the result
 /// equals [`crate::match_pattern`]'s binding list exactly.
+///
+/// When only one thread is available (or requested), or the filtered
+/// root set is smaller than [`PAR_PATTERN_MIN_ROOTS`], the searches
+/// run inline on the calling thread — same output, no spawn overhead.
 pub fn par_match_pattern(fz: &FrozenGraph, pattern: &Pattern, threads: usize) -> Vec<Binding> {
     if pattern.nodes.is_empty() {
         return Vec::new();
@@ -426,6 +435,15 @@ pub fn par_match_pattern(fz: &FrozenGraph, pattern: &Pattern, threads: usize) ->
     }
 
     let threads = clamp_threads(threads, roots.len());
+    if threads == 1 || roots.len() < PAR_PATTERN_MIN_ROOTS {
+        // Sequential fall-through: chunking across scoped threads only
+        // pays for itself on wide root sets.
+        let mut out = Vec::new();
+        for &dense in &roots {
+            match_from_root(fz, pattern, &order, fz.node_at(dense), &mut out);
+        }
+        return out;
+    }
     let chunk = roots.len().div_ceil(threads);
     let order = &order;
     let roots = &roots;
@@ -570,6 +588,28 @@ mod tests {
                 assert_eq!(a["x"], b["x"]);
                 assert_eq!(a["y"], b["y"]);
                 assert_eq!(a["c"], b["c"]);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_pattern_spawn_path_matches_sequential() {
+        // 80 unlabeled roots clears PAR_PATTERN_MIN_ROOTS, so this
+        // exercises the actual scoped-thread fan-out.
+        let g = fixture(true, 80);
+        let fz = FrozenGraph::freeze(&g);
+        let mut p = Pattern::new();
+        let x = p.node(PatternNode::var("x"));
+        let y = p.node(PatternNode::var("y"));
+        p.edge(x, y, Some("a")).unwrap();
+        let seq = match_pattern(&fz, &p);
+        assert!(!seq.is_empty());
+        for threads in [2, 4] {
+            let par = par_match_pattern(&fz, &p, threads);
+            assert_eq!(par.len(), seq.len());
+            for (a, b) in par.iter().zip(seq.iter()) {
+                assert_eq!(a["x"], b["x"]);
+                assert_eq!(a["y"], b["y"]);
             }
         }
     }

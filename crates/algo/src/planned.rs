@@ -1,0 +1,529 @@
+//! Selectivity-planned pattern matching.
+//!
+//! [`crate::match_pattern`] seeds its search from *all* nodes and
+//! re-resolves label text per edge visited; on index-bearing graphs
+//! both costs are avoidable. This module is the planned counterpart:
+//! [`match_pattern_planned`] accepts a per-variable candidate
+//! **domain** (typically an index lookup produced by
+//! [`gdm_core::AttributedView::candidates`]), orders variables by
+//! estimated selectivity — smallest domain first, connectivity to
+//! already-placed variables as the tiebreak — and matches with
+//! per-pattern symbol caches so label comparisons are one `u32` hash
+//! instead of a text resolution per edge.
+//!
+//! Results land in a flat [`MatchTable`] (one row per match, one
+//! column per pattern variable) rather than one hash map per match;
+//! [`MatchTable::to_bindings`] converts for consumers of the unplanned
+//! API. The planned and unplanned matchers always produce the same
+//! binding *set* (verified by the `planned_equiv` property suite); the
+//! row order may differ because the variable order does.
+
+use crate::pattern::{Binding, Pattern};
+use gdm_core::{AttributedView, Direction, FxHashMap, FxHashSet, NodeId, Symbol};
+
+/// Per-variable candidate domains, indexed like `Pattern::nodes`.
+/// `None` leaves the variable unrestricted (full scan or neighbor
+/// expansion); `Some(ids)` restricts it to the listed nodes.
+pub type Domains = Vec<Option<Vec<NodeId>>>;
+
+/// A flat match result: one row per match, one column per pattern
+/// node, in `Pattern::nodes` order.
+#[derive(Debug, Clone, Default)]
+pub struct MatchTable {
+    vars: Vec<String>,
+    data: Vec<NodeId>,
+}
+
+impl MatchTable {
+    /// Column names, in `Pattern::nodes` order.
+    pub fn vars(&self) -> &[String] {
+        &self.vars
+    }
+
+    /// Number of matches.
+    pub fn len(&self) -> usize {
+        if self.vars.is_empty() {
+            0
+        } else {
+            self.data.len() / self.vars.len()
+        }
+    }
+
+    /// True when no match was found.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Iterates matches as node-id rows aligned with [`Self::vars`].
+    pub fn rows(&self) -> impl Iterator<Item = &[NodeId]> {
+        self.data.chunks_exact(self.vars.len().max(1))
+    }
+
+    /// Converts to the unplanned API's binding maps.
+    pub fn to_bindings(&self) -> Vec<Binding> {
+        self.rows()
+            .map(|row| {
+                self.vars
+                    .iter()
+                    .zip(row)
+                    .map(|(v, &n)| (v.clone(), n))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Variable elimination order by estimated selectivity: the first
+/// variable is the one with the smallest estimate; each subsequent
+/// pick prefers variables connected to an already-placed one (classic
+/// VF2 connectivity), breaking ties by smaller estimate, then index.
+pub fn planned_order(pattern: &Pattern, estimates: &[usize]) -> Vec<usize> {
+    let n = pattern.nodes.len();
+    debug_assert_eq!(estimates.len(), n);
+    let mut order = Vec::with_capacity(n);
+    let mut placed = vec![false; n];
+    for step in 0..n {
+        let next = (0..n)
+            .filter(|&i| !placed[i])
+            .min_by_key(|&i| {
+                let connected = step > 0
+                    && pattern
+                        .edges
+                        .iter()
+                        .any(|e| (placed[e.from] && e.to == i) || (placed[e.to] && e.from == i));
+                (!connected, estimates[i], i)
+            })
+            .expect("unplaced node exists");
+        placed[next] = true;
+        order.push(next);
+    }
+    order
+}
+
+/// Domain estimates for ordering: the domain size where one is given,
+/// the graph's node count where not.
+pub fn domain_estimates<G: AttributedView + ?Sized>(
+    g: &G,
+    pattern: &Pattern,
+    domains: &[Option<Vec<NodeId>>],
+) -> Vec<usize> {
+    (0..pattern.nodes.len())
+        .map(|i| {
+            domains
+                .get(i)
+                .and_then(Option::as_ref)
+                .map_or_else(|| g.node_count(), Vec::len)
+        })
+        .collect()
+}
+
+/// Builds domains for `pattern` from the view's own indexes: each
+/// constrained variable whose constraints an index can bound (per
+/// [`AttributedView::candidate_estimate`]) gets its candidate list;
+/// unconstrained or index-less variables stay unrestricted.
+pub fn auto_domains<G: AttributedView + ?Sized>(g: &G, pattern: &Pattern) -> Domains {
+    pattern
+        .nodes
+        .iter()
+        .map(|pn| {
+            if pn.label.is_none() && pn.props.is_empty() {
+                return None;
+            }
+            g.candidate_estimate(pn.label.as_deref(), &pn.props)
+                .map(|_| g.candidates(pn.label.as_deref(), &pn.props))
+        })
+        .collect()
+}
+
+/// Planned matching with the view's own indexes seeding the domains.
+pub fn match_pattern_auto<G: AttributedView + ?Sized>(g: &G, pattern: &Pattern) -> MatchTable {
+    let domains = auto_domains(g, pattern);
+    match_pattern_planned(g, pattern, &domains)
+}
+
+/// Finds all subgraph matches of `pattern` in `g`, seeding each
+/// variable from its domain (where given) and ordering variables by
+/// estimated selectivity. Matches are injective on nodes and equal to
+/// [`crate::match_pattern`]'s as a set; row order is deterministic but
+/// follows the planned variable order.
+pub fn match_pattern_planned<G: AttributedView + ?Sized>(
+    g: &G,
+    pattern: &Pattern,
+    domains: &[Option<Vec<NodeId>>],
+) -> MatchTable {
+    let vars: Vec<String> = pattern.nodes.iter().map(|pn| pn.var.clone()).collect();
+    if pattern.nodes.is_empty() {
+        return MatchTable {
+            vars,
+            data: Vec::new(),
+        };
+    }
+    let estimates = domain_estimates(g, pattern, domains);
+    let order = planned_order(pattern, &estimates);
+    let domain_sets: Vec<Option<FxHashSet<u64>>> = (0..pattern.nodes.len())
+        .map(|i| {
+            domains
+                .get(i)
+                .and_then(Option::as_ref)
+                .map(|d| d.iter().map(|n| n.raw()).collect())
+        })
+        .collect();
+    let mut search = Search {
+        g,
+        pattern,
+        order: &order,
+        domains,
+        domain_sets: &domain_sets,
+        edge_label_cache: vec![FxHashMap::default(); pattern.edges.len()],
+        node_label_cache: vec![FxHashMap::default(); pattern.nodes.len()],
+        assignment: vec![None; pattern.nodes.len()],
+        all_nodes: None,
+        data: Vec::new(),
+    };
+    search.extend(0);
+    MatchTable {
+        vars,
+        data: search.data,
+    }
+}
+
+struct Search<'a, G: ?Sized> {
+    g: &'a G,
+    pattern: &'a Pattern,
+    order: &'a [usize],
+    domains: &'a [Option<Vec<NodeId>>],
+    domain_sets: &'a [Option<FxHashSet<u64>>],
+    /// Per pattern edge: label symbol → "matches the edge's label
+    /// constraint", so text is resolved once per distinct symbol.
+    edge_label_cache: Vec<FxHashMap<u32, bool>>,
+    /// Per pattern node: ditto for the node label constraint.
+    node_label_cache: Vec<FxHashMap<u32, bool>>,
+    assignment: Vec<Option<NodeId>>,
+    /// Full node list, materialized at most once per search.
+    all_nodes: Option<Vec<NodeId>>,
+    data: Vec<NodeId>,
+}
+
+impl<G: AttributedView + ?Sized> Search<'_, G> {
+    fn extend(&mut self, depth: usize) {
+        if depth == self.order.len() {
+            for slot in &self.assignment {
+                self.data.push(slot.expect("complete assignment"));
+            }
+            return;
+        }
+        let pv = self.order[depth];
+        // Generating edge: the first pattern edge joining `pv` to an
+        // already-bound variable. Expanding along it yields exactly
+        // the nodes satisfying that edge constraint, so it is skipped
+        // during the consistency re-check.
+        let generator = self.pattern.edges.iter().position(|e| {
+            (e.to == pv && e.from != pv && self.assignment[e.from].is_some())
+                || (e.from == pv && e.to != pv && self.assignment[e.to].is_some())
+        });
+        match generator {
+            Some(ei) => {
+                let candidates = self.expand(ei, pv);
+                for n in candidates {
+                    if let Some(set) = &self.domain_sets[pv] {
+                        if !set.contains(&n.raw()) {
+                            continue;
+                        }
+                    }
+                    self.try_bind(depth, pv, n, Some(ei));
+                }
+            }
+            None => {
+                let domains = self.domains;
+                if let Some(dom) = domains.get(pv).and_then(|d| d.as_deref()) {
+                    for &n in dom {
+                        self.try_bind(depth, pv, n, None);
+                    }
+                } else {
+                    if self.all_nodes.is_none() {
+                        self.all_nodes = Some(self.g.node_ids());
+                    }
+                    let all = self.all_nodes.take().expect("just filled");
+                    for &n in &all {
+                        self.try_bind(depth, pv, n, None);
+                    }
+                    self.all_nodes = Some(all);
+                }
+            }
+        }
+    }
+
+    /// Distinct neighbors of the bound endpoint of pattern edge `ei`
+    /// reachable along it, with the edge-label constraint applied
+    /// during the visit.
+    fn expand(&mut self, ei: usize, pv: usize) -> Vec<NodeId> {
+        let g = self.g;
+        let e = &self.pattern.edges[ei];
+        let (bound, dir) = if e.to == pv {
+            (self.assignment[e.from].expect("generator"), e.direction)
+        } else {
+            let dir = match e.direction {
+                Direction::Outgoing => Direction::Incoming,
+                other => other,
+            };
+            (self.assignment[e.to].expect("generator"), dir)
+        };
+        let want = e.label.as_deref();
+        let cache = &mut self.edge_label_cache[ei];
+        let mut out = Vec::new();
+        g.visit_edges_dir(bound, dir, &mut |er| {
+            if label_ok(g, cache, want, er.label) && !out.contains(&er.to) {
+                out.push(er.to);
+            }
+        });
+        out
+    }
+
+    fn try_bind(&mut self, depth: usize, pv: usize, n: NodeId, generator: Option<usize>) {
+        if self.assignment.iter().flatten().any(|&m| m == n) {
+            return; // injectivity
+        }
+        if !self.node_ok(pv, n) {
+            return;
+        }
+        self.assignment[pv] = Some(n);
+        if self.edges_consistent(pv, generator) {
+            self.extend(depth + 1);
+        }
+        self.assignment[pv] = None;
+    }
+
+    fn node_ok(&mut self, pv: usize, n: NodeId) -> bool {
+        let g = self.g;
+        if !g.contains_node(n) {
+            return false;
+        }
+        let pn = &self.pattern.nodes[pv];
+        if let Some(want) = &pn.label {
+            let cache = &mut self.node_label_cache[pv];
+            let ok = match g.node_label(n) {
+                None => false,
+                Some(sym) => *cache
+                    .entry(sym.raw())
+                    .or_insert_with(|| g.label_text(sym).is_some_and(|t| t == want)),
+            };
+            if !ok {
+                return false;
+            }
+        }
+        pn.props.iter().all(|(key, want)| {
+            g.node_property(n, key)
+                .is_some_and(|got| got.loose_eq(want))
+        })
+    }
+
+    /// Checks every pattern edge incident to `just_placed` whose
+    /// endpoints are both bound, except the generating edge (already
+    /// satisfied by construction).
+    fn edges_consistent(&mut self, just_placed: usize, skip: Option<usize>) -> bool {
+        for ei in 0..self.pattern.edges.len() {
+            if Some(ei) == skip {
+                continue;
+            }
+            let e = &self.pattern.edges[ei];
+            if e.from != just_placed && e.to != just_placed {
+                continue;
+            }
+            let (Some(from), Some(to)) = (self.assignment[e.from], self.assignment[e.to]) else {
+                continue;
+            };
+            if !self.has_edge(ei, from, to) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn has_edge(&mut self, ei: usize, from: NodeId, to: NodeId) -> bool {
+        let g = self.g;
+        let e = &self.pattern.edges[ei];
+        let want = e.label.as_deref();
+        let cache = &mut self.edge_label_cache[ei];
+        let mut check = |a: NodeId, b: NodeId| {
+            let mut found = false;
+            g.visit_out_edges(a, &mut |er| {
+                if er.to == b && label_ok(g, cache, want, er.label) {
+                    found = true;
+                }
+            });
+            found
+        };
+        match e.direction {
+            Direction::Outgoing => check(from, to),
+            Direction::Incoming => check(to, from),
+            Direction::Both => check(from, to) || check(to, from),
+        }
+    }
+}
+
+/// Does `sym` satisfy the edge/node label constraint `want`, resolving
+/// each distinct symbol's text at most once via `cache`?
+fn label_ok<G: AttributedView + ?Sized>(
+    g: &G,
+    cache: &mut FxHashMap<u32, bool>,
+    want: Option<&str>,
+    sym: Option<Symbol>,
+) -> bool {
+    let Some(want) = want else { return true };
+    match sym {
+        None => false,
+        Some(sym) => *cache
+            .entry(sym.raw())
+            .or_insert_with(|| g.label_text(sym).is_some_and(|t| t == want)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::{canonical, match_pattern, PatternNode};
+    use gdm_core::props;
+    use gdm_graphs::PropertyGraph;
+
+    fn community() -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        let mut nodes = Vec::new();
+        for i in 0..20u64 {
+            let label = if i % 4 == 0 { "company" } else { "person" };
+            nodes.push(g.add_node(label, props! { "i" => i as i64, "band" => i as i64 % 3 }));
+        }
+        for i in 0..20usize {
+            let a = nodes[i];
+            let b = nodes[(i * 7 + 3) % 20];
+            let c = nodes[(i * 11 + 5) % 20];
+            let _ = g.add_edge(a, b, "knows", props! {});
+            let _ = g.add_edge(a, c, if i % 2 == 0 { "knows" } else { "likes" }, props! {});
+        }
+        g
+    }
+
+    fn chain_pattern() -> Pattern {
+        let mut p = Pattern::new();
+        let x = p.node(PatternNode::var("x"));
+        let y = p.node(PatternNode::var("y").with_label("person"));
+        let z = p.node(PatternNode::var("z"));
+        p.edge(x, y, Some("knows")).unwrap();
+        p.edge(y, z, Some("knows")).unwrap();
+        p
+    }
+
+    #[test]
+    fn planned_equals_unplanned_on_chain() {
+        let g = community();
+        let p = chain_pattern();
+        let planned = match_pattern_auto(&g, &p);
+        let unplanned = match_pattern(&g, &p);
+        assert_eq!(canonical(&planned.to_bindings()), canonical(&unplanned));
+        assert_eq!(planned.len(), unplanned.len());
+    }
+
+    #[test]
+    fn explicit_domains_restrict_results() {
+        let g = community();
+        let mut p = Pattern::new();
+        p.node(PatternNode::var("x"));
+        let all = match_pattern_planned(&g, &p, &[None]);
+        assert_eq!(all.len(), 20);
+        let dom: Domains = vec![Some(vec![NodeId(1), NodeId(2)])];
+        let some = match_pattern_planned(&g, &p, &dom);
+        assert_eq!(some.len(), 2);
+        let rows: Vec<&[NodeId]> = some.rows().collect();
+        assert_eq!(rows[0], &[NodeId(1)]);
+        assert_eq!(rows[1], &[NodeId(2)]);
+    }
+
+    #[test]
+    fn domains_apply_to_expanded_variables_too() {
+        let g = community();
+        let p = chain_pattern();
+        // Restrict z to a single node; every surviving row must bind
+        // z there, and the rows must be a subset of the unrestricted
+        // result.
+        let z_only = NodeId(3);
+        let dom: Domains = vec![None, None, Some(vec![z_only])];
+        let restricted = match_pattern_planned(&g, &p, &dom);
+        let full = canonical(&match_pattern(&g, &p));
+        for row in restricted.rows() {
+            assert_eq!(row[2], z_only);
+        }
+        let restricted_canon = canonical(&restricted.to_bindings());
+        for r in &restricted_canon {
+            assert!(full.contains(r));
+        }
+    }
+
+    #[test]
+    fn selectivity_order_puts_smallest_domain_first() {
+        let mut p = Pattern::new();
+        let a = p.node(PatternNode::var("a"));
+        let b = p.node(PatternNode::var("b"));
+        let c = p.node(PatternNode::var("c"));
+        p.edge(a, b, None).unwrap();
+        p.edge(b, c, None).unwrap();
+        let order = planned_order(&p, &[100, 50, 3]);
+        assert_eq!(order[0], 2, "smallest estimate first");
+        assert_eq!(order[1], 1, "then its pattern neighbor");
+        assert_eq!(order[2], 0);
+    }
+
+    #[test]
+    fn connectivity_beats_selectivity_after_the_root() {
+        let mut p = Pattern::new();
+        let a = p.node(PatternNode::var("a"));
+        let b = p.node(PatternNode::var("b"));
+        let c = p.node(PatternNode::var("c"));
+        p.edge(a, b, None).unwrap();
+        // c is disconnected and tiny; it still goes last because b is
+        // connected to the placed a.
+        let order = planned_order(&p, &[1, 100, 2]);
+        assert_eq!(order, vec![0, 1, 2]);
+        let _ = c;
+    }
+
+    #[test]
+    fn empty_pattern_and_empty_table() {
+        let g = community();
+        let table = match_pattern_planned(&g, &Pattern::new(), &Vec::new());
+        assert_eq!(table.len(), 0);
+        assert!(table.is_empty());
+        assert!(table.to_bindings().is_empty());
+    }
+
+    #[test]
+    fn table_round_trips_to_bindings() {
+        let g = community();
+        let mut p = Pattern::new();
+        let x = p.node(PatternNode::var("x").with_label("company"));
+        let y = p.node(PatternNode::var("y"));
+        p.edge(x, y, Some("knows")).unwrap();
+        let table = match_pattern_auto(&g, &p);
+        assert_eq!(table.vars(), &["x".to_owned(), "y".to_owned()]);
+        let bindings = table.to_bindings();
+        assert_eq!(bindings.len(), table.len());
+        for (row, b) in table.rows().zip(&bindings) {
+            assert_eq!(b["x"], row[0]);
+            assert_eq!(b["y"], row[1]);
+        }
+    }
+
+    #[test]
+    fn loose_numeric_property_constraints_match() {
+        let mut g = PropertyGraph::new();
+        let a = g.add_node("n", props! { "v" => 3 });
+        let b = g.add_node("n", props! { "v" => 3.0 });
+        g.add_node("n", props! { "v" => 4 });
+        let mut p = Pattern::new();
+        p.node(PatternNode::var("x").with_prop("v", 3.0));
+        let planned = match_pattern_auto(&g, &p);
+        let unplanned = match_pattern(&g, &p);
+        assert_eq!(canonical(&planned.to_bindings()), canonical(&unplanned));
+        assert_eq!(planned.len(), 2);
+        let bound: Vec<NodeId> = planned.rows().map(|r| r[0]).collect();
+        assert!(bound.contains(&a) && bound.contains(&b));
+    }
+}

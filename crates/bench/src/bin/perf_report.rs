@@ -19,8 +19,9 @@
 
 use gdm_algo::pattern::{Pattern, PatternNode};
 use gdm_bench::{load_into_engine, social_graph, SocialParams};
-use gdm_core::{Direction, NodeId};
+use gdm_core::{Direction, NodeId, Value};
 use gdm_engines::{make_engine, AnalysisFunc, EngineKind, SummaryFunc};
+use gdm_query::{BinOp, Expr, Projection, SelectQuery};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -327,6 +328,50 @@ fn main() {
             live_ops_s: Some(ops_s(live_pat)),
             frozen_ops_s: ops_s(frozen_pat),
             parallel_ops_s: Some(ops_s(par_pat)),
+        });
+
+        // Same pattern through the cost-based planner: selectivity
+        // ordering plus the flat MatchTable (no per-match hash maps).
+        let planned_pat = time_us(
+            || {
+                black_box(gdm_algo::planned::match_pattern_auto(&pfz, &pattern).len());
+            },
+            comp_iters,
+        );
+        rows.push(Row {
+            name: "pattern_planned",
+            live_ops_s: None,
+            frozen_ops_s: ops_s(planned_pat),
+            parallel_ops_s: None,
+        });
+
+        // Planning + EXPLAIN rendering throughput for the equivalent
+        // algebra query (pushdown of `x.community = 3`).
+        let mut q = SelectQuery {
+            pattern: pattern.clone(),
+            ..SelectQuery::default()
+        };
+        q.filter = Some(Expr::bin(
+            BinOp::Eq,
+            Expr::Prop("x".to_owned(), "community".to_owned()),
+            Expr::Lit(Value::from(3)),
+        ));
+        q.projections = vec![Projection::Expr {
+            name: "x.name".to_owned(),
+            expr: Expr::Prop("x".to_owned(), "name".to_owned()),
+        }];
+        let explain_us = time_us(
+            || {
+                let planned = gdm_query::plan_select(&pfz, &q).expect("plans");
+                black_box(planned.explain.render());
+            },
+            if smoke { 200 } else { 2000 },
+        );
+        rows.push(Row {
+            name: "pattern_explain",
+            live_ops_s: None,
+            frozen_ops_s: ops_s(explain_us),
+            parallel_ops_s: None,
         });
     }
     println!("\nCSR snapshot fast path ({} threads available):", threads);

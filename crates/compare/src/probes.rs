@@ -199,6 +199,19 @@ pub fn verify_engine(kind: EngineKind, workdir: &Path) -> Result<Vec<String>> {
             cells.indexes,
             support_of(&e.create_index("probe_x"))
         );
+        // Secondary-index probe row: an engine credited with indexes
+        // must also answer a value lookup through one, not merely
+        // accept the DDL. Engines without `create_index` short-circuit
+        // to the same refusal, so the expectation stays the Table I
+        // cell.
+        let index_lookup = e
+            .create_index("probe_y")
+            .and_then(|()| e.lookup_by_property("probe_y", &Value::from(1)));
+        check!(
+            "secondary index lookup",
+            cells.indexes,
+            support_of(&index_lookup)
+        );
         let desc = e.descriptor();
         if desc.backend_storage != cells.backend_storage {
             mismatches.push(format!(

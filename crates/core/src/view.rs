@@ -200,6 +200,50 @@ pub trait AttributedView: GraphView {
     fn visit_edge_properties(&self, e: EdgeId, f: &mut dyn FnMut(&str, &Value)) {
         let _ = (e, f);
     }
+
+    // ---- candidate enumeration (query planning) -------------------
+
+    /// All nodes satisfying a label constraint and a conjunction of
+    /// property equality constraints (loose equality, missing
+    /// properties never match), ascending by id — the candidate set a
+    /// pattern variable with these constraints may bind.
+    ///
+    /// The default implementation is a full scan; structures with
+    /// label or property value indexes override it (and
+    /// [`AttributedView::candidate_estimate`]) so the query planner
+    /// can seed pattern matching from index lookups instead.
+    fn candidates(&self, label: Option<&str>, props: &[(String, Value)]) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.visit_nodes(&mut |n| {
+            if let Some(want) = label {
+                let ok = self
+                    .node_label(n)
+                    .and_then(|sym| self.label_text(sym))
+                    .is_some_and(|t| t == want);
+                if !ok {
+                    return;
+                }
+            }
+            let props_ok = props.iter().all(|(key, want)| {
+                self.node_property(n, key)
+                    .is_some_and(|got| got.loose_eq(want))
+            });
+            if props_ok {
+                out.push(n);
+            }
+        });
+        out
+    }
+
+    /// Upper bound on `candidates(label, props).len()` obtainable from
+    /// an index, without scanning. `None` means no index covers any of
+    /// the constraints and only a full scan can answer — the planner
+    /// uses this to choose index seeding vs scanning per variable.
+    /// The default (no indexes) is `None`.
+    fn candidate_estimate(&self, label: Option<&str>, props: &[(String, Value)]) -> Option<usize> {
+        let _ = (label, props);
+        None
+    }
 }
 
 /// Structures whose edges carry numeric weights, used by the weighted

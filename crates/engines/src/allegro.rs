@@ -14,7 +14,7 @@
 use crate::facade::{AnalysisFunc, EngineDescriptor, GraphEngine, SummaryFunc};
 use gdm_algo::adjacency::nodes_adjacent;
 use gdm_algo::analysis;
-use gdm_algo::pattern::match_pattern;
+use gdm_algo::planned::match_pattern_auto;
 use gdm_algo::summary;
 use gdm_core::{EdgeId, GdmError, GraphView, NodeId, PropertyMap, Result, Support, Value};
 use gdm_graphs::rdf::{RdfGraph, Term};
@@ -341,8 +341,9 @@ impl GraphEngine for AllegroEngine {
 
     fn pattern_match(&self, pattern: &gdm_algo::pattern::Pattern) -> Result<usize> {
         // SPARQL *is* graph pattern matching; the structural probe
-        // runs the generic matcher over the triple view.
-        Ok(match_pattern(&self.rdf, pattern).len())
+        // runs the planned matcher over the triple view, seeding
+        // constrained variables from whatever indexes it exposes.
+        Ok(match_pattern_auto(&self.rdf, pattern).len())
     }
 
     fn snapshot(&self) -> Result<gdm_algo::FrozenGraph> {

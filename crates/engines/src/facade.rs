@@ -155,6 +155,20 @@ pub trait GraphEngine {
     /// Executes a read query in the engine's own dialect.
     fn execute_query(&mut self, query: &str) -> Result<ResultSet>;
 
+    /// Renders the execution plan the engine would use for `query`
+    /// without running it: predicate pushdown counts plus per-variable
+    /// access method (index vs scan) and selectivity estimates, in the
+    /// text form [`gdm_query::ExplainPlan::parse`] reads back.
+    /// Engines whose dialect does not lower to the shared algebra
+    /// refuse.
+    fn explain(&self, query: &str) -> Result<String> {
+        let _ = query;
+        Err(gdm_core::GdmError::unsupported(
+            self.name(),
+            "explain".to_owned(),
+        ))
+    }
+
     /// Loads inference rules and answers `goal` (Table V "Reasoning").
     fn reason(&mut self, rules: &str, goal: &str) -> Result<Vec<Vec<String>>>;
 

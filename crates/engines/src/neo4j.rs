@@ -332,6 +332,18 @@ impl GraphEngine for Neo4jEngine {
         }
     }
 
+    fn explain(&self, query: &str) -> Result<String> {
+        match cypher::parse(query)? {
+            CypherStatement::Select(q) => {
+                let view = self.view();
+                Ok(gdm_query::plan_select(&view, &q)?.explain.render())
+            }
+            CypherStatement::Create(_) => Err(GdmError::InvalidArgument(
+                "EXPLAIN applies to MATCH queries, not CREATE".into(),
+            )),
+        }
+    }
+
     fn reason(&mut self, _rules: &str, _goal: &str) -> Result<Vec<Vec<String>>> {
         self.unsupported("reasoning")
     }

@@ -365,6 +365,18 @@ impl GraphEngine for SonesEngine {
         }
     }
 
+    fn explain(&self, query: &str) -> Result<String> {
+        match gql::parse(query)? {
+            GqlStatement::Select(q) => {
+                let view = self.atoms.two_section();
+                Ok(gdm_query::plan_select(&view, &q)?.explain.render())
+            }
+            _ => Err(GdmError::InvalidArgument(
+                "EXPLAIN applies to FROM … SELECT … queries".into(),
+            )),
+        }
+    }
+
     fn reason(&mut self, _rules: &str, _goal: &str) -> Result<Vec<Vec<String>>> {
         self.unsupported("reasoning")
     }

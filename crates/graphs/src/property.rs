@@ -12,6 +12,7 @@ use gdm_core::{
     AttributedView, EdgeId, EdgeRef, FxHashMap, FxHashSet, GdmError, GraphView, Interner, NodeId,
     PropertyMap, Result, Symbol, Value, WeightedView,
 };
+use gdm_storage::index::{BTreeIndex, ValueIndex};
 
 #[derive(serde::Serialize, serde::Deserialize)]
 struct SnapshotDto {
@@ -46,6 +47,11 @@ pub struct PropertyGraph {
     /// label → node ids, the built-in type index every attributed
     /// engine maintains.
     label_index: FxHashMap<Symbol, FxHashSet<u64>>,
+    /// key → ordered secondary index over node attribute values,
+    /// auto-maintained on every insert/remove/update. Ordered (rather
+    /// than hash) so number-family point probes and future range
+    /// predicates both route through the same structure.
+    prop_indexes: FxHashMap<String, BTreeIndex>,
 }
 
 impl Default for PropertyGraph {
@@ -64,6 +70,7 @@ impl PropertyGraph {
             edge_count: 0,
             interner: Interner::new(),
             label_index: FxHashMap::default(),
+            prop_indexes: FxHashMap::default(),
         }
     }
 
@@ -71,6 +78,12 @@ impl PropertyGraph {
     pub fn add_node(&mut self, label: &str, props: PropertyMap) -> NodeId {
         let sym = self.interner.intern(label);
         let id = NodeId(self.nodes.len() as u64);
+        for (key, value) in &props {
+            self.prop_indexes
+                .entry(key.to_owned())
+                .or_default()
+                .insert(value, id.raw());
+        }
         self.nodes.push(Some(NodeData {
             label: sym,
             props,
@@ -133,7 +146,12 @@ impl PropertyGraph {
                 self.remove_edge(e)?;
             }
         }
-        self.nodes[n.index()] = None;
+        let data = self.nodes[n.index()].take().expect("checked");
+        for (key, value) in &data.props {
+            if let Some(idx) = self.prop_indexes.get_mut(key) {
+                idx.remove(value, n.raw());
+            }
+        }
         if let Some(set) = self.label_index.get_mut(&label) {
             set.remove(&n.raw());
         }
@@ -163,7 +181,49 @@ impl PropertyGraph {
         value: impl Into<Value>,
     ) -> Result<Option<Value>> {
         self.node_data(n)?;
-        Ok(self.node_mut(n).props.set(key, value))
+        let value = value.into();
+        let idx = self.prop_indexes.entry(key.to_owned()).or_default();
+        idx.insert(&value, n.raw());
+        let previous = self.node_mut(n).props.set(key, value);
+        if let Some(old) = &previous {
+            // `insert` before `remove`: if old == new the pair simply
+            // stays put instead of bouncing out and back in.
+            let node = self.nodes[n.index()].as_ref().expect("validated node id");
+            let current = node.props.get(key).expect("just set");
+            if old != current {
+                self.prop_indexes
+                    .get_mut(key)
+                    .expect("just created")
+                    .remove(old, n.raw());
+            }
+        }
+        Ok(previous)
+    }
+
+    /// All nodes whose attribute `key` is loosely equal to `value`,
+    /// ascending by id — answered from the auto-maintained secondary
+    /// index, never by scanning.
+    pub fn nodes_with_property(&self, key: &str, value: &Value) -> Vec<NodeId> {
+        self.prop_indexes
+            .get(key)
+            .map(|idx| idx.lookup_loose(value))
+            .unwrap_or_default()
+            .into_iter()
+            .map(NodeId)
+            .collect()
+    }
+
+    /// Distinct attribute keys with at least one indexed pair, sorted —
+    /// the keys a planner may probe without scanning.
+    pub fn indexed_property_keys(&self) -> Vec<&str> {
+        let mut keys: Vec<&str> = self
+            .prop_indexes
+            .iter()
+            .filter(|(_, idx)| !idx.is_empty())
+            .map(|(k, _)| k.as_str())
+            .collect();
+        keys.sort_unstable();
+        keys
     }
 
     /// Sets an edge attribute; returns the previous value.
@@ -429,6 +489,78 @@ impl AttributedView for PropertyGraph {
             }
         }
     }
+
+    /// Index-backed candidate enumeration: seed from the smallest of
+    /// the label set and the per-key value-index probes, then verify
+    /// the remaining constraints per member. Never scans.
+    fn candidates(&self, label: Option<&str>, props: &[(String, Value)]) -> Vec<NodeId> {
+        if label.is_none() && props.is_empty() {
+            return self.node_ids();
+        }
+        // An unknown label or a never-seen key means no node matches.
+        let label_sym = match label {
+            Some(text) => match self.interner.get(text) {
+                Some(sym) => Some(sym),
+                None => return Vec::new(),
+            },
+            None => None,
+        };
+        let mut seed: Option<Vec<u64>> = label_sym.map(|sym| {
+            let mut ids: Vec<u64> = self
+                .label_index
+                .get(&sym)
+                .map(|s| s.iter().copied().collect())
+                .unwrap_or_default();
+            ids.sort_unstable();
+            ids
+        });
+        for (key, value) in props {
+            let ids = self
+                .prop_indexes
+                .get(key)
+                .map(|idx| idx.lookup_loose(value))
+                .unwrap_or_default();
+            if seed.as_ref().is_none_or(|s| ids.len() < s.len()) {
+                seed = Some(ids);
+            }
+        }
+        let seed = seed.expect("at least one constraint");
+        seed.into_iter()
+            .map(NodeId)
+            .filter(|&n| {
+                let Some(Some(data)) = self.nodes.get(n.index()) else {
+                    return false;
+                };
+                if label_sym.is_some_and(|sym| data.label != sym) {
+                    return false;
+                }
+                props
+                    .iter()
+                    .all(|(key, want)| data.props.get(key).is_some_and(|got| got.loose_eq(want)))
+            })
+            .collect()
+    }
+
+    fn candidate_estimate(&self, label: Option<&str>, props: &[(String, Value)]) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        let mut shrink = |n: usize| best = Some(best.map_or(n, |b| b.min(n)));
+        if let Some(text) = label {
+            shrink(
+                self.interner
+                    .get(text)
+                    .and_then(|sym| self.label_index.get(&sym))
+                    .map_or(0, FxHashSet::len),
+            );
+        }
+        for (key, value) in props {
+            shrink(
+                self.prop_indexes
+                    .get(key)
+                    .map_or(0, |idx| idx.lookup_loose(value).len()),
+            );
+        }
+        best
+    }
 }
 
 impl WeightedView for PropertyGraph {
@@ -517,6 +649,59 @@ mod tests {
     fn labels_listing() {
         let (g, ..) = social();
         assert_eq!(g.labels(), vec!["company", "person"]);
+    }
+
+    #[test]
+    fn property_index_tracks_insert_update_remove() {
+        let (mut g, alice, bob, acme) = social();
+        assert_eq!(
+            g.nodes_with_property("name", &Value::from("alice")),
+            vec![alice]
+        );
+        assert_eq!(g.nodes_with_property("age", &Value::from(25)), vec![bob]);
+        // Loose number probe: int-valued property found by float probe.
+        assert_eq!(g.nodes_with_property("age", &Value::from(25.0)), vec![bob]);
+        // Update moves the entry.
+        g.set_node_property(bob, "age", 26).unwrap();
+        assert!(g.nodes_with_property("age", &Value::from(25)).is_empty());
+        assert_eq!(g.nodes_with_property("age", &Value::from(26)), vec![bob]);
+        // Removal drops all of the node's entries.
+        g.remove_node(bob).unwrap();
+        assert!(g.nodes_with_property("age", &Value::from(26)).is_empty());
+        assert_eq!(
+            g.nodes_with_property("name", &Value::from("acme")),
+            vec![acme]
+        );
+        assert_eq!(g.indexed_property_keys(), vec!["age", "name"]);
+    }
+
+    #[test]
+    fn candidates_route_through_indexes() {
+        let (g, alice, bob, _) = social();
+        assert_eq!(
+            g.candidates(Some("person"), &[]),
+            vec![alice, bob],
+            "label only"
+        );
+        assert_eq!(
+            g.candidates(Some("person"), &[("age".into(), Value::from(30))]),
+            vec![alice]
+        );
+        assert_eq!(
+            g.candidates(None, &[("name".into(), Value::from("bob"))]),
+            vec![bob]
+        );
+        assert!(g.candidates(Some("alien"), &[]).is_empty());
+        assert!(g
+            .candidates(None, &[("no_such_key".into(), Value::from(1))])
+            .is_empty());
+        // Estimates are upper bounds from the indexes.
+        assert_eq!(g.candidate_estimate(Some("person"), &[]), Some(2));
+        assert_eq!(
+            g.candidate_estimate(Some("person"), &[("name".into(), Value::from("bob"))]),
+            Some(1)
+        );
+        assert_eq!(g.candidate_estimate(None, &[]), None, "no constraint");
     }
 
     #[test]

@@ -68,14 +68,41 @@ impl ResultSet {
     }
 }
 
-/// Executes `query` against `g`.
+/// Executes `query` against `g` through the cost-based planner:
+/// equality predicates are pushed into the pattern, each variable is
+/// seeded from the view's indexes when they can bound its candidates,
+/// and variables are matched smallest-domain first. Result rows are
+/// identical to [`evaluate_select_unplanned`]'s.
 pub fn evaluate_select<G: AttributedView + ?Sized>(
+    g: &G,
+    query: &SelectQuery,
+) -> Result<ResultSet> {
+    crate::plan::evaluate_select_planned(g, query).map(|(rs, _)| rs)
+}
+
+/// Executes `query` without planning: full VF2 over all nodes, the
+/// WHERE clause applied only after matching. Kept as the reference
+/// path the property tests compare the planner against.
+pub fn evaluate_select_unplanned<G: AttributedView + ?Sized>(
     g: &G,
     query: &SelectQuery,
 ) -> Result<ResultSet> {
     query.validate()?;
     // 1. Fixed pattern.
-    let mut bindings = match_pattern(g, &query.pattern);
+    let bindings = match_pattern(g, &query.pattern);
+    finish_select(g, query, bindings)
+}
+
+/// Steps 2–7 of the pipeline, shared by the planned and unplanned
+/// paths: var-length paths, filter, deterministic sort, projection,
+/// distinct, order, skip/limit. The deterministic sort guarantees both
+/// paths produce byte-identical row order regardless of how the
+/// bindings were found.
+pub(crate) fn finish_select<G: AttributedView + ?Sized>(
+    g: &G,
+    query: &SelectQuery,
+    mut bindings: Vec<Binding>,
+) -> Result<ResultSet> {
     // 2. Variable-length path constraints.
     for vp in &query.var_paths {
         bindings.retain(|b| {

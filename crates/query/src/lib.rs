@@ -22,6 +22,12 @@
 //! * [`datalog`] — positive Datalog with semi-naive evaluation, the
 //!   stand-in for AllegroGraph's Prolog reasoning (Table V's
 //!   "Reasoning" column).
+//!
+//! [`plan`] sits between parsing and evaluation: it pushes WHERE
+//! equality predicates into the pattern, chooses index seeding vs
+//! scanning per variable from the view's index cardinalities, and
+//! records an [`plan::ExplainPlan`] — because the dialects share the
+//! algebra, the one planner accelerates all of them.
 
 pub mod ast;
 pub mod cypher;
@@ -30,7 +36,11 @@ pub mod eval;
 pub mod gql;
 pub mod gsql;
 pub mod lex;
+pub mod plan;
 pub mod sparql;
 
 pub use ast::{BinOp, Expr, Projection, SelectQuery, VarLengthEdge};
-pub use eval::{evaluate_select, ResultSet};
+pub use eval::{evaluate_select, evaluate_select_unplanned, ResultSet};
+pub use plan::{
+    evaluate_select_planned, plan_select, Access, ExplainPlan, PlanStep, PlannedSelect,
+};

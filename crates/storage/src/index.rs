@@ -49,6 +49,31 @@ pub trait ValueIndex {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// All ids stored under any value *loosely* equal to `value` — the
+    /// query layer's int/float-coercing equality — ascending and
+    /// deduplicated. The default probes the exact encoding plus the
+    /// coerced number-family sibling, which is exact for every value
+    /// the coercion round-trips (all of them below 2^53); ordered
+    /// indexes override this with a unified-prefix range, which is
+    /// exact everywhere.
+    fn lookup_loose(&self, value: &Value) -> Vec<u64> {
+        let sibling = match value {
+            Value::Int(i) => Some(Value::Float(*i as f64)),
+            Value::Float(f) => {
+                let i = *f as i64;
+                ((i as f64) == *f).then_some(Value::Int(i))
+            }
+            _ => None,
+        };
+        let mut ids = self.lookup(value);
+        if let Some(s) = sibling {
+            ids.extend(self.lookup(&s));
+            ids.sort_unstable();
+            ids.dedup();
+        }
+        ids
+    }
 }
 
 /// Number-family keys share an order prefix; this returns the loose
@@ -248,6 +273,19 @@ impl ValueIndex for BTreeIndex {
     fn len(&self) -> usize {
         self.pairs
     }
+
+    /// Unified-prefix range over the number family: every int/float
+    /// sharing the probe's double is under one 9-byte prefix, so this
+    /// is exact even where the coercion in the default would not
+    /// round-trip.
+    fn lookup_loose(&self, value: &Value) -> Vec<u64> {
+        match value {
+            Value::Int(_) | Value::Float(_) => self
+                .range(Some(value), Some(value))
+                .expect("ordered index answers ranges"),
+            other => self.lookup(other),
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -351,6 +389,24 @@ mod tests {
     #[test]
     fn bitmap_index_point_ops() {
         exercise_point_ops(&mut BitmapIndex::new());
+    }
+
+    #[test]
+    fn lookup_loose_unifies_number_families() {
+        fn exercise(idx: &mut dyn ValueIndex) {
+            idx.insert(&Value::from(3), 1);
+            idx.insert(&Value::from(3.0), 2);
+            idx.insert(&Value::from(3.5), 3);
+            idx.insert(&Value::from("3"), 4);
+            assert_eq!(idx.lookup_loose(&Value::from(3)), vec![1, 2]);
+            assert_eq!(idx.lookup_loose(&Value::from(3.0)), vec![1, 2]);
+            assert_eq!(idx.lookup_loose(&Value::from(3.5)), vec![3]);
+            assert_eq!(idx.lookup_loose(&Value::from("3")), vec![4]);
+            assert_eq!(idx.lookup(&Value::from(3)), vec![1], "exact stays exact");
+        }
+        exercise(&mut HashIndex::new());
+        exercise(&mut BTreeIndex::new());
+        exercise(&mut BitmapIndex::new());
     }
 
     #[test]

@@ -1,0 +1,327 @@
+//! Property suite for the cost-based pattern planner.
+//!
+//! Two invariants hold the planner together:
+//!
+//! 1. **Planned ≡ unplanned.** On any graph and any pattern/query, the
+//!    planned matcher (index-seeded domains, selectivity ordering) and
+//!    the shared-algebra planner (predicate pushdown) must produce the
+//!    same bindings/rows as the unplanned reference path — same sets,
+//!    any order (result rows are compared after the deterministic
+//!    sort both paths share).
+//! 2. **Maintained ≡ rebuilt.** `PropertyGraph`'s auto-maintained
+//!    per-key value indexes, after an arbitrary insert/remove/update
+//!    sequence, must answer exactly like an index rebuilt from scratch
+//!    over the surviving nodes — and both must agree with a raw scan.
+
+use graph_db_models::algo::pattern::{canonical, match_pattern, Pattern, PatternNode};
+use graph_db_models::algo::planned::{auto_domains, match_pattern_auto, match_pattern_planned};
+use graph_db_models::algo::FrozenGraph;
+use graph_db_models::core::{props, AttributedView, GraphView, NodeId, Value};
+use graph_db_models::graphs::PropertyGraph;
+use graph_db_models::query::eval::{evaluate_select, evaluate_select_unplanned};
+use graph_db_models::query::plan::{evaluate_select_planned, ExplainPlan};
+use graph_db_models::query::{BinOp, Expr, Projection, SelectQuery};
+use graph_db_models::storage::{BTreeIndex, ValueIndex};
+use proptest::prelude::*;
+
+const LABELS: [&str; 3] = ["person", "place", "thing"];
+const COLORS: [&str; 2] = ["red", "blue"];
+const EDGE_LABELS: [&str; 3] = ["a", "b", "c"];
+
+type NodeSpec = (u8, i64, bool, u8);
+type EdgeSpec = (usize, usize, u8);
+
+/// A random attributed graph: every node gets a label, an Int-or-Float
+/// `k` (both families, so loose equality matters), and a `c` color.
+fn graph_strategy() -> impl Strategy<Value = (PropertyGraph, Vec<NodeId>)> {
+    (
+        prop::collection::vec((0u8..3, 0i64..4, prop::bool::ANY, 0u8..2), 2..12),
+        prop::collection::vec((0usize..12, 0usize..12, 0u8..3), 0..24),
+    )
+        .prop_map(|(specs, edges): (Vec<NodeSpec>, Vec<EdgeSpec>)| {
+            let mut g = PropertyGraph::new();
+            let nodes: Vec<NodeId> = specs
+                .iter()
+                .map(|&(l, k, float, c)| {
+                    let k = if float {
+                        Value::Float(k as f64)
+                    } else {
+                        Value::Int(k)
+                    };
+                    g.add_node(
+                        LABELS[l as usize],
+                        props! { "k" => k, "c" => COLORS[c as usize] },
+                    )
+                })
+                .collect();
+            for (a, b, l) in edges {
+                let n = nodes.len();
+                g.add_edge(
+                    nodes[a % n],
+                    nodes[b % n],
+                    EDGE_LABELS[l as usize],
+                    props! {},
+                )
+                .expect("endpoints exist");
+            }
+            (g, nodes)
+        })
+}
+
+type VarSpec = (u8, u8);
+type PatternEdgeSpec = (usize, usize, u8, bool);
+
+/// Builds a pattern from raw spec data: per-variable optional label
+/// (including one no node carries) and optional property constraint
+/// (Int, loose-equal Float, or string), plus arbitrary edges —
+/// self-loops and parallel constraints included.
+fn build_pattern(vars: &[VarSpec], edges: &[PatternEdgeSpec]) -> Pattern {
+    let mut p = Pattern::new();
+    for (i, &(l, c)) in vars.iter().enumerate() {
+        let mut pn = PatternNode::var(format!("v{i}"));
+        pn = match l {
+            0 | 1 => pn,
+            2 => pn.with_label("person"),
+            3 => pn.with_label("place"),
+            _ => pn.with_label("zzz"),
+        };
+        pn = match c {
+            0..=2 => pn,
+            3 => pn.with_prop("k", 2),
+            4 => pn.with_prop("k", 2.0),
+            _ => pn.with_prop("c", "red"),
+        };
+        p.node(pn);
+    }
+    for &(f, t, l, undirected) in edges {
+        let (f, t) = (f % vars.len(), t % vars.len());
+        let label = match l {
+            0 => None,
+            1 => Some("a"),
+            2 => Some("b"),
+            _ => Some("zz"),
+        };
+        if undirected {
+            p.edge_undirected(f, t, label).expect("vars exist");
+        } else {
+            p.edge(f, t, label).expect("vars exist");
+        }
+    }
+    p
+}
+
+fn pattern_strategy() -> impl Strategy<Value = (Vec<VarSpec>, Vec<PatternEdgeSpec>)> {
+    (
+        prop::collection::vec((0u8..6, 0u8..6), 1..4),
+        prop::collection::vec((0usize..4, 0usize..4, 0u8..4, prop::bool::ANY), 0..4),
+    )
+}
+
+proptest! {
+    /// Invariant 1 at the matcher level: the auto-planned matcher (on
+    /// the live graph and on its CSR snapshot) and an explicit-domain
+    /// run all reproduce the unplanned binding set.
+    #[test]
+    fn planned_matcher_equals_unplanned(
+        (g, _) in graph_strategy(),
+        (vars, edges) in pattern_strategy(),
+    ) {
+        let p = build_pattern(&vars, &edges);
+        let reference = canonical(&match_pattern(&g, &p));
+
+        let auto = match_pattern_auto(&g, &p);
+        prop_assert_eq!(canonical(&auto.to_bindings()), reference.clone());
+
+        let domains = auto_domains(&g, &p);
+        let planned = match_pattern_planned(&g, &p, &domains);
+        prop_assert_eq!(canonical(&planned.to_bindings()), reference.clone());
+
+        let fz = FrozenGraph::freeze_attributed(&g);
+        let frozen = match_pattern_auto(&fz, &p);
+        prop_assert_eq!(canonical(&frozen.to_bindings()), reference);
+    }
+}
+
+type ConjunctSpec = (usize, u8, u8, i64);
+
+/// Builds a WHERE conjunction over the pattern variables: a mix of
+/// pushable equalities (stored props, the label pseudo-property) and
+/// residual predicates (comparisons, NULL equality).
+fn build_filter(vars: usize, conjuncts: &[ConjunctSpec]) -> Option<Expr> {
+    conjuncts
+        .iter()
+        .map(|&(v, key, op, lit)| {
+            let var = format!("v{}", v % vars);
+            let (key, lit) = match key {
+                0 => ("k", Value::Int(lit)),
+                1 => ("k", Value::Float(lit as f64)),
+                2 => (
+                    "c",
+                    Value::Str(COLORS[lit.unsigned_abs() as usize % 2].to_owned()),
+                ),
+                3 => (
+                    "label",
+                    Value::Str(LABELS[lit.unsigned_abs() as usize % 3].to_owned()),
+                ),
+                _ => ("k", Value::Null),
+            };
+            let prop = Expr::Prop(var, key.to_owned());
+            match op {
+                0 | 1 => Expr::bin(BinOp::Eq, prop, Expr::Lit(lit)),
+                2 => Expr::bin(BinOp::Eq, Expr::Lit(lit), prop),
+                3 => Expr::bin(BinOp::Gt, prop, Expr::Lit(lit)),
+                _ => Expr::bin(BinOp::Ne, prop, Expr::Lit(lit)),
+            }
+        })
+        .reduce(|a, b| Expr::bin(BinOp::And, a, b))
+}
+
+proptest! {
+    /// Invariant 1 at the query level: pushdown + planned matching
+    /// returns byte-identical rows to the unplanned pipeline, and the
+    /// recorded plan round-trips through its text form.
+    #[test]
+    fn planned_query_equals_unplanned(
+        (g, _) in graph_strategy(),
+        (vars, edges) in pattern_strategy(),
+        conjuncts in prop::collection::vec((0usize..4, 0u8..5, 0u8..5, 0i64..4), 0..4),
+    ) {
+        let mut q = SelectQuery {
+            pattern: build_pattern(&vars, &edges),
+            ..SelectQuery::default()
+        };
+        for i in 0..vars.len() {
+            q.projections.push(Projection::Expr {
+                name: format!("v{i}"),
+                expr: Expr::Var(format!("v{i}")),
+            });
+        }
+        q.filter = build_filter(vars.len(), &conjuncts);
+
+        let reference = evaluate_select_unplanned(&g, &q).expect("reference path evaluates");
+        let (rows, explain) = evaluate_select_planned(&g, &q).expect("planned path evaluates");
+        prop_assert_eq!(&rows, &reference);
+        // The facade entry point is the planned path.
+        prop_assert_eq!(&evaluate_select(&g, &q).expect("facade evaluates"), &reference);
+        let parsed = ExplainPlan::parse(&explain.render()).expect("explain round-trips");
+        prop_assert_eq!(parsed, explain);
+    }
+}
+
+fn probe_values() -> Vec<Value> {
+    let mut probes: Vec<Value> = (0..5)
+        .flat_map(|i| [Value::Int(i), Value::Float(i as f64)])
+        .collect();
+    probes.push(Value::Str("red".to_owned()));
+    probes.push(Value::Str("blue".to_owned()));
+    probes
+}
+
+proptest! {
+    /// Invariant 2: after a random insert/remove/update sequence, the
+    /// auto-maintained indexes answer exactly like indexes rebuilt
+    /// from scratch over the surviving nodes, and like a raw scan.
+    #[test]
+    fn maintained_indexes_equal_rebuilt(
+        ops in prop::collection::vec((0u8..4, 0usize..16, 0u8..2, 0i64..5, prop::bool::ANY), 1..48),
+    ) {
+        let mut g = PropertyGraph::new();
+        let mut alive: Vec<NodeId> = Vec::new();
+        for (op, sel, key, val, float) in ops {
+            let value = if float {
+                Value::Float(val as f64)
+            } else {
+                Value::Int(val)
+            };
+            match op {
+                // Insert (seeded with an indexed property).
+                0 | 1 => {
+                    let label = LABELS[sel % LABELS.len()];
+                    alive.push(g.add_node(label, props! { "k" => value }));
+                }
+                // Remove.
+                2 => {
+                    if !alive.is_empty() {
+                        let n = alive.remove(sel % alive.len());
+                        g.remove_node(n).expect("node is alive");
+                    }
+                }
+                // Update (sometimes a fresh key, sometimes overwriting).
+                _ => {
+                    if !alive.is_empty() {
+                        let n = alive[sel % alive.len()];
+                        let key = ["k", "c"][key as usize];
+                        g.set_node_property(n, key, value).expect("node is alive");
+                    }
+                }
+            }
+        }
+
+        let keys: Vec<String> = g
+            .indexed_property_keys()
+            .iter()
+            .map(|k| (*k).to_owned())
+            .collect();
+        for key in &keys {
+            // Rebuild the index from scratch over the surviving nodes.
+            let mut rebuilt = BTreeIndex::new();
+            for &n in &alive {
+                if let Some(v) = g.node_property(n, key) {
+                    rebuilt.insert(&v, n.raw());
+                }
+            }
+            for probe in probe_values() {
+                let mut maintained: Vec<u64> =
+                    g.nodes_with_property(key, &probe).iter().map(|n| n.raw()).collect();
+                maintained.sort_unstable();
+                let mut fresh = rebuilt.lookup_loose(&probe);
+                fresh.sort_unstable();
+                let mut scan: Vec<u64> = alive
+                    .iter()
+                    .filter(|&&n| {
+                        g.node_property(n, key).is_some_and(|got| got.loose_eq(&probe))
+                    })
+                    .map(|n| n.raw())
+                    .collect();
+                scan.sort_unstable();
+                prop_assert_eq!(&maintained, &fresh, "key {} probe {:?}", key, probe);
+                prop_assert_eq!(&fresh, &scan, "key {} probe {:?}", key, probe);
+            }
+        }
+        // A key never written is never indexed — and never matches.
+        prop_assert!(g.nodes_with_property("never", &Value::Int(1)).is_empty());
+
+        // The index-backed candidate sets agree with the trait's
+        // full-scan contract after all that churn, too.
+        for label in LABELS.iter().map(Some).chain([None]) {
+            for probe in [Value::Int(3), Value::Float(3.0)] {
+                let constraint = [("k".to_owned(), probe)];
+                let mut fast: Vec<u64> = g
+                    .candidates(label.copied(), &constraint)
+                    .iter()
+                    .map(|n| n.raw())
+                    .collect();
+                fast.sort_unstable();
+                let mut slow: Vec<u64> = alive
+                    .iter()
+                    .filter(|&&n| {
+                        let label_ok = match label {
+                            None => true,
+                            Some(want) => g
+                                .node_label(n)
+                                .and_then(|s| g.label_text(s))
+                                .is_some_and(|t| t == *want),
+                        };
+                        label_ok
+                            && constraint.iter().all(|(k, v)| {
+                                g.node_property(n, k).is_some_and(|got| got.loose_eq(v))
+                            })
+                    })
+                    .map(|n| n.raw())
+                    .collect();
+                slow.sort_unstable();
+                prop_assert_eq!(fast, slow);
+            }
+        }
+    }
+}
