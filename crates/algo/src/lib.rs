@@ -48,13 +48,18 @@ pub use parallel::{
 };
 pub use paths::{
     bidirectional_shortest_path, dijkstra, distance, fixed_length_path_exists, fixed_length_paths,
-    is_reachable, shortest_path, Path,
+    is_reachable, shortest_path, shortest_path_governed, Path,
 };
-pub use pattern::{match_pattern, Pattern, PatternEdge, PatternNode};
+pub use pattern::{match_pattern, match_pattern_governed, Pattern, PatternEdge, PatternNode};
 pub use planned::{
-    auto_domains, domain_estimates, match_pattern_auto, match_pattern_planned, planned_order,
-    Domains, MatchTable,
+    auto_domains, domain_estimates, domains_consistent, match_pattern_auto,
+    match_pattern_auto_governed, match_pattern_planned, match_pattern_planned_governed,
+    planned_order, Domains, MatchTable,
 };
-pub use regular::{regular_path_exists, regular_simple_paths, LabelRegex};
-pub use summary::{aggregate, degree_stats, diameter, graph_order, graph_size, Aggregate};
+pub use regular::{
+    regular_path_exists, regular_path_exists_governed, regular_simple_paths, LabelRegex,
+};
+pub use summary::{
+    aggregate, degree_stats, diameter, diameter_governed, graph_order, graph_size, Aggregate,
+};
 pub use traverse::{bfs_order, dfs_order, Traversal};

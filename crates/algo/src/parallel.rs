@@ -20,17 +20,62 @@
 //!   candidate set, then chunked rooted VF2 searches concatenated in
 //!   node order, reproducing [`crate::match_pattern`]'s binding list
 //!   verbatim.
+//!
+//! **Panic isolation.** Every worker body runs inside `catch_unwind`;
+//! a panicking worker never unwinds into [`std::thread::scope`] (which
+//! would re-panic on the caller and poison the whole call). Instead
+//! the reducer notices the lost chunk and degrades: the query is
+//! recomputed by the sequential algorithm on the calling thread, so
+//! the caller still receives the correct answer — just without the
+//! speedup. This is the first rung of the governor's degradation
+//! ladder (see DESIGN.md §11).
 
 use crate::frozen::FrozenGraph;
 use crate::pattern::{match_from_root, matching_order, Binding, Pattern};
 use gdm_core::{Direction, FxHashMap, FxHashSet, GraphView, NodeId};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 
 /// Number of worker threads to use by default: the machine's available
 /// parallelism, or 1 when that cannot be determined.
 pub fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Fault-injection hook for the degradation tests: when armed, the
+/// next worker thread that starts panics once. Not part of the public
+/// API surface.
+#[doc(hidden)]
+pub static INJECT_WORKER_PANIC: AtomicBool = AtomicBool::new(false);
+
+/// Arms [`INJECT_WORKER_PANIC`] so exactly one subsequent worker
+/// panics (test hook).
+#[doc(hidden)]
+pub fn inject_worker_panic_once() {
+    INJECT_WORKER_PANIC.store(true, Ordering::SeqCst);
+}
+
+#[inline]
+fn maybe_inject_panic() {
+    if INJECT_WORKER_PANIC.swap(false, Ordering::SeqCst) {
+        panic!("injected worker panic (test hook)");
+    }
+}
+
+/// Runs `body` inside `catch_unwind` on a worker thread, reporting
+/// success. Workers never unwind into [`std::thread::scope`] (which
+/// would re-panic on the caller); a `false` return tells the reducer
+/// to discard the parallel attempt and degrade to the sequential
+/// algorithm. The panic payload is intentionally swallowed — the
+/// sequential rerun recomputes everything the lost worker owned.
+#[inline]
+fn isolate<F: FnOnce()>(body: F) -> bool {
+    catch_unwind(AssertUnwindSafe(|| {
+        maybe_inject_panic();
+        body();
+    }))
+    .is_ok()
 }
 
 #[inline]
@@ -85,6 +130,10 @@ fn bfs_depth(
 /// Eccentricity of every node (indexed by dense position), computed
 /// by parallel multi-source BFS. Agrees with
 /// [`crate::summary::eccentricity`] per node.
+///
+/// Degradation: a panicking worker is contained by `catch_unwind` and
+/// the whole result is recomputed sequentially on the calling thread —
+/// slower, same answer.
 pub fn par_eccentricities(fz: &FrozenGraph, direction: Direction, threads: usize) -> Vec<usize> {
     let n = fz.len();
     if n == 0 {
@@ -93,27 +142,49 @@ pub fn par_eccentricities(fz: &FrozenGraph, direction: Direction, threads: usize
     let threads = clamp_threads(threads, n);
     let chunk = n.div_ceil(threads);
     let mut ecc = vec![0usize; n];
-    std::thread::scope(|s| {
-        for (t, slice) in ecc.chunks_mut(chunk).enumerate() {
-            let start = t * chunk;
-            s.spawn(move || {
-                let mut dist = vec![u32::MAX; n];
-                let mut queue = VecDeque::new();
-                let mut touched = Vec::new();
-                for (i, e) in slice.iter_mut().enumerate() {
-                    *e = bfs_depth(
-                        fz,
-                        (start + i) as u32,
-                        direction,
-                        &mut dist,
-                        &mut queue,
-                        &mut touched,
-                    );
-                }
-            });
-        }
+    let ok = std::thread::scope(|s| {
+        let handles: Vec<_> = ecc
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(t, slice)| {
+                let start = t * chunk;
+                s.spawn(move || {
+                    isolate(|| {
+                        let mut dist = vec![u32::MAX; n];
+                        let mut queue = VecDeque::new();
+                        let mut touched = Vec::new();
+                        for (i, e) in slice.iter_mut().enumerate() {
+                            *e = bfs_depth(
+                                fz,
+                                (start + i) as u32,
+                                direction,
+                                &mut dist,
+                                &mut queue,
+                                &mut touched,
+                            );
+                        }
+                    })
+                })
+            })
+            .collect();
+        handles.into_iter().all(|h| h.join().unwrap_or(false))
     });
-    ecc
+    if ok {
+        return ecc;
+    }
+    seq_eccentricities(fz, direction)
+}
+
+/// Sequential fallback for [`par_eccentricities`]: the same BFS, one
+/// source at a time on the calling thread.
+fn seq_eccentricities(fz: &FrozenGraph, direction: Direction) -> Vec<usize> {
+    let n = fz.len();
+    let mut dist = vec![u32::MAX; n];
+    let mut queue = VecDeque::new();
+    let mut touched = Vec::new();
+    (0..n as u32)
+        .map(|src| bfs_depth(fz, src, direction, &mut dist, &mut queue, &mut touched))
+        .collect()
 }
 
 /// Diameter by parallel all-pairs BFS; agrees with
@@ -182,27 +253,39 @@ pub fn par_connected_components(fz: &FrozenGraph, threads: usize) -> Vec<Vec<Nod
     let parents: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
     let threads = clamp_threads(threads, n);
     let chunk = n.div_ceil(threads);
-    std::thread::scope(|s| {
-        for t in 0..threads {
-            let parents = &parents;
-            s.spawn(move || {
-                let lo = t * chunk;
-                let hi = ((t + 1) * chunk).min(n);
-                for u in lo..hi {
-                    let u = u as u32;
-                    for &v in fz.out_targets(u) {
-                        uf_union(parents, u, v);
-                    }
-                    // Reverse runs normally mirror the forward ones, but
-                    // a view is free to record asymmetrically; union over
-                    // both so the snapshot's full incidence counts.
-                    for &v in fz.in_targets(u) {
-                        uf_union(parents, u, v);
-                    }
-                }
-            });
-        }
+    let ok = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let parents = &parents;
+                s.spawn(move || {
+                    isolate(|| {
+                        let lo = t * chunk;
+                        let hi = ((t + 1) * chunk).min(n);
+                        for u in lo..hi {
+                            let u = u as u32;
+                            for &v in fz.out_targets(u) {
+                                uf_union(parents, u, v);
+                            }
+                            // Reverse runs normally mirror the forward
+                            // ones, but a view is free to record
+                            // asymmetrically; union over both so the
+                            // snapshot's full incidence counts.
+                            for &v in fz.in_targets(u) {
+                                uf_union(parents, u, v);
+                            }
+                        }
+                    })
+                })
+            })
+            .collect();
+        handles.into_iter().all(|h| h.join().unwrap_or(false))
     });
+    if !ok {
+        // A lost worker means some unions never happened; the partial
+        // union-find cannot be trusted. Degrade to the sequential
+        // algorithm (same output contract).
+        return crate::analysis::connected_components(fz);
+    }
     // Sequential gather: scanning dense positions ascending creates
     // each component at its minimum member, i.e. in the same order the
     // sequential algorithm discovers roots.
@@ -236,24 +319,43 @@ fn dense_neighbor_lists(fz: &FrozenGraph, threads: usize) -> Vec<Vec<u32>> {
     if n == 0 {
         return lists;
     }
+    let build = |u: u32, list: &mut Vec<u32>| {
+        list.extend(fz.out_targets(u).iter().copied().filter(|&v| v != u));
+        if fz.is_directed() {
+            list.extend(fz.in_targets(u).iter().copied().filter(|&v| v != u));
+        }
+        list.sort_unstable();
+        list.dedup();
+    };
     let threads = clamp_threads(threads, n);
     let chunk = n.div_ceil(threads);
-    std::thread::scope(|s| {
-        for (t, slice) in lists.chunks_mut(chunk).enumerate() {
-            let start = t * chunk;
-            s.spawn(move || {
-                for (i, list) in slice.iter_mut().enumerate() {
-                    let u = (start + i) as u32;
-                    list.extend(fz.out_targets(u).iter().copied().filter(|&v| v != u));
-                    if fz.is_directed() {
-                        list.extend(fz.in_targets(u).iter().copied().filter(|&v| v != u));
-                    }
-                    list.sort_unstable();
-                    list.dedup();
-                }
-            });
-        }
+    let ok = std::thread::scope(|s| {
+        let handles: Vec<_> = lists
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(t, slice)| {
+                let start = t * chunk;
+                s.spawn(move || {
+                    isolate(|| {
+                        for (i, list) in slice.iter_mut().enumerate() {
+                            build((start + i) as u32, list);
+                        }
+                    })
+                })
+            })
+            .collect();
+        handles.into_iter().all(|h| h.join().unwrap_or(false))
     });
+    if !ok {
+        // Rebuild everything sequentially; a panicked worker may have
+        // left its chunk half-filled.
+        for list in &mut lists {
+            list.clear();
+        }
+        for (u, list) in lists.iter_mut().enumerate() {
+            build(u as u32, list);
+        }
+    }
     lists
 }
 
@@ -268,30 +370,40 @@ pub fn par_triangle_count(fz: &FrozenGraph, threads: usize) -> usize {
     let threads = clamp_threads(threads, n);
     let chunk = n.div_ceil(threads);
     let mut partial = vec![0usize; threads];
-    std::thread::scope(|s| {
-        for (t, out) in partial.iter_mut().enumerate() {
-            s.spawn(move || {
-                let lo = t * chunk;
-                let hi = ((t + 1) * chunk).min(n);
-                let mut count = 0usize;
-                for u in lo..hi {
-                    let neigh = &lists[u];
-                    for (i, &m) in neigh.iter().enumerate() {
-                        if m as usize <= u {
-                            continue;
-                        }
-                        let mset = &lists[m as usize];
-                        for &k in &neigh[i + 1..] {
-                            if k > m && mset.binary_search(&k).is_ok() {
-                                count += 1;
+    let ok = std::thread::scope(|s| {
+        let handles: Vec<_> = partial
+            .iter_mut()
+            .enumerate()
+            .map(|(t, out)| {
+                s.spawn(move || {
+                    isolate(|| {
+                        let lo = t * chunk;
+                        let hi = ((t + 1) * chunk).min(n);
+                        let mut count = 0usize;
+                        for u in lo..hi {
+                            let neigh = &lists[u];
+                            for (i, &m) in neigh.iter().enumerate() {
+                                if m as usize <= u {
+                                    continue;
+                                }
+                                let mset = &lists[m as usize];
+                                for &k in &neigh[i + 1..] {
+                                    if k > m && mset.binary_search(&k).is_ok() {
+                                        count += 1;
+                                    }
+                                }
                             }
                         }
-                    }
-                }
-                *out = count;
-            });
-        }
+                        *out = count;
+                    })
+                })
+            })
+            .collect();
+        handles.into_iter().all(|h| h.join().unwrap_or(false))
     });
+    if !ok {
+        return crate::analysis::triangle_count(fz);
+    }
     partial.into_iter().sum()
 }
 
@@ -309,30 +421,40 @@ pub fn par_average_clustering(fz: &FrozenGraph, threads: usize) -> Option<f64> {
     let threads = clamp_threads(threads, n);
     let chunk = n.div_ceil(threads);
     let mut coeffs: Vec<Option<f64>> = vec![None; n];
-    std::thread::scope(|s| {
-        for (t, slice) in coeffs.chunks_mut(chunk).enumerate() {
-            let start = t * chunk;
-            s.spawn(move || {
-                for (i, out) in slice.iter_mut().enumerate() {
-                    let neigh = &lists[start + i];
-                    let k = neigh.len();
-                    if k < 2 {
-                        continue;
-                    }
-                    let mut closed = 0usize;
-                    for (j, &a) in neigh.iter().enumerate() {
-                        let aset = &lists[a as usize];
-                        for &b in &neigh[j + 1..] {
-                            if aset.binary_search(&b).is_ok() {
-                                closed += 1;
+    let ok = std::thread::scope(|s| {
+        let handles: Vec<_> = coeffs
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(t, slice)| {
+                let start = t * chunk;
+                s.spawn(move || {
+                    isolate(|| {
+                        for (i, out) in slice.iter_mut().enumerate() {
+                            let neigh = &lists[start + i];
+                            let k = neigh.len();
+                            if k < 2 {
+                                continue;
                             }
+                            let mut closed = 0usize;
+                            for (j, &a) in neigh.iter().enumerate() {
+                                let aset = &lists[a as usize];
+                                for &b in &neigh[j + 1..] {
+                                    if aset.binary_search(&b).is_ok() {
+                                        closed += 1;
+                                    }
+                                }
+                            }
+                            *out = Some(closed as f64 / (k * (k - 1) / 2) as f64);
                         }
-                    }
-                    *out = Some(closed as f64 / (k * (k - 1) / 2) as f64);
-                }
-            });
-        }
+                    })
+                })
+            })
+            .collect();
+        handles.into_iter().all(|h| h.join().unwrap_or(false))
     });
+    if !ok {
+        return crate::analysis::average_clustering(fz);
+    }
     let mut sum = 0.0;
     let mut count = 0usize;
     for c in coeffs.into_iter().flatten() {
@@ -353,22 +475,32 @@ pub fn par_degree_stats(fz: &FrozenGraph, threads: usize) -> Option<(usize, usiz
     let threads = clamp_threads(threads, n);
     let chunk = n.div_ceil(threads);
     let mut partial = vec![(usize::MAX, 0usize, 0usize); threads];
-    std::thread::scope(|s| {
-        for (t, out) in partial.iter_mut().enumerate() {
-            s.spawn(move || {
-                let lo = t * chunk;
-                let hi = ((t + 1) * chunk).min(n);
-                let (mut min, mut max, mut sum) = (usize::MAX, 0usize, 0usize);
-                for u in lo..hi {
-                    let d = fz.degree_dense(u as u32);
-                    min = min.min(d);
-                    max = max.max(d);
-                    sum += d;
-                }
-                *out = (min, max, sum);
-            });
-        }
+    let ok = std::thread::scope(|s| {
+        let handles: Vec<_> = partial
+            .iter_mut()
+            .enumerate()
+            .map(|(t, out)| {
+                s.spawn(move || {
+                    isolate(|| {
+                        let lo = t * chunk;
+                        let hi = ((t + 1) * chunk).min(n);
+                        let (mut min, mut max, mut sum) = (usize::MAX, 0usize, 0usize);
+                        for u in lo..hi {
+                            let d = fz.degree_dense(u as u32);
+                            min = min.min(d);
+                            max = max.max(d);
+                            sum += d;
+                        }
+                        *out = (min, max, sum);
+                    })
+                })
+            })
+            .collect();
+        handles.into_iter().all(|h| h.join().unwrap_or(false))
     });
+    if !ok {
+        return crate::summary::degree_stats(fz);
+    }
     let (mut min, mut max, mut sum) = (usize::MAX, 0usize, 0usize);
     for (lo, hi, s) in partial {
         min = min.min(lo);
@@ -448,23 +580,38 @@ pub fn par_match_pattern(fz: &FrozenGraph, pattern: &Pattern, threads: usize) ->
     let order = &order;
     let roots = &roots;
     let mut out = Vec::new();
-    std::thread::scope(|s| {
+    let ok = std::thread::scope(|s| {
         let handles: Vec<_> = roots
             .chunks(chunk)
             .map(|part| {
                 s.spawn(move || {
                     let mut local = Vec::new();
-                    for &dense in part {
-                        match_from_root(fz, pattern, order, fz.node_at(dense), &mut local);
-                    }
-                    local
+                    let ok = isolate(|| {
+                        for &dense in part {
+                            match_from_root(fz, pattern, order, fz.node_at(dense), &mut local);
+                        }
+                    });
+                    ok.then_some(local)
                 })
             })
             .collect();
+        let mut all_ok = true;
         for h in handles {
-            out.extend(h.join().expect("pattern worker panicked"));
+            match h.join().unwrap_or(None) {
+                Some(local) => out.extend(local),
+                None => all_ok = false,
+            }
         }
+        all_ok
     });
+    if !ok {
+        // A lost chunk means missing bindings; rerun every root on the
+        // calling thread (same order, same output).
+        out.clear();
+        for &dense in roots {
+            match_from_root(fz, pattern, order, fz.node_at(dense), &mut out);
+        }
+    }
     out
 }
 
@@ -638,5 +785,64 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    /// The injection hook is process-global; these tests take this
+    /// lock so concurrent test threads do not steal each other's
+    /// armed panic. (A stolen panic is still *safe* — any `par_*`
+    /// call degrades to the sequential answer — it just stops the
+    /// assertion below from being meaningful.)
+    static PANIC_TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn injected_worker_panic_degrades_diameter_to_sequential() {
+        let _guard = PANIC_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let g = fixture(true, 80);
+        let fz = FrozenGraph::freeze(&g);
+        let want = diameter(&fz, Direction::Both);
+        inject_worker_panic_once();
+        let got = par_diameter(&fz, Direction::Both, 4);
+        assert_eq!(got, want, "panicking worker must not change the answer");
+        assert!(
+            !INJECT_WORKER_PANIC.load(Ordering::SeqCst),
+            "the injected panic fired"
+        );
+    }
+
+    #[test]
+    fn injected_worker_panic_degrades_pattern_match_to_sequential() {
+        let _guard = PANIC_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let g = fixture(true, 80);
+        let fz = FrozenGraph::freeze(&g);
+        let mut p = Pattern::new();
+        let x = p.node(PatternNode::var("x"));
+        let y = p.node(PatternNode::var("y"));
+        p.edge(x, y, Some("a")).unwrap();
+        let seq = match_pattern(&fz, &p);
+        assert!(!seq.is_empty());
+        inject_worker_panic_once();
+        let par = par_match_pattern(&fz, &p, 4);
+        assert_eq!(canonical(&par), canonical(&seq));
+        assert_eq!(par.len(), seq.len());
+    }
+
+    #[test]
+    fn injected_worker_panic_degrades_components_and_counts() {
+        let _guard = PANIC_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let g = fixture(false, 70);
+        let fz = FrozenGraph::freeze(&g);
+        inject_worker_panic_once();
+        assert_eq!(par_connected_components(&fz, 4), connected_components(&fz));
+        inject_worker_panic_once();
+        assert_eq!(par_triangle_count(&fz, 4), triangle_count(&fz));
+        inject_worker_panic_once();
+        assert_eq!(par_degree_stats(&fz, 4), degree_stats(&fz));
+        inject_worker_panic_once();
+        let par = par_average_clustering(&fz, 4);
+        let seq = average_clustering(&fz);
+        match (par, seq) {
+            (Some(p), Some(s)) => assert!((p - s).abs() < 1e-12),
+            (p, s) => assert_eq!(p, s),
+        }
     }
 }

@@ -12,6 +12,7 @@ use gdm_core::{
     Direction, EdgeId, EdgeRef, FxHashMap, FxHashSet, GdmError, GraphView, NodeId, Result,
     WeightedView,
 };
+use gdm_govern::{ExecutionGuard, GuardExt};
 use std::collections::VecDeque;
 
 /// A path: `nodes.len() == edges.len() + 1`.
@@ -176,22 +177,52 @@ fn search_fixed(
 
 /// Unweighted shortest path from `a` to `b` (BFS), if any.
 pub fn shortest_path(g: &dyn GraphView, a: NodeId, b: NodeId) -> Option<Path> {
+    shortest_path_guarded(g, a, b, None).expect("ungoverned search cannot be interrupted")
+}
+
+/// [`shortest_path`] under an [`ExecutionGuard`]: the BFS charges one
+/// node visit per dequeued node and one edge visit per traversed edge.
+/// With an unlimited guard the result equals [`shortest_path`].
+pub fn shortest_path_governed(
+    g: &dyn GraphView,
+    a: NodeId,
+    b: NodeId,
+    guard: &ExecutionGuard,
+) -> Result<Option<Path>> {
+    shortest_path_guarded(g, a, b, Some(guard))
+}
+
+pub(crate) fn shortest_path_guarded(
+    g: &dyn GraphView,
+    a: NodeId,
+    b: NodeId,
+    guard: Option<&ExecutionGuard>,
+) -> Result<Option<Path>> {
     if !g.contains_node(a) || !g.contains_node(b) {
-        return None;
+        return Ok(None);
     }
     if a == b {
-        return Some(Path {
+        return Ok(Some(Path {
             nodes: vec![a],
             edges: vec![],
-        });
+        }));
     }
     let mut parent: FxHashMap<u64, EdgeRef> = FxHashMap::default();
     let mut queue = VecDeque::from([a]);
     let mut seen: FxHashSet<u64> = FxHashSet::default();
     seen.insert(a.raw());
     'outer: while let Some(n) = queue.pop_front() {
+        guard.node()?;
         let mut hit = false;
+        let mut tripped = Ok(());
         g.visit_out_edges(n, &mut |e| {
+            if tripped.is_err() {
+                return;
+            }
+            tripped = guard.edge();
+            if tripped.is_err() {
+                return;
+            }
             if seen.insert(e.to.raw()) {
                 parent.insert(e.to.raw(), e);
                 queue.push_back(e.to);
@@ -200,12 +231,13 @@ pub fn shortest_path(g: &dyn GraphView, a: NodeId, b: NodeId) -> Option<Path> {
                 hit = true;
             }
         });
+        tripped?;
         if hit {
             // First discovery of b is at minimal depth (BFS order).
             break 'outer;
         }
     }
-    reconstruct(&parent, a, b)
+    Ok(reconstruct(&parent, a, b))
 }
 
 /// Distance between nodes: length of the shortest path, if connected.

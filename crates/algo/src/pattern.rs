@@ -8,6 +8,7 @@
 //! oracle the property tests compare against.
 
 use gdm_core::{AttributedView, Direction, FxHashMap, GdmError, NodeId, Result, Value};
+use gdm_govern::{ExecutionGuard, GuardExt};
 
 /// A pattern node: a variable plus optional constraints.
 #[derive(Debug, Clone, Default)]
@@ -117,16 +118,36 @@ pub type Binding = FxHashMap<String, NodeId>;
 /// Finds all subgraph matches of `pattern` in `g` (VF2-style search).
 /// Matches are injective on nodes. Returns bindings in a stable order.
 pub fn match_pattern<G: AttributedView + ?Sized>(g: &G, pattern: &Pattern) -> Vec<Binding> {
+    match_pattern_guarded(g, pattern, None).expect("ungoverned search cannot be interrupted")
+}
+
+/// [`match_pattern`] under an [`ExecutionGuard`]: the search charges
+/// one node visit per candidate considered and one row per binding
+/// emitted, and returns [`GdmError::Interrupted`] when the guard
+/// trips. With an unlimited guard the result equals [`match_pattern`].
+pub fn match_pattern_governed<G: AttributedView + ?Sized>(
+    g: &G,
+    pattern: &Pattern,
+    guard: &ExecutionGuard,
+) -> Result<Vec<Binding>> {
+    match_pattern_guarded(g, pattern, Some(guard))
+}
+
+pub(crate) fn match_pattern_guarded<G: AttributedView + ?Sized>(
+    g: &G,
+    pattern: &Pattern,
+    guard: Option<&ExecutionGuard>,
+) -> Result<Vec<Binding>> {
     if pattern.nodes.is_empty() {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     // Order pattern nodes: most-constrained first, then by
     // connectivity to already-placed nodes (classic VF2 ordering).
     let order = matching_order(pattern);
     let mut assignment: Vec<Option<NodeId>> = vec![None; pattern.nodes.len()];
     let mut out = Vec::new();
-    extend(g, pattern, &order, 0, &mut assignment, &mut out);
-    out
+    extend(g, pattern, &order, 0, &mut assignment, &mut out, guard)?;
+    Ok(out)
 }
 
 pub(crate) fn matching_order(pattern: &Pattern) -> Vec<usize> {
@@ -175,10 +196,12 @@ pub(crate) fn match_from_root<G: AttributedView + ?Sized>(
     let mut assignment: Vec<Option<NodeId>> = vec![None; pattern.nodes.len()];
     assignment[pv] = Some(root);
     if edges_consistent(g, pattern, pv, &assignment) {
-        extend(g, pattern, order, 1, &mut assignment, out);
+        extend(g, pattern, order, 1, &mut assignment, out, None)
+            .expect("ungoverned search cannot be interrupted");
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn extend<G: AttributedView + ?Sized>(
     g: &G,
     pattern: &Pattern,
@@ -186,8 +209,10 @@ fn extend<G: AttributedView + ?Sized>(
     depth: usize,
     assignment: &mut Vec<Option<NodeId>>,
     out: &mut Vec<Binding>,
-) {
+    guard: Option<&ExecutionGuard>,
+) -> Result<()> {
     if depth == order.len() {
+        guard.row()?;
         let binding = pattern
             .nodes
             .iter()
@@ -195,10 +220,11 @@ fn extend<G: AttributedView + ?Sized>(
             .map(|(i, pn)| (pn.var.clone(), assignment[i].expect("complete")))
             .collect();
         out.push(binding);
-        return;
+        return Ok(());
     }
     let pv = order[depth];
     for candidate in candidates(g, pattern, pv, assignment) {
+        guard.node()?;
         if assignment.iter().flatten().any(|&n| n == candidate) {
             continue; // injectivity
         }
@@ -207,10 +233,11 @@ fn extend<G: AttributedView + ?Sized>(
         }
         assignment[pv] = Some(candidate);
         if edges_consistent(g, pattern, pv, assignment) {
-            extend(g, pattern, order, depth + 1, assignment, out);
+            extend(g, pattern, order, depth + 1, assignment, out, guard)?;
         }
         assignment[pv] = None;
     }
+    Ok(())
 }
 
 /// Candidate data nodes for pattern node `pv`: neighbors of an

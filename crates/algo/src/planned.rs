@@ -19,7 +19,8 @@
 //! row order may differ because the variable order does.
 
 use crate::pattern::{Binding, Pattern};
-use gdm_core::{AttributedView, Direction, FxHashMap, FxHashSet, NodeId, Symbol};
+use gdm_core::{AttributedView, Direction, FxHashMap, FxHashSet, NodeId, Result, Symbol};
+use gdm_govern::{ExecutionGuard, GuardExt};
 
 /// Per-variable candidate domains, indexed like `Pattern::nodes`.
 /// `None` leaves the variable unrestricted (full scan or neighbor
@@ -70,6 +71,20 @@ impl MatchTable {
                     .collect()
             })
             .collect()
+    }
+
+    /// Builds a table from the unplanned API's binding maps, with
+    /// columns in `pattern`'s variable order — the conversion used
+    /// when the planned matcher degrades to the reference path.
+    pub fn from_bindings(pattern: &Pattern, bindings: &[Binding]) -> Self {
+        let vars: Vec<String> = pattern.nodes.iter().map(|pn| pn.var.clone()).collect();
+        let mut data = Vec::with_capacity(vars.len() * bindings.len());
+        for b in bindings {
+            for v in &vars {
+                data.push(b[v]);
+            }
+        }
+        MatchTable { vars, data }
     }
 }
 
@@ -135,10 +150,55 @@ pub fn auto_domains<G: AttributedView + ?Sized>(g: &G, pattern: &Pattern) -> Dom
         .collect()
 }
 
+/// Probes index-supplied domains for consistency with the graph: a
+/// secondary index that hands back a node the graph does not contain
+/// is corrupt (stale entry, torn rebuild), and — since the matcher
+/// only *filters* candidates — may equally be **missing** entries, so
+/// its domains cannot be trusted as complete either. Returns `false`
+/// on the first dangling id.
+pub fn domains_consistent<G: AttributedView + ?Sized>(
+    g: &G,
+    domains: &[Option<Vec<NodeId>>],
+) -> bool {
+    domains
+        .iter()
+        .flatten()
+        .flatten()
+        .all(|&n| g.contains_node(n))
+}
+
 /// Planned matching with the view's own indexes seeding the domains.
+///
+/// Degradation ladder: the index-built domains are probed with
+/// [`domains_consistent`] first; if the probe reports an inconsistency
+/// the planned path is abandoned and the query is answered by the
+/// unplanned reference matcher ([`crate::match_pattern`]), which scans
+/// rather than trusts indexes — slower, never wrong.
 pub fn match_pattern_auto<G: AttributedView + ?Sized>(g: &G, pattern: &Pattern) -> MatchTable {
+    match_pattern_auto_guarded(g, pattern, None).expect("ungoverned search cannot be interrupted")
+}
+
+/// [`match_pattern_auto`] under an [`ExecutionGuard`] (same
+/// index-inconsistency fallback; both paths are governed).
+pub fn match_pattern_auto_governed<G: AttributedView + ?Sized>(
+    g: &G,
+    pattern: &Pattern,
+    guard: &ExecutionGuard,
+) -> Result<MatchTable> {
+    match_pattern_auto_guarded(g, pattern, Some(guard))
+}
+
+pub(crate) fn match_pattern_auto_guarded<G: AttributedView + ?Sized>(
+    g: &G,
+    pattern: &Pattern,
+    guard: Option<&ExecutionGuard>,
+) -> Result<MatchTable> {
     let domains = auto_domains(g, pattern);
-    match_pattern_planned(g, pattern, &domains)
+    if !domains_consistent(g, &domains) {
+        let bindings = crate::pattern::match_pattern_guarded(g, pattern, guard)?;
+        return Ok(MatchTable::from_bindings(pattern, &bindings));
+    }
+    match_pattern_planned_guarded(g, pattern, &domains, guard)
 }
 
 /// Finds all subgraph matches of `pattern` in `g`, seeding each
@@ -151,12 +211,34 @@ pub fn match_pattern_planned<G: AttributedView + ?Sized>(
     pattern: &Pattern,
     domains: &[Option<Vec<NodeId>>],
 ) -> MatchTable {
+    match_pattern_planned_guarded(g, pattern, domains, None)
+        .expect("ungoverned search cannot be interrupted")
+}
+
+/// [`match_pattern_planned`] under an [`ExecutionGuard`]: one node
+/// charge per candidate binding attempt, one row charge per match.
+/// With an unlimited guard the result equals [`match_pattern_planned`].
+pub fn match_pattern_planned_governed<G: AttributedView + ?Sized>(
+    g: &G,
+    pattern: &Pattern,
+    domains: &[Option<Vec<NodeId>>],
+    guard: &ExecutionGuard,
+) -> Result<MatchTable> {
+    match_pattern_planned_guarded(g, pattern, domains, Some(guard))
+}
+
+pub(crate) fn match_pattern_planned_guarded<G: AttributedView + ?Sized>(
+    g: &G,
+    pattern: &Pattern,
+    domains: &[Option<Vec<NodeId>>],
+    guard: Option<&ExecutionGuard>,
+) -> Result<MatchTable> {
     let vars: Vec<String> = pattern.nodes.iter().map(|pn| pn.var.clone()).collect();
     if pattern.nodes.is_empty() {
-        return MatchTable {
+        return Ok(MatchTable {
             vars,
             data: Vec::new(),
-        };
+        });
     }
     let estimates = domain_estimates(g, pattern, domains);
     let order = planned_order(pattern, &estimates);
@@ -179,12 +261,13 @@ pub fn match_pattern_planned<G: AttributedView + ?Sized>(
         assignment: vec![None; pattern.nodes.len()],
         all_nodes: None,
         data: Vec::new(),
+        guard,
     };
-    search.extend(0);
-    MatchTable {
+    search.extend(0)?;
+    Ok(MatchTable {
         vars,
         data: search.data,
-    }
+    })
 }
 
 struct Search<'a, G: ?Sized> {
@@ -202,15 +285,17 @@ struct Search<'a, G: ?Sized> {
     /// Full node list, materialized at most once per search.
     all_nodes: Option<Vec<NodeId>>,
     data: Vec<NodeId>,
+    guard: Option<&'a ExecutionGuard>,
 }
 
 impl<G: AttributedView + ?Sized> Search<'_, G> {
-    fn extend(&mut self, depth: usize) {
+    fn extend(&mut self, depth: usize) -> Result<()> {
         if depth == self.order.len() {
+            self.guard.row()?;
             for slot in &self.assignment {
                 self.data.push(slot.expect("complete assignment"));
             }
-            return;
+            return Ok(());
         }
         let pv = self.order[depth];
         // Generating edge: the first pattern edge joining `pv` to an
@@ -230,14 +315,14 @@ impl<G: AttributedView + ?Sized> Search<'_, G> {
                             continue;
                         }
                     }
-                    self.try_bind(depth, pv, n, Some(ei));
+                    self.try_bind(depth, pv, n, Some(ei))?;
                 }
             }
             None => {
                 let domains = self.domains;
                 if let Some(dom) = domains.get(pv).and_then(|d| d.as_deref()) {
                     for &n in dom {
-                        self.try_bind(depth, pv, n, None);
+                        self.try_bind(depth, pv, n, None)?;
                     }
                 } else {
                     if self.all_nodes.is_none() {
@@ -245,12 +330,16 @@ impl<G: AttributedView + ?Sized> Search<'_, G> {
                     }
                     let all = self.all_nodes.take().expect("just filled");
                     for &n in &all {
-                        self.try_bind(depth, pv, n, None);
+                        if let Err(e) = self.try_bind(depth, pv, n, None) {
+                            self.all_nodes = Some(all);
+                            return Err(e);
+                        }
                     }
                     self.all_nodes = Some(all);
                 }
             }
         }
+        Ok(())
     }
 
     /// Distinct neighbors of the bound endpoint of pattern edge `ei`
@@ -279,18 +368,28 @@ impl<G: AttributedView + ?Sized> Search<'_, G> {
         out
     }
 
-    fn try_bind(&mut self, depth: usize, pv: usize, n: NodeId, generator: Option<usize>) {
+    fn try_bind(
+        &mut self,
+        depth: usize,
+        pv: usize,
+        n: NodeId,
+        generator: Option<usize>,
+    ) -> Result<()> {
+        self.guard.node()?;
         if self.assignment.iter().flatten().any(|&m| m == n) {
-            return; // injectivity
+            return Ok(()); // injectivity
         }
         if !self.node_ok(pv, n) {
-            return;
+            return Ok(());
         }
         self.assignment[pv] = Some(n);
-        if self.edges_consistent(pv, generator) {
-            self.extend(depth + 1);
-        }
+        let recurse = if self.edges_consistent(pv, generator) {
+            self.extend(depth + 1)
+        } else {
+            Ok(())
+        };
         self.assignment[pv] = None;
+        recurse
     }
 
     fn node_ok(&mut self, pv: usize, n: NodeId) -> bool {
@@ -509,6 +608,102 @@ mod tests {
             assert_eq!(b["x"], row[0]);
             assert_eq!(b["y"], row[1]);
         }
+    }
+
+    /// A view whose index lies: `candidate_estimate` claims coverage
+    /// and `candidates` hands back a dangling node id — the corrupt
+    /// secondary index the degradation ladder must survive.
+    struct LyingIndex(PropertyGraph);
+
+    impl gdm_core::GraphView for LyingIndex {
+        fn is_directed(&self) -> bool {
+            self.0.is_directed()
+        }
+        fn node_count(&self) -> usize {
+            self.0.node_count()
+        }
+        fn edge_count(&self) -> usize {
+            self.0.edge_count()
+        }
+        fn contains_node(&self, n: NodeId) -> bool {
+            self.0.contains_node(n)
+        }
+        fn visit_nodes(&self, f: &mut dyn FnMut(NodeId)) {
+            self.0.visit_nodes(f)
+        }
+        fn visit_out_edges(&self, n: NodeId, f: &mut dyn FnMut(gdm_core::EdgeRef)) {
+            self.0.visit_out_edges(n, f)
+        }
+        fn visit_in_edges(&self, n: NodeId, f: &mut dyn FnMut(gdm_core::EdgeRef)) {
+            self.0.visit_in_edges(n, f)
+        }
+        fn label_text(&self, sym: Symbol) -> Option<&str> {
+            self.0.label_text(sym)
+        }
+    }
+
+    impl AttributedView for LyingIndex {
+        fn node_label(&self, n: NodeId) -> Option<Symbol> {
+            self.0.node_label(n)
+        }
+        fn node_property(&self, n: NodeId, key: &str) -> Option<gdm_core::Value> {
+            self.0.node_property(n, key)
+        }
+        fn edge_property(&self, e: gdm_core::EdgeId, key: &str) -> Option<gdm_core::Value> {
+            self.0.edge_property(e, key)
+        }
+        fn candidates(
+            &self,
+            _label: Option<&str>,
+            _props: &[(String, gdm_core::Value)],
+        ) -> Vec<NodeId> {
+            vec![NodeId(u64::MAX)] // stale entry for a node that never existed
+        }
+        fn candidate_estimate(
+            &self,
+            _label: Option<&str>,
+            _props: &[(String, gdm_core::Value)],
+        ) -> Option<usize> {
+            Some(1)
+        }
+    }
+
+    #[test]
+    fn inconsistent_index_falls_back_to_reference_matcher() {
+        let g = LyingIndex(community());
+        let p = chain_pattern();
+        let domains = auto_domains(&g, &p);
+        assert!(!domains_consistent(&g, &domains));
+        // Trusting the lying index would return zero matches; the
+        // fallback answers from the reference scan instead.
+        let via_auto = match_pattern_auto(&g, &p);
+        let reference = match_pattern(&g.0, &p);
+        assert!(!reference.is_empty());
+        assert_eq!(canonical(&via_auto.to_bindings()), canonical(&reference));
+    }
+
+    #[test]
+    fn governed_planned_interrupts_on_tiny_budget() {
+        let g = community();
+        let p = chain_pattern();
+        let guard = gdm_govern::ExecutionGuard::new(gdm_govern::Limits::none().with_node_visits(1));
+        let err =
+            match_pattern_planned_governed(&g, &p, &auto_domains(&g, &p), &guard).unwrap_err();
+        assert!(err.is_interrupted());
+    }
+
+    #[test]
+    fn governed_unlimited_equals_ungoverned() {
+        let g = community();
+        let p = chain_pattern();
+        let guard = gdm_govern::ExecutionGuard::unlimited();
+        let governed =
+            match_pattern_planned_governed(&g, &p, &auto_domains(&g, &p), &guard).unwrap();
+        let plain = match_pattern_auto(&g, &p);
+        assert_eq!(
+            canonical(&governed.to_bindings()),
+            canonical(&plain.to_bindings())
+        );
     }
 
     #[test]

@@ -25,6 +25,7 @@
 
 use crate::paths::Path;
 use gdm_core::{EdgeId, FxHashSet, GdmError, GraphView, NodeId, Result};
+use gdm_govern::{ExecutionGuard, GuardExt};
 use std::collections::VecDeque;
 
 // ---------------------------------------------------------------------
@@ -343,8 +344,33 @@ impl LabelRegex {
 /// Walk semantics: is there any walk from `a` to `b` whose label word
 /// matches `regex`? Polynomial product-automaton BFS.
 pub fn regular_path_exists(g: &dyn GraphView, a: NodeId, b: NodeId, regex: &LabelRegex) -> bool {
+    regular_path_exists_guarded(g, a, b, regex, None)
+        .expect("ungoverned search cannot be interrupted")
+}
+
+/// [`regular_path_exists`] under an [`ExecutionGuard`]: the product
+/// BFS charges one node visit per dequeued product state and one edge
+/// visit per expanded edge. With an unlimited guard the result equals
+/// [`regular_path_exists`].
+pub fn regular_path_exists_governed(
+    g: &dyn GraphView,
+    a: NodeId,
+    b: NodeId,
+    regex: &LabelRegex,
+    guard: &ExecutionGuard,
+) -> Result<bool> {
+    regular_path_exists_guarded(g, a, b, regex, Some(guard))
+}
+
+pub(crate) fn regular_path_exists_guarded(
+    g: &dyn GraphView,
+    a: NodeId,
+    b: NodeId,
+    regex: &LabelRegex,
+    guard: Option<&ExecutionGuard>,
+) -> Result<bool> {
     if !g.contains_node(a) || !g.contains_node(b) {
-        return false;
+        return Ok(false);
     }
     // Product state: (node, nfa state). BFS over epsilon-closed sets is
     // per-node; we track (node, state) pairs explicitly.
@@ -357,12 +383,14 @@ pub fn regular_path_exists(g: &dyn GraphView, a: NodeId, b: NodeId, regex: &Labe
         }
     }
     if a == b && regex.accepts_set(&start) {
-        return true;
+        return Ok(true);
     }
     while let Some((node, state)) = queue.pop_front() {
+        guard.node()?;
         let mut edges = Vec::new();
         g.visit_out_edges(node, &mut |e| edges.push(e));
         for e in edges {
+            guard.edge()?;
             let label = e.label.and_then(|sym| g.label_text(sym));
             let mut from_set = FxHashSet::default();
             from_set.insert(state);
@@ -373,7 +401,7 @@ pub fn regular_path_exists(g: &dyn GraphView, a: NodeId, b: NodeId, regex: &Labe
             let next = regex.step(&from_set, label);
             for &ns in &next {
                 if ns == regex.accept && e.to == b {
-                    return true;
+                    return Ok(true);
                 }
                 if seen.insert((e.to.raw(), ns)) {
                     queue.push_back((e.to, ns));
@@ -381,11 +409,11 @@ pub fn regular_path_exists(g: &dyn GraphView, a: NodeId, b: NodeId, regex: &Labe
             }
             // Accepting in a non-accept-labeled state set.
             if e.to == b && regex.accepts_set(&next) {
-                return true;
+                return Ok(true);
             }
         }
     }
-    false
+    Ok(false)
 }
 
 /// Simple-path semantics: enumerate simple paths from `a` to `b` whose

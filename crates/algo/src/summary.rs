@@ -13,6 +13,7 @@
 
 use crate::paths::{distance, reachable_set};
 use gdm_core::{Direction, GdmError, GraphView, NodeId, Result, Value};
+use gdm_govern::ExecutionGuard;
 
 /// The aggregate functions of the paper's summarization group.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -141,6 +142,30 @@ pub fn diameter(g: &dyn GraphView, direction: Direction) -> Option<usize> {
         }
     });
     best
+}
+
+/// [`diameter`] under an [`ExecutionGuard`]: all-pairs BFS is O(V·E),
+/// so the guard is consulted at per-source granularity — one node
+/// charge plus a deadline/cancellation check before each source's
+/// eccentricity BFS. Each completed source is counted as one emitted
+/// row, so the `partial` field of an interrupt reports how many
+/// sources contributed to the (partial) maximum. With an unlimited
+/// guard the result equals [`diameter`].
+pub fn diameter_governed(
+    g: &dyn GraphView,
+    direction: Direction,
+    guard: &ExecutionGuard,
+) -> Result<Option<usize>> {
+    let mut best: Option<usize> = None;
+    for n in g.node_ids() {
+        guard.check_now()?;
+        guard.node()?;
+        if let Some(e) = eccentricity(g, n, direction) {
+            best = Some(best.map_or(e, |b| b.max(e)));
+        }
+        guard.row()?;
+    }
+    Ok(best)
 }
 
 /// Distance between two nodes, re-exported beside the other

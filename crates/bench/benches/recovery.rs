@@ -16,6 +16,7 @@ fn opts() -> WalOptions {
     WalOptions {
         segment_bytes: 256 * 1024,
         sync: SyncPolicy::Always,
+        ..WalOptions::default()
     }
 }
 

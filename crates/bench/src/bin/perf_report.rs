@@ -16,14 +16,24 @@
 //! machine-readable `BENCH_essential.json` (path configurable with
 //! `--json PATH`). `--smoke` shrinks the workload and iteration
 //! counts for a quick CI sanity run.
+//!
+//! `--deadline-ms N` switches to the **governor gauntlet** instead of
+//! benchmarking: an expensive governed pattern match runs on every
+//! engine under an `N`-millisecond deadline and the report shows, per
+//! engine, whether the query completed or was interrupted (with the
+//! governor's structured reason). The process exits 0 only if every
+//! engine either finishes or is cleanly interrupted — any hang, panic,
+//! or non-governor error is a failure. CI uses this as the
+//! responsiveness smoke test.
 
 use gdm_algo::pattern::{Pattern, PatternNode};
 use gdm_bench::{load_into_engine, social_graph, SocialParams};
 use gdm_core::{Direction, NodeId, Value};
-use gdm_engines::{make_engine, AnalysisFunc, EngineKind, SummaryFunc};
+use gdm_engines::{make_engine, AnalysisFunc, EngineKind, GovernedOp, SummaryFunc};
+use gdm_govern::{ExecutionGuard, Limits};
 use gdm_query::{BinOp, Expr, Projection, SelectQuery};
 use std::hint::black_box;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn time_us(mut op: impl FnMut(), iters: u32) -> f64 {
     // Warm up once, then measure.
@@ -52,10 +62,66 @@ fn json_num(v: Option<f64>) -> String {
     v.map_or("null".to_owned(), |x| format!("{x:.1}"))
 }
 
+/// Run the governor gauntlet: load the workload into every engine and
+/// fire an expensive governed pattern match under `deadline`. Returns
+/// the number of engines that neither completed nor were cleanly
+/// interrupted (the process exit code).
+fn governor_gauntlet(
+    graph: &gdm_graphs::PropertyGraph,
+    base: &std::path::Path,
+    deadline: Duration,
+) -> i32 {
+    // A 3-hop unconstrained chain: no label constraints, because some
+    // engine models drop labels on load — so the match stays expensive
+    // on every engine regardless of its data model.
+    let mut pattern = Pattern::new();
+    let a = pattern.node(PatternNode::var("a"));
+    let b = pattern.node(PatternNode::var("b"));
+    let c = pattern.node(PatternNode::var("c"));
+    let d = pattern.node(PatternNode::var("d"));
+    pattern.edge(a, b, None).expect("vars exist");
+    pattern.edge(b, c, None).expect("vars exist");
+    pattern.edge(c, d, None).expect("vars exist");
+
+    println!(
+        "governor gauntlet: 3-hop pattern match, {} ms deadline\n",
+        deadline.as_millis()
+    );
+    println!("{:<14} {:>10} outcome", "engine", "wall ms");
+    let mut failures = 0;
+    for kind in EngineKind::all() {
+        let dir = base.join(kind.label().to_lowercase().replace('-', "_"));
+        std::fs::create_dir_all(&dir).expect("dir");
+        let mut engine = make_engine(kind, &dir).expect("engine");
+        load_into_engine(engine.as_mut(), graph).expect("load");
+
+        let guard = ExecutionGuard::new(Limits::none().with_deadline(deadline));
+        let start = Instant::now();
+        let outcome = engine.run_governed(GovernedOp::PatternMatch(&pattern), &guard);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let desc = match outcome {
+            Ok(answer) => format!("completed: {answer:?}"),
+            Err(e) if e.is_interrupted() => format!("interrupted: {e}"),
+            Err(e) => {
+                failures += 1;
+                format!("FAILED (non-governor error): {e}")
+            }
+        };
+        println!("{:<14} {:>10.1} {desc}", kind.label(), wall_ms);
+    }
+    if failures == 0 {
+        println!("\nall engines completed or were cleanly interrupted");
+    } else {
+        println!("\n{failures} engine(s) failed with non-governor errors");
+    }
+    failures
+}
+
 fn main() {
     let mut people = 1000usize;
     let mut smoke = false;
     let mut json_path = "BENCH_essential.json".to_owned();
+    let mut deadline_ms: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -70,6 +136,9 @@ fn main() {
                 if let Some(p) = args.next() {
                     json_path = p;
                 }
+            }
+            "--deadline-ms" => {
+                deadline_ms = args.next().and_then(|v| v.parse().ok());
             }
             _ => {}
         }
@@ -89,6 +158,13 @@ fn main() {
 
     let base = std::env::temp_dir().join(format!("gdm-perf-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&base);
+
+    // Governor mode: no benchmarking, just the responsiveness check.
+    if let Some(ms) = deadline_ms {
+        let failures = governor_gauntlet(&graph, &base, Duration::from_millis(ms));
+        let _ = std::fs::remove_dir_all(&base);
+        std::process::exit(failures);
+    }
 
     println!(
         "{:<14} {:>10} {:>12} {:>14} {:>14} {:>14}",

@@ -19,10 +19,16 @@ use std::path::Path;
 
 /// Collapses a probe outcome into a support level; any error other
 /// than `Unsupported` is a harness bug and is reported as a mismatch.
+/// An `Interrupted` error gets its own message: the probe hit a
+/// governor limit (deadline/budget/cancellation), which says nothing
+/// about the emulated engine's feature support — the harness should be
+/// run without limits, so it is still reported as a mismatch, but one
+/// distinguishable from a crash.
 fn support_of<T>(r: &Result<T>) -> std::result::Result<Support, String> {
     match r {
         Ok(_) => Ok(Support::Full),
         Err(e) if e.is_unsupported() => Ok(Support::None),
+        Err(e) if e.is_interrupted() => Err(format!("probe interrupted by governor: {e}")),
         Err(e) => Err(format!("probe crashed: {e}")),
     }
 }

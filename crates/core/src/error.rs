@@ -14,6 +14,28 @@ use std::io;
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, GdmError>;
 
+/// Why a governed execution stopped before completing (see
+/// [`GdmError::Interrupted`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InterruptReason {
+    /// The wall-clock deadline elapsed.
+    Deadline,
+    /// A resource budget (node/edge visits or emitted rows) ran out.
+    Budget,
+    /// The caller's cancel token was triggered.
+    Cancelled,
+}
+
+impl fmt::Display for InterruptReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterruptReason::Deadline => write!(f, "deadline exceeded"),
+            InterruptReason::Budget => write!(f, "budget exhausted"),
+            InterruptReason::Cancelled => write!(f, "cancelled"),
+        }
+    }
+}
+
 /// Errors produced anywhere in the library.
 #[derive(Debug)]
 pub enum GdmError {
@@ -55,7 +77,24 @@ pub enum GdmError {
     },
     /// A bounded search (e.g. regular *simple* path enumeration, which
     /// is NP-complete in general) exhausted its budget.
+    ///
+    /// This is the **legacy alias path** for interruption: it predates
+    /// the query governor and is kept for the per-call step budgets of
+    /// `fixed_length_paths`/`regular_simple_paths`. Governed execution
+    /// reports the structured [`GdmError::Interrupted`] instead;
+    /// [`GdmError::normalized`] folds this variant into that form and
+    /// [`GdmError::is_interrupted`] matches both.
     BudgetExhausted(String),
+    /// A governed execution was stopped cooperatively by its
+    /// [`ExecutionGuard`](https://docs.rs/gdm-govern) — by deadline,
+    /// budget, or cancellation — after producing `partial` results.
+    Interrupted {
+        /// What tripped the guard.
+        reason: InterruptReason,
+        /// Number of result rows produced before the interrupt (the
+        /// caller may have received them through an output sink).
+        partial: u64,
+    },
 }
 
 impl GdmError {
@@ -71,6 +110,45 @@ impl GdmError {
     /// the table-probing harness maps to an empty cell.
     pub fn is_unsupported(&self) -> bool {
         matches!(self, GdmError::Unsupported { .. })
+    }
+
+    /// Convenience constructor for [`GdmError::Interrupted`].
+    pub fn interrupted(reason: InterruptReason, partial: u64) -> Self {
+        GdmError::Interrupted { reason, partial }
+    }
+
+    /// True when the error means "execution was stopped on purpose, the
+    /// data is fine" — either the structured [`GdmError::Interrupted`]
+    /// or the legacy [`GdmError::BudgetExhausted`] alias.
+    pub fn is_interrupted(&self) -> bool {
+        matches!(
+            self,
+            GdmError::Interrupted { .. } | GdmError::BudgetExhausted(_)
+        )
+    }
+
+    /// The interrupt reason, when the error is an interruption.
+    /// [`GdmError::BudgetExhausted`] maps to [`InterruptReason::Budget`].
+    pub fn interrupt_reason(&self) -> Option<InterruptReason> {
+        match self {
+            GdmError::Interrupted { reason, .. } => Some(*reason),
+            GdmError::BudgetExhausted(_) => Some(InterruptReason::Budget),
+            _ => None,
+        }
+    }
+
+    /// Folds the legacy [`GdmError::BudgetExhausted`] alias into the
+    /// structured [`GdmError::Interrupted`] form (with `partial: 0` —
+    /// the legacy path never reports partial counts); every other
+    /// error passes through unchanged.
+    pub fn normalized(self) -> Self {
+        match self {
+            GdmError::BudgetExhausted(_) => GdmError::Interrupted {
+                reason: InterruptReason::Budget,
+                partial: 0,
+            },
+            other => other,
+        }
     }
 }
 
@@ -95,6 +173,9 @@ impl fmt::Display for GdmError {
                 write!(f, "type error: expected {expected}, got {got}")
             }
             GdmError::BudgetExhausted(m) => write!(f, "search budget exhausted: {m}"),
+            GdmError::Interrupted { reason, partial } => {
+                write!(f, "execution interrupted ({reason}) after {partial} rows")
+            }
         }
     }
 }
@@ -136,6 +217,42 @@ mod tests {
         let e: GdmError = io::Error::other("disk on fire").into();
         assert!(e.to_string().contains("disk on fire"));
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn interrupted_display_covers_every_reason() {
+        for (reason, text) in [
+            (InterruptReason::Deadline, "deadline exceeded"),
+            (InterruptReason::Budget, "budget exhausted"),
+            (InterruptReason::Cancelled, "cancelled"),
+        ] {
+            let e = GdmError::interrupted(reason, 7);
+            let s = e.to_string();
+            assert!(s.contains(text) && s.contains('7'), "{s}");
+            assert!(e.is_interrupted());
+            assert!(!e.is_unsupported());
+            assert_eq!(e.interrupt_reason(), Some(reason));
+        }
+    }
+
+    #[test]
+    fn budget_exhausted_is_the_documented_alias() {
+        let legacy = GdmError::BudgetExhausted("search exceeded 10 steps".into());
+        assert!(legacy.is_interrupted());
+        assert_eq!(legacy.interrupt_reason(), Some(InterruptReason::Budget));
+        match legacy.normalized() {
+            GdmError::Interrupted { reason, partial } => {
+                assert_eq!(reason, InterruptReason::Budget);
+                assert_eq!(partial, 0);
+            }
+            other => panic!("expected Interrupted, got {other:?}"),
+        }
+        // Non-interrupt errors pass through normalization unchanged.
+        assert!(matches!(
+            GdmError::Schema("x".into()).normalized(),
+            GdmError::Schema(_)
+        ));
+        assert_eq!(GdmError::Schema("x".into()).interrupt_reason(), None);
     }
 
     #[test]

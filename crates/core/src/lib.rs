@@ -26,7 +26,7 @@ pub mod support;
 pub mod value;
 pub mod view;
 
-pub use error::{GdmError, Result};
+pub use error::{GdmError, InterruptReason, Result};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use id::{EdgeId, GraphId, NodeId};
 pub use intern::{Interner, Symbol};

@@ -350,6 +350,14 @@ impl GraphEngine for AllegroEngine {
         Ok(gdm_algo::FrozenGraph::freeze_attributed(&self.rdf))
     }
 
+    fn default_limits(&self) -> gdm_govern::Limits {
+        // A server-class triple store: generous operator defaults, on
+        // the SPARQL-endpoint-timeout model.
+        gdm_govern::Limits::none()
+            .with_deadline(std::time::Duration::from_secs(30))
+            .with_node_visits(10_000_000)
+    }
+
     fn summarize(&self, func: SummaryFunc) -> Result<Value> {
         Ok(match func {
             SummaryFunc::PropertyAggregate(agg, key) => {

@@ -359,6 +359,15 @@ impl GraphEngine for DexEngine {
         Ok(gdm_algo::FrozenGraph::freeze_attributed(&self.graph))
     }
 
+    fn default_limits(&self) -> gdm_govern::Limits {
+        // The paper's high-performance engine: a wide visit budget (its
+        // bitmap structures chew through nodes cheaply) under the same
+        // wall-clock ceiling as the other databases.
+        gdm_govern::Limits::none()
+            .with_deadline(std::time::Duration::from_secs(30))
+            .with_node_visits(50_000_000)
+    }
+
     fn summarize(&self, func: SummaryFunc) -> Result<Value> {
         Ok(match func {
             SummaryFunc::PropertyAggregate(agg, key) => {

@@ -397,6 +397,7 @@ pub struct DurableEngine<F: WalFs> {
     next_op: u64,
     policy: CheckpointPolicy,
     ops_since_ckpt: u64,
+    closed: bool,
 }
 
 impl<F: WalFs> DurableEngine<F> {
@@ -431,6 +432,7 @@ impl<F: WalFs> DurableEngine<F> {
                 next_op,
                 policy: CheckpointPolicy::default(),
                 ops_since_ckpt: 0,
+                closed: false,
             },
             report,
         ))
@@ -457,10 +459,18 @@ impl<F: WalFs> DurableEngine<F> {
 
     /// Clean shutdown: flushes the journal and, under an automatic
     /// policy, writes a final checkpoint so the next open seeds from
-    /// the snapshot instead of replaying history. Dropping the engine
-    /// without calling this models a kill — recovery then replays the
-    /// tail since the last automatic checkpoint.
-    pub fn close(mut self) -> Result<()> {
+    /// the snapshot instead of replaying history.
+    ///
+    /// Idempotent: a second call (with no intervening mutation) is a
+    /// no-op, so shutdown paths can call it defensively. If it fails —
+    /// the disk may be refusing writes — the engine stays un-closed and
+    /// the call can be retried; dropping instead falls back to the
+    /// best-effort flush in `Drop`, and crash recovery remains the true
+    /// safety net either way.
+    pub fn close(&mut self) -> Result<()> {
+        if self.closed {
+            return Ok(());
+        }
         self.journal.flush()?;
         if matches!(self.policy, CheckpointPolicy::EveryOps(_))
             && self.ops_since_ckpt > 0
@@ -468,6 +478,7 @@ impl<F: WalFs> DurableEngine<F> {
         {
             self.checkpoint()?;
         }
+        self.closed = true;
         Ok(())
     }
 
@@ -488,6 +499,7 @@ impl<F: WalFs> DurableEngine<F> {
         let mut key = Vec::with_capacity(8);
         codec::put_u64(&mut key, self.next_op);
         self.next_op += 1;
+        self.closed = false; // new work after a close() re-arms Drop's flush
         self.journal.put(&key, &op.encode())?;
         self.ops_since_ckpt += 1;
         self.maybe_checkpoint()
@@ -498,6 +510,23 @@ impl<F: WalFs> DurableEngine<F> {
             self.inner.name(),
             format!("{feature} in durable mode (typed schema ops are not journaled)"),
         )
+    }
+}
+
+impl<F: WalFs> Drop for DurableEngine<F> {
+    /// Best-effort flush when the engine is dropped without a clean
+    /// [`DurableEngine::close`]: buffered journal bytes are pushed to
+    /// the backend so a plain process exit loses nothing that was
+    /// autocommitted. Errors are swallowed (drop may run during
+    /// unwind), no checkpoint is attempted, and records of a
+    /// still-open transaction are harmless to write — recovery
+    /// discards anything without a commit mark. Genuine kill/power-
+    /// loss scenarios never run this; for those, crash recovery is the
+    /// safety net.
+    fn drop(&mut self) {
+        if !self.closed {
+            let _ = self.journal.flush();
+        }
     }
 }
 
@@ -673,6 +702,20 @@ impl<F: WalFs> GraphEngine for DurableEngine<F> {
 
     fn snapshot(&self) -> Result<gdm_algo::FrozenGraph> {
         self.inner.snapshot()
+    }
+
+    fn default_limits(&self) -> gdm_govern::Limits {
+        // Durability does not change the emulated engine's governor
+        // profile.
+        self.inner.default_limits()
+    }
+
+    fn run_governed(
+        &self,
+        op: crate::facade::GovernedOp<'_>,
+        guard: &gdm_govern::ExecutionGuard,
+    ) -> Result<crate::facade::GovernedAnswer> {
+        self.inner.run_governed(op, guard)
     }
 
     fn summarize(&self, func: SummaryFunc) -> Result<Value> {
@@ -955,6 +998,42 @@ mod tests {
         assert!(report.used_checkpoint);
         assert_eq!(report.records_applied, 0);
         assert_eq!(eng2.node_count(), 5);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn close_is_idempotent() {
+        let fs = FaultFs::new();
+        let dir = scratch("close-idem");
+        let (mut eng, _) =
+            DurableEngine::open(EngineKind::Neo4j, &dir, fs.clone(), opts()).unwrap();
+        eng.create_node(None, PropertyMap::new()).unwrap();
+        eng.close().unwrap();
+        let syncs = fs.sync_count();
+        eng.close().unwrap(); // second close: a no-op, not a second flush
+        assert_eq!(fs.sync_count(), syncs);
+        drop(eng); // already closed: Drop does not flush again either
+        assert_eq!(fs.sync_count(), syncs);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn drop_without_close_flushes_the_journal() {
+        let fs = FaultFs::new();
+        let dir = scratch("drop-flush");
+        let manual = WalOptions {
+            sync: gdm_wal::SyncPolicy::Manual,
+            ..WalOptions::default()
+        };
+        let (mut eng, _) =
+            DurableEngine::open(EngineKind::Neo4j, &dir, fs.clone(), manual).unwrap();
+        eng.create_node(None, PropertyMap::new()).unwrap();
+        // Under Manual sync the autocommit is buffered, not durable;
+        // dropping without close() still pushes it out best-effort.
+        drop(eng);
+        fs.crash();
+        let (eng2, _) = DurableEngine::open(EngineKind::Neo4j, &dir, fs, manual).unwrap();
+        assert_eq!(eng2.node_count(), 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -187,6 +187,15 @@ impl GraphEngine for FilamentEngine {
         Ok(gdm_algo::FrozenGraph::freeze(&self.graph))
     }
 
+    fn default_limits(&self) -> gdm_govern::Limits {
+        // An embedded library running inside the caller's process:
+        // tight defaults, since a runaway traversal stalls the host
+        // application directly.
+        gdm_govern::Limits::none()
+            .with_deadline(std::time::Duration::from_secs(5))
+            .with_node_visits(1_000_000)
+    }
+
     fn summarize(&self, func: SummaryFunc) -> Result<Value> {
         summarize_simple(&self.graph, func, NAME)
     }

@@ -560,6 +560,15 @@ impl GraphEngine for GStoreEngine {
         Ok(gdm_algo::FrozenGraph::freeze(self))
     }
 
+    fn default_limits(&self) -> gdm_govern::Limits {
+        // A graph *store* without a query governor of its own: tight
+        // harness defaults keep a runaway traversal from monopolizing
+        // the page-partitioned backend.
+        gdm_govern::Limits::none()
+            .with_deadline(std::time::Duration::from_secs(5))
+            .with_node_visits(1_000_000)
+    }
+
     fn summarize(&self, func: SummaryFunc) -> Result<Value> {
         summarize_simple(self, func, NAME)
     }

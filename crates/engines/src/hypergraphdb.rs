@@ -310,6 +310,16 @@ impl GraphEngine for HyperGraphDbEngine {
         ))
     }
 
+    fn default_limits(&self) -> gdm_govern::Limits {
+        // A graph database over a generic backend; the two-section
+        // expansion of hyperedges inflates visit counts, so the edge
+        // budget is the binding one.
+        gdm_govern::Limits::none()
+            .with_deadline(std::time::Duration::from_secs(30))
+            .with_node_visits(10_000_000)
+            .with_edge_visits(50_000_000)
+    }
+
     fn summarize(&self, func: SummaryFunc) -> Result<Value> {
         let view = self.atoms.two_section();
         Ok(match func {

@@ -308,6 +308,14 @@ impl GraphEngine for InfiniteGraphEngine {
         Ok(gdm_algo::FrozenGraph::freeze_attributed(&self.graph))
     }
 
+    fn default_limits(&self) -> gdm_govern::Limits {
+        // A distributed-deployment database: generous wall-clock but a
+        // bounded visit budget, on the model of its traversal policies.
+        gdm_govern::Limits::none()
+            .with_deadline(std::time::Duration::from_secs(30))
+            .with_node_visits(10_000_000)
+    }
+
     fn summarize(&self, func: SummaryFunc) -> Result<Value> {
         Ok(match func {
             SummaryFunc::PropertyAggregate(agg, key) => {

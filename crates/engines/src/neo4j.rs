@@ -384,6 +384,14 @@ impl GraphEngine for Neo4jEngine {
         Ok(gdm_algo::FrozenGraph::freeze_attributed(&self.view()))
     }
 
+    fn default_limits(&self) -> gdm_govern::Limits {
+        // A server-class graph database: generous operator defaults —
+        // queries may be long, but never unbounded.
+        gdm_govern::Limits::none()
+            .with_deadline(std::time::Duration::from_secs(30))
+            .with_node_visits(10_000_000)
+    }
+
     fn summarize(&self, func: SummaryFunc) -> Result<Value> {
         let view = self.view();
         Ok(match func {

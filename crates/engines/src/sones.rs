@@ -429,6 +429,16 @@ impl GraphEngine for SonesEngine {
         ))
     }
 
+    fn default_limits(&self) -> gdm_govern::Limits {
+        // A server-class database with a declarative query language:
+        // generous defaults plus a result-row cap, the shape a GQL
+        // endpoint would enforce per statement.
+        gdm_govern::Limits::none()
+            .with_deadline(std::time::Duration::from_secs(30))
+            .with_node_visits(10_000_000)
+            .with_rows(1_000_000)
+    }
+
     fn summarize(&self, func: SummaryFunc) -> Result<Value> {
         let view = self.atoms.two_section();
         Ok(match func {

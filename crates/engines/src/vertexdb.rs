@@ -190,6 +190,15 @@ impl GraphEngine for VertexDbEngine {
         Ok(gdm_algo::FrozenGraph::freeze(&self.graph))
     }
 
+    fn default_limits(&self) -> gdm_govern::Limits {
+        // An HTTP-fronted store: request-scale limits — short deadline
+        // and a response-size row cap, as a web endpoint would impose.
+        gdm_govern::Limits::none()
+            .with_deadline(std::time::Duration::from_secs(5))
+            .with_node_visits(1_000_000)
+            .with_rows(100_000)
+    }
+
     fn summarize(&self, func: SummaryFunc) -> Result<Value> {
         summarize_simple(&self.graph, func, NAME)
     }

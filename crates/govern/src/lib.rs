@@ -1,0 +1,445 @@
+//! # gdm-govern
+//!
+//! The query governor: the machinery that keeps one adversarial query
+//! from pinning a core forever. The paper's essential queries include
+//! NP-complete (pattern matching, regular simple paths) and
+//! super-linear (diameter) operations, so a production deployment must
+//! be able to bound them. Three primitives compose into one guard:
+//!
+//! * [`Budget`] — node-visit, edge-visit, and row-emission counters
+//!   checked against per-query limits,
+//! * [`Deadline`] — a wall-clock cutoff, checked at amortized
+//!   intervals (every [`CHECK_INTERVAL`] ticks) so the hot loops pay
+//!   one atomic increment, not one `Instant::now()`, per step,
+//! * [`CancelToken`] — a shareable flag another thread (a client
+//!   disconnect handler, an admin console) can trip at any time.
+//!
+//! [`ExecutionGuard`] bundles them behind three `#[inline]` tick
+//! methods (`node`/`edge`/`row`) that the `gdm-algo` search loops call
+//! cooperatively; when a limit trips, the guard returns
+//! [`GdmError::Interrupted`] carrying the reason and the number of
+//! rows produced so far, and the search unwinds cleanly. Ungoverned
+//! call paths pass `None` (see [`GuardExt`]) and pay nothing.
+//!
+//! All counters are atomics, so one guard can be shared by reference
+//! across the scoped worker threads of `gdm_algo::parallel`.
+
+use gdm_core::{GdmError, InterruptReason, Result};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How many guard ticks elapse between wall-clock/cancellation checks.
+/// Small enough that a 1 ms deadline trips promptly in any real search
+/// loop; large enough that `Instant::now()` stays off the hot path.
+pub const CHECK_INTERVAL: u64 = 256;
+
+/// Per-query resource limits. `None` fields are unlimited.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Limits {
+    /// Maximum node visits charged via [`ExecutionGuard::node`].
+    pub max_node_visits: Option<u64>,
+    /// Maximum edge visits charged via [`ExecutionGuard::edge`].
+    pub max_edge_visits: Option<u64>,
+    /// Maximum result rows emitted via [`ExecutionGuard::row`].
+    pub max_rows: Option<u64>,
+    /// Wall-clock allowance, measured from guard construction.
+    pub deadline: Option<Duration>,
+}
+
+impl Limits {
+    /// No limits at all — a guard built from this never interrupts
+    /// unless its [`CancelToken`] is tripped.
+    pub const fn none() -> Self {
+        Limits {
+            max_node_visits: None,
+            max_edge_visits: None,
+            max_rows: None,
+            deadline: None,
+        }
+    }
+
+    /// Sets the wall-clock allowance.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the node-visit ceiling.
+    #[must_use]
+    pub fn with_node_visits(mut self, max: u64) -> Self {
+        self.max_node_visits = Some(max);
+        self
+    }
+
+    /// Sets the edge-visit ceiling.
+    #[must_use]
+    pub fn with_edge_visits(mut self, max: u64) -> Self {
+        self.max_edge_visits = Some(max);
+        self
+    }
+
+    /// Sets the row-emission ceiling.
+    #[must_use]
+    pub fn with_rows(mut self, max: u64) -> Self {
+        self.max_rows = Some(max);
+        self
+    }
+
+    /// True when every field is unlimited.
+    pub fn is_unlimited(&self) -> bool {
+        *self == Limits::none()
+    }
+}
+
+/// A shareable cancellation flag. Cloning yields a handle to the same
+/// flag, so one side can hold the token while the guard (and the query
+/// behind it) watches it.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, untripped token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trips the token; every guard sharing it interrupts at its next
+    /// check point. Idempotent.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Has the token been tripped?
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// Visit/row counters checked against [`Limits`]. Counters are atomics
+/// (relaxed — they are statistics, not synchronization), so a budget
+/// shared across worker threads stays a single global pool.
+#[derive(Debug)]
+pub struct Budget {
+    nodes: AtomicU64,
+    edges: AtomicU64,
+    rows: AtomicU64,
+    max_nodes: u64,
+    max_edges: u64,
+    max_rows: u64,
+}
+
+impl Budget {
+    /// A budget enforcing `limits` (missing limits become `u64::MAX`).
+    pub fn new(limits: &Limits) -> Self {
+        Budget {
+            nodes: AtomicU64::new(0),
+            edges: AtomicU64::new(0),
+            rows: AtomicU64::new(0),
+            max_nodes: limits.max_node_visits.unwrap_or(u64::MAX),
+            max_edges: limits.max_edge_visits.unwrap_or(u64::MAX),
+            max_rows: limits.max_rows.unwrap_or(u64::MAX),
+        }
+    }
+
+    /// Node visits charged so far.
+    pub fn node_visits(&self) -> u64 {
+        self.nodes.load(Ordering::Relaxed)
+    }
+
+    /// Edge visits charged so far.
+    pub fn edge_visits(&self) -> u64 {
+        self.edges.load(Ordering::Relaxed)
+    }
+
+    /// Rows emitted so far.
+    pub fn rows_emitted(&self) -> u64 {
+        self.rows.load(Ordering::Relaxed)
+    }
+}
+
+/// A wall-clock cutoff measured from construction.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    at: Option<Instant>,
+}
+
+impl Deadline {
+    /// Expires `allowance` from now.
+    pub fn after(allowance: Duration) -> Self {
+        Deadline {
+            at: Instant::now().checked_add(allowance),
+        }
+    }
+
+    /// Never expires.
+    pub const fn none() -> Self {
+        Deadline { at: None }
+    }
+
+    /// Has the cutoff passed?
+    pub fn expired(&self) -> bool {
+        self.at.is_some_and(|at| Instant::now() >= at)
+    }
+}
+
+/// The combined governor handed into search loops. Construction
+/// starts the deadline clock; the loops call [`ExecutionGuard::node`],
+/// [`ExecutionGuard::edge`], and [`ExecutionGuard::row`] as they work
+/// and propagate the [`GdmError::Interrupted`] those return on a trip.
+#[derive(Debug)]
+pub struct ExecutionGuard {
+    budget: Budget,
+    deadline: Deadline,
+    cancel: CancelToken,
+    ticks: AtomicU64,
+}
+
+impl ExecutionGuard {
+    /// A guard enforcing `limits` with a private cancel token.
+    pub fn new(limits: Limits) -> Self {
+        Self::with_cancel(limits, CancelToken::new())
+    }
+
+    /// A guard enforcing `limits`, interruptible through `cancel`.
+    pub fn with_cancel(limits: Limits, cancel: CancelToken) -> Self {
+        ExecutionGuard {
+            budget: Budget::new(&limits),
+            deadline: limits.deadline.map_or(Deadline::none(), Deadline::after),
+            cancel,
+            ticks: AtomicU64::new(0),
+        }
+    }
+
+    /// A guard that never interrupts (its token is private and never
+    /// tripped). Governed execution under this guard is equivalent to
+    /// ungoverned execution.
+    pub fn unlimited() -> Self {
+        Self::new(Limits::none())
+    }
+
+    /// The cancel token this guard watches (clone it to keep a handle).
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// The budget counters (for telemetry and partial-result counts).
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
+    /// Charges one node visit.
+    #[inline]
+    pub fn node(&self) -> Result<()> {
+        let n = self.budget.nodes.fetch_add(1, Ordering::Relaxed) + 1;
+        if n > self.budget.max_nodes {
+            return Err(self.interrupt(InterruptReason::Budget));
+        }
+        self.pulse()
+    }
+
+    /// Charges one edge visit.
+    #[inline]
+    pub fn edge(&self) -> Result<()> {
+        let n = self.budget.edges.fetch_add(1, Ordering::Relaxed) + 1;
+        if n > self.budget.max_edges {
+            return Err(self.interrupt(InterruptReason::Budget));
+        }
+        self.pulse()
+    }
+
+    /// Charges one emitted result row.
+    #[inline]
+    pub fn row(&self) -> Result<()> {
+        let n = self.budget.rows.fetch_add(1, Ordering::Relaxed) + 1;
+        if n > self.budget.max_rows {
+            return Err(self.interrupt(InterruptReason::Budget));
+        }
+        self.pulse()
+    }
+
+    /// Unconditional cancellation + deadline check — call at coarse
+    /// boundaries (per BFS source, per root candidate) where prompt
+    /// reaction matters more than amortization.
+    pub fn check_now(&self) -> Result<()> {
+        if self.cancel.is_cancelled() {
+            return Err(self.interrupt(InterruptReason::Cancelled));
+        }
+        if self.deadline.expired() {
+            return Err(self.interrupt(InterruptReason::Deadline));
+        }
+        Ok(())
+    }
+
+    /// Amortized check: consults the wall clock and the cancel flag
+    /// once every [`CHECK_INTERVAL`] ticks.
+    #[inline]
+    fn pulse(&self) -> Result<()> {
+        if self
+            .ticks
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(CHECK_INTERVAL)
+        {
+            self.check_now()?;
+        }
+        Ok(())
+    }
+
+    fn interrupt(&self, reason: InterruptReason) -> GdmError {
+        GdmError::interrupted(reason, self.budget.rows_emitted())
+    }
+}
+
+/// Zero-cost optional-guard plumbing: search internals take
+/// `Option<&ExecutionGuard>` and tick through this extension trait, so
+/// the ungoverned public APIs pass `None` and skip even the atomic
+/// increments.
+pub trait GuardExt {
+    /// Charges one node visit, if a guard is present.
+    fn node(&self) -> Result<()>;
+    /// Charges one edge visit, if a guard is present.
+    fn edge(&self) -> Result<()>;
+    /// Charges one emitted row, if a guard is present.
+    fn row(&self) -> Result<()>;
+    /// Unconditional deadline/cancel check, if a guard is present.
+    fn check_now(&self) -> Result<()>;
+}
+
+impl GuardExt for Option<&ExecutionGuard> {
+    #[inline]
+    fn node(&self) -> Result<()> {
+        match self {
+            Some(g) => g.node(),
+            None => Ok(()),
+        }
+    }
+
+    #[inline]
+    fn edge(&self) -> Result<()> {
+        match self {
+            Some(g) => g.edge(),
+            None => Ok(()),
+        }
+    }
+
+    #[inline]
+    fn row(&self) -> Result<()> {
+        match self {
+            Some(g) => g.row(),
+            None => Ok(()),
+        }
+    }
+
+    #[inline]
+    fn check_now(&self) -> Result<()> {
+        match self {
+            Some(g) => g.check_now(),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reason_of(e: GdmError) -> InterruptReason {
+        e.interrupt_reason().expect("an interruption")
+    }
+
+    #[test]
+    fn unlimited_guard_never_trips() {
+        let g = ExecutionGuard::unlimited();
+        for _ in 0..10_000 {
+            g.node().unwrap();
+            g.edge().unwrap();
+            g.row().unwrap();
+        }
+        g.check_now().unwrap();
+        assert_eq!(g.budget().node_visits(), 10_000);
+    }
+
+    #[test]
+    fn node_budget_trips_exactly_at_the_limit() {
+        let g = ExecutionGuard::new(Limits::none().with_node_visits(3));
+        for _ in 0..3 {
+            g.node().unwrap();
+        }
+        let err = g.node().unwrap_err();
+        assert_eq!(reason_of(err), InterruptReason::Budget);
+    }
+
+    #[test]
+    fn edge_and_row_budgets_are_independent() {
+        let g = ExecutionGuard::new(Limits::none().with_edge_visits(2).with_rows(1));
+        g.node().unwrap();
+        g.edge().unwrap();
+        g.edge().unwrap();
+        assert_eq!(reason_of(g.edge().unwrap_err()), InterruptReason::Budget);
+        g.row().unwrap();
+        let err = g.row().unwrap_err();
+        assert_eq!(reason_of(err), InterruptReason::Budget);
+        // Partial count travels in the error.
+        match g.row().unwrap_err() {
+            GdmError::Interrupted { partial, .. } => assert!(partial >= 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_deadline_trips_on_first_check() {
+        let g = ExecutionGuard::new(Limits::none().with_deadline(Duration::ZERO));
+        let err = g.check_now().unwrap_err();
+        assert_eq!(reason_of(err), InterruptReason::Deadline);
+        // The amortized path trips within one check interval.
+        let g2 = ExecutionGuard::new(Limits::none().with_deadline(Duration::ZERO));
+        let mut tripped = false;
+        for _ in 0..=CHECK_INTERVAL {
+            if g2.node().is_err() {
+                tripped = true;
+                break;
+            }
+        }
+        assert!(tripped);
+    }
+
+    #[test]
+    fn cancel_token_interrupts_from_another_thread() {
+        let g = ExecutionGuard::unlimited();
+        let token = g.cancel_token().clone();
+        std::thread::spawn(move || token.cancel())
+            .join()
+            .expect("cancel thread");
+        let err = g.check_now().unwrap_err();
+        assert_eq!(reason_of(err), InterruptReason::Cancelled);
+    }
+
+    #[test]
+    fn optional_guard_is_a_no_op_when_absent() {
+        let none: Option<&ExecutionGuard> = None;
+        none.node().unwrap();
+        none.edge().unwrap();
+        none.row().unwrap();
+        none.check_now().unwrap();
+        let g = ExecutionGuard::new(Limits::none().with_node_visits(0));
+        let some: Option<&ExecutionGuard> = Some(&g);
+        assert!(some.node().is_err());
+    }
+
+    #[test]
+    fn limits_builders_compose() {
+        let l = Limits::none()
+            .with_deadline(Duration::from_millis(5))
+            .with_node_visits(10)
+            .with_edge_visits(20)
+            .with_rows(30);
+        assert!(!l.is_unlimited());
+        assert_eq!(l.max_node_visits, Some(10));
+        assert_eq!(l.max_edge_visits, Some(20));
+        assert_eq!(l.max_rows, Some(30));
+        assert!(Limits::default().is_unlimited());
+    }
+}

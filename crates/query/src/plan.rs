@@ -25,7 +25,9 @@
 
 use crate::ast::{BinOp, Expr, SelectQuery};
 use crate::eval::{finish_select, ResultSet};
-use gdm_algo::planned::{domain_estimates, match_pattern_planned, planned_order, Domains};
+use gdm_algo::planned::{
+    domain_estimates, domains_consistent, match_pattern_planned, planned_order, Domains, MatchTable,
+};
 use gdm_algo::Pattern;
 use gdm_core::{AttributedView, GdmError, Result, Value};
 
@@ -261,7 +263,17 @@ pub fn evaluate_select_planned<G: AttributedView + ?Sized>(
     query: &SelectQuery,
 ) -> Result<(ResultSet, ExplainPlan)> {
     let planned = plan_select(g, query)?;
-    let table = match_pattern_planned(g, &planned.query.pattern, &planned.domains);
+    // Degradation ladder: a secondary index that has drifted from the
+    // graph (dangling candidate ids) must not silently drop or invent
+    // rows — discard the index seeding and run the reference matcher.
+    let table = if domains_consistent(g, &planned.domains) {
+        match_pattern_planned(g, &planned.query.pattern, &planned.domains)
+    } else {
+        MatchTable::from_bindings(
+            &planned.query.pattern,
+            &gdm_algo::match_pattern(g, &planned.query.pattern),
+        )
+    };
     let rs = finish_select(g, &planned.query, table.to_bindings())?;
     Ok((rs, planned.explain))
 }

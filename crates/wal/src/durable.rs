@@ -499,6 +499,7 @@ mod tests {
         WalOptions {
             segment_bytes: 256,
             sync: SyncPolicy::Always,
+            ..WalOptions::default()
         }
     }
 
@@ -520,6 +521,23 @@ mod tests {
         assert_eq!(contents(&mut kv), before);
         assert_eq!(report.records_applied, 3);
         assert!(!report.corruption_detected);
+    }
+
+    #[test]
+    fn two_transient_write_failures_still_commit_exactly_once() {
+        let fs = FaultFs::new();
+        let mut kv = DurableKv::create(fs.clone(), opts(), MemKv::new()).unwrap();
+        fs.fail_appends(2); // default RetryPolicy absorbs both blips
+        kv.put(b"k", b"v").unwrap();
+        assert_eq!(fs.transient_failure_count(), 2);
+        drop(kv);
+        fs.crash();
+        // Durable, and exactly one logical record — the retries did not
+        // duplicate the put.
+        let (mut kv, report) = DurableKv::recover(fs, opts(), MemKv::new()).unwrap();
+        assert_eq!(kv.get(b"k").unwrap(), Some(b"v".to_vec()));
+        assert_eq!(report.records_applied, 1);
+        assert_eq!(contents(&mut kv).len(), 1);
     }
 
     #[test]

@@ -11,7 +11,11 @@
 //! * truncate a file to an arbitrary byte length
 //!   ([`FaultFs::truncate_to`]), simulating a torn write at any offset,
 //! * flip a single bit ([`FaultFs::flip_bit`]), simulating media
-//!   corruption that the record CRCs must catch.
+//!   corruption that the record CRCs must catch,
+//! * fail the next *N* appends or syncs with a *transient* I/O error
+//!   ([`FaultFs::fail_appends`], [`FaultFs::fail_syncs`]) — an
+//!   `Interrupted` that leaves no side effect, exercising the log's
+//!   [`crate::RetryPolicy`].
 //!
 //! Handles share state through `Rc<RefCell<…>>`, so a test can hold the
 //! `FaultFs`, hand clones to a [`crate::DurableKv`], kill the store,
@@ -35,6 +39,16 @@ struct FsState {
     drop_syncs: bool,
     syncs: u64,
     dropped_syncs: u64,
+    fail_appends: u32,
+    fail_syncs: u32,
+    transient_failures: u64,
+}
+
+fn transient_error(what: &str) -> GdmError {
+    GdmError::Io(std::io::Error::new(
+        std::io::ErrorKind::Interrupted,
+        format!("injected transient {what} failure"),
+    ))
 }
 
 /// In-memory filesystem with injectable faults. Cloning yields a handle
@@ -121,11 +135,37 @@ impl FaultFs {
     pub fn dropped_sync_count(&self) -> u64 {
         self.state.borrow().dropped_syncs
     }
+
+    /// Arms the next `n` [`WalFile::append`] calls (on any file) to
+    /// fail with a transient `Interrupted` I/O error and **no side
+    /// effect** — no bytes land. Models an interrupted write syscall
+    /// that a bounded retry should cure.
+    pub fn fail_appends(&self, n: u32) {
+        self.state.borrow_mut().fail_appends = n;
+    }
+
+    /// Arms the next `n` [`WalFile::sync`] calls to fail transiently
+    /// with no side effect (the durable watermark does not move).
+    pub fn fail_syncs(&self, n: u32) {
+        self.state.borrow_mut().fail_syncs = n;
+    }
+
+    /// Total transient failures served by [`FaultFs::fail_appends`] /
+    /// [`FaultFs::fail_syncs`] — lets tests assert the retry layer
+    /// actually absorbed the injected faults.
+    pub fn transient_failure_count(&self) -> u64 {
+        self.state.borrow().transient_failures
+    }
 }
 
 impl WalFile for FaultFile {
     fn append(&mut self, bytes: &[u8]) -> Result<()> {
         let mut st = self.fs.state.borrow_mut();
+        if st.fail_appends > 0 {
+            st.fail_appends -= 1;
+            st.transient_failures += 1;
+            return Err(transient_error("append"));
+        }
         let file = st.files.get_mut(&self.name).ok_or_else(|| {
             GdmError::Storage(format!("file removed under handle: {}", self.name))
         })?;
@@ -135,6 +175,11 @@ impl WalFile for FaultFile {
 
     fn sync(&mut self) -> Result<()> {
         let mut st = self.fs.state.borrow_mut();
+        if st.fail_syncs > 0 {
+            st.fail_syncs -= 1;
+            st.transient_failures += 1;
+            return Err(transient_error("sync"));
+        }
         if st.drop_syncs {
             st.dropped_syncs += 1;
             return Ok(()); // the lie: success without durability

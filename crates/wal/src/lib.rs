@@ -12,7 +12,8 @@
 //!
 //! * [`record`] — length-prefixed, CRC-checksummed log records,
 //! * [`log`] — segmented append-only log writer with LSNs, rotation,
-//!   and [`SyncPolicy`]-driven group commit,
+//!   [`SyncPolicy`]-driven group commit, and [`RetryPolicy`]-bounded
+//!   retry of transient write/fsync failures,
 //! * [`durable`] — [`DurableKv`], wrapping any [`gdm_storage::KvStore`]
 //!   with log-first journaling, checkpointing, and [`DurableKv::recover`],
 //! * [`fs`] — the narrow filesystem seam ([`WalFs`]/[`WalFile`]) with
@@ -37,5 +38,5 @@ pub mod record;
 pub use durable::{DurableKv, RecoveryReport};
 pub use fault::{FaultFile, FaultFs};
 pub use fs::{DiskFile, DiskFs, WalFile, WalFs};
-pub use log::{Lsn, SyncPolicy, Wal, WalOptions};
+pub use log::{is_transient, Lsn, RetryPolicy, SyncPolicy, Wal, WalOptions};
 pub use record::{crc32, Record};

@@ -14,7 +14,7 @@
 
 use crate::fs::{WalFile, WalFs};
 use crate::record::Record;
-use gdm_core::Result;
+use gdm_core::{GdmError, Result};
 
 /// Position of a record in the log: segment number plus byte offset of
 /// its frame within the segment. Ordered lexicographically, so LSNs are
@@ -64,6 +64,80 @@ impl SyncPolicy {
     }
 }
 
+/// Bounded retry with exponential backoff for the log's write/fsync
+/// calls. Real disks and network filesystems fail *transiently*
+/// (signal interruption, momentary congestion) far more often than
+/// they fail permanently; retrying those inside the log keeps one
+/// blip from killing a durable commit, while non-transient errors
+/// (corruption, missing file) still surface immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per I/O call, including the first (1 = never
+    /// retry; 0 behaves as 1).
+    pub attempts: u32,
+    /// Sleep before the first retry, in milliseconds; doubles on each
+    /// subsequent retry. `0` retries immediately.
+    pub base_backoff_ms: u64,
+}
+
+impl RetryPolicy {
+    /// No retries at all: every error surfaces on the first failure.
+    pub const fn none() -> Self {
+        RetryPolicy {
+            attempts: 1,
+            base_backoff_ms: 0,
+        }
+    }
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts (two retries) with a 1 ms starting backoff —
+    /// enough to ride out an interrupted syscall without stalling a
+    /// commit behind a genuinely dead disk.
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            base_backoff_ms: 1,
+        }
+    }
+}
+
+/// Is `e` a *transient* I/O failure — one a bounded retry may cure?
+/// Interrupted/would-block/timed-out syscalls qualify; everything
+/// else (corruption, permission, missing file) is permanent and must
+/// surface to the caller.
+pub fn is_transient(e: &GdmError) -> bool {
+    use std::io::ErrorKind;
+    matches!(
+        e,
+        GdmError::Io(io) if matches!(
+            io.kind(),
+            ErrorKind::Interrupted | ErrorKind::WouldBlock | ErrorKind::TimedOut
+        )
+    )
+}
+
+/// Runs `op`, retrying transient failures per `policy` with
+/// exponential backoff. The first non-transient error — or the last
+/// transient one once attempts are exhausted — is returned as-is.
+fn with_retry<T>(policy: RetryPolicy, mut op: impl FnMut() -> Result<T>) -> Result<T> {
+    let attempts = policy.attempts.max(1);
+    let mut backoff_ms = policy.base_backoff_ms;
+    for attempt in 1..=attempts {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if attempt < attempts && is_transient(&e) => {
+                if backoff_ms > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(backoff_ms));
+                }
+                backoff_ms = backoff_ms.saturating_mul(2);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    unreachable!("loop returns on the final attempt")
+}
+
 /// Tuning knobs for the log writer.
 #[derive(Debug, Clone, Copy)]
 pub struct WalOptions {
@@ -71,6 +145,8 @@ pub struct WalOptions {
     pub segment_bytes: u64,
     /// Fsync cadence.
     pub sync: SyncPolicy,
+    /// Transient-fault retry for write/fsync calls.
+    pub retry: RetryPolicy,
 }
 
 impl Default for WalOptions {
@@ -78,6 +154,7 @@ impl Default for WalOptions {
         WalOptions {
             segment_bytes: 1 << 20,
             sync: SyncPolicy::Always,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -201,7 +278,9 @@ impl<F: WalFs> Wal<F> {
             SyncPolicy::Manual => false,
         };
         if should_sync {
-            self.file.sync()?;
+            let retry = self.opts.retry;
+            let file = &mut self.file;
+            with_retry(retry, || file.sync())?;
             self.unsynced_commits = 0;
             self.first_unsynced = None;
         }
@@ -214,7 +293,9 @@ impl<F: WalFs> Wal<F> {
     /// Writes and fsyncs everything buffered, unconditionally.
     pub fn flush(&mut self) -> Result<()> {
         self.write_through()?;
-        self.file.sync()?;
+        let retry = self.opts.retry;
+        let file = &mut self.file;
+        with_retry(retry, || file.sync())?;
         self.unsynced_commits = 0;
         self.first_unsynced = None;
         Ok(())
@@ -248,7 +329,10 @@ impl<F: WalFs> Wal<F> {
 
     fn write_through(&mut self) -> Result<()> {
         if !self.buf.is_empty() {
-            self.file.append(&self.buf)?;
+            let retry = self.opts.retry;
+            let file = &mut self.file;
+            let buf = &self.buf;
+            with_retry(retry, || file.append(buf))?;
             self.buf.clear();
         }
         Ok(())
@@ -277,6 +361,7 @@ mod tests {
             WalOptions {
                 segment_bytes: 1 << 20,
                 sync: SyncPolicy::batch(4),
+                ..WalOptions::default()
             },
         )
         .unwrap();
@@ -303,6 +388,7 @@ mod tests {
                     commits: 1000,
                     window_ms: 0,
                 },
+                ..WalOptions::default()
             },
         )
         .unwrap();
@@ -330,6 +416,7 @@ mod tests {
                     commits: 1000,
                     window_ms: 5,
                 },
+                ..WalOptions::default()
             },
         )
         .unwrap();
@@ -372,6 +459,7 @@ mod tests {
             WalOptions {
                 segment_bytes: 32,
                 sync: SyncPolicy::Always,
+                ..WalOptions::default()
             },
         )
         .unwrap();
@@ -387,6 +475,94 @@ mod tests {
         let names = fs.list().unwrap();
         assert!(names.contains(&segment_name(0)));
         assert!(names.contains(&segment_name(1)));
+    }
+
+    #[test]
+    fn transient_classifier_separates_retryable_from_permanent() {
+        use std::io::{Error, ErrorKind};
+        for kind in [
+            ErrorKind::Interrupted,
+            ErrorKind::WouldBlock,
+            ErrorKind::TimedOut,
+        ] {
+            assert!(is_transient(&GdmError::Io(Error::new(kind, "blip"))));
+        }
+        assert!(!is_transient(&GdmError::Io(Error::new(
+            ErrorKind::PermissionDenied,
+            "no"
+        ))));
+        assert!(!is_transient(&GdmError::Storage("corrupt".into())));
+    }
+
+    #[test]
+    fn commit_retries_through_two_transient_append_failures() {
+        let fs = FaultFs::new();
+        let mut wal = Wal::create(fs.clone(), WalOptions::default()).unwrap();
+        wal.append(&Record::Put {
+            txn: 0,
+            key: b"k".to_vec(),
+            value: b"v".to_vec(),
+        });
+        wal.append(&Record::Commit { txn: 0 });
+        fs.fail_appends(2); // default policy = 3 attempts: 2 blips are absorbed
+        wal.commit().unwrap();
+        assert_eq!(fs.transient_failure_count(), 2);
+        // Exactly one copy of the frames landed — failed attempts had
+        // no side effect, and the successful one wrote the whole buffer.
+        let bytes = fs.read(&segment_name(0)).unwrap();
+        let mut pos = 0usize;
+        let mut records = Vec::new();
+        while let crate::record::Frame::Ok { record, consumed } =
+            crate::record::read_frame(&bytes, pos)
+        {
+            records.push(record);
+            pos += consumed;
+        }
+        assert_eq!(records.len(), 2);
+        assert!(matches!(records[1], Record::Commit { txn: 0 }));
+    }
+
+    #[test]
+    fn sync_retries_transient_failures_without_double_counting() {
+        let fs = FaultFs::new();
+        let mut wal = Wal::create(fs.clone(), WalOptions::default()).unwrap();
+        wal.append(&Record::Commit { txn: 7 });
+        fs.fail_syncs(2);
+        wal.commit().unwrap();
+        assert_eq!(fs.transient_failure_count(), 2);
+        assert_eq!(fs.sync_count(), 1); // only the successful attempt counted
+        fs.crash(); // durable: the retried sync advanced the watermark
+        assert!(!fs.read(&segment_name(0)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn retries_exhaust_and_surface_the_transient_error() {
+        let fs = FaultFs::new();
+        let mut wal = Wal::create(
+            fs.clone(),
+            WalOptions {
+                retry: RetryPolicy::none(),
+                ..WalOptions::default()
+            },
+        )
+        .unwrap();
+        wal.append(&Record::Commit { txn: 1 });
+        fs.fail_appends(1);
+        let err = wal.commit().unwrap_err();
+        assert!(is_transient(&err), "unexpected error: {err}");
+        // The buffer is retained, so a later commit still lands the record.
+        wal.commit().unwrap();
+        assert!(!fs.read(&segment_name(0)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn permanent_errors_are_not_retried() {
+        let fs = FaultFs::new();
+        let mut wal = Wal::create(fs.clone(), WalOptions::default()).unwrap();
+        wal.append(&Record::Commit { txn: 1 });
+        fs.remove(&segment_name(0)).unwrap(); // file vanishes: permanent
+        let err = wal.commit().unwrap_err();
+        assert!(!is_transient(&err));
     }
 
     #[test]

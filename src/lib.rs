@@ -20,6 +20,7 @@
 //! | [`storage`] (`gdm-storage`) | pager + buffer pool, disk B-tree, heap file, record store, bitmaps, indexes, transactions |
 //! | [`graphs`] (`gdm-graphs`) | simple / property / hyper / nested / RDF / partitioned graphs |
 //! | [`algo`] (`gdm-algo`) | the essential queries: adjacency, reachability, regular paths, VF2 pattern matching, summarization |
+//! | [`govern`] (`gdm-govern`) | the query governor: deadlines, budgets, cooperative cancellation ([`govern::ExecutionGuard`]) |
 //! | [`schema`] (`gdm-schema`) | schemas and the six Table VI integrity constraints |
 //! | [`query`] (`gdm-query`) | Cypher-like, SPARQL-like, GQL and GSQL dialects, Datalog reasoning |
 //! | [`engines`] (`gdm-engines`) | the nine engine emulations behind one [`engines::GraphEngine`] facade |
@@ -44,9 +45,11 @@
 //! ```
 
 pub use gdm_algo as algo;
+pub use gdm_bench as bench;
 pub use gdm_compare as compare;
 pub use gdm_core as core;
 pub use gdm_engines as engines;
+pub use gdm_govern as govern;
 pub use gdm_graphs as graphs;
 pub use gdm_query as query;
 pub use gdm_schema as schema;

@@ -18,6 +18,7 @@ fn opts() -> WalOptions {
     WalOptions {
         segment_bytes: 1 << 20, // one segment: the sweep cuts raw bytes
         sync: SyncPolicy::Always,
+        ..WalOptions::default()
     }
 }
 
@@ -282,6 +283,7 @@ fn group_commit_crash_loses_only_a_suffix() {
     let batched = WalOptions {
         segment_bytes: 1 << 20,
         sync: SyncPolicy::batch(8),
+        ..WalOptions::default()
     };
     let mut kv = DurableKv::create(fs.clone(), batched, MemKv::new()).unwrap();
     for i in 0..20u8 {
