@@ -54,6 +54,20 @@ struct Row {
     parallel_ops_s: Option<f64>,
 }
 
+impl Row {
+    /// Worker threads the row's widest measurement used: the machine's
+    /// available parallelism when the query has a parallel path, 1 for
+    /// serial-only rows — so a stored report says whether a number was
+    /// taken single-threaded without consulting the machine it ran on.
+    fn parallelism(&self, threads: usize) -> usize {
+        if self.parallel_ops_s.is_some() {
+            threads
+        } else {
+            1
+        }
+    }
+}
+
 fn ops_s(us: f64) -> f64 {
     1e6 / us
 }
@@ -486,11 +500,12 @@ fn main() {
     for (idx, r) in rows.iter().enumerate() {
         let comma = if idx + 1 < rows.len() { "," } else { "" };
         json.push_str(&format!(
-            "    \"{}\": {{ \"live_ops_s\": {}, \"frozen_ops_s\": {}, \"parallel_ops_s\": {} }}{comma}\n",
+            "    \"{}\": {{ \"live_ops_s\": {}, \"frozen_ops_s\": {}, \"parallel_ops_s\": {}, \"parallelism\": {} }}{comma}\n",
             r.name,
             json_num(r.live_ops_s),
             json_num(Some(r.frozen_ops_s)),
             json_num(r.parallel_ops_s),
+            r.parallelism(threads),
         ));
     }
     json.push_str("  }\n}\n");

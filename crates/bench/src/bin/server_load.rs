@@ -1,0 +1,219 @@
+//! Multi-tenant server load generator.
+//!
+//! Stands up the `gdm-server` TCP front over a frozen social-graph
+//! snapshot and drives it with two tenants of unequal weight — `alpha`
+//! (weight 3, cheap interactive lookups) and `beta` (weight 1, a
+//! greedy two-hop join it cannot afford) — then reports per-tenant
+//! completed queries, throttles, and client-side p50/p95 latency,
+//! plus the server's own `STATS` counters.
+//!
+//! ```text
+//! cargo run --release --bin server_load              # ~2s load run
+//! cargo run --release --bin server_load -- --smoke   # CI: one scripted
+//!     session (query, query again, STATS, shutdown); exits non-zero
+//!     unless the repeat hit the plan cache and the drain completed
+//! ```
+
+use gdm_bench::workload::{load_into_engine, social_graph, SocialParams};
+use gdm_engines::{make_engine, EngineKind};
+use gdm_server::protocol::Response;
+use gdm_server::{serve, Client, ServerConfig, TenantConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const LIGHT_QUERY: &str = "MATCH (p:person) WHERE p.name = 'person42' RETURN p.age";
+const GREEDY_QUERY: &str =
+    "MATCH (a:person)-[:knows]->(b:person)-[:knows]->(c:person) RETURN c.community";
+
+fn percentile(sorted: &[Duration], p: usize) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    sorted[(sorted.len() * p / 100).min(sorted.len() - 1)]
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("server_load: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+
+    let dir = std::env::temp_dir().join(format!("gdm-server-load-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let mut db = make_engine(EngineKind::Neo4j, &dir).expect("engine");
+    let graph = social_graph(SocialParams {
+        people: if smoke { 150 } else { 500 },
+        communities: 5,
+        intra_edges: 6,
+        inter_edges: 2,
+        seed: 2012,
+    });
+    load_into_engine(db.as_mut(), &graph).expect("load");
+
+    // Supply sized just below the greedy join's natural demand (≈285k
+    // credits/s at 500 people, measured in release), so beta finishes
+    // some queries but visibly throttles, while alpha's 1-credit
+    // lookups never come close to their weighted share.
+    let mut config = ServerConfig {
+        slots: 3,
+        queue: 8,
+        refill_interval: Duration::from_millis(10),
+        refill_credits: if smoke { 50_000 } else { 2_000 },
+        ..ServerConfig::default()
+    };
+    let mut alpha = TenantConfig::new("alpha", 3);
+    alpha.burst_cap = 50_000;
+    let mut beta = TenantConfig::new("beta", 1);
+    beta.burst_cap = 100_000;
+    config.tenants.push(alpha);
+    config.tenants.push(beta);
+
+    let handle = serve(db.serving_snapshot().expect("snapshot"), config).expect("serve");
+    let addr = handle.addr();
+
+    if smoke {
+        // One scripted session, asserting every step: this is the CI
+        // proof that a fresh build serves queries over the wire, hits
+        // the plan cache, reports stats, and drains cleanly.
+        let mut c = Client::connect(addr).expect("connect");
+        match c.hello("alpha", None).expect("hello") {
+            Response::Welcome(w) => println!("connected to {} as {}", w.engine, w.tenant),
+            other => fail(&format!("expected Welcome, got {other:?}")),
+        }
+        match c.query(LIGHT_QUERY).expect("query") {
+            Response::Rows(r) => {
+                if r.rows.len() != 1 {
+                    fail(&format!("expected 1 row, got {}", r.rows.len()));
+                }
+                if r.cached_plan {
+                    fail("first run cannot be a plan-cache hit");
+                }
+            }
+            other => fail(&format!("expected Rows, got {other:?}")),
+        }
+        match c.query(LIGHT_QUERY).expect("query again") {
+            Response::Rows(r) if r.cached_plan => {}
+            other => fail(&format!("expected a plan-cache hit, got {other:?}")),
+        }
+        let stats = c.stats().expect("stats");
+        println!(
+            "plan cache: {} hits / {} misses / {} entries",
+            stats.plan_cache.hits, stats.plan_cache.misses, stats.plan_cache.entries
+        );
+        if stats.plan_cache.hits == 0 {
+            fail("STATS must show a plan-cache hit rate > 0");
+        }
+        match c.shutdown().expect("shutdown") {
+            Response::Bye => {}
+            other => fail(&format!("expected Bye, got {other:?}")),
+        }
+        handle.join();
+        println!("server_load: smoke OK");
+        return;
+    }
+
+    // Load run: one paced alpha session, two saturating beta sessions.
+    const WINDOW: Duration = Duration::from_secs(2);
+    let stop = Arc::new(AtomicBool::new(false));
+    let beta_threads: Vec<_> = (0..2)
+        .map(|_| {
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                c.hello("beta", None).expect("hello");
+                let (mut done, mut throttled) = (0u64, 0u64);
+                let mut latencies = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    let t0 = Instant::now();
+                    match c.query(GREEDY_QUERY).expect("beta query") {
+                        Response::Rows(_) => {
+                            done += 1;
+                            latencies.push(t0.elapsed());
+                        }
+                        Response::Interrupted(_) => {
+                            throttled += 1;
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Response::Overloaded(_) => {
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        other => fail(&format!("unexpected beta reply {other:?}")),
+                    }
+                }
+                c.goodbye().ok();
+                (done, throttled, latencies)
+            })
+        })
+        .collect();
+
+    let mut alpha_client = Client::connect(addr).expect("connect");
+    alpha_client.hello("alpha", None).expect("hello");
+    let (mut alpha_done, mut alpha_lat) = (0u64, Vec::new());
+    let start = Instant::now();
+    while start.elapsed() < WINDOW {
+        let t0 = Instant::now();
+        match alpha_client.query(LIGHT_QUERY).expect("alpha query") {
+            Response::Rows(_) => {
+                alpha_done += 1;
+                alpha_lat.push(t0.elapsed());
+            }
+            other => fail(&format!("alpha must never be throttled, got {other:?}")),
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    stop.store(true, Ordering::Relaxed);
+
+    let (mut beta_done, mut beta_throttled, mut beta_lat) = (0u64, 0u64, Vec::new());
+    for t in beta_threads {
+        let (d, th, lat) = t.join().expect("beta thread");
+        beta_done += d;
+        beta_throttled += th;
+        beta_lat.extend(lat);
+    }
+    let stats = alpha_client.stats().expect("stats");
+    alpha_client.goodbye().ok();
+    handle.shutdown();
+
+    alpha_lat.sort();
+    beta_lat.sort();
+    let secs = WINDOW.as_secs_f64();
+    println!("multi-tenant server load ({}s window):", secs);
+    println!(
+        "{:<8} {:>8} {:>12} {:>12} {:>12} {:>12}",
+        "tenant", "weight", "queries/s", "throttled", "p50", "p95"
+    );
+    println!(
+        "{:<8} {:>8} {:>12.1} {:>12} {:>12?} {:>12?}",
+        "alpha",
+        3,
+        alpha_done as f64 / secs,
+        0,
+        percentile(&alpha_lat, 50),
+        percentile(&alpha_lat, 95),
+    );
+    println!(
+        "{:<8} {:>8} {:>12.1} {:>12} {:>12?} {:>12?}",
+        "beta",
+        1,
+        beta_done as f64 / secs,
+        beta_throttled,
+        percentile(&beta_lat, 50),
+        percentile(&beta_lat, 95),
+    );
+    println!("\nserver STATS:");
+    for t in &stats.tenants {
+        println!(
+            "  {:<8} credits={} charged={} throttled={} shed={}",
+            t.name, t.credits, t.charged, t.throttled, t.shed
+        );
+    }
+    println!(
+        "  plan cache: {} hits / {} misses / {} entries; queue sheds: {}",
+        stats.plan_cache.hits, stats.plan_cache.misses, stats.plan_cache.entries, stats.queue_shed
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -24,6 +24,11 @@ pub enum InterruptReason {
     Budget,
     /// The caller's cancel token was triggered.
     Cancelled,
+    /// The query's tenant exhausted its shared-pool credit allowance —
+    /// the multi-tenant fairness signal. Unlike [`Self::Budget`] (a
+    /// per-query ceiling), this means *other* tenants' traffic is
+    /// being protected; retrying after the next refill may succeed.
+    Throttled,
 }
 
 impl fmt::Display for InterruptReason {
@@ -32,6 +37,7 @@ impl fmt::Display for InterruptReason {
             InterruptReason::Deadline => write!(f, "deadline exceeded"),
             InterruptReason::Budget => write!(f, "budget exhausted"),
             InterruptReason::Cancelled => write!(f, "cancelled"),
+            InterruptReason::Throttled => write!(f, "tenant allowance exhausted"),
         }
     }
 }
@@ -85,6 +91,21 @@ pub enum GdmError {
     /// [`GdmError::normalized`] folds this variant into that form and
     /// [`GdmError::is_interrupted`] matches both.
     BudgetExhausted(String),
+    /// The operation is supported by the engine but refused in durable
+    /// mode because the write-ahead journal has no stable encoding for
+    /// it — replaying it after a crash would be impossible, so durable
+    /// engines reject it up front instead of silently losing it.
+    /// Distinct from [`GdmError::Unsupported`]: that records a 2012
+    /// product's missing feature, this records a limitation of the
+    /// reproduction's own journaling subsystem.
+    NotJournalable {
+        /// Name of the engine refusing the operation.
+        engine: &'static str,
+        /// The refused facade operation, e.g. `"define_node_type"`.
+        op: String,
+        /// Which encoding is missing and where that is tracked.
+        detail: String,
+    },
     /// A governed execution was stopped cooperatively by its
     /// [`ExecutionGuard`](https://docs.rs/gdm-govern) — by deadline,
     /// budget, or cancellation — after producing `partial` results.
@@ -110,6 +131,25 @@ impl GdmError {
     /// the table-probing harness maps to an empty cell.
     pub fn is_unsupported(&self) -> bool {
         matches!(self, GdmError::Unsupported { .. })
+    }
+
+    /// Convenience constructor for [`GdmError::NotJournalable`].
+    pub fn not_journalable(
+        engine: &'static str,
+        op: impl Into<String>,
+        detail: impl Into<String>,
+    ) -> Self {
+        GdmError::NotJournalable {
+            engine,
+            op: op.into(),
+            detail: detail.into(),
+        }
+    }
+
+    /// True when the error is a durable-mode journaling limitation
+    /// (see [`GdmError::NotJournalable`]).
+    pub fn is_not_journalable(&self) -> bool {
+        matches!(self, GdmError::NotJournalable { .. })
     }
 
     /// Convenience constructor for [`GdmError::Interrupted`].
@@ -172,6 +212,9 @@ impl fmt::Display for GdmError {
             GdmError::Type { expected, got } => {
                 write!(f, "type error: expected {expected}, got {got}")
             }
+            GdmError::NotJournalable { engine, op, detail } => {
+                write!(f, "{engine} cannot journal {op} in durable mode: {detail}")
+            }
             GdmError::BudgetExhausted(m) => write!(f, "search budget exhausted: {m}"),
             GdmError::Interrupted { reason, partial } => {
                 write!(f, "execution interrupted ({reason}) after {partial} rows")
@@ -225,6 +268,7 @@ mod tests {
             (InterruptReason::Deadline, "deadline exceeded"),
             (InterruptReason::Budget, "budget exhausted"),
             (InterruptReason::Cancelled, "cancelled"),
+            (InterruptReason::Throttled, "tenant allowance exhausted"),
         ] {
             let e = GdmError::interrupted(reason, 7);
             let s = e.to_string();
@@ -253,6 +297,19 @@ mod tests {
             GdmError::Schema(_)
         ));
         assert_eq!(GdmError::Schema("x".into()).interrupt_reason(), None);
+    }
+
+    #[test]
+    fn not_journalable_is_structured_and_distinct_from_unsupported() {
+        let e = GdmError::not_journalable(
+            "Neo4j",
+            "define_node_type",
+            "gdm-schema types have no stable wire encoding",
+        );
+        assert!(e.is_not_journalable());
+        assert!(!e.is_unsupported());
+        let s = e.to_string();
+        assert!(s.contains("journal") && s.contains("durable"), "{s}");
     }
 
     #[test]

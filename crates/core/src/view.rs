@@ -244,6 +244,29 @@ pub trait AttributedView: GraphView {
         let _ = (label, props);
         None
     }
+
+    /// All nodes whose property `key` lies in the inclusive range
+    /// `[low, high]` (either bound optional), ascending by id —
+    /// answered from an *ordered* index, never by scanning. `None`
+    /// means no ordered index covers `key` and only a scan can answer.
+    ///
+    /// The bounds are loose the way ordered indexes are: inclusive on
+    /// both ends and number-family unified (an integer bound also
+    /// bounds floats). Callers seeding candidate domains from this —
+    /// the planner's range-predicate pushdown — must therefore
+    /// re-apply their exact predicate afterwards; the result only
+    /// ever *over*-approximates, it never drops a node whose value
+    /// lies strictly inside the range. The default (no ordered
+    /// indexes) is `None`.
+    fn range_candidates(
+        &self,
+        key: &str,
+        low: Option<&Value>,
+        high: Option<&Value>,
+    ) -> Option<Vec<NodeId>> {
+        let _ = (key, low, high);
+        None
+    }
 }
 
 /// Structures whose edges carry numeric weights, used by the weighted

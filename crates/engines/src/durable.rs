@@ -17,12 +17,14 @@
 //! durable atomically, and a crash before the commit record is synced
 //! discards them all.
 //!
-//! Deliberate limits (returned as [`GdmError::Unsupported`], recorded
-//! in `ROADMAP.md`): schema DDL through the typed API
-//! (`define_node_type`, `define_edge_type`, `install_constraint`) is
-//! not journaled because the schema definition types have no stable
-//! byte encoding yet. Textual DDL/DML (`execute_ddl`/`execute_dml`)
-//! *is* journaled — the statement text is its own encoding.
+//! Deliberate limits (returned as the structured
+//! [`GdmError::NotJournalable`], recorded in `ROADMAP.md`): schema DDL
+//! through the typed API (`define_node_type`, `define_edge_type`,
+//! `install_constraint`) is not journaled because the schema
+//! definition types have no stable byte encoding yet — the error names
+//! that limitation and the workarounds. Textual DDL/DML
+//! (`execute_ddl`/`execute_dml`) *is* journaled — the statement text
+//! is its own encoding.
 
 use crate::facade::{
     make_engine, AnalysisFunc, EngineDescriptor, EngineKind, GraphEngine, SummaryFunc,
@@ -505,10 +507,21 @@ impl<F: WalFs> DurableEngine<F> {
         self.maybe_checkpoint()
     }
 
-    fn unsupported_schema_ddl(&self, feature: &str) -> GdmError {
-        GdmError::unsupported(
+    /// The structured refusal for typed schema DDL: the journal can
+    /// only replay operations with a stable byte encoding, and the
+    /// `gdm-schema` definition types do not have one yet (tracked in
+    /// ROADMAP.md as "schema-on-durable"). [`GdmError::NotJournalable`]
+    /// keeps this distinct from [`GdmError::Unsupported`] — the
+    /// wrapped engine *does* support the operation; durability is the
+    /// limitation.
+    fn schema_ddl_not_journalable(&self, op: &str) -> GdmError {
+        GdmError::not_journalable(
             self.inner.name(),
-            format!("{feature} in durable mode (typed schema ops are not journaled)"),
+            op,
+            "typed gdm-schema definitions have no stable wire encoding, so the \
+             write-ahead journal could not replay them after a crash; run schema \
+             DDL before wrapping the engine in durable mode, or use the textual \
+             execute_ddl dialect, which journals the statement text",
         )
     }
 }
@@ -637,15 +650,15 @@ impl<F: WalFs> GraphEngine for DurableEngine<F> {
     }
 
     fn define_node_type(&mut self, _def: gdm_schema::NodeTypeDef) -> Result<()> {
-        Err(self.unsupported_schema_ddl("define_node_type"))
+        Err(self.schema_ddl_not_journalable("define_node_type"))
     }
 
     fn define_edge_type(&mut self, _def: gdm_schema::EdgeTypeDef) -> Result<()> {
-        Err(self.unsupported_schema_ddl("define_edge_type"))
+        Err(self.schema_ddl_not_journalable("define_edge_type"))
     }
 
     fn install_constraint(&mut self, _constraint: Constraint) -> Result<()> {
-        Err(self.unsupported_schema_ddl("install_constraint"))
+        Err(self.schema_ddl_not_journalable("install_constraint"))
     }
 
     fn execute_ddl(&mut self, statement: &str) -> Result<()> {
@@ -930,14 +943,31 @@ mod tests {
     }
 
     #[test]
-    fn schema_ddl_refused_in_durable_mode() {
+    fn schema_ddl_refusal_is_structured_and_names_the_journal() {
         let fs = FaultFs::new();
         let dir = scratch("ddl");
         let (mut eng, _) = DurableEngine::open(EngineKind::Sones, &dir, fs, opts()).unwrap();
         let err = eng
             .install_constraint(Constraint::ReferentialIntegrity)
             .unwrap_err();
-        assert!(err.is_unsupported());
+        // Not a bare Unsupported: the engine supports the operation;
+        // durability is the limitation, and the message must say so.
+        assert!(err.is_not_journalable());
+        assert!(!err.is_unsupported());
+        let msg = err.to_string();
+        assert!(
+            msg.contains("journal") && msg.contains("durable") && msg.contains("wire encoding"),
+            "message must name the journaling limitation: {msg}"
+        );
+        assert!(
+            msg.contains("install_constraint"),
+            "message must name the refused op: {msg}"
+        );
+        // All three typed DDL entry points refuse the same way.
+        assert!(eng
+            .define_node_type(gdm_schema::NodeTypeDef::new("person"))
+            .unwrap_err()
+            .is_not_journalable());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

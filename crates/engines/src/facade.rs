@@ -101,6 +101,21 @@ pub enum GovernedAnswer {
     Diameter(Option<usize>),
 }
 
+/// What a serving layer (the `gdm-server` crate) takes from an engine
+/// at startup: an immutable, thread-shareable snapshot of its graph,
+/// the engine's identity, and its default governed-execution limits.
+/// See [`GraphEngine::serving_snapshot`].
+#[derive(Debug, Clone)]
+pub struct ServingSnapshot {
+    /// Engine name as the paper spells it.
+    pub engine: &'static str,
+    /// The point-in-time CSR snapshot queries are answered from.
+    pub frozen: gdm_algo::FrozenGraph,
+    /// The engine's default per-query limits (servers combine these
+    /// with their own deadlines/budgets).
+    pub limits: Limits,
+}
+
 /// The engine facade: every probe the comparison harness runs.
 pub trait GraphEngine {
     /// Engine name as the paper spells it.
@@ -239,6 +254,23 @@ pub trait GraphEngine {
             self.name(),
             "snapshot".to_owned(),
         ))
+    }
+
+    /// Everything a network serving layer needs to answer read queries
+    /// for this engine from worker threads: the point-in-time CSR
+    /// snapshot plus the engine's identity and default limits.
+    ///
+    /// Engines themselves are deliberately not `Send` (several emulate
+    /// 2012 storage managers with interior caches), so a server never
+    /// holds the engine — it takes one `ServingSnapshot` per engine at
+    /// startup and shares the immutable snapshot across sessions.
+    /// Refuses exactly when [`GraphEngine::snapshot`] refuses.
+    fn serving_snapshot(&self) -> Result<ServingSnapshot> {
+        Ok(ServingSnapshot {
+            engine: self.name(),
+            frozen: self.snapshot()?,
+            limits: self.default_limits(),
+        })
     }
 
     // ---- governed execution (robustness) -----------------------------

@@ -44,7 +44,7 @@ pub mod vertexdb;
 pub use durable::{make_engine_durable, CheckpointPolicy, DurableEngine, LogicalOp};
 pub use facade::{
     all_engines, make_engine, AnalysisFunc, EngineDescriptor, EngineKind, GovernedAnswer,
-    GovernedOp, GraphEngine, SummaryFunc,
+    GovernedOp, GraphEngine, ServingSnapshot, SummaryFunc,
 };
 
 // Re-exported so downstream code can name the error type without a

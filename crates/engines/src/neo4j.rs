@@ -120,6 +120,26 @@ impl AttributedView for RecordView<'_> {
         let token = self.tokens.get(key)?;
         self.store.rel_prop(e.raw() as u32, token.raw()).cloned()
     }
+
+    // Enumeration hooks: without these, `FrozenGraph::freeze_attributed`
+    // captures labels but no property values, and a snapshot served to
+    // the query layer silently answers property predicates with nothing.
+    fn visit_node_properties(&self, n: NodeId, f: &mut dyn FnMut(&str, &Value)) {
+        self.store
+            .visit_node_props(n.raw() as u32, &mut |token, v| {
+                if let Some(key) = self.tokens.resolve(Symbol(token)) {
+                    f(key, v);
+                }
+            });
+    }
+
+    fn visit_edge_properties(&self, e: EdgeId, f: &mut dyn FnMut(&str, &Value)) {
+        self.store.visit_rel_props(e.raw() as u32, &mut |token, v| {
+            if let Some(key) = self.tokens.resolve(Symbol(token)) {
+                f(key, v);
+            }
+        });
+    }
 }
 
 impl Neo4jEngine {

@@ -29,6 +29,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+pub mod pool;
+
+pub use pool::{BudgetPool, TenantAllowance};
+
 /// How many guard ticks elapse between wall-clock/cancellation checks.
 /// Small enough that a 1 ms deadline trips promptly in any real search
 /// loop; large enough that `Instant::now()` stays off the hot path.
@@ -196,6 +200,9 @@ pub struct ExecutionGuard {
     deadline: Deadline,
     cancel: CancelToken,
     ticks: AtomicU64,
+    /// Shared-pool allowance this guard draws visit credits from, when
+    /// the query runs on behalf of a tenant (see [`pool`]).
+    allowance: Option<Arc<TenantAllowance>>,
 }
 
 impl ExecutionGuard {
@@ -211,7 +218,29 @@ impl ExecutionGuard {
             deadline: limits.deadline.map_or(Deadline::none(), Deadline::after),
             cancel,
             ticks: AtomicU64::new(0),
+            allowance: None,
         }
+    }
+
+    /// A guard that, in addition to `limits`, draws one shared-pool
+    /// credit per node/edge visit from `allowance` — the multi-tenant
+    /// serving configuration. When the tenant's allowance is exhausted
+    /// the guard interrupts with [`InterruptReason::Throttled`]
+    /// (re-exported reason of [`GdmError::Interrupted`]) at the next
+    /// visit, leaving other tenants' credits untouched.
+    pub fn with_allowance(
+        limits: Limits,
+        cancel: CancelToken,
+        allowance: Arc<TenantAllowance>,
+    ) -> Self {
+        let mut g = Self::with_cancel(limits, cancel);
+        g.allowance = Some(allowance);
+        g
+    }
+
+    /// The tenant allowance this guard charges, if any.
+    pub fn allowance(&self) -> Option<&Arc<TenantAllowance>> {
+        self.allowance.as_ref()
     }
 
     /// A guard that never interrupts (its token is private and never
@@ -238,6 +267,7 @@ impl ExecutionGuard {
         if n > self.budget.max_nodes {
             return Err(self.interrupt(InterruptReason::Budget));
         }
+        self.draw()?;
         self.pulse()
     }
 
@@ -248,7 +278,20 @@ impl ExecutionGuard {
         if n > self.budget.max_edges {
             return Err(self.interrupt(InterruptReason::Budget));
         }
+        self.draw()?;
         self.pulse()
+    }
+
+    /// Draws one shared-pool credit, when a tenant allowance is
+    /// attached; ungoverned and single-tenant guards skip the branch.
+    #[inline]
+    fn draw(&self) -> Result<()> {
+        if let Some(a) = &self.allowance {
+            if let Some(reason) = a.charge(1) {
+                return Err(self.interrupt(reason));
+            }
+        }
+        Ok(())
     }
 
     /// Charges one emitted result row.
@@ -427,6 +470,31 @@ mod tests {
         let g = ExecutionGuard::new(Limits::none().with_node_visits(0));
         let some: Option<&ExecutionGuard> = Some(&g);
         assert!(some.node().is_err());
+    }
+
+    #[test]
+    fn allowance_throttles_across_guards_and_refill_revives() {
+        let mut pool = BudgetPool::new();
+        let tenant = pool.register("acme", 1, 100);
+        // Two concurrent guards share the tenant's 100-credit allowance.
+        let g1 = ExecutionGuard::with_allowance(Limits::none(), CancelToken::new(), tenant.clone());
+        let g2 = ExecutionGuard::with_allowance(Limits::none(), CancelToken::new(), tenant.clone());
+        for _ in 0..50 {
+            g1.node().unwrap();
+            g2.edge().unwrap();
+        }
+        let err = g1.node().unwrap_err();
+        assert_eq!(reason_of(err), InterruptReason::Throttled);
+        assert_eq!(
+            reason_of(g2.node().unwrap_err()),
+            InterruptReason::Throttled
+        );
+        // A refill lets a fresh guard for the same tenant run again.
+        pool.refill(10);
+        let g3 = ExecutionGuard::with_allowance(Limits::none(), CancelToken::new(), tenant);
+        g3.node().unwrap();
+        // Per-guard budgets still travel on the same guard.
+        assert_eq!(g3.budget().node_visits(), 1);
     }
 
     #[test]

@@ -1,0 +1,280 @@
+//! The shared fair budget pool for multi-tenant serving.
+//!
+//! One [`ExecutionGuard`](crate::ExecutionGuard) bounds one query; the
+//! pool bounds a *tenant* across all of its concurrent queries. Every
+//! tenant owns a [`TenantAllowance`] — an atomic credit counter that
+//! each governed visit (node or edge) draws one credit from — and a
+//! pacer thread calls [`BudgetPool::refill`] at a fixed cadence,
+//! splitting a global credit ration between the tenants by **weighted
+//! max-min fairness**: credits a tenant cannot absorb (its allowance
+//! is already at its burst cap) are redistributed to tenants that can,
+//! in proportion to their weights, until either every tenant is capped
+//! or the ration is spent. A saturating tenant therefore converges to
+//! exactly its weighted share of the global visit rate, while an idle
+//! tenant's unused share flows to the busy ones instead of
+//! evaporating — one tenant's fan-out cannot starve the rest.
+//!
+//! Credits are *graph visits* (the same unit [`crate::Budget`]
+//! counts), so the pool composes with per-query limits: a query is
+//! interrupted by whichever trips first, its own budget/deadline or
+//! its tenant's allowance ([`InterruptReason::Throttled`]).
+
+use gdm_core::InterruptReason;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One tenant's slice of the shared pool. Cheap to share: guards hold
+/// an `Arc` and touch one atomic per charged visit.
+#[derive(Debug)]
+pub struct TenantAllowance {
+    name: String,
+    weight: u64,
+    /// Remaining credits. May transiently dip below zero when
+    /// concurrent guards race a depleted allowance; the refill
+    /// restores from wherever it landed, so nothing is lost.
+    credits: AtomicI64,
+    /// Burst cap: refills never push `credits` above this, bounding
+    /// how much an idle tenant can bank and then spend in one burst.
+    cap: i64,
+    /// Lifetime credits charged (telemetry).
+    charged: AtomicU64,
+    /// Lifetime throttle trips (telemetry).
+    throttled: AtomicU64,
+}
+
+impl TenantAllowance {
+    /// Tenant name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Fairness weight.
+    pub fn weight(&self) -> u64 {
+        self.weight
+    }
+
+    /// Burst cap.
+    pub fn cap(&self) -> i64 {
+        self.cap
+    }
+
+    /// Credits currently available (negative = overdrawn).
+    pub fn credits(&self) -> i64 {
+        self.credits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime credits charged through guards.
+    pub fn charged(&self) -> u64 {
+        self.charged.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime throttle interruptions.
+    pub fn throttled(&self) -> u64 {
+        self.throttled.load(Ordering::Relaxed)
+    }
+
+    /// Draws `n` credits. Returns the interrupt reason when the
+    /// allowance was already exhausted (the draw still happens — the
+    /// slight overdraft keeps this a single `fetch_sub`, and the next
+    /// refill absorbs it).
+    #[inline]
+    pub fn charge(&self, n: u64) -> Option<InterruptReason> {
+        self.charged.fetch_add(n, Ordering::Relaxed);
+        let before = self.credits.fetch_sub(n as i64, Ordering::Relaxed);
+        if before > 0 {
+            None
+        } else {
+            self.throttled.fetch_add(1, Ordering::Relaxed);
+            Some(InterruptReason::Throttled)
+        }
+    }
+
+    /// True when the allowance currently has credits to spend.
+    pub fn has_credit(&self) -> bool {
+        self.credits() > 0
+    }
+}
+
+/// The shared pool: a fixed set of tenant allowances (registered
+/// before serving starts) plus the weighted max-min refill.
+#[derive(Debug, Default)]
+pub struct BudgetPool {
+    tenants: Vec<Arc<TenantAllowance>>,
+}
+
+impl BudgetPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a tenant with a fairness `weight` (≥ 1) and a burst
+    /// `cap`, starting with a full allowance. Returns the shared
+    /// handle guards will charge against.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        weight: u64,
+        cap: i64,
+    ) -> Arc<TenantAllowance> {
+        let t = Arc::new(TenantAllowance {
+            name: name.into(),
+            weight: weight.max(1),
+            credits: AtomicI64::new(cap.max(1)),
+            cap: cap.max(1),
+            charged: AtomicU64::new(0),
+            throttled: AtomicU64::new(0),
+        });
+        self.tenants.push(t.clone());
+        t
+    }
+
+    /// The registered tenants, in registration order.
+    pub fn tenants(&self) -> &[Arc<TenantAllowance>] {
+        &self.tenants
+    }
+
+    /// Looks a tenant up by name.
+    pub fn get(&self, name: &str) -> Option<Arc<TenantAllowance>> {
+        self.tenants.iter().find(|t| t.name == name).cloned()
+    }
+
+    /// Distributes `total` fresh credits by weighted max-min fairness
+    /// (water-filling): each round splits the remaining ration between
+    /// the tenants that still have headroom (allowance below its cap)
+    /// in proportion to their weights; a tenant whose headroom is
+    /// smaller than its share takes only the headroom, and the surplus
+    /// rolls into the next round for the others. Terminates when the
+    /// ration is spent or every tenant is capped; returns the credits
+    /// actually granted.
+    pub fn refill(&self, total: u64) -> u64 {
+        // Snapshot headrooms once; concurrent charges during the
+        // refill only increase headroom, so the snapshot is a safe
+        // (conservative) bound and `fetch_add` below never exceeds cap
+        // by more than the concurrent drain.
+        let mut headroom: Vec<i64> = self
+            .tenants
+            .iter()
+            .map(|t| (t.cap - t.credits()).max(0))
+            .collect();
+        let mut remaining = total as i64;
+        let mut granted = 0u64;
+        loop {
+            let open: Vec<usize> = (0..self.tenants.len())
+                .filter(|&i| headroom[i] > 0)
+                .collect();
+            if open.is_empty() || remaining <= 0 {
+                break;
+            }
+            let weight_sum: u64 = open.iter().map(|&i| self.tenants[i].weight).sum();
+            let mut gave_any = false;
+            let round = remaining;
+            for &i in &open {
+                let share =
+                    (round as i128 * self.tenants[i].weight as i128 / weight_sum as i128) as i64;
+                // Integer division can zero small shares; give at
+                // least one credit so the loop always progresses.
+                let share = share.max(1).min(headroom[i]).min(remaining);
+                if share > 0 {
+                    self.tenants[i].credits.fetch_add(share, Ordering::Relaxed);
+                    headroom[i] -= share;
+                    remaining -= share;
+                    granted += share as u64;
+                    gave_any = true;
+                }
+                if remaining == 0 {
+                    break;
+                }
+            }
+            if !gave_any {
+                break;
+            }
+        }
+        granted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_draws_down_and_trips_when_empty() {
+        let mut pool = BudgetPool::new();
+        let t = pool.register("acme", 1, 3);
+        assert_eq!(t.credits(), 3);
+        assert_eq!(t.charge(1), None);
+        assert_eq!(t.charge(1), None);
+        assert_eq!(t.charge(1), None);
+        assert_eq!(t.charge(1), Some(InterruptReason::Throttled));
+        assert_eq!(t.charged(), 4);
+        assert_eq!(t.throttled(), 1);
+        assert!(!t.has_credit());
+    }
+
+    #[test]
+    fn refill_splits_by_weight() {
+        let mut pool = BudgetPool::new();
+        let heavy = pool.register("heavy", 3, 1_000);
+        let light = pool.register("light", 1, 1_000);
+        // Drain both fully.
+        while heavy.charge(1).is_none() {}
+        while light.charge(1).is_none() {}
+        let (h0, l0) = (heavy.credits(), light.credits());
+        let granted = pool.refill(400);
+        assert_eq!(granted, 400);
+        let h = heavy.credits() - h0;
+        let l = light.credits() - l0;
+        assert_eq!(h + l, 400);
+        assert_eq!(h, 300, "3:1 weights split 400 as 300:100, got {h}:{l}");
+    }
+
+    #[test]
+    fn max_min_redistributes_capped_surplus() {
+        let mut pool = BudgetPool::new();
+        let full = pool.register("full", 3, 100); // starts at cap: no headroom
+        let hungry = pool.register("hungry", 1, 10_000);
+        while hungry.charge(1).is_none() {}
+        let before = hungry.credits();
+        let granted = pool.refill(1_000);
+        // `full` can absorb nothing; all 1000 flow to `hungry` despite
+        // its 1:3 weight disadvantage.
+        assert_eq!(granted, 1_000);
+        assert_eq!(full.credits(), 100);
+        assert_eq!(hungry.credits() - before, 1_000);
+    }
+
+    #[test]
+    fn refill_never_exceeds_caps() {
+        let mut pool = BudgetPool::new();
+        let a = pool.register("a", 1, 50);
+        let b = pool.register("b", 1, 50);
+        a.charge(10);
+        let granted = pool.refill(10_000);
+        assert_eq!(granted, 10, "only a's spent credits can be restored");
+        assert!(a.credits() <= 50);
+        assert_eq!(b.credits(), 50);
+    }
+
+    #[test]
+    fn tiny_rations_still_progress() {
+        let mut pool = BudgetPool::new();
+        let a = pool.register("a", 1, 1_000);
+        let b = pool.register("b", 1_000_000, 1_000);
+        while a.charge(1).is_none() {}
+        while b.charge(1).is_none() {}
+        // A ration smaller than the weight sum: integer shares round
+        // to zero, the minimum-one-credit rule must still hand them out.
+        let granted = pool.refill(3);
+        assert_eq!(granted, 3);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let mut pool = BudgetPool::new();
+        pool.register("alpha", 1, 10);
+        assert_eq!(pool.get("alpha").unwrap().name(), "alpha");
+        assert!(pool.get("beta").is_none());
+        assert_eq!(pool.tenants().len(), 1);
+    }
+}

@@ -561,6 +561,21 @@ impl AttributedView for PropertyGraph {
         }
         best
     }
+
+    /// Range probes route through the same ordered secondary indexes
+    /// as point probes; [`ValueIndex::range`] already returns ids
+    /// ascending and deduplicated.
+    fn range_candidates(
+        &self,
+        key: &str,
+        low: Option<&Value>,
+        high: Option<&Value>,
+    ) -> Option<Vec<NodeId>> {
+        let idx = self.prop_indexes.get(key)?;
+        idx.range(low, high)
+            .ok()
+            .map(|ids| ids.into_iter().map(NodeId).collect())
+    }
 }
 
 impl WeightedView for PropertyGraph {

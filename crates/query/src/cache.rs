@@ -1,0 +1,246 @@
+//! A shared plan cache for repeated pattern queries.
+//!
+//! Planning is cheap but not free — conjunct splitting, index probes,
+//! and candidate materialization all walk the query each time — and a
+//! serving layer sees the same query texts over and over. The cache
+//! maps a **canonical query text** to its [`PlannedSelect`] so repeat
+//! executions skip planning entirely.
+//!
+//! Keying: the key is the canonical *query text*, not the rendered
+//! [`ExplainPlan`](crate::plan::ExplainPlan). The render is a faithful
+//! fingerprint of *how* a query executes (it is exposed per entry via
+//! [`PlanCache::fingerprint`] and the server's `STATS` command), but
+//! it deliberately omits *what* the query computes — projections,
+//! residual literal values, order/skip/limit — so two different
+//! queries can render identically and the render cannot be the key.
+//!
+//! Staleness: a cached plan embeds materialized candidate domains.
+//! Executing one against a graph that has since gained nodes can miss
+//! them, so the cache is only sound for **immutable snapshots** (the
+//! serving layer's [`FrozenGraph`](gdm_algo::FrozenGraph)); callers
+//! that mutate must [`PlanCache::clear`] on write. Deleted nodes are
+//! caught anyway: execution re-probes domains and falls back to the
+//! reference matcher on the first dangling id.
+//!
+//! Concurrency: lookups and inserts take a [`Mutex`] for the map;
+//! hit/miss counters are lock-free atomics so `STATS` never contends
+//! with query traffic.
+
+use crate::ast::SelectQuery;
+use crate::plan::{plan_select, PlannedSelect};
+use gdm_core::{AttributedView, FxHashMap, Result};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A bounded, concurrency-safe cache of planned queries.
+#[derive(Debug)]
+pub struct PlanCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: FxHashMap<String, Arc<PlannedSelect>>,
+    /// Keys in insertion order — FIFO eviction. Plans are small and
+    /// per-snapshot, so recency tracking is not worth a second lock
+    /// touch on the hit path.
+    order: VecDeque<String>,
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` plans (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the plan for `key` and executes the miss path
+    /// (planning against `g`) at most once per distinct key until
+    /// eviction. Errors from planning are not cached.
+    pub fn plan<G: AttributedView + ?Sized>(
+        &self,
+        g: &G,
+        key: &str,
+        query: &SelectQuery,
+    ) -> Result<Arc<PlannedSelect>> {
+        if let Some(hit) = self.get(key) {
+            return Ok(hit);
+        }
+        let planned = Arc::new(plan_select(g, query)?);
+        self.insert(key, planned.clone());
+        Ok(planned)
+    }
+
+    /// Looks `key` up, counting a hit or a miss.
+    pub fn get(&self, key: &str) -> Option<Arc<PlannedSelect>> {
+        let found = self
+            .inner
+            .lock()
+            .expect("plan cache lock")
+            .map
+            .get(key)
+            .cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Inserts a plan under `key`, evicting the oldest entry at
+    /// capacity. Re-inserting an existing key replaces its plan
+    /// without growing the cache.
+    pub fn insert(&self, key: &str, plan: Arc<PlannedSelect>) {
+        let mut inner = self.inner.lock().expect("plan cache lock");
+        if inner.map.insert(key.to_owned(), plan).is_none() {
+            inner.order.push_back(key.to_owned());
+            while inner.map.len() > self.capacity {
+                if let Some(old) = inner.order.pop_front() {
+                    inner.map.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// The canonical `EXPLAIN` render of the cached plan for `key`,
+    /// without touching the hit/miss counters.
+    pub fn fingerprint(&self, key: &str) -> Option<String> {
+        self.inner
+            .lock()
+            .expect("plan cache lock")
+            .map
+            .get(key)
+            .map(|p| p.explain.render())
+    }
+
+    /// Drops every entry (counters keep their totals) — required
+    /// after any mutation of the graph the plans were made against.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("plan cache lock");
+        inner.map.clear();
+        inner.order.clear();
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("plan cache lock").map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of cached plans.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lifetime lookup hits.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime lookup misses.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Expr, Projection};
+    use crate::cypher;
+    use gdm_core::props;
+    use gdm_graphs::PropertyGraph;
+
+    fn graph() -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        g.add_node("person", props! { "name" => "ada" });
+        g.add_node("person", props! { "name" => "bob" });
+        g
+    }
+
+    fn query(name: &str) -> SelectQuery {
+        let text = format!("MATCH (p:person {{name: '{name}'}}) RETURN p.name");
+        match cypher::parse(&text).unwrap() {
+            cypher::CypherStatement::Select(q) => *q,
+            other => panic!("expected select, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repeat_lookups_hit() {
+        let g = graph();
+        let cache = PlanCache::new(8);
+        let q = query("ada");
+        let first = cache.plan(&g, "q1", &q).unwrap();
+        let second = cache.plan(&g, "q1", &q).unwrap();
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "second lookup reuses the plan"
+        );
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_first() {
+        let g = graph();
+        let cache = PlanCache::new(2);
+        for (i, name) in ["ada", "bob", "cleo"].iter().enumerate() {
+            cache.plan(&g, &format!("q{i}"), &query(name)).unwrap();
+        }
+        assert_eq!(cache.len(), 2);
+        assert!(cache.fingerprint("q0").is_none(), "oldest evicted");
+        assert!(cache.fingerprint("q2").is_some());
+    }
+
+    #[test]
+    fn fingerprint_is_the_explain_render() {
+        let g = graph();
+        let cache = PlanCache::new(4);
+        let planned = cache.plan(&g, "q", &query("ada")).unwrap();
+        assert_eq!(cache.fingerprint("q").unwrap(), planned.explain.render());
+        crate::plan::ExplainPlan::parse(&cache.fingerprint("q").unwrap())
+            .expect("fingerprint parses back");
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_counters() {
+        let g = graph();
+        let cache = PlanCache::new(4);
+        cache.plan(&g, "q", &query("ada")).unwrap();
+        cache.get("q");
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn planning_errors_are_not_cached() {
+        let g = graph();
+        let cache = PlanCache::new(4);
+        // No projections: validation fails.
+        let mut bad = SelectQuery::default();
+        bad.pattern
+            .node(gdm_algo::PatternNode::var("p").with_label("person"));
+        assert!(cache.plan(&g, "bad", &bad).is_err());
+        assert_eq!(cache.len(), 0);
+        let _ = Projection::Expr {
+            name: "x".into(),
+            expr: Expr::Var("p".into()),
+        };
+    }
+}

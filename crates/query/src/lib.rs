@@ -30,6 +30,7 @@
 //! algebra, the one planner accelerates all of them.
 
 pub mod ast;
+pub mod cache;
 pub mod cypher;
 pub mod datalog;
 pub mod eval;
@@ -40,7 +41,9 @@ pub mod plan;
 pub mod sparql;
 
 pub use ast::{BinOp, Expr, Projection, SelectQuery, VarLengthEdge};
+pub use cache::PlanCache;
 pub use eval::{evaluate_select, evaluate_select_unplanned, ResultSet};
 pub use plan::{
-    evaluate_select_planned, plan_select, Access, ExplainPlan, PlanStep, PlannedSelect,
+    evaluate_select_planned, execute_planned_governed, plan_select, Access, ExplainPlan, PlanStep,
+    PlannedSelect,
 };

@@ -62,6 +62,11 @@ pub struct PlanStep {
     pub estimate: usize,
     /// Number of property constraints on the variable after pushdown.
     pub props: usize,
+    /// Number of range predicates (`<`, `<=`, `>`, `>=`) on the
+    /// variable seeded from an ordered index. The predicates stay in
+    /// the residual filter for exactness; this counts how many also
+    /// narrowed the candidate domain.
+    pub ranges: usize,
     /// Label constraint after pushdown, if any.
     pub label: Option<String>,
 }
@@ -97,6 +102,12 @@ impl ExplainPlan {
                 s.estimate,
                 s.props
             ));
+            // Only emitted when a range predicate was seeded, so plans
+            // without range pushdown render byte-identically to the
+            // pre-range text form (older parsers keep working).
+            if s.ranges > 0 {
+                out.push_str(&format!(" ranges={}", s.ranges));
+            }
             if let Some(label) = &s.label {
                 out.push_str(&format!(" label={label}"));
             }
@@ -134,8 +145,8 @@ impl ExplainPlan {
             if toks.next() != Some("step") {
                 return Err(invalid(format!("expected `step` line, got {line:?}")));
             }
-            let (mut var, mut access, mut estimate, mut props, mut label) =
-                (None, None, None, None, None);
+            let (mut var, mut access, mut estimate, mut props, mut ranges, mut label) =
+                (None, None, None, None, None, None);
             for tok in toks {
                 let (k, v) = split_kv(tok)?;
                 match k {
@@ -149,6 +160,7 @@ impl ExplainPlan {
                     }
                     "estimate" => estimate = Some(parse_count(k, v)?),
                     "props" => props = Some(parse_count(k, v)?),
+                    "ranges" => ranges = Some(parse_count(k, v)?),
                     "label" => label = Some(v.to_owned()),
                     other => return Err(invalid(format!("unknown step field {other:?}"))),
                 }
@@ -158,6 +170,8 @@ impl ExplainPlan {
                 access: access.ok_or_else(|| invalid("step missing access".to_owned()))?,
                 estimate: estimate.ok_or_else(|| invalid("step missing estimate".to_owned()))?,
                 props: props.ok_or_else(|| invalid("step missing props".to_owned()))?,
+                // Absent in pre-range plan text: default to zero.
+                ranges: ranges.unwrap_or(0),
                 label,
             });
         }
@@ -219,11 +233,23 @@ pub fn plan_select<G: AttributedView + ?Sized>(
         }
     }
     let residual_count = residual.len();
+    let mut domains = index_domains(g, &query.pattern);
+    // Range-predicate pushdown: residual conjuncts of the form
+    // `var.key < literal` (any of <, <=, >, >=, either operand order)
+    // seed the variable's candidate domain from the view's ordered
+    // index. The conjunct *stays* in the residual — index range bounds
+    // are inclusive and number-family loose, so the exact filter
+    // re-check keeps the result set identical — which also keeps the
+    // degradation-ladder fallback (domains discarded, reference
+    // matcher) correct with no special casing.
+    let mut range_counts = vec![0usize; query.pattern.nodes.len()];
+    for c in &residual {
+        seed_range_domain(g, &query.pattern, c, &mut domains, &mut range_counts);
+    }
     query.filter = residual
         .into_iter()
         .reduce(|a, b| Expr::bin(BinOp::And, a, b));
 
-    let domains = index_domains(g, &query.pattern);
     let estimates = domain_estimates(g, &query.pattern, &domains);
     let order = planned_order(&query.pattern, &estimates);
     let steps = order
@@ -239,6 +265,7 @@ pub fn plan_select<G: AttributedView + ?Sized>(
                 },
                 estimate: estimates[i],
                 props: pn.props.len(),
+                ranges: range_counts[i],
                 label: pn.label.clone(),
             }
         })
@@ -278,11 +305,114 @@ pub fn evaluate_select_planned<G: AttributedView + ?Sized>(
     Ok((rs, planned.explain))
 }
 
+/// Executes an already-planned query under an [`ExecutionGuard`] — the
+/// entry point for plan-cache consumers (a query server) that plan
+/// once and execute many times against an immutable snapshot.
+///
+/// The same degradation ladder as [`evaluate_select_planned`] applies:
+/// the cached domains are re-probed against `g` and, if any candidate
+/// id dangles (the plan was made against a different or since-mutated
+/// graph), discarded in favour of the governed reference matcher —
+/// slower, never wrong. Rows are identical to
+/// [`evaluate_select_planned`]'s when the guard does not interrupt.
+pub fn execute_planned_governed<G: AttributedView + ?Sized>(
+    g: &G,
+    planned: &PlannedSelect,
+    guard: &gdm_govern::ExecutionGuard,
+) -> Result<ResultSet> {
+    let table = if domains_consistent(g, &planned.domains) {
+        gdm_algo::planned::match_pattern_planned_governed(
+            g,
+            &planned.query.pattern,
+            &planned.domains,
+            guard,
+        )?
+    } else {
+        MatchTable::from_bindings(
+            &planned.query.pattern,
+            &gdm_algo::match_pattern_governed(g, &planned.query.pattern, guard)?,
+        )
+    };
+    finish_select(g, &planned.query, table.to_bindings())
+}
+
 /// Candidate domains from the view's indexes: a constrained variable
 /// whose constraints an index can bound gets its candidate list;
 /// everything else stays unrestricted.
 fn index_domains<G: AttributedView + ?Sized>(g: &G, pattern: &Pattern) -> Domains {
     gdm_algo::planned::auto_domains(g, pattern)
+}
+
+/// If `expr` is a range conjunct an ordered index can bound, narrows
+/// the variable's domain to the index range (intersecting any domain
+/// already seeded by equality pushdown) and bumps its range count.
+fn seed_range_domain<G: AttributedView + ?Sized>(
+    g: &G,
+    pattern: &Pattern,
+    expr: &Expr,
+    domains: &mut Domains,
+    counts: &mut [usize],
+) {
+    let Expr::Bin(op, lhs, rhs) = expr else {
+        return;
+    };
+    // Normalize `literal OP var.key` to `var.key OP' literal`.
+    let (var, key, value, op) = match (&**lhs, &**rhs) {
+        (Expr::Prop(v, k), Expr::Lit(val)) => (v, k, val, *op),
+        (Expr::Lit(val), Expr::Prop(v, k)) => {
+            let flipped = match op {
+                BinOp::Lt => BinOp::Gt,
+                BinOp::Le => BinOp::Ge,
+                BinOp::Gt => BinOp::Lt,
+                BinOp::Ge => BinOp::Le,
+                other => *other,
+            };
+            (v, k, val, flipped)
+        }
+        _ => return,
+    };
+    let (low, high) = match op {
+        BinOp::Lt | BinOp::Le => (None, Some(value)),
+        BinOp::Gt | BinOp::Ge => (Some(value), None),
+        _ => return,
+    };
+    // Comparisons with NULL are false for every binding, and the
+    // pseudo-properties are computed at eval time — a stored property
+    // that happens to share their name would not be what the filter
+    // compares, so seeding from its index would drop valid rows.
+    if matches!(value, Value::Null) || matches!(key.as_str(), "id" | "degree" | "label") {
+        return;
+    }
+    let Some(i) = pattern.nodes.iter().position(|n| n.var == *var) else {
+        return;
+    };
+    let Some(ids) = g.range_candidates(key, low, high) else {
+        return;
+    };
+    counts[i] += 1;
+    domains[i] = Some(match domains[i].take() {
+        None => ids,
+        // Both lists ascend by id (the `AttributedView` contract), so
+        // a between-shaped conjunct pair intersects in one merge pass.
+        Some(prev) => intersect_sorted(&prev, &ids),
+    });
+}
+
+fn intersect_sorted(a: &[gdm_core::NodeId], b: &[gdm_core::NodeId]) -> Vec<gdm_core::NodeId> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].raw().cmp(&b[j].raw()) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
 }
 
 /// Splits `expr` into its top-level AND conjuncts.

@@ -1,0 +1,240 @@
+//! Admission control: who may start a query *now*.
+//!
+//! Two independent limits, checked in order:
+//!
+//! 1. **Per-tenant in-flight cap.** A tenant at its cap is shed
+//!    immediately (`scope: "tenant"`) — queueing would let one tenant
+//!    occupy the whole wait queue, defeating the point of the fair
+//!    budget pool one layer down.
+//! 2. **Global execution slots + bounded wait queue.** Up to `slots`
+//!    queries run concurrently; up to `queue` more wait on a condvar.
+//!    A request arriving with the queue full is shed
+//!    (`scope: "queue"`) rather than waited — *shed-on-full* keeps the
+//!    server's latency bounded under overload instead of building an
+//!    unbounded convoy.
+//!
+//! Granted requests hold an RAII [`Permit`]; dropping it releases the
+//! slot and wakes one waiter. Shed counters are atomics surfaced
+//! through the `STATS` command.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Why a request was shed instead of admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shed {
+    /// The tenant is already at its in-flight cap.
+    TenantCap,
+    /// Every execution slot is busy and the wait queue is full.
+    QueueFull,
+}
+
+impl Shed {
+    /// The protocol's `scope` string for this shed reason.
+    pub fn scope(self) -> &'static str {
+        match self {
+            Shed::TenantCap => "tenant",
+            Shed::QueueFull => "queue",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct TenantSlot {
+    name: String,
+    cap: usize,
+    shed: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    /// Queries currently executing, per tenant (indexed like `tenants`).
+    in_flight: Vec<usize>,
+    /// Total queries currently executing.
+    running: usize,
+    /// Requests currently waiting for a slot.
+    waiting: usize,
+}
+
+/// The admission controller. Cheap to share (`Arc`); all waiting
+/// happens on one mutex + condvar pair.
+#[derive(Debug)]
+pub struct Admission {
+    tenants: Vec<TenantSlot>,
+    slots: usize,
+    queue: usize,
+    queue_shed: AtomicU64,
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl Admission {
+    /// A controller with `slots` concurrent executions, a wait queue of
+    /// `queue`, and the given `(tenant name, in-flight cap)` pairs.
+    pub fn new(slots: usize, queue: usize, tenants: &[(String, usize)]) -> Arc<Self> {
+        Arc::new(Admission {
+            tenants: tenants
+                .iter()
+                .map(|(name, cap)| TenantSlot {
+                    name: name.clone(),
+                    cap: (*cap).max(1),
+                    shed: AtomicU64::new(0),
+                })
+                .collect(),
+            slots: slots.max(1),
+            queue,
+            queue_shed: AtomicU64::new(0),
+            state: Mutex::new(State {
+                in_flight: vec![0; tenants.len()],
+                running: 0,
+                waiting: 0,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn tenant_index(&self, tenant: &str) -> Option<usize> {
+        self.tenants.iter().position(|t| t.name == tenant)
+    }
+
+    /// Tries to admit one query for `tenant`: returns a [`Permit`] to
+    /// hold for the query's duration, or the shed reason. Blocks while
+    /// a queue position is available and every slot is busy. Unknown
+    /// tenants are the caller's bug (sessions authenticate first).
+    pub fn admit(self: &Arc<Self>, tenant: &str) -> Result<Permit, Shed> {
+        let ti = self.tenant_index(tenant).expect("authenticated tenant");
+        let mut state = self.state.lock().expect("admission lock");
+        // The tenant cap counts running queries; shed immediately at
+        // the cap — a capped tenant must not consume queue positions.
+        if state.in_flight[ti] >= self.tenants[ti].cap {
+            self.tenants[ti].shed.fetch_add(1, Ordering::Relaxed);
+            return Err(Shed::TenantCap);
+        }
+        if state.running >= self.slots {
+            if state.waiting >= self.queue {
+                self.queue_shed.fetch_add(1, Ordering::Relaxed);
+                return Err(Shed::QueueFull);
+            }
+            state.waiting += 1;
+            while state.running >= self.slots {
+                state = self.cv.wait(state).expect("admission lock");
+            }
+            state.waiting -= 1;
+            // Re-check the tenant cap: it may have filled while we
+            // waited (another of the tenant's sessions was admitted).
+            if state.in_flight[ti] >= self.tenants[ti].cap {
+                self.tenants[ti].shed.fetch_add(1, Ordering::Relaxed);
+                // Our slot opportunity passes to the next waiter.
+                self.cv.notify_one();
+                return Err(Shed::TenantCap);
+            }
+        }
+        state.in_flight[ti] += 1;
+        state.running += 1;
+        Ok(Permit {
+            admission: self.clone(),
+            tenant: ti,
+        })
+    }
+
+    /// Lifetime requests shed by `tenant`'s in-flight cap.
+    pub fn tenant_shed(&self, tenant: &str) -> u64 {
+        self.tenant_index(tenant)
+            .map_or(0, |ti| self.tenants[ti].shed.load(Ordering::Relaxed))
+    }
+
+    /// Lifetime requests shed by the full global queue.
+    pub fn queue_shed(&self) -> u64 {
+        self.queue_shed.load(Ordering::Relaxed)
+    }
+
+    /// Queries currently executing (all tenants).
+    pub fn running(&self) -> usize {
+        self.state.lock().expect("admission lock").running
+    }
+
+    fn release(&self, tenant: usize) {
+        let mut state = self.state.lock().expect("admission lock");
+        state.in_flight[tenant] -= 1;
+        state.running -= 1;
+        drop(state);
+        self.cv.notify_one();
+    }
+}
+
+/// An admitted query's slot. Dropping releases it and wakes a waiter.
+#[derive(Debug)]
+pub struct Permit {
+    admission: Arc<Admission>,
+    tenant: usize,
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        self.admission.release(self.tenant);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn two_tenants(slots: usize, queue: usize) -> Arc<Admission> {
+        Admission::new(
+            slots,
+            queue,
+            &[("alpha".to_owned(), 2), ("beta".to_owned(), 1)],
+        )
+    }
+
+    #[test]
+    fn tenant_cap_sheds_immediately() {
+        let adm = two_tenants(8, 8);
+        let _p1 = adm.admit("beta").expect("first admit");
+        let err = adm.admit("beta").expect_err("beta cap is 1");
+        assert_eq!(err, Shed::TenantCap);
+        assert_eq!(err.scope(), "tenant");
+        assert_eq!(adm.tenant_shed("beta"), 1);
+        assert_eq!(adm.tenant_shed("alpha"), 0);
+    }
+
+    #[test]
+    fn queue_full_sheds() {
+        // One slot, zero queue: the second concurrent request sheds.
+        let adm = two_tenants(1, 0);
+        let _p = adm.admit("alpha").expect("slot");
+        let err = adm.admit("beta").expect_err("no queue");
+        assert_eq!(err, Shed::QueueFull);
+        assert_eq!(adm.queue_shed(), 1);
+    }
+
+    #[test]
+    fn release_admits_a_waiter() {
+        let adm = two_tenants(1, 4);
+        let p = adm.admit("alpha").expect("slot");
+        let adm2 = adm.clone();
+        let waiter = std::thread::spawn(move || {
+            // Blocks until the permit below drops.
+            let _p = adm2.admit("beta").expect("admitted after release");
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(adm.running(), 1);
+        drop(p);
+        waiter.join().expect("waiter thread");
+        assert_eq!(adm.running(), 0);
+    }
+
+    #[test]
+    fn permits_restore_counts_on_drop() {
+        let adm = two_tenants(8, 8);
+        {
+            let _a = adm.admit("alpha").expect("a");
+            let _b = adm.admit("alpha").expect("b");
+            assert_eq!(adm.running(), 2);
+        }
+        assert_eq!(adm.running(), 0);
+        // The cap is free again.
+        let _c = adm.admit("alpha").expect("c");
+    }
+}

@@ -1,0 +1,69 @@
+//! A blocking client for tests, benches, and the CI smoke script.
+//!
+//! Deliberately thin: one request, one response, over the same framed
+//! protocol the server speaks. Anything smarter (retry on
+//! `Overloaded`, pooling) belongs to the caller — the fairness tests
+//! need to *see* sheds, not have them papered over.
+
+use crate::protocol::{read_frame, write_frame, Hello, QueryReq, Request, Response, StatsReply};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected, optionally authenticated session.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects without authenticating; call [`Client::hello`] next.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client { stream })
+    }
+
+    /// Sends one request and reads one response. An unexpected EOF
+    /// (server shut down mid-session) is an error.
+    pub fn round_trip(&mut self, req: &Request) -> io::Result<Response> {
+        write_frame(&mut self.stream, req)?;
+        read_frame(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the session")
+        })
+    }
+
+    /// Authenticates the session to `tenant`.
+    pub fn hello(&mut self, tenant: &str, secret: Option<&str>) -> io::Result<Response> {
+        self.round_trip(&Request::Hello(Hello {
+            tenant: tenant.to_owned(),
+            secret: secret.map(str::to_owned),
+        }))
+    }
+
+    /// Runs one query under the session's tenant.
+    pub fn query(&mut self, text: &str) -> io::Result<Response> {
+        self.round_trip(&Request::Query(QueryReq {
+            text: text.to_owned(),
+        }))
+    }
+
+    /// Fetches server counters, unwrapped to the stats payload.
+    pub fn stats(&mut self) -> io::Result<StatsReply> {
+        match self.round_trip(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected Stats, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Asks the server to shut down (the session closes with it).
+    pub fn shutdown(&mut self) -> io::Result<Response> {
+        self.round_trip(&Request::Shutdown)
+    }
+
+    /// Closes this session politely.
+    pub fn goodbye(&mut self) -> io::Result<Response> {
+        self.round_trip(&Request::Goodbye)
+    }
+}

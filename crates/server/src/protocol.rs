@@ -1,0 +1,294 @@
+//! The wire protocol: length-prefixed JSON frames.
+//!
+//! Every message is one frame: a big-endian `u32` byte length followed
+//! by that many bytes of JSON. JSON because the vendored serde stack
+//! already serializes [`Value`] (the one interesting payload type) and
+//! a text encoding keeps the CI smoke client scriptable; the length
+//! prefix because JSON is not self-delimiting over a byte stream.
+//!
+//! Enum shape note: the vendored `serde_derive` supports unit and
+//! newtype enum variants but not struct variants, so every variant
+//! with fields wraps a named struct (`Request::Hello(Hello)` rather
+//! than `Request::Hello { tenant, .. }`).
+
+use gdm_core::Value;
+use serde::{Deserialize, Serialize};
+use std::io::{self, Read, Write};
+
+/// Frames larger than this are refused — a corrupt length prefix must
+/// not make the server try to allocate gigabytes.
+pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// A client's opening message: which tenant the session acts for.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Hello {
+    /// Tenant name, as registered in the server's configuration.
+    pub tenant: String,
+    /// Shared secret, when the tenant is configured with one.
+    pub secret: Option<String>,
+}
+
+/// A read query in the engine's shared Cypher-like dialect.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryReq {
+    /// Query text; also the plan-cache key after whitespace trimming.
+    pub text: String,
+}
+
+/// Everything a client can send.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Authenticate the session to a tenant. Must come first.
+    Hello(Hello),
+    /// Run a query under the session tenant's allowance.
+    Query(QueryReq),
+    /// Fetch server counters (per-tenant credits, plan cache, shed).
+    Stats,
+    /// Ask the server to shut down (drains in-flight sessions).
+    Shutdown,
+    /// Close this session only.
+    Goodbye,
+}
+
+/// Session accepted; the server identifies itself.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Welcome {
+    /// Engine name the server is fronting.
+    pub engine: String,
+    /// Tenant the session authenticated to.
+    pub tenant: String,
+}
+
+/// A completed query result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rows {
+    /// Column names, in projection order.
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Vec<Value>>,
+    /// True when the plan came from the shared plan cache.
+    pub cached_plan: bool,
+}
+
+/// The query was stopped by the governor before completing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Interrupted {
+    /// Why: `"deadline exceeded"`, `"budget exhausted"`,
+    /// `"cancelled"`, or `"tenant allowance exhausted"` (throttled by
+    /// the fair budget pool).
+    pub reason: String,
+    /// Rows produced before the interrupt.
+    pub partial: u64,
+}
+
+/// Admission control shed the request instead of queueing it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Overloaded {
+    /// Which limit shed it: `"tenant"` (the tenant's in-flight cap) or
+    /// `"queue"` (the global wait queue was full).
+    pub scope: String,
+    /// How long a well-behaved client should back off before retrying.
+    pub retry_after_ms: u64,
+}
+
+/// Anything else that went wrong (parse error, unsupported statement,
+/// protocol misuse). The session stays open.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorReply {
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// One tenant's counters in a [`StatsReply`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantStats {
+    /// Tenant name.
+    pub name: String,
+    /// Fairness weight.
+    pub weight: u64,
+    /// Credits currently available (negative = overdrawn).
+    pub credits: i64,
+    /// Lifetime credits charged.
+    pub charged: u64,
+    /// Lifetime throttle interruptions.
+    pub throttled: u64,
+    /// Lifetime requests shed by the tenant's in-flight cap.
+    pub shed: u64,
+}
+
+/// Plan-cache counters in a [`StatsReply`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lifetime lookup hits.
+    pub hits: u64,
+    /// Lifetime lookup misses.
+    pub misses: u64,
+    /// Plans currently cached.
+    pub entries: u64,
+}
+
+/// Server counters, answering [`Request::Stats`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsReply {
+    /// Per-tenant pool and admission counters.
+    pub tenants: Vec<TenantStats>,
+    /// Shared plan-cache counters.
+    pub plan_cache: CacheStats,
+    /// Lifetime requests shed by the global queue.
+    pub queue_shed: u64,
+}
+
+/// Everything the server can answer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Hello accepted.
+    Welcome(Welcome),
+    /// Query completed.
+    Rows(Rows),
+    /// Query stopped by the governor (structured, retryable).
+    Interrupted(Interrupted),
+    /// Request shed by admission control (structured, retryable).
+    Overloaded(Overloaded),
+    /// Request failed (not retryable as-is).
+    Error(ErrorReply),
+    /// Stats snapshot.
+    Stats(StatsReply),
+    /// Session closing (answer to Goodbye and Shutdown).
+    Bye,
+}
+
+/// Writes one frame: `u32` big-endian length, then the JSON bytes.
+pub fn write_frame<W: Write, T: Serialize>(w: &mut W, msg: &T) -> io::Result<()> {
+    let body = serde_json::to_vec(msg)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let len = u32::try_from(body.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame too large"))?;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame too large",
+        ));
+    }
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(&body)?;
+    w.flush()
+}
+
+/// Reads one frame, or `None` on a clean EOF at a frame boundary.
+pub fn read_frame<R: Read, T: serde::Deserialize>(r: &mut R) -> io::Result<Option<T>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    serde_json::from_slice(&body)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T>(msg: &T) -> T
+    where
+        T: Serialize + serde::Deserialize + PartialEq + std::fmt::Debug,
+    {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, msg).expect("write");
+        let mut cursor = io::Cursor::new(buf);
+        read_frame(&mut cursor).expect("read").expect("a frame")
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for req in [
+            Request::Hello(Hello {
+                tenant: "alpha".into(),
+                secret: Some("s3cret".into()),
+            }),
+            Request::Query(QueryReq {
+                text: "MATCH (p:person) RETURN p.name".into(),
+            }),
+            Request::Stats,
+            Request::Shutdown,
+            Request::Goodbye,
+        ] {
+            assert_eq!(round_trip(&req), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for resp in [
+            Response::Welcome(Welcome {
+                engine: "Neo4j".into(),
+                tenant: "alpha".into(),
+            }),
+            Response::Rows(Rows {
+                columns: vec!["name".into()],
+                rows: vec![vec![Value::from("ada")], vec![Value::Null]],
+                cached_plan: true,
+            }),
+            Response::Interrupted(Interrupted {
+                reason: "tenant allowance exhausted".into(),
+                partial: 17,
+            }),
+            Response::Overloaded(Overloaded {
+                scope: "queue".into(),
+                retry_after_ms: 25,
+            }),
+            Response::Error(ErrorReply {
+                message: "cypher parse error".into(),
+            }),
+            Response::Stats(StatsReply {
+                tenants: vec![TenantStats {
+                    name: "alpha".into(),
+                    weight: 3,
+                    credits: -2,
+                    charged: 1000,
+                    throttled: 4,
+                    shed: 1,
+                }],
+                plan_cache: CacheStats {
+                    hits: 9,
+                    misses: 2,
+                    entries: 2,
+                },
+                queue_shed: 0,
+            }),
+            Response::Bye,
+        ] {
+            assert_eq!(round_trip(&resp), resp);
+        }
+    }
+
+    #[test]
+    fn eof_at_boundary_is_none_mid_frame_is_error() {
+        let mut empty = io::Cursor::new(Vec::new());
+        assert!(read_frame::<_, Request>(&mut empty)
+            .expect("eof ok")
+            .is_none());
+        // A length prefix with no body is a torn frame.
+        let mut torn = io::Cursor::new(vec![0, 0, 0, 9]);
+        assert!(read_frame::<_, Request>(&mut torn).is_err());
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_refused() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME + 1).to_be_bytes());
+        let mut cursor = io::Cursor::new(buf);
+        assert!(read_frame::<_, Request>(&mut cursor).is_err());
+    }
+}

@@ -1,0 +1,280 @@
+//! The server: listener, worker pool, refill pacer, shutdown drain.
+//!
+//! Threading model (all `std`, no async): one acceptor thread blocks
+//! on [`TcpListener::accept`] and feeds connections through an mpsc
+//! channel to a fixed pool of session workers — each connection is
+//! owned by one worker for its whole life (sessions are stateful:
+//! they authenticate once, then stream queries). One pacer thread
+//! refills the fair budget pool on a fixed cadence.
+//!
+//! Engines are deliberately not `Send`, so the server never holds one:
+//! it takes a [`ServingSnapshot`] (immutable CSR graph + engine
+//! identity + default limits) at startup and shares it read-only
+//! across workers.
+//!
+//! Shutdown: a stop flag plus a self-connection to unblock the
+//! acceptor. Sessions poll the flag between requests (their sockets
+//! carry a short read timeout), finish whatever query is in flight,
+//! and close — a drain, not an abort.
+
+use crate::admission::Admission;
+use crate::protocol::{CacheStats, StatsReply, TenantStats};
+use crate::session;
+use gdm_engines::ServingSnapshot;
+use gdm_govern::{BudgetPool, Limits};
+use gdm_query::PlanCache;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One tenant's serving configuration.
+#[derive(Debug, Clone)]
+pub struct TenantConfig {
+    /// Tenant name clients authenticate as.
+    pub name: String,
+    /// Fair-share weight in the budget pool (≥ 1).
+    pub weight: u64,
+    /// Maximum concurrently executing queries before admission sheds.
+    pub max_in_flight: usize,
+    /// Burst cap on banked pool credits.
+    pub burst_cap: i64,
+    /// Shared secret; `None` admits the tenant by name alone.
+    pub secret: Option<String>,
+}
+
+impl TenantConfig {
+    /// A tenant with the given fairness weight and serving defaults:
+    /// 4 in-flight queries, a 100k-credit burst cap, no secret.
+    pub fn new(name: impl Into<String>, weight: u64) -> Self {
+        TenantConfig {
+            name: name.into(),
+            weight,
+            max_in_flight: 4,
+            burst_cap: 100_000,
+            secret: None,
+        }
+    }
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Session worker threads (= maximum concurrent connections).
+    pub workers: usize,
+    /// Concurrently executing queries across all sessions.
+    pub slots: usize,
+    /// Admission wait-queue length; a request past it is shed.
+    pub queue: usize,
+    /// The tenants sessions may authenticate to.
+    pub tenants: Vec<TenantConfig>,
+    /// Budget-pool refill cadence.
+    pub refill_interval: Duration,
+    /// Credits distributed per refill (split by weighted max-min).
+    pub refill_credits: u64,
+    /// Per-query limits; `None` uses the snapshot engine's defaults.
+    pub query_limits: Option<Limits>,
+    /// Plans the shared cache holds before FIFO eviction.
+    pub plan_cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            slots: 2,
+            queue: 8,
+            tenants: Vec::new(),
+            refill_interval: Duration::from_millis(20),
+            refill_credits: 50_000,
+            query_limits: None,
+            plan_cache_capacity: 64,
+        }
+    }
+}
+
+/// Everything the worker threads share.
+pub(crate) struct Shared {
+    pub(crate) snapshot: ServingSnapshot,
+    pub(crate) limits: Limits,
+    pub(crate) tenants: Vec<TenantConfig>,
+    pub(crate) pool: BudgetPool,
+    pub(crate) admission: Arc<Admission>,
+    pub(crate) cache: PlanCache,
+    pub(crate) stop: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    /// Sets the stop flag and pokes the acceptor awake with a throwaway
+    /// self-connection. Idempotent; connection failure just means the
+    /// acceptor is already gone.
+    pub(crate) fn trigger_stop(&self) {
+        self.stop.store(true, Ordering::Release);
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// The counters behind the `STATS` command.
+    pub(crate) fn stats(&self) -> StatsReply {
+        StatsReply {
+            tenants: self
+                .pool
+                .tenants()
+                .iter()
+                .map(|t| TenantStats {
+                    name: t.name().to_owned(),
+                    weight: t.weight(),
+                    credits: t.credits(),
+                    charged: t.charged(),
+                    throttled: t.throttled(),
+                    shed: self.admission.tenant_shed(t.name()),
+                })
+                .collect(),
+            plan_cache: CacheStats {
+                hits: self.cache.hits(),
+                misses: self.cache.misses(),
+                entries: self.cache.len() as u64,
+            },
+            queue_shed: self.admission.queue_shed(),
+        }
+    }
+}
+
+/// A running server. Keep it; dropping without [`ServerHandle::shutdown`]
+/// leaks the worker threads until process exit.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (an ephemeral loopback port under test).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current server counters, without a session.
+    pub fn stats(&self) -> StatsReply {
+        self.shared.stats()
+    }
+
+    /// Stops accepting, drains in-flight sessions, joins every thread.
+    /// Also completes a shutdown a client already triggered remotely.
+    pub fn shutdown(mut self) {
+        self.shared.trigger_stop();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// Waits for the server to stop without triggering it — pair with
+    /// a client-sent `Shutdown` request.
+    pub fn join(mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Binds a loopback listener and serves `snapshot` under `config`.
+/// Returns once the listener is live; queries run on worker threads.
+pub fn serve(snapshot: ServingSnapshot, config: ServerConfig) -> io::Result<ServerHandle> {
+    if config.tenants.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "a server needs at least one tenant",
+        ));
+    }
+    let listener = TcpListener::bind(("127.0.0.1", 0))?;
+    let addr = listener.local_addr()?;
+
+    let mut pool = BudgetPool::new();
+    for t in &config.tenants {
+        pool.register(t.name.clone(), t.weight, t.burst_cap);
+    }
+    let admission = Admission::new(
+        config.slots,
+        config.queue,
+        &config
+            .tenants
+            .iter()
+            .map(|t| (t.name.clone(), t.max_in_flight))
+            .collect::<Vec<_>>(),
+    );
+    let limits = config.query_limits.unwrap_or(snapshot.limits);
+    let shared = Arc::new(Shared {
+        snapshot,
+        limits,
+        tenants: config.tenants.clone(),
+        pool,
+        admission,
+        cache: PlanCache::new(config.plan_cache_capacity),
+        stop: AtomicBool::new(false),
+        addr,
+    });
+
+    let mut threads = Vec::new();
+
+    // Refill pacer: the fair-share scheduler's clock.
+    {
+        let shared = shared.clone();
+        let interval = config.refill_interval;
+        let credits = config.refill_credits;
+        threads.push(std::thread::spawn(move || {
+            while !shared.stop.load(Ordering::Acquire) {
+                std::thread::sleep(interval);
+                shared.pool.refill(credits);
+            }
+        }));
+    }
+
+    // Session workers, fed by the acceptor through a channel.
+    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+    for _ in 0..config.workers.max(1) {
+        let shared = shared.clone();
+        let rx = rx.clone();
+        threads.push(std::thread::spawn(move || loop {
+            let conn = rx.lock().expect("worker queue lock").recv();
+            match conn {
+                Ok(stream) => session::run(stream, &shared),
+                Err(_) => break, // acceptor gone: no more connections
+            }
+        }));
+    }
+
+    // Acceptor.
+    {
+        let shared = shared.clone();
+        threads.push(std::thread::spawn(move || {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if shared.stop.load(Ordering::Acquire) {
+                            break; // the wake-up connection, or late arrivals
+                        }
+                        if tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => {
+                        if shared.stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        // Transient accept failure: keep serving.
+                    }
+                }
+            }
+            // tx drops here; workers drain the queue and exit.
+        }));
+    }
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        threads,
+    })
+}

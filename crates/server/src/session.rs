@@ -1,0 +1,272 @@
+//! One connection's life: authenticate, then serve requests.
+//!
+//! The session socket carries a short read timeout so the loop can
+//! poll the server's stop flag between requests — that is what makes
+//! shutdown a *drain* (in-flight queries finish, idle sessions close)
+//! instead of an abort. Mid-frame timeouts keep reading: a client that
+//! has started sending a request gets to finish it.
+
+use crate::admission::Shed;
+use crate::protocol::{
+    write_frame, ErrorReply, Interrupted, Overloaded, QueryReq, Request, Response, Rows, Welcome,
+    MAX_FRAME,
+};
+use crate::server::Shared;
+use gdm_govern::{CancelToken, ExecutionGuard};
+use gdm_query::cypher::{self, CypherStatement};
+use std::io::{self, Read};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How often an idle session re-checks the stop flag.
+const POLL: Duration = Duration::from_millis(50);
+
+/// Backoff hint for shed requests, scaled by why they were shed: a
+/// queue-full shed clears as soon as one query finishes; a tenant-cap
+/// shed means the client itself is the congestion.
+fn retry_after_ms(shed: Shed) -> u64 {
+    match shed {
+        Shed::QueueFull => 10,
+        Shed::TenantCap => 50,
+    }
+}
+
+/// Runs one session to completion. Errors (broken pipe, torn frame)
+/// close the connection; the server keeps serving others.
+pub(crate) fn run(stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = serve_session(stream, shared);
+}
+
+fn serve_session(mut stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
+    stream.set_read_timeout(Some(POLL))?;
+    stream.set_nodelay(true).ok();
+
+    // First frame must be Hello; authenticate against the tenant list.
+    let tenant = loop {
+        let req = match read_request(&mut stream, shared)? {
+            Some(r) => r,
+            None => return Ok(()), // client left or server draining
+        };
+        match req {
+            Request::Hello(h) => {
+                let known = shared.tenants.iter().find(|t| t.name == h.tenant);
+                match known {
+                    Some(t) if t.secret == h.secret => {
+                        write_frame(
+                            &mut stream,
+                            &Response::Welcome(Welcome {
+                                engine: shared.snapshot.engine.to_owned(),
+                                tenant: t.name.clone(),
+                            }),
+                        )?;
+                        break t.name.clone();
+                    }
+                    Some(_) => {
+                        write_frame(
+                            &mut stream,
+                            &Response::Error(ErrorReply {
+                                message: format!("bad secret for tenant '{}'", h.tenant),
+                            }),
+                        )?;
+                        return Ok(());
+                    }
+                    None => {
+                        write_frame(
+                            &mut stream,
+                            &Response::Error(ErrorReply {
+                                message: format!("unknown tenant '{}'", h.tenant),
+                            }),
+                        )?;
+                        return Ok(());
+                    }
+                }
+            }
+            _ => {
+                write_frame(
+                    &mut stream,
+                    &Response::Error(ErrorReply {
+                        message: "session not authenticated: send Hello first".to_owned(),
+                    }),
+                )?;
+            }
+        }
+    };
+
+    loop {
+        let req = match read_request(&mut stream, shared)? {
+            Some(r) => r,
+            None => return Ok(()),
+        };
+        match req {
+            Request::Query(q) => {
+                let resp = run_query(shared, &tenant, &q);
+                write_frame(&mut stream, &resp)?;
+            }
+            Request::Stats => {
+                write_frame(&mut stream, &Response::Stats(shared.stats()))?;
+            }
+            Request::Shutdown => {
+                write_frame(&mut stream, &Response::Bye)?;
+                shared.trigger_stop();
+                return Ok(());
+            }
+            Request::Goodbye => {
+                write_frame(&mut stream, &Response::Bye)?;
+                return Ok(());
+            }
+            Request::Hello(_) => {
+                write_frame(
+                    &mut stream,
+                    &Response::Error(ErrorReply {
+                        message: "session already authenticated".to_owned(),
+                    }),
+                )?;
+            }
+        }
+    }
+}
+
+/// Admission → plan cache → governed execution, as one response.
+fn run_query(shared: &Arc<Shared>, tenant: &str, q: &QueryReq) -> Response {
+    let permit = match shared.admission.admit(tenant) {
+        Ok(p) => p,
+        Err(shed) => {
+            return Response::Overloaded(Overloaded {
+                scope: shed.scope().to_owned(),
+                retry_after_ms: retry_after_ms(shed),
+            })
+        }
+    };
+
+    let key = q.text.trim();
+    let statement = match cypher::parse(key) {
+        Ok(s) => s,
+        Err(e) => {
+            return Response::Error(ErrorReply {
+                message: e.to_string(),
+            })
+        }
+    };
+    let select = match statement {
+        CypherStatement::Select(s) => *s,
+        _ => {
+            return Response::Error(ErrorReply {
+                message: "the server serves an immutable snapshot: only MATCH queries are accepted"
+                    .to_owned(),
+            })
+        }
+    };
+
+    let (planned, cached_plan) = match shared.cache.get(key) {
+        Some(p) => (p, true),
+        None => {
+            let planned = match gdm_query::plan_select(&shared.snapshot.frozen, &select) {
+                Ok(p) => Arc::new(p),
+                Err(e) => {
+                    return Response::Error(ErrorReply {
+                        message: e.to_string(),
+                    })
+                }
+            };
+            shared.cache.insert(key, planned.clone());
+            (planned, false)
+        }
+    };
+
+    let guard = match shared.pool.get(tenant) {
+        Some(allowance) => {
+            ExecutionGuard::with_allowance(shared.limits, CancelToken::new(), allowance)
+        }
+        None => ExecutionGuard::with_cancel(shared.limits, CancelToken::new()),
+    };
+    let result = gdm_query::execute_planned_governed(&shared.snapshot.frozen, &planned, &guard);
+    drop(permit);
+
+    match result {
+        Ok(rs) => Response::Rows(Rows {
+            columns: rs.columns,
+            rows: rs.rows,
+            cached_plan,
+        }),
+        Err(e) if e.is_interrupted() => {
+            let reason = e
+                .interrupt_reason()
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "interrupted".to_owned());
+            let partial = match e {
+                gdm_core::GdmError::Interrupted { partial, .. } => partial,
+                _ => 0,
+            };
+            Response::Interrupted(Interrupted { reason, partial })
+        }
+        Err(e) => Response::Error(ErrorReply {
+            message: e.to_string(),
+        }),
+    }
+}
+
+/// Reads one request, tolerating read timeouts so the stop flag is
+/// polled. Returns `None` on a clean client EOF, or — when the server
+/// is draining — as soon as the connection goes idle between frames.
+fn read_request(stream: &mut TcpStream, shared: &Arc<Shared>) -> io::Result<Option<Request>> {
+    let mut len_buf = [0u8; 4];
+    let mut got = 0usize;
+    while got < 4 {
+        match stream.read(&mut len_buf[got..]) {
+            Ok(0) => {
+                return if got == 0 {
+                    Ok(None) // clean EOF at a frame boundary
+                } else {
+                    Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-frame",
+                    ))
+                };
+            }
+            Ok(n) => got += n,
+            Err(e) if is_timeout(&e) => {
+                // Idle poll point: drain only between frames — a
+                // partially read prefix means a request is in flight.
+                if got == 0 && shared.stop.load(Ordering::Acquire) {
+                    return Ok(None);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut body = vec![0u8; len as usize];
+    let mut got = 0usize;
+    while got < body.len() {
+        match stream.read(&mut body[got..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ))
+            }
+            Ok(n) => got += n,
+            Err(e) if is_timeout(&e) || e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    serde_json::from_slice(&body)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}

@@ -277,6 +277,13 @@ impl RecordStore {
         }
     }
 
+    /// Visits every property of a relationship as `(key token, value)`.
+    pub fn visit_rel_props(&self, id: u32, f: &mut dyn FnMut(u32, &Value)) {
+        if let Some(r) = self.rels.get(id as usize).filter(|r| r.in_use) {
+            self.visit_props(r.first_prop, f);
+        }
+    }
+
     fn set_prop_in_chain(&mut self, head: u32, key: u32, value: Value) -> u32 {
         let mut cur = head;
         while cur != NIL {

@@ -53,6 +53,7 @@ pub use gdm_govern as govern;
 pub use gdm_graphs as graphs;
 pub use gdm_query as query;
 pub use gdm_schema as schema;
+pub use gdm_server as server;
 pub use gdm_storage as storage;
 pub use gdm_wal as wal;
 

@@ -169,7 +169,13 @@ fn build_filter(vars: usize, conjuncts: &[ConjunctSpec]) -> Option<Expr> {
             match op {
                 0 | 1 => Expr::bin(BinOp::Eq, prop, Expr::Lit(lit)),
                 2 => Expr::bin(BinOp::Eq, Expr::Lit(lit), prop),
+                // The full range-pushdown surface: every comparison
+                // operator, both operand orders (a reversed literal
+                // flips the effective bound direction).
                 3 => Expr::bin(BinOp::Gt, prop, Expr::Lit(lit)),
+                4 => Expr::bin(BinOp::Lt, prop, Expr::Lit(lit)),
+                5 => Expr::bin(BinOp::Ge, prop, Expr::Lit(lit)),
+                6 => Expr::bin(BinOp::Le, Expr::Lit(lit), prop),
                 _ => Expr::bin(BinOp::Ne, prop, Expr::Lit(lit)),
             }
         })
@@ -184,7 +190,7 @@ proptest! {
     fn planned_query_equals_unplanned(
         (g, _) in graph_strategy(),
         (vars, edges) in pattern_strategy(),
-        conjuncts in prop::collection::vec((0usize..4, 0u8..5, 0u8..5, 0i64..4), 0..4),
+        conjuncts in prop::collection::vec((0usize..4, 0u8..5, 0u8..8, 0i64..4), 0..4),
     ) {
         let mut q = SelectQuery {
             pattern: build_pattern(&vars, &edges),
@@ -206,6 +212,74 @@ proptest! {
         let parsed = ExplainPlan::parse(&explain.render()).expect("explain round-trips");
         prop_assert_eq!(parsed, explain);
     }
+}
+
+/// Deterministic range-pushdown checks the property suite cannot pin
+/// down: the plan must *say* it seeded from the ordered index, strict
+/// bounds must stay exact despite the index's inclusive ranges, and a
+/// between-shaped conjunct pair must intersect to one domain.
+#[test]
+fn range_predicates_seed_ordered_indexes() {
+    let mut g = PropertyGraph::new();
+    for (name, age) in [("ada", 36), ("bob", 25), ("cleo", 41), ("dan", 36)] {
+        g.add_node("person", props! { "name" => name, "age" => age });
+    }
+    let range_query = |filter: Expr| {
+        let mut q = SelectQuery::default();
+        q.pattern.node(PatternNode::var("p"));
+        q.projections.push(Projection::Expr {
+            name: "name".into(),
+            expr: Expr::Prop("p".into(), "name".into()),
+        });
+        q.filter = Some(filter);
+        q
+    };
+    let age = || Expr::Prop("p".into(), "age".into());
+
+    // Strict bound: age > 36 must exclude the boundary value even
+    // though the index range is inclusive.
+    let q = range_query(Expr::bin(BinOp::Gt, age(), Expr::Lit(Value::from(36))));
+    let (rows, explain) = evaluate_select_planned(&g, &q).expect("planned path evaluates");
+    assert_eq!(rows, evaluate_select_unplanned(&g, &q).unwrap());
+    assert_eq!(rows.len(), 1, "only cleo is over 36");
+    assert_eq!(rows.rows[0][0], Value::from("cleo"));
+    let step = &explain.steps[0];
+    assert_eq!(step.ranges, 1, "one range predicate seeded");
+    assert_eq!(
+        step.access,
+        graph_db_models::query::plan::Access::Index,
+        "range seeding upgrades the scan to index access"
+    );
+    assert_eq!(explain.residual, 1, "the predicate stays in the filter");
+    let parsed = ExplainPlan::parse(&explain.render()).expect("ranges field round-trips");
+    assert_eq!(parsed, explain);
+
+    // Between-shaped pair: 30 <= age AND age < 40 intersects both
+    // index probes (ranges=2) and still matches the reference rows.
+    let q = range_query(Expr::bin(
+        BinOp::And,
+        Expr::bin(BinOp::Le, Expr::Lit(Value::from(30)), age()),
+        Expr::bin(BinOp::Lt, age(), Expr::Lit(Value::from(40))),
+    ));
+    let (rows, explain) = evaluate_select_planned(&g, &q).expect("planned path evaluates");
+    assert_eq!(rows, evaluate_select_unplanned(&g, &q).unwrap());
+    assert_eq!(rows.len(), 2, "ada and dan are in [30, 40)");
+    assert_eq!(explain.steps[0].ranges, 2, "both bounds seeded");
+
+    // A never-indexed key cannot seed; the query still answers by scan.
+    let q = range_query(Expr::bin(
+        BinOp::Lt,
+        Expr::Prop("p".into(), "salary".into()),
+        Expr::Lit(Value::from(10)),
+    ));
+    let (rows, explain) = evaluate_select_planned(&g, &q).expect("planned path evaluates");
+    assert_eq!(rows, evaluate_select_unplanned(&g, &q).unwrap());
+    assert!(rows.is_empty(), "nobody has a salary property");
+    assert_eq!(explain.steps[0].ranges, 0, "no ordered index covers salary");
+    assert_eq!(
+        explain.steps[0].access,
+        graph_db_models::query::plan::Access::Scan
+    );
 }
 
 fn probe_values() -> Vec<Value> {
