@@ -97,6 +97,12 @@ pub struct FrozenGraph {
     edge_props: FxHashMap<u64, Vec<(String, Value)>>,
     /// Node label → dense positions carrying it, ascending.
     label_index: FxHashMap<Symbol, Vec<u32>>,
+    /// Edge property key → `(value, from_dense, to_dense)` triples
+    /// sorted by [`Value::total_cmp`] — the ordered edge-attribute
+    /// index behind [`AttributedView::edge_range_candidates`]. Built
+    /// by [`FrozenGraph::freeze_attributed`] from the forward CSR, so
+    /// undirected snapshots carry both orientations of each edge.
+    edge_ranges: FxHashMap<String, Vec<(Value, u32, u32)>>,
 }
 
 impl FrozenGraph {
@@ -137,6 +143,26 @@ impl FrozenGraph {
             });
         }
         fz.edge_props.retain(|_, v| !v.is_empty());
+        // Ordered edge-attribute index: one sorted run per key over
+        // the forward CSR (so endpoint pairs come out in from-dense
+        // order before sorting by value).
+        for dense in 0..fz.nodes.len() as u32 {
+            for i in fz.fwd.range(dense) {
+                let Some(props) = fz.edge_props.get(&fz.fwd.edge_ids[i].raw()) else {
+                    continue;
+                };
+                for (k, v) in props {
+                    fz.edge_ranges.entry(k.clone()).or_default().push((
+                        v.clone(),
+                        dense,
+                        fz.fwd.targets[i],
+                    ));
+                }
+            }
+        }
+        for run in fz.edge_ranges.values_mut() {
+            run.sort_by(|a, b| a.0.total_cmp(&b.0));
+        }
         fz
     }
 
@@ -202,6 +228,7 @@ impl FrozenGraph {
             node_props: vec![Vec::new(); n],
             edge_props: FxHashMap::default(),
             label_index: FxHashMap::default(),
+            edge_ranges: FxHashMap::default(),
         }
     }
 
@@ -327,6 +354,26 @@ impl FrozenGraph {
     #[inline]
     pub(crate) fn target_of_pos(&self, pos: u32) -> u32 {
         self.fwd.targets[pos as usize]
+    }
+
+    // ---- columnar accessors (the vectorized executor's fast path) ---
+
+    /// Interned label of the node at dense position `dense`.
+    #[inline]
+    pub(crate) fn node_label_dense(&self, dense: u32) -> Option<Symbol> {
+        self.node_labels[dense as usize]
+    }
+
+    /// Property list of the node at dense position `dense`.
+    #[inline]
+    pub(crate) fn node_props_dense(&self, dense: u32) -> &[(String, Value)] {
+        &self.node_props[dense as usize]
+    }
+
+    /// Property list of edge `id` (raw), if the edge carries any.
+    #[inline]
+    pub(crate) fn edge_props_raw(&self, id: u64) -> Option<&[(String, Value)]> {
+        self.edge_props.get(&id).map(Vec::as_slice)
     }
 }
 
@@ -471,6 +518,42 @@ impl AttributedView for FrozenGraph {
             self.label_symbol(want)
                 .map_or(0, |sym| self.nodes_with_label(sym).len())
         })
+    }
+
+    /// Binary search over the freeze-time ordered edge-attribute runs.
+    /// Bounds are [`Value::total_cmp`]-inclusive, which unifies the
+    /// number family exactly like the live `BTreeIndex` encoding does.
+    fn edge_range_candidates(
+        &self,
+        key: &str,
+        low: Option<&Value>,
+        high: Option<&Value>,
+    ) -> Option<Vec<(NodeId, NodeId)>> {
+        let run = self.edge_ranges.get(key)?;
+        let start = match low {
+            Some(lo) => {
+                run.partition_point(|(v, _, _)| v.total_cmp(lo) == std::cmp::Ordering::Less)
+            }
+            None => 0,
+        };
+        let end = match high {
+            Some(hi) => {
+                run.partition_point(|(v, _, _)| v.total_cmp(hi) != std::cmp::Ordering::Greater)
+            }
+            None => run.len(),
+        };
+        Some(
+            run[start..end.max(start)]
+                .iter()
+                .map(|&(_, f, t)| (self.nodes[f as usize], self.nodes[t as usize]))
+                .collect(),
+        )
+    }
+
+    /// The CSR snapshot is the columnar backend the vectorized
+    /// pipeline runs on.
+    fn batch_backend(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

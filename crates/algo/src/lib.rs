@@ -39,6 +39,7 @@ pub mod planned;
 pub mod regular;
 pub mod summary;
 pub mod traverse;
+pub mod vectorized;
 
 pub use adjacency::{edges_adjacent, k_neighborhood, nodes_adjacent};
 pub use frozen::{frozen_regular_path_exists, FrozenGraph};
@@ -63,3 +64,7 @@ pub use summary::{
     aggregate, degree_stats, diameter, diameter_governed, graph_order, graph_size, Aggregate,
 };
 pub use traverse::{bfs_order, dfs_order, Traversal};
+pub use vectorized::{
+    match_pattern_vectorized, match_pattern_vectorized_auto,
+    match_pattern_vectorized_auto_governed, match_pattern_vectorized_governed,
+};

@@ -31,7 +31,7 @@
 //! ladder (see DESIGN.md §11).
 
 use crate::frozen::FrozenGraph;
-use crate::pattern::{match_from_root, matching_order, Binding, Pattern};
+use crate::pattern::{match_from_root, matching_order, Binding, MatchCaches, Pattern};
 use gdm_core::{Direction, FxHashMap, FxHashSet, GraphView, NodeId};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -570,9 +570,17 @@ pub fn par_match_pattern(fz: &FrozenGraph, pattern: &Pattern, threads: usize) ->
     if threads == 1 || roots.len() < PAR_PATTERN_MIN_ROOTS {
         // Sequential fall-through: chunking across scoped threads only
         // pays for itself on wide root sets.
+        let mut caches = MatchCaches::for_pattern(pattern);
         let mut out = Vec::new();
         for &dense in &roots {
-            match_from_root(fz, pattern, &order, fz.node_at(dense), &mut out);
+            match_from_root(
+                fz,
+                pattern,
+                &order,
+                fz.node_at(dense),
+                &mut caches,
+                &mut out,
+            );
         }
         return out;
     }
@@ -585,10 +593,18 @@ pub fn par_match_pattern(fz: &FrozenGraph, pattern: &Pattern, threads: usize) ->
             .chunks(chunk)
             .map(|part| {
                 s.spawn(move || {
+                    let mut caches = MatchCaches::for_pattern(pattern);
                     let mut local = Vec::new();
                     let ok = isolate(|| {
                         for &dense in part {
-                            match_from_root(fz, pattern, order, fz.node_at(dense), &mut local);
+                            match_from_root(
+                                fz,
+                                pattern,
+                                order,
+                                fz.node_at(dense),
+                                &mut caches,
+                                &mut local,
+                            );
                         }
                     });
                     ok.then_some(local)
@@ -608,8 +624,9 @@ pub fn par_match_pattern(fz: &FrozenGraph, pattern: &Pattern, threads: usize) ->
         // A lost chunk means missing bindings; rerun every root on the
         // calling thread (same order, same output).
         out.clear();
+        let mut caches = MatchCaches::for_pattern(pattern);
         for &dense in roots {
-            match_from_root(fz, pattern, order, fz.node_at(dense), &mut out);
+            match_from_root(fz, pattern, order, fz.node_at(dense), &mut caches, &mut out);
         }
     }
     out

@@ -7,8 +7,9 @@
 //! property constraints; [`match_pattern_brute`] is the brute-force
 //! oracle the property tests compare against.
 
-use gdm_core::{AttributedView, Direction, FxHashMap, GdmError, NodeId, Result, Value};
+use gdm_core::{AttributedView, Direction, FxHashMap, GdmError, NodeId, Result, Symbol, Value};
 use gdm_govern::{ExecutionGuard, GuardExt};
+use std::cmp::Ordering;
 
 /// A pattern node: a variable plus optional constraints.
 #[derive(Debug, Clone, Default)]
@@ -57,6 +58,22 @@ pub struct PatternEdge {
     /// Direction semantics: `Outgoing` means `from → to` in the data
     /// graph, `Both` accepts either orientation.
     pub direction: Direction,
+    /// Inclusive range constraints on edge properties: `(key, low,
+    /// high)` with either bound optional. Comparison is loose the way
+    /// [`Value::compare`] is (number-family unified); an edge missing
+    /// the property never matches.
+    pub ranges: Vec<(String, Option<Value>, Option<Value>)>,
+}
+
+/// True when `got` lies in the inclusive, number-family-loose range
+/// `[low, high]` — the exact-match side of the over-approximating
+/// ordered-index seeds ([`AttributedView::range_candidates`] /
+/// [`AttributedView::edge_range_candidates`]): every value this
+/// accepts, those indexes return.
+pub(crate) fn value_in_range(got: &Value, low: Option<&Value>, high: Option<&Value>) -> bool {
+    let lo_ok =
+        low.is_none_or(|l| matches!(got.compare(l), Some(Ordering::Greater | Ordering::Equal)));
+    lo_ok && high.is_none_or(|h| matches!(got.compare(h), Some(Ordering::Less | Ordering::Equal)))
 }
 
 /// A pattern graph.
@@ -107,7 +124,27 @@ impl Pattern {
             to,
             label: label.map(str::to_owned),
             direction,
+            ranges: Vec::new(),
         });
+        Ok(())
+    }
+
+    /// Adds an inclusive range constraint on property `key` of the
+    /// most recently added edge (either bound optional, loose
+    /// number-family comparison; an edge without the property never
+    /// matches). Errors when no edge has been added yet.
+    pub fn edge_range(
+        &mut self,
+        key: impl Into<String>,
+        low: Option<Value>,
+        high: Option<Value>,
+    ) -> Result<()> {
+        let Some(e) = self.edges.last_mut() else {
+            return Err(GdmError::InvalidArgument(
+                "edge_range requires a preceding edge".into(),
+            ));
+        };
+        e.ranges.push((key.into(), low, high));
         Ok(())
     }
 }
@@ -133,6 +170,46 @@ pub fn match_pattern_governed<G: AttributedView + ?Sized>(
     match_pattern_guarded(g, pattern, Some(guard))
 }
 
+/// Per-search memo of label-symbol checks: one `symbol → matches?` map
+/// per pattern node and per pattern edge, so each distinct symbol's
+/// text is resolved (and compared) once per search instead of once per
+/// candidate — the same trick `planned.rs` uses, which is what keeps
+/// the frozen snapshot's interned-symbol lookups off the hot path.
+#[derive(Debug, Default)]
+pub(crate) struct MatchCaches {
+    node_labels: Vec<FxHashMap<u32, bool>>,
+    edge_labels: Vec<FxHashMap<u32, bool>>,
+}
+
+impl MatchCaches {
+    pub(crate) fn for_pattern(pattern: &Pattern) -> Self {
+        Self {
+            node_labels: vec![FxHashMap::default(); pattern.nodes.len()],
+            edge_labels: vec![FxHashMap::default(); pattern.edges.len()],
+        }
+    }
+}
+
+/// Memoized check of an optional label constraint against an optional
+/// interned symbol.
+#[inline]
+pub(crate) fn label_ok<G: AttributedView + ?Sized>(
+    g: &G,
+    cache: &mut FxHashMap<u32, bool>,
+    want: Option<&str>,
+    sym: Option<Symbol>,
+) -> bool {
+    let Some(want) = want else {
+        return true;
+    };
+    let Some(sym) = sym else {
+        return false;
+    };
+    *cache
+        .entry(sym.raw())
+        .or_insert_with(|| g.label_text(sym).is_some_and(|t| t == want))
+}
+
 pub(crate) fn match_pattern_guarded<G: AttributedView + ?Sized>(
     g: &G,
     pattern: &Pattern,
@@ -145,8 +222,18 @@ pub(crate) fn match_pattern_guarded<G: AttributedView + ?Sized>(
     // connectivity to already-placed nodes (classic VF2 ordering).
     let order = matching_order(pattern);
     let mut assignment: Vec<Option<NodeId>> = vec![None; pattern.nodes.len()];
+    let mut caches = MatchCaches::for_pattern(pattern);
     let mut out = Vec::new();
-    extend(g, pattern, &order, 0, &mut assignment, &mut out, guard)?;
+    extend(
+        g,
+        pattern,
+        &order,
+        0,
+        &mut assignment,
+        &mut caches,
+        &mut out,
+        guard,
+    )?;
     Ok(out)
 }
 
@@ -187,16 +274,17 @@ pub(crate) fn match_from_root<G: AttributedView + ?Sized>(
     pattern: &Pattern,
     order: &[usize],
     root: NodeId,
+    caches: &mut MatchCaches,
     out: &mut Vec<Binding>,
 ) {
     let pv = order[0];
-    if !node_compatible(g, &pattern.nodes[pv], root) {
+    if !node_compatible(g, &pattern.nodes[pv], root, &mut caches.node_labels[pv]) {
         return;
     }
     let mut assignment: Vec<Option<NodeId>> = vec![None; pattern.nodes.len()];
     assignment[pv] = Some(root);
-    if edges_consistent(g, pattern, pv, &assignment) {
-        extend(g, pattern, order, 1, &mut assignment, out, None)
+    if edges_consistent(g, pattern, pv, &assignment, &mut caches.edge_labels) {
+        extend(g, pattern, order, 1, &mut assignment, caches, out, None)
             .expect("ungoverned search cannot be interrupted");
     }
 }
@@ -208,6 +296,7 @@ fn extend<G: AttributedView + ?Sized>(
     order: &[usize],
     depth: usize,
     assignment: &mut Vec<Option<NodeId>>,
+    caches: &mut MatchCaches,
     out: &mut Vec<Binding>,
     guard: Option<&ExecutionGuard>,
 ) -> Result<()> {
@@ -228,12 +317,17 @@ fn extend<G: AttributedView + ?Sized>(
         if assignment.iter().flatten().any(|&n| n == candidate) {
             continue; // injectivity
         }
-        if !node_compatible(g, &pattern.nodes[pv], candidate) {
+        if !node_compatible(
+            g,
+            &pattern.nodes[pv],
+            candidate,
+            &mut caches.node_labels[pv],
+        ) {
             continue;
         }
         assignment[pv] = Some(candidate);
-        if edges_consistent(g, pattern, pv, assignment) {
-            extend(g, pattern, order, depth + 1, assignment, out, guard)?;
+        if edges_consistent(g, pattern, pv, assignment, &mut caches.edge_labels) {
+            extend(g, pattern, order, depth + 1, assignment, caches, out, guard)?;
         }
         assignment[pv] = None;
     }
@@ -279,18 +373,17 @@ fn candidates<G: AttributedView + ?Sized>(
     g.node_ids()
 }
 
-fn node_compatible<G: AttributedView + ?Sized>(g: &G, pn: &PatternNode, n: NodeId) -> bool {
+fn node_compatible<G: AttributedView + ?Sized>(
+    g: &G,
+    pn: &PatternNode,
+    n: NodeId,
+    cache: &mut FxHashMap<u32, bool>,
+) -> bool {
     if !g.contains_node(n) {
         return false;
     }
-    if let Some(want) = &pn.label {
-        let got = g
-            .node_label(n)
-            .and_then(|sym| g.label_text(sym))
-            .map(str::to_owned);
-        if got.as_deref() != Some(want.as_str()) {
-            return false;
-        }
+    if !label_ok(g, cache, pn.label.as_deref(), g.node_label(n)) {
+        return false;
     }
     pn.props.iter().all(|(key, want)| {
         g.node_property(n, key)
@@ -304,45 +397,59 @@ fn edges_consistent<G: AttributedView + ?Sized>(
     pattern: &Pattern,
     just_placed: usize,
     assignment: &[Option<NodeId>],
+    edge_caches: &mut [FxHashMap<u32, bool>],
 ) -> bool {
-    for e in &pattern.edges {
+    for (i, e) in pattern.edges.iter().enumerate() {
         if e.from != just_placed && e.to != just_placed {
             continue;
         }
         let (Some(from), Some(to)) = (assignment[e.from], assignment[e.to]) else {
             continue;
         };
-        if !has_edge(g, from, to, e) {
+        if !has_edge(g, from, to, e, &mut edge_caches[i]) {
             return false;
         }
     }
     true
 }
 
-fn has_edge<G: AttributedView + ?Sized>(g: &G, from: NodeId, to: NodeId, e: &PatternEdge) -> bool {
-    let check = |a: NodeId, b: NodeId| {
+fn has_edge<G: AttributedView + ?Sized>(
+    g: &G,
+    from: NodeId,
+    to: NodeId,
+    e: &PatternEdge,
+    cache: &mut FxHashMap<u32, bool>,
+) -> bool {
+    let check = |a: NodeId, b: NodeId, cache: &mut FxHashMap<u32, bool>| {
         let mut found = false;
         g.visit_out_edges(a, &mut |er| {
-            if er.to == b {
-                let label_ok = match &e.label {
-                    None => true,
-                    Some(want) => er
-                        .label
-                        .and_then(|sym| g.label_text(sym))
-                        .is_some_and(|t| t == want),
-                };
-                if label_ok {
-                    found = true;
-                }
+            if er.to == b
+                && label_ok(g, cache, e.label.as_deref(), er.label)
+                && edge_ranges_ok(g, er.id, &e.ranges)
+            {
+                found = true;
             }
         });
         found
     };
     match e.direction {
-        Direction::Outgoing => check(from, to),
-        Direction::Incoming => check(to, from),
-        Direction::Both => check(from, to) || check(to, from),
+        Direction::Outgoing => check(from, to, cache),
+        Direction::Incoming => check(to, from, cache),
+        Direction::Both => check(from, to, cache) || check(to, from, cache),
     }
+}
+
+/// Exact edge-property range check: every constrained key must be
+/// present and inside its inclusive bounds.
+pub(crate) fn edge_ranges_ok<G: AttributedView + ?Sized>(
+    g: &G,
+    id: gdm_core::EdgeId,
+    ranges: &[(String, Option<Value>, Option<Value>)],
+) -> bool {
+    ranges.iter().all(|(key, low, high)| {
+        g.edge_property(id, key)
+            .is_some_and(|got| value_in_range(&got, low.as_ref(), high.as_ref()))
+    })
 }
 
 /// Brute-force oracle: tries every injective assignment. Exponential —
@@ -353,8 +460,17 @@ pub fn match_pattern_brute<G: AttributedView + ?Sized>(g: &G, pattern: &Pattern)
     }
     let nodes = g.node_ids();
     let mut assignment: Vec<Option<NodeId>> = vec![None; pattern.nodes.len()];
+    let mut caches = MatchCaches::for_pattern(pattern);
     let mut out = Vec::new();
-    brute(g, pattern, &nodes, 0, &mut assignment, &mut out);
+    brute(
+        g,
+        pattern,
+        &nodes,
+        0,
+        &mut assignment,
+        &mut caches,
+        &mut out,
+    );
     out
 }
 
@@ -364,15 +480,17 @@ fn brute<G: AttributedView + ?Sized>(
     nodes: &[NodeId],
     depth: usize,
     assignment: &mut Vec<Option<NodeId>>,
+    caches: &mut MatchCaches,
     out: &mut Vec<Binding>,
 ) {
     if depth == pattern.nodes.len() {
-        let ok = pattern.edges.iter().all(|e| {
+        let ok = pattern.edges.iter().enumerate().all(|(i, e)| {
             has_edge(
                 g,
                 assignment[e.from].expect("complete"),
                 assignment[e.to].expect("complete"),
                 e,
+                &mut caches.edge_labels[i],
             )
         });
         if ok {
@@ -391,11 +509,11 @@ fn brute<G: AttributedView + ?Sized>(
         if assignment.iter().flatten().any(|&m| m == n) {
             continue;
         }
-        if !node_compatible(g, &pattern.nodes[depth], n) {
+        if !node_compatible(g, &pattern.nodes[depth], n, &mut caches.node_labels[depth]) {
             continue;
         }
         assignment[depth] = Some(n);
-        brute(g, pattern, nodes, depth + 1, assignment, out);
+        brute(g, pattern, nodes, depth + 1, assignment, caches, out);
         assignment[depth] = None;
     }
 }

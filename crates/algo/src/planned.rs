@@ -86,6 +86,13 @@ impl MatchTable {
         }
         MatchTable { vars, data }
     }
+
+    /// Assembles a table directly from a flat row buffer — the
+    /// vectorized executor's exit point into the planned API.
+    pub(crate) fn from_parts(vars: Vec<String>, data: Vec<NodeId>) -> Self {
+        debug_assert!(vars.is_empty() || data.len().is_multiple_of(vars.len()));
+        MatchTable { vars, data }
+    }
 }
 
 /// Variable elimination order by estimated selectivity: the first
@@ -358,10 +365,14 @@ impl<G: AttributedView + ?Sized> Search<'_, G> {
             (self.assignment[e.to].expect("generator"), dir)
         };
         let want = e.label.as_deref();
+        let ranges = &e.ranges;
         let cache = &mut self.edge_label_cache[ei];
         let mut out = Vec::new();
         g.visit_edges_dir(bound, dir, &mut |er| {
-            if label_ok(g, cache, want, er.label) && !out.contains(&er.to) {
+            if label_ok(g, cache, want, er.label)
+                && crate::pattern::edge_ranges_ok(g, er.id, ranges)
+                && !out.contains(&er.to)
+            {
                 out.push(er.to);
             }
         });
@@ -442,20 +453,24 @@ impl<G: AttributedView + ?Sized> Search<'_, G> {
         let g = self.g;
         let e = &self.pattern.edges[ei];
         let want = e.label.as_deref();
+        let ranges = &e.ranges;
         let cache = &mut self.edge_label_cache[ei];
-        let mut check = |a: NodeId, b: NodeId| {
+        let check = |a: NodeId, b: NodeId, cache: &mut FxHashMap<u32, bool>| {
             let mut found = false;
             g.visit_out_edges(a, &mut |er| {
-                if er.to == b && label_ok(g, cache, want, er.label) {
+                if er.to == b
+                    && label_ok(g, cache, want, er.label)
+                    && crate::pattern::edge_ranges_ok(g, er.id, ranges)
+                {
                     found = true;
                 }
             });
             found
         };
         match e.direction {
-            Direction::Outgoing => check(from, to),
-            Direction::Incoming => check(to, from),
-            Direction::Both => check(from, to) || check(to, from),
+            Direction::Outgoing => check(from, to, cache),
+            Direction::Incoming => check(to, from, cache),
+            Direction::Both => check(from, to, cache) || check(to, from, cache),
         }
     }
 }

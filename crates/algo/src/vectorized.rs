@@ -1,0 +1,776 @@
+//! Vectorized batch-at-a-time pattern matching over the CSR snapshot.
+//!
+//! The planned matcher ([`crate::planned`]) walks [`FrozenGraph`] one
+//! binding at a time through the generic [`gdm_core::AttributedView`]
+//! trait: every candidate costs a virtual call, a dense-index hash
+//! lookup, and a `NodeId`-keyed hash-set probe. This module is the
+//! columnar counterpart in the MonetDB/GraphBLAS style: operators
+//! consume and produce **batches of dense `u32` ids** ([`BATCH`] rows
+//! at a time) directly against the snapshot's CSR arrays, so the inner
+//! loops are array indexing over integer columns with no dynamic
+//! dispatch at all (DESIGN.md §13).
+//!
+//! The operator set mirrors a classic batch pipeline:
+//!
+//! * **label scan** — a variable constrained only by label seeds
+//!   straight from the `nodes_with_label` slice;
+//! * **index/range seed** — planner-supplied domains (equality and
+//!   range lookups, node or edge) arrive as dense selection vectors;
+//! * **batched expand** — the generating pattern edge is expanded by
+//!   walking `out_targets`/`in_targets` runs, deduplicating per source
+//!   row with a reusable stamp array (no per-row allocation);
+//! * **residual filter** — label symbols (pre-resolved once per query
+//!   against the snapshot's interner, so the batch loop compares
+//!   `u32`s), property equality, injectivity, and non-generator edge
+//!   checks run over the batch columns in place;
+//! * **materialize** — surviving rows append to a flat buffer that
+//!   exits as a [`MatchTable`], the planned API's result type.
+//!
+//! Search order is depth-first at *batch* granularity: a child batch
+//! is flushed into the next operator as soon as it fills, so memory
+//! stays bounded by `depth × BATCH` regardless of result size.
+//!
+//! **Equivalence.** The pipeline binds variables in exactly
+//! [`planned_order`] and applies exactly the planned matcher's
+//! constraint checks, so its result equals
+//! [`crate::match_pattern_planned`]'s as a set (the `planned_equiv`
+//! property suite proves vectorized ≡ planned ≡ unplanned). Row order
+//! may differ: batching reorders siblings, never membership.
+//!
+//! **Governance.** The guard is ticked once per batch, not once per
+//! visit: [`gdm_govern::ExecutionGuard::nodes`] charges a whole
+//! candidate batch in one atomic add and runs the deadline/cancel
+//! check unconditionally — at ≤ [`BATCH`] visits per draw that is both
+//! cheaper and *more responsive* than the per-visit amortized pulse.
+//! A trip surfaces as the same structured
+//! [`gdm_core::GdmError::Interrupted`] (reason + rows emitted so far)
+//! the row-at-a-time matchers return.
+
+use crate::frozen::FrozenGraph;
+use crate::pattern::{value_in_range, Pattern};
+use crate::planned::{domain_estimates, planned_order, MatchTable};
+use gdm_core::{Direction, GraphView, NodeId, Result, Symbol, Value};
+use gdm_govern::{ExecutionGuard, GuardExt};
+
+/// Rows per batch. Large enough to amortize per-batch costs (guard
+/// draw, recursion) to noise; small enough that a working set of
+/// `pattern depth × BATCH × 4` bytes stays cache-resident.
+pub const BATCH: usize = 1024;
+
+/// A label constraint pre-resolved against the snapshot's interner.
+#[derive(Clone, Copy, PartialEq)]
+enum Want {
+    /// No constraint.
+    Any,
+    /// Constraint names a label the snapshot never interned: nothing
+    /// can match.
+    Impossible,
+    /// Must carry exactly this symbol (compare `u32`s, never text).
+    Sym(Symbol),
+}
+
+impl Want {
+    fn resolve(fz: &FrozenGraph, want: Option<&str>) -> Want {
+        match want {
+            None => Want::Any,
+            Some(text) => fz.label_symbol(text).map_or(Want::Impossible, Want::Sym),
+        }
+    }
+
+    #[inline]
+    fn accepts(self, sym: Option<Symbol>) -> bool {
+        match self {
+            Want::Any => true,
+            Want::Impossible => false,
+            Want::Sym(want) => sym == Some(want),
+        }
+    }
+}
+
+/// A batch of partial matches: one `u32` dense-id column per *bound*
+/// pattern variable (unbound columns stay empty), `len` rows.
+struct Frame {
+    cols: Vec<Vec<u32>>,
+    len: usize,
+}
+
+impl Frame {
+    fn root(vars: usize) -> Frame {
+        // One virtual row binding nothing: the depth-0 seed operator
+        // crosses it with the first variable's candidate list.
+        Frame {
+            cols: vec![Vec::new(); vars],
+            len: 1,
+        }
+    }
+}
+
+/// Finds all subgraph matches of `pattern` in the snapshot, seeding
+/// each variable from its domain (where given). Equal to
+/// [`crate::match_pattern_planned`] as a binding set; row order may
+/// differ (batch siblings are emitted in seed order).
+pub fn match_pattern_vectorized(
+    fz: &FrozenGraph,
+    pattern: &Pattern,
+    domains: &[Option<Vec<NodeId>>],
+) -> MatchTable {
+    match_pattern_vectorized_guarded(fz, pattern, domains, None)
+        .expect("ungoverned search cannot be interrupted")
+}
+
+/// [`match_pattern_vectorized`] under an [`ExecutionGuard`]: candidate
+/// batches charge [`ExecutionGuard::nodes`], emitted row batches
+/// charge [`ExecutionGuard::rows`], and a trip returns the structured
+/// `Interrupted` error with the partial row count.
+pub fn match_pattern_vectorized_governed(
+    fz: &FrozenGraph,
+    pattern: &Pattern,
+    domains: &[Option<Vec<NodeId>>],
+    guard: &ExecutionGuard,
+) -> Result<MatchTable> {
+    match_pattern_vectorized_guarded(fz, pattern, domains, Some(guard))
+}
+
+/// Vectorized matching with the snapshot's own indexes seeding the
+/// domains — the batch counterpart of [`crate::match_pattern_auto`],
+/// including its degradation ladder (inconsistent domains fall back to
+/// the unplanned reference matcher).
+pub fn match_pattern_vectorized_auto(fz: &FrozenGraph, pattern: &Pattern) -> MatchTable {
+    match_pattern_vectorized_auto_guarded(fz, pattern, None)
+        .expect("ungoverned search cannot be interrupted")
+}
+
+/// [`match_pattern_vectorized_auto`] under an [`ExecutionGuard`].
+pub fn match_pattern_vectorized_auto_governed(
+    fz: &FrozenGraph,
+    pattern: &Pattern,
+    guard: &ExecutionGuard,
+) -> Result<MatchTable> {
+    match_pattern_vectorized_auto_guarded(fz, pattern, Some(guard))
+}
+
+fn match_pattern_vectorized_auto_guarded(
+    fz: &FrozenGraph,
+    pattern: &Pattern,
+    guard: Option<&ExecutionGuard>,
+) -> Result<MatchTable> {
+    let domains = crate::planned::auto_domains(fz, pattern);
+    if !crate::planned::domains_consistent(fz, &domains) {
+        let bindings = crate::pattern::match_pattern_guarded(fz, pattern, guard)?;
+        return Ok(MatchTable::from_bindings(pattern, &bindings));
+    }
+    match_pattern_vectorized_guarded(fz, pattern, &domains, guard)
+}
+
+pub(crate) fn match_pattern_vectorized_guarded(
+    fz: &FrozenGraph,
+    pattern: &Pattern,
+    domains: &[Option<Vec<NodeId>>],
+    guard: Option<&ExecutionGuard>,
+) -> Result<MatchTable> {
+    let vars: Vec<String> = pattern.nodes.iter().map(|pn| pn.var.clone()).collect();
+    if pattern.nodes.is_empty() {
+        return Ok(MatchTable::from_parts(vars, Vec::new()));
+    }
+    let estimates = domain_estimates(fz, pattern, domains);
+    let order = planned_order(pattern, &estimates);
+    let n_vars = pattern.nodes.len();
+
+    // Selection vectors: planner domains mapped to dense positions
+    // (ids the snapshot never held simply drop out — the planned
+    // matcher rejects them via `contains_node` the same way), plus a
+    // bitset per restricted variable for O(1) membership during
+    // expansion.
+    let dom_list: Vec<Option<Vec<u32>>> = (0..n_vars)
+        .map(|i| {
+            domains.get(i).and_then(Option::as_ref).map(|d| {
+                d.iter()
+                    .filter_map(|n| fz.dense_of(*n))
+                    .collect::<Vec<u32>>()
+            })
+        })
+        .collect();
+    let words = fz.len().div_ceil(64);
+    let dom_bits: Vec<Option<Vec<u64>>> = dom_list
+        .iter()
+        .map(|d| {
+            d.as_ref().map(|list| {
+                let mut bits = vec![0u64; words];
+                for &dense in list {
+                    bits[dense as usize / 64] |= 1 << (dense % 64);
+                }
+                bits
+            })
+        })
+        .collect();
+
+    // Labels resolved once per query; the batch loops compare symbols.
+    let node_want: Vec<Want> = pattern
+        .nodes
+        .iter()
+        .map(|pn| Want::resolve(fz, pn.label.as_deref()))
+        .collect();
+    let edge_want: Vec<Want> = pattern
+        .edges
+        .iter()
+        .map(|pe| Want::resolve(fz, pe.label.as_deref()))
+        .collect();
+
+    // Static per-depth plan: with a fixed elimination order, the bound
+    // set at each depth is `order[..depth]`, so the generating edge
+    // and the residual edge checks are knowable up front instead of
+    // per candidate.
+    let mut bound = vec![false; n_vars];
+    let mut generators: Vec<Option<usize>> = Vec::with_capacity(order.len());
+    let mut residual_edges: Vec<Vec<usize>> = Vec::with_capacity(order.len());
+    for &pv in &order {
+        let generator = pattern.edges.iter().position(|e| {
+            (e.to == pv && e.from != pv && bound[e.from])
+                || (e.from == pv && e.to != pv && bound[e.to])
+        });
+        bound[pv] = true;
+        let checks = pattern
+            .edges
+            .iter()
+            .enumerate()
+            .filter(|&(ei, e)| {
+                Some(ei) != generator
+                    && (e.from == pv || e.to == pv)
+                    && bound[e.from]
+                    && bound[e.to]
+            })
+            .map(|(ei, _)| ei)
+            .collect();
+        generators.push(generator);
+        residual_edges.push(checks);
+    }
+
+    let mut search = VecSearch {
+        fz,
+        pattern,
+        order: &order,
+        generators: &generators,
+        residual_edges: &residual_edges,
+        node_want: &node_want,
+        edge_want: &edge_want,
+        dom_list: &dom_list,
+        dom_bits: &dom_bits,
+        stamp: vec![0u32; fz.len()],
+        stamp_gen: 0,
+        data: Vec::new(),
+        guard,
+    };
+    search.step(0, &Frame::root(n_vars))?;
+    Ok(MatchTable::from_parts(vars, search.data))
+}
+
+struct VecSearch<'a> {
+    fz: &'a FrozenGraph,
+    pattern: &'a Pattern,
+    order: &'a [usize],
+    generators: &'a [Option<usize>],
+    residual_edges: &'a [Vec<usize>],
+    node_want: &'a [Want],
+    edge_want: &'a [Want],
+    dom_list: &'a [Option<Vec<u32>>],
+    dom_bits: &'a [Option<Vec<u64>>],
+    /// Reusable per-row dedup marks for batched expansion: a node is a
+    /// duplicate within one source row's expansion iff its stamp
+    /// equals the current generation.
+    stamp: Vec<u32>,
+    stamp_gen: u32,
+    /// Flat result buffer, `n_vars` node ids per row in pattern
+    /// variable order.
+    data: Vec<NodeId>,
+    guard: Option<&'a ExecutionGuard>,
+}
+
+impl VecSearch<'_> {
+    /// Runs the operator for depth `depth` over one input batch.
+    fn step(&mut self, depth: usize, frame: &Frame) -> Result<()> {
+        if depth == self.order.len() {
+            return self.emit(frame);
+        }
+        let pv = self.order[depth];
+        if self.node_want[pv] == Want::Impossible {
+            return Ok(());
+        }
+
+        // Pending child batch: parent row index + candidate value.
+        let mut sel: Vec<u32> = Vec::with_capacity(BATCH);
+        let mut vals: Vec<u32> = Vec::with_capacity(BATCH);
+
+        match self.generators[depth] {
+            Some(ei) => {
+                if self.edge_want[ei] == Want::Impossible {
+                    return Ok(());
+                }
+                for row in 0..frame.len {
+                    self.expand_row(depth, pv, ei, frame, row, &mut sel, &mut vals)?;
+                }
+            }
+            None => {
+                // Seed operator: the domain selection vector when the
+                // planner supplied one, else the label-scan slice,
+                // else every dense position.
+                let owned: Vec<u32>;
+                let scan: &[u32] = match &self.dom_list[pv] {
+                    Some(list) => list,
+                    None => {
+                        owned = self.all_dense(pv);
+                        &owned
+                    }
+                };
+                for row in 0..frame.len {
+                    for chunk in scan.chunks(BATCH) {
+                        // The seed list is independent of the row, so
+                        // whole chunks flush without the fill loop.
+                        sel.clear();
+                        vals.clear();
+                        sel.resize(chunk.len(), row as u32);
+                        vals.extend_from_slice(chunk);
+                        self.flush(depth, pv, frame, &mut sel, &mut vals)?;
+                    }
+                }
+                return Ok(());
+            }
+        }
+        if !vals.is_empty() {
+            self.flush(depth, pv, frame, &mut sel, &mut vals)?;
+        }
+        Ok(())
+    }
+
+    /// Dense positions a label-only scan of `pv` must consider: the
+    /// label index slice when the variable is labelled, else all
+    /// nodes. (Only reached when the planner supplied no domain.)
+    fn all_dense(&self, pv: usize) -> Vec<u32> {
+        match self.node_want[pv] {
+            Want::Sym(sym) => self.fz.nodes_with_label(sym).to_vec(),
+            _ => (0..self.fz.len() as u32).collect(),
+        }
+    }
+
+    /// Batched expand: walks the CSR run of `row`'s bound endpoint of
+    /// generating edge `ei`, pushing label/range-qualified,
+    /// deduplicated, in-domain targets into the pending batch and
+    /// flushing whenever it fills.
+    #[allow(clippy::too_many_arguments)]
+    fn expand_row(
+        &mut self,
+        depth: usize,
+        pv: usize,
+        ei: usize,
+        frame: &Frame,
+        row: usize,
+        sel: &mut Vec<u32>,
+        vals: &mut Vec<u32>,
+    ) -> Result<()> {
+        let e = &self.pattern.edges[ei];
+        let (bound_var, dir) = if e.to == pv {
+            (e.from, e.direction)
+        } else {
+            let dir = match e.direction {
+                Direction::Outgoing => Direction::Incoming,
+                other => other,
+            };
+            (e.to, dir)
+        };
+        let bound = frame.cols[bound_var][row];
+
+        // New dedup generation for this source row.
+        self.stamp_gen = self.stamp_gen.wrapping_add(1);
+        if self.stamp_gen == 0 {
+            self.stamp.fill(0);
+            self.stamp_gen = 1;
+        }
+
+        let (fwd_first, rev_too) = match dir {
+            Direction::Outgoing => (true, false),
+            Direction::Incoming => (false, true),
+            Direction::Both => (true, self.fz.is_directed()),
+        };
+        if fwd_first {
+            self.expand_run(depth, pv, ei, frame, row, bound, false, sel, vals)?;
+        }
+        if rev_too {
+            self.expand_run(depth, pv, ei, frame, row, bound, true, sel, vals)?;
+        }
+        Ok(())
+    }
+
+    /// One CSR run (forward or reverse) of the batched expand.
+    #[allow(clippy::too_many_arguments)]
+    fn expand_run(
+        &mut self,
+        depth: usize,
+        pv: usize,
+        ei: usize,
+        frame: &Frame,
+        row: usize,
+        bound: u32,
+        reverse: bool,
+        sel: &mut Vec<u32>,
+        vals: &mut Vec<u32>,
+    ) -> Result<()> {
+        let e = &self.pattern.edges[ei];
+        let want = self.edge_want[ei];
+        let csr = if reverse { &self.fz.rev } else { &self.fz.fwd };
+        let bits = self.dom_bits[pv].as_deref();
+        for pos in csr.range(bound) {
+            if !want.accepts(csr.labels[pos]) {
+                continue;
+            }
+            if !e.ranges.is_empty() && !self.edge_props_in_ranges(csr.edge_ids[pos].raw(), ei) {
+                continue;
+            }
+            let target = csr.targets[pos];
+            if self.stamp[target as usize] == self.stamp_gen {
+                continue; // parallel-edge duplicate within this row
+            }
+            self.stamp[target as usize] = self.stamp_gen;
+            if let Some(bits) = bits {
+                if bits[target as usize / 64] & (1 << (target % 64)) == 0 {
+                    continue; // outside the variable's domain
+                }
+            }
+            sel.push(row as u32);
+            vals.push(target);
+            if vals.len() == BATCH {
+                self.flush(depth, pv, frame, sel, vals)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Residual filter + recurse: charges the guard for the candidate
+    /// batch, filters it in place against the node constraints,
+    /// injectivity, and the depth's residual edge checks, gathers the
+    /// survivors into a child frame, and runs the next operator on it.
+    /// Clears `sel`/`vals` for the caller to refill.
+    fn flush(
+        &mut self,
+        depth: usize,
+        pv: usize,
+        frame: &Frame,
+        sel: &mut Vec<u32>,
+        vals: &mut Vec<u32>,
+    ) -> Result<()> {
+        self.guard.nodes(vals.len() as u64)?;
+
+        let pn = &self.pattern.nodes[pv];
+        let want = self.node_want[pv];
+        let bound_vars = &self.order[..depth];
+        let mut keep = 0usize;
+        'cand: for i in 0..vals.len() {
+            let cand = vals[i];
+            let row = sel[i] as usize;
+            // Label: one symbol compare against the label column.
+            if !want.accepts(self.fz.node_label_dense(cand)) {
+                continue;
+            }
+            // Property equality over the snapshot's property columns.
+            if !pn.props.is_empty() {
+                let props = self.fz.node_props_dense(cand);
+                for (key, want_v) in &pn.props {
+                    let ok = props
+                        .iter()
+                        .find(|(k, _)| k == key)
+                        .is_some_and(|(_, got)| got.loose_eq(want_v));
+                    if !ok {
+                        continue 'cand;
+                    }
+                }
+            }
+            // Injectivity against the row's other columns.
+            for &v in bound_vars {
+                if frame.cols[v][row] == cand {
+                    continue 'cand;
+                }
+            }
+            // Residual (non-generator) edge checks.
+            for &rei in &self.residual_edges[depth] {
+                let e = &self.pattern.edges[rei];
+                let from = if e.from == pv {
+                    cand
+                } else {
+                    frame.cols[e.from][row]
+                };
+                let to = if e.to == pv {
+                    cand
+                } else {
+                    frame.cols[e.to][row]
+                };
+                if !self.has_edge_dense(rei, from, to) {
+                    continue 'cand;
+                }
+            }
+            sel[keep] = sel[i];
+            vals[keep] = cand;
+            keep += 1;
+        }
+        sel.truncate(keep);
+        vals.truncate(keep);
+
+        if keep > 0 {
+            // Gather the child batch: parent columns through the
+            // selection vector, plus the new column.
+            let mut child = Frame {
+                cols: vec![Vec::new(); frame.cols.len()],
+                len: keep,
+            };
+            for &v in bound_vars {
+                let src = &frame.cols[v];
+                child.cols[v] = sel.iter().map(|&r| src[r as usize]).collect();
+            }
+            child.cols[pv] = std::mem::take(vals);
+            self.step(depth + 1, &child)?;
+            *vals = std::mem::take(&mut child.cols[pv]);
+        }
+        sel.clear();
+        vals.clear();
+        Ok(())
+    }
+
+    /// Does the snapshot hold an edge satisfying pattern edge `rei`
+    /// between the dense endpoints? Pure CSR scan, symbol-compare
+    /// labels, exact range re-check.
+    fn has_edge_dense(&self, rei: usize, from: u32, to: u32) -> bool {
+        let e = &self.pattern.edges[rei];
+        match e.direction {
+            Direction::Outgoing => self.scan_edge(rei, from, to),
+            Direction::Incoming => self.scan_edge(rei, to, from),
+            Direction::Both => self.scan_edge(rei, from, to) || self.scan_edge(rei, to, from),
+        }
+    }
+
+    fn scan_edge(&self, rei: usize, a: u32, b: u32) -> bool {
+        let want = self.edge_want[rei];
+        let ranges = &self.pattern.edges[rei].ranges;
+        let csr = &self.fz.fwd;
+        for pos in csr.range(a) {
+            if csr.targets[pos] == b
+                && want.accepts(csr.labels[pos])
+                && (ranges.is_empty() || self.edge_props_in_ranges(csr.edge_ids[pos].raw(), rei))
+            {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Exact edge-property range filter for pattern edge `rei`.
+    fn edge_props_in_ranges(&self, edge_raw: u64, rei: usize) -> bool {
+        let ranges = &self.pattern.edges[rei].ranges;
+        let props = self.fz.edge_props_raw(edge_raw).unwrap_or(&[]);
+        ranges.iter().all(|(key, low, high)| {
+            props
+                .iter()
+                .find(|(k, _)| k == key)
+                .is_some_and(|(_, got): &(String, Value)| {
+                    value_in_range(got, low.as_ref(), high.as_ref())
+                })
+        })
+    }
+
+    /// Materialize operator: charges the emitted batch and appends the
+    /// rows (dense ids translated back to node ids) to the flat
+    /// result buffer.
+    fn emit(&mut self, frame: &Frame) -> Result<()> {
+        self.guard.rows(frame.len as u64)?;
+        self.data.reserve(frame.len * self.pattern.nodes.len());
+        for row in 0..frame.len {
+            for col in &frame.cols {
+                self.data.push(self.fz.node_at(col[row]));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::{canonical, match_pattern, PatternNode};
+    use crate::planned::{auto_domains, match_pattern_auto};
+    use gdm_core::props;
+    use gdm_govern::{CancelToken, ExecutionGuard, Limits};
+    use gdm_graphs::PropertyGraph;
+
+    fn community() -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        let mut nodes = Vec::new();
+        for i in 0..24u64 {
+            let label = if i % 4 == 0 { "company" } else { "person" };
+            nodes.push(g.add_node(label, props! { "i" => i as i64, "band" => i as i64 % 3 }));
+        }
+        for i in 0..24usize {
+            let a = nodes[i];
+            let b = nodes[(i * 7 + 3) % 24];
+            let c = nodes[(i * 11 + 5) % 24];
+            let _ = g.add_edge(a, b, "knows", props! { "w" => i as i64 });
+            let _ = g.add_edge(a, c, if i % 2 == 0 { "knows" } else { "likes" }, props! {});
+        }
+        g
+    }
+
+    fn chain_pattern() -> Pattern {
+        let mut p = Pattern::new();
+        let x = p.node(PatternNode::var("x"));
+        let y = p.node(PatternNode::var("y").with_label("person"));
+        let z = p.node(PatternNode::var("z"));
+        p.edge(x, y, Some("knows")).unwrap();
+        p.edge(y, z, Some("knows")).unwrap();
+        p
+    }
+
+    #[test]
+    fn vectorized_equals_planned_and_unplanned() {
+        let g = community();
+        let fz = FrozenGraph::freeze_attributed(&g);
+        let p = chain_pattern();
+        let vec = match_pattern_vectorized_auto(&fz, &p);
+        let planned = match_pattern_auto(&fz, &p);
+        let unplanned = match_pattern(&fz, &p);
+        assert_eq!(
+            canonical(&vec.to_bindings()),
+            canonical(&planned.to_bindings())
+        );
+        assert_eq!(canonical(&vec.to_bindings()), canonical(&unplanned));
+        assert!(!vec.is_empty());
+    }
+
+    #[test]
+    fn vectorized_respects_explicit_domains() {
+        let g = community();
+        let fz = FrozenGraph::freeze_attributed(&g);
+        let p = chain_pattern();
+        let dom = auto_domains(&fz, &p);
+        let via_domains = match_pattern_vectorized(&fz, &p, &dom);
+        let planned = crate::planned::match_pattern_planned(&fz, &p, &dom);
+        assert_eq!(
+            canonical(&via_domains.to_bindings()),
+            canonical(&planned.to_bindings())
+        );
+    }
+
+    #[test]
+    fn vectorized_handles_self_loops_and_undirected_edges() {
+        let mut g = PropertyGraph::new();
+        let a = g.add_node("n", props! {});
+        let b = g.add_node("n", props! {});
+        g.add_edge(a, a, "self", props! {}).unwrap();
+        g.add_edge(a, b, "link", props! {}).unwrap();
+        let fz = FrozenGraph::freeze_attributed(&g);
+        // Self-loop pattern.
+        let mut p = Pattern::new();
+        let x = p.node(PatternNode::var("x"));
+        p.edge(x, x, Some("self")).unwrap();
+        let vec = match_pattern_vectorized_auto(&fz, &p);
+        assert_eq!(
+            canonical(&vec.to_bindings()),
+            canonical(&match_pattern(&fz, &p))
+        );
+        // Undirected two-node pattern.
+        let mut q = Pattern::new();
+        let u = q.node(PatternNode::var("u"));
+        let v = q.node(PatternNode::var("v"));
+        q.edge_undirected(u, v, Some("link")).unwrap();
+        let vec = match_pattern_vectorized_auto(&fz, &q);
+        assert_eq!(
+            canonical(&vec.to_bindings()),
+            canonical(&match_pattern(&fz, &q))
+        );
+        assert_eq!(vec.len(), 2);
+    }
+
+    #[test]
+    fn vectorized_edge_ranges_filter_matches() {
+        let g = community();
+        let fz = FrozenGraph::freeze_attributed(&g);
+        let mut p = Pattern::new();
+        let x = p.node(PatternNode::var("x"));
+        let y = p.node(PatternNode::var("y"));
+        p.edge(x, y, Some("knows")).unwrap();
+        p.edge_range("w", Some(Value::from(5)), Some(Value::from(9)))
+            .unwrap();
+        let vec = match_pattern_vectorized_auto(&fz, &p);
+        let unplanned = match_pattern(&fz, &p);
+        assert_eq!(canonical(&vec.to_bindings()), canonical(&unplanned));
+        assert_eq!(vec.len(), 5, "w ∈ [5, 9] keeps five edges");
+    }
+
+    #[test]
+    fn governed_vectorized_interrupts_with_partial_count() {
+        let g = community();
+        let fz = FrozenGraph::freeze_attributed(&g);
+        let p = chain_pattern();
+        let guard = ExecutionGuard::new(Limits::none().with_node_visits(4));
+        let err = match_pattern_vectorized_auto_governed(&fz, &p, &guard).unwrap_err();
+        assert!(err.is_interrupted());
+        // Unlimited guard reproduces the ungoverned result.
+        let guard = ExecutionGuard::unlimited();
+        let governed = match_pattern_vectorized_auto_governed(&fz, &p, &guard).unwrap();
+        let plain = match_pattern_vectorized_auto(&fz, &p);
+        assert_eq!(
+            canonical(&governed.to_bindings()),
+            canonical(&plain.to_bindings())
+        );
+    }
+
+    #[test]
+    fn governed_vectorized_cancellation_trips_per_batch() {
+        let g = community();
+        let fz = FrozenGraph::freeze_attributed(&g);
+        let p = chain_pattern();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let guard = ExecutionGuard::with_cancel(Limits::none(), cancel);
+        let err = match_pattern_vectorized_auto_governed(&fz, &p, &guard).unwrap_err();
+        assert!(err.is_interrupted());
+    }
+
+    #[test]
+    fn impossible_label_matches_nothing() {
+        let g = community();
+        let fz = FrozenGraph::freeze_attributed(&g);
+        let mut p = Pattern::new();
+        p.node(PatternNode::var("x").with_label("zzz"));
+        assert!(match_pattern_vectorized_auto(&fz, &p).is_empty());
+        let mut q = Pattern::new();
+        let a = q.node(PatternNode::var("a"));
+        let b = q.node(PatternNode::var("b"));
+        q.edge(a, b, Some("zzz")).unwrap();
+        assert!(match_pattern_vectorized_auto(&fz, &q).is_empty());
+    }
+
+    #[test]
+    fn empty_pattern_is_empty() {
+        let g = community();
+        let fz = FrozenGraph::freeze_attributed(&g);
+        assert!(match_pattern_vectorized_auto(&fz, &Pattern::new()).is_empty());
+    }
+
+    #[test]
+    fn batches_larger_than_one_flush_cycle() {
+        // > BATCH seed candidates force at least two flushes.
+        let mut g = PropertyGraph::new();
+        let hub = g.add_node("hub", props! {});
+        for _ in 0..(BATCH as u64 + 300) {
+            let n = g.add_node("leaf", props! {});
+            g.add_edge(n, hub, "to", props! {}).unwrap();
+        }
+        let fz = FrozenGraph::freeze_attributed(&g);
+        let mut p = Pattern::new();
+        let x = p.node(PatternNode::var("x").with_label("leaf"));
+        let h = p.node(PatternNode::var("h").with_label("hub"));
+        p.edge(x, h, Some("to")).unwrap();
+        let vec = match_pattern_vectorized_auto(&fz, &p);
+        assert_eq!(vec.len(), BATCH + 300);
+        let planned = match_pattern_auto(&fz, &p);
+        assert_eq!(
+            canonical(&vec.to_bindings()),
+            canonical(&planned.to_bindings())
+        );
+    }
+}

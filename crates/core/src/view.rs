@@ -267,6 +267,37 @@ pub trait AttributedView: GraphView {
         let _ = (key, low, high);
         None
     }
+
+    /// The `(from, to)` endpoint pairs of every edge whose property
+    /// `key` lies in the inclusive range `[low, high]`, answered from
+    /// an ordered index over *edge* attributes. Bounds are loose the
+    /// same way [`AttributedView::range_candidates`]' are (inclusive,
+    /// number-family unified), so the result over-approximates and
+    /// callers must re-apply the exact predicate per edge. `None`
+    /// means no ordered edge index covers `key`. The default (no edge
+    /// indexes) is `None`.
+    fn edge_range_candidates(
+        &self,
+        key: &str,
+        low: Option<&Value>,
+        high: Option<&Value>,
+    ) -> Option<Vec<(NodeId, NodeId)>> {
+        let _ = (key, low, high);
+        None
+    }
+
+    // ---- batch execution (vectorized backend) ---------------------
+
+    /// Downcast hook for batch-at-a-time execution. A view backed by a
+    /// dense columnar snapshot returns `Some(self)` here so the query
+    /// layer can recover the concrete type (via `Any::downcast_ref`)
+    /// and run its vectorized operator pipeline directly against the
+    /// snapshot's arrays, bypassing per-node dynamic dispatch. Views
+    /// without a columnar backing return `None` (the default) and
+    /// execute through the generic row-at-a-time matcher.
+    fn batch_backend(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
 }
 
 /// Structures whose edges carry numeric weights, used by the weighted

@@ -302,7 +302,11 @@ pub trait GraphEngine {
         let fz = self.snapshot()?;
         match op {
             GovernedOp::PatternMatch(pattern) => {
-                let table = gdm_algo::match_pattern_auto_governed(&fz, pattern, guard)?;
+                // The snapshot is a concrete CSR graph, so governed
+                // pattern matching runs the vectorized batch executor
+                // (guard ticked per batch, same `Interrupted`
+                // semantics, same rows as the planned matcher).
+                let table = gdm_algo::match_pattern_vectorized_auto_governed(&fz, pattern, guard)?;
                 Ok(GovernedAnswer::Matches(table.len()))
             }
             GovernedOp::ShortestPath(a, b) => Ok(GovernedAnswer::Path(

@@ -209,6 +209,11 @@ impl HyperGraph {
         self.atoms.get(id.index())?.as_ref()?.props.get(key)
     }
 
+    /// All properties of atom `id` (None for a dead or unknown atom).
+    pub fn properties(&self, id: AtomId) -> Option<&PropertyMap> {
+        self.atoms.get(id.index())?.as_ref().map(|a| &a.props)
+    }
+
     /// Sets a property on atom `id`.
     pub fn set_property(&mut self, id: AtomId, key: &str, value: impl Into<Value>) -> Result<()> {
         self.atom(id)?;

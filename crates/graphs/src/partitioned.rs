@@ -228,6 +228,16 @@ impl AttributedView for PartitionedGraph {
     fn edge_property(&self, e: EdgeId, key: &str) -> Option<Value> {
         self.inner.edge_property(e, key)
     }
+
+    // Delegate the enumeration hooks too: freezing a partitioned view
+    // must not silently drop the attributes the inner graph carries.
+    fn visit_node_properties(&self, n: NodeId, f: &mut dyn FnMut(&str, &Value)) {
+        self.inner.visit_node_properties(n, f);
+    }
+
+    fn visit_edge_properties(&self, e: EdgeId, f: &mut dyn FnMut(&str, &Value)) {
+        self.inner.visit_edge_properties(e, f);
+    }
 }
 
 /// Builds a ring graph of `n` nodes, used by tests and benches to show

@@ -44,6 +44,16 @@ impl AttributedView for NestedGraph {
     fn edge_property(&self, _e: EdgeId, _key: &str) -> Option<Value> {
         None
     }
+
+    fn visit_node_properties(&self, n: NodeId, f: &mut dyn FnMut(&str, &Value)) {
+        // Without this hook a frozen snapshot would keep the labels but
+        // silently drop the attributes `node_property` can see.
+        if let Ok(props) = self.node_properties(n) {
+            for (k, v) in props {
+                f(k, v);
+            }
+        }
+    }
 }
 
 impl WeightedView for NestedGraph {}
@@ -63,11 +73,37 @@ impl AttributedView for TwoSection<'_> {
         // Edge ids in the 2-section are link atom ids.
         self.hypergraph().property(AtomId(e.raw()), key).cloned()
     }
+
+    // Enumeration hooks: HyperGraphDB and Sones freeze this view for
+    // their serving snapshots, so without these the snapshot would
+    // carry labels but no attributes — a property predicate that
+    // matches live data would silently return nothing when served.
+    fn visit_node_properties(&self, n: NodeId, f: &mut dyn FnMut(&str, &Value)) {
+        if let Some(props) = self.hypergraph().properties(AtomId(n.raw())) {
+            for (k, v) in props {
+                f(k, v);
+            }
+        }
+    }
+
+    fn visit_edge_properties(&self, e: EdgeId, f: &mut dyn FnMut(&str, &Value)) {
+        if let Some(props) = self.hypergraph().properties(AtomId(e.raw())) {
+            for (k, v) in props {
+                f(k, v);
+            }
+        }
+    }
 }
 
 impl WeightedView for TwoSection<'_> {}
 
 impl AttributedView for RdfGraph {
+    // This profile *legitimately* lacks properties, as opposed to a
+    // view that loses them: RDF expresses every value as a triple with
+    // a literal object, and literals are nodes of this view, so a
+    // frozen snapshot preserves exactly what the live view exposes.
+    // (Contrast `TwoSection`, whose atoms do carry attributes and
+    // therefore needs the enumeration hooks above.)
     fn node_label(&self, _n: NodeId) -> Option<Symbol> {
         None // RDF terms are identities, not typed labels
     }

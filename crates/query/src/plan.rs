@@ -81,6 +81,10 @@ pub struct ExplainPlan {
     pub pushed: usize,
     /// WHERE conjuncts left in the residual filter.
     pub residual: usize,
+    /// True when the planner selected the vectorized batch executor
+    /// (the view exposes a CSR batch backend — a frozen serving
+    /// snapshot). Row-at-a-time views leave this false.
+    pub vectorized: bool,
     /// Variables in the order the matcher binds them.
     pub steps: Vec<PlanStep>,
 }
@@ -91,9 +95,16 @@ impl ExplainPlan {
     /// the text form.
     pub fn render(&self) -> String {
         let mut out = format!(
-            "plan nodes={} pushed={} residual={}\n",
+            "plan nodes={} pushed={} residual={}",
             self.nodes, self.pushed, self.residual
         );
+        // Only emitted when the batch executor was selected, so plans
+        // for row-at-a-time views render byte-identically to the
+        // pre-vectorized text form (older parsers keep working).
+        if self.vectorized {
+            out.push_str(" vectorized=true");
+        }
+        out.push('\n');
         for s in &self.steps {
             out.push_str(&format!(
                 "step var={} access={} estimate={} props={}",
@@ -129,8 +140,19 @@ impl ExplainPlan {
             )));
         }
         let (mut nodes, mut pushed, mut residual) = (None, None, None);
+        let mut vectorized = false;
         for tok in toks {
             let (k, v) = split_kv(tok)?;
+            if k == "vectorized" {
+                vectorized = match v {
+                    "true" => true,
+                    "false" => false,
+                    other => {
+                        return Err(invalid(format!("vectorized must be a bool, got {other:?}")))
+                    }
+                };
+                continue;
+            }
             let v = parse_count(k, v)?;
             match k {
                 "nodes" => nodes = Some(v),
@@ -179,6 +201,7 @@ impl ExplainPlan {
             nodes: nodes.ok_or_else(|| invalid("plan missing nodes".to_owned()))?,
             pushed: pushed.ok_or_else(|| invalid("plan missing pushed".to_owned()))?,
             residual: residual.ok_or_else(|| invalid("plan missing residual".to_owned()))?,
+            vectorized,
             steps,
         })
     }
@@ -234,6 +257,16 @@ pub fn plan_select<G: AttributedView + ?Sized>(
     }
     let residual_count = residual.len();
     let mut domains = index_domains(g, &query.pattern);
+    let mut range_counts = vec![0usize; query.pattern.nodes.len()];
+    // Edge-range pushdown: a pattern edge carrying range constraints
+    // (`Pattern::edge_range`) narrows *both* endpoint variables to the
+    // endpoints of index-qualifying edges, through the view's ordered
+    // edge indexes. The constraint stays on the edge — the matcher
+    // re-applies it exactly — so over-approximating index bounds
+    // (inclusive, number-family loose) never change results.
+    for e in &query.pattern.edges {
+        seed_edge_range_domains(g, e, &mut domains, &mut range_counts);
+    }
     // Range-predicate pushdown: residual conjuncts of the form
     // `var.key < literal` (any of <, <=, >, >=, either operand order)
     // seed the variable's candidate domain from the view's ordered
@@ -242,7 +275,6 @@ pub fn plan_select<G: AttributedView + ?Sized>(
     // re-check keeps the result set identical — which also keeps the
     // degradation-ladder fallback (domains discarded, reference
     // matcher) correct with no special casing.
-    let mut range_counts = vec![0usize; query.pattern.nodes.len()];
     for c in &residual {
         seed_range_domain(g, &query.pattern, c, &mut domains, &mut range_counts);
     }
@@ -274,6 +306,7 @@ pub fn plan_select<G: AttributedView + ?Sized>(
         nodes: query.pattern.nodes.len(),
         pushed,
         residual: residual_count,
+        vectorized: batch_snapshot(g).is_some(),
         steps,
     };
     Ok(PlannedSelect {
@@ -294,7 +327,15 @@ pub fn evaluate_select_planned<G: AttributedView + ?Sized>(
     // graph (dangling candidate ids) must not silently drop or invent
     // rows — discard the index seeding and run the reference matcher.
     let table = if domains_consistent(g, &planned.domains) {
-        match_pattern_planned(g, &planned.query.pattern, &planned.domains)
+        // Frozen serving snapshots execute through the vectorized
+        // batch pipeline (same rows as the planned matcher, CSR-array
+        // speed); row-at-a-time views take the planned matcher.
+        match batch_snapshot(g) {
+            Some(fz) => {
+                gdm_algo::match_pattern_vectorized(fz, &planned.query.pattern, &planned.domains)
+            }
+            None => match_pattern_planned(g, &planned.query.pattern, &planned.domains),
+        }
     } else {
         MatchTable::from_bindings(
             &planned.query.pattern,
@@ -321,12 +362,23 @@ pub fn execute_planned_governed<G: AttributedView + ?Sized>(
     guard: &gdm_govern::ExecutionGuard,
 ) -> Result<ResultSet> {
     let table = if domains_consistent(g, &planned.domains) {
-        gdm_algo::planned::match_pattern_planned_governed(
-            g,
-            &planned.query.pattern,
-            &planned.domains,
-            guard,
-        )?
+        match batch_snapshot(g) {
+            // The vectorized pipeline ticks the guard once per batch
+            // (`ExecutionGuard::nodes`/`rows`), preserving the same
+            // structured `Interrupted` semantics at lower overhead.
+            Some(fz) => gdm_algo::match_pattern_vectorized_governed(
+                fz,
+                &planned.query.pattern,
+                &planned.domains,
+                guard,
+            )?,
+            None => gdm_algo::planned::match_pattern_planned_governed(
+                g,
+                &planned.query.pattern,
+                &planned.domains,
+                guard,
+            )?,
+        }
     } else {
         MatchTable::from_bindings(
             &planned.query.pattern,
@@ -341,6 +393,48 @@ pub fn execute_planned_governed<G: AttributedView + ?Sized>(
 /// everything else stays unrestricted.
 fn index_domains<G: AttributedView + ?Sized>(g: &G, pattern: &Pattern) -> Domains {
     gdm_algo::planned::auto_domains(g, pattern)
+}
+
+/// The CSR snapshot behind `g`, when `g` exposes one — the hook the
+/// planner uses to select the vectorized batch executor.
+fn batch_snapshot<G: AttributedView + ?Sized>(g: &G) -> Option<&gdm_algo::FrozenGraph> {
+    g.batch_backend()?.downcast_ref::<gdm_algo::FrozenGraph>()
+}
+
+/// Narrows both endpoint variables of a range-constrained pattern edge
+/// to the endpoints of edges an ordered edge index says qualify.
+/// Direction decides which pair component feeds which variable; `Both`
+/// takes the union of the components for each endpoint (loose but
+/// complete — the matcher's exact re-check tightens).
+fn seed_edge_range_domains<G: AttributedView + ?Sized>(
+    g: &G,
+    e: &gdm_algo::PatternEdge,
+    domains: &mut Domains,
+    counts: &mut [usize],
+) {
+    use gdm_core::Direction;
+    for (key, low, high) in &e.ranges {
+        let Some(pairs) = g.edge_range_candidates(key, low.as_ref(), high.as_ref()) else {
+            continue; // no ordered edge index for this key
+        };
+        let (mut from_ids, mut to_ids): (Vec<_>, Vec<_>) = match e.direction {
+            Direction::Outgoing => pairs.iter().map(|&(f, t)| (f, t)).unzip(),
+            Direction::Incoming => pairs.iter().map(|&(f, t)| (t, f)).unzip(),
+            Direction::Both => {
+                let all: Vec<_> = pairs.iter().flat_map(|&(f, t)| [f, t]).collect();
+                (all.clone(), all)
+            }
+        };
+        for (var, ids) in [(e.from, &mut from_ids), (e.to, &mut to_ids)] {
+            ids.sort_unstable_by_key(|n| n.raw());
+            ids.dedup();
+            counts[var] += 1;
+            domains[var] = Some(match domains[var].take() {
+                None => std::mem::take(ids),
+                Some(prev) => intersect_sorted(&prev, ids),
+            });
+        }
+    }
 }
 
 /// If `expr` is a range conjunct an ordered index can bound, narrows
@@ -635,6 +729,82 @@ mod tests {
         assert!(ExplainPlan::parse("nope nodes=1").is_err());
         assert!(ExplainPlan::parse("plan nodes=x pushed=0 residual=0").is_err());
         assert!(ExplainPlan::parse("plan nodes=0 pushed=0 residual=0\nstep var=a").is_err());
+    }
+
+    #[test]
+    fn frozen_snapshot_plans_select_the_vectorized_backend() {
+        let g = social();
+        let fz = gdm_algo::FrozenGraph::freeze_attributed(&g);
+        let q = name_query(Some(Expr::bin(
+            BinOp::Eq,
+            Expr::Prop("p".into(), "name".into()),
+            Expr::Lit(Value::from("bob")),
+        )));
+        // Live graph: row-at-a-time; no flag, byte-identical old text.
+        let live = plan_select(&g, &q).unwrap();
+        assert!(!live.explain.vectorized);
+        assert!(!live.explain.render().contains("vectorized"));
+        // Snapshot: the batch backend is selected and recorded.
+        let frozen = plan_select(&fz, &q).unwrap();
+        assert!(frozen.explain.vectorized);
+        assert!(frozen
+            .explain
+            .render()
+            .starts_with("plan nodes=1 pushed=1 residual=0 vectorized=true"));
+        let back = ExplainPlan::parse(&frozen.explain.render()).unwrap();
+        assert_eq!(back, frozen.explain);
+        // Both backends return identical rows.
+        let (rows_live, _) = evaluate_select_planned(&g, &q).unwrap();
+        let (rows_frozen, _) = evaluate_select_planned(&fz, &q).unwrap();
+        assert_eq!(rows_live, rows_frozen);
+        assert_eq!(rows_frozen.len(), 1);
+    }
+
+    #[test]
+    fn edge_ranges_seed_endpoint_domains() {
+        let mut g = PropertyGraph::new();
+        let mut people = Vec::new();
+        for i in 0..10i64 {
+            people.push(g.add_node("person", props! { "i" => i }));
+        }
+        for i in 0..10usize {
+            let j = (i + 1) % 10;
+            g.add_edge(
+                people[i],
+                people[j],
+                "knows",
+                props! { "since" => 2000 + i as i64 },
+            )
+            .unwrap();
+        }
+        let mut q = SelectQuery::default();
+        let a = q.pattern.node(PatternNode::var("a"));
+        let b = q.pattern.node(PatternNode::var("b"));
+        q.pattern.edge(a, b, Some("knows")).unwrap();
+        q.pattern
+            .edge_range("since", Some(Value::from(2003)), Some(Value::from(2005)))
+            .unwrap();
+        q.projections.push(Projection::Expr {
+            name: "i".into(),
+            expr: Expr::Prop("a".into(), "i".into()),
+        });
+        let planned = plan_select(&g, &q).unwrap();
+        // Both endpoints narrowed from the edge index: 3 qualifying
+        // edges → at most 3 candidates per endpoint, counted as range
+        // seeding on both steps.
+        for step in &planned.explain.steps {
+            assert_eq!(step.ranges, 1, "step {}", step.var);
+            assert_eq!(step.access, Access::Index, "step {}", step.var);
+            assert!(step.estimate <= 3, "step {}: {}", step.var, step.estimate);
+        }
+        let (rs, _) = evaluate_select_planned(&g, &q).unwrap();
+        assert_eq!(rs.len(), 3);
+        // The frozen snapshot answers identically through its own
+        // freeze-time edge-range index plus the vectorized executor.
+        let fz = gdm_algo::FrozenGraph::freeze_attributed(&g);
+        let (rs_fz, explain_fz) = evaluate_select_planned(&fz, &q).unwrap();
+        assert!(explain_fz.vectorized);
+        assert_eq!(rs_fz.len(), 3);
     }
 
     #[test]

@@ -260,6 +260,13 @@ impl ValueIndex for BTreeIndex {
             },
             None => Bound::Unbounded,
         };
+        // An inverted range (low > high) selects nothing; BTreeMap's
+        // `range` panics on it instead, so answer before asking.
+        if let (Bound::Included(lo), Bound::Excluded(hi)) = (&lower, &upper) {
+            if lo > hi {
+                return Ok(Vec::new());
+            }
+        }
         let mut ids: Vec<u64> = self
             .map
             .range((lower, upper))
@@ -389,6 +396,26 @@ mod tests {
     #[test]
     fn bitmap_index_point_ops() {
         exercise_point_ops(&mut BitmapIndex::new());
+    }
+
+    #[test]
+    fn inverted_range_is_empty_not_a_panic() {
+        let mut idx = BTreeIndex::new();
+        idx.insert(&Value::from(1), 1);
+        idx.insert(&Value::from(5), 2);
+        // low > high selects nothing (a pattern edge range can carry
+        // arbitrary user bounds, so this must not reach BTreeMap).
+        assert_eq!(
+            idx.range(Some(&Value::from(5)), Some(&Value::from(1)))
+                .unwrap(),
+            Vec::<u64>::new()
+        );
+        // Degenerate but valid: low == high is a point probe.
+        assert_eq!(
+            idx.range(Some(&Value::from(5)), Some(&Value::from(5)))
+                .unwrap(),
+            vec![2]
+        );
     }
 
     #[test]

@@ -188,3 +188,62 @@ fn durable_engines_survive_reopen_with_data() {
     }
     let _ = std::fs::remove_dir_all(&base);
 }
+
+/// Satellite audit regression: a property predicate served through
+/// each engine's `ServingSnapshot` must see exactly what the engine's
+/// live model stored. Attributed profiles (DEX, InfiniteGraph, Neo4j,
+/// HyperGraphDB, Sones) keep node attributes through freeze — a
+/// snapshot view that silently drops them (labels-but-no-properties)
+/// is the bug this guards against. Propertyless profiles (AllegroGraph
+/// stores values as triples; the KV engines strip attributes on load)
+/// legitimately serve zero rows for the same predicate.
+#[test]
+fn property_predicate_served_through_every_snapshot() {
+    use graph_db_models::algo::pattern::{Pattern, PatternNode};
+
+    let engines = load_all("servprops", 60);
+    let graph = social_graph(SocialParams {
+        people: 60,
+        communities: 4,
+        intra_edges: 4,
+        inter_edges: 1,
+        seed: 99,
+    });
+    // Ground truth straight from the source workload.
+    let mut expected = 0usize;
+    graph_db_models::core::GraphView::visit_nodes(&graph, &mut |n| {
+        let v = graph.node_properties(n).unwrap().get("community").cloned();
+        if v == Some(Value::from(0i64)) {
+            expected += 1;
+        }
+    });
+    assert!(expected > 0, "workload must produce community-0 people");
+
+    for l in &engines {
+        let attributed = matches!(
+            l.kind,
+            EngineKind::Dex
+                | EngineKind::InfiniteGraph
+                | EngineKind::Neo4j
+                | EngineKind::HyperGraphDb
+                | EngineKind::Sones
+        );
+        let snap = l.engine.serving_snapshot().unwrap();
+        let mut p = Pattern::new();
+        p.node(PatternNode::var("x").with_prop("community", 0i64));
+        let served = graph_db_models::algo::match_pattern_vectorized_auto(&snap.frozen, &p);
+        let want = if attributed { expected } else { 0 };
+        assert_eq!(
+            served.len(),
+            want,
+            "{}: snapshot served {} rows for community=0, live model holds {}",
+            l.kind.label(),
+            served.len(),
+            want
+        );
+        // And the snapshot agrees with the reference matcher on the
+        // same predicate — the serving path adds speed, not answers.
+        let reference = graph_db_models::algo::match_pattern(&snap.frozen, &p);
+        assert_eq!(served.len(), reference.len(), "{}", l.kind.label());
+    }
+}

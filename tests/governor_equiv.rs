@@ -193,3 +193,77 @@ fn tiny_budget_interrupts_diameter_on_every_engine() {
     }
     let _ = std::fs::remove_dir_all(&base);
 }
+
+/// Governed-vectorized gauntlet: the batch executor charges the guard
+/// once per candidate batch, so it must (a) equal its ungoverned twin
+/// under an unlimited guard, (b) return the structured `Interrupted`
+/// (with the partial row count) under deadline, budget, and row
+/// limits, and (c) leave partial progress observable, exactly like the
+/// row-at-a-time matchers it replaces.
+#[test]
+fn governed_vectorized_budget_and_deadline_gauntlet() {
+    use graph_db_models::algo::{
+        match_pattern_vectorized_auto, match_pattern_vectorized_auto_governed, FrozenGraph,
+    };
+    use graph_db_models::core::{GdmError, InterruptReason};
+
+    let people = social_graph(SocialParams {
+        people: 300,
+        communities: 4,
+        intra_edges: 4,
+        inter_edges: 1,
+        seed: 7,
+    });
+    let fz = FrozenGraph::freeze_attributed(&people);
+    let mut pattern = Pattern::new();
+    let a = pattern.node(PatternNode::var("a").with_label("person"));
+    let b = pattern.node(PatternNode::var("b"));
+    let c = pattern.node(PatternNode::var("c"));
+    pattern.edge(a, b, Some("knows")).unwrap();
+    pattern.edge(b, c, Some("knows")).unwrap();
+
+    // (a) Unlimited guard: same binding set as the ungoverned run.
+    let plain = match_pattern_vectorized_auto(&fz, &pattern);
+    let governed =
+        match_pattern_vectorized_auto_governed(&fz, &pattern, &ExecutionGuard::unlimited())
+            .unwrap();
+    assert_eq!(plain.to_bindings(), governed.to_bindings());
+    assert!(!plain.is_empty(), "workload has 2-hop chains");
+
+    // (b) Each limit family interrupts with its own structured reason.
+    let cases: [(Limits, InterruptReason); 3] = [
+        (
+            Limits::none().with_deadline(Duration::from_millis(0)),
+            InterruptReason::Deadline,
+        ),
+        (Limits::none().with_node_visits(5), InterruptReason::Budget),
+        (Limits::none().with_rows(1), InterruptReason::Budget),
+    ];
+    for (limits, want) in cases {
+        let guard = ExecutionGuard::new(limits);
+        let err = match_pattern_vectorized_auto_governed(&fz, &pattern, &guard).unwrap_err();
+        match err {
+            GdmError::Interrupted { reason, partial } => {
+                assert_eq!(reason, want);
+                assert!(
+                    (partial as usize) <= plain.len(),
+                    "partial rows cannot exceed the full result"
+                );
+            }
+            other => panic!("expected structured Interrupted, got {other}"),
+        }
+    }
+
+    // (c) A row limit trips *after* emitting rows up to the cap: the
+    // partial count in the error equals the limit.
+    let guard = ExecutionGuard::new(Limits::none().with_rows(3));
+    match match_pattern_vectorized_auto_governed(&fz, &pattern, &guard).unwrap_err() {
+        GdmError::Interrupted { partial, .. } => {
+            assert!(
+                partial >= 3,
+                "rows up to the cap were produced, got {partial}"
+            )
+        }
+        other => panic!("expected Interrupted, got {other}"),
+    }
+}

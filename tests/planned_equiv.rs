@@ -15,7 +15,10 @@
 
 use graph_db_models::algo::pattern::{canonical, match_pattern, Pattern, PatternNode};
 use graph_db_models::algo::planned::{auto_domains, match_pattern_auto, match_pattern_planned};
-use graph_db_models::algo::FrozenGraph;
+use graph_db_models::algo::{
+    match_pattern_vectorized, match_pattern_vectorized_auto,
+    match_pattern_vectorized_auto_governed, FrozenGraph,
+};
 use graph_db_models::core::{props, AttributedView, GraphView, NodeId, Value};
 use graph_db_models::graphs::PropertyGraph;
 use graph_db_models::query::eval::{evaluate_select, evaluate_select_unplanned};
@@ -29,14 +32,19 @@ const COLORS: [&str; 2] = ["red", "blue"];
 const EDGE_LABELS: [&str; 3] = ["a", "b", "c"];
 
 type NodeSpec = (u8, i64, bool, u8);
-type EdgeSpec = (usize, usize, u8);
+type EdgeSpec = (usize, usize, u8, i64, bool);
 
 /// A random attributed graph: every node gets a label, an Int-or-Float
-/// `k` (both families, so loose equality matters), and a `c` color.
+/// `k` (both families, so loose equality matters), and a `c` color;
+/// every edge gets an Int-or-Float `w`, so range predicates over edge
+/// properties have something to bite on.
 fn graph_strategy() -> impl Strategy<Value = (PropertyGraph, Vec<NodeId>)> {
     (
         prop::collection::vec((0u8..3, 0i64..4, prop::bool::ANY, 0u8..2), 2..12),
-        prop::collection::vec((0usize..12, 0usize..12, 0u8..3), 0..24),
+        prop::collection::vec(
+            (0usize..12, 0usize..12, 0u8..3, 0i64..5, prop::bool::ANY),
+            0..24,
+        ),
     )
         .prop_map(|(specs, edges): (Vec<NodeSpec>, Vec<EdgeSpec>)| {
             let mut g = PropertyGraph::new();
@@ -54,13 +62,18 @@ fn graph_strategy() -> impl Strategy<Value = (PropertyGraph, Vec<NodeId>)> {
                     )
                 })
                 .collect();
-            for (a, b, l) in edges {
+            for (a, b, l, w, float) in edges {
                 let n = nodes.len();
+                let w = if float {
+                    Value::Float(w as f64)
+                } else {
+                    Value::Int(w)
+                };
                 g.add_edge(
                     nodes[a % n],
                     nodes[b % n],
                     EDGE_LABELS[l as usize],
-                    props! {},
+                    props! { "w" => w },
                 )
                 .expect("endpoints exist");
             }
@@ -69,12 +82,14 @@ fn graph_strategy() -> impl Strategy<Value = (PropertyGraph, Vec<NodeId>)> {
 }
 
 type VarSpec = (u8, u8);
-type PatternEdgeSpec = (usize, usize, u8, bool);
+type PatternEdgeSpec = ((usize, usize, u8, bool), (u8, i64, i64));
 
 /// Builds a pattern from raw spec data: per-variable optional label
 /// (including one no node carries) and optional property constraint
 /// (Int, loose-equal Float, or string), plus arbitrary edges —
-/// self-loops and parallel constraints included.
+/// self-loops and parallel constraints included. Edges optionally
+/// carry a range predicate over `w` (half-open, closed, empty, and
+/// cross-family Int/Float bounds all reachable).
 fn build_pattern(vars: &[VarSpec], edges: &[PatternEdgeSpec]) -> Pattern {
     let mut p = Pattern::new();
     for (i, &(l, c)) in vars.iter().enumerate() {
@@ -93,7 +108,7 @@ fn build_pattern(vars: &[VarSpec], edges: &[PatternEdgeSpec]) -> Pattern {
         };
         p.node(pn);
     }
-    for &(f, t, l, undirected) in edges {
+    for &((f, t, l, undirected), (range, lo, hi)) in edges {
         let (f, t) = (f % vars.len(), t % vars.len());
         let label = match l {
             0 => None,
@@ -106,6 +121,18 @@ fn build_pattern(vars: &[VarSpec], edges: &[PatternEdgeSpec]) -> Pattern {
         } else {
             p.edge(f, t, label).expect("vars exist");
         }
+        match range {
+            0..=2 => {} // no range predicate
+            3 => p
+                .edge_range("w", Some(Value::Int(lo)), None)
+                .expect("edge exists"),
+            4 => p
+                .edge_range("w", None, Some(Value::Float(hi as f64)))
+                .expect("edge exists"),
+            _ => p
+                .edge_range("w", Some(Value::Int(lo)), Some(Value::Int(hi)))
+                .expect("edge exists"),
+        }
     }
     p
 }
@@ -113,14 +140,22 @@ fn build_pattern(vars: &[VarSpec], edges: &[PatternEdgeSpec]) -> Pattern {
 fn pattern_strategy() -> impl Strategy<Value = (Vec<VarSpec>, Vec<PatternEdgeSpec>)> {
     (
         prop::collection::vec((0u8..6, 0u8..6), 1..4),
-        prop::collection::vec((0usize..4, 0usize..4, 0u8..4, prop::bool::ANY), 0..4),
+        prop::collection::vec(
+            (
+                (0usize..4, 0usize..4, 0u8..4, prop::bool::ANY),
+                (0u8..6, 0i64..5, 0i64..5),
+            ),
+            0..4,
+        ),
     )
 }
 
 proptest! {
     /// Invariant 1 at the matcher level: the auto-planned matcher (on
-    /// the live graph and on its CSR snapshot) and an explicit-domain
-    /// run all reproduce the unplanned binding set.
+    /// the live graph and on its CSR snapshot), an explicit-domain
+    /// run, and the vectorized batch executor (auto, explicit-domain,
+    /// and governed-with-no-limits) all reproduce the unplanned
+    /// binding set.
     #[test]
     fn planned_matcher_equals_unplanned(
         (g, _) in graph_strategy(),
@@ -138,7 +173,24 @@ proptest! {
 
         let fz = FrozenGraph::freeze_attributed(&g);
         let frozen = match_pattern_auto(&fz, &p);
-        prop_assert_eq!(canonical(&frozen.to_bindings()), reference);
+        prop_assert_eq!(canonical(&frozen.to_bindings()), reference.clone());
+
+        // Vectorized ≡ planned ≡ unplanned: the batch executor run
+        // three ways — auto-seeded, with explicitly supplied domains
+        // (seeded on the *snapshot*, so dense translation is covered),
+        // and under an unlimited guard (per-batch governor ticks must
+        // not change the result).
+        let vec_auto = match_pattern_vectorized_auto(&fz, &p);
+        prop_assert_eq!(canonical(&vec_auto.to_bindings()), reference.clone());
+
+        let fz_domains = auto_domains(&fz, &p);
+        let vec_explicit = match_pattern_vectorized(&fz, &p, &fz_domains);
+        prop_assert_eq!(canonical(&vec_explicit.to_bindings()), reference.clone());
+
+        let guard = graph_db_models::govern::ExecutionGuard::unlimited();
+        let vec_governed = match_pattern_vectorized_auto_governed(&fz, &p, &guard)
+            .expect("unlimited guard never interrupts");
+        prop_assert_eq!(canonical(&vec_governed.to_bindings()), reference);
     }
 }
 
@@ -209,8 +261,17 @@ proptest! {
         prop_assert_eq!(&rows, &reference);
         // The facade entry point is the planned path.
         prop_assert_eq!(&evaluate_select(&g, &q).expect("facade evaluates"), &reference);
+        prop_assert!(!explain.vectorized, "live graphs have no batch backend");
         let parsed = ExplainPlan::parse(&explain.render()).expect("explain round-trips");
         prop_assert_eq!(parsed, explain);
+
+        // On the CSR snapshot the planner picks the vectorized backend
+        // — and the rows must not change.
+        let fz = FrozenGraph::freeze_attributed(&g);
+        let (fz_rows, fz_explain) =
+            evaluate_select_planned(&fz, &q).expect("frozen planned path evaluates");
+        prop_assert_eq!(&fz_rows, &reference);
+        prop_assert!(fz_explain.vectorized, "snapshot queries run batch-at-a-time");
     }
 }
 
