@@ -3,9 +3,9 @@
 //! Every essential query in this crate walks the live stores through
 //! dynamic visitor callbacks, paying a hash lookup and a virtual call
 //! per edge hop. [`FrozenGraph`] freezes a point-in-time copy of a
-//! view into four contiguous arrays per direction — offsets, targets,
-//! edge ids, labels — so traversal becomes pointer arithmetic over
-//! dense `u32` indices (DESIGN.md §9).
+//! view into contiguous arrays — offsets, targets, edge ids, labels —
+//! so traversal becomes pointer arithmetic over dense `u32` indices
+//! (DESIGN.md §9).
 //!
 //! The snapshot is built by *recording*: the forward CSR stores, per
 //! node, exactly the sequence [`GraphView::visit_out_edges`] produced,
@@ -18,17 +18,31 @@
 //! testing). Semantics are point-in-time, not transactional: later
 //! mutations of the source are invisible to the snapshot.
 //!
+//! **Slabbed layout.** Each CSR direction is chopped into fixed-size
+//! *slabs* of [`SLAB_NODES`] consecutive dense rows, each slab an
+//! independently `Arc`-shared block of offsets/targets/edge-ids/labels
+//! (plus the label-sorted run permutation). Queries never notice —
+//! [`Csr::run`] hands out the same contiguous per-row slices as a flat
+//! layout — but the incremental re-freeze path
+//! ([`crate::refreeze`]) can now share every untouched slab with the
+//! previous snapshot by bumping a reference count instead of copying,
+//! which is what makes re-freezing O(changes) rather than O(graph).
+//!
 //! Beyond the plain CSR the snapshot carries three acceleration
 //! structures:
 //!
-//! * **cached degrees** — run lengths read off the offset array in
+//! * **cached degrees** — run lengths read off the offset arrays in
 //!   O(1), overriding the counting defaults;
-//! * **label-partitioned edge runs** (`run_order`) — a per-node
-//!   permutation of the forward run, stably sorted by label, letting
-//!   [`frozen_regular_path_exists`] step its NFA once per distinct
-//!   label instead of once per edge;
+//! * **label-partitioned edge runs** (per-slab `run_order`) — a
+//!   per-node permutation of the forward run, stably sorted by label,
+//!   letting [`frozen_regular_path_exists`] step its NFA once per
+//!   distinct label instead of once per edge;
 //! * **a node-label index** (`nodes_with_label`) — the candidate
 //!   prefilter the parallel pattern matcher starts from.
+//!
+//! Every snapshot is stamped with a process-unique, monotonically
+//! increasing **epoch** ([`FrozenGraph::epoch`]); the serving layer
+//! keys plan caches and session pinning on it.
 //!
 //! `FrozenGraph` owns all its data (its own [`Interner`], no borrows),
 //! so it is `Send + Sync` and shareable across the scoped threads of
@@ -40,38 +54,164 @@ use gdm_core::{
     Value, WeightedView,
 };
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
-/// One adjacency direction in compressed-sparse-row form. Node `i`'s
-/// run is positions `offsets[i] .. offsets[i + 1]` of the three
-/// parallel arrays.
-#[derive(Debug, Clone, Default)]
-pub(crate) struct Csr {
+/// Dense rows per CSR slab. Small enough that one dirty node only
+/// forces a 64-row copy; large enough that slab bookkeeping stays
+/// negligible next to the edge arrays.
+pub(crate) const SLAB_NODES: u32 = 64;
+
+/// Process-global epoch source: every freeze (full or incremental)
+/// draws a fresh value, so two distinct snapshots never share an epoch
+/// and a delta recorded against one can never be misapplied to another.
+static NEXT_EPOCH: AtomicU64 = AtomicU64::new(1);
+
+/// Draws the next snapshot epoch.
+pub(crate) fn next_epoch() -> u64 {
+    NEXT_EPOCH.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The shared empty property list: prop-less nodes all point at one
+/// allocation, so cloning a snapshot's property column is pure
+/// refcount traffic.
+pub(crate) fn empty_props() -> Arc<Vec<(String, Value)>> {
+    static EMPTY: OnceLock<Arc<Vec<(String, Value)>>> = OnceLock::new();
+    EMPTY.get_or_init(|| Arc::new(Vec::new())).clone()
+}
+
+/// One edge-attribute index row: `(value, from_dense, to_dense,
+/// edge_raw)`.
+pub(crate) type RangeRow = (Value, u32, u32, u64);
+
+/// An `Arc`-shared, value-sorted run of index rows for one key.
+pub(crate) type RangeRun = Arc<Vec<RangeRow>>;
+
+/// The copy-on-write edge-property map: edge raw id → property list.
+pub(crate) type EdgePropsMap = Arc<FxHashMap<u64, Arc<Vec<(String, Value)>>>>;
+
+/// One slab: [`SLAB_NODES`] consecutive dense rows of a CSR direction.
+/// `offsets` are slab-local (`offsets[0] == 0`, length `rows + 1`);
+/// `targets` remain global dense positions. `run_order` is the
+/// label-sorted permutation of slab-local positions, per row.
+#[derive(Debug, Default)]
+pub(crate) struct CsrSlab {
     pub(crate) offsets: Vec<u32>,
     pub(crate) targets: Vec<u32>,
     pub(crate) edge_ids: Vec<EdgeId>,
     pub(crate) labels: Vec<Option<Symbol>>,
+    pub(crate) run_order: Vec<u32>,
+}
+
+impl CsrSlab {
+    /// Number of dense rows this slab covers.
+    pub(crate) fn rows(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Slab-local position range of `row`.
+    #[inline]
+    pub(crate) fn local_range(&self, row: usize) -> std::ops::Range<usize> {
+        self.offsets[row] as usize..self.offsets[row + 1] as usize
+    }
+
+    /// (Re)builds `run_order`: per row, slab-local positions stably
+    /// sorted by label so equal labels form contiguous runs.
+    pub(crate) fn sort_runs(&mut self) {
+        self.run_order = (0..self.targets.len() as u32).collect();
+        for row in 0..self.rows() {
+            let range = self.local_range(row);
+            self.run_order[range].sort_by_key(|&pos| self.labels[pos as usize].map(Symbol::raw));
+        }
+    }
+}
+
+/// One adjacency direction as a sequence of `Arc`-shared slabs. Row
+/// `i` lives in slab `i / SLAB_NODES` at local row `i % SLAB_NODES`.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Csr {
+    /// Total dense rows (same for fwd and rev of one snapshot).
+    pub(crate) n: usize,
+    pub(crate) slabs: Vec<Arc<CsrSlab>>,
+}
+
+/// A borrowed view of one node's adjacency run: three parallel slices.
+pub(crate) struct Run<'a> {
+    pub(crate) targets: &'a [u32],
+    pub(crate) edge_ids: &'a [EdgeId],
+    pub(crate) labels: &'a [Option<Symbol>],
 }
 
 impl Csr {
-    fn with_nodes(n: usize) -> Self {
-        let mut offsets = Vec::with_capacity(n + 1);
-        offsets.push(0);
-        Self {
-            offsets,
-            targets: Vec::new(),
-            edge_ids: Vec::new(),
-            labels: Vec::new(),
+    /// Chops flat recording arrays (global offsets of length `n + 1`)
+    /// into slabs and builds each slab's label-run permutation.
+    pub(crate) fn from_flat(
+        n: usize,
+        offsets: &[u32],
+        targets: &[u32],
+        edge_ids: &[EdgeId],
+        labels: &[Option<Symbol>],
+    ) -> Self {
+        debug_assert_eq!(offsets.len(), n + 1);
+        let mut slabs = Vec::with_capacity(n.div_ceil(SLAB_NODES as usize));
+        let mut lo = 0usize;
+        while lo < n {
+            let hi = (lo + SLAB_NODES as usize).min(n);
+            let base = offsets[lo];
+            let end = offsets[hi] as usize;
+            let mut slab = CsrSlab {
+                offsets: offsets[lo..=hi].iter().map(|&o| o - base).collect(),
+                targets: targets[base as usize..end].to_vec(),
+                edge_ids: edge_ids[base as usize..end].to_vec(),
+                labels: labels[base as usize..end].to_vec(),
+                run_order: Vec::new(),
+            };
+            slab.sort_runs();
+            slabs.push(Arc::new(slab));
+            lo = hi;
+        }
+        Self { n, slabs }
+    }
+
+    /// Slab and slab-local row of dense position `dense`.
+    #[inline]
+    pub(crate) fn locate(&self, dense: u32) -> (&CsrSlab, usize) {
+        debug_assert!((dense as usize) < self.n);
+        (
+            &self.slabs[(dense / SLAB_NODES) as usize],
+            (dense % SLAB_NODES) as usize,
+        )
+    }
+
+    /// The adjacency run of `dense` as parallel slices.
+    #[inline]
+    pub(crate) fn run(&self, dense: u32) -> Run<'_> {
+        let (slab, row) = self.locate(dense);
+        let range = slab.local_range(row);
+        Run {
+            targets: &slab.targets[range.clone()],
+            edge_ids: &slab.edge_ids[range.clone()],
+            labels: &slab.labels[range],
         }
     }
 
+    /// Target slice of `dense`'s run.
     #[inline]
-    pub(crate) fn range(&self, dense: u32) -> std::ops::Range<usize> {
-        self.offsets[dense as usize] as usize..self.offsets[dense as usize + 1] as usize
+    pub(crate) fn targets(&self, dense: u32) -> &[u32] {
+        let (slab, row) = self.locate(dense);
+        &slab.targets[slab.local_range(row)]
     }
 
+    /// Run length of `dense` in O(1).
     #[inline]
     pub(crate) fn degree(&self, dense: u32) -> usize {
-        (self.offsets[dense as usize + 1] - self.offsets[dense as usize]) as usize
+        let (slab, row) = self.locate(dense);
+        (slab.offsets[row + 1] - slab.offsets[row]) as usize
+    }
+
+    /// Total recorded edge slots across all slabs.
+    pub(crate) fn edge_slots(&self) -> usize {
+        self.slabs.iter().map(|s| s.targets.len()).sum()
     }
 }
 
@@ -79,30 +219,41 @@ impl Csr {
 /// module docs for layout and equivalence guarantees.
 #[derive(Debug, Clone)]
 pub struct FrozenGraph {
-    directed: bool,
-    edge_count: usize,
+    pub(crate) directed: bool,
+    pub(crate) edge_count: usize,
+    /// Process-unique snapshot epoch (see [`next_epoch`]).
+    pub(crate) epoch: u64,
+    /// How much work producing this snapshot cost, in node+edge visit
+    /// units — full freezes charge O(V+E), incremental re-freezes only
+    /// what they re-read. The serving layer bills refreshes with this.
+    pub(crate) freeze_work: u64,
     /// Dense position → original node id, in source visit order.
-    nodes: Vec<NodeId>,
+    pub(crate) nodes: Vec<NodeId>,
     /// Original node id → dense position.
-    index: FxHashMap<u64, u32>,
+    pub(crate) index: FxHashMap<u64, u32>,
     pub(crate) fwd: Csr,
     pub(crate) rev: Csr,
-    /// Global permutation of forward-run positions: node `i`'s slice
-    /// `run_order[fwd.range(i)]` lists its forward positions stably
-    /// sorted by label, forming one contiguous run per distinct label.
-    run_order: Vec<u32>,
-    interner: Interner,
-    node_labels: Vec<Option<Symbol>>,
-    node_props: Vec<Vec<(String, Value)>>,
-    edge_props: FxHashMap<u64, Vec<(String, Value)>>,
+    pub(crate) interner: Interner,
+    pub(crate) node_labels: Vec<Option<Symbol>>,
+    pub(crate) node_props: Vec<Arc<Vec<(String, Value)>>>,
+    /// Edge raw id → property list, for edges carrying at least one
+    /// property. `Arc`-wrapped as a whole so an incremental re-freeze
+    /// with no edge-property churn shares the map by reference count
+    /// instead of cloning O(E) entries ([`Arc::make_mut`] restores
+    /// copy-on-write semantics at the mutation sites).
+    pub(crate) edge_props: EdgePropsMap,
     /// Node label → dense positions carrying it, ascending.
-    label_index: FxHashMap<Symbol, Vec<u32>>,
-    /// Edge property key → `(value, from_dense, to_dense)` triples
-    /// sorted by [`Value::total_cmp`] — the ordered edge-attribute
-    /// index behind [`AttributedView::edge_range_candidates`]. Built
-    /// by [`FrozenGraph::freeze_attributed`] from the forward CSR, so
-    /// undirected snapshots carry both orientations of each edge.
-    edge_ranges: FxHashMap<String, Vec<(Value, u32, u32)>>,
+    pub(crate) label_index: FxHashMap<Symbol, Vec<u32>>,
+    /// Edge property key → `(value, from_dense, to_dense, edge_raw)`
+    /// rows sorted by [`Value::total_cmp`] — the ordered edge-attribute
+    /// index behind [`AttributedView::edge_range_candidates`]. Built by
+    /// [`FrozenGraph::freeze_attributed`] from the forward CSR, so
+    /// undirected snapshots carry both orientations of each edge. The
+    /// edge id tag lets the incremental re-freeze retire exactly the
+    /// rows of re-read edges instead of rebuilding the index. Each run
+    /// is `Arc`-wrapped so a re-freeze clones only the keys it patches
+    /// and shares untouched runs by reference count.
+    pub(crate) edge_ranges: FxHashMap<String, RangeRun>,
 }
 
 impl FrozenGraph {
@@ -132,37 +283,52 @@ impl FrozenGraph {
             if let Some(sym) = label {
                 fz.label_index.entry(sym).or_default().push(dense as u32);
             }
-            let props = &mut fz.node_props[dense];
+            let mut props = Vec::new();
             g.visit_node_properties(n, &mut |k, v| props.push((k.to_owned(), v.clone())));
+            if !props.is_empty() {
+                fz.node_props[dense] = Arc::new(props);
+            }
         }
-        for &id in fz.fwd.edge_ids.iter().chain(fz.rev.edge_ids.iter()) {
-            fz.edge_props.entry(id.raw()).or_insert_with(|| {
-                let mut props = Vec::new();
-                g.visit_edge_properties(id, &mut |k, v| props.push((k.to_owned(), v.clone())));
-                props
-            });
+        let mut edge_props: FxHashMap<u64, Arc<Vec<(String, Value)>>> = FxHashMap::default();
+        for slab in fz.fwd.slabs.iter().chain(fz.rev.slabs.iter()) {
+            for &id in &slab.edge_ids {
+                edge_props.entry(id.raw()).or_insert_with(|| {
+                    let mut props = Vec::new();
+                    g.visit_edge_properties(id, &mut |k, v| props.push((k.to_owned(), v.clone())));
+                    Arc::new(props)
+                });
+            }
         }
-        fz.edge_props.retain(|_, v| !v.is_empty());
+        edge_props.retain(|_, v| !v.is_empty());
         // Ordered edge-attribute index: one sorted run per key over
         // the forward CSR (so endpoint pairs come out in from-dense
         // order before sorting by value).
+        let mut edge_ranges: FxHashMap<String, Vec<RangeRow>> = FxHashMap::default();
         for dense in 0..fz.nodes.len() as u32 {
-            for i in fz.fwd.range(dense) {
-                let Some(props) = fz.edge_props.get(&fz.fwd.edge_ids[i].raw()) else {
+            let run = fz.fwd.run(dense);
+            for i in 0..run.targets.len() {
+                let raw = run.edge_ids[i].raw();
+                let Some(props) = edge_props.get(&raw) else {
                     continue;
                 };
-                for (k, v) in props {
-                    fz.edge_ranges.entry(k.clone()).or_default().push((
+                for (k, v) in props.iter() {
+                    edge_ranges.entry(k.clone()).or_default().push((
                         v.clone(),
                         dense,
-                        fz.fwd.targets[i],
+                        run.targets[i],
+                        raw,
                     ));
                 }
             }
         }
-        for run in fz.edge_ranges.values_mut() {
+        for run in edge_ranges.values_mut() {
             run.sort_by(|a, b| a.0.total_cmp(&b.0));
         }
+        fz.edge_props = Arc::new(edge_props);
+        fz.edge_ranges = edge_ranges
+            .into_iter()
+            .map(|(k, v)| (k, Arc::new(v)))
+            .collect();
         fz
     }
 
@@ -179,8 +345,10 @@ impl FrozenGraph {
         let mut interner = Interner::new();
         // Source symbol → re-interned symbol, so each label resolves once.
         let mut relabel: FxHashMap<u32, Option<Symbol>> = FxHashMap::default();
-        let mut fwd = Csr::with_nodes(nodes.len());
-        let mut rev = Csr::with_nodes(nodes.len());
+        let (mut fwd, mut rev) = (
+            FlatCsr::with_nodes(nodes.len()),
+            FlatCsr::with_nodes(nodes.len()),
+        );
         for &n in &nodes {
             for (csr, incoming) in [(&mut fwd, false), (&mut rev, true)] {
                 let mut record = |e: EdgeRef| {
@@ -206,27 +374,23 @@ impl FrozenGraph {
             }
         }
 
-        // Label-partitioned forward runs: per node, positions stably
-        // sorted by label so equal labels are contiguous.
-        let mut run_order: Vec<u32> = (0..fwd.targets.len() as u32).collect();
-        for i in 0..nodes.len() {
-            let range = fwd.range(i as u32);
-            run_order[range].sort_by_key(|&pos| fwd.labels[pos as usize].map(Symbol::raw));
-        }
-
         let n = nodes.len();
+        let fwd = Csr::from_flat(n, &fwd.offsets, &fwd.targets, &fwd.edge_ids, &fwd.labels);
+        let rev = Csr::from_flat(n, &rev.offsets, &rev.targets, &rev.edge_ids, &rev.labels);
+        let freeze_work = (n + fwd.edge_slots() + rev.edge_slots()) as u64;
         Self {
             directed: g.is_directed(),
             edge_count: g.edge_count(),
+            epoch: next_epoch(),
+            freeze_work,
             nodes,
             index,
             fwd,
             rev,
-            run_order,
             interner,
             node_labels: vec![None; n],
-            node_props: vec![Vec::new(); n],
-            edge_props: FxHashMap::default(),
+            node_props: vec![empty_props(); n],
+            edge_props: Arc::new(FxHashMap::default()),
             label_index: FxHashMap::default(),
             edge_ranges: FxHashMap::default(),
         }
@@ -246,6 +410,21 @@ impl FrozenGraph {
         self.nodes.is_empty()
     }
 
+    /// This snapshot's epoch: process-unique, monotonically increasing
+    /// across freezes. Serving layers key caches and session pinning
+    /// on it.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Node+edge visit units spent producing this snapshot: O(V+E) for
+    /// a full freeze, O(changes) for an incremental re-freeze.
+    #[inline]
+    pub fn freeze_work(&self) -> u64 {
+        self.freeze_work
+    }
+
     /// Original id of the node at dense position `dense`.
     #[inline]
     pub fn node_at(&self, dense: u32) -> NodeId {
@@ -262,13 +441,13 @@ impl FrozenGraph {
     /// from parallel edges, exactly as the source visited them).
     #[inline]
     pub fn out_targets(&self, dense: u32) -> &[u32] {
-        &self.fwd.targets[self.fwd.range(dense)]
+        self.fwd.targets(dense)
     }
 
     /// Reverse-neighbor dense positions of `dense`.
     #[inline]
     pub fn in_targets(&self, dense: u32) -> &[u32] {
-        &self.rev.targets[self.rev.range(dense)]
+        self.rev.targets(dense)
     }
 
     /// Cached out-degree (forward run length).
@@ -336,24 +515,25 @@ impl FrozenGraph {
     }
 
     /// Calls `f` once per label-partitioned forward run of `dense`:
-    /// the run's label and the forward-array positions carrying it.
-    pub(crate) fn for_each_label_run(&self, dense: u32, mut f: impl FnMut(Option<Symbol>, &[u32])) {
-        let slice = &self.run_order[self.fwd.range(dense)];
+    /// the run's label, the slab-local positions carrying it, and the
+    /// slab's target array to resolve those positions through.
+    pub(crate) fn for_each_label_run(
+        &self,
+        dense: u32,
+        mut f: impl FnMut(Option<Symbol>, &[u32], &[u32]),
+    ) {
+        let (slab, row) = self.fwd.locate(dense);
+        let order = &slab.run_order[slab.local_range(row)];
         let mut start = 0;
-        while start < slice.len() {
-            let label = self.fwd.labels[slice[start] as usize];
+        while start < order.len() {
+            let label = slab.labels[order[start] as usize];
             let mut end = start + 1;
-            while end < slice.len() && self.fwd.labels[slice[end] as usize] == label {
+            while end < order.len() && slab.labels[order[end] as usize] == label {
                 end += 1;
             }
-            f(label, &slice[start..end]);
+            f(label, &order[start..end], &slab.targets);
             start = end;
         }
-    }
-
-    #[inline]
-    pub(crate) fn target_of_pos(&self, pos: u32) -> u32 {
-        self.fwd.targets[pos as usize]
     }
 
     // ---- columnar accessors (the vectorized executor's fast path) ---
@@ -373,7 +553,29 @@ impl FrozenGraph {
     /// Property list of edge `id` (raw), if the edge carries any.
     #[inline]
     pub(crate) fn edge_props_raw(&self, id: u64) -> Option<&[(String, Value)]> {
-        self.edge_props.get(&id).map(Vec::as_slice)
+        self.edge_props.get(&id).map(|p| p.as_slice())
+    }
+}
+
+/// Flat recording buffers used while building, before chopping into
+/// slabs: global offsets over three parallel arrays.
+struct FlatCsr {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+    edge_ids: Vec<EdgeId>,
+    labels: Vec<Option<Symbol>>,
+}
+
+impl FlatCsr {
+    fn with_nodes(n: usize) -> Self {
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        Self {
+            offsets,
+            targets: Vec::new(),
+            edge_ids: Vec::new(),
+            labels: Vec::new(),
+        }
     }
 }
 
@@ -404,12 +606,13 @@ impl GraphView for FrozenGraph {
         let Some(dense) = self.dense_of(n) else {
             return;
         };
-        for i in self.fwd.range(dense) {
+        let run = self.fwd.run(dense);
+        for i in 0..run.targets.len() {
             f(EdgeRef {
-                id: self.fwd.edge_ids[i],
+                id: run.edge_ids[i],
                 from: n,
-                to: self.nodes[self.fwd.targets[i] as usize],
-                label: self.fwd.labels[i],
+                to: self.nodes[run.targets[i] as usize],
+                label: run.labels[i],
             });
         }
     }
@@ -418,12 +621,13 @@ impl GraphView for FrozenGraph {
         let Some(dense) = self.dense_of(n) else {
             return;
         };
-        for i in self.rev.range(dense) {
+        let run = self.rev.run(dense);
+        for i in 0..run.targets.len() {
             f(EdgeRef {
-                id: self.rev.edge_ids[i],
+                id: run.edge_ids[i],
                 from: n,
-                to: self.nodes[self.rev.targets[i] as usize],
-                label: self.rev.labels[i],
+                to: self.nodes[run.targets[i] as usize],
+                label: run.labels[i],
             });
         }
     }
@@ -470,7 +674,7 @@ impl AttributedView for FrozenGraph {
 
     fn visit_node_properties(&self, n: NodeId, f: &mut dyn FnMut(&str, &Value)) {
         if let Some(dense) = self.dense_of(n) {
-            for (k, v) in &self.node_props[dense as usize] {
+            for (k, v) in self.node_props[dense as usize].iter() {
                 f(k, v);
             }
         }
@@ -478,7 +682,7 @@ impl AttributedView for FrozenGraph {
 
     fn visit_edge_properties(&self, e: EdgeId, f: &mut dyn FnMut(&str, &Value)) {
         if let Some(props) = self.edge_props.get(&e.raw()) {
-            for (k, v) in props {
+            for (k, v) in props.iter() {
                 f(k, v);
             }
         }
@@ -531,21 +735,19 @@ impl AttributedView for FrozenGraph {
     ) -> Option<Vec<(NodeId, NodeId)>> {
         let run = self.edge_ranges.get(key)?;
         let start = match low {
-            Some(lo) => {
-                run.partition_point(|(v, _, _)| v.total_cmp(lo) == std::cmp::Ordering::Less)
-            }
+            Some(lo) => run.partition_point(|(v, ..)| v.total_cmp(lo) == std::cmp::Ordering::Less),
             None => 0,
         };
         let end = match high {
             Some(hi) => {
-                run.partition_point(|(v, _, _)| v.total_cmp(hi) != std::cmp::Ordering::Greater)
+                run.partition_point(|(v, ..)| v.total_cmp(hi) != std::cmp::Ordering::Greater)
             }
             None => run.len(),
         };
         Some(
             run[start..end.max(start)]
                 .iter()
-                .map(|&(_, f, t)| (self.nodes[f as usize], self.nodes[t as usize]))
+                .map(|&(_, f, t, _)| (self.nodes[f as usize], self.nodes[t as usize]))
                 .collect(),
         )
     }
@@ -595,7 +797,7 @@ pub fn frozen_regular_path_exists(
     // because stepping depends only on the pair.
     let mut memo: FxHashMap<(usize, Option<Symbol>), FxHashSet<usize>> = FxHashMap::default();
     while let Some((node, state)) = queue.pop_front() {
-        fz.for_each_label_run(node, |label, positions| {
+        fz.for_each_label_run(node, |label, positions, slab_targets| {
             let next = memo.entry((state, label)).or_insert_with(|| {
                 let mut from = FxHashSet::default();
                 from.insert(state);
@@ -607,7 +809,7 @@ pub fn frozen_regular_path_exists(
             }
             let accepts = regex.accepts_set(next);
             for &pos in positions {
-                let to = fz.target_of_pos(pos);
+                let to = slab_targets[pos as usize];
                 if to == db && accepts {
                     // Can't early-return out of the closure; flag via
                     // sentinel pair that short-circuits below.
@@ -697,7 +899,7 @@ mod tests {
         let fz = FrozenGraph::freeze(&g);
         let d0 = fz.dense_of(n[0]).unwrap();
         let mut runs = Vec::new();
-        fz.for_each_label_run(d0, |label, positions| {
+        fz.for_each_label_run(d0, |label, positions, _| {
             let text = label.and_then(|s| fz.label_text(s)).map(str::to_owned);
             runs.push((text, positions.len()));
         });
@@ -764,5 +966,37 @@ mod tests {
         assert!(!fz.is_directed());
         assert_eq!(fz.degree(a), g.degree(a));
         assert_eq!(fz.degree(b), g.degree(b));
+    }
+
+    #[test]
+    fn epochs_are_unique_and_increasing() {
+        let (g, _) = labeled_chain();
+        let a = FrozenGraph::freeze(&g);
+        let b = FrozenGraph::freeze(&g);
+        assert!(b.epoch() > a.epoch());
+        assert!(a.freeze_work() >= (a.node_count() + a.edge_count()) as u64);
+    }
+
+    #[test]
+    fn slabbed_layout_spans_slab_boundaries() {
+        // More nodes than one slab, star-shaped so one run crosses
+        // into targets stored in other slabs.
+        let mut g = SimpleGraph::directed();
+        let hub = g.add_node();
+        let spokes: Vec<NodeId> = (0..(SLAB_NODES as usize * 2 + 7))
+            .map(|_| g.add_node())
+            .collect();
+        for &s in &spokes {
+            g.add_labeled_edge(hub, s, "spoke").unwrap();
+        }
+        let fz = FrozenGraph::freeze(&g);
+        assert!(fz.fwd.slabs.len() > 2);
+        assert_eq!(fz.out_degree(hub), spokes.len());
+        let hub_dense = fz.dense_of(hub).unwrap();
+        assert_eq!(fz.out_targets(hub_dense).len(), spokes.len());
+        for &s in &spokes {
+            assert_eq!(fz.in_degree(s), 1);
+            assert_eq!(fz.frozen_distance(hub, s), Some(1));
+        }
     }
 }

@@ -36,6 +36,7 @@ pub mod parallel;
 pub mod paths;
 pub mod pattern;
 pub mod planned;
+pub mod refreeze;
 pub mod regular;
 pub mod summary;
 pub mod traverse;
@@ -57,6 +58,7 @@ pub use planned::{
     match_pattern_auto_governed, match_pattern_planned, match_pattern_planned_governed,
     planned_order, Domains, MatchTable,
 };
+pub use refreeze::{incremental_refreeze, incremental_refreeze_structural};
 pub use regular::{
     regular_path_exists, regular_path_exists_governed, regular_simple_paths, LabelRegex,
 };

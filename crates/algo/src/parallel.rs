@@ -16,10 +16,12 @@
 //!   [`par_degree_stats`] — per-node loops over cached adjacency;
 //!   float sums are reduced in node order so even the average comes
 //!   out identical to the sequential fold.
-//! * [`par_match_pattern`] — label + degree prefiltering of the root
-//!   candidate set, then chunked rooted VF2 searches concatenated in
-//!   node order, reproducing [`crate::match_pattern`]'s binding list
-//!   verbatim.
+//! * [`par_match_pattern`] — the partition variable's auto-seeded
+//!   candidate set is split into chunks and each chunk runs the
+//!   vectorized batch pipeline of [`crate::vectorized`] with the
+//!   variable's domain restricted to its chunk; tables concatenate in
+//!   chunk order, reproducing [`crate::match_pattern`]'s binding *set*
+//!   (row order may differ — batching reorders siblings).
 //!
 //! **Panic isolation.** Every worker body runs inside `catch_unwind`;
 //! a panicking worker never unwinds into [`std::thread::scope`] (which
@@ -31,7 +33,8 @@
 //! ladder (see DESIGN.md §11).
 
 use crate::frozen::FrozenGraph;
-use crate::pattern::{match_from_root, matching_order, Binding, MatchCaches, Pattern};
+use crate::pattern::Pattern;
+use crate::planned::MatchTable;
 use gdm_core::{Direction, FxHashMap, FxHashSet, GraphView, NodeId};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -519,35 +522,60 @@ pub fn par_degree_stats(fz: &FrozenGraph, threads: usize) -> Option<(usize, usiz
 /// rooted searches themselves, so the executor runs them inline.
 const PAR_PATTERN_MIN_ROOTS: usize = 64;
 
-/// Subgraph matching with candidate-set prefiltering: the first
-/// pattern node's candidates are narrowed by the node-label index and
-/// a degree lower bound before the rooted searches are fanned out
-/// across threads. Both filters only remove roots that cannot produce
-/// a binding, and chunks are concatenated in node order, so the result
-/// equals [`crate::match_pattern`]'s binding list exactly.
+/// Parallel subgraph matching: the snapshot's indexes seed per-variable
+/// domains, the most selective planned variable's candidate set is
+/// partitioned into contiguous chunks, and each chunk runs the
+/// **vectorized batch pipeline** of [`crate::vectorized`] with that
+/// variable's domain restricted to its chunk. Restricting one
+/// variable's domain partitions the match set exactly (every match
+/// binds the variable to exactly one chunk), so concatenating the
+/// per-chunk [`MatchTable`]s in chunk order yields the same binding
+/// set as [`crate::match_pattern_vectorized_auto`] — and, by the
+/// `planned_equiv` suite, as [`crate::match_pattern`]. Row order may
+/// differ from the sequential matchers (batching reorders siblings,
+/// never membership).
 ///
-/// When only one thread is available (or requested), or the filtered
-/// root set is smaller than [`PAR_PATTERN_MIN_ROOTS`], the searches
-/// run inline on the calling thread — same output, no spawn overhead.
-pub fn par_match_pattern(fz: &FrozenGraph, pattern: &Pattern, threads: usize) -> Vec<Binding> {
+/// When only one thread is available (or requested), or the seed set
+/// is smaller than [`PAR_PATTERN_MIN_ROOTS`], the pipeline runs
+/// unpartitioned on the calling thread — same output, no spawn
+/// overhead. Patterns whose auto-seeded domains are inconsistent
+/// degrade to the row-at-a-time reference matcher, exactly like the
+/// sequential auto path.
+///
+/// **Panic isolation.** Each chunk's pipeline runs inside
+/// [`isolate`]; a lost chunk discards the parallel attempt and the
+/// query is recomputed by the sequential vectorized pipeline on the
+/// calling thread.
+pub fn par_match_pattern(fz: &FrozenGraph, pattern: &Pattern, threads: usize) -> MatchTable {
+    let vars: Vec<String> = pattern.nodes.iter().map(|pn| pn.var.clone()).collect();
     if pattern.nodes.is_empty() {
-        return Vec::new();
+        return MatchTable::from_parts(vars, Vec::new());
     }
-    let order = matching_order(pattern);
+    let domains = crate::planned::auto_domains(fz, pattern);
+    if !crate::planned::domains_consistent(fz, &domains) {
+        // Same degradation as the sequential auto path: seeds the
+        // pipeline cannot trust fall back to the reference matcher.
+        let bindings = crate::pattern::match_pattern(fz, pattern);
+        return MatchTable::from_bindings(pattern, &bindings);
+    }
+    let estimates = crate::planned::domain_estimates(fz, pattern, &domains);
+    let order = crate::planned::planned_order(pattern, &estimates);
     let pv = order[0];
 
-    // Label prefilter. A label the snapshot never interned — or one
-    // carried only by edges — matches no node.
-    let roots: Vec<u32> = match &pattern.nodes[pv].label {
-        Some(text) => match fz.label_symbol(text) {
-            Some(sym) => fz.nodes_with_label(sym).to_vec(),
-            None => Vec::new(),
+    // Seed set for the partition variable: its planner domain when one
+    // exists, else the node-label index, else every node — narrowed by
+    // the injective degree lower bound (each distinct pattern neighbor
+    // of `pv` needs a distinct incident data edge).
+    let seeds: Vec<u32> = match &domains[pv] {
+        Some(dom) => dom.iter().filter_map(|&n| fz.dense_of(n)).collect(),
+        None => match &pattern.nodes[pv].label {
+            Some(text) => match fz.label_symbol(text) {
+                Some(sym) => fz.nodes_with_label(sym).to_vec(),
+                None => Vec::new(),
+            },
+            None => (0..fz.len() as u32).collect(),
         },
-        None => (0..fz.len() as u32).collect(),
     };
-
-    // Degree prefilter: an injective match maps each distinct pattern
-    // neighbor of `pv` to a distinct data edge incident to the root.
     let mut adjacent_vars: FxHashSet<usize> = FxHashSet::default();
     for e in &pattern.edges {
         if e.from == pv && e.to != pv {
@@ -558,78 +586,73 @@ pub fn par_match_pattern(fz: &FrozenGraph, pattern: &Pattern, threads: usize) ->
         }
     }
     let required = adjacent_vars.len();
-    let roots: Vec<u32> = roots
+    let seeds: Vec<u32> = seeds
         .into_iter()
         .filter(|&d| fz.degree_dense(d) >= required)
         .collect();
-    if roots.is_empty() {
-        return Vec::new();
+    if seeds.is_empty() {
+        return MatchTable::from_parts(vars, Vec::new());
     }
 
-    let threads = clamp_threads(threads, roots.len());
-    if threads == 1 || roots.len() < PAR_PATTERN_MIN_ROOTS {
-        // Sequential fall-through: chunking across scoped threads only
-        // pays for itself on wide root sets.
-        let mut caches = MatchCaches::for_pattern(pattern);
-        let mut out = Vec::new();
-        for &dense in &roots {
-            match_from_root(
-                fz,
-                pattern,
-                &order,
-                fz.node_at(dense),
-                &mut caches,
-                &mut out,
-            );
-        }
-        return out;
+    let run_sequential = || {
+        crate::vectorized::match_pattern_vectorized_guarded(fz, pattern, &domains, None)
+            .expect("ungoverned search cannot be interrupted")
+    };
+    let threads = clamp_threads(threads, seeds.len());
+    if threads == 1 || seeds.len() < PAR_PATTERN_MIN_ROOTS {
+        return run_sequential();
     }
-    let chunk = roots.len().div_ceil(threads);
-    let order = &order;
-    let roots = &roots;
-    let mut out = Vec::new();
+
+    let chunk = seeds.len().div_ceil(threads);
+    let seeds = &seeds;
+    let domains = &domains;
+    let mut tables: Vec<MatchTable> = Vec::new();
     let ok = std::thread::scope(|s| {
-        let handles: Vec<_> = roots
+        let handles: Vec<_> = seeds
             .chunks(chunk)
             .map(|part| {
                 s.spawn(move || {
-                    let mut caches = MatchCaches::for_pattern(pattern);
-                    let mut local = Vec::new();
+                    // Restrict the partition variable's domain to this
+                    // chunk; every other domain is shared unchanged.
+                    let mut local_domains: Vec<Option<Vec<NodeId>>> = domains.clone();
+                    local_domains[pv] = Some(part.iter().map(|&d| fz.node_at(d)).collect());
+                    let mut table = None;
                     let ok = isolate(|| {
-                        for &dense in part {
-                            match_from_root(
+                        table = Some(
+                            crate::vectorized::match_pattern_vectorized_guarded(
                                 fz,
                                 pattern,
-                                order,
-                                fz.node_at(dense),
-                                &mut caches,
-                                &mut local,
-                            );
-                        }
+                                &local_domains,
+                                None,
+                            )
+                            .expect("ungoverned search cannot be interrupted"),
+                        );
                     });
-                    ok.then_some(local)
+                    ok.then_some(table).flatten()
                 })
             })
             .collect();
         let mut all_ok = true;
         for h in handles {
             match h.join().unwrap_or(None) {
-                Some(local) => out.extend(local),
+                Some(table) => tables.push(table),
                 None => all_ok = false,
             }
         }
         all_ok
     });
     if !ok {
-        // A lost chunk means missing bindings; rerun every root on the
-        // calling thread (same order, same output).
-        out.clear();
-        let mut caches = MatchCaches::for_pattern(pattern);
-        for &dense in roots {
-            match_from_root(fz, pattern, order, fz.node_at(dense), &mut caches, &mut out);
-        }
+        // A lost chunk means missing rows; rerun the whole pipeline
+        // sequentially on the calling thread.
+        return run_sequential();
     }
-    out
+    // Same pattern + same plan → every chunk table carries the same
+    // column order, so concatenation is a flat data append.
+    let mut data = Vec::new();
+    for table in tables {
+        data.extend(table.into_data());
+    }
+    MatchTable::from_parts(vars, data)
 }
 
 #[cfg(test)]
@@ -745,14 +768,8 @@ mod tests {
         let seq = match_pattern(&fz, &p);
         for threads in [1, 2, 4, 7] {
             let par = par_match_pattern(&fz, &p, threads);
-            assert_eq!(canonical(&par), canonical(&seq));
-            // Stronger: identical order, not just identical sets.
+            assert_eq!(canonical(&par.to_bindings()), canonical(&seq));
             assert_eq!(par.len(), seq.len());
-            for (a, b) in par.iter().zip(seq.iter()) {
-                assert_eq!(a["x"], b["x"]);
-                assert_eq!(a["y"], b["y"]);
-                assert_eq!(a["c"], b["c"]);
-            }
         }
     }
 
@@ -771,10 +788,7 @@ mod tests {
         for threads in [2, 4] {
             let par = par_match_pattern(&fz, &p, threads);
             assert_eq!(par.len(), seq.len());
-            for (a, b) in par.iter().zip(seq.iter()) {
-                assert_eq!(a["x"], b["x"]);
-                assert_eq!(a["y"], b["y"]);
-            }
+            assert_eq!(canonical(&par.to_bindings()), canonical(&seq));
         }
     }
 
@@ -839,7 +853,7 @@ mod tests {
         assert!(!seq.is_empty());
         inject_worker_panic_once();
         let par = par_match_pattern(&fz, &p, 4);
-        assert_eq!(canonical(&par), canonical(&seq));
+        assert_eq!(canonical(&par.to_bindings()), canonical(&seq));
         assert_eq!(par.len(), seq.len());
     }
 

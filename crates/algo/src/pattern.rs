@@ -263,32 +263,6 @@ pub(crate) fn matching_order(pattern: &Pattern) -> Vec<usize> {
     order
 }
 
-/// Runs the search with the first pattern node of `order` pinned to
-/// `root`. Replicates exactly the depth-0 iteration body of [`extend`]
-/// (injectivity is vacuous on an empty assignment), so concatenating
-/// the outputs for every root in `node_ids()` order reproduces
-/// [`match_pattern`]'s result list verbatim — which is what the
-/// parallel executor does after partitioning the root candidates.
-pub(crate) fn match_from_root<G: AttributedView + ?Sized>(
-    g: &G,
-    pattern: &Pattern,
-    order: &[usize],
-    root: NodeId,
-    caches: &mut MatchCaches,
-    out: &mut Vec<Binding>,
-) {
-    let pv = order[0];
-    if !node_compatible(g, &pattern.nodes[pv], root, &mut caches.node_labels[pv]) {
-        return;
-    }
-    let mut assignment: Vec<Option<NodeId>> = vec![None; pattern.nodes.len()];
-    assignment[pv] = Some(root);
-    if edges_consistent(g, pattern, pv, &assignment, &mut caches.edge_labels) {
-        extend(g, pattern, order, 1, &mut assignment, caches, out, None)
-            .expect("ungoverned search cannot be interrupted");
-    }
-}
-
 #[allow(clippy::too_many_arguments)]
 fn extend<G: AttributedView + ?Sized>(
     g: &G,

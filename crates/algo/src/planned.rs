@@ -93,6 +93,12 @@ impl MatchTable {
         debug_assert!(vars.is_empty() || data.len().is_multiple_of(vars.len()));
         MatchTable { vars, data }
     }
+
+    /// Consumes the table into its flat row buffer — how the parallel
+    /// executor concatenates per-partition tables of the same plan.
+    pub(crate) fn into_data(self) -> Vec<NodeId> {
+        self.data
+    }
 }
 
 /// Variable elimination order by estimated selectivity: the first

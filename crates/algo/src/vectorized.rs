@@ -417,14 +417,15 @@ impl VecSearch<'_> {
         let want = self.edge_want[ei];
         let csr = if reverse { &self.fz.rev } else { &self.fz.fwd };
         let bits = self.dom_bits[pv].as_deref();
-        for pos in csr.range(bound) {
-            if !want.accepts(csr.labels[pos]) {
+        let run = csr.run(bound);
+        for pos in 0..run.targets.len() {
+            if !want.accepts(run.labels[pos]) {
                 continue;
             }
-            if !e.ranges.is_empty() && !self.edge_props_in_ranges(csr.edge_ids[pos].raw(), ei) {
+            if !e.ranges.is_empty() && !self.edge_props_in_ranges(run.edge_ids[pos].raw(), ei) {
                 continue;
             }
-            let target = csr.targets[pos];
+            let target = run.targets[pos];
             if self.stamp[target as usize] == self.stamp_gen {
                 continue; // parallel-edge duplicate within this row
             }
@@ -547,11 +548,11 @@ impl VecSearch<'_> {
     fn scan_edge(&self, rei: usize, a: u32, b: u32) -> bool {
         let want = self.edge_want[rei];
         let ranges = &self.pattern.edges[rei].ranges;
-        let csr = &self.fz.fwd;
-        for pos in csr.range(a) {
-            if csr.targets[pos] == b
-                && want.accepts(csr.labels[pos])
-                && (ranges.is_empty() || self.edge_props_in_ranges(csr.edge_ids[pos].raw(), rei))
+        let run = self.fz.fwd.run(a);
+        for pos in 0..run.targets.len() {
+            if run.targets[pos] == b
+                && want.accepts(run.labels[pos])
+                && (ranges.is_empty() || self.edge_props_in_ranges(run.edge_ids[pos].raw(), rei))
             {
                 return true;
             }

@@ -247,9 +247,11 @@ proptest! {
         let frozen_seq = match_pattern(&fz, &pat);
         prop_assert_eq!(canonical(&live), canonical(&frozen_seq));
         for threads in [1usize, 4] {
-            // Verbatim equality: the parallel matcher promises the
-            // same binding order as the sequential one.
-            prop_assert_eq!(&par_match_pattern(&fz, &pat, threads), &frozen_seq);
+            // Set equality: the parallel matcher batches seeds per
+            // partition, so row order may differ from the sequential
+            // matcher but the binding set must be identical.
+            let par = par_match_pattern(&fz, &pat, threads);
+            prop_assert_eq!(canonical(&par.to_bindings()), canonical(&frozen_seq));
         }
     }
 }

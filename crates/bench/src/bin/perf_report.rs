@@ -496,6 +496,86 @@ fn main() {
             parallel_ops_s: None,
         });
     }
+    // ---- snapshot refresh: O(changes) re-freeze vs full rebuild -------
+    //
+    // The serving story (DESIGN.md §14): a mutation batch of ≤1% of the
+    // graph should re-freeze in time proportional to the batch, not the
+    // graph. Measured on the workload graph directly — a PropertyGraph
+    // plus DeltaTracker is exactly what every engine's refreeze() path
+    // reduces to.
+    let refresh_iters = if smoke { 20u32 } else { 50 };
+    let (refresh_full_us, refresh_inc_us, refresh_changes) = {
+        let mut live = graph.clone();
+        let mut ids: Vec<NodeId> = Vec::new();
+        gdm_core::GraphView::visit_nodes(&live, &mut |n| ids.push(n));
+        let prev = gdm_algo::FrozenGraph::freeze_attributed(&live);
+        let mut tracker = gdm_core::DeltaTracker::new();
+        tracker.reset(prev.epoch());
+        // ≤1% mutation batch on the 1k workload: 6 property updates
+        // plus 2 new edges touch at most 10 distinct rows.
+        for i in 0..6 {
+            let n = ids[(i * 37 + 11) % ids.len()];
+            live.set_node_property(n, "age", Value::from(200 + i as i64))
+                .expect("node exists");
+            tracker.touch_node(n.raw());
+        }
+        for i in 0..2usize {
+            let a = ids[(i * 53 + 7) % ids.len()];
+            let b = ids[(i * 71 + 29) % ids.len()];
+            live.add_edge(a, b, "knows", gdm_core::PropertyMap::new())
+                .expect("endpoints exist");
+            tracker.touch_node(a.raw());
+            tracker.touch_node(b.raw());
+        }
+        let delta = tracker.peek();
+        let changes = delta.change_count();
+        let full_us = time_us(
+            || {
+                black_box(gdm_algo::FrozenGraph::freeze_attributed(&live).len());
+            },
+            refresh_iters,
+        );
+        let inc_us = time_us(
+            || {
+                black_box(gdm_algo::incremental_refreeze(&live, &prev, delta).len());
+            },
+            refresh_iters,
+        );
+        (full_us, inc_us, changes)
+    };
+    rows.push(Row {
+        name: "refresh_full_rebuild",
+        live_ops_s: None,
+        frozen_ops_s: ops_s(refresh_full_us),
+        parallel_ops_s: None,
+    });
+    rows.push(Row {
+        name: "refresh_incremental",
+        live_ops_s: None,
+        frozen_ops_s: ops_s(refresh_inc_us),
+        parallel_ops_s: None,
+    });
+    let refresh_speedup = refresh_full_us / refresh_inc_us;
+    // The acceptance bar: on the full (non-smoke) workload a ≤1%
+    // mutation batch must re-freeze at least 10× faster than a full
+    // rebuild, or the incremental path has silently degraded to
+    // O(graph). The smoke workload is too small for a stable ratio.
+    if !smoke {
+        assert!(
+            refresh_speedup >= 10.0,
+            "incremental re-freeze ({:.1} ops/s) is only {refresh_speedup:.1}x the full \
+             rebuild ({:.1} ops/s); the O(changes) bar is 10x",
+            ops_s(refresh_inc_us),
+            ops_s(refresh_full_us),
+        );
+    }
+    println!(
+        "\nsnapshot refresh after a {refresh_changes}-change batch (≤1% of {people} nodes): \
+         incremental {:.0} ops/s vs full {:.0} ops/s ({refresh_speedup:.1}x)",
+        ops_s(refresh_inc_us),
+        ops_s(refresh_full_us),
+    );
+
     println!("\nCSR snapshot fast path ({} threads available):", threads);
     println!(
         "{:<14} {:>14} {:>14} {:>14}",
@@ -524,6 +604,13 @@ fn main() {
         gdm_algo::default_threads()
     ));
     json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!(
+        "  \"snapshot_refresh\": {{ \"changes\": {refresh_changes}, \
+         \"incremental_ops_s\": {:.1}, \"full_rebuild_ops_s\": {:.1}, \
+         \"speedup\": {refresh_speedup:.1} }},\n",
+        ops_s(refresh_inc_us),
+        ops_s(refresh_full_us),
+    ));
     let single_core_warning = if threads == 1 {
         "WARNING: available_parallelism is 1 on this machine, so parallel rows measure \
          thread-pool overhead with no speedup — compare frozen columns only. "

@@ -12,6 +12,11 @@
 //! cargo run --release --bin server_load -- --smoke   # CI: one scripted
 //!     session (query, query again, STATS, shutdown); exits non-zero
 //!     unless the repeat hit the plan cache and the drain completed
+//! cargo run --release --bin server_load -- --refresh-smoke   # CI: live
+//!     refresh proof — query, mutate, incremental re-freeze via
+//!     ServerHandle::refresh_with, and the very next query of the same
+//!     text must see the new row on a freshly planned (epoch-evicted)
+//!     plan, with STATS reporting the refresh
 //! ```
 
 use gdm_bench::workload::{load_into_engine, social_graph, SocialParams};
@@ -39,13 +44,16 @@ fn fail(msg: &str) -> ! {
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let refresh_smoke = args.iter().any(|a| a == "--refresh-smoke");
+    let quick = smoke || refresh_smoke;
 
     let dir = std::env::temp_dir().join(format!("gdm-server-load-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("temp dir");
     let mut db = make_engine(EngineKind::Neo4j, &dir).expect("engine");
     let graph = social_graph(SocialParams {
-        people: if smoke { 150 } else { 500 },
+        people: if quick { 150 } else { 500 },
         communities: 5,
         intra_edges: 6,
         inter_edges: 2,
@@ -61,7 +69,7 @@ fn main() {
         slots: 3,
         queue: 8,
         refill_interval: Duration::from_millis(10),
-        refill_credits: if smoke { 50_000 } else { 2_000 },
+        refill_credits: if quick { 50_000 } else { 2_000 },
         ..ServerConfig::default()
     };
     let mut alpha = TenantConfig::new("alpha", 3);
@@ -73,6 +81,73 @@ fn main() {
 
     let handle = serve(db.serving_snapshot().expect("snapshot"), config).expect("serve");
     let addr = handle.addr();
+
+    if refresh_smoke {
+        // Scripted live-refresh proof: the CI evidence that a mutation
+        // plus an *incremental* re-freeze reaches the very next query
+        // over the wire — fresh rows, a freshly planned (epoch-evicted)
+        // plan, and refresh counters in STATS.
+        const COUNT_QUERY: &str = "MATCH (p:person) RETURN p.name";
+        let mut c = Client::connect(addr).expect("connect");
+        c.hello("alpha", None).expect("hello");
+        let before = match c.query(COUNT_QUERY).expect("query") {
+            Response::Rows(r) => r.rows.len(),
+            other => fail(&format!("expected Rows, got {other:?}")),
+        };
+        match c.query(COUNT_QUERY).expect("query again") {
+            Response::Rows(r) if r.cached_plan => {}
+            other => fail(&format!("expected a plan-cache hit, got {other:?}")),
+        }
+
+        let epoch0 = handle.stats().snapshot_epoch;
+        db.create_node(Some("person"), gdm_core::props! { "name" => "newcomer" })
+            .expect("create node");
+        let t0 = Instant::now();
+        let epoch1 = handle
+            .refresh_with(|prev| db.refreeze(prev))
+            .expect("refresh");
+        println!(
+            "refreshed serving snapshot: epoch {epoch0} -> {epoch1} in {:?}",
+            t0.elapsed()
+        );
+        if epoch1 <= epoch0 {
+            fail("refresh must advance the serving epoch");
+        }
+
+        match c.query(COUNT_QUERY).expect("query after refresh") {
+            Response::Rows(r) => {
+                if r.rows.len() != before + 1 {
+                    fail(&format!(
+                        "refresh must expose the new node: expected {} rows, got {}",
+                        before + 1,
+                        r.rows.len()
+                    ));
+                }
+                if r.cached_plan {
+                    fail("the epoch-stale plan must be evicted, not served");
+                }
+            }
+            other => fail(&format!("expected Rows, got {other:?}")),
+        }
+        let stats = c.stats().expect("stats");
+        if stats.snapshot_epoch != epoch1 {
+            fail("STATS must report the refreshed epoch");
+        }
+        if stats.refreshes != 1 || stats.last_refresh_us == 0 {
+            fail("STATS must count the refresh and its latency");
+        }
+        if stats.plan_cache.epoch_evictions == 0 {
+            fail("STATS must show the stale plan's epoch eviction");
+        }
+        match c.shutdown().expect("shutdown") {
+            Response::Bye => {}
+            other => fail(&format!("expected Bye, got {other:?}")),
+        }
+        handle.join();
+        println!("server_load: refresh smoke OK");
+        let _ = std::fs::remove_dir_all(&dir);
+        return;
+    }
 
     if smoke {
         // One scripted session, asserting every step: this is the CI

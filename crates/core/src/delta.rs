@@ -1,0 +1,260 @@
+//! Mutation delta overlay for incremental re-freezing.
+//!
+//! A [`FrozenGraph`](https://docs.rs) snapshot is a point-in-time CSR
+//! compilation of a live graph. Rebuilding it from scratch is O(V+E);
+//! when only a handful of nodes changed since the last freeze that is
+//! almost entirely wasted work. [`DeltaTracker`] is the bookkeeping
+//! side of the fix: engines record *which* node ids, edge ids and
+//! property sets were touched since the last freeze, and the
+//! incremental re-freeze path (in `gdm-algo`) re-reads only those rows
+//! from the source view, sharing everything else with the previous
+//! snapshot.
+//!
+//! The tracker is deliberately conservative: any mutation it cannot
+//! attribute to specific ids (DDL, rollback, hyperedge rewiring)
+//! degrades to [`DeltaTracker::mark_all`], which makes the next
+//! re-freeze fall back to a full rebuild. Correctness never depends on
+//! precision — precision only buys speed.
+
+use crate::fxhash::FxHashSet;
+
+/// Above this many distinct touched ids the delta stops being "small"
+/// and the tracker degrades to a full rebuild; re-reading most of the
+/// graph row by row would be slower than one linear freeze anyway.
+const SPILL_LIMIT: usize = 1 << 20;
+
+/// The set of mutations recorded since a base snapshot was taken.
+///
+/// All ids are raw `u64` forms of [`NodeId`](crate::id::NodeId) /
+/// [`EdgeId`](crate::id::EdgeId) so the tracker stays independent of
+/// any particular engine's id wrapper.
+#[derive(Debug, Clone, Default)]
+pub struct FreezeDelta {
+    /// Epoch of the snapshot this delta is relative to. An incremental
+    /// re-freeze must be handed the snapshot with exactly this epoch;
+    /// anything else means the delta describes the wrong baseline.
+    pub base_epoch: u64,
+    /// When set, the delta is unusable and the re-freeze must rebuild
+    /// from scratch (untracked mutation, spill, or rollback).
+    pub full: bool,
+    /// Nodes whose label, properties, or incident edge set changed
+    /// (includes newly created nodes and both endpoints of new edges).
+    pub dirty_nodes: FxHashSet<u64>,
+    /// Nodes deleted since the base snapshot.
+    pub removed_nodes: FxHashSet<u64>,
+    /// Edges structurally removed since the base snapshot. The
+    /// re-freeze resolves their endpoints from the *previous* snapshot,
+    /// so the engine does not need to remember them.
+    pub dirty_edges: FxHashSet<u64>,
+    /// Edges whose property map changed (but whose endpoints did not).
+    pub dirty_edge_props: FxHashSet<u64>,
+}
+
+impl FreezeDelta {
+    /// An empty delta against the given base epoch.
+    pub fn empty(base_epoch: u64) -> Self {
+        Self {
+            base_epoch,
+            ..Self::default()
+        }
+    }
+
+    /// A delta that forces a full rebuild.
+    pub fn full(base_epoch: u64) -> Self {
+        Self {
+            base_epoch,
+            full: true,
+            ..Self::default()
+        }
+    }
+
+    /// True when nothing was recorded: the previous snapshot is still
+    /// exact and can be served as-is.
+    pub fn is_empty(&self) -> bool {
+        !self.full
+            && self.dirty_nodes.is_empty()
+            && self.removed_nodes.is_empty()
+            && self.dirty_edges.is_empty()
+            && self.dirty_edge_props.is_empty()
+    }
+
+    /// Total number of distinct recorded changes — the "O(changes)"
+    /// that incremental re-freeze work is proportional to.
+    pub fn change_count(&self) -> usize {
+        self.dirty_nodes.len()
+            + self.removed_nodes.len()
+            + self.dirty_edges.len()
+            + self.dirty_edge_props.len()
+    }
+
+    fn over_limit(&self) -> bool {
+        self.change_count() > SPILL_LIMIT
+    }
+}
+
+/// Records mutations between freezes on behalf of an engine.
+///
+/// Engines keep one of these (behind a `RefCell`, since snapshots are
+/// taken through `&self`), call the `touch_*` methods from every
+/// mutation path, and hand the accumulated [`FreezeDelta`] to the
+/// incremental re-freeze via [`DeltaTracker::take`].
+#[derive(Debug, Default)]
+pub struct DeltaTracker {
+    delta: FreezeDelta,
+}
+
+impl DeltaTracker {
+    /// A tracker whose delta is relative to epoch 0 (no snapshot yet);
+    /// it starts `full` so a re-freeze before any full freeze cannot
+    /// pretend to be incremental.
+    pub fn new() -> Self {
+        Self {
+            delta: FreezeDelta::full(0),
+        }
+    }
+
+    /// Records that a node was created or modified (label, properties,
+    /// or incident edge set). A touch cancels an earlier removal of the
+    /// same raw id: engines that recycle ids may delete a node and
+    /// re-create another under the same id within one delta window, and
+    /// the live view is then the only truth worth re-reading.
+    pub fn touch_node(&mut self, raw: u64) {
+        if self.delta.full {
+            return;
+        }
+        self.delta.removed_nodes.remove(&raw);
+        self.delta.dirty_nodes.insert(raw);
+        if self.delta.over_limit() {
+            self.mark_all();
+        }
+    }
+
+    /// Records that a node was deleted.
+    pub fn remove_node(&mut self, raw: u64) {
+        if self.delta.full {
+            return;
+        }
+        self.delta.dirty_nodes.remove(&raw);
+        self.delta.removed_nodes.insert(raw);
+        if self.delta.over_limit() {
+            self.mark_all();
+        }
+    }
+
+    /// Records that an edge was structurally removed.
+    pub fn remove_edge(&mut self, raw: u64) {
+        if self.delta.full {
+            return;
+        }
+        self.delta.dirty_edges.insert(raw);
+        if self.delta.over_limit() {
+            self.mark_all();
+        }
+    }
+
+    /// Records that an edge's property map changed.
+    pub fn touch_edge_props(&mut self, raw: u64) {
+        if self.delta.full {
+            return;
+        }
+        self.delta.dirty_edge_props.insert(raw);
+        if self.delta.over_limit() {
+            self.mark_all();
+        }
+    }
+
+    /// Degrades the delta to "everything changed". Used for mutations
+    /// the engine cannot attribute to specific ids (DDL, rollback,
+    /// hyperedge or nested-graph rewiring) and for spill.
+    pub fn mark_all(&mut self) {
+        let base = self.delta.base_epoch;
+        self.delta = FreezeDelta::full(base);
+    }
+
+    /// Read-only view of the accumulated delta.
+    pub fn peek(&self) -> &FreezeDelta {
+        &self.delta
+    }
+
+    /// Takes the accumulated delta and resets the tracker so it starts
+    /// recording against `next_base` (the epoch of the snapshot that is
+    /// about to be produced).
+    pub fn take(&mut self, next_base: u64) -> FreezeDelta {
+        std::mem::replace(&mut self.delta, FreezeDelta::empty(next_base))
+    }
+
+    /// Resets the tracker to an empty delta against `base` without
+    /// returning the old contents. Called after a *full* freeze, which
+    /// makes any previously recorded delta irrelevant.
+    pub fn reset(&mut self, base: u64) {
+        self.delta = FreezeDelta::empty(base);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_tracker_starts_full() {
+        let t = DeltaTracker::new();
+        assert!(t.peek().full);
+    }
+
+    #[test]
+    fn reset_then_touch_records_ids() {
+        let mut t = DeltaTracker::new();
+        t.reset(7);
+        t.touch_node(1);
+        t.touch_node(2);
+        t.remove_node(2);
+        t.remove_edge(9);
+        t.touch_edge_props(11);
+        let d = t.take(8);
+        assert_eq!(d.base_epoch, 7);
+        assert!(!d.full);
+        assert!(d.dirty_nodes.contains(&1));
+        assert!(!d.dirty_nodes.contains(&2), "removal supersedes dirty");
+        assert!(d.removed_nodes.contains(&2));
+        assert!(d.dirty_edges.contains(&9));
+        assert!(d.dirty_edge_props.contains(&11));
+        assert!(t.peek().is_empty());
+        assert_eq!(t.peek().base_epoch, 8);
+    }
+
+    #[test]
+    fn touch_after_remove_revives_recycled_id() {
+        let mut t = DeltaTracker::new();
+        t.reset(3);
+        t.remove_node(5);
+        t.touch_node(5);
+        let d = t.take(4);
+        assert!(d.dirty_nodes.contains(&5));
+        assert!(!d.removed_nodes.contains(&5), "touch cancels removal");
+    }
+
+    #[test]
+    fn mark_all_wins_and_swallows_later_touches() {
+        let mut t = DeltaTracker::new();
+        t.reset(1);
+        t.touch_node(1);
+        t.mark_all();
+        t.touch_node(2);
+        let d = t.take(2);
+        assert!(d.full);
+        assert!(d.dirty_nodes.is_empty());
+        assert_eq!(d.base_epoch, 1);
+    }
+
+    #[test]
+    fn change_count_sums_all_sets() {
+        let mut d = FreezeDelta::empty(0);
+        d.dirty_nodes.insert(1);
+        d.removed_nodes.insert(2);
+        d.dirty_edges.insert(3);
+        d.dirty_edge_props.insert(4);
+        assert_eq!(d.change_count(), 4);
+        assert!(!d.is_empty());
+        assert!(FreezeDelta::empty(5).is_empty());
+    }
+}

@@ -17,6 +17,7 @@
 //! * [`fxhash`] — an in-tree Fx-style hasher so hot maps keyed by ids do
 //!   not pay SipHash costs (see DESIGN.md §6).
 
+pub mod delta;
 pub mod error;
 pub mod fxhash;
 pub mod id;
@@ -26,6 +27,7 @@ pub mod support;
 pub mod value;
 pub mod view;
 
+pub use delta::{DeltaTracker, FreezeDelta};
 pub use error::{GdmError, InterruptReason, Result};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use id::{EdgeId, GraphId, NodeId};

@@ -16,12 +16,15 @@ use gdm_algo::adjacency::nodes_adjacent;
 use gdm_algo::analysis;
 use gdm_algo::planned::match_pattern_auto;
 use gdm_algo::summary;
-use gdm_core::{EdgeId, GdmError, GraphView, NodeId, PropertyMap, Result, Support, Value};
+use gdm_core::{
+    DeltaTracker, EdgeId, GdmError, GraphView, NodeId, PropertyMap, Result, Support, Value,
+};
 use gdm_graphs::rdf::{RdfGraph, Term};
 use gdm_query::datalog::Program;
 use gdm_query::eval::ResultSet;
 use gdm_query::lex::{Cursor, TokenKind};
 use gdm_query::sparql;
+use std::cell::RefCell;
 use std::path::{Path, PathBuf};
 
 const NAME: &str = "AllegroGraph";
@@ -32,6 +35,11 @@ pub struct AllegroEngine {
     next_node: u64,
     triples_path: PathBuf,
     tx_snapshot: Option<RdfGraph>,
+    /// Mutations since the last snapshot, for the O(changes)
+    /// incremental re-freeze. `RefCell` because snapshots are taken
+    /// through `&self` yet must reset the tracker (engines are not
+    /// `Send`, so this is uncontended).
+    delta: RefCell<DeltaTracker>,
 }
 
 impl AllegroEngine {
@@ -69,11 +77,15 @@ impl AllegroEngine {
             next_node,
             triples_path,
             tx_snapshot: None,
+            delta: RefCell::new(DeltaTracker::new()),
         })
     }
 
-    /// Direct triple interface (the RDF-native API).
+    /// Direct triple interface (the RDF-native API). Bypasses the
+    /// facade's per-node tracking, so it degrades the next re-freeze
+    /// to a full one.
     pub fn add_triple(&mut self, s: &Term, p: &Term, o: &Term) -> Result<EdgeId> {
+        self.delta.get_mut().mark_all();
         self.rdf.add(s, p, o)
     }
 
@@ -82,8 +94,10 @@ impl AllegroEngine {
         &self.rdf
     }
 
-    /// Mutable triple store access.
+    /// Mutable triple store access. Untracked, so it degrades the
+    /// next re-freeze to a full one.
     pub fn rdf_mut(&mut self) -> &mut RdfGraph {
+        self.delta.get_mut().mark_all();
         &mut self.rdf
     }
 
@@ -146,6 +160,9 @@ impl GraphEngine for AllegroEngine {
         let iri = Term::iri(format!("node:{}", self.next_node));
         self.next_node += 1;
         let id = self.rdf.intern(&iri);
+        // Not tracked: an interned term with no triples is invisible
+        // to the graph view (RDF nodes exist by incidence), so the
+        // snapshot delta must not mention it until an edge does.
         Ok(NodeId(u64::from(id)))
     }
 
@@ -164,7 +181,10 @@ impl GraphEngine for AllegroEngine {
         }
         let s = self.term_of(from)?;
         let o = self.term_of(to)?;
-        self.rdf.add(&s, &Term::iri(label), &o)
+        let e = self.rdf.add(&s, &Term::iri(label), &o)?;
+        self.delta.get_mut().touch_node(from.raw());
+        self.delta.get_mut().touch_node(to.raw());
+        Ok(e)
     }
 
     fn create_hyperedge(
@@ -199,11 +219,38 @@ impl GraphEngine for AllegroEngine {
     fn delete_node(&mut self, n: NodeId) -> Result<()> {
         // Remove every statement mentioning the resource.
         let term = self.term_of(n)?;
+        let mut neighbors: Vec<NodeId> = Vec::new();
+        self.rdf.visit_out_edges(n, &mut |e| neighbors.push(e.to));
+        self.rdf.visit_in_edges(n, &mut |e| neighbors.push(e.from));
         for (s, p, o) in self.rdf.match_terms(Some(&term), None, None) {
             self.rdf.remove(&s, &p, &o);
         }
         for (s, p, o) in self.rdf.match_terms(None, None, Some(&term)) {
             self.rdf.remove(&s, &p, &o);
+        }
+        // RDF nodes exist by triple incidence, so a neighbour left
+        // with no statements vanished from the view along with `n` —
+        // the delta must record it as removed, not merely dirty.
+        let survived: Vec<(NodeId, bool)> = neighbors
+            .iter()
+            .filter(|&&b| b != n)
+            .map(|&b| {
+                let mut still = false;
+                self.rdf.visit_out_edges(b, &mut |_| still = true);
+                if !still {
+                    self.rdf.visit_in_edges(b, &mut |_| still = true);
+                }
+                (b, still)
+            })
+            .collect();
+        let tracker = self.delta.get_mut();
+        tracker.remove_node(n.raw());
+        for (b, still) in survived {
+            if still {
+                tracker.touch_node(b.raw());
+            } else {
+                tracker.remove_node(b.raw());
+            }
         }
         Ok(())
     }
@@ -254,6 +301,9 @@ impl GraphEngine for AllegroEngine {
             &Term::iri("rdf:type"),
             &Term::iri("rdf:Property"),
         )?;
+        // The self-description triple makes the predicate term a
+        // subject — node ids the tracker never saw.
+        self.delta.get_mut().mark_all();
         Ok(())
     }
 
@@ -288,6 +338,9 @@ impl GraphEngine for AllegroEngine {
         } else {
             self.rdf.remove(&s, &p, &o);
         }
+        // Statement-level DML names terms, not node ids; the tracker
+        // cannot attribute the change, so the next re-freeze is full.
+        self.delta.get_mut().mark_all();
         Ok(())
     }
 
@@ -347,7 +400,16 @@ impl GraphEngine for AllegroEngine {
     }
 
     fn snapshot(&self) -> Result<gdm_algo::FrozenGraph> {
-        Ok(gdm_algo::FrozenGraph::freeze_attributed(&self.rdf))
+        let fz = gdm_algo::FrozenGraph::freeze_attributed(&self.rdf);
+        self.delta.borrow_mut().reset(fz.epoch());
+        Ok(fz)
+    }
+
+    fn refreeze(&self, prev: &gdm_algo::FrozenGraph) -> Result<gdm_algo::FrozenGraph> {
+        let delta = self.delta.borrow().peek().clone();
+        let next = gdm_algo::incremental_refreeze(&self.rdf, prev, &delta);
+        self.delta.borrow_mut().reset(next.epoch());
+        Ok(next)
     }
 
     fn default_limits(&self) -> gdm_govern::Limits {
@@ -404,6 +466,9 @@ impl GraphEngine for AllegroEngine {
             .take()
             .ok_or_else(|| GdmError::InvalidArgument("no open transaction".into()))?;
         self.rdf = snapshot;
+        // The rollback rewinds past everything tracked in the open
+        // transaction; the tracker cannot un-record, so degrade.
+        self.delta.get_mut().mark_all();
         Ok(())
     }
 

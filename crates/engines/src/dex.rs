@@ -17,13 +17,14 @@ use gdm_algo::paths::{fixed_length_paths, shortest_path};
 use gdm_algo::regular::{regular_path_exists, LabelRegex};
 use gdm_algo::summary;
 use gdm_core::{
-    AttributedView, Direction, EdgeId, FxHashMap, GdmError, GraphView, NodeId, PropertyMap, Result,
-    Support, Value,
+    AttributedView, DeltaTracker, Direction, EdgeId, FxHashMap, GdmError, GraphView, NodeId,
+    PropertyMap, Result, Support, Value,
 };
 use gdm_graphs::PropertyGraph;
 use gdm_query::eval::ResultSet;
 use gdm_schema::{validate, Constraint};
 use gdm_storage::{Bitmap, BitmapIndex, ValueIndex};
+use std::cell::RefCell;
 use std::path::{Path, PathBuf};
 
 const NAME: &str = "DEX";
@@ -41,6 +42,10 @@ pub struct DexEngine {
     constraints: Vec<Constraint>,
     snapshot_path: PathBuf,
     tx_snapshot: Option<PropertyGraph>,
+    /// Mutations since the last snapshot, for the O(changes)
+    /// incremental re-freeze (`RefCell`: snapshots reset it through
+    /// `&self`; engines are not `Send`, so access is uncontended).
+    delta: RefCell<DeltaTracker>,
 }
 
 impl DexEngine {
@@ -60,6 +65,7 @@ impl DexEngine {
             constraints: Vec::new(),
             snapshot_path,
             tx_snapshot: None,
+            delta: RefCell::new(DeltaTracker::new()),
         };
         engine.rebuild_bitmaps();
         Ok(engine)
@@ -161,6 +167,7 @@ impl GraphEngine for DexEngine {
                 index.insert(v, n.raw());
             }
         }
+        self.delta.get_mut().touch_node(n.raw());
         Ok(n)
     }
 
@@ -182,6 +189,8 @@ impl GraphEngine for DexEngine {
             .entry(label.to_owned())
             .or_default()
             .insert(e.raw());
+        self.delta.get_mut().touch_node(from.raw());
+        self.delta.get_mut().touch_node(to.raw());
         Ok(e)
     }
 
@@ -204,6 +213,9 @@ impl GraphEngine for DexEngine {
 
     fn set_node_attribute(&mut self, n: NodeId, key: &str, value: Value) -> Result<()> {
         let old = self.graph.set_node_property(n, key, value.clone())?;
+        // Track immediately: even the constraint-violation path leaves
+        // the node's property list rewritten (restore or Null-out).
+        self.delta.get_mut().touch_node(n.raw());
         if let Err(e) = self.check_constraints() {
             match old {
                 Some(v) => {
@@ -228,6 +240,7 @@ impl GraphEngine for DexEngine {
 
     fn set_edge_attribute(&mut self, e: EdgeId, key: &str, value: Value) -> Result<()> {
         self.graph.set_edge_property(e, key, value)?;
+        self.delta.get_mut().touch_edge_props(e.raw());
         Ok(())
     }
 
@@ -248,6 +261,7 @@ impl GraphEngine for DexEngine {
             let _ = index;
         }
         self.rebuild_bitmaps();
+        self.delta.get_mut().remove_node(n.raw());
         Ok(())
     }
 
@@ -257,6 +271,7 @@ impl GraphEngine for DexEngine {
         if let Some(bm) = self.edge_type_bitmaps.get_mut(&label) {
             bm.remove(e.raw());
         }
+        self.delta.get_mut().remove_edge(e.raw());
         Ok(())
     }
 
@@ -356,7 +371,16 @@ impl GraphEngine for DexEngine {
     }
 
     fn snapshot(&self) -> Result<gdm_algo::FrozenGraph> {
-        Ok(gdm_algo::FrozenGraph::freeze_attributed(&self.graph))
+        let fz = gdm_algo::FrozenGraph::freeze_attributed(&self.graph);
+        self.delta.borrow_mut().reset(fz.epoch());
+        Ok(fz)
+    }
+
+    fn refreeze(&self, prev: &gdm_algo::FrozenGraph) -> Result<gdm_algo::FrozenGraph> {
+        let delta = self.delta.borrow().peek().clone();
+        let next = gdm_algo::incremental_refreeze(&self.graph, prev, &delta);
+        self.delta.borrow_mut().reset(next.epoch());
+        Ok(next)
     }
 
     fn default_limits(&self) -> gdm_govern::Limits {
@@ -405,6 +429,9 @@ impl GraphEngine for DexEngine {
             .ok_or_else(|| GdmError::InvalidArgument("no open transaction".into()))?;
         self.graph = snapshot;
         self.rebuild_bitmaps();
+        // The rollback rewinds past everything tracked in the open
+        // transaction; the tracker cannot un-record, so degrade.
+        self.delta.get_mut().mark_all();
         Ok(())
     }
 

@@ -717,6 +717,13 @@ impl<F: WalFs> GraphEngine for DurableEngine<F> {
         self.inner.snapshot()
     }
 
+    fn refreeze(&self, prev: &gdm_algo::FrozenGraph) -> Result<gdm_algo::FrozenGraph> {
+        // The WAL wrapper mutates only through the inner engine's typed
+        // API, so the inner delta tracker has seen every change and its
+        // incremental path applies unchanged.
+        self.inner.refreeze(prev)
+    }
+
     fn default_limits(&self) -> gdm_govern::Limits {
         // Durability does not change the emulated engine's governor
         // profile.

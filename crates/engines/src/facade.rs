@@ -256,6 +256,22 @@ pub trait GraphEngine {
         ))
     }
 
+    /// Refreshes a previously taken snapshot to the engine's current
+    /// state. Engines record their mutations in a
+    /// [`gdm_core::DeltaTracker`] and override this with the
+    /// O(changes) incremental re-freeze
+    /// ([`gdm_algo::incremental_refreeze`]), patching only the CSR
+    /// rows and index segments the delta touches and sharing the rest
+    /// with `prev`. The default falls back to a full
+    /// [`GraphEngine::snapshot`]. Either way the result is
+    /// content-identical to a fresh full snapshot — incrementality is
+    /// a cost property, never a semantic one — and carries a new
+    /// epoch, so serving layers can swap it in and key caches off it.
+    fn refreeze(&self, prev: &gdm_algo::FrozenGraph) -> Result<gdm_algo::FrozenGraph> {
+        let _ = prev;
+        self.snapshot()
+    }
+
     /// Everything a network serving layer needs to answer read queries
     /// for this engine from worker threads: the point-in-time CSR
     /// snapshot plus the engine's identity and default limits.

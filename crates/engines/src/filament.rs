@@ -14,10 +14,12 @@ use crate::vertexdb::summarize_simple;
 use gdm_algo::adjacency::{k_neighborhood, nodes_adjacent};
 use gdm_algo::regular::{regular_path_exists, LabelRegex};
 use gdm_core::{
-    Direction, EdgeId, GdmError, GraphView, NodeId, PropertyMap, Result, Support, Value,
+    DeltaTracker, Direction, EdgeId, GdmError, GraphView, NodeId, PropertyMap, Result, Support,
+    Value,
 };
 use gdm_query::eval::ResultSet;
 use gdm_storage::MemKv;
+use std::cell::RefCell;
 use std::path::Path;
 
 const NAME: &str = "Filament";
@@ -25,6 +27,10 @@ const NAME: &str = "Filament";
 /// The Filament emulation.
 pub struct FilamentEngine {
     graph: KvGraph,
+    /// Mutations since the last snapshot, for the O(changes)
+    /// incremental re-freeze (`RefCell`: snapshots reset it through
+    /// `&self`; engines are not `Send`, so access is uncontended).
+    delta: RefCell<DeltaTracker>,
 }
 
 impl FilamentEngine {
@@ -34,6 +40,7 @@ impl FilamentEngine {
     pub fn open(_dir: &Path) -> Result<Self> {
         Ok(Self {
             graph: KvGraph::new(Box::new(MemKv::new()))?,
+            delta: RefCell::new(DeltaTracker::new()),
         })
     }
 
@@ -65,7 +72,9 @@ impl GraphEngine for FilamentEngine {
         if !props.is_empty() {
             return self.unsupported("node attributes (simple graph model)");
         }
-        self.graph.add_node(None, &props)
+        let n = self.graph.add_node(None, &props)?;
+        self.delta.get_mut().touch_node(n.raw());
+        Ok(n)
     }
 
     fn create_edge(
@@ -78,7 +87,10 @@ impl GraphEngine for FilamentEngine {
         if !props.is_empty() {
             return self.unsupported("edge attributes (simple graph model)");
         }
-        self.graph.add_edge(from, to, label, &props)
+        let e = self.graph.add_edge(from, to, label, &props)?;
+        self.delta.get_mut().touch_node(from.raw());
+        self.delta.get_mut().touch_node(to.raw());
+        Ok(e)
     }
 
     fn create_hyperedge(
@@ -111,11 +123,15 @@ impl GraphEngine for FilamentEngine {
     }
 
     fn delete_node(&mut self, n: NodeId) -> Result<()> {
-        self.graph.delete_node(n)
+        self.graph.delete_node(n)?;
+        self.delta.get_mut().remove_node(n.raw());
+        Ok(())
     }
 
     fn delete_edge(&mut self, e: EdgeId) -> Result<()> {
-        self.graph.delete_edge(e)
+        self.graph.delete_edge(e)?;
+        self.delta.get_mut().remove_edge(e.raw());
+        Ok(())
     }
 
     fn node_count(&self) -> usize {
@@ -184,7 +200,16 @@ impl GraphEngine for FilamentEngine {
     }
 
     fn snapshot(&self) -> Result<gdm_algo::FrozenGraph> {
-        Ok(gdm_algo::FrozenGraph::freeze(&self.graph))
+        let fz = gdm_algo::FrozenGraph::freeze(&self.graph);
+        self.delta.borrow_mut().reset(fz.epoch());
+        Ok(fz)
+    }
+
+    fn refreeze(&self, prev: &gdm_algo::FrozenGraph) -> Result<gdm_algo::FrozenGraph> {
+        let delta = self.delta.borrow().peek().clone();
+        let next = gdm_algo::incremental_refreeze_structural(&self.graph, prev, &delta);
+        self.delta.borrow_mut().reset(next.epoch());
+        Ok(next)
     }
 
     fn default_limits(&self) -> gdm_govern::Limits {

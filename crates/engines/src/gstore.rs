@@ -16,8 +16,8 @@ use gdm_algo::adjacency::{k_neighborhood, nodes_adjacent};
 use gdm_algo::paths::{fixed_length_paths, shortest_path};
 use gdm_algo::regular::{regular_path_exists, LabelRegex};
 use gdm_core::{
-    Direction, EdgeId, EdgeRef, FxHashMap, GdmError, GraphView, Interner, NodeId, PropertyMap,
-    Result, Support, Symbol, Value,
+    DeltaTracker, Direction, EdgeId, EdgeRef, FxHashMap, GdmError, GraphView, Interner, NodeId,
+    PropertyMap, Result, Support, Symbol, Value,
 };
 use gdm_query::eval::ResultSet;
 use gdm_query::gsql::{self, GsqlStatement};
@@ -47,6 +47,10 @@ pub struct GStoreEngine {
     next_node: u64,
     next_edge: u64,
     path: PathBuf,
+    /// Mutations since the last snapshot, for the O(changes)
+    /// incremental re-freeze (`RefCell`: snapshots reset it through
+    /// `&self`; engines are not `Send`, so access is uncontended).
+    delta: RefCell<DeltaTracker>,
 }
 
 impl GStoreEngine {
@@ -67,6 +71,7 @@ impl GStoreEngine {
             next_node: 0,
             next_edge: 0,
             path: path.to_path_buf(),
+            delta: RefCell::new(DeltaTracker::new()),
         };
         engine.rebuild_maps()?;
         Ok(engine)
@@ -377,6 +382,7 @@ impl GraphEngine for GStoreEngine {
         let rid = self.heap.borrow_mut().insert(&rec.encode())?;
         let sym = label.map(|l| self.interner.intern(l));
         self.nodes.insert(id, (rid, sym));
+        self.delta.get_mut().touch_node(id);
         Ok(NodeId(id))
     }
 
@@ -406,6 +412,8 @@ impl GraphEngine for GStoreEngine {
             .entry(to.raw())
             .or_default()
             .push((edge, from.raw()));
+        self.delta.get_mut().touch_node(from.raw());
+        self.delta.get_mut().touch_node(to.raw());
         Ok(EdgeId(edge))
     }
 
@@ -457,6 +465,7 @@ impl GraphEngine for GStoreEngine {
         }
         let (rid, _) = self.nodes.remove(&n.raw()).expect("checked by read_record");
         self.heap.borrow_mut().delete(rid)?;
+        self.delta.get_mut().remove_node(n.raw());
         Ok(())
     }
 
@@ -471,6 +480,7 @@ impl GraphEngine for GStoreEngine {
         if let Some(list) = self.in_edges.get_mut(&to) {
             list.retain(|(edge, _)| *edge != e.raw());
         }
+        self.delta.get_mut().remove_edge(e.raw());
         Ok(())
     }
 
@@ -557,7 +567,16 @@ impl GraphEngine for GStoreEngine {
     }
 
     fn snapshot(&self) -> Result<gdm_algo::FrozenGraph> {
-        Ok(gdm_algo::FrozenGraph::freeze(self))
+        let fz = gdm_algo::FrozenGraph::freeze(self);
+        self.delta.borrow_mut().reset(fz.epoch());
+        Ok(fz)
+    }
+
+    fn refreeze(&self, prev: &gdm_algo::FrozenGraph) -> Result<gdm_algo::FrozenGraph> {
+        let delta = self.delta.borrow().peek().clone();
+        let next = gdm_algo::incremental_refreeze_structural(self, prev, &delta);
+        self.delta.borrow_mut().reset(next.epoch());
+        Ok(next)
     }
 
     fn default_limits(&self) -> gdm_govern::Limits {

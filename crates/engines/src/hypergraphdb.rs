@@ -12,12 +12,14 @@
 use crate::facade::{AnalysisFunc, EngineDescriptor, GraphEngine, SummaryFunc};
 use gdm_algo::summary;
 use gdm_core::{
-    Direction, EdgeId, FxHashMap, GdmError, GraphView, NodeId, PropertyMap, Result, Support, Value,
+    DeltaTracker, Direction, EdgeId, FxHashMap, GdmError, GraphView, NodeId, PropertyMap, Result,
+    Support, Value,
 };
 use gdm_graphs::hyper::{AtomId, HyperGraph};
 use gdm_query::eval::ResultSet;
 use gdm_schema::{Constraint, NodeTypeDef, Schema};
 use gdm_storage::{HashIndex, ValueIndex};
+use std::cell::RefCell;
 use std::path::{Path, PathBuf};
 
 const NAME: &str = "HyperGraphDB";
@@ -33,6 +35,11 @@ pub struct HyperGraphDbEngine {
     indexes: FxHashMap<String, HashIndex>,
     snapshot_path: PathBuf,
     tx_snapshot: Option<HyperGraph>,
+    /// Mutations since the last snapshot, for the O(changes)
+    /// incremental re-freeze of the two-section view (`RefCell`:
+    /// snapshots reset it through `&self`; engines are not `Send`, so
+    /// access is uncontended).
+    delta: RefCell<DeltaTracker>,
 }
 
 impl HyperGraphDbEngine {
@@ -52,6 +59,7 @@ impl HyperGraphDbEngine {
             indexes: FxHashMap::default(),
             snapshot_path,
             tx_snapshot: None,
+            delta: RefCell::new(DeltaTracker::new()),
         })
     }
 
@@ -147,6 +155,7 @@ impl GraphEngine for HyperGraphDbEngine {
         self.check_new_atom(label, &props)?;
         let id = self.atoms.add_node(label, props.clone());
         self.index_atom(id, &props);
+        self.delta.get_mut().touch_node(id.raw());
         Ok(NodeId(id.raw()))
     }
 
@@ -165,6 +174,8 @@ impl GraphEngine for HyperGraphDbEngine {
             props.clone(),
         )?;
         self.index_atom(id, &props);
+        self.delta.get_mut().touch_node(from.raw());
+        self.delta.get_mut().touch_node(to.raw());
         Ok(EdgeId(id.raw()))
     }
 
@@ -178,6 +189,11 @@ impl GraphEngine for HyperGraphDbEngine {
         let atoms: Vec<AtomId> = targets.iter().map(|n| AtomId(n.raw())).collect();
         let id = self.atoms.add_link(label, &atoms, props.clone())?;
         self.index_atom(id, &props);
+        // The two-section projection adds pairwise edges among the
+        // targets, so every target's row changes.
+        for t in targets {
+            self.delta.get_mut().touch_node(t.raw());
+        }
         Ok(EdgeId(id.raw()))
     }
 
@@ -187,6 +203,9 @@ impl GraphEngine for HyperGraphDbEngine {
             &[AtomId(from.raw()), AtomId(to.raw())],
             PropertyMap::new(),
         )?;
+        // A link over another link projects onto the two-section view
+        // in ways the per-node tracker cannot attribute; degrade.
+        self.delta.get_mut().mark_all();
         Ok(EdgeId(id.raw()))
     }
 
@@ -200,11 +219,15 @@ impl GraphEngine for HyperGraphDbEngine {
         if let Some(index) = self.indexes.get_mut(key) {
             index.insert(&value, n.raw());
         }
+        self.delta.get_mut().touch_node(n.raw());
         Ok(())
     }
 
     fn set_edge_attribute(&mut self, e: EdgeId, key: &str, value: Value) -> Result<()> {
-        self.atoms.set_property(AtomId(e.raw()), key, value)
+        self.atoms.set_property(AtomId(e.raw()), key, value)?;
+        // Every two-section pair of this link carries the link's id.
+        self.delta.get_mut().touch_edge_props(e.raw());
+        Ok(())
     }
 
     fn node_attribute(&self, n: NodeId, key: &str) -> Result<Option<Value>> {
@@ -215,11 +238,18 @@ impl GraphEngine for HyperGraphDbEngine {
     }
 
     fn delete_node(&mut self, n: NodeId) -> Result<()> {
-        self.atoms.remove_atom(AtomId(n.raw()), true)
+        self.atoms.remove_atom(AtomId(n.raw()), true)?;
+        // The cascade also removes incident links, but every pair
+        // those links projected runs through this node's two-section
+        // neighbours, which the re-freeze re-reads.
+        self.delta.get_mut().remove_node(n.raw());
+        Ok(())
     }
 
     fn delete_edge(&mut self, e: EdgeId) -> Result<()> {
-        self.atoms.remove_atom(AtomId(e.raw()), true)
+        self.atoms.remove_atom(AtomId(e.raw()), true)?;
+        self.delta.get_mut().remove_edge(e.raw());
+        Ok(())
     }
 
     fn node_count(&self) -> usize {
@@ -305,9 +335,16 @@ impl GraphEngine for HyperGraphDbEngine {
     }
 
     fn snapshot(&self) -> Result<gdm_algo::FrozenGraph> {
-        Ok(gdm_algo::FrozenGraph::freeze_attributed(
-            &self.atoms.two_section(),
-        ))
+        let fz = gdm_algo::FrozenGraph::freeze_attributed(&self.atoms.two_section());
+        self.delta.borrow_mut().reset(fz.epoch());
+        Ok(fz)
+    }
+
+    fn refreeze(&self, prev: &gdm_algo::FrozenGraph) -> Result<gdm_algo::FrozenGraph> {
+        let delta = self.delta.borrow().peek().clone();
+        let next = gdm_algo::incremental_refreeze(&self.atoms.two_section(), prev, &delta);
+        self.delta.borrow_mut().reset(next.epoch());
+        Ok(next)
     }
 
     fn default_limits(&self) -> gdm_govern::Limits {
@@ -379,6 +416,9 @@ impl GraphEngine for HyperGraphDbEngine {
             .take()
             .ok_or_else(|| GdmError::InvalidArgument("no open transaction".into()))?;
         self.atoms = snapshot;
+        // The rollback rewinds past everything tracked in the open
+        // transaction; the tracker cannot un-record, so degrade.
+        self.delta.get_mut().mark_all();
         Ok(())
     }
 

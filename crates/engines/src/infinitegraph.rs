@@ -18,14 +18,15 @@ use gdm_algo::paths::{fixed_length_paths, shortest_path};
 use gdm_algo::regular::{regular_path_exists, LabelRegex};
 use gdm_algo::summary;
 use gdm_core::{
-    AttributedView, Direction, EdgeId, FxHashMap, GdmError, GraphView, NodeId, PropertyMap, Result,
-    Support, Value,
+    AttributedView, DeltaTracker, Direction, EdgeId, FxHashMap, GdmError, GraphView, NodeId,
+    PropertyMap, Result, Support, Value,
 };
 use gdm_graphs::partitioned::{PartitionedGraph, Strategy};
 use gdm_graphs::PropertyGraph;
 use gdm_query::eval::ResultSet;
 use gdm_schema::{validate, Constraint};
 use gdm_storage::{BTreeIndex, ValueIndex};
+use std::cell::RefCell;
 use std::path::{Path, PathBuf};
 
 const NAME: &str = "InfiniteGraph";
@@ -40,6 +41,10 @@ pub struct InfiniteGraphEngine {
     constraints: Vec<Constraint>,
     snapshot_path: PathBuf,
     tx_snapshot: Option<(PropertyGraph, FxHashMap<u64, u32>)>,
+    /// Mutations since the last snapshot, for the O(changes)
+    /// incremental re-freeze (`RefCell`: snapshots reset it through
+    /// `&self`; engines are not `Send`, so access is uncontended).
+    delta: RefCell<DeltaTracker>,
 }
 
 impl InfiniteGraphEngine {
@@ -65,6 +70,7 @@ impl InfiniteGraphEngine {
             constraints: Vec::new(),
             snapshot_path,
             tx_snapshot: None,
+            delta: RefCell::new(DeltaTracker::new()),
         };
         let mut nodes = Vec::new();
         engine.graph.visit_nodes(&mut |n| nodes.push(n));
@@ -151,6 +157,7 @@ impl GraphEngine for InfiniteGraphEngine {
                 index.insert(v, n.raw());
             }
         }
+        self.delta.get_mut().touch_node(n.raw());
         Ok(n)
     }
 
@@ -169,6 +176,8 @@ impl GraphEngine for InfiniteGraphEngine {
             self.graph.remove_edge(e)?;
             return Err(err);
         }
+        self.delta.get_mut().touch_node(from.raw());
+        self.delta.get_mut().touch_node(to.raw());
         Ok(e)
     }
 
@@ -191,6 +200,7 @@ impl GraphEngine for InfiniteGraphEngine {
 
     fn set_node_attribute(&mut self, n: NodeId, key: &str, value: Value) -> Result<()> {
         let old = self.graph.set_node_property(n, key, value.clone())?;
+        self.delta.get_mut().touch_node(n.raw());
         if let Err(e) = self.check_constraints() {
             if let Some(v) = old {
                 self.graph.set_node_property(n, key, v)?;
@@ -208,6 +218,7 @@ impl GraphEngine for InfiniteGraphEngine {
 
     fn set_edge_attribute(&mut self, e: EdgeId, key: &str, value: Value) -> Result<()> {
         self.graph.set_edge_property(e, key, value)?;
+        self.delta.get_mut().touch_edge_props(e.raw());
         Ok(())
     }
 
@@ -219,11 +230,14 @@ impl GraphEngine for InfiniteGraphEngine {
     fn delete_node(&mut self, n: NodeId) -> Result<()> {
         self.graph.remove_node(n)?;
         self.partition_of.remove(&n.raw());
+        self.delta.get_mut().remove_node(n.raw());
         Ok(())
     }
 
     fn delete_edge(&mut self, e: EdgeId) -> Result<()> {
-        self.graph.remove_edge(e)
+        self.graph.remove_edge(e)?;
+        self.delta.get_mut().remove_edge(e.raw());
+        Ok(())
     }
 
     fn node_count(&self) -> usize {
@@ -305,7 +319,16 @@ impl GraphEngine for InfiniteGraphEngine {
     }
 
     fn snapshot(&self) -> Result<gdm_algo::FrozenGraph> {
-        Ok(gdm_algo::FrozenGraph::freeze_attributed(&self.graph))
+        let fz = gdm_algo::FrozenGraph::freeze_attributed(&self.graph);
+        self.delta.borrow_mut().reset(fz.epoch());
+        Ok(fz)
+    }
+
+    fn refreeze(&self, prev: &gdm_algo::FrozenGraph) -> Result<gdm_algo::FrozenGraph> {
+        let delta = self.delta.borrow().peek().clone();
+        let next = gdm_algo::incremental_refreeze(&self.graph, prev, &delta);
+        self.delta.borrow_mut().reset(next.epoch());
+        Ok(next)
     }
 
     fn default_limits(&self) -> gdm_govern::Limits {
@@ -353,6 +376,9 @@ impl GraphEngine for InfiniteGraphEngine {
             .ok_or_else(|| GdmError::InvalidArgument("no open transaction".into()))?;
         self.graph = graph;
         self.partition_of = partitions;
+        // The rollback rewinds past everything tracked in the open
+        // transaction; the tracker cannot un-record, so degrade.
+        self.delta.get_mut().mark_all();
         Ok(())
     }
 

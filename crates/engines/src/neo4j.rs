@@ -18,12 +18,13 @@ use gdm_algo::paths::{fixed_length_paths, shortest_path};
 use gdm_algo::regular::{regular_path_exists, LabelRegex};
 use gdm_algo::summary;
 use gdm_core::{
-    AttributedView, Direction, EdgeId, EdgeRef, FxHashMap, GdmError, GraphView, Interner, NodeId,
-    PropertyMap, Result, Support, Symbol, Value,
+    AttributedView, DeltaTracker, Direction, EdgeId, EdgeRef, FxHashMap, GdmError, GraphView,
+    Interner, NodeId, PropertyMap, Result, Support, Symbol, Value,
 };
 use gdm_query::cypher::{self, CypherStatement};
 use gdm_query::eval::{evaluate_select, ResultSet};
 use gdm_storage::{BTreeIndex, RecordStore, ValueIndex};
+use std::cell::RefCell;
 use std::path::{Path, PathBuf};
 
 const NAME: &str = "Neo4j";
@@ -37,6 +38,10 @@ pub struct Neo4jEngine {
     store_path: PathBuf,
     tokens_path: PathBuf,
     tx_snapshot: Option<RecordStore>,
+    /// Mutations since the last snapshot, for the O(changes)
+    /// incremental re-freeze (`RefCell`: snapshots reset it through
+    /// `&self`; engines are not `Send`, so access is uncontended).
+    delta: RefCell<DeltaTracker>,
 }
 
 /// Read view over the record store, used by the generic algorithms and
@@ -165,6 +170,7 @@ impl Neo4jEngine {
             store_path,
             tokens_path,
             tx_snapshot: None,
+            delta: RefCell::new(DeltaTracker::new()),
         })
     }
 
@@ -216,6 +222,7 @@ impl GraphEngine for Neo4jEngine {
                 index.insert(v, u64::from(id));
             }
         }
+        self.delta.get_mut().touch_node(u64::from(id));
         Ok(NodeId(u64::from(id)))
     }
 
@@ -237,6 +244,8 @@ impl GraphEngine for Neo4jEngine {
             let key = self.tokens.intern(k).raw();
             self.store.set_rel_prop(rel, key, v.clone())?;
         }
+        self.delta.get_mut().touch_node(from.raw());
+        self.delta.get_mut().touch_node(to.raw());
         Ok(EdgeId(u64::from(rel)))
     }
 
@@ -271,12 +280,15 @@ impl GraphEngine for Neo4jEngine {
             }
             index.insert(&value, n.raw());
         }
+        self.delta.get_mut().touch_node(n.raw());
         Ok(())
     }
 
     fn set_edge_attribute(&mut self, e: EdgeId, key: &str, value: Value) -> Result<()> {
         let token = self.tokens.intern(key).raw();
-        self.store.set_rel_prop(e.raw() as u32, token, value)
+        self.store.set_rel_prop(e.raw() as u32, token, value)?;
+        self.delta.get_mut().touch_edge_props(e.raw());
+        Ok(())
     }
 
     fn node_attribute(&self, n: NodeId, key: &str) -> Result<Option<Value>> {
@@ -289,11 +301,18 @@ impl GraphEngine for Neo4jEngine {
 
     fn delete_node(&mut self, n: NodeId) -> Result<()> {
         let id = self.node_u32(n)?;
-        self.store.delete_node(id)
+        self.store.delete_node(id)?;
+        // The detach-delete cascade only removes relationships
+        // incident on `n`; the re-freeze re-reads `n`'s previous
+        // neighbours, which covers them.
+        self.delta.get_mut().remove_node(n.raw());
+        Ok(())
     }
 
     fn delete_edge(&mut self, e: EdgeId) -> Result<()> {
-        self.store.delete_rel(e.raw() as u32)
+        self.store.delete_rel(e.raw() as u32)?;
+        self.delta.get_mut().remove_edge(e.raw());
+        Ok(())
     }
 
     fn node_count(&self) -> usize {
@@ -401,7 +420,16 @@ impl GraphEngine for Neo4jEngine {
     }
 
     fn snapshot(&self) -> Result<gdm_algo::FrozenGraph> {
-        Ok(gdm_algo::FrozenGraph::freeze_attributed(&self.view()))
+        let fz = gdm_algo::FrozenGraph::freeze_attributed(&self.view());
+        self.delta.borrow_mut().reset(fz.epoch());
+        Ok(fz)
+    }
+
+    fn refreeze(&self, prev: &gdm_algo::FrozenGraph) -> Result<gdm_algo::FrozenGraph> {
+        let delta = self.delta.borrow().peek().clone();
+        let next = gdm_algo::incremental_refreeze(&self.view(), prev, &delta);
+        self.delta.borrow_mut().reset(next.epoch());
+        Ok(next)
     }
 
     fn default_limits(&self) -> gdm_govern::Limits {
@@ -455,6 +483,9 @@ impl GraphEngine for Neo4jEngine {
         for key in keys {
             self.create_index(&key)?;
         }
+        // The rollback rewinds past everything tracked in the open
+        // transaction; the tracker cannot un-record, so degrade.
+        self.delta.get_mut().mark_all();
         Ok(())
     }
 

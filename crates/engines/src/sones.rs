@@ -19,7 +19,8 @@ use gdm_algo::adjacency::nodes_adjacent;
 use gdm_algo::analysis;
 use gdm_algo::summary;
 use gdm_core::{
-    Direction, EdgeId, FxHashMap, GdmError, GraphView, NodeId, PropertyMap, Result, Support, Value,
+    DeltaTracker, Direction, EdgeId, FxHashMap, GdmError, GraphView, NodeId, PropertyMap, Result,
+    Support, Value,
 };
 use gdm_graphs::hyper::{AtomId, HyperGraph};
 use gdm_query::eval::{evaluate_select, ResultSet};
@@ -28,6 +29,7 @@ use gdm_schema::{
     Cardinality, Constraint, EdgeTypeDef, NodeTypeDef, PropertyType, Schema, ValueType,
 };
 use gdm_storage::{HashIndex, ValueIndex};
+use std::cell::RefCell;
 
 const NAME: &str = "Sones";
 
@@ -39,6 +41,11 @@ pub struct SonesEngine {
     cardinalities: Vec<(String, Cardinality)>,
     indexes: FxHashMap<String, HashIndex>,
     tx_snapshot: Option<HyperGraph>,
+    /// Mutations since the last snapshot, for the O(changes)
+    /// incremental re-freeze of the two-section view (`RefCell`:
+    /// snapshots reset it through `&self`; engines are not `Send`, so
+    /// access is uncontended).
+    delta: RefCell<DeltaTracker>,
 }
 
 impl Default for SonesEngine {
@@ -57,6 +64,7 @@ impl SonesEngine {
             cardinalities: Vec::new(),
             indexes: FxHashMap::default(),
             tx_snapshot: None,
+            delta: RefCell::new(DeltaTracker::new()),
         }
     }
 
@@ -185,6 +193,7 @@ impl GraphEngine for SonesEngine {
         self.check_identity(label, &props)?;
         let id = self.atoms.add_node(label, props.clone());
         self.index_atom(id, &props);
+        self.delta.get_mut().touch_node(id.raw());
         Ok(NodeId(id.raw()))
     }
 
@@ -200,6 +209,8 @@ impl GraphEngine for SonesEngine {
         let id = self
             .atoms
             .add_link(label, &[AtomId(from.raw()), AtomId(to.raw())], props)?;
+        self.delta.get_mut().touch_node(from.raw());
+        self.delta.get_mut().touch_node(to.raw());
         Ok(EdgeId(id.raw()))
     }
 
@@ -211,6 +222,11 @@ impl GraphEngine for SonesEngine {
     ) -> Result<EdgeId> {
         let atoms: Vec<AtomId> = targets.iter().map(|n| AtomId(n.raw())).collect();
         let id = self.atoms.add_link(label, &atoms, props)?;
+        // The two-section projection adds pairwise edges among the
+        // targets, so every target's row changes.
+        for t in targets {
+            self.delta.get_mut().touch_node(t.raw());
+        }
         Ok(EdgeId(id.raw()))
     }
 
@@ -220,6 +236,9 @@ impl GraphEngine for SonesEngine {
             &[AtomId(from.raw()), AtomId(to.raw())],
             PropertyMap::new(),
         )?;
+        // A link over another link projects onto the two-section view
+        // in ways the per-node tracker cannot attribute; degrade.
+        self.delta.get_mut().mark_all();
         Ok(EdgeId(id.raw()))
     }
 
@@ -233,11 +252,15 @@ impl GraphEngine for SonesEngine {
         if let Some(index) = self.indexes.get_mut(key) {
             index.insert(&value, n.raw());
         }
+        self.delta.get_mut().touch_node(n.raw());
         Ok(())
     }
 
     fn set_edge_attribute(&mut self, e: EdgeId, key: &str, value: Value) -> Result<()> {
-        self.atoms.set_property(AtomId(e.raw()), key, value)
+        self.atoms.set_property(AtomId(e.raw()), key, value)?;
+        // Every two-section pair of this link carries the link's id.
+        self.delta.get_mut().touch_edge_props(e.raw());
+        Ok(())
     }
 
     fn node_attribute(&self, n: NodeId, key: &str) -> Result<Option<Value>> {
@@ -248,11 +271,18 @@ impl GraphEngine for SonesEngine {
     }
 
     fn delete_node(&mut self, n: NodeId) -> Result<()> {
-        self.atoms.remove_atom(AtomId(n.raw()), true)
+        self.atoms.remove_atom(AtomId(n.raw()), true)?;
+        // The cascade also removes incident links, but every pair
+        // those links projected runs through this node's two-section
+        // neighbours, which the re-freeze re-reads.
+        self.delta.get_mut().remove_node(n.raw());
+        Ok(())
     }
 
     fn delete_edge(&mut self, e: EdgeId) -> Result<()> {
-        self.atoms.remove_atom(AtomId(e.raw()), true)
+        self.atoms.remove_atom(AtomId(e.raw()), true)?;
+        self.delta.get_mut().remove_edge(e.raw());
+        Ok(())
     }
 
     fn node_count(&self) -> usize {
@@ -424,9 +454,16 @@ impl GraphEngine for SonesEngine {
     }
 
     fn snapshot(&self) -> Result<gdm_algo::FrozenGraph> {
-        Ok(gdm_algo::FrozenGraph::freeze_attributed(
-            &self.atoms.two_section(),
-        ))
+        let fz = gdm_algo::FrozenGraph::freeze_attributed(&self.atoms.two_section());
+        self.delta.borrow_mut().reset(fz.epoch());
+        Ok(fz)
+    }
+
+    fn refreeze(&self, prev: &gdm_algo::FrozenGraph) -> Result<gdm_algo::FrozenGraph> {
+        let delta = self.delta.borrow().peek().clone();
+        let next = gdm_algo::incremental_refreeze(&self.atoms.two_section(), prev, &delta);
+        self.delta.borrow_mut().reset(next.epoch());
+        Ok(next)
     }
 
     fn default_limits(&self) -> gdm_govern::Limits {
@@ -498,6 +535,9 @@ impl GraphEngine for SonesEngine {
             .take()
             .ok_or_else(|| GdmError::InvalidArgument("no open transaction".into()))?;
         self.atoms = snapshot;
+        // The rollback rewinds past everything tracked in the open
+        // transaction; the tracker cannot un-record, so degrade.
+        self.delta.get_mut().mark_all();
         Ok(())
     }
 

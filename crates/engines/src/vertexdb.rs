@@ -17,10 +17,12 @@ use gdm_algo::paths::fixed_length_paths;
 use gdm_algo::regular::{regular_path_exists, LabelRegex};
 use gdm_algo::summary;
 use gdm_core::{
-    Direction, EdgeId, GdmError, GraphView, NodeId, PropertyMap, Result, Support, Value,
+    DeltaTracker, Direction, EdgeId, GdmError, GraphView, NodeId, PropertyMap, Result, Support,
+    Value,
 };
 use gdm_query::eval::ResultSet;
 use gdm_storage::DiskBTree;
+use std::cell::RefCell;
 use std::path::Path;
 
 const NAME: &str = "VertexDB";
@@ -29,6 +31,10 @@ const PATH_BUDGET: usize = 1_000_000;
 /// The VertexDB emulation.
 pub struct VertexDbEngine {
     graph: KvGraph,
+    /// Mutations since the last snapshot, for the O(changes)
+    /// incremental re-freeze (`RefCell`: snapshots reset it through
+    /// `&self`; engines are not `Send`, so access is uncontended).
+    delta: RefCell<DeltaTracker>,
 }
 
 impl VertexDbEngine {
@@ -37,6 +43,7 @@ impl VertexDbEngine {
         let tree = DiskBTree::file(&dir.join("vertexdb.tc"), 256)?;
         Ok(Self {
             graph: KvGraph::new(Box::new(tree))?,
+            delta: RefCell::new(DeltaTracker::new()),
         })
     }
 
@@ -68,7 +75,9 @@ impl GraphEngine for VertexDbEngine {
         if !props.is_empty() {
             return self.unsupported("node attributes (simple graph model)");
         }
-        self.graph.add_node(None, &props)
+        let n = self.graph.add_node(None, &props)?;
+        self.delta.get_mut().touch_node(n.raw());
+        Ok(n)
     }
 
     fn create_edge(
@@ -81,7 +90,10 @@ impl GraphEngine for VertexDbEngine {
         if !props.is_empty() {
             return self.unsupported("edge attributes (simple graph model)");
         }
-        self.graph.add_edge(from, to, label, &props)
+        let e = self.graph.add_edge(from, to, label, &props)?;
+        self.delta.get_mut().touch_node(from.raw());
+        self.delta.get_mut().touch_node(to.raw());
+        Ok(e)
     }
 
     fn create_hyperedge(
@@ -114,11 +126,15 @@ impl GraphEngine for VertexDbEngine {
     }
 
     fn delete_node(&mut self, n: NodeId) -> Result<()> {
-        self.graph.delete_node(n)
+        self.graph.delete_node(n)?;
+        self.delta.get_mut().remove_node(n.raw());
+        Ok(())
     }
 
     fn delete_edge(&mut self, e: EdgeId) -> Result<()> {
-        self.graph.delete_edge(e)
+        self.graph.delete_edge(e)?;
+        self.delta.get_mut().remove_edge(e.raw());
+        Ok(())
     }
 
     fn node_count(&self) -> usize {
@@ -187,7 +203,16 @@ impl GraphEngine for VertexDbEngine {
     }
 
     fn snapshot(&self) -> Result<gdm_algo::FrozenGraph> {
-        Ok(gdm_algo::FrozenGraph::freeze(&self.graph))
+        let fz = gdm_algo::FrozenGraph::freeze(&self.graph);
+        self.delta.borrow_mut().reset(fz.epoch());
+        Ok(fz)
+    }
+
+    fn refreeze(&self, prev: &gdm_algo::FrozenGraph) -> Result<gdm_algo::FrozenGraph> {
+        let delta = self.delta.borrow().peek().clone();
+        let next = gdm_algo::incremental_refreeze_structural(&self.graph, prev, &delta);
+        self.delta.borrow_mut().reset(next.epoch());
+        Ok(next)
     }
 
     fn default_limits(&self) -> gdm_govern::Limits {

@@ -1,0 +1,259 @@
+//! Incremental re-freeze equivalence across every engine emulation.
+//!
+//! For each of the nine engines: build a base graph through the typed
+//! facade, take a full snapshot, apply a random mutation batch, then
+//! check that [`GraphEngine::refreeze`] (which consumes the engine's
+//! recorded [`gdm_core::DeltaTracker`] delta) produces a snapshot whose
+//! *content* is identical to a from-scratch full freeze of the live
+//! graph. Ops an engine refuses (`Unsupported`, constraint errors,
+//! stale ids after cascading deletes) are simply skipped — the point is
+//! that whatever the engine *did* accept must be reflected in the
+//! incremental snapshot.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use gdm_core::{props, AttributedView, EdgeId, GraphView, NodeId, PropertyMap, Value};
+use gdm_engines::{all_engines, GraphEngine};
+use proptest::prelude::*;
+
+/// One abstract mutation; selectors index the live id lists modulo
+/// their length so every generated op is applicable to every engine.
+#[derive(Debug, Clone)]
+enum Op {
+    AddNode(u8, i64),
+    AddEdge(usize, usize),
+    SetNodeAttr(usize, i64),
+    SetEdgeAttr(usize, i64),
+    DelNode(usize),
+    DelEdge(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..3, 0i64..100).prop_map(|(l, v)| Op::AddNode(l, v)),
+        (0usize..64, 0usize..64).prop_map(|(a, b)| Op::AddEdge(a, b)),
+        (0usize..64, 0i64..100).prop_map(|(s, v)| Op::SetNodeAttr(s, v)),
+        (0usize..64, 0i64..100).prop_map(|(s, v)| Op::SetEdgeAttr(s, v)),
+        (0usize..64).prop_map(Op::DelNode),
+        (0usize..64).prop_map(Op::DelEdge),
+    ]
+}
+
+const LABELS: [&str; 3] = ["person", "place", "thing"];
+
+/// Applies `ops`, maintaining the live node/edge id lists. Every error
+/// is ignored: refusals must leave both the graph and the delta in a
+/// consistent state, which the equivalence assertion then verifies.
+fn apply(
+    engine: &mut Box<dyn GraphEngine>,
+    ops: &[Op],
+    nodes: &mut Vec<NodeId>,
+    edges: &mut Vec<EdgeId>,
+) {
+    for op in ops {
+        match *op {
+            Op::AddNode(l, v) => {
+                let label = LABELS[l as usize % LABELS.len()];
+                // Degrade towards the engine's capabilities: G-Store
+                // refuses attributes, AllegroGraph refuses labels too.
+                let made = engine
+                    .create_node(Some(label), props! { "age" => v })
+                    .or_else(|_| engine.create_node(Some(label), PropertyMap::new()))
+                    .or_else(|_| engine.create_node(None, PropertyMap::new()));
+                if let Ok(id) = made {
+                    nodes.push(id);
+                }
+            }
+            Op::AddEdge(a, b) => {
+                if nodes.is_empty() {
+                    continue;
+                }
+                let from = nodes[a % nodes.len()];
+                let to = nodes[b % nodes.len()];
+                let made = engine
+                    .create_edge(from, to, Some("knows"), props! { "w" => 1i64 })
+                    .or_else(|_| engine.create_edge(from, to, Some("knows"), PropertyMap::new()));
+                if let Ok(id) = made {
+                    edges.push(id);
+                }
+            }
+            Op::SetNodeAttr(s, v) => {
+                if nodes.is_empty() {
+                    continue;
+                }
+                let n = nodes[s % nodes.len()];
+                let _ = engine.set_node_attribute(n, "age", Value::from(v));
+            }
+            Op::SetEdgeAttr(s, v) => {
+                if edges.is_empty() {
+                    continue;
+                }
+                let e = edges[s % edges.len()];
+                let _ = engine.set_edge_attribute(e, "w", Value::from(v));
+            }
+            Op::DelNode(s) => {
+                if nodes.is_empty() {
+                    continue;
+                }
+                let i = s % nodes.len();
+                if engine.delete_node(nodes[i]).is_ok() {
+                    nodes.swap_remove(i);
+                }
+            }
+            Op::DelEdge(s) => {
+                if edges.is_empty() {
+                    continue;
+                }
+                let i = s % edges.len();
+                if engine.delete_edge(edges[i]).is_ok() {
+                    edges.swap_remove(i);
+                }
+            }
+        }
+    }
+}
+
+/// Content-canonical form of a snapshot: labelled/propertied node rows
+/// and edge rows, independent of dense row ordering.
+type Canon = (
+    Vec<(u64, Option<String>, Vec<(String, String)>)>,
+    Vec<(u64, u64, u64, Option<String>, Vec<(String, String)>)>,
+);
+
+fn canon(fz: &gdm_algo::FrozenGraph) -> Canon {
+    let mut nodes = Vec::new();
+    fz.visit_nodes(&mut |n| {
+        let label = fz
+            .node_label(n)
+            .and_then(|s| fz.label_text(s))
+            .map(str::to_owned);
+        let mut ps = Vec::new();
+        fz.visit_node_properties(n, &mut |k, v| ps.push((k.to_owned(), format!("{v:?}"))));
+        ps.sort();
+        nodes.push((n.raw(), label, ps));
+    });
+    nodes.sort();
+    let mut edges = Vec::new();
+    fz.visit_nodes(&mut |n| {
+        fz.visit_out_edges(n, &mut |e| {
+            let label = e.label.and_then(|s| fz.label_text(s)).map(str::to_owned);
+            let mut ps = Vec::new();
+            fz.visit_edge_properties(e.id, &mut |k, v| ps.push((k.to_owned(), format!("{v:?}"))));
+            ps.sort();
+            edges.push((e.id.raw(), e.from.raw(), e.to.raw(), label, ps));
+        });
+    });
+    edges.sort();
+    (nodes, edges)
+}
+
+/// A deterministic seed batch so the base snapshot is non-trivial.
+fn seed_ops() -> Vec<Op> {
+    let mut ops = Vec::new();
+    for i in 0..24i64 {
+        ops.push(Op::AddNode((i % 3) as u8, i));
+    }
+    for i in 0..32usize {
+        ops.push(Op::AddEdge(i, (i * 7 + 3) % 24));
+    }
+    ops
+}
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+fn fresh_dir() -> std::path::PathBuf {
+    let n = CASE.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("gdm-refreeze-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// refreeze ≡ full freeze on every engine, for arbitrary accepted
+    /// mutation batches between the two snapshots.
+    #[test]
+    fn incremental_refreeze_matches_full_freeze(batch in prop::collection::vec(op_strategy(), 1..40)) {
+        let dir = fresh_dir();
+        for mut engine in all_engines(&dir).unwrap() {
+            let mut nodes = Vec::new();
+            let mut edges = Vec::new();
+            apply(&mut engine, &seed_ops(), &mut nodes, &mut edges);
+            let prev = engine.snapshot().unwrap();
+
+            apply(&mut engine, &batch, &mut nodes, &mut edges);
+            let inc = engine.refreeze(&prev).unwrap();
+            let full = engine.snapshot().unwrap();
+
+            prop_assert_eq!(
+                canon(&inc),
+                canon(&full),
+                "{}: incremental snapshot diverged from full freeze",
+                engine.name()
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// The empty-delta fast path: re-freezing with no interleaved mutations
+/// keeps the previous epoch (the snapshot is still exact) on every
+/// engine.
+#[test]
+fn refreeze_without_mutations_keeps_epoch() {
+    let dir = fresh_dir();
+    for mut engine in all_engines(&dir).unwrap() {
+        let mut nodes = Vec::new();
+        let mut edges = Vec::new();
+        apply(&mut engine, &seed_ops(), &mut nodes, &mut edges);
+        let prev = engine.snapshot().unwrap();
+        let again = engine.refreeze(&prev).unwrap();
+        assert_eq!(
+            prev.epoch(),
+            again.epoch(),
+            "{}: unchanged graph must keep its snapshot epoch",
+            engine.name()
+        );
+        assert_eq!(canon(&prev), canon(&again), "{}", engine.name());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Mutations after a re-freeze advance the epoch: the refreshed
+/// snapshot must expose the new data.
+#[test]
+fn refreeze_exposes_new_data_with_higher_epoch() {
+    let dir = fresh_dir();
+    for mut engine in all_engines(&dir).unwrap() {
+        let mut nodes = Vec::new();
+        let mut edges = Vec::new();
+        apply(&mut engine, &seed_ops(), &mut nodes, &mut edges);
+        let prev = engine.snapshot().unwrap();
+        let before = nodes.len();
+        // Connect the new node (index 24: the seed made exactly 24) so
+        // incidence-derived views — RDF counts only terms that appear
+        // in triples — see it too.
+        apply(
+            &mut engine,
+            &[Op::AddNode(0, 7), Op::AddEdge(24, 0)],
+            &mut nodes,
+            &mut edges,
+        );
+        assert!(nodes.len() > before, "{}: seed node refused", engine.name());
+        let next = engine.refreeze(&prev).unwrap();
+        assert!(
+            next.epoch() > prev.epoch(),
+            "{}: mutated graph must advance the snapshot epoch",
+            engine.name()
+        );
+        assert_eq!(
+            next.len(),
+            prev.len() + 1,
+            "{}: refreshed snapshot must contain the new node",
+            engine.name()
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -40,11 +40,15 @@ pub struct PlanCache {
     inner: Mutex<Inner>,
     hits: AtomicU64,
     misses: AtomicU64,
+    epoch_evictions: AtomicU64,
 }
 
 #[derive(Debug, Default)]
 struct Inner {
-    map: FxHashMap<String, Arc<PlannedSelect>>,
+    /// Each plan is tagged with the snapshot epoch it was planned
+    /// against; a lookup under a different epoch evicts the entry
+    /// (see [`PlanCache::get_epoch`]).
+    map: FxHashMap<String, (u64, Arc<PlannedSelect>)>,
     /// Keys in insertion order — FIFO eviction. Plans are small and
     /// per-snapshot, so recency tracking is not worth a second lock
     /// touch on the hit path.
@@ -59,6 +63,7 @@ impl PlanCache {
             inner: Mutex::new(Inner::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            epoch_evictions: AtomicU64::new(0),
         }
     }
 
@@ -79,15 +84,34 @@ impl PlanCache {
         Ok(planned)
     }
 
-    /// Looks `key` up, counting a hit or a miss.
+    /// Looks `key` up, counting a hit or a miss. Epoch-agnostic:
+    /// equivalent to [`PlanCache::get_epoch`] with epoch 0, for
+    /// callers serving a single immutable snapshot for the cache's
+    /// whole life.
     pub fn get(&self, key: &str) -> Option<Arc<PlannedSelect>> {
-        let found = self
-            .inner
-            .lock()
-            .expect("plan cache lock")
-            .map
-            .get(key)
-            .cloned();
+        self.get_epoch(key, 0)
+    }
+
+    /// Looks `key` up for a snapshot with the given epoch. A plan
+    /// cached against any *other* epoch is stale — its materialized
+    /// candidate domains index a graph that no longer serves — so the
+    /// entry is evicted on the spot (counted in
+    /// [`PlanCache::epoch_evictions`]) and the lookup misses. This is
+    /// what lets a live-refreshing server keep one shared cache across
+    /// snapshot swaps without a stop-the-world clear.
+    pub fn get_epoch(&self, key: &str, epoch: u64) -> Option<Arc<PlannedSelect>> {
+        let mut inner = self.inner.lock().expect("plan cache lock");
+        let found = match inner.map.get(key) {
+            Some((e, plan)) if *e == epoch => Some(plan.clone()),
+            Some(_) => {
+                inner.map.remove(key);
+                inner.order.retain(|k| k != key);
+                self.epoch_evictions.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => None,
+        };
+        drop(inner);
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -95,12 +119,19 @@ impl PlanCache {
         found
     }
 
-    /// Inserts a plan under `key`, evicting the oldest entry at
-    /// capacity. Re-inserting an existing key replaces its plan
-    /// without growing the cache.
+    /// Inserts a plan under `key` for epoch 0 — the epoch-agnostic
+    /// twin of [`PlanCache::get`].
     pub fn insert(&self, key: &str, plan: Arc<PlannedSelect>) {
+        self.insert_epoch(key, 0, plan);
+    }
+
+    /// Inserts a plan under `key`, tagged with the epoch of the
+    /// snapshot it was planned against, evicting the oldest entry at
+    /// capacity. Re-inserting an existing key replaces its plan (and
+    /// epoch tag) without growing the cache.
+    pub fn insert_epoch(&self, key: &str, epoch: u64, plan: Arc<PlannedSelect>) {
         let mut inner = self.inner.lock().expect("plan cache lock");
-        if inner.map.insert(key.to_owned(), plan).is_none() {
+        if inner.map.insert(key.to_owned(), (epoch, plan)).is_none() {
             inner.order.push_back(key.to_owned());
             while inner.map.len() > self.capacity {
                 if let Some(old) = inner.order.pop_front() {
@@ -118,7 +149,7 @@ impl PlanCache {
             .expect("plan cache lock")
             .map
             .get(key)
-            .map(|p| p.explain.render())
+            .map(|(_, p)| p.explain.render())
     }
 
     /// Drops every entry (counters keep their totals) — required
@@ -152,6 +183,12 @@ impl PlanCache {
     /// Lifetime lookup misses.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime entries evicted because a lookup arrived under a
+    /// different snapshot epoch than the one the plan was made for.
+    pub fn epoch_evictions(&self) -> u64 {
+        self.epoch_evictions.load(Ordering::Relaxed)
     }
 }
 
@@ -226,6 +263,23 @@ mod tests {
         assert!(cache.is_empty());
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn epoch_mismatch_evicts_and_misses() {
+        let g = graph();
+        let cache = PlanCache::new(4);
+        let planned = Arc::new(plan_select(&g, &query("ada")).unwrap());
+        cache.insert_epoch("q", 7, planned.clone());
+        assert!(cache.get_epoch("q", 7).is_some(), "same epoch hits");
+        assert_eq!(cache.epoch_evictions(), 0);
+        // The snapshot was swapped: the stale plan must not serve.
+        assert!(cache.get_epoch("q", 8).is_none());
+        assert_eq!(cache.epoch_evictions(), 1);
+        assert_eq!(cache.len(), 0, "stale entry evicted eagerly");
+        // Re-inserting under the new epoch works normally again.
+        cache.insert_epoch("q", 8, planned);
+        assert!(cache.get_epoch("q", 8).is_some());
     }
 
     #[test]

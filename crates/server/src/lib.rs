@@ -56,4 +56,4 @@ mod session;
 pub use admission::{Admission, Permit, Shed};
 pub use client::Client;
 pub use protocol::{Request, Response, StatsReply};
-pub use server::{serve, ServerConfig, ServerHandle, TenantConfig};
+pub use server::{serve, ServerConfig, ServerHandle, TenantConfig, REFRESH_PRINCIPAL};

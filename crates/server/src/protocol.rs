@@ -125,6 +125,9 @@ pub struct CacheStats {
     pub misses: u64,
     /// Plans currently cached.
     pub entries: u64,
+    /// Lifetime entries dropped because the serving snapshot moved to
+    /// a new epoch after the plan was cached.
+    pub epoch_evictions: u64,
 }
 
 /// Server counters, answering [`Request::Stats`].
@@ -136,6 +139,13 @@ pub struct StatsReply {
     pub plan_cache: CacheStats,
     /// Lifetime requests shed by the global queue.
     pub queue_shed: u64,
+    /// Epoch of the snapshot currently serving queries.
+    pub snapshot_epoch: u64,
+    /// Lifetime live snapshot refreshes since startup.
+    pub refreshes: u64,
+    /// Wall-clock cost of the most recent refresh (build + swap), in
+    /// microseconds; 0 until the first refresh.
+    pub last_refresh_us: u64,
 }
 
 /// Everything the server can answer.
@@ -264,8 +274,12 @@ mod tests {
                     hits: 9,
                     misses: 2,
                     entries: 2,
+                    epoch_evictions: 1,
                 },
                 queue_shed: 0,
+                snapshot_epoch: 42,
+                refreshes: 3,
+                last_refresh_us: 180,
             }),
             Response::Bye,
         ] {

@@ -25,10 +25,16 @@ use gdm_govern::{BudgetPool, Limits};
 use gdm_query::PlanCache;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Reserved budget-pool principal the refresh path draws from. The
+/// name cannot collide with a tenant: `TenantConfig` names come from
+/// configuration and sessions authenticate by exact match, while this
+/// principal is registered by [`serve`] itself.
+pub const REFRESH_PRINCIPAL: &str = "::refresh";
 
 /// One tenant's serving configuration.
 #[derive(Debug, Clone)]
@@ -97,17 +103,30 @@ impl Default for ServerConfig {
 
 /// Everything the worker threads share.
 pub(crate) struct Shared {
-    pub(crate) snapshot: ServingSnapshot,
+    /// The serving snapshot, swappable by [`ServerHandle::refresh_with`].
+    /// Sessions clone the `Arc` once per query, so a swap never moves
+    /// the graph under an executing query — in-flight work finishes on
+    /// the epoch it started with.
+    pub(crate) snapshot: Mutex<Arc<ServingSnapshot>>,
     pub(crate) limits: Limits,
     pub(crate) tenants: Vec<TenantConfig>,
     pub(crate) pool: BudgetPool,
     pub(crate) admission: Arc<Admission>,
     pub(crate) cache: PlanCache,
     pub(crate) stop: AtomicBool,
+    /// Lifetime snapshot refreshes.
+    refreshes: AtomicU64,
+    /// Microseconds the most recent refresh spent building + swapping.
+    last_refresh_us: AtomicU64,
     addr: SocketAddr,
 }
 
 impl Shared {
+    /// The snapshot new queries should pin (one `Arc` clone).
+    pub(crate) fn current(&self) -> Arc<ServingSnapshot> {
+        self.snapshot.lock().expect("snapshot lock").clone()
+    }
+
     /// Sets the stop flag and pokes the acceptor awake with a throwaway
     /// self-connection. Idempotent; connection failure just means the
     /// acceptor is already gone.
@@ -136,8 +155,12 @@ impl Shared {
                 hits: self.cache.hits(),
                 misses: self.cache.misses(),
                 entries: self.cache.len() as u64,
+                epoch_evictions: self.cache.epoch_evictions(),
             },
             queue_shed: self.admission.queue_shed(),
+            snapshot_epoch: self.current().frozen.epoch(),
+            refreshes: self.refreshes.load(Ordering::Relaxed),
+            last_refresh_us: self.last_refresh_us.load(Ordering::Relaxed),
         }
     }
 }
@@ -159,6 +182,62 @@ impl ServerHandle {
     /// Current server counters, without a session.
     pub fn stats(&self) -> StatsReply {
         self.shared.stats()
+    }
+
+    /// Refreshes the serving snapshot without stopping the server.
+    ///
+    /// `build` receives the snapshot currently serving and returns its
+    /// replacement — typically the owning thread's engine calling
+    /// [`gdm_engines::GraphEngine::refreeze`], which patches only the
+    /// rows its delta tracker recorded (O(changes), not O(graph)). The
+    /// engine stays with its owner: only the immutable result crosses
+    /// into the server, swapped in atomically behind an `Arc`.
+    /// Sessions pin the snapshot per query, so in-flight queries
+    /// finish on the epoch they started with and the *next* query
+    /// observes the new one; stale plan-cache entries evict lazily by
+    /// epoch tag.
+    ///
+    /// Refresh work is metered like tenant work: the build is charged
+    /// to the reserved [`REFRESH_PRINCIPAL`] budget at one credit per
+    /// unit of [`gdm_algo::FrozenGraph::freeze_work`], and a refresh is
+    /// refused (`WouldBlock`) while that principal is overdrawn — a
+    /// hot mutation loop cannot starve query traffic by re-freezing
+    /// continuously. Returns the new serving epoch.
+    pub fn refresh_with<F>(&self, build: F) -> io::Result<u64>
+    where
+        F: FnOnce(&gdm_algo::FrozenGraph) -> gdm_core::Result<gdm_algo::FrozenGraph>,
+    {
+        let allowance = self.shared.pool.get(REFRESH_PRINCIPAL);
+        if let Some(a) = &allowance {
+            if !a.has_credit() {
+                return Err(io::Error::new(
+                    io::ErrorKind::WouldBlock,
+                    "refresh budget exhausted: retry after the pool refills",
+                ));
+            }
+        }
+        let started = Instant::now();
+        let prev = self.shared.current();
+        let frozen = build(&prev.frozen)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let epoch = frozen.epoch();
+        let work = frozen.freeze_work();
+        let next = Arc::new(ServingSnapshot {
+            engine: prev.engine,
+            frozen,
+            limits: prev.limits,
+        });
+        *self.shared.snapshot.lock().expect("snapshot lock") = next;
+        self.shared
+            .last_refresh_us
+            .store(started.elapsed().as_micros() as u64, Ordering::Relaxed);
+        self.shared.refreshes.fetch_add(1, Ordering::Relaxed);
+        if let Some(a) = allowance {
+            // Overdraft (not refusal) on purpose: the work is already
+            // done, so record it and let the debt gate the next one.
+            let _ = a.charge(work);
+        }
+        Ok(epoch)
     }
 
     /// Stops accepting, drains in-flight sessions, joins every thread.
@@ -195,6 +274,14 @@ pub fn serve(snapshot: ServingSnapshot, config: ServerConfig) -> io::Result<Serv
     for t in &config.tenants {
         pool.register(t.name.clone(), t.weight, t.burst_cap);
     }
+    // The refresh path draws from the same fair pool as the tenants
+    // (weight 1), so snapshot rebuild work is globally accounted and
+    // cannot silently crowd out query budgets.
+    pool.register(
+        REFRESH_PRINCIPAL.to_owned(),
+        1,
+        config.refill_credits as i64,
+    );
     let admission = Admission::new(
         config.slots,
         config.queue,
@@ -206,13 +293,15 @@ pub fn serve(snapshot: ServingSnapshot, config: ServerConfig) -> io::Result<Serv
     );
     let limits = config.query_limits.unwrap_or(snapshot.limits);
     let shared = Arc::new(Shared {
-        snapshot,
+        snapshot: Mutex::new(Arc::new(snapshot)),
         limits,
         tenants: config.tenants.clone(),
         pool,
         admission,
         cache: PlanCache::new(config.plan_cache_capacity),
         stop: AtomicBool::new(false),
+        refreshes: AtomicU64::new(0),
+        last_refresh_us: AtomicU64::new(0),
         addr,
     });
 

@@ -57,7 +57,7 @@ fn serve_session(mut stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> 
                         write_frame(
                             &mut stream,
                             &Response::Welcome(Welcome {
-                                engine: shared.snapshot.engine.to_owned(),
+                                engine: shared.current().engine.to_owned(),
                                 tenant: t.name.clone(),
                             }),
                         )?;
@@ -129,7 +129,13 @@ fn serve_session(mut stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> 
 }
 
 /// Admission → plan cache → governed execution, as one response.
+///
+/// The serving snapshot is pinned (one `Arc` clone) before planning
+/// and held until the rows are produced: a live refresh swapping the
+/// server's snapshot mid-query never moves the graph under this
+/// execution, it only redirects *later* queries to the new epoch.
 fn run_query(shared: &Arc<Shared>, tenant: &str, q: &QueryReq) -> Response {
+    let snapshot = shared.current();
     let permit = match shared.admission.admit(tenant) {
         Ok(p) => p,
         Err(shed) => {
@@ -159,10 +165,14 @@ fn run_query(shared: &Arc<Shared>, tenant: &str, q: &QueryReq) -> Response {
         }
     };
 
-    let (planned, cached_plan) = match shared.cache.get(key) {
+    // Cache lookups carry the pinned snapshot's epoch: a plan cached
+    // against an older (or newer) snapshot misses and is evicted, so a
+    // refresh needs no coordinated cache clear.
+    let epoch = snapshot.frozen.epoch();
+    let (planned, cached_plan) = match shared.cache.get_epoch(key, epoch) {
         Some(p) => (p, true),
         None => {
-            let planned = match gdm_query::plan_select(&shared.snapshot.frozen, &select) {
+            let planned = match gdm_query::plan_select(&snapshot.frozen, &select) {
                 Ok(p) => Arc::new(p),
                 Err(e) => {
                     return Response::Error(ErrorReply {
@@ -170,7 +180,7 @@ fn run_query(shared: &Arc<Shared>, tenant: &str, q: &QueryReq) -> Response {
                     })
                 }
             };
-            shared.cache.insert(key, planned.clone());
+            shared.cache.insert_epoch(key, epoch, planned.clone());
             (planned, false)
         }
     };
@@ -181,7 +191,7 @@ fn run_query(shared: &Arc<Shared>, tenant: &str, q: &QueryReq) -> Response {
         }
         None => ExecutionGuard::with_cancel(shared.limits, CancelToken::new()),
     };
-    let result = gdm_query::execute_planned_governed(&shared.snapshot.frozen, &planned, &guard);
+    let result = gdm_query::execute_planned_governed(&snapshot.frozen, &planned, &guard);
     drop(permit);
 
     match result {

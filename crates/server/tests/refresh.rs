@@ -1,0 +1,176 @@
+//! Live snapshot refresh over the wire.
+//!
+//! Two integration proofs:
+//!
+//! 1. A scripted session shows the whole freshness protocol: a cached
+//!    plan serves repeats, a mutation plus [`ServerHandle::refresh_with`]
+//!    advances the serving epoch, the very next query of the same text
+//!    sees the new data (its stale plan is epoch-evicted, not served),
+//!    and `STATS` reports the refresh counters.
+//! 2. Sessions hammering queries *while* the snapshot is swapped under
+//!    them never observe an error: every response is a complete row
+//!    set, and the row counts a session sees only grow — each query
+//!    pins the snapshot it started on.
+
+use gdm_core::props;
+use gdm_engines::{make_engine, EngineKind, GraphEngine};
+use gdm_server::protocol::Response;
+use gdm_server::{serve, Client, ServerConfig, ServerHandle, TenantConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const QUERY: &str = "MATCH (p:person) RETURN p.name";
+const PEOPLE: usize = 50;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("gdm-refresh-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A Neo4j emulation with `PEOPLE` connected person nodes, served with
+/// generous budgets so the test never trips fairness throttling.
+fn start(tag: &str) -> (Box<dyn GraphEngine>, ServerHandle, std::path::PathBuf) {
+    let dir = temp_dir(tag);
+    let mut db = make_engine(EngineKind::Neo4j, &dir).unwrap();
+    let mut prev = None;
+    for i in 0..PEOPLE {
+        let n = db
+            .create_node(Some("person"), props! { "name" => format!("p{i}") })
+            .unwrap();
+        if let Some(p) = prev {
+            db.create_edge(p, n, Some("knows"), props! {}).unwrap();
+        }
+        prev = Some(n);
+    }
+    let mut config = ServerConfig {
+        refill_credits: 500_000,
+        ..ServerConfig::default()
+    };
+    let mut alpha = TenantConfig::new("alpha", 1);
+    alpha.burst_cap = 1_000_000;
+    config.tenants.push(alpha);
+    let handle = serve(db.serving_snapshot().unwrap(), config).unwrap();
+    (db, handle, dir)
+}
+
+fn rows(resp: Response) -> gdm_server::protocol::Rows {
+    match resp {
+        Response::Rows(r) => r,
+        other => panic!("expected Rows, got {other:?}"),
+    }
+}
+
+/// Adds one more connected person and refreshes the serving snapshot
+/// incrementally; returns the new serving epoch.
+fn grow_and_refresh(db: &mut Box<dyn GraphEngine>, handle: &ServerHandle, i: usize) -> u64 {
+    let n = db
+        .create_node(Some("person"), props! { "name" => format!("new{i}") })
+        .unwrap();
+    let anchor = gdm_core::NodeId(0);
+    db.create_edge(anchor, n, Some("knows"), props! {}).unwrap();
+    handle.refresh_with(|prev| db.refreeze(prev)).unwrap()
+}
+
+#[test]
+fn refresh_protocol_end_to_end() {
+    let (mut db, handle, dir) = start("scripted");
+    let epoch0 = handle.stats().snapshot_epoch;
+
+    let mut c = Client::connect(handle.addr()).unwrap();
+    c.hello("alpha", None).unwrap();
+    let first = rows(c.query(QUERY).unwrap());
+    assert_eq!(first.rows.len(), PEOPLE);
+    assert!(!first.cached_plan, "first run must plan");
+    let repeat = rows(c.query(QUERY).unwrap());
+    assert!(repeat.cached_plan, "repeat must hit the plan cache");
+
+    let epoch1 = grow_and_refresh(&mut db, &handle, 0);
+    assert!(epoch1 > epoch0, "refresh must advance the serving epoch");
+
+    // Same query text, next query: new data, freshly planned (the
+    // epoch-tagged cache entry from epoch0 must not serve).
+    let after = rows(c.query(QUERY).unwrap());
+    assert_eq!(after.rows.len(), PEOPLE + 1, "refresh exposes new data");
+    assert!(!after.cached_plan, "stale plan must be evicted, not served");
+    let again = rows(c.query(QUERY).unwrap());
+    assert!(again.cached_plan, "re-cached under the new epoch");
+
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.snapshot_epoch, epoch1);
+    assert_eq!(stats.refreshes, 1);
+    assert!(stats.plan_cache.epoch_evictions >= 1);
+    c.goodbye().ok();
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn in_flight_sessions_survive_refreshes() {
+    let (mut db, handle, dir) = start("inflight");
+    let addr = handle.addr();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Two sessions hammer the same query for the whole run. Every
+    // response must be a complete row set, and the counts each session
+    // observes must never shrink: a query keeps the snapshot it
+    // pinned, later queries see equal-or-newer epochs.
+    let workers: Vec<_> = (0..2)
+        .map(|_| {
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                c.hello("alpha", None).expect("hello");
+                let mut seen = 0usize;
+                let mut completed = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let r = rows(c.query(QUERY).expect("query io"));
+                    assert!(
+                        r.rows.len() >= seen,
+                        "row count shrank from {seen} to {} across queries",
+                        r.rows.len()
+                    );
+                    seen = r.rows.len();
+                    completed += 1;
+                }
+                c.goodbye().ok();
+                (completed, seen)
+            })
+        })
+        .collect();
+
+    // Interleave growth and incremental refreshes with the traffic.
+    const REFRESHES: usize = 8;
+    for i in 0..REFRESHES {
+        std::thread::sleep(Duration::from_millis(30));
+        grow_and_refresh(&mut db, &handle, i);
+    }
+    std::thread::sleep(Duration::from_millis(30));
+    stop.store(true, Ordering::Relaxed);
+
+    let mut total = 0;
+    for w in workers {
+        let (completed, seen) = w.join().expect("worker panicked (a query errored)");
+        assert!(completed > 0, "worker never completed a query");
+        total += completed;
+        assert!(
+            seen <= PEOPLE + REFRESHES,
+            "worker saw more rows than exist"
+        );
+    }
+
+    // A fresh session sees all the refreshed data.
+    let mut c = Client::connect(addr).unwrap();
+    c.hello("alpha", None).unwrap();
+    let last = rows(c.query(QUERY).unwrap());
+    assert_eq!(last.rows.len(), PEOPLE + REFRESHES);
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.refreshes, REFRESHES as u64);
+    assert!(stats.last_refresh_us > 0);
+    assert!(total > 0);
+    c.goodbye().ok();
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
