@@ -27,11 +27,14 @@
 //! point-in-time CSR snapshot ([`FrozenGraph`]) that answers the same
 //! queries identically but at array speed, and [`parallel`] fans the
 //! expensive ones (diameter, components, triangles, clustering,
-//! pattern matching) out across scoped threads.
+//! pattern matching) out across scoped threads; [`par_vectorized`]
+//! drives the vectorized pattern pipeline morsel-by-morsel across the
+//! same scoped threads with byte-identical output.
 
 pub mod adjacency;
 pub mod analysis;
 pub mod frozen;
+pub mod par_vectorized;
 pub mod parallel;
 pub mod paths;
 pub mod pattern;
@@ -44,6 +47,11 @@ pub mod vectorized;
 
 pub use adjacency::{edges_adjacent, k_neighborhood, nodes_adjacent};
 pub use frozen::{frozen_regular_path_exists, FrozenGraph};
+pub use par_vectorized::{
+    executor_workers, match_pattern_par_vectorized, match_pattern_par_vectorized_domains,
+    match_pattern_par_vectorized_domains_governed, match_pattern_par_vectorized_governed,
+    set_executor_workers,
+};
 pub use parallel::{
     default_threads, par_average_clustering, par_connected_components, par_degree_stats,
     par_diameter, par_eccentricities, par_match_pattern, par_triangle_count,

@@ -1,0 +1,447 @@
+//! Morsel-driven parallel execution of the vectorized pipeline.
+//!
+//! The vectorized executor ([`crate::vectorized`]) runs the whole
+//! query on one core. This module fans it out in the morsel-driven
+//! style of HyPer: the root seed list of the compiled [`BatchPlan`] is
+//! split into fixed-size **morsels** (contiguous sub-ranges of the
+//! root domain), a shared atomic cursor hands morsels to scoped worker
+//! threads as they free up (self-balancing — a worker stuck on a dense
+//! morsel simply claims fewer), and each worker runs the *full*
+//! operator chain — seed → batched expand → residual filter →
+//! materialize — morsel by morsel into a thread-local result buffer.
+//!
+//! **Determinism.** Every worker executes the *same* compiled plan
+//! (the `BatchPlan` is compiled once and shared by reference, so the
+//! elimination order, domain bitsets, and resolved label symbols
+//! cannot diverge), and the pipeline's emission order is a function of
+//! root seed order alone — batch boundaries split but never reorder
+//! the candidate stream, and the depth-first recursion drains a prefix
+//! of seeds completely before touching its suffix. Workers therefore
+//! tag each result buffer with its morsel index, and the reducer
+//! concatenates buffers in morsel order: the output is **byte
+//! identical** to the sequential vectorized executor's, not merely
+//! set-equal (the `planned_equiv` suite asserts exactly this).
+//!
+//! **Governance.** One [`ExecutionGuard`] would serialize N workers on
+//! its budget atomics, so each worker charges a [`WorkerGuard`] — a
+//! thread-local batching view that accumulates visit/row counts in
+//! plain cells, drains them in bulk at morsel boundaries (and at a
+//! pending-units threshold), and runs the shared guard's *read-only*
+//! deadline/cancel check on every charge. Cancellation and deadlines
+//! stay as responsive as in the sequential path; budget trips are
+//! observed at drain points, overrunning by at most a few batches per
+//! worker. A trip aborts the morsel queue, every worker settles its
+//! counts, and the caller receives the same structured
+//! `Interrupted { reason, partial }` the sequential executor returns —
+//! with `partial` covering rows from *all* workers.
+//!
+//! **Panic isolation.** Each worker body runs inside the same
+//! `catch_unwind` shield as [`crate::parallel`]'s analysis loops; a
+//! poisoned morsel discards the parallel attempt and the query is
+//! recomputed by the sequential vectorized pipeline on the calling
+//! thread — the first rung of the governor's degradation ladder
+//! (DESIGN.md §11), now applied batch-wise (§15).
+
+use crate::frozen::FrozenGraph;
+use crate::parallel::{clamp_threads, default_threads, isolate};
+use crate::pattern::Pattern;
+use crate::planned::MatchTable;
+use crate::vectorized::{var_names, BatchPlan, BatchScratch};
+use gdm_core::{GdmError, NodeId, Result};
+use gdm_govern::{ExecutionGuard, WorkerGuard};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Minimum number of root seeds before fanning a pattern search out
+/// across threads. Below this, spawn + join costs more than the rooted
+/// searches themselves, so the executor runs the sequential pipeline
+/// inline. (Inherited from the retired chunk-partitioned executor.)
+pub(crate) const PAR_PATTERN_MIN_ROOTS: usize = 64;
+
+/// Upper bound on seeds per morsel: small enough that a skewed root
+/// (one hub owning most of the matches) cannot leave N-1 workers idle,
+/// large enough that cursor traffic stays negligible.
+const MAX_MORSEL: usize = 256;
+
+/// Process-wide worker-pool override: 0 means "auto" (use
+/// [`default_threads`]). Set once at startup by `--workers N` flags
+/// and the server config; read by every auto-routed parallel match.
+static EXECUTOR_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the executor worker-pool size for this process. `0`
+/// restores auto-detection. This is how single-core CI forces the
+/// parallel path (`--workers 2`) and how benchmarks pin a reproducible
+/// pool size.
+pub fn set_executor_workers(n: usize) {
+    EXECUTOR_WORKERS.store(n, Ordering::Relaxed);
+}
+
+/// The executor worker-pool size in effect: the
+/// [`set_executor_workers`] override when one is set, else the
+/// machine's available parallelism.
+pub fn executor_workers() -> usize {
+    match EXECUTOR_WORKERS.load(Ordering::Relaxed) {
+        0 => default_threads(),
+        n => n,
+    }
+}
+
+/// Morsel-driven parallel subgraph matching, auto-seeded: the
+/// snapshot's indexes seed per-variable domains exactly like
+/// [`crate::match_pattern_vectorized_auto`], then the root domain is
+/// executed in parallel morsels. Output is byte-identical to the
+/// sequential vectorized executor. Inconsistent auto-domains degrade
+/// to the row-at-a-time reference matcher, exactly like the sequential
+/// auto path.
+pub fn match_pattern_par_vectorized(
+    fz: &FrozenGraph,
+    pattern: &Pattern,
+    workers: usize,
+) -> MatchTable {
+    match_pattern_par_vectorized_auto_guarded(fz, pattern, workers, None)
+        .expect("ungoverned search cannot be interrupted")
+}
+
+/// [`match_pattern_par_vectorized`] under an [`ExecutionGuard`]; see
+/// the module docs for how guard semantics survive parallelism.
+pub fn match_pattern_par_vectorized_governed(
+    fz: &FrozenGraph,
+    pattern: &Pattern,
+    workers: usize,
+    guard: &ExecutionGuard,
+) -> Result<MatchTable> {
+    match_pattern_par_vectorized_auto_guarded(fz, pattern, workers, Some(guard))
+}
+
+fn match_pattern_par_vectorized_auto_guarded(
+    fz: &FrozenGraph,
+    pattern: &Pattern,
+    workers: usize,
+    guard: Option<&ExecutionGuard>,
+) -> Result<MatchTable> {
+    let domains = crate::planned::auto_domains(fz, pattern);
+    if !crate::planned::domains_consistent(fz, &domains) {
+        let bindings = crate::pattern::match_pattern_guarded(fz, pattern, guard)?;
+        return Ok(MatchTable::from_bindings(pattern, &bindings));
+    }
+    par_vectorized_guarded(fz, pattern, &domains, workers, false, guard)
+}
+
+/// Morsel-driven parallel matching with caller-supplied domains — the
+/// entry point the query planner routes to when `parallel_workers > 1`
+/// was recorded in the plan.
+pub fn match_pattern_par_vectorized_domains(
+    fz: &FrozenGraph,
+    pattern: &Pattern,
+    domains: &[Option<Vec<NodeId>>],
+    workers: usize,
+) -> MatchTable {
+    par_vectorized_guarded(fz, pattern, domains, workers, false, None)
+        .expect("ungoverned search cannot be interrupted")
+}
+
+/// [`match_pattern_par_vectorized_domains`] under an
+/// [`ExecutionGuard`].
+pub fn match_pattern_par_vectorized_domains_governed(
+    fz: &FrozenGraph,
+    pattern: &Pattern,
+    domains: &[Option<Vec<NodeId>>],
+    workers: usize,
+    guard: &ExecutionGuard,
+) -> Result<MatchTable> {
+    par_vectorized_guarded(fz, pattern, domains, workers, false, Some(guard))
+}
+
+/// Test hook: skips the [`PAR_PATTERN_MIN_ROOTS`] inline threshold so
+/// tiny property-test graphs still exercise the real morsel machinery
+/// (cursor, worker guards, merge). Not part of the public API surface.
+#[doc(hidden)]
+pub fn match_pattern_par_vectorized_forced(
+    fz: &FrozenGraph,
+    pattern: &Pattern,
+    domains: &[Option<Vec<NodeId>>],
+    workers: usize,
+    guard: Option<&ExecutionGuard>,
+) -> Result<MatchTable> {
+    par_vectorized_guarded(fz, pattern, domains, workers, true, guard)
+}
+
+/// The morsel driver. `force` bypasses the inline threshold (tests).
+fn par_vectorized_guarded(
+    fz: &FrozenGraph,
+    pattern: &Pattern,
+    domains: &[Option<Vec<NodeId>>],
+    workers: usize,
+    force: bool,
+    guard: Option<&ExecutionGuard>,
+) -> Result<MatchTable> {
+    let vars = var_names(pattern);
+    if pattern.nodes.is_empty() {
+        return Ok(MatchTable::from_parts(vars, Vec::new()));
+    }
+    // Compiled once, shared read-only by every worker: all morsels see
+    // the same elimination order, domain bitsets, and label symbols.
+    let plan = BatchPlan::compile(fz, pattern, domains);
+    let seeds = plan.root_seed_list();
+
+    let workers = clamp_threads(workers, seeds.len());
+    if workers == 1 || (!force && seeds.len() < PAR_PATTERN_MIN_ROOTS) {
+        let mut scratch = BatchScratch::new(fz);
+        let data = plan.run(None, &mut scratch, guard)?;
+        return Ok(MatchTable::from_parts(vars, data));
+    }
+
+    // ~4 morsels per worker smooths skew without flooding the cursor;
+    // MAX_MORSEL caps the tail latency of an unlucky claim.
+    let morsel = seeds.len().div_ceil(workers * 4).clamp(1, MAX_MORSEL);
+    let morsels: Vec<&[u32]> = seeds.chunks(morsel).collect();
+    let cursor = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let plan = &plan;
+    let morsels = &morsels;
+    let cursor = &cursor;
+    let abort = &abort;
+
+    // Per-worker harvest: (morsel index, flat rows) pairs plus the
+    // first trip the worker observed; `false` marks a poisoned worker.
+    type Harvest = (Vec<(usize, Vec<NodeId>)>, Option<GdmError>, bool);
+    let run_worker = move || -> Harvest {
+        let mut out: Vec<(usize, Vec<NodeId>)> = Vec::new();
+        let mut first_err: Option<GdmError> = None;
+        let ok = isolate(|| {
+            let mut scratch = BatchScratch::new(fz);
+            let worker_guard: Option<WorkerGuard<'_>> = guard.map(ExecutionGuard::worker);
+            loop {
+                if abort.load(Ordering::Relaxed) {
+                    break;
+                }
+                let m = cursor.fetch_add(1, Ordering::Relaxed);
+                if m >= morsels.len() {
+                    break;
+                }
+                // Drain the worker's pending counts at every morsel
+                // boundary so budget trips surface promptly even when
+                // morsels are smaller than the flush threshold.
+                let res = match &worker_guard {
+                    Some(w) => plan
+                        .run(Some(morsels[m]), &mut scratch, w)
+                        .and_then(|data| w.flush().map(|()| data)),
+                    None => {
+                        plan.run::<Option<&ExecutionGuard>>(Some(morsels[m]), &mut scratch, None)
+                    }
+                };
+                match res {
+                    Ok(data) => out.push((m, data)),
+                    Err(e) => {
+                        abort.store(true, Ordering::Relaxed);
+                        first_err = Some(e);
+                        break;
+                    }
+                }
+            }
+            // `worker_guard` drops here, settling any remaining counts
+            // into the shared guard so partials merge across workers.
+        });
+        (out, first_err, ok)
+    };
+
+    let mut merged: Vec<(usize, Vec<NodeId>)> = Vec::new();
+    let mut trip: Option<GdmError> = None;
+    let mut poisoned = false;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers).map(|_| s.spawn(run_worker)).collect();
+        for h in handles {
+            // A panic inside `isolate` cannot unwind out of the worker;
+            // an outer join error still just marks the worker lost.
+            let (out, err, ok) = h.join().unwrap_or((Vec::new(), None, false));
+            if !ok {
+                poisoned = true;
+            }
+            if trip.is_none() {
+                trip = err;
+            }
+            merged.extend(out);
+        }
+    });
+
+    if let Some(e) = trip {
+        // Re-wrap after every worker settled: the partial row count
+        // then covers rows emitted by all workers, not just the one
+        // that tripped first.
+        if let (Some(reason), Some(g)) = (e.interrupt_reason(), guard) {
+            return Err(GdmError::interrupted(reason, g.budget().rows_emitted()));
+        }
+        return Err(e);
+    }
+    if poisoned {
+        // A lost worker means lost morsels; discard the parallel
+        // attempt and recompute sequentially on the calling thread.
+        // Under a guard the rerun re-charges work the lost attempt
+        // already drew — degradation trades budget precision for a
+        // correct answer, never the reverse.
+        let mut scratch = BatchScratch::new(fz);
+        let data = plan.run(None, &mut scratch, guard)?;
+        return Ok(MatchTable::from_parts(vars, data));
+    }
+
+    // Deterministic reduce: morsel order is seed order, and per-morsel
+    // output equals the sequential executor's output for that seed
+    // range, so this concatenation is byte-identical to a sequential
+    // run over the full seed list.
+    merged.sort_unstable_by_key(|&(m, _)| m);
+    let mut data = Vec::with_capacity(merged.iter().map(|(_, d)| d.len()).sum());
+    for (_, part) in merged {
+        data.extend(part);
+    }
+    Ok(MatchTable::from_parts(vars, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::inject_worker_panic_once;
+    use crate::pattern::{canonical, match_pattern, PatternNode};
+    use crate::planned::auto_domains;
+    use crate::vectorized::match_pattern_vectorized_auto;
+    use gdm_core::{props, InterruptReason};
+    use gdm_govern::{CancelToken, Limits};
+    use gdm_graphs::PropertyGraph;
+    use std::time::Duration;
+
+    /// Serializes tests that touch process-global state (the panic
+    /// injection hook and the worker-pool override).
+    static GLOBAL_HOOK_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn social(n: u64) -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        let nodes: Vec<NodeId> = (0..n)
+            .map(|i| {
+                g.add_node(
+                    if i % 5 == 0 { "company" } else { "person" },
+                    props! { "i" => i as i64 },
+                )
+            })
+            .collect();
+        for i in 0..n as usize {
+            let a = nodes[i];
+            g.add_edge(a, nodes[(i * 7 + 1) % n as usize], "knows", props! {})
+                .unwrap();
+            g.add_edge(a, nodes[(i * 13 + 3) % n as usize], "knows", props! {})
+                .unwrap();
+        }
+        g
+    }
+
+    fn two_hop() -> Pattern {
+        let mut p = Pattern::new();
+        let x = p.node(PatternNode::var("x").with_label("person"));
+        let y = p.node(PatternNode::var("y").with_label("person"));
+        let z = p.node(PatternNode::var("z"));
+        p.edge(x, y, Some("knows")).unwrap();
+        p.edge(y, z, Some("knows")).unwrap();
+        p
+    }
+
+    #[test]
+    fn par_vectorized_is_byte_identical_to_sequential() {
+        let g = social(200);
+        let fz = FrozenGraph::freeze_attributed(&g);
+        let p = two_hop();
+        let seq = match_pattern_vectorized_auto(&fz, &p);
+        assert!(!seq.is_empty());
+        for workers in [2, 3, 4, 7] {
+            let par = match_pattern_par_vectorized(&fz, &p, workers);
+            assert_eq!(par, seq, "workers={workers}: rows must match byte for byte");
+        }
+    }
+
+    #[test]
+    fn forced_morsels_on_tiny_graphs_stay_identical() {
+        let g = social(20);
+        let fz = FrozenGraph::freeze_attributed(&g);
+        let p = two_hop();
+        let dom = auto_domains(&fz, &p);
+        let seq = match_pattern_vectorized_auto(&fz, &p);
+        let par = match_pattern_par_vectorized_forced(&fz, &p, &dom, 3, None).unwrap();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn par_vectorized_matches_reference_set() {
+        let g = social(150);
+        let fz = FrozenGraph::freeze_attributed(&g);
+        let p = two_hop();
+        let par = match_pattern_par_vectorized(&fz, &p, 4);
+        assert_eq!(
+            canonical(&par.to_bindings()),
+            canonical(&match_pattern(&fz, &p))
+        );
+    }
+
+    #[test]
+    fn empty_and_impossible_patterns() {
+        let g = social(80);
+        let fz = FrozenGraph::freeze_attributed(&g);
+        assert!(match_pattern_par_vectorized(&fz, &Pattern::new(), 4).is_empty());
+        let mut p = Pattern::new();
+        p.node(PatternNode::var("x").with_label("unicorn"));
+        assert!(match_pattern_par_vectorized(&fz, &p, 4).is_empty());
+    }
+
+    #[test]
+    fn governed_unlimited_equals_ungoverned() {
+        let g = social(150);
+        let fz = FrozenGraph::freeze_attributed(&g);
+        let p = two_hop();
+        let guard = ExecutionGuard::unlimited();
+        let governed = match_pattern_par_vectorized_governed(&fz, &p, 4, &guard).unwrap();
+        let plain = match_pattern_par_vectorized(&fz, &p, 4);
+        assert_eq!(governed, plain);
+        assert!(guard.budget().node_visits() > 0, "workers settled charges");
+    }
+
+    #[test]
+    fn governed_budget_trips_with_merged_partial() {
+        let g = social(400);
+        let fz = FrozenGraph::freeze_attributed(&g);
+        let p = two_hop();
+        let guard = ExecutionGuard::new(Limits::none().with_node_visits(50));
+        let err = match_pattern_par_vectorized_governed(&fz, &p, 4, &guard).unwrap_err();
+        assert_eq!(err.interrupt_reason(), Some(InterruptReason::Budget));
+    }
+
+    #[test]
+    fn governed_deadline_and_cancel_trip() {
+        let g = social(200);
+        let fz = FrozenGraph::freeze_attributed(&g);
+        let p = two_hop();
+        let guard = ExecutionGuard::new(Limits::none().with_deadline(Duration::ZERO));
+        let err = match_pattern_par_vectorized_governed(&fz, &p, 4, &guard).unwrap_err();
+        assert_eq!(err.interrupt_reason(), Some(InterruptReason::Deadline));
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let guard = ExecutionGuard::with_cancel(Limits::none(), cancel);
+        let err = match_pattern_par_vectorized_governed(&fz, &p, 4, &guard).unwrap_err();
+        assert_eq!(err.interrupt_reason(), Some(InterruptReason::Cancelled));
+    }
+
+    #[test]
+    fn poisoned_morsel_falls_back_to_sequential() {
+        let _lock = GLOBAL_HOOK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let g = social(200);
+        let fz = FrozenGraph::freeze_attributed(&g);
+        let p = two_hop();
+        let seq = match_pattern_vectorized_auto(&fz, &p);
+        inject_worker_panic_once();
+        let par = match_pattern_par_vectorized(&fz, &p, 4);
+        assert_eq!(par, seq, "panicking worker must not change the answer");
+    }
+
+    #[test]
+    fn workers_override_round_trips() {
+        let _lock = GLOBAL_HOOK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_executor_workers(3);
+        assert_eq!(executor_workers(), 3);
+        set_executor_workers(0);
+        assert_eq!(executor_workers(), default_threads());
+    }
+}

@@ -16,12 +16,10 @@
 //!   [`par_degree_stats`] — per-node loops over cached adjacency;
 //!   float sums are reduced in node order so even the average comes
 //!   out identical to the sequential fold.
-//! * [`par_match_pattern`] — the partition variable's auto-seeded
-//!   candidate set is split into chunks and each chunk runs the
-//!   vectorized batch pipeline of [`crate::vectorized`] with the
-//!   variable's domain restricted to its chunk; tables concatenate in
-//!   chunk order, reproducing [`crate::match_pattern`]'s binding *set*
-//!   (row order may differ — batching reorders siblings).
+//! * [`par_match_pattern`] — a forwarding shim over the morsel-driven
+//!   vectorized executor in [`crate::par_vectorized`], which replaced
+//!   the old chunk-per-thread pattern partitioning here (see the shim's
+//!   doc for the deprecation note).
 //!
 //! **Panic isolation.** Every worker body runs inside `catch_unwind`;
 //! a panicking worker never unwinds into [`std::thread::scope`] (which
@@ -35,7 +33,7 @@
 use crate::frozen::FrozenGraph;
 use crate::pattern::Pattern;
 use crate::planned::MatchTable;
-use gdm_core::{Direction, FxHashMap, FxHashSet, GraphView, NodeId};
+use gdm_core::{Direction, FxHashMap, GraphView, NodeId};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
@@ -60,7 +58,7 @@ pub fn inject_worker_panic_once() {
 }
 
 #[inline]
-fn maybe_inject_panic() {
+pub(crate) fn maybe_inject_panic() {
     if INJECT_WORKER_PANIC.swap(false, Ordering::SeqCst) {
         panic!("injected worker panic (test hook)");
     }
@@ -73,7 +71,7 @@ fn maybe_inject_panic() {
 /// algorithm. The panic payload is intentionally swallowed — the
 /// sequential rerun recomputes everything the lost worker owned.
 #[inline]
-fn isolate<F: FnOnce()>(body: F) -> bool {
+pub(crate) fn isolate<F: FnOnce()>(body: F) -> bool {
     catch_unwind(AssertUnwindSafe(|| {
         maybe_inject_panic();
         body();
@@ -82,7 +80,7 @@ fn isolate<F: FnOnce()>(body: F) -> bool {
 }
 
 #[inline]
-fn clamp_threads(threads: usize, work_items: usize) -> usize {
+pub(crate) fn clamp_threads(threads: usize, work_items: usize) -> usize {
     threads.max(1).min(work_items.max(1))
 }
 
@@ -517,142 +515,22 @@ pub fn par_degree_stats(fz: &FrozenGraph, threads: usize) -> Option<(usize, usiz
 // Pattern matching
 // ---------------------------------------------------------------------
 
-/// Minimum number of root candidates before fanning a pattern search
-/// out across threads. Below this, spawn + join costs more than the
-/// rooted searches themselves, so the executor runs them inline.
-const PAR_PATTERN_MIN_ROOTS: usize = 64;
-
-/// Parallel subgraph matching: the snapshot's indexes seed per-variable
-/// domains, the most selective planned variable's candidate set is
-/// partitioned into contiguous chunks, and each chunk runs the
-/// **vectorized batch pipeline** of [`crate::vectorized`] with that
-/// variable's domain restricted to its chunk. Restricting one
-/// variable's domain partitions the match set exactly (every match
-/// binds the variable to exactly one chunk), so concatenating the
-/// per-chunk [`MatchTable`]s in chunk order yields the same binding
-/// set as [`crate::match_pattern_vectorized_auto`] — and, by the
-/// `planned_equiv` suite, as [`crate::match_pattern`]. Row order may
-/// differ from the sequential matchers (batching reorders siblings,
-/// never membership).
+/// Parallel subgraph matching.
 ///
-/// When only one thread is available (or requested), or the seed set
-/// is smaller than [`PAR_PATTERN_MIN_ROOTS`], the pipeline runs
-/// unpartitioned on the calling thread — same output, no spawn
-/// overhead. Patterns whose auto-seeded domains are inconsistent
-/// degrade to the row-at-a-time reference matcher, exactly like the
-/// sequential auto path.
-///
-/// **Panic isolation.** Each chunk's pipeline runs inside
-/// [`isolate`]; a lost chunk discards the parallel attempt and the
-/// query is recomputed by the sequential vectorized pipeline on the
-/// calling thread.
+/// **Deprecated in favor of the morsel-driven executor** — this symbol
+/// is now a thin forwarding shim over
+/// [`crate::match_pattern_par_vectorized`], kept so existing callers
+/// and tests compile unchanged. The old chunk-per-thread partitioning
+/// (one vectorized pipeline per contiguous root chunk, plan recompiled
+/// per chunk) is gone; the morsel driver shares one compiled
+/// [`crate::vectorized::BatchPlan`] across all workers, steals
+/// fixed-size root morsels from an atomic cursor, and merges
+/// thread-local results deterministically — byte-identical to the
+/// sequential vectorized executor, not merely set-equal. New code
+/// should call [`crate::match_pattern_par_vectorized`] (or its
+/// governed twin) directly.
 pub fn par_match_pattern(fz: &FrozenGraph, pattern: &Pattern, threads: usize) -> MatchTable {
-    let vars: Vec<String> = pattern.nodes.iter().map(|pn| pn.var.clone()).collect();
-    if pattern.nodes.is_empty() {
-        return MatchTable::from_parts(vars, Vec::new());
-    }
-    let domains = crate::planned::auto_domains(fz, pattern);
-    if !crate::planned::domains_consistent(fz, &domains) {
-        // Same degradation as the sequential auto path: seeds the
-        // pipeline cannot trust fall back to the reference matcher.
-        let bindings = crate::pattern::match_pattern(fz, pattern);
-        return MatchTable::from_bindings(pattern, &bindings);
-    }
-    let estimates = crate::planned::domain_estimates(fz, pattern, &domains);
-    let order = crate::planned::planned_order(pattern, &estimates);
-    let pv = order[0];
-
-    // Seed set for the partition variable: its planner domain when one
-    // exists, else the node-label index, else every node — narrowed by
-    // the injective degree lower bound (each distinct pattern neighbor
-    // of `pv` needs a distinct incident data edge).
-    let seeds: Vec<u32> = match &domains[pv] {
-        Some(dom) => dom.iter().filter_map(|&n| fz.dense_of(n)).collect(),
-        None => match &pattern.nodes[pv].label {
-            Some(text) => match fz.label_symbol(text) {
-                Some(sym) => fz.nodes_with_label(sym).to_vec(),
-                None => Vec::new(),
-            },
-            None => (0..fz.len() as u32).collect(),
-        },
-    };
-    let mut adjacent_vars: FxHashSet<usize> = FxHashSet::default();
-    for e in &pattern.edges {
-        if e.from == pv && e.to != pv {
-            adjacent_vars.insert(e.to);
-        }
-        if e.to == pv && e.from != pv {
-            adjacent_vars.insert(e.from);
-        }
-    }
-    let required = adjacent_vars.len();
-    let seeds: Vec<u32> = seeds
-        .into_iter()
-        .filter(|&d| fz.degree_dense(d) >= required)
-        .collect();
-    if seeds.is_empty() {
-        return MatchTable::from_parts(vars, Vec::new());
-    }
-
-    let run_sequential = || {
-        crate::vectorized::match_pattern_vectorized_guarded(fz, pattern, &domains, None)
-            .expect("ungoverned search cannot be interrupted")
-    };
-    let threads = clamp_threads(threads, seeds.len());
-    if threads == 1 || seeds.len() < PAR_PATTERN_MIN_ROOTS {
-        return run_sequential();
-    }
-
-    let chunk = seeds.len().div_ceil(threads);
-    let seeds = &seeds;
-    let domains = &domains;
-    let mut tables: Vec<MatchTable> = Vec::new();
-    let ok = std::thread::scope(|s| {
-        let handles: Vec<_> = seeds
-            .chunks(chunk)
-            .map(|part| {
-                s.spawn(move || {
-                    // Restrict the partition variable's domain to this
-                    // chunk; every other domain is shared unchanged.
-                    let mut local_domains: Vec<Option<Vec<NodeId>>> = domains.clone();
-                    local_domains[pv] = Some(part.iter().map(|&d| fz.node_at(d)).collect());
-                    let mut table = None;
-                    let ok = isolate(|| {
-                        table = Some(
-                            crate::vectorized::match_pattern_vectorized_guarded(
-                                fz,
-                                pattern,
-                                &local_domains,
-                                None,
-                            )
-                            .expect("ungoverned search cannot be interrupted"),
-                        );
-                    });
-                    ok.then_some(table).flatten()
-                })
-            })
-            .collect();
-        let mut all_ok = true;
-        for h in handles {
-            match h.join().unwrap_or(None) {
-                Some(table) => tables.push(table),
-                None => all_ok = false,
-            }
-        }
-        all_ok
-    });
-    if !ok {
-        // A lost chunk means missing rows; rerun the whole pipeline
-        // sequentially on the calling thread.
-        return run_sequential();
-    }
-    // Same pattern + same plan → every chunk table carries the same
-    // column order, so concatenation is a flat data append.
-    let mut data = Vec::new();
-    for table in tables {
-        data.extend(table.into_data());
-    }
-    MatchTable::from_parts(vars, data)
+    crate::par_vectorized::match_pattern_par_vectorized(fz, pattern, threads)
 }
 
 #[cfg(test)]

@@ -28,8 +28,10 @@ use gdm_govern::{ExecutionGuard, GuardExt};
 pub type Domains = Vec<Option<Vec<NodeId>>>;
 
 /// A flat match result: one row per match, one column per pattern
-/// node, in `Pattern::nodes` order.
-#[derive(Debug, Clone, Default)]
+/// node, in `Pattern::nodes` order. Equality is exact — same columns,
+/// same rows, same row *order* — which is what the parallel executor's
+/// byte-identity tests assert against the sequential pipeline.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MatchTable {
     vars: Vec<String>,
     data: Vec<NodeId>,
@@ -92,12 +94,6 @@ impl MatchTable {
     pub(crate) fn from_parts(vars: Vec<String>, data: Vec<NodeId>) -> Self {
         debug_assert!(vars.is_empty() || data.len().is_multiple_of(vars.len()));
         MatchTable { vars, data }
-    }
-
-    /// Consumes the table into its flat row buffer — how the parallel
-    /// executor concatenates per-partition tables of the same plan.
-    pub(crate) fn into_data(self) -> Vec<NodeId> {
-        self.data
     }
 }
 

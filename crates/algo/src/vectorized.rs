@@ -168,131 +168,229 @@ pub(crate) fn match_pattern_vectorized_guarded(
     domains: &[Option<Vec<NodeId>>],
     guard: Option<&ExecutionGuard>,
 ) -> Result<MatchTable> {
-    let vars: Vec<String> = pattern.nodes.iter().map(|pn| pn.var.clone()).collect();
+    let vars = var_names(pattern);
     if pattern.nodes.is_empty() {
         return Ok(MatchTable::from_parts(vars, Vec::new()));
     }
-    let estimates = domain_estimates(fz, pattern, domains);
-    let order = planned_order(pattern, &estimates);
-    let n_vars = pattern.nodes.len();
-
-    // Selection vectors: planner domains mapped to dense positions
-    // (ids the snapshot never held simply drop out — the planned
-    // matcher rejects them via `contains_node` the same way), plus a
-    // bitset per restricted variable for O(1) membership during
-    // expansion.
-    let dom_list: Vec<Option<Vec<u32>>> = (0..n_vars)
-        .map(|i| {
-            domains.get(i).and_then(Option::as_ref).map(|d| {
-                d.iter()
-                    .filter_map(|n| fz.dense_of(*n))
-                    .collect::<Vec<u32>>()
-            })
-        })
-        .collect();
-    let words = fz.len().div_ceil(64);
-    let dom_bits: Vec<Option<Vec<u64>>> = dom_list
-        .iter()
-        .map(|d| {
-            d.as_ref().map(|list| {
-                let mut bits = vec![0u64; words];
-                for &dense in list {
-                    bits[dense as usize / 64] |= 1 << (dense % 64);
-                }
-                bits
-            })
-        })
-        .collect();
-
-    // Labels resolved once per query; the batch loops compare symbols.
-    let node_want: Vec<Want> = pattern
-        .nodes
-        .iter()
-        .map(|pn| Want::resolve(fz, pn.label.as_deref()))
-        .collect();
-    let edge_want: Vec<Want> = pattern
-        .edges
-        .iter()
-        .map(|pe| Want::resolve(fz, pe.label.as_deref()))
-        .collect();
-
-    // Static per-depth plan: with a fixed elimination order, the bound
-    // set at each depth is `order[..depth]`, so the generating edge
-    // and the residual edge checks are knowable up front instead of
-    // per candidate.
-    let mut bound = vec![false; n_vars];
-    let mut generators: Vec<Option<usize>> = Vec::with_capacity(order.len());
-    let mut residual_edges: Vec<Vec<usize>> = Vec::with_capacity(order.len());
-    for &pv in &order {
-        let generator = pattern.edges.iter().position(|e| {
-            (e.to == pv && e.from != pv && bound[e.from])
-                || (e.from == pv && e.to != pv && bound[e.to])
-        });
-        bound[pv] = true;
-        let checks = pattern
-            .edges
-            .iter()
-            .enumerate()
-            .filter(|&(ei, e)| {
-                Some(ei) != generator
-                    && (e.from == pv || e.to == pv)
-                    && bound[e.from]
-                    && bound[e.to]
-            })
-            .map(|(ei, _)| ei)
-            .collect();
-        generators.push(generator);
-        residual_edges.push(checks);
-    }
-
-    let mut search = VecSearch {
-        fz,
-        pattern,
-        order: &order,
-        generators: &generators,
-        residual_edges: &residual_edges,
-        node_want: &node_want,
-        edge_want: &edge_want,
-        dom_list: &dom_list,
-        dom_bits: &dom_bits,
-        stamp: vec![0u32; fz.len()],
-        stamp_gen: 0,
-        data: Vec::new(),
-        guard,
-    };
-    search.step(0, &Frame::root(n_vars))?;
-    Ok(MatchTable::from_parts(vars, search.data))
+    let plan = BatchPlan::compile(fz, pattern, domains);
+    let mut scratch = BatchScratch::new(fz);
+    let data = plan.run(None, &mut scratch, guard)?;
+    Ok(MatchTable::from_parts(vars, data))
 }
 
-struct VecSearch<'a> {
+/// Column names of the result table, in pattern variable order.
+pub(crate) fn var_names(pattern: &Pattern) -> Vec<String> {
+    pattern.nodes.iter().map(|pn| pn.var.clone()).collect()
+}
+
+/// Everything about a vectorized match that depends only on the
+/// (snapshot, pattern, domains) triple: the elimination order, the
+/// per-depth generator/residual schedule, pre-resolved label symbols,
+/// and the domain selection vectors/bitsets. Compiled once and then
+/// shared read-only — by the sequential [`BatchPlan::run`] over the
+/// whole root domain, or by every worker of the morsel-driven parallel
+/// executor ([`crate::par_vectorized`]) over root sub-ranges, which is
+/// what guarantees all morsels see the *same* plan.
+pub(crate) struct BatchPlan<'a> {
     fz: &'a FrozenGraph,
     pattern: &'a Pattern,
-    order: &'a [usize],
-    generators: &'a [Option<usize>],
-    residual_edges: &'a [Vec<usize>],
-    node_want: &'a [Want],
-    edge_want: &'a [Want],
-    dom_list: &'a [Option<Vec<u32>>],
-    dom_bits: &'a [Option<Vec<u64>>],
+    order: Vec<usize>,
+    generators: Vec<Option<usize>>,
+    residual_edges: Vec<Vec<usize>>,
+    node_want: Vec<Want>,
+    edge_want: Vec<Want>,
+    dom_list: Vec<Option<Vec<u32>>>,
+    dom_bits: Vec<Option<Vec<u64>>>,
+}
+
+/// Reusable per-thread search scratch: the dense-indexed dedup stamp
+/// array. Kept outside [`BatchPlan`] so one allocation serves every
+/// morsel a worker runs, instead of `O(|V|)` zeroing per morsel.
+pub(crate) struct BatchScratch {
+    stamp: Vec<u32>,
+    stamp_gen: u32,
+}
+
+impl BatchScratch {
+    pub(crate) fn new(fz: &FrozenGraph) -> BatchScratch {
+        BatchScratch {
+            stamp: vec![0u32; fz.len()],
+            stamp_gen: 0,
+        }
+    }
+}
+
+impl<'a> BatchPlan<'a> {
+    /// Compiles the static plan. Callers must have rejected empty
+    /// patterns already ([`planned_order`] needs at least one node).
+    pub(crate) fn compile(
+        fz: &'a FrozenGraph,
+        pattern: &'a Pattern,
+        domains: &[Option<Vec<NodeId>>],
+    ) -> BatchPlan<'a> {
+        let estimates = domain_estimates(fz, pattern, domains);
+        let order = planned_order(pattern, &estimates);
+        let n_vars = pattern.nodes.len();
+
+        // Selection vectors: planner domains mapped to dense positions
+        // (ids the snapshot never held simply drop out — the planned
+        // matcher rejects them via `contains_node` the same way), plus
+        // a bitset per restricted variable for O(1) membership during
+        // expansion.
+        let dom_list: Vec<Option<Vec<u32>>> = (0..n_vars)
+            .map(|i| {
+                domains.get(i).and_then(Option::as_ref).map(|d| {
+                    d.iter()
+                        .filter_map(|n| fz.dense_of(*n))
+                        .collect::<Vec<u32>>()
+                })
+            })
+            .collect();
+        let words = fz.len().div_ceil(64);
+        let dom_bits: Vec<Option<Vec<u64>>> = dom_list
+            .iter()
+            .map(|d| {
+                d.as_ref().map(|list| {
+                    let mut bits = vec![0u64; words];
+                    for &dense in list {
+                        bits[dense as usize / 64] |= 1 << (dense % 64);
+                    }
+                    bits
+                })
+            })
+            .collect();
+
+        // Labels resolved once per query; the batch loops compare
+        // symbols.
+        let node_want: Vec<Want> = pattern
+            .nodes
+            .iter()
+            .map(|pn| Want::resolve(fz, pn.label.as_deref()))
+            .collect();
+        let edge_want: Vec<Want> = pattern
+            .edges
+            .iter()
+            .map(|pe| Want::resolve(fz, pe.label.as_deref()))
+            .collect();
+
+        // Static per-depth plan: with a fixed elimination order, the
+        // bound set at each depth is `order[..depth]`, so the
+        // generating edge and the residual edge checks are knowable up
+        // front instead of per candidate.
+        let mut bound = vec![false; n_vars];
+        let mut generators: Vec<Option<usize>> = Vec::with_capacity(order.len());
+        let mut residual_edges: Vec<Vec<usize>> = Vec::with_capacity(order.len());
+        for &pv in &order {
+            let generator = pattern.edges.iter().position(|e| {
+                (e.to == pv && e.from != pv && bound[e.from])
+                    || (e.from == pv && e.to != pv && bound[e.to])
+            });
+            bound[pv] = true;
+            let checks = pattern
+                .edges
+                .iter()
+                .enumerate()
+                .filter(|&(ei, e)| {
+                    Some(ei) != generator
+                        && (e.from == pv || e.to == pv)
+                        && bound[e.from]
+                        && bound[e.to]
+                })
+                .map(|(ei, _)| ei)
+                .collect();
+            generators.push(generator);
+            residual_edges.push(checks);
+        }
+
+        BatchPlan {
+            fz,
+            pattern,
+            order,
+            generators,
+            residual_edges,
+            node_want,
+            edge_want,
+            dom_list,
+            dom_bits,
+        }
+    }
+
+    /// The full root seed list (dense positions), in the exact order
+    /// the sequential executor scans it. The morsel driver splits this
+    /// into contiguous ranges; because emission order is a function of
+    /// seed order alone (batch boundaries split but never reorder the
+    /// candidate stream, and recursion drains a prefix before its
+    /// suffix), concatenating per-range results in range order
+    /// reproduces the sequential output byte for byte.
+    pub(crate) fn root_seed_list(&self) -> Vec<u32> {
+        let pv = self.order[0];
+        if self.node_want[pv] == Want::Impossible {
+            return Vec::new();
+        }
+        match &self.dom_list[pv] {
+            Some(list) => list.clone(),
+            None => self.all_dense(pv),
+        }
+    }
+
+    /// Dense positions a label-only scan of `pv` must consider: the
+    /// label index slice when the variable is labelled, else all
+    /// nodes. (Only reached when the planner supplied no domain.)
+    fn all_dense(&self, pv: usize) -> Vec<u32> {
+        match self.node_want[pv] {
+            Want::Sym(sym) => self.fz.nodes_with_label(sym).to_vec(),
+            _ => (0..self.fz.len() as u32).collect(),
+        }
+    }
+
+    /// Runs the full operator chain — seed, batched expand, residual
+    /// filter, materialize — and returns the flat result data
+    /// (`n_vars` node ids per row). `root_seeds` restricts the root
+    /// seed operator to a sub-range (the morsel driver's hook); `None`
+    /// scans the whole root domain. The guard is generic so the same
+    /// pipeline serves the sequential path (`Option<&ExecutionGuard>`)
+    /// and parallel workers (`&WorkerGuard`) without dynamic dispatch.
+    pub(crate) fn run<G: GuardExt>(
+        &self,
+        root_seeds: Option<&[u32]>,
+        scratch: &mut BatchScratch,
+        guard: G,
+    ) -> Result<Vec<NodeId>> {
+        let mut search = VecSearch {
+            plan: self,
+            root_seeds,
+            scratch,
+            data: Vec::new(),
+            guard,
+        };
+        search.step(0, &Frame::root(self.pattern.nodes.len()))?;
+        Ok(search.data)
+    }
+}
+
+struct VecSearch<'a, G: GuardExt> {
+    plan: &'a BatchPlan<'a>,
+    /// Root seed sub-range override (morsel execution); `None` scans
+    /// the plan's whole root domain.
+    root_seeds: Option<&'a [u32]>,
     /// Reusable per-row dedup marks for batched expansion: a node is a
     /// duplicate within one source row's expansion iff its stamp
     /// equals the current generation.
-    stamp: Vec<u32>,
-    stamp_gen: u32,
+    scratch: &'a mut BatchScratch,
     /// Flat result buffer, `n_vars` node ids per row in pattern
     /// variable order.
     data: Vec<NodeId>,
-    guard: Option<&'a ExecutionGuard>,
+    guard: G,
 }
 
-impl VecSearch<'_> {
+impl<G: GuardExt> VecSearch<'_, G> {
     /// Runs the operator for depth `depth` over one input batch.
     fn step(&mut self, depth: usize, frame: &Frame) -> Result<()> {
-        if depth == self.order.len() {
+        if depth == self.plan.order.len() {
             return self.emit(frame);
         }
-        let pv = self.order[depth];
-        if self.node_want[pv] == Want::Impossible {
+        let pv = self.plan.order[depth];
+        if self.plan.node_want[pv] == Want::Impossible {
             return Ok(());
         }
 
@@ -300,9 +398,9 @@ impl VecSearch<'_> {
         let mut sel: Vec<u32> = Vec::with_capacity(BATCH);
         let mut vals: Vec<u32> = Vec::with_capacity(BATCH);
 
-        match self.generators[depth] {
+        match self.plan.generators[depth] {
             Some(ei) => {
-                if self.edge_want[ei] == Want::Impossible {
+                if self.plan.edge_want[ei] == Want::Impossible {
                     return Ok(());
                 }
                 for row in 0..frame.len {
@@ -310,16 +408,20 @@ impl VecSearch<'_> {
                 }
             }
             None => {
-                // Seed operator: the domain selection vector when the
-                // planner supplied one, else the label-scan slice,
-                // else every dense position.
+                // Seed operator: the morsel's root sub-range at depth
+                // 0 when one was supplied, else the domain selection
+                // vector when the planner supplied one, else the
+                // label-scan slice, else every dense position.
                 let owned: Vec<u32>;
-                let scan: &[u32] = match &self.dom_list[pv] {
-                    Some(list) => list,
-                    None => {
-                        owned = self.all_dense(pv);
-                        &owned
-                    }
+                let scan: &[u32] = match (depth, self.root_seeds) {
+                    (0, Some(seeds)) => seeds,
+                    _ => match &self.plan.dom_list[pv] {
+                        Some(list) => list,
+                        None => {
+                            owned = self.plan.all_dense(pv);
+                            &owned
+                        }
+                    },
                 };
                 for row in 0..frame.len {
                     for chunk in scan.chunks(BATCH) {
@@ -341,16 +443,6 @@ impl VecSearch<'_> {
         Ok(())
     }
 
-    /// Dense positions a label-only scan of `pv` must consider: the
-    /// label index slice when the variable is labelled, else all
-    /// nodes. (Only reached when the planner supplied no domain.)
-    fn all_dense(&self, pv: usize) -> Vec<u32> {
-        match self.node_want[pv] {
-            Want::Sym(sym) => self.fz.nodes_with_label(sym).to_vec(),
-            _ => (0..self.fz.len() as u32).collect(),
-        }
-    }
-
     /// Batched expand: walks the CSR run of `row`'s bound endpoint of
     /// generating edge `ei`, pushing label/range-qualified,
     /// deduplicated, in-domain targets into the pending batch and
@@ -366,7 +458,7 @@ impl VecSearch<'_> {
         sel: &mut Vec<u32>,
         vals: &mut Vec<u32>,
     ) -> Result<()> {
-        let e = &self.pattern.edges[ei];
+        let e = &self.plan.pattern.edges[ei];
         let (bound_var, dir) = if e.to == pv {
             (e.from, e.direction)
         } else {
@@ -379,16 +471,16 @@ impl VecSearch<'_> {
         let bound = frame.cols[bound_var][row];
 
         // New dedup generation for this source row.
-        self.stamp_gen = self.stamp_gen.wrapping_add(1);
-        if self.stamp_gen == 0 {
-            self.stamp.fill(0);
-            self.stamp_gen = 1;
+        self.scratch.stamp_gen = self.scratch.stamp_gen.wrapping_add(1);
+        if self.scratch.stamp_gen == 0 {
+            self.scratch.stamp.fill(0);
+            self.scratch.stamp_gen = 1;
         }
 
         let (fwd_first, rev_too) = match dir {
             Direction::Outgoing => (true, false),
             Direction::Incoming => (false, true),
-            Direction::Both => (true, self.fz.is_directed()),
+            Direction::Both => (true, self.plan.fz.is_directed()),
         };
         if fwd_first {
             self.expand_run(depth, pv, ei, frame, row, bound, false, sel, vals)?;
@@ -413,10 +505,14 @@ impl VecSearch<'_> {
         sel: &mut Vec<u32>,
         vals: &mut Vec<u32>,
     ) -> Result<()> {
-        let e = &self.pattern.edges[ei];
-        let want = self.edge_want[ei];
-        let csr = if reverse { &self.fz.rev } else { &self.fz.fwd };
-        let bits = self.dom_bits[pv].as_deref();
+        let e = &self.plan.pattern.edges[ei];
+        let want = self.plan.edge_want[ei];
+        let csr = if reverse {
+            &self.plan.fz.rev
+        } else {
+            &self.plan.fz.fwd
+        };
+        let bits = self.plan.dom_bits[pv].as_deref();
         let run = csr.run(bound);
         for pos in 0..run.targets.len() {
             if !want.accepts(run.labels[pos]) {
@@ -426,10 +522,10 @@ impl VecSearch<'_> {
                 continue;
             }
             let target = run.targets[pos];
-            if self.stamp[target as usize] == self.stamp_gen {
+            if self.scratch.stamp[target as usize] == self.scratch.stamp_gen {
                 continue; // parallel-edge duplicate within this row
             }
-            self.stamp[target as usize] = self.stamp_gen;
+            self.scratch.stamp[target as usize] = self.scratch.stamp_gen;
             if let Some(bits) = bits {
                 if bits[target as usize / 64] & (1 << (target % 64)) == 0 {
                     continue; // outside the variable's domain
@@ -459,20 +555,20 @@ impl VecSearch<'_> {
     ) -> Result<()> {
         self.guard.nodes(vals.len() as u64)?;
 
-        let pn = &self.pattern.nodes[pv];
-        let want = self.node_want[pv];
-        let bound_vars = &self.order[..depth];
+        let pn = &self.plan.pattern.nodes[pv];
+        let want = self.plan.node_want[pv];
+        let bound_vars = &self.plan.order[..depth];
         let mut keep = 0usize;
         'cand: for i in 0..vals.len() {
             let cand = vals[i];
             let row = sel[i] as usize;
             // Label: one symbol compare against the label column.
-            if !want.accepts(self.fz.node_label_dense(cand)) {
+            if !want.accepts(self.plan.fz.node_label_dense(cand)) {
                 continue;
             }
             // Property equality over the snapshot's property columns.
             if !pn.props.is_empty() {
-                let props = self.fz.node_props_dense(cand);
+                let props = self.plan.fz.node_props_dense(cand);
                 for (key, want_v) in &pn.props {
                     let ok = props
                         .iter()
@@ -490,8 +586,8 @@ impl VecSearch<'_> {
                 }
             }
             // Residual (non-generator) edge checks.
-            for &rei in &self.residual_edges[depth] {
-                let e = &self.pattern.edges[rei];
+            for &rei in &self.plan.residual_edges[depth] {
+                let e = &self.plan.pattern.edges[rei];
                 let from = if e.from == pv {
                     cand
                 } else {
@@ -537,7 +633,7 @@ impl VecSearch<'_> {
     /// between the dense endpoints? Pure CSR scan, symbol-compare
     /// labels, exact range re-check.
     fn has_edge_dense(&self, rei: usize, from: u32, to: u32) -> bool {
-        let e = &self.pattern.edges[rei];
+        let e = &self.plan.pattern.edges[rei];
         match e.direction {
             Direction::Outgoing => self.scan_edge(rei, from, to),
             Direction::Incoming => self.scan_edge(rei, to, from),
@@ -546,9 +642,9 @@ impl VecSearch<'_> {
     }
 
     fn scan_edge(&self, rei: usize, a: u32, b: u32) -> bool {
-        let want = self.edge_want[rei];
-        let ranges = &self.pattern.edges[rei].ranges;
-        let run = self.fz.fwd.run(a);
+        let want = self.plan.edge_want[rei];
+        let ranges = &self.plan.pattern.edges[rei].ranges;
+        let run = self.plan.fz.fwd.run(a);
         for pos in 0..run.targets.len() {
             if run.targets[pos] == b
                 && want.accepts(run.labels[pos])
@@ -562,8 +658,8 @@ impl VecSearch<'_> {
 
     /// Exact edge-property range filter for pattern edge `rei`.
     fn edge_props_in_ranges(&self, edge_raw: u64, rei: usize) -> bool {
-        let ranges = &self.pattern.edges[rei].ranges;
-        let props = self.fz.edge_props_raw(edge_raw).unwrap_or(&[]);
+        let ranges = &self.plan.pattern.edges[rei].ranges;
+        let props = self.plan.fz.edge_props_raw(edge_raw).unwrap_or(&[]);
         ranges.iter().all(|(key, low, high)| {
             props
                 .iter()
@@ -579,10 +675,10 @@ impl VecSearch<'_> {
     /// result buffer.
     fn emit(&mut self, frame: &Frame) -> Result<()> {
         self.guard.rows(frame.len as u64)?;
-        self.data.reserve(frame.len * self.pattern.nodes.len());
+        self.data.reserve(frame.len * self.plan.pattern.nodes.len());
         for row in 0..frame.len {
             for col in &frame.cols {
-                self.data.push(self.fz.node_at(col[row]));
+                self.data.push(self.plan.fz.node_at(col[row]));
             }
         }
         Ok(())

@@ -15,7 +15,9 @@
 //! (live vs frozen vs frozen+parallel) and writes the numbers to a
 //! machine-readable `BENCH_essential.json` (path configurable with
 //! `--json PATH`). `--smoke` shrinks the workload and iteration
-//! counts for a quick CI sanity run.
+//! counts for a quick CI sanity run. `--workers N` pins the morsel
+//! executor's worker pool (default: the machine's available
+//! parallelism) so parallel rows are reproducible across machines.
 //!
 //! `--deadline-ms N` switches to the **governor gauntlet** instead of
 //! benchmarking: an expensive governed pattern match runs on every
@@ -154,6 +156,11 @@ fn main() {
             "--deadline-ms" => {
                 deadline_ms = args.next().and_then(|v| v.parse().ok());
             }
+            "--workers" => {
+                if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                    gdm_algo::set_executor_workers(n);
+                }
+            }
             _ => {}
         }
     }
@@ -264,7 +271,7 @@ fn main() {
     );
 
     // ---- CSR snapshot fast path: live vs frozen vs frozen+parallel ----
-    let threads = gdm_algo::default_threads();
+    let threads = gdm_algo::executor_workers();
     let (diam_iters, comp_iters) = if smoke { (2u32, 5u32) } else { (3, 20) };
 
     // Neo4j is the representative live engine for the structural
@@ -466,6 +473,41 @@ fn main() {
             frozen_ops_s: ops_s(vectorized_pat),
             parallel_ops_s: None,
         });
+
+        // The morsel-driven parallel executor over the same vectorized
+        // pipeline (DESIGN.md §15). The frozen cell repeats the
+        // sequential vectorized baseline so the row is self-contained:
+        // parallel/frozen within this row is the executor's speedup.
+        let par_vec_pat = time_us(
+            || {
+                black_box(gdm_algo::match_pattern_par_vectorized(&pfz, &pattern, threads).len());
+            },
+            comp_iters,
+        );
+        rows.push(Row {
+            name: "pattern_par_vectorized",
+            live_ops_s: None,
+            frozen_ops_s: ops_s(vectorized_pat),
+            parallel_ops_s: Some(ops_s(par_vec_pat)),
+        });
+        // Byte-identical results are the executor's contract on every
+        // machine; the speedup claim only holds where there are cores
+        // to speed up on, so it gates on real parallelism.
+        assert!(
+            gdm_algo::match_pattern_par_vectorized(&pfz, &pattern, threads)
+                == gdm_algo::match_pattern_vectorized_auto(&pfz, &pattern),
+            "parallel vectorized match must be byte-identical to sequential vectorized",
+        );
+        if gdm_algo::default_threads() > 1 && threads > 1 {
+            assert!(
+                par_vec_pat <= vectorized_pat,
+                "morsel-driven parallel pattern match ({:.1} ops/s) regressed below the \
+                 sequential vectorized executor ({:.1} ops/s) on a {}-core machine",
+                ops_s(par_vec_pat),
+                ops_s(vectorized_pat),
+                gdm_algo::default_threads(),
+            );
+        }
 
         // Planning + EXPLAIN rendering throughput for the equivalent
         // algebra query (pushdown of `x.community = 3`).

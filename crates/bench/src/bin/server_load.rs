@@ -17,6 +17,8 @@
 //!     ServerHandle::refresh_with, and the very next query of the same
 //!     text must see the new row on a freshly planned (epoch-evicted)
 //!     plan, with STATS reporting the refresh
+//! cargo run --release --bin server_load -- --smoke --workers 2   # pin
+//!     the morsel executor's worker pool (any mode); STATS must echo it
 //! ```
 
 use gdm_bench::workload::{load_into_engine, social_graph, SocialParams};
@@ -48,6 +50,15 @@ fn main() {
     let smoke = args.iter().any(|a| a == "--smoke");
     let refresh_smoke = args.iter().any(|a| a == "--refresh-smoke");
     let quick = smoke || refresh_smoke;
+    let workers: usize = args
+        .iter()
+        .position(|a| a == "--workers")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| fail("--workers wants a number"))
+        })
+        .unwrap_or(0);
 
     let dir = std::env::temp_dir().join(format!("gdm-server-load-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("temp dir");
@@ -70,6 +81,7 @@ fn main() {
         queue: 8,
         refill_interval: Duration::from_millis(10),
         refill_credits: if quick { 50_000 } else { 2_000 },
+        executor_workers: workers,
         ..ServerConfig::default()
     };
     let mut alpha = TenantConfig::new("alpha", 3);
@@ -175,11 +187,23 @@ fn main() {
         }
         let stats = c.stats().expect("stats");
         println!(
-            "plan cache: {} hits / {} misses / {} entries",
-            stats.plan_cache.hits, stats.plan_cache.misses, stats.plan_cache.entries
+            "plan cache: {} hits / {} misses / {} entries; executor workers: {}",
+            stats.plan_cache.hits,
+            stats.plan_cache.misses,
+            stats.plan_cache.entries,
+            stats.executor_workers
         );
         if stats.plan_cache.hits == 0 {
             fail("STATS must show a plan-cache hit rate > 0");
+        }
+        if stats.executor_workers == 0 {
+            fail("STATS must report the executor worker-pool size");
+        }
+        if workers > 0 && stats.executor_workers != workers as u64 {
+            fail(&format!(
+                "STATS must echo the --workers override: expected {workers}, got {}",
+                stats.executor_workers
+            ));
         }
         match c.shutdown().expect("shutdown") {
             Response::Bye => {}
@@ -286,8 +310,12 @@ fn main() {
         );
     }
     println!(
-        "  plan cache: {} hits / {} misses / {} entries; queue sheds: {}",
-        stats.plan_cache.hits, stats.plan_cache.misses, stats.plan_cache.entries, stats.queue_shed
+        "  plan cache: {} hits / {} misses / {} entries; queue sheds: {}; executor workers: {}",
+        stats.plan_cache.hits,
+        stats.plan_cache.misses,
+        stats.plan_cache.entries,
+        stats.queue_shed,
+        stats.executor_workers
     );
 
     let _ = std::fs::remove_dir_all(&dir);

@@ -321,8 +321,15 @@ pub trait GraphEngine {
                 // The snapshot is a concrete CSR graph, so governed
                 // pattern matching runs the vectorized batch executor
                 // (guard ticked per batch, same `Interrupted`
-                // semantics, same rows as the planned matcher).
-                let table = gdm_algo::match_pattern_vectorized_auto_governed(&fz, pattern, guard)?;
+                // semantics, same rows as the planned matcher) —
+                // morsel-parallel across the executor worker pool when
+                // more than one core is available.
+                let table = gdm_algo::match_pattern_par_vectorized_governed(
+                    &fz,
+                    pattern,
+                    gdm_algo::executor_workers(),
+                    guard,
+                )?;
                 Ok(GovernedAnswer::Matches(table.len()))
             }
             GovernedOp::ShortestPath(a, b) => Ok(GovernedAnswer::Path(

@@ -25,6 +25,7 @@
 //! across the scoped worker threads of `gdm_algo::parallel`.
 
 use gdm_core::{GdmError, InterruptReason, Result};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -395,6 +396,133 @@ impl ExecutionGuard {
     fn interrupt(&self, reason: InterruptReason) -> GdmError {
         GdmError::interrupted(reason, self.budget.rows_emitted())
     }
+
+    /// A thread-local batching view of this guard for one parallel
+    /// worker. See [`WorkerGuard`].
+    pub fn worker(&self) -> WorkerGuard<'_> {
+        WorkerGuard {
+            shared: self,
+            nodes: Cell::new(0),
+            edges: Cell::new(0),
+            rows: Cell::new(0),
+        }
+    }
+}
+
+/// How many pending visit/row units a [`WorkerGuard`] accumulates
+/// locally before draining them into the shared [`ExecutionGuard`]
+/// counters. Large enough that N workers hammering one query do not
+/// turn the guard's atomics into a contention point; small enough that
+/// a budget trip overruns by at most a few batches per worker.
+pub const WORKER_FLUSH_UNITS: u64 = 4096;
+
+/// A per-worker batching wrapper over a shared [`ExecutionGuard`].
+///
+/// Parallel morsel execution shares one guard across scoped worker
+/// threads. Charging the shared atomics on every batch would serialize
+/// the workers on cache-line ping-pong, so each worker accumulates its
+/// visit/row counts in plain [`Cell`]s and drains them in bulk — at
+/// [`WORKER_FLUSH_UNITS`] pending units, at explicit [`flush`] points
+/// (morsel boundaries), and unconditionally on drop, so partial-result
+/// accounting survives an interrupted or poisoned worker. Between
+/// flushes every charge still runs the *read-only*
+/// [`ExecutionGuard::check_now`], so cancellation and deadlines stay
+/// exactly as responsive as in the sequential vectorized path; only
+/// budget/allowance trips are deferred to the next drain.
+///
+/// [`flush`]: WorkerGuard::flush
+#[derive(Debug)]
+pub struct WorkerGuard<'a> {
+    shared: &'a ExecutionGuard,
+    nodes: Cell<u64>,
+    edges: Cell<u64>,
+    rows: Cell<u64>,
+}
+
+impl WorkerGuard<'_> {
+    #[inline]
+    fn pending(&self) -> u64 {
+        self.nodes.get() + self.edges.get() + self.rows.get()
+    }
+
+    /// Drains every pending count into the shared guard, returning the
+    /// first trip (budget, allowance, deadline, or cancellation) it
+    /// observes. Rows drain first so a budget trip's `partial` count
+    /// reflects every row this worker already emitted.
+    pub fn flush(&self) -> Result<()> {
+        let rows = self.rows.take();
+        let nodes = self.nodes.take();
+        let edges = self.edges.take();
+        if rows > 0 {
+            self.shared.rows(rows)?;
+        }
+        if nodes > 0 {
+            self.shared.nodes(nodes)?;
+        }
+        if edges > 0 {
+            self.shared.edges(edges)?;
+        }
+        self.shared.check_now()
+    }
+
+    #[inline]
+    fn charge(&self, cell: &Cell<u64>, k: u64) -> Result<()> {
+        cell.set(cell.get() + k);
+        if self.pending() >= WORKER_FLUSH_UNITS {
+            self.flush()
+        } else {
+            self.shared.check_now()
+        }
+    }
+}
+
+impl Drop for WorkerGuard<'_> {
+    /// Settles outstanding counts into the shared guard no matter how
+    /// the worker exits, so `Interrupted { partial, .. }` and the
+    /// budget telemetry account for work done by every worker. The
+    /// drain itself may observe a trip; by this point the worker's
+    /// fate is already decided, so the result is ignored — the atomic
+    /// adds land regardless.
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+impl GuardExt for WorkerGuard<'_> {
+    #[inline]
+    fn node(&self) -> Result<()> {
+        self.charge(&self.nodes, 1)
+    }
+
+    #[inline]
+    fn edge(&self) -> Result<()> {
+        self.charge(&self.edges, 1)
+    }
+
+    #[inline]
+    fn row(&self) -> Result<()> {
+        self.charge(&self.rows, 1)
+    }
+
+    #[inline]
+    fn nodes(&self, k: u64) -> Result<()> {
+        self.charge(&self.nodes, k)
+    }
+
+    #[inline]
+    fn edges(&self, k: u64) -> Result<()> {
+        self.charge(&self.edges, k)
+    }
+
+    #[inline]
+    fn rows(&self, k: u64) -> Result<()> {
+        self.charge(&self.rows, k)
+    }
+
+    #[inline]
+    fn check_now(&self) -> Result<()> {
+        self.shared.check_now()
+    }
 }
 
 /// Zero-cost optional-guard plumbing: search internals take
@@ -476,6 +604,45 @@ impl GuardExt for Option<&ExecutionGuard> {
             Some(g) => g.check_now(),
             None => Ok(()),
         }
+    }
+}
+
+/// References delegate, so generic search loops can hold either an
+/// `Option<&ExecutionGuard>` by value or a borrowed [`WorkerGuard`].
+impl<T: GuardExt> GuardExt for &T {
+    #[inline]
+    fn node(&self) -> Result<()> {
+        (**self).node()
+    }
+
+    #[inline]
+    fn edge(&self) -> Result<()> {
+        (**self).edge()
+    }
+
+    #[inline]
+    fn row(&self) -> Result<()> {
+        (**self).row()
+    }
+
+    #[inline]
+    fn nodes(&self, k: u64) -> Result<()> {
+        (**self).nodes(k)
+    }
+
+    #[inline]
+    fn edges(&self, k: u64) -> Result<()> {
+        (**self).edges(k)
+    }
+
+    #[inline]
+    fn rows(&self, k: u64) -> Result<()> {
+        (**self).rows(k)
+    }
+
+    #[inline]
+    fn check_now(&self) -> Result<()> {
+        (**self).check_now()
     }
 }
 
@@ -619,6 +786,80 @@ mod tests {
             reason_of(g.nodes(1).unwrap_err()),
             InterruptReason::Throttled
         );
+    }
+
+    #[test]
+    fn worker_guard_batches_charges_and_settles_on_drop() {
+        let g = ExecutionGuard::unlimited();
+        {
+            let w = g.worker();
+            w.nodes(100).unwrap();
+            w.edges(50).unwrap();
+            w.rows(7).unwrap();
+            // Below the flush threshold nothing reaches the shared
+            // counters yet.
+            assert_eq!(g.budget().node_visits(), 0);
+            w.flush().unwrap();
+            assert_eq!(g.budget().node_visits(), 100);
+            assert_eq!(g.budget().edge_visits(), 50);
+            assert_eq!(g.budget().rows_emitted(), 7);
+            w.nodes(9).unwrap();
+        } // drop settles the trailing 9
+        assert_eq!(g.budget().node_visits(), 109);
+    }
+
+    #[test]
+    fn worker_guard_flushes_automatically_past_the_threshold() {
+        let g = ExecutionGuard::unlimited();
+        let w = g.worker();
+        w.nodes(WORKER_FLUSH_UNITS - 1).unwrap();
+        assert_eq!(g.budget().node_visits(), 0);
+        w.node().unwrap(); // crosses the threshold, drains
+        assert_eq!(g.budget().node_visits(), WORKER_FLUSH_UNITS);
+    }
+
+    #[test]
+    fn worker_guard_budget_trips_at_flush_with_partial_rows() {
+        let g = ExecutionGuard::new(Limits::none().with_node_visits(10));
+        let w = g.worker();
+        w.rows(3).unwrap();
+        w.nodes(50).unwrap();
+        let err = w.flush().unwrap_err();
+        assert_eq!(reason_of(err), InterruptReason::Budget);
+        // Rows drained before the tripping node charge, so the partial
+        // count carried the worker's emitted rows.
+        match g.nodes(1).unwrap_err() {
+            GdmError::Interrupted { partial, .. } => assert_eq!(partial, 3),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn worker_guard_sees_cancel_and_deadline_without_flushing() {
+        let g = ExecutionGuard::unlimited();
+        let w = g.worker();
+        w.nodes(5).unwrap();
+        g.cancel_token().cancel();
+        assert_eq!(
+            reason_of(w.nodes(1).unwrap_err()),
+            InterruptReason::Cancelled
+        );
+        let g2 = ExecutionGuard::new(Limits::none().with_deadline(Duration::ZERO));
+        let w2 = g2.worker();
+        assert_eq!(reason_of(w2.node().unwrap_err()), InterruptReason::Deadline);
+    }
+
+    #[test]
+    fn two_workers_merge_into_one_shared_budget() {
+        let g = ExecutionGuard::new(Limits::none().with_node_visits(100));
+        let w1 = g.worker();
+        let w2 = g.worker();
+        w1.nodes(60).unwrap();
+        w2.nodes(60).unwrap();
+        w1.flush().unwrap();
+        // The pool is shared: the second worker's drain trips it.
+        assert_eq!(reason_of(w2.flush().unwrap_err()), InterruptReason::Budget);
+        assert_eq!(g.budget().node_visits(), 120);
     }
 
     #[test]

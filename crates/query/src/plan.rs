@@ -85,6 +85,12 @@ pub struct ExplainPlan {
     /// (the view exposes a CSR batch backend — a frozen serving
     /// snapshot). Row-at-a-time views leave this false.
     pub vectorized: bool,
+    /// Worker threads the morsel-driven parallel executor will use for
+    /// this plan. `1` means sequential execution (row-at-a-time views,
+    /// single-core hosts, or an explicit single-worker override);
+    /// recorded at plan time so a cached plan executes the same way on
+    /// every reuse.
+    pub parallel_workers: usize,
     /// Variables in the order the matcher binds them.
     pub steps: Vec<PlanStep>,
 }
@@ -103,6 +109,12 @@ impl ExplainPlan {
         // pre-vectorized text form (older parsers keep working).
         if self.vectorized {
             out.push_str(" vectorized=true");
+        }
+        // Only emitted when the parallel executor was selected, so
+        // sequential plans render byte-identically to the pre-parallel
+        // text form (older parsers keep working).
+        if self.parallel_workers > 1 {
+            out.push_str(&format!(" parallel_workers={}", self.parallel_workers));
         }
         out.push('\n');
         for s in &self.steps {
@@ -141,6 +153,7 @@ impl ExplainPlan {
         }
         let (mut nodes, mut pushed, mut residual) = (None, None, None);
         let mut vectorized = false;
+        let mut parallel_workers = 1usize;
         for tok in toks {
             let (k, v) = split_kv(tok)?;
             if k == "vectorized" {
@@ -158,6 +171,8 @@ impl ExplainPlan {
                 "nodes" => nodes = Some(v),
                 "pushed" => pushed = Some(v),
                 "residual" => residual = Some(v),
+                // Absent in pre-parallel plan text: defaults to 1.
+                "parallel_workers" => parallel_workers = v.max(1),
                 other => return Err(invalid(format!("unknown plan field {other:?}"))),
             }
         }
@@ -202,6 +217,7 @@ impl ExplainPlan {
             pushed: pushed.ok_or_else(|| invalid("plan missing pushed".to_owned()))?,
             residual: residual.ok_or_else(|| invalid("plan missing residual".to_owned()))?,
             vectorized,
+            parallel_workers,
             steps,
         })
     }
@@ -302,11 +318,21 @@ pub fn plan_select<G: AttributedView + ?Sized>(
             }
         })
         .collect();
+    let vectorized = batch_snapshot(g).is_some();
     let explain = ExplainPlan {
         nodes: query.pattern.nodes.len(),
         pushed,
         residual: residual_count,
-        vectorized: batch_snapshot(g).is_some(),
+        vectorized,
+        // Parallel execution needs the batch pipeline (only frozen
+        // inputs are morsel-splittable) and more than one worker in
+        // the pool. Recorded at plan time: plan-cache hits execute
+        // with the workers the plan was made for.
+        parallel_workers: if vectorized {
+            gdm_algo::executor_workers().max(1)
+        } else {
+            1
+        },
         steps,
     };
     Ok(PlannedSelect {
@@ -329,8 +355,17 @@ pub fn evaluate_select_planned<G: AttributedView + ?Sized>(
     let table = if domains_consistent(g, &planned.domains) {
         // Frozen serving snapshots execute through the vectorized
         // batch pipeline (same rows as the planned matcher, CSR-array
-        // speed); row-at-a-time views take the planned matcher.
+        // speed) — morsel-parallel when the plan recorded more than
+        // one worker; row-at-a-time views take the planned matcher.
         match batch_snapshot(g) {
+            Some(fz) if planned.explain.parallel_workers > 1 => {
+                gdm_algo::match_pattern_par_vectorized_domains(
+                    fz,
+                    &planned.query.pattern,
+                    &planned.domains,
+                    planned.explain.parallel_workers,
+                )
+            }
             Some(fz) => {
                 gdm_algo::match_pattern_vectorized(fz, &planned.query.pattern, &planned.domains)
             }
@@ -365,7 +400,18 @@ pub fn execute_planned_governed<G: AttributedView + ?Sized>(
         match batch_snapshot(g) {
             // The vectorized pipeline ticks the guard once per batch
             // (`ExecutionGuard::nodes`/`rows`), preserving the same
-            // structured `Interrupted` semantics at lower overhead.
+            // structured `Interrupted` semantics at lower overhead;
+            // multi-worker plans run it morsel-parallel with per-worker
+            // guard batching (same semantics, merged partials).
+            Some(fz) if planned.explain.parallel_workers > 1 => {
+                gdm_algo::match_pattern_par_vectorized_domains_governed(
+                    fz,
+                    &planned.query.pattern,
+                    &planned.domains,
+                    planned.explain.parallel_workers,
+                    guard,
+                )?
+            }
             Some(fz) => gdm_algo::match_pattern_vectorized_governed(
                 fz,
                 &planned.query.pattern,
@@ -758,6 +804,34 @@ mod tests {
         let (rows_frozen, _) = evaluate_select_planned(&fz, &q).unwrap();
         assert_eq!(rows_live, rows_frozen);
         assert_eq!(rows_frozen.len(), 1);
+    }
+
+    #[test]
+    fn parallel_workers_render_parse_and_routing() {
+        let g = social();
+        let q = name_query(None);
+        // Row-at-a-time views always plan sequential, and sequential
+        // plans render byte-identically to the pre-parallel text form.
+        let live = plan_select(&g, &q).unwrap();
+        assert_eq!(live.explain.parallel_workers, 1);
+        assert!(!live.explain.render().contains("parallel_workers"));
+        // A multi-worker plan round-trips through the text form.
+        let mut explain = live.explain.clone();
+        explain.parallel_workers = 4;
+        let text = explain.render();
+        assert!(text.contains("parallel_workers=4"));
+        assert_eq!(ExplainPlan::parse(&text).unwrap(), explain);
+        // A frozen plan forced to multiple workers routes execution
+        // through the morsel-driven executor — identical rows, both
+        // ungoverned and governed.
+        let fz = gdm_algo::FrozenGraph::freeze_attributed(&g);
+        let mut planned = plan_select(&fz, &q).unwrap();
+        let guard = gdm_govern::ExecutionGuard::unlimited();
+        let seq = execute_planned_governed(&fz, &planned, &guard).unwrap();
+        planned.explain.parallel_workers = 2;
+        let guard = gdm_govern::ExecutionGuard::unlimited();
+        let par = execute_planned_governed(&fz, &planned, &guard).unwrap();
+        assert_eq!(par, seq);
     }
 
     #[test]

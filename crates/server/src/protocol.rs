@@ -139,6 +139,9 @@ pub struct StatsReply {
     pub plan_cache: CacheStats,
     /// Lifetime requests shed by the global queue.
     pub queue_shed: u64,
+    /// Morsel-executor worker threads each frozen pattern query may
+    /// fan out across (the resolved process-wide setting, ≥ 1).
+    pub executor_workers: u64,
     /// Epoch of the snapshot currently serving queries.
     pub snapshot_epoch: u64,
     /// Lifetime live snapshot refreshes since startup.
@@ -277,6 +280,7 @@ mod tests {
                     epoch_evictions: 1,
                 },
                 queue_shed: 0,
+                executor_workers: 2,
                 snapshot_epoch: 42,
                 refreshes: 3,
                 last_refresh_us: 180,

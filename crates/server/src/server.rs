@@ -84,6 +84,10 @@ pub struct ServerConfig {
     pub query_limits: Option<Limits>,
     /// Plans the shared cache holds before FIFO eviction.
     pub plan_cache_capacity: usize,
+    /// Morsel-executor worker threads per query (`0` keeps the
+    /// process-wide auto setting, [`gdm_algo::default_threads`]).
+    /// Applied once by [`serve`] via [`gdm_algo::set_executor_workers`].
+    pub executor_workers: usize,
 }
 
 impl Default for ServerConfig {
@@ -97,6 +101,7 @@ impl Default for ServerConfig {
             refill_credits: 50_000,
             query_limits: None,
             plan_cache_capacity: 64,
+            executor_workers: 0,
         }
     }
 }
@@ -158,6 +163,7 @@ impl Shared {
                 epoch_evictions: self.cache.epoch_evictions(),
             },
             queue_shed: self.admission.queue_shed(),
+            executor_workers: gdm_algo::executor_workers() as u64,
             snapshot_epoch: self.current().frozen.epoch(),
             refreshes: self.refreshes.load(Ordering::Relaxed),
             last_refresh_us: self.last_refresh_us.load(Ordering::Relaxed),
@@ -266,6 +272,9 @@ pub fn serve(snapshot: ServingSnapshot, config: ServerConfig) -> io::Result<Serv
             io::ErrorKind::InvalidInput,
             "a server needs at least one tenant",
         ));
+    }
+    if config.executor_workers > 0 {
+        gdm_algo::set_executor_workers(config.executor_workers);
     }
     let listener = TcpListener::bind(("127.0.0.1", 0))?;
     let addr = listener.local_addr()?;

@@ -267,3 +267,89 @@ fn governed_vectorized_budget_and_deadline_gauntlet() {
         other => panic!("expected Interrupted, got {other}"),
     }
 }
+
+/// The same gauntlet for the morsel-driven parallel executor, forced
+/// onto multiple workers so the guard really is shared across threads
+/// (a single-core CI machine must not silently skip the interesting
+/// path): (a) byte-identical to the sequential vectorized run under an
+/// unlimited guard, (b) structured `Interrupted` with the right reason
+/// under each limit family, with the partial count reflecting rows
+/// settled across *all* workers, and (c) a panic-injected morsel
+/// degrades to the sequential rerun without changing the answer.
+#[test]
+fn governed_par_vectorized_gauntlet_under_forced_workers() {
+    use graph_db_models::algo::par_vectorized::match_pattern_par_vectorized_forced;
+    use graph_db_models::algo::parallel::inject_worker_panic_once;
+    use graph_db_models::algo::planned::auto_domains;
+    use graph_db_models::algo::{match_pattern_vectorized_auto, FrozenGraph};
+    use graph_db_models::core::{GdmError, InterruptReason};
+
+    let people = social_graph(SocialParams {
+        people: 300,
+        communities: 4,
+        intra_edges: 4,
+        inter_edges: 1,
+        seed: 7,
+    });
+    let fz = FrozenGraph::freeze_attributed(&people);
+    let mut pattern = Pattern::new();
+    let a = pattern.node(PatternNode::var("a").with_label("person"));
+    let b = pattern.node(PatternNode::var("b"));
+    let c = pattern.node(PatternNode::var("c"));
+    pattern.edge(a, b, Some("knows")).unwrap();
+    pattern.edge(b, c, Some("knows")).unwrap();
+    let domains = auto_domains(&fz, &pattern);
+
+    // (a) Unlimited guard, 4 forced workers: byte-identical table.
+    let plain = match_pattern_vectorized_auto(&fz, &pattern);
+    assert!(!plain.is_empty(), "workload has 2-hop chains");
+    let unlimited = ExecutionGuard::unlimited();
+    let par =
+        match_pattern_par_vectorized_forced(&fz, &pattern, &domains, 4, Some(&unlimited)).unwrap();
+    assert_eq!(par, plain, "parallel result must match byte-for-byte");
+
+    // (b) Each limit family interrupts with its structured reason even
+    // when the trip happens on a worker thread; the merged partial
+    // count never exceeds the full result.
+    let cases: [(Limits, InterruptReason); 3] = [
+        (
+            Limits::none().with_deadline(Duration::from_millis(0)),
+            InterruptReason::Deadline,
+        ),
+        (Limits::none().with_node_visits(5), InterruptReason::Budget),
+        (Limits::none().with_rows(1), InterruptReason::Budget),
+    ];
+    for (limits, want) in cases {
+        let guard = ExecutionGuard::new(limits);
+        let err = match_pattern_par_vectorized_forced(&fz, &pattern, &domains, 4, Some(&guard))
+            .unwrap_err();
+        match err {
+            GdmError::Interrupted { reason, partial } => {
+                assert_eq!(reason, want);
+                assert!(
+                    (partial as usize) <= plain.len(),
+                    "partial rows cannot exceed the full result"
+                );
+            }
+            other => panic!("expected structured Interrupted, got {other}"),
+        }
+    }
+
+    // Cancellation from outside the call is an interrupt too — the
+    // workers see the flag at their next guard check.
+    let guard = ExecutionGuard::unlimited();
+    guard.cancel_token().cancel();
+    let err =
+        match_pattern_par_vectorized_forced(&fz, &pattern, &domains, 4, Some(&guard)).unwrap_err();
+    assert!(err.is_interrupted(), "cancel must interrupt, got {err}");
+
+    // (c) A panic injected into one worker poisons its morsel; the
+    // executor discards the parallel attempt and reruns sequentially,
+    // so the caller still gets the full, correct table.
+    inject_worker_panic_once();
+    let recovered = match_pattern_par_vectorized_forced(&fz, &pattern, &domains, 4, None).unwrap();
+    assert_eq!(
+        recovered, plain,
+        "a poisoned morsel must degrade to the sequential answer, not change it"
+    );
+}

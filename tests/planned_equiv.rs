@@ -191,6 +191,23 @@ proptest! {
         let vec_governed = match_pattern_vectorized_auto_governed(&fz, &p, &guard)
             .expect("unlimited guard never interrupts");
         prop_assert_eq!(canonical(&vec_governed.to_bindings()), reference);
+
+        // Morsel-driven parallel executor ≡ vectorized, and not just
+        // set-equal: the tables must be *byte-identical* (same rows in
+        // the same order). The forced entry point skips the
+        // minimum-root-count threshold so these tiny graphs really do
+        // split into per-worker morsels, even on a single-core machine.
+        let par_forced =
+            graph_db_models::algo::par_vectorized::match_pattern_par_vectorized_forced(
+                &fz, &p, &fz_domains, 3, None,
+            )
+            .expect("ungoverned run never interrupts");
+        prop_assert_eq!(&par_forced, &vec_explicit);
+
+        // The public auto-seeded entry point (what the facade and the
+        // planner call) agrees with its sequential counterpart too.
+        let par_auto = graph_db_models::algo::match_pattern_par_vectorized(&fz, &p, 2);
+        prop_assert_eq!(&par_auto, &vec_auto);
     }
 }
 
