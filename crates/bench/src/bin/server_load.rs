@@ -17,14 +17,22 @@
 //!     ServerHandle::refresh_with, and the very next query of the same
 //!     text must see the new row on a freshly planned (epoch-evicted)
 //!     plan, with STATS reporting the refresh
+//! cargo run --release --bin server_load -- --chaos-smoke   # CI: route
+//!     two retrying tenants through the seed-driven fault-injecting
+//!     proxy (garbage, truncation, disconnects, partial writes,
+//!     slowloris, delays); every tenant must finish its query budget
+//!     with exact rows, every fault category must fire at least once,
+//!     and the final STATS must show the faults absorbed as counters
 //! cargo run --release --bin server_load -- --smoke --workers 2   # pin
 //!     the morsel executor's worker pool (any mode); STATS must echo it
 //! ```
 
 use gdm_bench::workload::{load_into_engine, social_graph, SocialParams};
 use gdm_engines::{make_engine, EngineKind};
+use gdm_govern::RetryPolicy;
+use gdm_server::chaos::{ChaosConfig, ChaosProxy};
 use gdm_server::protocol::Response;
-use gdm_server::{serve, Client, ServerConfig, TenantConfig};
+use gdm_server::{serve, Client, RetryingClient, ServerConfig, TenantConfig};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -49,7 +57,8 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let refresh_smoke = args.iter().any(|a| a == "--refresh-smoke");
-    let quick = smoke || refresh_smoke;
+    let chaos_smoke = args.iter().any(|a| a == "--chaos-smoke");
+    let quick = smoke || refresh_smoke || chaos_smoke;
     let workers: usize = args
         .iter()
         .position(|a| a == "--workers")
@@ -90,9 +99,119 @@ fn main() {
     beta.burst_cap = 100_000;
     config.tenants.push(alpha);
     config.tenants.push(beta);
+    if chaos_smoke {
+        // Chaos probes the transport, not fairness: generous budgets,
+        // and a tight frame deadline so slowloris reaping is fast.
+        config.frame_deadline = Duration::from_millis(500);
+        config.refill_credits = 500_000;
+        for t in &mut config.tenants {
+            t.burst_cap = 1_000_000;
+        }
+    }
 
     let handle = serve(db.serving_snapshot().expect("snapshot"), config).expect("serve");
     let addr = handle.addr();
+
+    if chaos_smoke {
+        const CHAOS_SEED: u64 = 0x5EED_C4A0;
+        const QUERIES_PER_TENANT: u64 = 30;
+        let proxy =
+            ChaosProxy::start(addr, ChaosConfig::full_menu(CHAOS_SEED)).expect("chaos proxy");
+        let proxy_addr = proxy.addr();
+
+        let tenants: Vec<_> = ["alpha", "beta"]
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                let name = name.to_string();
+                std::thread::spawn(move || {
+                    let mut c = RetryingClient::new(proxy_addr, &name, None)
+                        .expect("client")
+                        .with_policy(RetryPolicy {
+                            attempts: 30,
+                            base_backoff_ms: 5,
+                            max_backoff_ms: 200,
+                            jitter: true,
+                        })
+                        .with_jitter_seed(i as u64);
+                    for q in 0..QUERIES_PER_TENANT {
+                        // Cycle sessions so the proxy's fault schedule
+                        // keeps advancing even on a clean connection.
+                        if q > 0 && q % 5 == 0 {
+                            c.goodbye();
+                        }
+                        match c.query(LIGHT_QUERY).expect("query exhausted retries") {
+                            Response::Rows(r) if r.rows.len() == 1 => {}
+                            other => fail(&format!("expected 1 row, got {other:?}")),
+                        }
+                    }
+                    c.goodbye();
+                    (c.connects(), c.retries())
+                })
+            })
+            .collect();
+
+        let mut connects = 0u64;
+        let mut retries = 0u64;
+        for t in tenants {
+            let (co, re) = t.join().expect("chaos tenant panicked");
+            connects += co;
+            retries += re;
+        }
+
+        let faults = proxy.stats();
+        println!(
+            "chaos proxy (seed {CHAOS_SEED:#x}): {} connections — \
+             {} clean, {} garbage, {} truncated, {} disconnects, \
+             {} partial writes, {} slowloris, {} delays",
+            faults.connections,
+            faults.passthrough,
+            faults.garbage_frames,
+            faults.truncated_frames,
+            faults.disconnects,
+            faults.partial_writes,
+            faults.slowloris,
+            faults.delays
+        );
+        for (n, what) in [
+            (faults.passthrough, "clean connections"),
+            (faults.garbage_frames, "garbage frames"),
+            (faults.truncated_frames, "truncated frames"),
+            (faults.disconnects, "disconnects"),
+            (faults.partial_writes, "partial writes"),
+            (faults.slowloris, "slowloris drips"),
+            (faults.delays, "delay faults"),
+        ] {
+            if n == 0 {
+                fail(&format!("chaos schedule never injected {what}"));
+            }
+        }
+
+        let stats = handle.stats();
+        println!(
+            "server under chaos: {} frame errors, {} sessions reaped, \
+             {} queries poisoned; clients: {connects} connects, {retries} retries",
+            stats.frame_errors, stats.sessions_reaped, stats.queries_poisoned
+        );
+        if stats.frame_errors == 0 {
+            fail("garbage/truncated frames must be counted in STATS");
+        }
+        if stats.sessions_reaped == 0 {
+            fail("slowloris connections must be reaped");
+        }
+        if stats.queries_poisoned != 0 {
+            fail("chaos must never poison a query");
+        }
+        if connects <= 2 {
+            fail("chaos must force reconnects");
+        }
+
+        proxy.stop();
+        handle.shutdown();
+        println!("server_load: chaos smoke OK");
+        let _ = std::fs::remove_dir_all(&dir);
+        return;
+    }
 
     if refresh_smoke {
         // Scripted live-refresh proof: the CI evidence that a mutation

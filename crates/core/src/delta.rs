@@ -87,6 +87,18 @@ impl FreezeDelta {
             + self.dirty_edge_props.len()
     }
 
+    /// How far behind a snapshot taken at [`FreezeDelta::base_epoch`]
+    /// has drifted, for staleness policies: the recorded change count,
+    /// or `u64::MAX` when the delta degraded to a full rebuild (the
+    /// drift is then unbounded — "everything may have changed").
+    pub fn pending_hint(&self) -> u64 {
+        if self.full {
+            u64::MAX
+        } else {
+            self.change_count() as u64
+        }
+    }
+
     fn over_limit(&self) -> bool {
         self.change_count() > SPILL_LIMIT
     }

@@ -376,6 +376,10 @@ impl GraphEngine for DexEngine {
         Ok(fz)
     }
 
+    fn pending_changes(&self) -> u64 {
+        self.delta.borrow().peek().pending_hint()
+    }
+
     fn refreeze(&self, prev: &gdm_algo::FrozenGraph) -> Result<gdm_algo::FrozenGraph> {
         let delta = self.delta.borrow().peek().clone();
         let next = gdm_algo::incremental_refreeze(&self.graph, prev, &delta);

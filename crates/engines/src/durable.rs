@@ -724,6 +724,10 @@ impl<F: WalFs> GraphEngine for DurableEngine<F> {
         self.inner.refreeze(prev)
     }
 
+    fn pending_changes(&self) -> u64 {
+        self.inner.pending_changes()
+    }
+
     fn default_limits(&self) -> gdm_govern::Limits {
         // Durability does not change the emulated engine's governor
         // profile.

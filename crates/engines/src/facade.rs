@@ -272,6 +272,17 @@ pub trait GraphEngine {
         self.snapshot()
     }
 
+    /// How many mutations the engine's [`gdm_core::DeltaTracker`] has
+    /// recorded since its snapshot was last (re-)frozen — the signal a
+    /// serving layer's auto-refresh policy triggers on. `u64::MAX`
+    /// means the delta degraded to "everything changed" (untracked
+    /// mutation or spill) and the next re-freeze will rebuild fully.
+    /// Engines without a tracker report 0 (their snapshots, when they
+    /// have any, are full rebuilds either way).
+    fn pending_changes(&self) -> u64 {
+        0
+    }
+
     /// Everything a network serving layer needs to answer read queries
     /// for this engine from worker threads: the point-in-time CSR
     /// snapshot plus the engine's identity and default limits.

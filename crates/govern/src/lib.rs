@@ -31,8 +31,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 pub mod pool;
+pub mod retry;
 
 pub use pool::{BudgetPool, TenantAllowance};
+pub use retry::RetryPolicy;
 
 /// How many guard ticks elapse between wall-clock/cancellation checks.
 /// Small enough that a 1 ms deadline trips promptly in any real search

@@ -1,0 +1,151 @@
+//! Bounded retry with exponential backoff and deterministic jitter.
+//!
+//! One policy type shared by every layer that retries *transient*
+//! failures: the WAL's write/fsync calls (`gdm-wal`), and the serving
+//! tier's [`RetryingClient`](https://docs.rs) reconnect loop
+//! (`gdm-server`). Putting it here — the crate that already owns the
+//! governor's notion of "how much is too much" — keeps the retry
+//! vocabulary (attempt counts, backoff curves) identical across the
+//! stack, so an operator reading one config understands all of them.
+//!
+//! Jitter is deterministic: the caller supplies a seed (connection
+//! number, attempt context) and [`RetryPolicy::backoff`] derives the
+//! spread with a SplitMix64 hash. Chaos tests can therefore replay a
+//! retry schedule byte-for-byte, while a fleet of real clients seeded
+//! differently still de-correlates its retry storms.
+
+use std::time::Duration;
+
+/// Bounded retry with exponential backoff. Transient failures (a
+/// momentarily unreachable server, an interrupted syscall, a shed
+/// request carrying a `retry_after_ms` hint) are worth a few more
+/// attempts; permanent ones (corruption, authentication) must surface
+/// immediately — the *classification* stays with each caller, only
+/// the schedule lives here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per operation, including the first (1 = never
+    /// retry; 0 behaves as 1).
+    pub attempts: u32,
+    /// Sleep before the first retry, in milliseconds; doubles on each
+    /// subsequent retry. `0` retries immediately.
+    pub base_backoff_ms: u64,
+    /// Ceiling on any single backoff sleep, after doubling and before
+    /// jitter. `u64::MAX` leaves the curve uncapped.
+    pub max_backoff_ms: u64,
+    /// When true, each backoff is spread uniformly over
+    /// `[backoff/2, backoff]` by a deterministic hash of the caller's
+    /// seed — full-throughput retries without synchronized stampedes.
+    pub jitter: bool,
+}
+
+impl RetryPolicy {
+    /// No retries at all: every error surfaces on the first failure.
+    pub const fn none() -> Self {
+        RetryPolicy {
+            attempts: 1,
+            base_backoff_ms: 0,
+            max_backoff_ms: u64::MAX,
+            jitter: false,
+        }
+    }
+
+    /// A client-facing default: five attempts starting at 20 ms,
+    /// capped at 1 s, with jitter — tuned for riding out a dropped
+    /// connection or a draining server without hammering it.
+    pub const fn client_default() -> Self {
+        RetryPolicy {
+            attempts: 5,
+            base_backoff_ms: 20,
+            max_backoff_ms: 1_000,
+            jitter: true,
+        }
+    }
+
+    /// The backoff to sleep before retry number `retry` (0-based: the
+    /// sleep between the first failure and the second attempt is
+    /// `backoff(0, seed)`), as a [`Duration`]. Exponential from
+    /// [`RetryPolicy::base_backoff_ms`], capped at
+    /// [`RetryPolicy::max_backoff_ms`], then jittered when enabled.
+    pub fn backoff(&self, retry: u32, seed: u64) -> Duration {
+        let doubled = self
+            .base_backoff_ms
+            .saturating_mul(1u64.checked_shl(retry).unwrap_or(u64::MAX));
+        let capped = doubled.min(self.max_backoff_ms);
+        if !self.jitter || capped == 0 {
+            return Duration::from_millis(capped);
+        }
+        // SplitMix64 of (seed, retry): deterministic per caller seed,
+        // de-correlated across seeds.
+        let mut z = seed
+            .wrapping_mul(0x9e3779b97f4a7c15)
+            .wrapping_add(u64::from(retry));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^= z >> 31;
+        let spread = capped / 2;
+        Duration::from_millis(capped - spread + (z % (spread + 1)))
+    }
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts (two retries) with a 1 ms starting backoff and
+    /// no jitter — the WAL's historical posture: enough to ride out an
+    /// interrupted syscall without stalling a commit behind a
+    /// genuinely dead disk.
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            base_backoff_ms: 1,
+            max_backoff_ms: u64::MAX,
+            jitter: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            attempts: 6,
+            base_backoff_ms: 10,
+            max_backoff_ms: 35,
+            jitter: false,
+        };
+        assert_eq!(p.backoff(0, 0), Duration::from_millis(10));
+        assert_eq!(p.backoff(1, 0), Duration::from_millis(20));
+        assert_eq!(p.backoff(2, 0), Duration::from_millis(35));
+        assert_eq!(p.backoff(3, 0), Duration::from_millis(35));
+        // A huge retry index must not overflow the shift.
+        assert_eq!(p.backoff(200, 0), Duration::from_millis(35));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed_and_bounded() {
+        let p = RetryPolicy {
+            attempts: 4,
+            base_backoff_ms: 100,
+            max_backoff_ms: 100,
+            jitter: true,
+        };
+        for seed in 0..64u64 {
+            let a = p.backoff(1, seed);
+            let b = p.backoff(1, seed);
+            assert_eq!(a, b, "same seed, same backoff");
+            assert!(a >= Duration::from_millis(50) && a <= Duration::from_millis(100));
+        }
+        // Different seeds must not all collapse to one value.
+        let distinct: std::collections::HashSet<_> = (0..64u64).map(|s| p.backoff(1, s)).collect();
+        assert!(distinct.len() > 8, "jitter must actually spread");
+    }
+
+    #[test]
+    fn none_never_sleeps() {
+        let p = RetryPolicy::none();
+        assert_eq!(p.attempts, 1);
+        assert_eq!(p.backoff(0, 7), Duration::ZERO);
+    }
+}

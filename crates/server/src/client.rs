@@ -1,13 +1,49 @@
-//! A blocking client for tests, benches, and the CI smoke script.
+//! Blocking clients for tests, benches, and the CI smoke script.
 //!
-//! Deliberately thin: one request, one response, over the same framed
-//! protocol the server speaks. Anything smarter (retry on
-//! `Overloaded`, pooling) belongs to the caller — the fairness tests
-//! need to *see* sheds, not have them papered over.
+//! Two layers, used for different jobs:
+//!
+//! - [`Client`] is deliberately thin — one request, one response, over
+//!   the same framed protocol the server speaks, with connect/read/
+//!   write deadlines so a dead or dripping server produces a timely
+//!   error instead of a hang. No retries: the fairness tests need to
+//!   *see* sheds, not have them papered over.
+//! - [`RetryingClient`] is what an application would actually hold: it
+//!   reconnects and re-authenticates transparently, retries transient
+//!   transport failures with the [`gdm_govern::RetryPolicy`] backoff
+//!   (honoring the server's `retry_after_ms` hint on `Overloaded`),
+//!   and distinguishes retryable wounds (torn connection, protocol
+//!   error after transport corruption, shed) from fatal ones (bad
+//!   credentials, a query the server rejects deterministically).
 
 use crate::protocol::{read_frame, write_frame, Hello, QueryReq, Request, Response, StatsReply};
+use gdm_govern::RetryPolicy;
 use std::io;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Socket deadlines a [`Client`] applies at connect time. Defaults are
+/// "a few seconds": long enough for any healthy server turn-around,
+/// short enough that a wedged one surfaces as `TimedOut` rather than a
+/// hung test.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadlines {
+    /// TCP connect timeout.
+    pub connect: Duration,
+    /// Per-read timeout (covers each response frame's arrival).
+    pub read: Duration,
+    /// Per-write timeout (a stalled server cannot wedge the sender).
+    pub write: Duration,
+}
+
+impl Default for Deadlines {
+    fn default() -> Self {
+        Deadlines {
+            connect: Duration::from_secs(3),
+            read: Duration::from_secs(10),
+            write: Duration::from_secs(10),
+        }
+    }
+}
 
 /// A connected, optionally authenticated session.
 pub struct Client {
@@ -16,10 +52,28 @@ pub struct Client {
 
 impl Client {
     /// Connects without authenticating; call [`Client::hello`] next.
+    /// Applies [`Deadlines::default`].
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true).ok();
-        Ok(Client { stream })
+        Client::connect_with(addr, Deadlines::default())
+    }
+
+    /// Connects with explicit deadlines.
+    pub fn connect_with<A: ToSocketAddrs>(addr: A, deadlines: Deadlines) -> io::Result<Client> {
+        let mut last: Option<io::Error> = None;
+        for addr in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&addr, deadlines.connect) {
+                Ok(stream) => {
+                    stream.set_read_timeout(Some(deadlines.read))?;
+                    stream.set_write_timeout(Some(deadlines.write))?;
+                    stream.set_nodelay(true).ok();
+                    return Ok(Client { stream });
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+        }))
     }
 
     /// Sends one request and reads one response. An unexpected EOF
@@ -65,5 +119,242 @@ impl Client {
     /// Closes this session politely.
     pub fn goodbye(&mut self) -> io::Result<Response> {
         self.round_trip(&Request::Goodbye)
+    }
+}
+
+/// Whether an I/O failure is worth a reconnect-and-retry: everything
+/// that smells like a transport wound, nothing that smells like a
+/// caller bug.
+fn is_retryable_io(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::NotConnected
+            | io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::WriteZero
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::WouldBlock
+            | io::ErrorKind::Interrupted
+    )
+}
+
+/// A self-healing session: owns the server address and credentials,
+/// lazily (re)connects and re-`Hello`s, and retries transient failures
+/// under a [`RetryPolicy`] with deterministic jitter.
+///
+/// What retries, what doesn't:
+///
+/// - **Retryable**: connect failures and torn connections (reset,
+///   EOF mid-response, deadline trips), `Overloaded` sheds (sleeping
+///   at least the server's `retry_after_ms` hint), and `protocol
+///   error` replies — the server saying the byte stream went bad,
+///   which on a healthy client means the *network* corrupted it.
+/// - **Fatal**: bad credentials, and any ordinary query `Error`
+///   (parse failure, non-MATCH statement) — re-sending the same bytes
+///   would fail the same way, so the caller gets it immediately.
+///
+/// A `query execution panicked` reply is returned to the caller (the
+/// same query would likely panic again) but the session is marked dead
+/// so the *next* call reconnects — the server closed it.
+pub struct RetryingClient {
+    addr: SocketAddr,
+    tenant: String,
+    secret: Option<String>,
+    policy: RetryPolicy,
+    deadlines: Deadlines,
+    jitter_seed: u64,
+    conn: Option<Client>,
+    connects: u64,
+    retries: u64,
+}
+
+impl RetryingClient {
+    /// Resolves `addr` and builds a client; the first connection
+    /// happens lazily on the first call. Uses
+    /// [`RetryPolicy::client_default`] and default [`Deadlines`]; the
+    /// jitter seed is derived from the tenant name so concurrent
+    /// tenants don't share a backoff schedule.
+    pub fn new<A: ToSocketAddrs>(
+        addr: A,
+        tenant: &str,
+        secret: Option<&str>,
+    ) -> io::Result<RetryingClient> {
+        let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+        })?;
+        let jitter_seed = tenant.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+        });
+        Ok(RetryingClient {
+            addr,
+            tenant: tenant.to_owned(),
+            secret: secret.map(str::to_owned),
+            policy: RetryPolicy::client_default(),
+            deadlines: Deadlines::default(),
+            jitter_seed,
+            conn: None,
+            connects: 0,
+            retries: 0,
+        })
+    }
+
+    /// Replaces the retry policy.
+    pub fn with_policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Replaces the socket deadlines used for every (re)connect.
+    pub fn with_deadlines(mut self, deadlines: Deadlines) -> Self {
+        self.deadlines = deadlines;
+        self
+    }
+
+    /// Overrides the jitter seed (tests pin it for reproducibility).
+    pub fn with_jitter_seed(mut self, seed: u64) -> Self {
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// Connections established over this client's lifetime; anything
+    /// above 1 is a reconnect.
+    pub fn connects(&self) -> u64 {
+        self.connects
+    }
+
+    /// Attempts beyond the first, across all calls.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Runs one query, retrying per the policy.
+    pub fn query(&mut self, text: &str) -> io::Result<Response> {
+        let req = Request::Query(QueryReq {
+            text: text.to_owned(),
+        });
+        self.with_retries(|c| c.round_trip(&req))
+    }
+
+    /// Fetches server counters, retrying per the policy.
+    pub fn stats(&mut self) -> io::Result<StatsReply> {
+        match self.with_retries(|c| c.round_trip(&Request::Stats))? {
+            Response::Stats(s) => Ok(s),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected Stats, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Probes server health, retrying per the policy.
+    pub fn health(&mut self) -> io::Result<crate::protocol::HealthReply> {
+        match self.with_retries(|c| c.round_trip(&Request::Health))? {
+            Response::Health(h) => Ok(h),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected Health, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Closes the current session politely, if one is open. Never
+    /// retries: a failed goodbye means the session is already gone.
+    pub fn goodbye(&mut self) {
+        if let Some(mut c) = self.conn.take() {
+            let _ = c.goodbye();
+        }
+    }
+
+    fn ensure_session(&mut self) -> io::Result<()> {
+        if self.conn.is_some() {
+            return Ok(());
+        }
+        let mut c = Client::connect_with(self.addr, self.deadlines)?;
+        self.connects += 1;
+        match c.hello(&self.tenant, self.secret.as_deref())? {
+            Response::Welcome(_) => {
+                self.conn = Some(c);
+                Ok(())
+            }
+            Response::Error(e) if e.message.starts_with("protocol error") => {
+                // The Hello itself got mangled in transit; retryable.
+                Err(io::Error::new(io::ErrorKind::ConnectionReset, e.message))
+            }
+            Response::Error(e) => Err(io::Error::new(io::ErrorKind::PermissionDenied, e.message)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected Welcome, got {other:?}"),
+            )),
+        }
+    }
+
+    fn with_retries<F>(&mut self, mut op: F) -> io::Result<Response>
+    where
+        F: FnMut(&mut Client) -> io::Result<Response>,
+    {
+        let attempts = self.policy.attempts.max(1);
+        let mut shed_hint: Option<Duration> = None;
+        let mut last: Option<io::Error> = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                self.retries += 1;
+                let mut nap = self.policy.backoff(attempt - 1, self.jitter_seed);
+                if let Some(hint) = shed_hint.take() {
+                    nap = nap.max(hint);
+                }
+                if !nap.is_zero() {
+                    std::thread::sleep(nap);
+                }
+            }
+            if let Err(e) = self.ensure_session() {
+                if is_retryable_io(&e) {
+                    last = Some(e);
+                    continue;
+                }
+                return Err(e);
+            }
+            let conn = self.conn.as_mut().expect("session just ensured");
+            match op(conn) {
+                Ok(Response::Overloaded(o)) => {
+                    // The session is healthy; the server just shed us.
+                    shed_hint = Some(Duration::from_millis(o.retry_after_ms));
+                    last = Some(io::Error::new(
+                        io::ErrorKind::WouldBlock,
+                        format!("overloaded ({}): retry later", o.scope),
+                    ));
+                }
+                Ok(Response::Error(e)) if e.message.starts_with("protocol error") => {
+                    // Transport corruption detected server-side; the
+                    // session is closing under us. Reconnect, retry.
+                    self.conn = None;
+                    last = Some(io::Error::new(io::ErrorKind::ConnectionReset, e.message));
+                }
+                Ok(resp) => {
+                    if matches!(&resp, Response::Error(e) if e.message.starts_with("internal error"))
+                    {
+                        // Poisoned query: the reply is for the caller,
+                        // but the server closed this session.
+                        self.conn = None;
+                    }
+                    return Ok(resp);
+                }
+                Err(e) if is_retryable_io(&e) => {
+                    self.conn = None;
+                    last = Some(e);
+                }
+                Err(e) => {
+                    self.conn = None;
+                    return Err(e);
+                }
+            }
+        }
+        let detail = last.map(|e| e.to_string()).unwrap_or_default();
+        Err(io::Error::new(
+            io::ErrorKind::TimedOut,
+            format!("gave up after {attempts} attempts: {detail}"),
+        ))
     }
 }

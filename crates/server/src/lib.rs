@@ -48,12 +48,16 @@
 //! ```
 
 pub mod admission;
+pub mod chaos;
 pub mod client;
 pub mod protocol;
+pub mod refresh;
 mod server;
 mod session;
 
 pub use admission::{Admission, Permit, Shed};
-pub use client::Client;
-pub use protocol::{Request, Response, StatsReply};
+pub use chaos::{ChaosConfig, ChaosProxy, ChaosStats, Fault};
+pub use client::{Client, Deadlines, RetryingClient};
+pub use protocol::{HealthReply, Request, Response, StatsReply};
+pub use refresh::{channel_source, ChannelSource, RefreshPolicy, SnapshotSource, SourcePump};
 pub use server::{serve, ServerConfig, ServerHandle, TenantConfig, REFRESH_PRINCIPAL};

@@ -19,6 +19,11 @@ use std::io::{self, Read, Write};
 /// not make the server try to allocate gigabytes.
 pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
 
+/// Frame bodies are read (and buffers grown) in chunks of this size,
+/// so a hostile length prefix costs at most one chunk of memory until
+/// real bytes actually arrive — the prefix claims, the bytes prove.
+pub const READ_CHUNK: usize = 64 * 1024;
+
 /// A client's opening message: which tenant the session acts for.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Hello {
@@ -44,6 +49,9 @@ pub enum Request {
     Query(QueryReq),
     /// Fetch server counters (per-tenant credits, plan cache, shed).
     Stats,
+    /// Fetch the serving health state (ready/degraded/stale). Allowed
+    /// *before* `Hello` so load balancers can probe without a tenant.
+    Health,
     /// Ask the server to shut down (drains in-flight sessions).
     Shutdown,
     /// Close this session only.
@@ -130,6 +138,36 @@ pub struct CacheStats {
     pub epoch_evictions: u64,
 }
 
+/// The serving health state, answering [`Request::Health`].
+///
+/// Three states, coarsest first:
+/// - `"ready"` — the snapshot is fresh enough and refreshes succeed.
+/// - `"stale"` — recorded mutations have crossed the auto-refresh
+///   policy's thresholds but no fresh snapshot is serving yet; results
+///   are consistent but behind the live graph.
+/// - `"degraded"` — the most recent refresh attempt(s) failed; the
+///   server keeps answering from the last good snapshot while the
+///   refresh thread backs off and retries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthReply {
+    /// `"ready"`, `"stale"`, or `"degraded"`.
+    pub state: String,
+    /// Epoch of the snapshot currently serving queries.
+    pub snapshot_epoch: u64,
+    /// Milliseconds since the serving snapshot was installed.
+    pub snapshot_age_ms: u64,
+    /// Mutations recorded against the serving snapshot, as last
+    /// observed by the refresh thread (0 when auto-refresh is off).
+    pub pending_changes: u64,
+    /// Whether a background auto-refresh thread is running.
+    pub auto_refresh: bool,
+    /// Lifetime failed refresh attempts (background and explicit).
+    pub refresh_failures: u64,
+    /// Failed refresh attempts since the last success — the degraded
+    /// trigger, and the exponent of the refresh thread's backoff.
+    pub consecutive_refresh_failures: u64,
+}
+
 /// Server counters, answering [`Request::Stats`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StatsReply {
@@ -149,6 +187,20 @@ pub struct StatsReply {
     /// Wall-clock cost of the most recent refresh (build + swap), in
     /// microseconds; 0 until the first refresh.
     pub last_refresh_us: u64,
+    /// Lifetime refresh attempts that failed (the serving snapshot was
+    /// left as it was; the refresh thread backs off and retries).
+    pub refresh_failures: u64,
+    /// Lifetime torn, oversized, or undecodable frames received —
+    /// each one closed its session with a structured error where the
+    /// socket was still writable.
+    pub frame_errors: u64,
+    /// Lifetime sessions closed by the server's own deadlines: a
+    /// mid-frame read deadline (slowloris cutoff) or the idle max-age.
+    pub sessions_reaped: u64,
+    /// Lifetime queries whose execution panicked; each was contained
+    /// by `catch_unwind`, answered with a structured error, and closed
+    /// only its own session — the pooled worker survived.
+    pub queries_poisoned: u64,
 }
 
 /// Everything the server can answer.
@@ -166,6 +218,8 @@ pub enum Response {
     Error(ErrorReply),
     /// Stats snapshot.
     Stats(StatsReply),
+    /// Health snapshot.
+    Health(HealthReply),
     /// Session closing (answer to Goodbye and Shutdown).
     Bye,
 }
@@ -202,8 +256,22 @@ pub fn read_frame<R: Read, T: serde::Deserialize>(r: &mut R) -> io::Result<Optio
             format!("frame length {len} exceeds the {MAX_FRAME}-byte cap"),
         ));
     }
-    let mut body = vec![0u8; len as usize];
-    r.read_exact(&mut body)?;
+    // Incremental body read: allocate per chunk as bytes arrive, never
+    // the full claimed length up front (see [`READ_CHUNK`]).
+    let len = len as usize;
+    let mut body = Vec::with_capacity(len.min(READ_CHUNK));
+    let mut chunk = [0u8; 4096];
+    while body.len() < len {
+        let want = (len - body.len()).min(chunk.len());
+        let n = r.read(&mut chunk[..want])?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-frame",
+            ));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
     serde_json::from_slice(&body)
         .map(Some)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
@@ -234,6 +302,7 @@ mod tests {
                 text: "MATCH (p:person) RETURN p.name".into(),
             }),
             Request::Stats,
+            Request::Health,
             Request::Shutdown,
             Request::Goodbye,
         ] {
@@ -284,6 +353,19 @@ mod tests {
                 snapshot_epoch: 42,
                 refreshes: 3,
                 last_refresh_us: 180,
+                refresh_failures: 1,
+                frame_errors: 2,
+                sessions_reaped: 1,
+                queries_poisoned: 1,
+            }),
+            Response::Health(HealthReply {
+                state: "degraded".into(),
+                snapshot_epoch: 42,
+                snapshot_age_ms: 1200,
+                pending_changes: 7,
+                auto_refresh: true,
+                refresh_failures: 2,
+                consecutive_refresh_failures: 1,
             }),
             Response::Bye,
         ] {

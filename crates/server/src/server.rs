@@ -18,7 +18,8 @@
 //! and close — a drain, not an abort.
 
 use crate::admission::Admission;
-use crate::protocol::{CacheStats, StatsReply, TenantStats};
+use crate::protocol::{CacheStats, HealthReply, StatsReply, TenantStats};
+use crate::refresh::{RefreshPolicy, SnapshotSource};
 use crate::session;
 use gdm_engines::ServingSnapshot;
 use gdm_govern::{BudgetPool, Limits};
@@ -88,6 +89,24 @@ pub struct ServerConfig {
     /// process-wide auto setting, [`gdm_algo::default_threads`]).
     /// Applied once by [`serve`] via [`gdm_algo::set_executor_workers`].
     pub executor_workers: usize,
+    /// Once the first byte of a frame has arrived, the whole frame
+    /// must arrive within this deadline — the slowloris cutoff. A
+    /// session holding a frame open past it is reaped (connection
+    /// closed, `sessions_reaped` incremented) so it cannot pin a
+    /// pooled worker with 4 bytes and silence.
+    pub frame_deadline: Duration,
+    /// Sessions idle (no frame started) longer than this are reaped.
+    /// Generous by default: idle sessions are cheap, but unbounded
+    /// lifetimes leak worker threads to clients that never hang up.
+    pub idle_timeout: Duration,
+    /// Socket write timeout: a client that stops reading while the
+    /// server is mid-reply cannot wedge the worker in `write_frame`.
+    pub write_timeout: Duration,
+    /// Test/chaos hook: when true, the reserved query text
+    /// `"::chaos-panic"` panics inside query execution, exercising the
+    /// `catch_unwind` containment path (`queries_poisoned`). Never
+    /// enable in production configurations.
+    pub panic_injection: bool,
 }
 
 impl Default for ServerConfig {
@@ -102,6 +121,10 @@ impl Default for ServerConfig {
             query_limits: None,
             plan_cache_capacity: 64,
             executor_workers: 0,
+            frame_deadline: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(300),
+            write_timeout: Duration::from_secs(10),
+            panic_injection: false,
         }
     }
 }
@@ -119,10 +142,37 @@ pub(crate) struct Shared {
     pub(crate) admission: Arc<Admission>,
     pub(crate) cache: PlanCache,
     pub(crate) stop: AtomicBool,
+    /// Slowloris cutoff: max wall-clock per mid-flight frame.
+    pub(crate) frame_deadline: Duration,
+    /// Idle-session max age before the reaper closes the connection.
+    pub(crate) idle_timeout: Duration,
+    /// Socket write timeout for session replies.
+    pub(crate) write_timeout: Duration,
+    /// Chaos hook: `"::chaos-panic"` queries panic (tests only).
+    pub(crate) panic_injection: bool,
+    /// Lifetime torn/oversized/undecodable frames.
+    pub(crate) frame_errors: AtomicU64,
+    /// Lifetime sessions closed by the frame deadline or idle max-age.
+    pub(crate) sessions_reaped: AtomicU64,
+    /// Lifetime queries contained by `catch_unwind`.
+    pub(crate) queries_poisoned: AtomicU64,
     /// Lifetime snapshot refreshes.
     refreshes: AtomicU64,
     /// Microseconds the most recent refresh spent building + swapping.
     last_refresh_us: AtomicU64,
+    /// Lifetime failed refresh attempts.
+    refresh_failures: AtomicU64,
+    /// Failed refresh attempts since the last success.
+    consecutive_refresh_failures: AtomicU64,
+    /// Drift behind the serving snapshot, as last sampled by the
+    /// refresh thread (0 when no auto-refresh runs).
+    pending_changes: AtomicU64,
+    /// When the serving snapshot was installed (serve() or last swap).
+    last_refresh_at: Mutex<Instant>,
+    /// Auto-refresh thresholds for health classification:
+    /// `(min_changes, max_staleness)`; `None` until
+    /// [`ServerHandle::start_auto_refresh`] is called.
+    refresh_thresholds: Mutex<Option<(u64, Duration)>>,
     addr: SocketAddr,
 }
 
@@ -167,7 +217,95 @@ impl Shared {
             snapshot_epoch: self.current().frozen.epoch(),
             refreshes: self.refreshes.load(Ordering::Relaxed),
             last_refresh_us: self.last_refresh_us.load(Ordering::Relaxed),
+            refresh_failures: self.refresh_failures.load(Ordering::Relaxed),
+            frame_errors: self.frame_errors.load(Ordering::Relaxed),
+            sessions_reaped: self.sessions_reaped.load(Ordering::Relaxed),
+            queries_poisoned: self.queries_poisoned.load(Ordering::Relaxed),
         }
+    }
+
+    /// The serving health state behind the `HEALTH` command. Degraded
+    /// beats stale beats ready: a failing refresh is actionable even
+    /// when the snapshot also happens to be behind.
+    pub(crate) fn health(&self) -> HealthReply {
+        let pending = self.pending_changes.load(Ordering::Relaxed);
+        let consecutive = self.consecutive_refresh_failures.load(Ordering::Relaxed);
+        let age = self
+            .last_refresh_at
+            .lock()
+            .expect("refresh clock")
+            .elapsed();
+        let thresholds = *self.refresh_thresholds.lock().expect("refresh thresholds");
+        let state = if consecutive > 0 {
+            "degraded"
+        } else {
+            match thresholds {
+                Some((min_changes, max_staleness))
+                    if pending >= min_changes || (pending > 0 && age >= max_staleness) =>
+                {
+                    "stale"
+                }
+                _ => "ready",
+            }
+        };
+        HealthReply {
+            state: state.to_owned(),
+            snapshot_epoch: self.current().frozen.epoch(),
+            snapshot_age_ms: age.as_millis() as u64,
+            pending_changes: pending,
+            auto_refresh: thresholds.is_some(),
+            refresh_failures: self.refresh_failures.load(Ordering::Relaxed),
+            consecutive_refresh_failures: consecutive,
+        }
+    }
+
+    /// The shared refresh path behind [`ServerHandle::refresh_with`]
+    /// and the background refresh thread: budget gate, build, atomic
+    /// swap, counters. A failed build leaves the serving snapshot
+    /// untouched and counts a refresh failure.
+    pub(crate) fn do_refresh<F>(&self, build: F) -> io::Result<u64>
+    where
+        F: FnOnce(&gdm_algo::FrozenGraph) -> gdm_core::Result<gdm_algo::FrozenGraph>,
+    {
+        let fail = |e: io::Error| {
+            self.refresh_failures.fetch_add(1, Ordering::Relaxed);
+            self.consecutive_refresh_failures
+                .fetch_add(1, Ordering::Relaxed);
+            e
+        };
+        let allowance = self.pool.get(REFRESH_PRINCIPAL);
+        if let Some(a) = &allowance {
+            if !a.has_credit() {
+                return Err(fail(io::Error::new(
+                    io::ErrorKind::WouldBlock,
+                    "refresh budget exhausted: retry after the pool refills",
+                )));
+            }
+        }
+        let started = Instant::now();
+        let prev = self.current();
+        let frozen = build(&prev.frozen)
+            .map_err(|e| fail(io::Error::new(io::ErrorKind::InvalidData, e.to_string())))?;
+        let epoch = frozen.epoch();
+        let work = frozen.freeze_work();
+        let next = Arc::new(ServingSnapshot {
+            engine: prev.engine,
+            frozen,
+            limits: prev.limits,
+        });
+        *self.snapshot.lock().expect("snapshot lock") = next;
+        *self.last_refresh_at.lock().expect("refresh clock") = Instant::now();
+        self.last_refresh_us
+            .store(started.elapsed().as_micros() as u64, Ordering::Relaxed);
+        self.refreshes.fetch_add(1, Ordering::Relaxed);
+        self.consecutive_refresh_failures
+            .store(0, Ordering::Relaxed);
+        if let Some(a) = allowance {
+            // Overdraft (not refusal) on purpose: the work is already
+            // done, so record it and let the debt gate the next one.
+            let _ = a.charge(work);
+        }
+        Ok(epoch)
     }
 }
 
@@ -213,37 +351,88 @@ impl ServerHandle {
     where
         F: FnOnce(&gdm_algo::FrozenGraph) -> gdm_core::Result<gdm_algo::FrozenGraph>,
     {
-        let allowance = self.shared.pool.get(REFRESH_PRINCIPAL);
-        if let Some(a) = &allowance {
-            if !a.has_credit() {
-                return Err(io::Error::new(
-                    io::ErrorKind::WouldBlock,
-                    "refresh budget exhausted: retry after the pool refills",
-                ));
+        self.shared.do_refresh(build)
+    }
+
+    /// The serving health state (same payload as the `HEALTH`
+    /// protocol command), without a session.
+    pub fn health(&self) -> HealthReply {
+        self.shared.health()
+    }
+
+    /// Starts the server-owned background refresh thread: the
+    /// ROADMAP's auto-refresh policy. The thread samples
+    /// [`SnapshotSource::pending_changes`] every
+    /// [`RefreshPolicy::poll_interval`]; once the drift crosses
+    /// [`RefreshPolicy::min_changes`] — or any drift outlives
+    /// [`RefreshPolicy::max_staleness`] — it re-freezes through the
+    /// same budget-metered path as [`ServerHandle::refresh_with`] and
+    /// swaps the result under live traffic.
+    ///
+    /// Failure is survivable by construction: a failed rebuild leaves
+    /// the previous snapshot serving, marks health `degraded`, and
+    /// backs off exponentially ([`RefreshPolicy::failure_backoff`] →
+    /// [`RefreshPolicy::max_backoff`]) before retrying. The thread
+    /// joins on shutdown like every other server thread.
+    ///
+    /// Engines are not `Send`; pair this with
+    /// [`crate::refresh::channel_source`] so the engine stays with its
+    /// owning thread and only immutable snapshots cross over.
+    pub fn start_auto_refresh<S: SnapshotSource + 'static>(
+        &mut self,
+        policy: RefreshPolicy,
+        mut source: S,
+    ) {
+        *self
+            .shared
+            .refresh_thresholds
+            .lock()
+            .expect("refresh thresholds") = Some((policy.min_changes.max(1), policy.max_staleness));
+        let shared = self.shared.clone();
+        self.threads.push(std::thread::spawn(move || {
+            let mut backoff = policy.failure_backoff;
+            // Sleep in short slices so shutdown never waits on a full
+            // poll interval or a long failure backoff.
+            let nap = |total: Duration| {
+                let slice = Duration::from_millis(20);
+                let mut left = total;
+                while !left.is_zero() && !shared.stop.load(Ordering::Acquire) {
+                    let step = left.min(slice);
+                    std::thread::sleep(step);
+                    left = left.saturating_sub(step);
+                }
+            };
+            while !shared.stop.load(Ordering::Acquire) {
+                let pending = source.pending_changes();
+                shared.pending_changes.store(pending, Ordering::Relaxed);
+                let age = shared
+                    .last_refresh_at
+                    .lock()
+                    .expect("refresh clock")
+                    .elapsed();
+                let due = pending >= policy.min_changes.max(1)
+                    || (pending > 0 && age >= policy.max_staleness);
+                if due {
+                    match shared.do_refresh(|prev| source.rebuild(prev)) {
+                        Ok(_) => {
+                            backoff = policy.failure_backoff;
+                            shared
+                                .pending_changes
+                                .store(source.pending_changes(), Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            // do_refresh already counted the failure;
+                            // keep serving the old snapshot and retry
+                            // after an exponentially growing pause.
+                            nap(backoff);
+                            backoff = (backoff * 2).min(policy.max_backoff);
+                            continue;
+                        }
+                    }
+                }
+                nap(policy.poll_interval);
             }
-        }
-        let started = Instant::now();
-        let prev = self.shared.current();
-        let frozen = build(&prev.frozen)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        let epoch = frozen.epoch();
-        let work = frozen.freeze_work();
-        let next = Arc::new(ServingSnapshot {
-            engine: prev.engine,
-            frozen,
-            limits: prev.limits,
-        });
-        *self.shared.snapshot.lock().expect("snapshot lock") = next;
-        self.shared
-            .last_refresh_us
-            .store(started.elapsed().as_micros() as u64, Ordering::Relaxed);
-        self.shared.refreshes.fetch_add(1, Ordering::Relaxed);
-        if let Some(a) = allowance {
-            // Overdraft (not refusal) on purpose: the work is already
-            // done, so record it and let the debt gate the next one.
-            let _ = a.charge(work);
-        }
-        Ok(epoch)
+        }));
     }
 
     /// Stops accepting, drains in-flight sessions, joins every thread.
@@ -309,8 +498,20 @@ pub fn serve(snapshot: ServingSnapshot, config: ServerConfig) -> io::Result<Serv
         admission,
         cache: PlanCache::new(config.plan_cache_capacity),
         stop: AtomicBool::new(false),
+        frame_deadline: config.frame_deadline,
+        idle_timeout: config.idle_timeout,
+        write_timeout: config.write_timeout,
+        panic_injection: config.panic_injection,
+        frame_errors: AtomicU64::new(0),
+        sessions_reaped: AtomicU64::new(0),
+        queries_poisoned: AtomicU64::new(0),
         refreshes: AtomicU64::new(0),
         last_refresh_us: AtomicU64::new(0),
+        refresh_failures: AtomicU64::new(0),
+        consecutive_refresh_failures: AtomicU64::new(0),
+        pending_changes: AtomicU64::new(0),
+        last_refresh_at: Mutex::new(Instant::now()),
+        refresh_thresholds: Mutex::new(None),
         addr,
     });
 

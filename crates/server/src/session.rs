@@ -3,13 +3,27 @@
 //! The session socket carries a short read timeout so the loop can
 //! poll the server's stop flag between requests — that is what makes
 //! shutdown a *drain* (in-flight queries finish, idle sessions close)
-//! instead of an abort. Mid-frame timeouts keep reading: a client that
-//! has started sending a request gets to finish it.
+//! instead of an abort. The same poll points enforce the session's
+//! two self-defense deadlines:
+//!
+//! - **Frame deadline** (slowloris cutoff): once a frame's first byte
+//!   arrives, the whole frame must arrive within
+//!   `ServerConfig::frame_deadline`, or the session is reaped — a
+//!   client sending 4 length bytes and then dripping cannot pin a
+//!   pooled worker.
+//! - **Idle max-age**: a session that starts no frame for
+//!   `ServerConfig::idle_timeout` is reaped between frames.
+//!
+//! Torn, oversized, or undecodable frames get a best-effort structured
+//! `Error` reply and a close (`frame_errors`); a query whose execution
+//! panics is contained by `catch_unwind` and closes only its own
+//! session (`queries_poisoned`) — the worker thread survives to serve
+//! the next connection.
 
 use crate::admission::Shed;
 use crate::protocol::{
     write_frame, ErrorReply, Interrupted, Overloaded, QueryReq, Request, Response, Rows, Welcome,
-    MAX_FRAME,
+    MAX_FRAME, READ_CHUNK,
 };
 use crate::server::Shared;
 use gdm_govern::{CancelToken, ExecutionGuard};
@@ -18,9 +32,9 @@ use std::io::{self, Read};
 use std::net::TcpStream;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// How often an idle session re-checks the stop flag.
+/// How often an idle session re-checks the stop flag and its deadlines.
 const POLL: Duration = Duration::from_millis(50);
 
 /// Backoff hint for shed requests, scaled by why they were shed: a
@@ -33,96 +47,144 @@ fn retry_after_ms(shed: Shed) -> u64 {
     }
 }
 
-/// Runs one session to completion. Errors (broken pipe, torn frame)
-/// close the connection; the server keeps serving others.
+/// Runs one session to completion. Errors (broken pipe, torn frame,
+/// tripped deadline) close the connection; the server keeps serving
+/// others.
 pub(crate) fn run(stream: TcpStream, shared: &Arc<Shared>) {
-    let _ = serve_session(stream, shared);
+    serve_session(stream, shared);
 }
 
-fn serve_session(mut stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
-    stream.set_read_timeout(Some(POLL))?;
+fn serve_session(mut stream: TcpStream, shared: &Arc<Shared>) {
+    if stream.set_read_timeout(Some(POLL)).is_err() {
+        return;
+    }
+    // A stalled reader cannot wedge the worker inside write_frame: the
+    // write times out and the session closes.
+    stream.set_write_timeout(Some(shared.write_timeout)).ok();
     stream.set_nodelay(true).ok();
 
     // First frame must be Hello; authenticate against the tenant list.
+    // HEALTH is the one pre-auth command, so load balancers can probe
+    // liveness without tenant credentials.
     let tenant = loop {
-        let req = match read_request(&mut stream, shared)? {
+        let req = match next_request(&mut stream, shared) {
             Some(r) => r,
-            None => return Ok(()), // client left or server draining
+            None => return, // client left, reaped, or server draining
         };
         match req {
             Request::Hello(h) => {
                 let known = shared.tenants.iter().find(|t| t.name == h.tenant);
                 match known {
                     Some(t) if t.secret == h.secret => {
-                        write_frame(
-                            &mut stream,
-                            &Response::Welcome(Welcome {
-                                engine: shared.current().engine.to_owned(),
-                                tenant: t.name.clone(),
-                            }),
-                        )?;
+                        let welcome = Response::Welcome(Welcome {
+                            engine: shared.current().engine.to_owned(),
+                            tenant: t.name.clone(),
+                        });
+                        if write_frame(&mut stream, &welcome).is_err() {
+                            return;
+                        }
                         break t.name.clone();
                     }
                     Some(_) => {
-                        write_frame(
+                        let _ = write_frame(
                             &mut stream,
                             &Response::Error(ErrorReply {
                                 message: format!("bad secret for tenant '{}'", h.tenant),
                             }),
-                        )?;
-                        return Ok(());
+                        );
+                        return;
                     }
                     None => {
-                        write_frame(
+                        let _ = write_frame(
                             &mut stream,
                             &Response::Error(ErrorReply {
                                 message: format!("unknown tenant '{}'", h.tenant),
                             }),
-                        )?;
-                        return Ok(());
+                        );
+                        return;
                     }
                 }
             }
+            Request::Health => {
+                if write_frame(&mut stream, &Response::Health(shared.health())).is_err() {
+                    return;
+                }
+            }
             _ => {
-                write_frame(
-                    &mut stream,
-                    &Response::Error(ErrorReply {
-                        message: "session not authenticated: send Hello first".to_owned(),
-                    }),
-                )?;
+                let reply = Response::Error(ErrorReply {
+                    message: "session not authenticated: send Hello first".to_owned(),
+                });
+                if write_frame(&mut stream, &reply).is_err() {
+                    return;
+                }
             }
         }
     };
 
     loop {
-        let req = match read_request(&mut stream, shared)? {
+        let req = match next_request(&mut stream, shared) {
             Some(r) => r,
-            None => return Ok(()),
+            None => return,
         };
         match req {
             Request::Query(q) => {
-                let resp = run_query(shared, &tenant, &q);
-                write_frame(&mut stream, &resp)?;
+                // Containment: a panic inside planning or execution
+                // poisons this session only — reply with a structured
+                // error where possible, close, and leave the pooled
+                // worker alive for the next connection. The shared
+                // state a query touches (snapshot Arc, atomics, the
+                // admission permit released on unwind) stays
+                // consistent, which is what makes the unwind safe to
+                // assert across.
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    run_query(shared, &tenant, &q)
+                }));
+                match result {
+                    Ok(resp) => {
+                        if write_frame(&mut stream, &resp).is_err() {
+                            return;
+                        }
+                    }
+                    Err(_) => {
+                        shared.queries_poisoned.fetch_add(1, Ordering::Relaxed);
+                        let _ = write_frame(
+                            &mut stream,
+                            &Response::Error(ErrorReply {
+                                message: "internal error: query execution panicked; \
+                                          closing this session"
+                                    .to_owned(),
+                            }),
+                        );
+                        return;
+                    }
+                }
             }
             Request::Stats => {
-                write_frame(&mut stream, &Response::Stats(shared.stats()))?;
+                if write_frame(&mut stream, &Response::Stats(shared.stats())).is_err() {
+                    return;
+                }
+            }
+            Request::Health => {
+                if write_frame(&mut stream, &Response::Health(shared.health())).is_err() {
+                    return;
+                }
             }
             Request::Shutdown => {
-                write_frame(&mut stream, &Response::Bye)?;
+                let _ = write_frame(&mut stream, &Response::Bye);
                 shared.trigger_stop();
-                return Ok(());
+                return;
             }
             Request::Goodbye => {
-                write_frame(&mut stream, &Response::Bye)?;
-                return Ok(());
+                let _ = write_frame(&mut stream, &Response::Bye);
+                return;
             }
             Request::Hello(_) => {
-                write_frame(
-                    &mut stream,
-                    &Response::Error(ErrorReply {
-                        message: "session already authenticated".to_owned(),
-                    }),
-                )?;
+                let reply = Response::Error(ErrorReply {
+                    message: "session already authenticated".to_owned(),
+                });
+                if write_frame(&mut stream, &reply).is_err() {
+                    return;
+                }
             }
         }
     }
@@ -135,6 +197,9 @@ fn serve_session(mut stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> 
 /// server's snapshot mid-query never moves the graph under this
 /// execution, it only redirects *later* queries to the new epoch.
 fn run_query(shared: &Arc<Shared>, tenant: &str, q: &QueryReq) -> Response {
+    if shared.panic_injection && q.text.trim() == "::chaos-panic" {
+        panic!("chaos: injected query panic");
+    }
     let snapshot = shared.current();
     let permit = match shared.admission.admit(tenant) {
         Ok(p) => p,
@@ -217,10 +282,55 @@ fn run_query(shared: &Arc<Shared>, tenant: &str, q: &QueryReq) -> Response {
     }
 }
 
+/// Reads the next request, classifying every failure: `None` means
+/// the session is over (clean EOF, drain, reap, or a counted frame
+/// error that got its best-effort structured reply here).
+fn next_request(stream: &mut TcpStream, shared: &Arc<Shared>) -> Option<Request> {
+    match read_request(stream, shared) {
+        Ok(r) => r,
+        Err(e) => {
+            if matches!(
+                e.kind(),
+                io::ErrorKind::InvalidData | io::ErrorKind::UnexpectedEof
+            ) {
+                shared.frame_errors.fetch_add(1, Ordering::Relaxed);
+                // Best-effort structured goodbye; on a torn frame the
+                // peer is often already gone and the write just fails.
+                let _ = write_frame(
+                    stream,
+                    &Response::Error(ErrorReply {
+                        message: format!("protocol error: {e}; closing session"),
+                    }),
+                );
+            }
+            None
+        }
+    }
+}
+
 /// Reads one request, tolerating read timeouts so the stop flag is
-/// polled. Returns `None` on a clean client EOF, or — when the server
-/// is draining — as soon as the connection goes idle between frames.
+/// polled. Returns `None` on a clean client EOF, when the server is
+/// draining and the connection is idle between frames, or when the
+/// idle max-age reaps the session. Mid-frame, the frame deadline is
+/// enforced at every poll: a slowloris drip is cut off with a
+/// `TimedOut` error (counted in `sessions_reaped`) instead of holding
+/// the worker hostage.
 fn read_request(stream: &mut TcpStream, shared: &Arc<Shared>) -> io::Result<Option<Request>> {
+    let idle_since = Instant::now();
+    let mut frame_start: Option<Instant> = None;
+    let reap_check = |frame_start: &Option<Instant>| -> io::Result<()> {
+        if let Some(t0) = frame_start {
+            if t0.elapsed() >= shared.frame_deadline {
+                shared.sessions_reaped.fetch_add(1, Ordering::Relaxed);
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "frame read deadline exceeded (slowloris cutoff)",
+                ));
+            }
+        }
+        Ok(())
+    };
+
     let mut len_buf = [0u8; 4];
     let mut got = 0usize;
     while got < 4 {
@@ -235,12 +345,27 @@ fn read_request(stream: &mut TcpStream, shared: &Arc<Shared>) -> io::Result<Opti
                     ))
                 };
             }
-            Ok(n) => got += n,
+            Ok(n) => {
+                if got == 0 {
+                    frame_start = Some(Instant::now());
+                }
+                got += n;
+                reap_check(&frame_start)?;
+            }
             Err(e) if is_timeout(&e) => {
-                // Idle poll point: drain only between frames — a
-                // partially read prefix means a request is in flight.
-                if got == 0 && shared.stop.load(Ordering::Acquire) {
-                    return Ok(None);
+                if got == 0 {
+                    // Idle poll point: drain only between frames — a
+                    // partially read prefix means a request is in
+                    // flight.
+                    if shared.stop.load(Ordering::Acquire) {
+                        return Ok(None);
+                    }
+                    if idle_since.elapsed() >= shared.idle_timeout {
+                        shared.sessions_reaped.fetch_add(1, Ordering::Relaxed);
+                        return Ok(None);
+                    }
+                } else {
+                    reap_check(&frame_start)?;
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
@@ -254,18 +379,28 @@ fn read_request(stream: &mut TcpStream, shared: &Arc<Shared>) -> io::Result<Opti
             format!("frame length {len} exceeds the {MAX_FRAME}-byte cap"),
         ));
     }
-    let mut body = vec![0u8; len as usize];
-    let mut got = 0usize;
-    while got < body.len() {
-        match stream.read(&mut body[got..]) {
+    // Incremental body read: the length prefix is untrusted input, so
+    // memory is committed per arriving chunk, never the full claimed
+    // size up front — a hostile 16 MiB prefix with no body costs one
+    // chunk, and the frame deadline collects the connection.
+    let len = len as usize;
+    let mut body = Vec::with_capacity(len.min(READ_CHUNK));
+    let mut chunk = [0u8; 4096];
+    while body.len() < len {
+        let want = (len - body.len()).min(chunk.len());
+        match stream.read(&mut chunk[..want]) {
             Ok(0) => {
                 return Err(io::Error::new(
                     io::ErrorKind::UnexpectedEof,
                     "connection closed mid-frame",
                 ))
             }
-            Ok(n) => got += n,
-            Err(e) if is_timeout(&e) || e.kind() == io::ErrorKind::Interrupted => {}
+            Ok(n) => {
+                body.extend_from_slice(&chunk[..n]);
+                reap_check(&frame_start)?;
+            }
+            Err(e) if is_timeout(&e) => reap_check(&frame_start)?,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(e) => return Err(e),
         }
     }

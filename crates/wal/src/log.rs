@@ -64,43 +64,15 @@ impl SyncPolicy {
     }
 }
 
-/// Bounded retry with exponential backoff for the log's write/fsync
-/// calls. Real disks and network filesystems fail *transiently*
-/// (signal interruption, momentary congestion) far more often than
-/// they fail permanently; retrying those inside the log keeps one
-/// blip from killing a durable commit, while non-transient errors
-/// (corruption, missing file) still surface immediately.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct RetryPolicy {
-    /// Total attempts per I/O call, including the first (1 = never
-    /// retry; 0 behaves as 1).
-    pub attempts: u32,
-    /// Sleep before the first retry, in milliseconds; doubles on each
-    /// subsequent retry. `0` retries immediately.
-    pub base_backoff_ms: u64,
-}
-
-impl RetryPolicy {
-    /// No retries at all: every error surfaces on the first failure.
-    pub const fn none() -> Self {
-        RetryPolicy {
-            attempts: 1,
-            base_backoff_ms: 0,
-        }
-    }
-}
-
-impl Default for RetryPolicy {
-    /// Three attempts (two retries) with a 1 ms starting backoff —
-    /// enough to ride out an interrupted syscall without stalling a
-    /// commit behind a genuinely dead disk.
-    fn default() -> Self {
-        RetryPolicy {
-            attempts: 3,
-            base_backoff_ms: 1,
-        }
-    }
-}
+/// Bounded retry for the log's write/fsync calls. Real disks and
+/// network filesystems fail *transiently* (signal interruption,
+/// momentary congestion) far more often than they fail permanently;
+/// retrying those inside the log keeps one blip from killing a
+/// durable commit, while non-transient errors (corruption, missing
+/// file) still surface immediately. The policy type itself lives in
+/// `gdm-govern` so the WAL and the serving tier's retrying client
+/// share one backoff vocabulary.
+pub use gdm_govern::RetryPolicy;
 
 /// Is `e` a *transient* I/O failure — one a bounded retry may cure?
 /// Interrupted/would-block/timed-out syscalls qualify; everything
@@ -122,15 +94,14 @@ pub fn is_transient(e: &GdmError) -> bool {
 /// transient one once attempts are exhausted — is returned as-is.
 fn with_retry<T>(policy: RetryPolicy, mut op: impl FnMut() -> Result<T>) -> Result<T> {
     let attempts = policy.attempts.max(1);
-    let mut backoff_ms = policy.base_backoff_ms;
     for attempt in 1..=attempts {
         match op() {
             Ok(v) => return Ok(v),
             Err(e) if attempt < attempts && is_transient(&e) => {
-                if backoff_ms > 0 {
-                    std::thread::sleep(std::time::Duration::from_millis(backoff_ms));
+                let backoff = policy.backoff(attempt - 1, 0);
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
                 }
-                backoff_ms = backoff_ms.saturating_mul(2);
             }
             Err(e) => return Err(e),
         }
